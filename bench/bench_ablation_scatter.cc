@@ -1,0 +1,91 @@
+// Ablation A5: scatter kernel designs for radix partitioning.
+//
+// Three ways to write tuples to their partitions: the reference loop
+// (Listing 1 style), the unroll-and-reorder loop (the paper's fix), and
+// software write-combining buffers (Balkesen et al.) which stage a cache
+// line per partition and flush it whole. Buffered scatter both groups
+// stores in software (immune to the enclave reordering restriction) and
+// cuts write-allocate traffic — a candidate "SGXv2-native" partitioner.
+
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace sgxb;
+
+int main() {
+  core::PrintExperimentHeader(
+      "Ablation A5", "radix scatter: reference vs unrolled vs buffered");
+  bench::PrintEnvironment();
+
+  const size_t n = BytesToTuples(core::ScaledBytes(400_MiB));
+  std::vector<Tuple> data(n);
+  Xoshiro256 rng(31);
+  for (size_t i = 0; i < n; ++i) {
+    data[i].key = static_cast<uint32_t>(rng.Next());
+    data[i].payload = static_cast<uint32_t>(i);
+  }
+  std::vector<Tuple> out(n);
+
+  core::TablePrinter table({"fan-out", "kernel", "native (host, real)",
+                            "modeled enclave class"});
+  for (int bits : {7, 10, 13}) {
+    const uint32_t fanout = 1u << bits;
+    const uint32_t mask = fanout - 1;
+    std::vector<uint32_t> hist(fanout, 0);
+    join::HistogramUnrolled(data.data(), n, mask, 0, hist.data());
+    std::vector<uint64_t> base_offsets(fanout);
+    uint64_t sum = 0;
+    for (uint32_t p = 0; p < fanout; ++p) {
+      base_offsets[p] = sum;
+      sum += hist[p];
+    }
+
+    struct Variant {
+      const char* name;
+      const char* enclave_class;
+    };
+    const Variant variants[] = {
+        {"reference", "reference loop (x3.25 compute)"},
+        {"unrolled+reordered", "unrolled (x1.20)"},
+        {"software-buffered", "grouped stores (x~1.1, fewer RFOs)"},
+    };
+    join::ScatterBufferScratch scratch;
+    for (int v = 0; v < 3; ++v) {
+      std::vector<uint64_t> offsets = base_offsets;
+      double t = core::Repeat([&] {
+                   offsets = base_offsets;
+                   WallTimer timer;
+                   switch (v) {
+                     case 0:
+                       join::ScatterReference(data.data(), n, mask, 0,
+                                              offsets.data(), out.data());
+                       break;
+                     case 1:
+                       join::ScatterUnrolled(data.data(), n, mask, 0,
+                                             offsets.data(), out.data());
+                       break;
+                     default:
+                       scratch.Reserve(bits);
+                       join::ScatterSoftwareBuffered(
+                           data.data(), n, mask, 0, offsets.data(),
+                           out.data(), &scratch);
+                   }
+                   return static_cast<double>(timer.ElapsedNanos());
+                 })
+                     .mean_ns;
+      table.AddRow({std::to_string(fanout), variants[v].name,
+                    core::FormatNanos(t), variants[v].enclave_class});
+    }
+  }
+  table.Print();
+  table.ExportCsv("ablation_scatter");
+
+  core::PrintNote(
+      "at high fan-out the per-partition write streams exceed the TLB/"
+      "cache capacity and the buffered variant pulls ahead natively; "
+      "inside an enclave it additionally avoids the reordering "
+      "restriction because the flush loop has no cross-iteration "
+      "dependency.");
+  return 0;
+}

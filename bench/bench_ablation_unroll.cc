@@ -1,0 +1,116 @@
+// Ablation: unroll depth and instruction ordering for the histogram loop.
+//
+// The paper settles on 8x unrolling with all index computations grouped
+// before all increments (Listing 2), and notes that GCC's unroll pragma —
+// which interleaves the two — does not help. This ablation sweeps the
+// unroll depth (2/4/8/16) and contrasts grouped vs interleaved ordering,
+// measuring real native times and reporting the modeled enclave penalty
+// class each variant falls into.
+
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace sgxb;
+
+namespace {
+
+// Grouped ordering: D index computations, then D increments.
+template <int D>
+void HistogramGrouped(const Tuple* data, size_t n, uint32_t mask,
+                      uint32_t shift, uint32_t* hist) {
+  size_t i = 0;
+  size_t idx[D];
+  for (; i + D <= n; i += D) {
+    for (int k = 0; k < D; ++k) {
+      idx[k] = join::RadixOf(data[i + k].key, mask, shift);
+    }
+    asm volatile("" ::: "memory");
+    for (int k = 0; k < D; ++k) ++hist[idx[k]];
+  }
+  for (; i < n; ++i) ++hist[join::RadixOf(data[i].key, mask, shift)];
+}
+
+// Interleaved ordering: compute-increment pairs, like the compiler pragma
+// produces.
+template <int D>
+void HistogramInterleaved(const Tuple* data, size_t n, uint32_t mask,
+                          uint32_t shift, uint32_t* hist) {
+  size_t i = 0;
+  for (; i + D <= n; i += D) {
+    for (int k = 0; k < D; ++k) {
+      size_t idx = join::RadixOf(data[i + k].key, mask, shift);
+      ++hist[idx];
+      asm volatile("" ::: "memory");
+    }
+  }
+  for (; i < n; ++i) ++hist[join::RadixOf(data[i].key, mask, shift)];
+}
+
+}  // namespace
+
+int main() {
+  core::PrintExperimentHeader(
+      "Ablation A1", "histogram unroll depth & instruction ordering");
+  bench::PrintEnvironment();
+
+  const size_t n = BytesToTuples(core::ScaledBytes(400_MiB));
+  std::vector<Tuple> data(n);
+  Xoshiro256 rng(23);
+  for (size_t i = 0; i < n; ++i) {
+    data[i].key = static_cast<uint32_t>(rng.Next());
+    data[i].payload = static_cast<uint32_t>(i);
+  }
+  const uint32_t bits = 10;
+  const uint32_t mask = (1u << bits) - 1;
+  std::vector<uint32_t> hist(1u << bits);
+
+  using Kernel = void (*)(const Tuple*, size_t, uint32_t, uint32_t,
+                          uint32_t*);
+  struct Variant {
+    const char* name;
+    Kernel kernel;
+    perf::IlpClass enclave_class;
+  };
+  const Variant variants[] = {
+      {"reference (no unroll)", &join::HistogramReference,
+       perf::IlpClass::kReferenceLoop},
+      {"grouped x2", &HistogramGrouped<2>,
+       perf::IlpClass::kUnrolledReordered},
+      {"grouped x4", &HistogramGrouped<4>,
+       perf::IlpClass::kUnrolledReordered},
+      {"grouped x8 (paper's Listing 2)", &HistogramGrouped<8>,
+       perf::IlpClass::kUnrolledReordered},
+      {"grouped x16", &HistogramGrouped<16>,
+       perf::IlpClass::kUnrolledReordered},
+      {"interleaved x8 (pragma-like)", &HistogramInterleaved<8>,
+       perf::IlpClass::kReferenceLoop},
+      {"SIMD index buffering x16", &join::HistogramSimd,
+       perf::IlpClass::kSimdUnrolled},
+  };
+
+  core::TablePrinter table({"variant", "native (host, real)",
+                            "modeled enclave multiplier",
+                            "modeled enclave time"});
+  const auto& m = perf::MachineModel::Reference();
+  for (const Variant& v : variants) {
+    double t = core::Repeat([&] {
+                 std::fill(hist.begin(), hist.end(), 0);
+                 WallTimer timer;
+                 v.kernel(data.data(), n, mask, 0, hist.data());
+                 return static_cast<double>(timer.ElapsedNanos());
+               })
+                   .mean_ns;
+    double mult = m.IlpPenaltySgx(v.enclave_class);
+    table.AddRow({v.name, core::FormatNanos(t), core::FormatRel(mult),
+                  core::FormatNanos(t * mult)});
+  }
+  table.Print();
+  table.ExportCsv("ablation_unroll");
+
+  core::PrintNote(
+      "grouping matters, not just unrolling: the interleaved variant "
+      "keeps the load-increment dependency chain and stays in the "
+      "reference penalty class — the paper's pragma observation.");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Extension E2: a Concise Hash Table join as an SGXv2-native design.
+//
+// The paper's lesson is that the SGXv2 random-access penalty grows with
+// the randomly-hit working set (Fig. 4/5) and recommends aggressive
+// partitioning. This extension explores the complementary design axis:
+// shrinking the hash table itself. CHT (Barber et al., VLDB 2015) stores
+// a bitmap + rank-indexed dense array (~8.5 B/tuple) instead of PHT's
+// latched chained buckets (~32 B/tuple), so more of the table stays
+// cache-resident and the in-enclave penalty drops — without giving up
+// the no-partitioning design.
+
+#include "bench_util.h"
+
+using namespace sgxb;
+
+int main() {
+  core::PrintExperimentHeader(
+      "Extension E2", "Concise Hash Table: shrink the table, shrink the "
+                      "SGX penalty");
+  bench::PrintEnvironment();
+
+  core::TablePrinter table({"build size (paper)", "join", "table bytes",
+                            "modeled native", "modeled SGX-in",
+                            "SGX/native"});
+
+  for (size_t mb : {25, 100}) {
+    const size_t build_tuples =
+        BytesToTuples(core::ScaledBytes(mb * 1_MiB));
+    const size_t probe_tuples = 4 * build_tuples;
+    const double total_rows =
+        bench::PaperRows(static_cast<double>(build_tuples) + probe_tuples);
+    auto build = join::GenerateBuildRelation(build_tuples,
+                                             MemoryRegion::kUntrusted)
+                     .value();
+    auto probe = join::GenerateProbeRelation(probe_tuples, build_tuples,
+                                             MemoryRegion::kUntrusted)
+                     .value();
+
+    for (bool cht : {false, true}) {
+      join::JoinConfig cfg;
+      cfg.num_threads = bench::HostThreads(16);
+      cfg.flavor = KernelFlavor::kReference;
+      join::JoinResult result =
+          cht ? join::ChtJoin(build, probe, cfg).value()
+              : join::PhtJoin(build, probe, cfg).value();
+      if (result.matches != probe_tuples) {
+        std::fprintf(stderr, "match mismatch!\n");
+        return 1;
+      }
+      perf::PhaseBreakdown scaled = bench::PaperScale(result.phases);
+      double native = core::ModeledReferenceNs(
+          scaled, ExecutionSetting::kPlainCpu, false, 16);
+      double sgx = core::ModeledReferenceNs(
+          scaled, ExecutionSetting::kSgxDataInEnclave, false, 16);
+      size_t table_bytes =
+          (cht ? join::ChtTableBytes(build_tuples)
+               : join::PhtHashTableBytes(build_tuples)) *
+          (core::FullScale() ? 1 : 10);
+      table.AddRow(
+          {std::to_string(mb) + " MB", cht ? "CHT" : "PHT",
+           core::FormatBytes(static_cast<double>(table_bytes)),
+           core::FormatRowsPerSec(total_rows / (native * 1e-9)),
+           core::FormatRowsPerSec(total_rows / (sgx * 1e-9)),
+           core::FormatRel(native / sgx)});
+    }
+  }
+  table.Print();
+  table.ExportCsv("ext_cht");
+
+  core::PrintNote(
+      "the concise table is ~4x smaller than the chained table, so a "
+      "larger share of probes stays cache-resident inside the enclave; "
+      "its serial rank-building is the price (visible in the native "
+      "column).");
+  return 0;
+}

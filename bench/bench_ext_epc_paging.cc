@@ -1,0 +1,134 @@
+// Extension E1: the EPC paging cliff — why SGXv1 needed CrkJoin and
+// SGXv2 does not.
+//
+// The paper's introduction recalls that SGXv1's ~128 MB usable EPC caused
+// orders-of-magnitude slowdowns for data-intensive workloads, which is
+// what CrkJoin was designed around; SGXv2's 64 GB EPC removes the cliff
+// for every workload the paper runs. This extension models both
+// generations over the paper's join workload, reproducing that motivating
+// backdrop (the paper itself keeps all working sets inside the EPC).
+
+#include "bench_util.h"
+
+using namespace sgxb;
+
+namespace {
+
+// An EPC page fault round-trip (EWB: evict + encrypt + MAC, then ELDU:
+// reload + decrypt + verify) for a 4 KiB page, via the kernel.
+constexpr double kFaultNs = 40000.0;
+constexpr double kPageBytes = 4096.0;
+
+// Extra paging time of one recorded phase on an SGXv1-sized EPC:
+// each random access faults with the miss probability of its working
+// set; streaming sweeps fault once per non-resident page.
+double PagedExtraNs(const perf::PhaseStats& phase, size_t epc_bytes,
+                    size_t input_bytes, int threads) {
+  const auto& p = phase.profile;
+  auto miss = [&](size_t ws) {
+    if (ws <= epc_bytes) return 0.0;
+    return 1.0 - static_cast<double>(epc_bytes) / ws;
+  };
+  double faults = 0;
+  faults += static_cast<double>(p.rand_reads) *
+            miss(p.rand_read_working_set);
+  faults += static_cast<double>(p.rand_writes) *
+            miss(p.rand_write_working_set);
+  const double seq_bytes =
+      static_cast<double>(p.seq_read_bytes) + p.seq_write_bytes;
+  faults += seq_bytes / kPageBytes * miss(input_bytes);
+  // Faults from different threads overlap only partially in the kernel;
+  // assume 4-way effective concurrency.
+  const double concurrency = std::min(4.0, static_cast<double>(threads));
+  return faults * kFaultNs / concurrency;
+}
+
+}  // namespace
+
+int main() {
+  core::PrintExperimentHeader(
+      "Extension E1", "EPC paging: SGXv1's cliff vs SGXv2's headroom");
+  bench::PrintEnvironment();
+
+  const size_t sgxv1_epc = 128_MiB;  // usable EPC of SGXv1
+  const size_t sgxv2_epc =
+      perf::MachineModel::Reference().params().epc_per_socket_bytes;
+
+  // Effective throughput of basic access patterns under paging.
+  const auto& m = perf::MachineModel::Reference();
+  core::TablePrinter patterns(
+      {"working set", "SGXv1 random 64B access", "SGXv1 streaming",
+       "SGXv2 (any pattern)"});
+  for (size_t ws : {64_MiB, 256_MiB, 1_GiB, 8_GiB}) {
+    double miss = ws <= sgxv1_epc
+                      ? 0.0
+                      : 1.0 - static_cast<double>(sgxv1_epc) / ws;
+    double random_ns = m.params().dram_latency_ns + miss * kFaultNs;
+    double stream_per_page_ns =
+        kPageBytes / m.params().node_read_bandwidth * 1e9 +
+        miss * kFaultNs;
+    patterns.AddRow(
+        {core::FormatBytes(static_cast<double>(ws)),
+         core::FormatBytesPerSec(64.0 / (random_ns * 1e-9)),
+         core::FormatBytesPerSec(kPageBytes /
+                                 (stream_per_page_ns * 1e-9)),
+         ws <= sgxv2_epc ? "native-like (fits EPC)" : "paged"});
+  }
+  patterns.Print();
+  patterns.ExportCsv("ext_epc_patterns");
+  core::PrintNote(
+      "once the working set exceeds SGXv1's EPC, every miss is a ~40 us "
+      "EWB/ELDU page round-trip: random access collapses to KB/s-scale, "
+      "streaming survives at ~100 MB/s because a fault amortizes over "
+      "4 KiB of useful data.");
+
+  // The paper's join workload on both generations.
+  const bench::JoinSizes sizes = bench::PaperJoinSizes();
+  const double total_rows = bench::PaperRows(
+      static_cast<double>(sizes.build_tuples) + sizes.probe_tuples);
+  const size_t input_bytes =
+      (sizes.build_tuples + sizes.probe_tuples) * sizeof(Tuple) *
+      (core::FullScale() ? 1 : 10);
+  auto build = join::GenerateBuildRelation(sizes.build_tuples,
+                                           MemoryRegion::kUntrusted)
+                   .value();
+  auto probe = join::GenerateProbeRelation(
+                   sizes.probe_tuples, sizes.build_tuples,
+                   MemoryRegion::kUntrusted)
+                   .value();
+  join::JoinConfig cfg;
+  cfg.num_threads = bench::HostThreads(16);
+  auto pht = join::PhtJoin(build, probe, cfg).value();
+  auto rho = join::RhoJoin(build, probe, cfg).value();
+  auto crk = join::CrkJoin(build, probe, cfg).value();
+
+  std::printf("\n  100 MB x 400 MB join, modeled in-enclave:\n");
+  core::TablePrinter joins({"join", "SGXv2", "SGXv1 (paged)", "loss"});
+  struct Row {
+    const char* name;
+    const join::JoinResult* result;
+  };
+  for (const Row& row : {Row{"PHT", &pht}, Row{"RHO", &rho},
+                         Row{"CrkJoin", &crk}}) {
+    perf::PhaseBreakdown scaled = bench::PaperScale(row.result->phases);
+    double v2 = core::ModeledReferenceNs(
+        scaled, ExecutionSetting::kSgxDataInEnclave, false, 16);
+    double extra = 0;
+    for (const auto& phase : scaled.phases) {
+      extra += PagedExtraNs(phase, sgxv1_epc, input_bytes, 16);
+    }
+    double v1 = v2 + extra;
+    joins.AddRow({row.name,
+                  core::FormatRowsPerSec(total_rows / (v2 * 1e-9)),
+                  core::FormatRowsPerSec(total_rows / (v1 * 1e-9)),
+                  core::FormatRel(v1 / v2)});
+  }
+  joins.Print();
+  joins.ExportCsv("ext_epc_joins");
+  core::PrintNote(
+      "the no-partitioning PHT join collapses hardest (its 455 MB hash "
+      "table is hit randomly); sequential-pass designs lose far less — "
+      "the landscape in which CrkJoin's in-place, partition-at-a-time "
+      "design made sense, and which SGXv2 has eliminated.");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Extension E3: bit-packed scans multiply effective enclave bandwidth.
+//
+// The SIMD-scan work the paper builds on (Willhalm et al.) scans
+// bit-packed columns. Packing a w-bit column reads (w+1)/32 of the bytes
+// a plain uint32 scan reads — and since the paper shows streaming reads
+// through the memory encryption engine cost a flat few percent (Fig. 12/
+// 15), compression multiplies the *effective* scan bandwidth inside the
+// enclave by the compression ratio. This bench measures the real packed
+// scan against the plain scan and models both settings.
+
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace sgxb;
+
+int main() {
+  core::PrintExperimentHeader(
+      "Extension E3", "bit-packed scans: compression as an SGX lever");
+  bench::PrintEnvironment();
+
+  const size_t n = core::ScaledBytes(2_GiB) / sizeof(uint32_t);
+  core::TablePrinter table(
+      {"encoding", "bytes scanned", "host time (real)",
+       "values/s (host)", "modeled SGX values/s @16T",
+       "SGX-in factor"});
+
+  // Plain uint32 baseline: scan via the u32 path (scalar loop).
+  auto col =
+      Column<uint32_t>::Allocate(n, MemoryRegion::kUntrusted).value();
+  Xoshiro256 rng(7);
+  for (size_t i = 0; i < n; ++i) {
+    col[i] = static_cast<uint32_t>(rng.NextBounded(128));
+  }
+  const uint32_t lo = 10, hi = 60;
+
+  uint64_t expected = 0;
+  for (size_t i = 0; i < n; ++i) {
+    expected += col[i] >= lo && col[i] <= hi;
+  }
+
+  {
+    double t = core::Repeat([&] {
+                 WallTimer timer;
+                 uint64_t count = 0;
+                 const uint32_t* d = col.data();
+                 for (size_t i = 0; i < n; ++i) {
+                   count += d[i] >= lo && d[i] <= hi;
+                 }
+                 asm volatile("" : "+r"(count));
+                 if (count != expected) std::abort();
+                 return static_cast<double>(timer.ElapsedNanos());
+               })
+                   .mean_ns;
+    perf::AccessProfile p;
+    p.seq_read_bytes = n * sizeof(uint32_t);
+    p.seq_data_bytes = n * sizeof(uint32_t);
+    p.loop_iterations = n / 8;
+    p.ilp = perf::IlpClass::kStreaming;
+    perf::PhaseStats phase;
+    phase.host_ns = t;
+    phase.profile = p;
+    phase.threads = 16;
+    perf::PhaseBreakdown bd;
+    bd.Add(phase);
+    double sgx16 = core::ModeledReferenceNs(
+        bd, ExecutionSetting::kSgxDataInEnclave, false, 16);
+    table.AddRow(
+        {"uint32 (plain)",
+         core::FormatBytes(static_cast<double>(n * sizeof(uint32_t))),
+         core::FormatNanos(t),
+         core::FormatRowsPerSec(n / (t * 1e-9)),
+         core::FormatRowsPerSec(n / (sgx16 * 1e-9)),
+         core::FormatRel(core::PhaseSlowdown(
+             phase, ExecutionSetting::kSgxDataInEnclave))});
+  }
+
+  for (int w : {7, 15}) {
+    auto packed = scan::PackedColumn::Pack(col, w).value();
+    auto bv = BitVector::Allocate(n, MemoryRegion::kUntrusted).value();
+    double t = core::Repeat([&] {
+                 WallTimer timer;
+                 uint64_t count = scan::PackedScan(packed, lo, hi, &bv);
+                 if (count != expected) std::abort();
+                 return static_cast<double>(timer.ElapsedNanos());
+               })
+                   .mean_ns;
+    perf::AccessProfile p;
+    p.seq_read_bytes = packed.size_bytes();
+    p.seq_data_bytes = packed.size_bytes();
+    p.seq_write_bytes = n / 8;
+    p.loop_iterations = packed.num_words();
+    p.ilp = perf::IlpClass::kStreaming;
+    perf::PhaseStats phase;
+    phase.host_ns = t;
+    phase.profile = p;
+    phase.threads = 16;
+    perf::PhaseBreakdown bd;
+    bd.Add(phase);
+    double sgx16 = core::ModeledReferenceNs(
+        bd, ExecutionSetting::kSgxDataInEnclave, false, 16);
+    char label[32];
+    std::snprintf(label, sizeof(label), "%d-bit packed (%.1fx)", w,
+                  packed.CompressionRatio());
+    table.AddRow(
+        {label, core::FormatBytes(static_cast<double>(packed.size_bytes())),
+         core::FormatNanos(t), core::FormatRowsPerSec(n / (t * 1e-9)),
+         core::FormatRowsPerSec(n / (sgx16 * 1e-9)),
+         core::FormatRel(core::PhaseSlowdown(
+             phase, ExecutionSetting::kSgxDataInEnclave))});
+  }
+  table.Print();
+  table.ExportCsv("ext_packed_scan");
+
+  core::PrintNote(
+      "once the scan is bandwidth-bound (16 threads on the reference "
+      "machine), values/s scale with the compression ratio — packing is "
+      "a direct multiplier on secure-scan throughput (single-core host "
+      "times are compute-bound and favour the vectorized plain loop).");
+  return 0;
+}

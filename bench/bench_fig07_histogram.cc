@@ -1,0 +1,92 @@
+// Figure 7: histogram micro-benchmark.
+//
+// Creating a radix histogram over a fixed array of random tuples, for
+// typical bin counts, comparing the Listing-1 reference loop with the
+// Listing-2 manual unroll (and the deeper SIMD index-buffering variant).
+//
+// Paper shape: inside an enclave the reference loop is 225% slower than
+// native regardless of data location; manual unrolling cuts the penalty
+// to ~20%; the SIMD variant narrows it further. Natively, the variants
+// perform about the same (the CPU unrolls dynamically) — which this bench
+// verifies with real measurements.
+
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace sgxb;
+
+int main() {
+  core::PrintExperimentHeader(
+      "Figure 7", "radix histogram: reference vs unrolled vs SIMD");
+  bench::PrintEnvironment();
+
+  const size_t n = BytesToTuples(core::ScaledBytes(400_MiB));
+  std::vector<Tuple> data(n);
+  Xoshiro256 rng(13);
+  for (size_t i = 0; i < n; ++i) {
+    data[i].key = static_cast<uint32_t>(rng.Next());
+    data[i].payload = static_cast<uint32_t>(i);
+  }
+
+  const int bin_bits[] = {4, 6, 8, 10, 12, 14};
+  core::TablePrinter table(
+      {"bins", "native ref (host)", "native unrolled (host)",
+       "native SIMD (host)", "modeled SGX ref", "modeled SGX unrolled"});
+
+  for (int bits : bin_bits) {
+    const uint32_t fanout = 1u << bits;
+    const uint32_t mask = fanout - 1;
+    std::vector<uint32_t> hist(fanout);
+
+    auto time_kernel = [&](join::HistogramKernel kernel) {
+      return core::Repeat([&] {
+               std::fill(hist.begin(), hist.end(), 0);
+               WallTimer t;
+               kernel(data.data(), n, mask, 0, hist.data());
+               return static_cast<double>(t.ElapsedNanos());
+             })
+          .mean_ns;
+    };
+
+    double t_ref = time_kernel(&join::HistogramReference);
+    double t_unrolled = time_kernel(&join::HistogramUnrolled);
+    double t_simd = time_kernel(&join::HistogramSimd);
+
+    // Modeled in-enclave times: host native time x model slowdown.
+    perf::PhaseStats ref_phase;
+    ref_phase.host_ns = t_ref;
+    ref_phase.threads = 1;
+    ref_phase.profile =
+        join::HistogramProfile(n, bits, KernelFlavor::kReference);
+    perf::PhaseStats unr_phase;
+    unr_phase.host_ns = t_unrolled;
+    unr_phase.threads = 1;
+    unr_phase.profile =
+        join::HistogramProfile(n, bits, KernelFlavor::kUnrolledReordered);
+
+    double sgx_ref =
+        t_ref * core::PhaseSlowdown(ref_phase,
+                                    ExecutionSetting::kSgxDataInEnclave);
+    double sgx_unr = t_unrolled *
+                     core::PhaseSlowdown(
+                         unr_phase, ExecutionSetting::kSgxDataInEnclave);
+
+    table.AddRow({std::to_string(fanout), core::FormatNanos(t_ref),
+                  core::FormatNanos(t_unrolled),
+                  core::FormatNanos(t_simd), core::FormatNanos(sgx_ref),
+                  core::FormatNanos(sgx_unr)});
+  }
+  table.Print();
+  table.ExportCsv("fig07");
+
+  core::PrintNote(
+      "native check (real): reference vs unrolled should be roughly equal "
+      "outside the enclave — the CPU's dynamic unrolling does the same "
+      "job, which is exactly why the enclave-mode restriction hurts.");
+  core::PrintNote(
+      "paper: in-enclave reference loop +225%; unrolled +20%; "
+      "independent of whether the data is inside or outside the enclave "
+      "(so not a memory-encryption effect).");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Figure 10: task-queue implementation under contention — REAL execution.
+//
+// The RHO join is forced into many tiny partition/join tasks (high radix
+// fan-out on a small input) so threads hammer the task queue. We compare
+// the lock-free queue with the TEEBench-style mutex queue, natively and
+// inside the simulated enclave. The enclave's SDK mutex really parks via
+// an OCALL round-trip whose transition cost is injected as a real delay,
+// so the collapse is measured, not modeled.
+//
+// Paper shape: outside the enclave, the queue choice hardly matters;
+// inside, the mutex queue loses ~75% of the lock-free throughput.
+
+#include "bench_util.h"
+
+using namespace sgxb;
+
+int main() {
+  core::PrintExperimentHeader(
+      "Figure 10",
+      "mutex vs lock-free task queue under contention (real delays)");
+  bench::PrintEnvironment();
+
+  // Small input + high fan-out = tiny partitions = queue contention.
+  const size_t build_tuples = BytesToTuples(core::ScaledBytes(20_MiB));
+  const size_t probe_tuples = BytesToTuples(core::ScaledBytes(80_MiB));
+  const double total_rows =
+      static_cast<double>(build_tuples) + probe_tuples;
+
+  auto build = join::GenerateBuildRelation(build_tuples,
+                                           MemoryRegion::kUntrusted)
+                   .value();
+  auto probe = join::GenerateProbeRelation(probe_tuples, build_tuples,
+                                           MemoryRegion::kUntrusted)
+                   .value();
+
+  // More threads than cores still contends; the paper uses 16.
+  const int threads = std::max(4, bench::HostThreads(16));
+
+  core::TablePrinter table({"setting", "queue", "measured time",
+                            "measured throughput", "vs lock-free"});
+
+  perf::PhaseBreakdown sgx_lockfree_phases;
+  for (ExecutionSetting setting :
+       {ExecutionSetting::kPlainCpu,
+        ExecutionSetting::kSgxDataInEnclave}) {
+    double lockfree_tput = 0;
+    for (TaskQueueKind kind :
+         {TaskQueueKind::kLockFree, TaskQueueKind::kMutex}) {
+      join::JoinConfig cfg;
+      cfg.num_threads = threads;
+      cfg.flavor = KernelFlavor::kUnrolledReordered;
+      cfg.queue = kind;
+      cfg.setting = setting;
+      cfg.radix_bits = 16;  // 65536 tasks: heavy queue traffic
+      cfg.radix_passes = 2;
+
+      core::Measurement m = core::Repeat([&] {
+        join::JoinResult r = join::RhoJoin(build, probe, cfg).value();
+        if (setting == ExecutionSetting::kSgxDataInEnclave &&
+            kind == TaskQueueKind::kLockFree) {
+          sgx_lockfree_phases = r.phases;
+        }
+        return r.host_ns;
+      });
+      double tput = total_rows / (m.mean_ns * 1e-9);
+      if (kind == TaskQueueKind::kLockFree) lockfree_tput = tput;
+      table.AddRow({ExecutionSettingToString(setting),
+                    TaskQueueKindToString(kind),
+                    core::FormatNanos(m.mean_ns),
+                    core::FormatRowsPerSec(tput),
+                    core::FormatRel(tput / lockfree_tput)});
+    }
+  }
+  table.Print();
+  table.ExportCsv("fig10");
+
+  // --- Modeled at the paper's 16 threads -------------------------------
+  // With one core, threads rarely collide on the lock, so the measured
+  // contrast above is muted. On a 16-core machine nearly every pop of a
+  // tiny task contends: a parked waiter pays an OCALL round-trip plus the
+  // futex syscall, and the owner pays another OCALL to wake it — all
+  // serialized through the lock (the paper's avalanche effect).
+  {
+    const auto& cal = perf::CalibrationParams::Default();
+    const double tasks =
+        static_cast<double>(1u << 16) * 2;  // partition + join tasks
+    const double park_wake_ns =
+        (4.0 * cal.transition_cycles + cal.futex_syscall_cycles) /
+        cal.base_frequency_hz * 1e9;
+    double base_ns = core::ModeledReferenceNs(
+        bench::PaperScale(sgx_lockfree_phases),
+        ExecutionSetting::kSgxDataInEnclave, false, 16);
+    // The paper's 75% loss corresponds to the mutex join taking 4x the
+    // lock-free time; each park/wake costs four transitions + a futex.
+    double parks_for_paper_loss = 3.0 * base_ns / park_wake_ns;
+    std::printf(
+        "\n  at 16 threads (ref machine), the lock-free join models to "
+        "%s;\n  one mutex park/wake costs %s (4 transitions + futex), so "
+        "the paper's\n  75%% loss corresponds to only %.1f%% of the "
+        "%.0fk task pops parking —\n  the avalanche makes that fraction "
+        "self-amplifying under contention.\n",
+        core::FormatNanos(base_ns).c_str(),
+        core::FormatNanos(park_wake_ns).c_str(),
+        100.0 * parks_for_paper_loss / tasks, tasks / 1000.0);
+  }
+
+  sgx::TransitionStats stats = sgx::GetTransitionStats();
+  std::printf(
+      "  transitions injected during this bench: %llu ecalls, %llu "
+      "ocalls\n",
+      static_cast<unsigned long long>(stats.ecalls),
+      static_cast<unsigned long long>(stats.ocalls));
+  core::PrintNote(
+      "paper: inside the enclave the mutex-guarded queue loses 75% "
+      "throughput; the SDK mutex sleeps via OCALL and waking the next "
+      "owner stretches the critical section (avalanche effect).");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Figure 11: static vs dynamic enclave sizing with result
+// materialization — REAL execution.
+//
+// The RHO join materializes its output inside the enclave. In the static
+// configuration the enclave is pre-sized to fit everything; in the
+// dynamic configuration it starts minimal and every added 4 KiB page pays
+// the EAUG/EACCEPT cost, injected as a real delay by the simulator.
+//
+// Paper shape: the dynamically-growing enclave reaches only ~4.5% of the
+// statically-sized enclave's throughput.
+
+#include "bench_util.h"
+
+using namespace sgxb;
+
+int main() {
+  core::PrintExperimentHeader(
+      "Figure 11",
+      "static vs dynamic enclave sizing with materialization (real "
+      "EDMM delays)");
+  bench::PrintEnvironment();
+
+  const size_t build_tuples = BytesToTuples(core::ScaledBytes(50_MiB));
+  const size_t probe_tuples = BytesToTuples(core::ScaledBytes(200_MiB));
+  const double total_rows =
+      static_cast<double>(build_tuples) + probe_tuples;
+
+  auto build = join::GenerateBuildRelation(build_tuples,
+                                           MemoryRegion::kUntrusted)
+                   .value();
+  auto probe = join::GenerateProbeRelation(probe_tuples, build_tuples,
+                                           MemoryRegion::kUntrusted)
+                   .value();
+
+  // Intermediates (4x input) + output (12 B/match) + headroom.
+  const size_t worst_case_bytes =
+      4 * (build.size_bytes() + probe.size_bytes()) +
+      probe_tuples * sizeof(JoinOutputTuple) + 64_MiB;
+
+  core::TablePrinter table({"enclave sizing", "measured time",
+                            "throughput", "EDMM pages", "vs static"});
+  double static_tput = 0;
+
+  for (bool dynamic : {false, true}) {
+    // A fresh enclave per repetition: on hardware, every run of the
+    // experiment starts from a newly built enclave, so dynamic growth is
+    // paid every time.
+    uint64_t edmm_pages = 0;
+    core::Measurement m = core::Repeat([&] {
+      sgx::EnclaveConfig ecfg;
+      ecfg.dynamic = dynamic;
+      ecfg.initial_heap_bytes = dynamic ? 1_MiB : worst_case_bytes;
+      ecfg.max_heap_bytes = worst_case_bytes;
+      sgx::Enclave* enclave = sgx::Enclave::Create(ecfg).value();
+
+      join::JoinConfig cfg;
+      cfg.num_threads = bench::HostThreads(16);
+      cfg.flavor = KernelFlavor::kUnrolledReordered;
+      cfg.setting = ExecutionSetting::kSgxDataInEnclave;
+      cfg.enclave = enclave;
+      cfg.materialize = true;
+
+      // Wall time around the whole join call: dynamic growth also hits
+      // the intermediate-buffer allocations, which on hardware happen
+      // inside the measured query execution.
+      WallTimer timer;
+      join::JoinResult r = join::RhoJoin(build, probe, cfg).value();
+      double wall_ns = static_cast<double>(timer.ElapsedNanos());
+      (void)r;
+      edmm_pages = enclave->memory_stats().edmm_pages_added;
+      sgx::DestroyEnclave(enclave);
+      return wall_ns;
+    });
+    double tput = total_rows / (m.mean_ns * 1e-9);
+    if (!dynamic) static_tput = tput;
+
+    table.AddRow(
+        {dynamic ? "dynamic (EDMM growth)" : "static (pre-allocated)",
+         core::FormatNanos(m.mean_ns), core::FormatRowsPerSec(tput),
+         std::to_string(edmm_pages), core::FormatRel(tput / static_tput)});
+  }
+  table.Print();
+  table.ExportCsv("fig11");
+
+  core::PrintNote(
+      "paper: the join in a dynamically-growing enclave achieves only "
+      "4.5% of the statically-sized enclave's throughput — secure DBMSs "
+      "should pre-allocate enclave memory.");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Figure 12: single-threaded AVX-512 column scan by data size.
+//
+// Scanning the same uint8 column 1000 times (after warm-up), comparing
+// enclave code on enclave data, enclave code on plain data, and plain
+// CPU. Paper shape: identical while cache-resident; ~3% slowdown for
+// encrypted data beyond L3 (vs up to 75% on SGXv1).
+
+#include "bench_util.h"
+
+using namespace sgxb;
+
+int main() {
+  core::PrintExperimentHeader(
+      "Figure 12", "single-threaded SIMD scan, 3 settings, by size");
+  bench::PrintEnvironment();
+
+  core::TablePrinter table(
+      {"column size", "host GB/s (native, real)", "modeled Plain",
+       "modeled SGX-in", "modeled SGX-out", "SGX-in/native"});
+
+  for (size_t bytes : {64_KiB, 1_MiB, 8_MiB, 64_MiB,
+                       core::ScaledBytes(1_GiB)}) {
+    auto col = Column<uint8_t>::Allocate(bytes, MemoryRegion::kUntrusted)
+                   .value();
+    Xoshiro256 rng(3);
+    for (size_t i = 0; i < bytes; ++i) {
+      col[i] = static_cast<uint8_t>(rng.Next());
+    }
+    auto bv = BitVector::Allocate(bytes, MemoryRegion::kUntrusted).value();
+
+    // Work-normalized repetitions: ~1000 for cache-resident sizes as in
+    // the paper, fewer for large columns so the bench stays fast.
+    int reps = static_cast<int>(
+        std::max<size_t>(3, std::min<size_t>(1000, 256_MiB / bytes)));
+
+    scan::ScanConfig cfg;
+    cfg.lo = 32;
+    cfg.hi = 196;
+    cfg.num_threads = 1;
+    cfg.repetitions = reps;
+    // Warm-up (the paper does 10 warm-up scans).
+    scan::ScanConfig warm = cfg;
+    warm.repetitions = 3;
+    (void)scan::RunBitVectorScan(col, &bv, warm);
+
+    auto result = scan::RunBitVectorScan(col, &bv, cfg).value();
+    double host_gbps = result.profile.seq_read_bytes /
+                       (result.host_ns * 1e-9) / 1e9;
+
+    perf::PhaseStats phase;
+    phase.host_ns = result.host_ns;
+    phase.threads = 1;
+    phase.profile = result.profile;
+    perf::PhaseBreakdown bd;
+    bd.Add(phase);
+
+    double plain =
+        core::ModeledReferenceNs(bd, ExecutionSetting::kPlainCpu);
+    double sgx_in = core::ModeledReferenceNs(
+        bd, ExecutionSetting::kSgxDataInEnclave);
+    double sgx_out = core::ModeledReferenceNs(
+        bd, ExecutionSetting::kSgxDataOutsideEnclave);
+    auto gbps = [&](double ns) {
+      return core::FormatBytesPerSec(result.profile.seq_read_bytes /
+                                     (ns * 1e-9));
+    };
+    char host[32];
+    std::snprintf(host, sizeof(host), "%.2f", host_gbps);
+    table.AddRow({core::FormatBytes(static_cast<double>(bytes)), host,
+                  gbps(plain), gbps(sgx_in), gbps(sgx_out),
+                  core::FormatRel(plain / sgx_in)});
+  }
+  table.Print();
+  table.ExportCsv("fig12");
+
+  core::PrintNote(
+      "paper: no SGX-inherent overhead while cache-resident; ~3% for EPC "
+      "data beyond L3 (prefetching hides most of the decryption).");
+  return 0;
+}

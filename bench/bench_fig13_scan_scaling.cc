@@ -1,0 +1,71 @@
+// Figure 13: multi-threaded column scan scale-up.
+//
+// Scan throughput with 1..16 threads, SGX vs Plain CPU. Paper shape:
+// identical scaling in both settings; 16 cores reach the memory bandwidth
+// limit; the memory encryption engine is NOT a bottleneck.
+
+#include "bench_util.h"
+
+using namespace sgxb;
+
+int main() {
+  core::PrintExperimentHeader(
+      "Figure 13", "scan thread scaling, SGX vs native");
+  bench::PrintEnvironment();
+
+  const size_t bytes = core::ScaledBytes(4_GiB);
+  auto col =
+      Column<uint8_t>::Allocate(bytes, MemoryRegion::kUntrusted).value();
+  Xoshiro256 rng(5);
+  for (size_t i = 0; i < bytes; ++i) {
+    col[i] = static_cast<uint8_t>(rng.Next());
+  }
+  auto bv = BitVector::Allocate(bytes, MemoryRegion::kUntrusted).value();
+
+  core::TablePrinter table(
+      {"threads", "host GB/s (real)", "modeled Plain GB/s",
+       "modeled SGX-in GB/s", "SGX/native"});
+
+  for (int threads : {1, 2, 4, 8, 16}) {
+    scan::ScanConfig cfg;
+    cfg.lo = 64;
+    cfg.hi = 192;
+    cfg.num_threads = bench::HostThreads(threads);
+    auto result = scan::RunBitVectorScan(col, &bv, cfg).value();
+    double host_gbps =
+        bytes / (result.host_ns * 1e-9) / 1e9;
+
+    perf::PhaseStats phase;
+    phase.host_ns = result.host_ns;
+    phase.threads = threads;  // model at the paper's thread count
+    phase.profile = result.profile;
+    perf::PhaseBreakdown bd;
+    bd.Add(phase);
+
+    double plain = core::ModeledReferenceNs(
+        bd, ExecutionSetting::kPlainCpu, false, threads);
+    double sgx = core::ModeledReferenceNs(
+        bd, ExecutionSetting::kSgxDataInEnclave, false, threads);
+    char host[32];
+    std::snprintf(host, sizeof(host), "%.2f", host_gbps);
+    auto gbps = [&](double ns) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.1f", bytes / (ns * 1e-9) / 1e9);
+      return std::string(buf);
+    };
+    table.AddRow({std::to_string(threads), host, gbps(plain), gbps(sgx),
+                  core::FormatRel(plain / sgx)});
+  }
+  table.Print();
+  table.ExportCsv("fig13");
+
+  core::PrintNote(
+      "paper: scaling is equal inside and outside the enclave; with 16 "
+      "threads the scan hits the DRAM bandwidth limit in both settings — "
+      "no bottleneck in the memory encryption engine.");
+  core::PrintNote(
+      "host column shows real execution on this machine (thread counts "
+      "capped by available cores); modeled columns are the Table 1 "
+      "reference machine.");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 16: cross-NUMA column scan throughput.
+//
+// Three settings over 1..16 threads: NUMA-local plain CPU scan,
+// cross-NUMA plain CPU scan, and a cross-NUMA scan over encrypted data in
+// an SGXv2 enclave (UPI traffic is additionally encrypted).
+//
+// Paper shape: cross-NUMA throughput saturates at the 67.2 GB/s UPI
+// limit with 8-16 threads; the SGX cross-NUMA scan reaches 77% of plain
+// cross-NUMA at 1 thread, improving to 96% at 16 threads where the link
+// itself is the bottleneck.
+
+#include "bench_util.h"
+
+using namespace sgxb;
+
+int main() {
+  core::PrintExperimentHeader(
+      "Figure 16", "cross-NUMA scan: local vs remote vs remote+SGX");
+  bench::PrintEnvironment();
+
+  // Validate the scan code path once on the host, then evaluate the NUMA
+  // machine model (this VM has a single socket, see DESIGN.md).
+  const size_t bytes = core::ScaledBytes(2_GiB);
+  auto col =
+      Column<uint8_t>::Allocate(bytes, MemoryRegion::kUntrusted).value();
+  Xoshiro256 rng(29);
+  for (size_t i = 0; i < bytes; ++i) {
+    col[i] = static_cast<uint8_t>(rng.Next());
+  }
+  auto bv = BitVector::Allocate(bytes, MemoryRegion::kUntrusted).value();
+  scan::ScanConfig cfg;
+  cfg.lo = 16;
+  cfg.hi = 240;
+  cfg.num_threads = bench::HostThreads(16);
+  auto result = scan::RunBitVectorScan(col, &bv, cfg).value();
+
+  perf::PhaseStats phase;
+  phase.host_ns = result.host_ns;
+  phase.profile = result.profile;
+  perf::PhaseBreakdown bd;
+  bd.Add(phase);
+
+  core::TablePrinter table({"threads", "local plain GB/s",
+                            "cross-NUMA plain GB/s",
+                            "cross-NUMA SGX GB/s", "SGX/plain remote"});
+  for (int threads : {1, 2, 4, 8, 16}) {
+    double local = core::ModeledReferenceNs(
+        bd, ExecutionSetting::kPlainCpu, false, threads);
+    double remote = core::ModeledReferenceNs(
+        bd, ExecutionSetting::kPlainCpu, true, threads);
+    double remote_sgx = core::ModeledReferenceNs(
+        bd, ExecutionSetting::kSgxDataInEnclave, true, threads);
+    auto gbps = [&](double ns) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.1f", bytes / (ns * 1e-9) / 1e9);
+      return std::string(buf);
+    };
+    table.AddRow({std::to_string(threads), gbps(local), gbps(remote),
+                  gbps(remote_sgx), core::FormatRel(remote / remote_sgx)});
+  }
+  table.Print();
+  table.ExportCsv("fig16");
+
+  std::printf(
+      "  host validation: real 16-way scan delivered %.2f GB/s and "
+      "counted %llu matches\n",
+      bytes / (result.host_ns * 1e-9) / 1e9,
+      static_cast<unsigned long long>(result.matches));
+  core::PrintNote(
+      "paper: UPI encryption costs 23% at 1 thread, shrinking to 4% once "
+      "the 67.2 GB/s UPI link saturates (8-16 threads).");
+  return 0;
+}

@@ -1,0 +1,212 @@
+// Google-benchmark micro-benchmarks of the performance-critical kernels:
+// histogram flavours, scan kernels, task queues, B+-tree probes, and the
+// simulated enclave transition itself. These complement the figure
+// benches with statistically robust per-kernel numbers.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/sgxbench.h"
+#include "sync/lockfree_queue.h"
+#include "sync/locked_queue.h"
+
+namespace sgxb {
+namespace {
+
+std::vector<Tuple> MakeTuples(size_t n) {
+  Xoshiro256 rng(1);
+  std::vector<Tuple> data(n);
+  for (size_t i = 0; i < n; ++i) {
+    data[i].key = static_cast<uint32_t>(rng.Next());
+    data[i].payload = static_cast<uint32_t>(i);
+  }
+  return data;
+}
+
+void BM_HistogramReference(benchmark::State& state) {
+  const size_t n = 1 << 20;
+  auto data = MakeTuples(n);
+  const uint32_t mask = (1u << state.range(0)) - 1;
+  std::vector<uint32_t> hist(1u << state.range(0));
+  for (auto _ : state) {
+    std::fill(hist.begin(), hist.end(), 0);
+    join::HistogramReference(data.data(), n, mask, 0, hist.data());
+    benchmark::DoNotOptimize(hist.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_HistogramReference)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_HistogramUnrolled(benchmark::State& state) {
+  const size_t n = 1 << 20;
+  auto data = MakeTuples(n);
+  const uint32_t mask = (1u << state.range(0)) - 1;
+  std::vector<uint32_t> hist(1u << state.range(0));
+  for (auto _ : state) {
+    std::fill(hist.begin(), hist.end(), 0);
+    join::HistogramUnrolled(data.data(), n, mask, 0, hist.data());
+    benchmark::DoNotOptimize(hist.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_HistogramUnrolled)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_ScanBitVector(benchmark::State& state) {
+  const size_t n = 1 << 22;
+  std::vector<uint8_t> data(n);
+  Xoshiro256 rng(2);
+  for (auto& v : data) v = static_cast<uint8_t>(rng.Next());
+  std::vector<uint64_t> words(n / 64 + 1);
+  auto kernel = scan::PickBitVectorKernel(
+      static_cast<SimdLevel>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kernel(data.data(), n, 32, 200, words.data()));
+  }
+  state.SetBytesProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ScanBitVector)
+    ->Arg(static_cast<int>(SimdLevel::kScalar))
+    ->Arg(static_cast<int>(SimdLevel::kAvx2))
+    ->Arg(static_cast<int>(SimdLevel::kAvx512));
+
+void BM_ScanRowIds(benchmark::State& state) {
+  const size_t n = 1 << 22;
+  std::vector<uint8_t> data(n);
+  Xoshiro256 rng(3);
+  for (auto& v : data) v = static_cast<uint8_t>(rng.Next());
+  std::vector<uint64_t> ids(n);
+  auto kernel =
+      scan::PickRowIdKernel(static_cast<SimdLevel>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kernel(data.data(), n, 100, 150, 0, ids.data()));
+  }
+  state.SetBytesProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ScanRowIds)
+    ->Arg(static_cast<int>(SimdLevel::kScalar))
+    ->Arg(static_cast<int>(SimdLevel::kAvx512));
+
+void BM_ScanRowIdsCompress(benchmark::State& state) {
+  const size_t n = 1 << 22;
+  std::vector<uint8_t> data(n);
+  Xoshiro256 rng(3);
+  for (auto& v : data) v = static_cast<uint8_t>(rng.Next());
+  std::vector<uint64_t> ids(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scan::ScanRowIdsAvx512Compress(
+        data.data(), n, 100, 150, 0, ids.data()));
+  }
+  state.SetBytesProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ScanRowIdsCompress);
+
+void BM_PackedScan(benchmark::State& state) {
+  const size_t n = 1 << 22;
+  auto col =
+      Column<uint32_t>::Allocate(n, MemoryRegion::kUntrusted).value();
+  Xoshiro256 rng(9);
+  for (size_t i = 0; i < n; ++i) {
+    col[i] = static_cast<uint32_t>(rng.NextBounded(128));
+  }
+  auto packed =
+      scan::PackedColumn::Pack(col, static_cast<int>(state.range(0)))
+          .value();
+  auto bv = BitVector::Allocate(n, MemoryRegion::kUntrusted).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scan::PackedScan(packed, 10, 60, &bv));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PackedScan)->Arg(7)->Arg(15);
+
+void BM_SealUnseal(benchmark::State& state) {
+  std::vector<uint8_t> data(1 << 20);
+  Xoshiro256 rng(4);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.Next());
+  for (auto _ : state) {
+    auto blob = sgx::Seal(data.data(), data.size(), 42).value();
+    auto out = sgx::Unseal(blob, 42);
+    benchmark::DoNotOptimize(out.ok());
+  }
+  state.SetBytesProcessed(state.iterations() * data.size() * 2);
+}
+BENCHMARK(BM_SealUnseal);
+
+void BM_ZipfNext(benchmark::State& state) {
+  ZipfGenerator zipf(1 << 20, 0.9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Next());
+  }
+}
+BENCHMARK(BM_ZipfNext);
+
+void BM_LockFreeQueue(benchmark::State& state) {
+  LockFreeTaskQueue queue(1024);
+  uint64_t v;
+  for (auto _ : state) {
+    queue.Push(7);
+    queue.TryPop(&v);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_LockFreeQueue);
+
+void BM_MutexQueue(benchmark::State& state) {
+  MutexTaskQueue queue;
+  uint64_t v;
+  for (auto _ : state) {
+    queue.Push(7);
+    queue.TryPop(&v);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_MutexQueue);
+
+void BM_BTreeProbe(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<std::pair<uint32_t, uint32_t>> entries;
+  entries.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    entries.emplace_back(static_cast<uint32_t>(i * 2),
+                         static_cast<uint32_t>(i));
+  }
+  auto tree = index::BTree::BulkLoad(entries).value();
+  Xoshiro256 rng(4);
+  for (auto _ : state) {
+    uint32_t key = static_cast<uint32_t>(rng.NextBounded(n * 2));
+    benchmark::DoNotOptimize(tree.ForEachMatch(key, [](uint32_t) {}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeProbe)->Arg(1 << 14)->Arg(1 << 20);
+
+void BM_EnclaveTransition(benchmark::State& state) {
+  for (auto _ : state) {
+    sgx::ScopedEcall ecall;
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EnclaveTransition);
+
+void BM_InCacheJoin(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto build = MakeTuples(n);
+  auto probe = MakeTuples(4 * n);
+  join::InCacheJoinScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(join::InCachePartitionJoin(
+        build.data(), n, probe.data(), 4 * n,
+        KernelFlavor::kUnrolledReordered, &scratch));
+  }
+  state.SetItemsProcessed(state.iterations() * 5 * n);
+}
+BENCHMARK(BM_InCacheJoin)->Arg(1 << 10)->Arg(1 << 14);
+
+}  // namespace
+}  // namespace sgxb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// Table 1: the benchmark hardware.
+//
+// Prints the paper's reference machine (which the cost model simulates)
+// next to the actual host, making every substitution explicit.
+
+#include "bench_util.h"
+
+int main() {
+  using namespace sgxb;
+  core::PrintExperimentHeader(
+      "Table 1", "benchmark hardware (reference machine vs this host)");
+
+  const perf::CalibrationParams& p =
+      perf::MachineModel::Reference().params();
+  const CpuInfo& host = CpuInfo::Host();
+
+  core::TablePrinter table({"property", "paper (modeled)", "this host"});
+  table.AddRow({"Processor", "Intel Xeon Gold 6326",
+                host.model_name});
+  table.AddRow({"Sockets", std::to_string(p.sockets), "1 (assumed)"});
+  table.AddRow({"Cores per socket", std::to_string(p.cores_per_socket),
+                std::to_string(host.logical_cores)});
+  table.AddRow({"Base frequency",
+                std::to_string(p.base_frequency_hz / 1e9) + " GHz",
+                "(see /proc/cpuinfo)"});
+  table.AddRow({"L1d per core", core::FormatBytes(p.l1d_bytes),
+                core::FormatBytes(host.l1d_bytes)});
+  table.AddRow({"L2 per core", core::FormatBytes(p.l2_bytes),
+                core::FormatBytes(host.l2_bytes)});
+  table.AddRow({"L3 per socket", core::FormatBytes(p.l3_bytes),
+                core::FormatBytes(host.l3_bytes)});
+  table.AddRow({"Memory per socket",
+                core::FormatBytes(p.dram_per_socket_bytes), "-"});
+  table.AddRow({"EPC per socket",
+                core::FormatBytes(p.epc_per_socket_bytes),
+                "simulated"});
+  table.AddRow({"Node read bandwidth",
+                core::FormatBytesPerSec(p.node_read_bandwidth),
+                "modeled"});
+  table.AddRow({"UPI bandwidth",
+                core::FormatBytesPerSec(p.upi_bandwidth), "modeled"});
+  table.AddRow({"SIMD", "AVX-512", SimdLevelToString(host.max_simd)});
+  table.Print();
+
+  core::PrintNote(
+      "the paper's machine is a dual-socket SGXv2 Ice Lake server; this "
+      "reproduction has no SGX hardware, so SGX effects are modeled "
+      "(see DESIGN.md) and enclave transitions/EDMM are injected.");
+  sgxb::bench::PrintEnvironment();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Scenario: a columnar engine evaluating a range predicate with the
+// SIMD scan, inside and outside the enclave.
+//
+// Demonstrates the scan API: bit-vector output for selection vectors,
+// row-id materialization for gather-based plans, SIMD level dispatch, and
+// the (small) SGX overhead the paper measures for streaming scans.
+//
+//   $ ./build/examples/scan_filter [column_mib]
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/sgxbench.h"
+
+using namespace sgxb;
+
+int main(int argc, char** argv) {
+  size_t mib = 64;
+  if (argc > 1) {
+    long parsed = std::atol(argv[1]);
+    if (parsed <= 0 || parsed > 4096) {
+      std::fprintf(stderr, "usage: %s [column_mib in 1..4096]\n", argv[0]);
+      return 1;
+    }
+    mib = static_cast<size_t>(parsed);
+  }
+  const size_t n = mib * 1_MiB;
+
+  std::printf("scan_filter: SELECT count(*) WHERE 32 <= v <= 196\n");
+  std::printf("=================================================\n");
+  std::printf("column: %zu MiB of uint8 values | host SIMD: %s\n\n", mib,
+              SimdLevelToString(scan::BestSupportedSimdLevel()));
+
+  auto col = Column<uint8_t>::Allocate(n, MemoryRegion::kEnclave).value();
+  Xoshiro256 rng(2026);
+  for (size_t i = 0; i < n; ++i) {
+    col[i] = static_cast<uint8_t>(rng.Next());
+  }
+
+  // --- Bit-vector output at every SIMD level. ---------------------------
+  auto bv = BitVector::Allocate(n, MemoryRegion::kEnclave).value();
+  for (SimdLevel level :
+       {SimdLevel::kScalar, SimdLevel::kAvx2, SimdLevel::kAvx512}) {
+    scan::ScanConfig cfg;
+    cfg.lo = 32;
+    cfg.hi = 196;
+    cfg.simd = level;
+    cfg.num_threads = std::min(4, CpuInfo::Host().logical_cores);
+    auto result = scan::RunBitVectorScan(col, &bv, cfg).value();
+    std::printf("  %-8s %8.2f GB/s  -> %llu matches (%.1f%%)\n",
+                SimdLevelToString(level),
+                n / (result.host_ns * 1e-9) / 1e9,
+                static_cast<unsigned long long>(result.matches),
+                100.0 * result.matches / n);
+  }
+
+  // --- Row-id output + the modeled SGX cost. ----------------------------
+  std::vector<uint64_t> ids(n);
+  uint64_t count = 0;
+  scan::ScanConfig cfg;
+  cfg.lo = 32;
+  cfg.hi = 196;
+  cfg.num_threads = std::min(4, CpuInfo::Host().logical_cores);
+  auto result = scan::RunRowIdScan(col, ids.data(), &count, cfg).value();
+
+  perf::PhaseStats phase;
+  phase.host_ns = result.host_ns;
+  phase.threads = result.threads;
+  phase.profile = result.profile;
+  std::printf(
+      "\n  row-id materialization: %llu ids, first=%llu last=%llu\n",
+      static_cast<unsigned long long>(count),
+      static_cast<unsigned long long>(ids[0]),
+      static_cast<unsigned long long>(ids[count - 1]));
+  std::printf(
+      "  modeled SGX cost for this scan: x%.3f in-enclave "
+      "(paper: ~1.03 beyond cache)\n",
+      core::PhaseSlowdown(phase, ExecutionSetting::kSgxDataInEnclave));
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Scenario: an analytical DBMS operator deciding whether to move a
+// reporting workload into SGXv2 enclaves.
+//
+// Runs the paper's four TPC-H queries at a small scale factor, natively
+// and inside a simulated enclave (with and without the SGXv2
+// optimizations), and prints the overhead a production deployment should
+// expect. This is the paper's Section 6 experiment dressed as an
+// application.
+//
+//   $ ./build/examples/secure_analytics [scale_factor]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/sgxbench.h"
+
+using namespace sgxb;
+
+int main(int argc, char** argv) {
+  double sf = 0.05;
+  if (argc > 1) {
+    sf = std::atof(argv[1]);
+    if (sf <= 0) {
+      std::fprintf(stderr, "usage: %s [scale_factor > 0]\n", argv[0]);
+      return 1;
+    }
+  }
+
+  std::printf("secure_analytics: should we move reporting into SGXv2?\n");
+  std::printf("======================================================\n");
+  std::printf("generating TPC-H data at SF %.2f ...\n", sf);
+
+  tpch::GenConfig gen;
+  gen.scale_factor = sf;
+  auto db_result = tpch::Generate(gen);
+  if (!db_result.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 db_result.status().ToString().c_str());
+    return 1;
+  }
+  tpch::TpchDb db = std::move(db_result).value();
+  std::printf("  customer %zu | orders %zu | lineitem %zu | part %zu\n\n",
+              db.customer.num_rows, db.orders.num_rows,
+              db.lineitem.num_rows, db.part.num_rows);
+
+  sgx::EnclaveConfig ecfg;
+  ecfg.initial_heap_bytes = 512_MiB;  // pre-sized: the paper's advice
+  sgx::Enclave* enclave = sgx::Enclave::Create(ecfg).value();
+
+  core::TablePrinter table({"query", "rows", "native",
+                            "enclave (naive port)",
+                            "enclave (SGXv2-optimized)", "overhead"});
+
+  double total_native = 0, total_opt = 0;
+  for (int query : {3, 10, 12, 19}) {
+    tpch::QueryConfig cfg;
+    cfg.num_threads = std::min(4, CpuInfo::Host().logical_cores);
+    cfg.enclave = enclave;
+    cfg.radix_bits = 10;
+
+    cfg.flavor = KernelFlavor::kUnrolledReordered;
+    auto opt = tpch::RunQuery(query, db, cfg);
+    cfg.flavor = KernelFlavor::kReference;
+    auto naive = tpch::RunQuery(query, db, cfg);
+    if (!opt.ok() || !naive.ok()) {
+      std::fprintf(stderr, "query %d failed\n", query);
+      return 1;
+    }
+
+    double native = core::HostScaledNs(opt.value().phases,
+                                       ExecutionSetting::kPlainCpu);
+    double enclave_naive = core::HostScaledNs(
+        naive.value().phases, ExecutionSetting::kSgxDataInEnclave);
+    double enclave_opt = core::HostScaledNs(
+        opt.value().phases, ExecutionSetting::kSgxDataInEnclave);
+    total_native += native;
+    total_opt += enclave_opt;
+
+    char overhead[32];
+    std::snprintf(overhead, sizeof(overhead), "+%.0f%%",
+                  (enclave_opt / native - 1.0) * 100.0);
+    table.AddRow({"Q" + std::to_string(query),
+                  std::to_string(opt.value().count),
+                  core::FormatNanos(native),
+                  core::FormatNanos(enclave_naive),
+                  core::FormatNanos(enclave_opt), overhead});
+  }
+  table.Print();
+
+  std::printf(
+      "\nverdict: with cache-conscious operators, lock-free task queues "
+      "and\npre-sized enclaves, the reporting suite costs +%.0f%% inside "
+      "SGXv2 —\nthe paper's finding that near-native secure analytics is "
+      "feasible.\n",
+      (total_opt / total_native - 1.0) * 100.0);
+
+  sgx::DestroyEnclave(enclave);
+  return 0;
+}

@@ -1,0 +1,91 @@
+#include "common/aligned_buffer.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace sgxb {
+
+namespace {
+std::atomic<size_t> g_untrusted_bytes{0};
+std::atomic<size_t> g_enclave_bytes{0};
+
+std::atomic<size_t>& CounterFor(MemoryRegion region) {
+  return region == MemoryRegion::kEnclave ? g_enclave_bytes
+                                          : g_untrusted_bytes;
+}
+}  // namespace
+
+AlignedBuffer::~AlignedBuffer() { Reset(); }
+
+AlignedBuffer::AlignedBuffer(AlignedBuffer&& other) noexcept
+    : data_(other.data_),
+      size_(other.size_),
+      region_(other.region_),
+      numa_node_(other.numa_node_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+AlignedBuffer& AlignedBuffer::operator=(AlignedBuffer&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    data_ = other.data_;
+    size_ = other.size_;
+    region_ = other.region_;
+    numa_node_ = other.numa_node_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+Result<AlignedBuffer> AlignedBuffer::Allocate(size_t bytes,
+                                              MemoryRegion region,
+                                              int numa_node,
+                                              size_t alignment) {
+  if (alignment < kCacheLineSize || (alignment & (alignment - 1)) != 0) {
+    return Status::InvalidArgument("alignment must be a power of two >= 64");
+  }
+  if (bytes == 0) {
+    return AlignedBuffer(nullptr, 0, region, numa_node);
+  }
+  // Round the size up to the alignment so that SIMD kernels may read a full
+  // final vector without faulting.
+  size_t padded = (bytes + alignment - 1) & ~(alignment - 1);
+  void* p = std::aligned_alloc(alignment, padded);
+  if (p == nullptr) {
+    return Status::OutOfMemory("aligned_alloc of " + std::to_string(padded) +
+                               " bytes failed");
+  }
+  CounterFor(region).fetch_add(bytes, std::memory_order_relaxed);
+  return AlignedBuffer(p, bytes, region, numa_node);
+}
+
+Result<AlignedBuffer> AlignedBuffer::AllocateZeroed(size_t bytes,
+                                                    MemoryRegion region,
+                                                    int numa_node,
+                                                    size_t alignment) {
+  auto r = Allocate(bytes, region, numa_node, alignment);
+  if (r.ok() && r.value().data() != nullptr) {
+    std::memset(r.value().data(), 0, bytes);
+  }
+  return r;
+}
+
+void AlignedBuffer::Reset() {
+  if (data_ != nullptr) {
+    CounterFor(region_).fetch_sub(size_, std::memory_order_relaxed);
+    std::free(data_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+RegionUsage GetRegionUsage() {
+  return RegionUsage{g_untrusted_bytes.load(std::memory_order_relaxed),
+                     g_enclave_bytes.load(std::memory_order_relaxed)};
+}
+
+}  // namespace sgxb

@@ -1,0 +1,84 @@
+// Cache-line-aligned, region-tagged memory buffers.
+//
+// All operator inputs, hash tables, and outputs are allocated through
+// AlignedBuffer so that (a) SIMD kernels can rely on 64-byte alignment and
+// (b) each buffer carries the MemoryRegion and NUMA node it was (logically)
+// placed in, which the cost model uses to charge SGX/NUMA overheads.
+
+#ifndef SGXB_COMMON_ALIGNED_BUFFER_H_
+#define SGXB_COMMON_ALIGNED_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace sgxb {
+
+/// \brief An owning, cache-line-aligned byte buffer tagged with its
+/// (simulated) memory placement.
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+  ~AlignedBuffer();
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+  AlignedBuffer(AlignedBuffer&& other) noexcept;
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept;
+
+  /// \brief Allocates `bytes` bytes aligned to `alignment` (a power of two,
+  /// at least kCacheLineSize). The memory is NOT zero-initialized.
+  static Result<AlignedBuffer> Allocate(size_t bytes,
+                                        MemoryRegion region,
+                                        int numa_node = 0,
+                                        size_t alignment = kCacheLineSize);
+
+  /// \brief Allocates and zero-fills.
+  static Result<AlignedBuffer> AllocateZeroed(size_t bytes,
+                                              MemoryRegion region,
+                                              int numa_node = 0,
+                                              size_t alignment =
+                                                  kCacheLineSize);
+
+  void* data() { return data_; }
+  const void* data() const { return data_; }
+  template <typename T>
+  T* As() {
+    return static_cast<T*>(data_);
+  }
+  template <typename T>
+  const T* As() const {
+    return static_cast<const T*>(data_);
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  MemoryRegion region() const { return region_; }
+  int numa_node() const { return numa_node_; }
+
+  /// \brief Releases the memory and resets to the empty state.
+  void Reset();
+
+ private:
+  AlignedBuffer(void* data, size_t size, MemoryRegion region, int numa_node)
+      : data_(data), size_(size), region_(region), numa_node_(numa_node) {}
+
+  void* data_ = nullptr;
+  size_t size_ = 0;
+  MemoryRegion region_ = MemoryRegion::kUntrusted;
+  int numa_node_ = 0;
+};
+
+/// \brief Running total of bytes currently allocated per memory region;
+/// used by tests and by the enclave EPC accounting.
+struct RegionUsage {
+  size_t untrusted_bytes;
+  size_t enclave_bytes;
+};
+RegionUsage GetRegionUsage();
+
+}  // namespace sgxb
+
+#endif  // SGXB_COMMON_ALIGNED_BUFFER_H_

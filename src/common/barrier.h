@@ -1,0 +1,70 @@
+// Reusable thread barrier.
+//
+// The multi-threaded join implementations follow the TEEBench/radix-join
+// structure: every worker runs the whole join pipeline and synchronizes at
+// phase boundaries with a barrier (the original code uses
+// pthread_barrier_t). We use a blocking (mutex + condvar) barrier rather
+// than a spin barrier so the suite also behaves well on oversubscribed
+// machines, e.g. CI boxes with fewer cores than worker threads.
+
+#ifndef SGXB_COMMON_BARRIER_H_
+#define SGXB_COMMON_BARRIER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+namespace sgxb {
+
+class Barrier {
+ public:
+  explicit Barrier(int num_threads) : threshold_(num_threads) {}
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// \brief Blocks until `num_threads` threads have arrived. Returns true
+  /// for exactly one thread per generation (the "serial" thread), which can
+  /// be used to run a single-threaded epilogue, mirroring
+  /// PTHREAD_BARRIER_SERIAL_THREAD.
+  bool Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    uint64_t gen = generation_;
+    if (++count_ == threshold_) {
+      ++generation_;
+      count_ = 0;
+      cv_.notify_all();
+      return true;
+    }
+    cv_.wait(lock, [&] { return generation_ != gen; });
+    return false;
+  }
+
+  /// \brief Like Wait(), but the last-arriving thread runs `on_release`
+  /// while all others are still blocked. Useful for single-threaded steps
+  /// (e.g. prefix sums) between parallel phases.
+  void WaitThen(const std::function<void()>& on_release) {
+    std::unique_lock<std::mutex> lock(mu_);
+    uint64_t gen = generation_;
+    if (++count_ == threshold_) {
+      on_release();
+      ++generation_;
+      count_ = 0;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [&] { return generation_ != gen; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  const int threshold_;
+  int count_ = 0;
+  uint64_t generation_ = 0;
+};
+
+}  // namespace sgxb
+
+#endif  // SGXB_COMMON_BARRIER_H_

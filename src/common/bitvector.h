@@ -1,0 +1,60 @@
+// Dense bit vector used as the output of predicate scans.
+//
+// The paper's SIMD scan stores one result bit per scanned value
+// (Section 5); BitVector is that output buffer, with word-level access so
+// AVX-512 kernels can write 64 comparison results with a single store.
+
+#ifndef SGXB_COMMON_BITVECTOR_H_
+#define SGXB_COMMON_BITVECTOR_H_
+
+#include <cstdint>
+
+#include "common/aligned_buffer.h"
+#include "common/status.h"
+
+namespace sgxb {
+
+class BitVector {
+ public:
+  BitVector() = default;
+
+  /// \brief Allocates a zeroed bit vector holding `num_bits` bits.
+  static Result<BitVector> Allocate(size_t num_bits, MemoryRegion region,
+                                    int numa_node = 0) {
+    size_t words = (num_bits + 63) / 64;
+    auto buf = AlignedBuffer::AllocateZeroed(words * sizeof(uint64_t),
+                                             region, numa_node);
+    if (!buf.ok()) return buf.status();
+    BitVector bv;
+    bv.buffer_ = std::move(buf).value();
+    bv.num_bits_ = num_bits;
+    return bv;
+  }
+
+  size_t num_bits() const { return num_bits_; }
+  size_t num_words() const { return (num_bits_ + 63) / 64; }
+  uint64_t* words() { return buffer_.As<uint64_t>(); }
+  const uint64_t* words() const { return buffer_.As<uint64_t>(); }
+
+  bool Get(size_t i) const {
+    return (words()[i >> 6] >> (i & 63)) & 1u;
+  }
+  void Set(size_t i) { words()[i >> 6] |= (uint64_t{1} << (i & 63)); }
+  void Clear(size_t i) { words()[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+
+  /// \brief Number of set bits.
+  uint64_t CountOnes() const {
+    uint64_t n = 0;
+    const uint64_t* w = words();
+    for (size_t i = 0; i < num_words(); ++i) n += __builtin_popcountll(w[i]);
+    return n;
+  }
+
+ private:
+  AlignedBuffer buffer_;
+  size_t num_bits_ = 0;
+};
+
+}  // namespace sgxb
+
+#endif  // SGXB_COMMON_BITVECTOR_H_

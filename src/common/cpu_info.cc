@@ -1,0 +1,98 @@
+#include "common/cpu_info.h"
+
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/types.h"
+
+namespace sgxb {
+
+const char* SimdLevelToString(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "AVX2";
+    case SimdLevel::kAvx512:
+      return "AVX-512";
+  }
+  return "unknown";
+}
+
+namespace {
+
+size_t ReadCacheSize(int index, size_t fallback) {
+  std::ifstream f("/sys/devices/system/cpu/cpu0/cache/index" +
+                  std::to_string(index) + "/size");
+  if (!f.is_open()) return fallback;
+  std::string s;
+  f >> s;
+  if (s.empty()) return fallback;
+  size_t mult = 1;
+  char suffix = s.back();
+  if (suffix == 'K' || suffix == 'k') {
+    mult = 1_KiB;
+    s.pop_back();
+  } else if (suffix == 'M' || suffix == 'm') {
+    mult = 1_MiB;
+    s.pop_back();
+  }
+  try {
+    return static_cast<size_t>(std::stoull(s)) * mult;
+  } catch (...) {
+    return fallback;
+  }
+}
+
+std::string ReadModelName() {
+  std::ifstream f("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(f, line)) {
+    auto pos = line.find("model name");
+    if (pos != std::string::npos) {
+      auto colon = line.find(':');
+      if (colon != std::string::npos && colon + 2 <= line.size()) {
+        return line.substr(colon + 2);
+      }
+    }
+  }
+  return "unknown";
+}
+
+SimdLevel DetectSimd() {
+#if defined(__x86_64__)
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512bw")) {
+    return SimdLevel::kAvx512;
+  }
+  if (__builtin_cpu_supports("avx2")) {
+    return SimdLevel::kAvx2;
+  }
+#endif
+  return SimdLevel::kScalar;
+}
+
+CpuInfo Detect() {
+  CpuInfo info;
+  info.model_name = ReadModelName();
+  info.logical_cores =
+      static_cast<int>(std::thread::hardware_concurrency());
+  if (info.logical_cores <= 0) info.logical_cores = 1;
+  // Sysfs cache indexes on x86: 0 = L1d, 1 = L1i, 2 = L2, 3 = L3.
+  info.l1d_bytes = ReadCacheSize(0, 32_KiB);
+  info.l2_bytes = ReadCacheSize(2, 1_MiB);
+  info.l3_bytes = ReadCacheSize(3, 32_MiB);
+  info.max_simd = DetectSimd();
+  return info;
+}
+
+}  // namespace
+
+const CpuInfo& CpuInfo::Host() {
+  static const CpuInfo kInfo = Detect();
+  return kInfo;
+}
+
+}  // namespace sgxb

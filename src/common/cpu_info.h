@@ -1,0 +1,38 @@
+// Host CPU introspection: cache sizes, SIMD capabilities, core count.
+//
+// Used to (a) pick runtime-dispatched scan kernels, and (b) compare the
+// host against the paper's reference machine (Table 1) in reports.
+
+#ifndef SGXB_COMMON_CPU_INFO_H_
+#define SGXB_COMMON_CPU_INFO_H_
+
+#include <cstddef>
+#include <string>
+
+namespace sgxb {
+
+/// \brief SIMD instruction-set levels the scan kernels can target.
+enum class SimdLevel {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+};
+
+const char* SimdLevelToString(SimdLevel level);
+
+/// \brief Host CPU properties, detected once at startup.
+struct CpuInfo {
+  std::string model_name;
+  int logical_cores;
+  size_t l1d_bytes;
+  size_t l2_bytes;
+  size_t l3_bytes;
+  SimdLevel max_simd;
+
+  /// \brief Detected properties of the machine we are running on.
+  static const CpuInfo& Host();
+};
+
+}  // namespace sgxb
+
+#endif  // SGXB_COMMON_CPU_INFO_H_

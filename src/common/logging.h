@@ -1,0 +1,58 @@
+// Minimal leveled logging to stderr.
+//
+// Kept deliberately tiny: benchmarks must not have logging in hot paths,
+// so this is only used for setup/teardown diagnostics and fatal errors.
+
+#ifndef SGXB_COMMON_LOGGING_H_
+#define SGXB_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace sgxb {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Global minimum level; messages below it are dropped. Defaults to
+/// kInfo, override with the SGXBENCH_LOG_LEVEL env var (0-3).
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+void EmitLog(LogLevel level, const char* file, int line,
+             const std::string& msg);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { EmitLog(level_, file_, line_, stream_.str()); }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+#define SGXB_LOG(level)                                                  \
+  if (::sgxb::LogLevel::level < ::sgxb::GetLogLevel()) {                 \
+  } else                                                                 \
+    ::sgxb::internal::LogMessage(::sgxb::LogLevel::level, __FILE__,      \
+                                 __LINE__)                               \
+        .stream()
+
+#define SGXB_CHECK(cond)                                                   \
+  if (cond) {                                                              \
+  } else                                                                   \
+    ::sgxb::internal::LogMessage(::sgxb::LogLevel::kError, __FILE__,       \
+                                 __LINE__)                                 \
+        .stream()                                                          \
+        << "Check failed: " #cond " "
+
+}  // namespace sgxb
+
+#endif  // SGXB_COMMON_LOGGING_H_

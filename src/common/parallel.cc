@@ -1,0 +1,44 @@
+#include "common/parallel.h"
+
+#include <pthread.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/cpu_info.h"
+
+namespace sgxb {
+
+namespace {
+
+void MaybePin(std::thread& t, int core) {
+  if (core >= CpuInfo::Host().logical_cores) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(core, &set);
+  // Best effort: pinning failures (e.g. restricted cpusets) are not fatal.
+  pthread_setaffinity_np(t.native_handle(), sizeof(set), &set);
+}
+
+}  // namespace
+
+Status ParallelRun(int num_threads, const std::function<void(int)>& fn,
+                   const ThreadPlacement& placement) {
+  if (num_threads <= 0) {
+    return Status::InvalidArgument("num_threads must be positive");
+  }
+  if (num_threads == 1) {
+    fn(0);
+    return Status::OK();
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (int tid = 0; tid < num_threads; ++tid) {
+    threads.emplace_back([&fn, tid] { fn(tid); });
+    if (placement.pin_threads) MaybePin(threads.back(), tid);
+  }
+  for (auto& t : threads) t.join();
+  return Status::OK();
+}
+
+}  // namespace sgxb

@@ -1,0 +1,49 @@
+// Fork-join helpers for multi-threaded operators.
+//
+// The paper pins worker threads to physical cores before entering the
+// enclave (Section 3). We reproduce the structure: ParallelRun launches one
+// thread per worker, optionally pinned, runs `fn(tid)` on each, and joins.
+// On hosts with fewer cores than workers, pinning degrades gracefully.
+
+#ifndef SGXB_COMMON_PARALLEL_H_
+#define SGXB_COMMON_PARALLEL_H_
+
+#include <functional>
+
+#include "common/status.h"
+
+namespace sgxb {
+
+/// \brief How worker threads map to (simulated) NUMA nodes; consumed by the
+/// NUMA cost model, and by real pinning when the host has enough cores.
+struct ThreadPlacement {
+  /// Simulated NUMA node for each worker (empty = all on node 0).
+  std::function<int(int tid)> node_of_thread;
+  /// Pin to physical cores when possible (ignored if host is too small).
+  bool pin_threads = false;
+};
+
+/// \brief Runs fn(tid) for tid in [0, num_threads) on dedicated threads and
+/// waits for all of them. num_threads == 1 runs inline.
+Status ParallelRun(int num_threads, const std::function<void(int)>& fn,
+                   const ThreadPlacement& placement = {});
+
+/// \brief Splits [0, total) into `parts` contiguous ranges and returns the
+/// [begin, end) range of part `index`.
+struct Range {
+  size_t begin;
+  size_t end;
+  size_t size() const { return end - begin; }
+};
+inline Range SplitRange(size_t total, int parts, int index) {
+  size_t base = total / parts;
+  size_t rem = total % parts;
+  size_t begin = static_cast<size_t>(index) * base +
+                 (static_cast<size_t>(index) < rem ? index : rem);
+  size_t len = base + (static_cast<size_t>(index) < rem ? 1 : 0);
+  return Range{begin, begin + len};
+}
+
+}  // namespace sgxb
+
+#endif  // SGXB_COMMON_PARALLEL_H_

@@ -1,0 +1,60 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace sgxb {
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Xoshiro256::Xoshiro256(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+}
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n < 1 ? 1 : n), theta_(theta), rng_(seed) {
+  if (theta_ < 0) theta_ = 0;
+  if (theta_ > 0.999) theta_ = 0.999;  // theta = 1 diverges
+  zetan_ = Zeta(n_, theta_);
+  const double zeta2 = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+double ZipfGenerator::Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+uint64_t ZipfGenerator::Next() {
+  if (n_ == 1) return 0;
+  const double u = rng_.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const double v =
+      static_cast<double>(n_) *
+      std::pow(eta_ * u - eta_ + 1.0, alpha_);
+  uint64_t value = static_cast<uint64_t>(v);
+  return value >= n_ ? n_ - 1 : value;
+}
+
+uint64_t Xoshiro256::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+}  // namespace sgxb

@@ -1,0 +1,98 @@
+// Fast pseudo-random number generators used by data generation and the
+// random-access micro-benchmarks.
+//
+// The random-write benchmark in the paper determines write positions with a
+// linear congruential generator (Section 4.1); Lcg64 reproduces that. For
+// general data generation we use xoshiro256**, which is much faster than
+// std::mt19937_64 and has no measurable bias for our purposes.
+
+#ifndef SGXB_COMMON_RANDOM_H_
+#define SGXB_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace sgxb {
+
+/// \brief 64-bit linear congruential generator (MMIX constants). Used to
+/// pick random write positions exactly like the paper's micro-benchmark.
+class Lcg64 {
+ public:
+  explicit Lcg64(uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  uint64_t Next() {
+    state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+    return state_;
+  }
+
+  /// \brief Uniform value in [0, bound), bound > 0. Uses the high bits,
+  /// which have the longest period in an LCG.
+  uint64_t NextBounded(uint64_t bound) {
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// \brief xoshiro256** by Blackman & Vigna; the workhorse generator for
+/// table data.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(uint64_t seed = 42);
+
+  uint64_t Next();
+
+  /// \brief Uniform value in [0, bound), bound > 0.
+  uint64_t NextBounded(uint64_t bound) {
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  uint32_t Next32() { return static_cast<uint32_t>(Next() >> 32); }
+
+  /// \brief Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+/// \brief Zipf-distributed values over [0, n) with skew parameter theta
+/// (Gray et al.'s method, as popularized by YCSB). theta = 0 is uniform;
+/// theta -> 1 concentrates mass on few hot keys. Used for the skew
+/// ablation: the paper evaluates uniform keys only, while TEEBench-style
+/// suites also stress skewed foreign keys.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed = 7);
+
+  /// \brief Next value in [0, n); value 0 is the hottest key.
+  uint64_t Next();
+
+  double theta() const { return theta_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  Xoshiro256 rng_;
+};
+
+/// \brief SplitMix64; used to seed other generators from a single value.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace sgxb
+
+#endif  // SGXB_COMMON_RANDOM_H_

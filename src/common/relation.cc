@@ -1,0 +1,16 @@
+#include "common/relation.h"
+
+namespace sgxb {
+
+Result<Relation> Relation::Allocate(size_t num_tuples, MemoryRegion region,
+                                    int numa_node) {
+  auto buf =
+      AlignedBuffer::Allocate(num_tuples * sizeof(Tuple), region, numa_node);
+  if (!buf.ok()) return buf.status();
+  Relation r;
+  r.buffer_ = std::move(buf).value();
+  r.num_tuples_ = num_tuples;
+  return r;
+}
+
+}  // namespace sgxb

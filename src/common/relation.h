@@ -1,0 +1,76 @@
+// Owning containers for join inputs (key/payload rows) and scan inputs
+// (single typed columns).
+
+#ifndef SGXB_COMMON_RELATION_H_
+#define SGXB_COMMON_RELATION_H_
+
+#include <cstddef>
+
+#include "common/aligned_buffer.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace sgxb {
+
+/// \brief An owning table of 8-byte Tuples, aligned and region-tagged.
+class Relation {
+ public:
+  Relation() = default;
+
+  /// \brief Allocates an uninitialized relation of `num_tuples` rows.
+  static Result<Relation> Allocate(size_t num_tuples,
+                                   MemoryRegion region,
+                                   int numa_node = 0);
+
+  Tuple* tuples() { return buffer_.As<Tuple>(); }
+  const Tuple* tuples() const { return buffer_.As<Tuple>(); }
+  size_t num_tuples() const { return num_tuples_; }
+  size_t size_bytes() const { return num_tuples_ * sizeof(Tuple); }
+  bool empty() const { return num_tuples_ == 0; }
+  MemoryRegion region() const { return buffer_.region(); }
+  int numa_node() const { return buffer_.numa_node(); }
+
+  Tuple& operator[](size_t i) { return tuples()[i]; }
+  const Tuple& operator[](size_t i) const { return tuples()[i]; }
+
+ private:
+  AlignedBuffer buffer_;
+  size_t num_tuples_ = 0;
+};
+
+/// \brief An owning, typed column for scan benchmarks (e.g. uint8_t values
+/// as in the paper's SIMD scan, Section 5).
+template <typename T>
+class Column {
+ public:
+  Column() = default;
+
+  static Result<Column> Allocate(size_t num_values, MemoryRegion region,
+                                 int numa_node = 0) {
+    auto buf = AlignedBuffer::Allocate(num_values * sizeof(T), region,
+                                       numa_node);
+    if (!buf.ok()) return buf.status();
+    Column c;
+    c.buffer_ = std::move(buf).value();
+    c.num_values_ = num_values;
+    return c;
+  }
+
+  T* data() { return buffer_.As<T>(); }
+  const T* data() const { return buffer_.As<T>(); }
+  size_t num_values() const { return num_values_; }
+  size_t size_bytes() const { return num_values_ * sizeof(T); }
+  MemoryRegion region() const { return buffer_.region(); }
+  int numa_node() const { return buffer_.numa_node(); }
+
+  T& operator[](size_t i) { return data()[i]; }
+  const T& operator[](size_t i) const { return data()[i]; }
+
+ private:
+  AlignedBuffer buffer_;
+  size_t num_values_ = 0;
+};
+
+}  // namespace sgxb
+
+#endif  // SGXB_COMMON_RELATION_H_

@@ -1,0 +1,136 @@
+// Status / Result error handling, in the style of RocksDB and Arrow.
+//
+// All fallible operations in this library return a Status (or a Result<T>
+// when they also produce a value) instead of throwing exceptions. This keeps
+// control flow explicit in performance-critical query-processing code and
+// matches the conventions of the database C++ ecosystem.
+
+#ifndef SGXB_COMMON_STATUS_H_
+#define SGXB_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace sgxb {
+
+/// \brief Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfMemory,
+  kNotSupported,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,
+  kInternal,
+};
+
+/// \brief Returns a human-readable name for a StatusCode.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: a code plus an optional message.
+///
+/// A default-constructed Status is OK. Statuses are cheap to copy (the
+/// message is only allocated on error paths).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// \brief Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief A value of type T, or the Status explaining why it is absent.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : v_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(v_).ok() && "Result built from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(v_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(v_));
+  }
+
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+// Propagates a non-OK status to the caller.
+#define SGXB_RETURN_NOT_OK(expr)           \
+  do {                                     \
+    ::sgxb::Status _st = (expr);           \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+// Assigns the value of a Result expression or propagates its error.
+#define SGXB_ASSIGN_OR_RETURN(lhs, expr)     \
+  auto SGXB_CONCAT_(_res, __LINE__) = (expr);  \
+  if (!SGXB_CONCAT_(_res, __LINE__).ok())      \
+    return SGXB_CONCAT_(_res, __LINE__).status(); \
+  lhs = std::move(SGXB_CONCAT_(_res, __LINE__)).value()
+
+#define SGXB_CONCAT_INNER_(a, b) a##b
+#define SGXB_CONCAT_(a, b) SGXB_CONCAT_INNER_(a, b)
+
+}  // namespace sgxb
+
+#endif  // SGXB_COMMON_STATUS_H_

@@ -1,0 +1,42 @@
+#include "common/timer.h"
+
+#include <mutex>
+#include <thread>
+
+namespace sgxb {
+
+namespace {
+
+double MeasureTscFrequency() {
+  // Correlate TSC ticks with steady_clock over a short interval. 10 ms is
+  // long enough for a stable estimate and short enough for startup.
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  const uint64_t c0 = ReadTsc();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const uint64_t c1 = ReadTsc();
+  const auto t1 = Clock::now();
+  const double secs =
+      std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0)
+          .count();
+  if (secs <= 0) return 1e9;
+  return static_cast<double>(c1 - c0) / secs;
+}
+
+}  // namespace
+
+double TscFrequencyHz() {
+  static const double kFreq = MeasureTscFrequency();
+  return kFreq;
+}
+
+void SpinForCycles(uint64_t cycles) {
+  const uint64_t start = ReadTsc();
+  while (ReadTsc() - start < cycles) {
+#if defined(__x86_64__)
+    _mm_pause();
+#endif
+  }
+}
+
+}  // namespace sgxb

@@ -1,0 +1,37 @@
+#include "common/types.h"
+
+namespace sgxb {
+
+const char* MemoryRegionToString(MemoryRegion region) {
+  switch (region) {
+    case MemoryRegion::kUntrusted:
+      return "untrusted";
+    case MemoryRegion::kEnclave:
+      return "enclave";
+  }
+  return "unknown";
+}
+
+const char* ExecutionSettingToString(ExecutionSetting setting) {
+  switch (setting) {
+    case ExecutionSetting::kPlainCpu:
+      return "Plain CPU";
+    case ExecutionSetting::kSgxDataInEnclave:
+      return "SGX Data in Enclave";
+    case ExecutionSetting::kSgxDataOutsideEnclave:
+      return "SGX Data outside Enclave";
+  }
+  return "unknown";
+}
+
+const char* KernelFlavorToString(KernelFlavor flavor) {
+  switch (flavor) {
+    case KernelFlavor::kReference:
+      return "reference";
+    case KernelFlavor::kUnrolledReordered:
+      return "unrolled+reordered";
+  }
+  return "unknown";
+}
+
+}  // namespace sgxb

@@ -1,0 +1,85 @@
+// Core row and relation types shared by all join and scan operators.
+//
+// The paper's join inputs are rows of a 32-bit key (join column) and a
+// 32-bit payload (Section 4, "Join data"); an entire row is 8 bytes, so
+// "100 MB table" means 13.1 M rows. Relation is the owning container for
+// such rows, with cache-line-aligned storage so SIMD kernels can use
+// aligned loads.
+
+#ifndef SGXB_COMMON_TYPES_H_
+#define SGXB_COMMON_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sgxb {
+
+/// \brief Cache line size assumed throughout the library (x86).
+inline constexpr size_t kCacheLineSize = 64;
+
+/// \brief One join input row: 32-bit key plus 32-bit payload (8 bytes).
+struct Tuple {
+  uint32_t key;
+  uint32_t payload;
+};
+static_assert(sizeof(Tuple) == 8, "Tuple must be 8 bytes like the paper's");
+
+/// \brief One materialized join output row: both payloads plus the key.
+struct JoinOutputTuple {
+  uint32_t key;
+  uint32_t build_payload;
+  uint32_t probe_payload;
+};
+
+/// \brief Where a buffer lives in the (simulated) SGX memory map.
+enum class MemoryRegion {
+  /// Ordinary, unprotected memory ("Plain CPU" / "SGX Data outside Enclave").
+  kUntrusted = 0,
+  /// Simulated Enclave Page Cache memory ("SGX Data in Enclave").
+  kEnclave = 1,
+};
+
+const char* MemoryRegionToString(MemoryRegion region);
+
+/// \brief Execution settings studied by the paper (Section 3).
+enum class ExecutionSetting {
+  /// Native execution, data in untrusted memory; the no-security baseline.
+  kPlainCpu = 0,
+  /// Enclave code, inputs/intermediates/outputs in the EPC.
+  kSgxDataInEnclave = 1,
+  /// Enclave code, data in untrusted memory; isolates code-execution
+  /// effects from memory encryption.
+  kSgxDataOutsideEnclave = 2,
+};
+
+const char* ExecutionSettingToString(ExecutionSetting setting);
+
+/// \brief Kernel flavour: the paper's Listing 1 style vs the Listing 2
+/// manual unroll-and-reorder optimization (Section 4.2).
+enum class KernelFlavor {
+  /// Straightforward loop (Listing 1).
+  kReference = 0,
+  /// Manually unrolled 8x with grouped index computation (Listing 2).
+  kUnrolledReordered = 1,
+};
+
+const char* KernelFlavorToString(KernelFlavor flavor);
+
+/// \brief Converts a byte count into a whole number of 8-byte tuples.
+inline constexpr size_t BytesToTuples(size_t bytes) {
+  return bytes / sizeof(Tuple);
+}
+
+inline constexpr size_t operator""_KiB(unsigned long long v) {
+  return static_cast<size_t>(v) << 10;
+}
+inline constexpr size_t operator""_MiB(unsigned long long v) {
+  return static_cast<size_t>(v) << 20;
+}
+inline constexpr size_t operator""_GiB(unsigned long long v) {
+  return static_cast<size_t>(v) << 30;
+}
+
+}  // namespace sgxb
+
+#endif  // SGXB_COMMON_TYPES_H_

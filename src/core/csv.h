@@ -1,0 +1,46 @@
+// CSV export for benchmark results.
+//
+// Every bench binary can mirror its tables into CSV files for plotting:
+// set SGXBENCH_CSV_DIR to a writable directory and each experiment writes
+// <dir>/<experiment_id>.csv. Without the variable, export is disabled and
+// costs nothing.
+
+#ifndef SGXB_CORE_CSV_H_
+#define SGXB_CORE_CSV_H_
+
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sgxb::core {
+
+class CsvWriter {
+ public:
+  /// \brief Opens (truncates) `path` for writing.
+  static Result<CsvWriter> Open(const std::string& path);
+
+  /// \brief Writes one row; cells are quoted/escaped as needed.
+  Status WriteRow(const std::vector<std::string>& cells);
+
+  /// \brief Flushes and reports any stream error.
+  Status Close();
+
+ private:
+  explicit CsvWriter(std::ofstream stream) : stream_(std::move(stream)) {}
+
+  static std::string EscapeCell(const std::string& cell);
+
+  std::ofstream stream_;
+};
+
+/// \brief Returns a writer for `<SGXBENCH_CSV_DIR>/<experiment_id>.csv`,
+/// or nullopt when export is disabled (variable unset) or the file cannot
+/// be created (a warning is logged).
+std::optional<CsvWriter> MaybeCsvFor(const std::string& experiment_id);
+
+}  // namespace sgxb::core
+
+#endif  // SGXB_CORE_CSV_H_

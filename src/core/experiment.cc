@@ -1,0 +1,49 @@
+#include "core/experiment.h"
+
+#include <cstdlib>
+
+namespace sgxb::core {
+
+int DefaultRepetitions() {
+  static const int kReps = [] {
+    const char* v = std::getenv("SGXBENCH_REPS");
+    if (v != nullptr) {
+      int parsed = std::atoi(v);
+      if (parsed > 0 && parsed <= 1000) return parsed;
+    }
+    return 3;
+  }();
+  return kReps;
+}
+
+bool FullScale() {
+  static const bool kFull = [] {
+    const char* v = std::getenv("SGXBENCH_FULL");
+    return v != nullptr && v[0] == '1';
+  }();
+  return kFull;
+}
+
+size_t ScaledBytes(size_t paper_bytes) {
+  return FullScale() ? paper_bytes : paper_bytes / 10;
+}
+
+Measurement Repeat(int reps, const std::function<double()>& body) {
+  std::vector<double> samples;
+  samples.reserve(reps);
+  for (int i = 0; i < reps; ++i) samples.push_back(body());
+
+  Measurement m;
+  m.repetitions = reps;
+  double sum = 0;
+  for (double s : samples) sum += s;
+  m.mean_ns = sum / reps;
+  if (reps > 1) {
+    double var = 0;
+    for (double s : samples) var += (s - m.mean_ns) * (s - m.mean_ns);
+    m.stddev_ns = std::sqrt(var / (reps - 1));
+  }
+  return m;
+}
+
+}  // namespace sgxb::core

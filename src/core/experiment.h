@@ -1,0 +1,45 @@
+// Experiment execution helpers shared by all benchmark binaries.
+//
+// The paper executes every experiment ten times and reports mean and
+// standard deviation (Section 3). ExperimentRunner reproduces that
+// protocol; the repetition count defaults to 3 for CI-sized runs and can
+// be raised with SGXBENCH_REPS (the paper's value is 10). SGXBENCH_FULL=1
+// switches workload sizes from the scaled-down defaults to paper scale.
+
+#ifndef SGXB_CORE_EXPERIMENT_H_
+#define SGXB_CORE_EXPERIMENT_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+namespace sgxb::core {
+
+/// \brief Mean and standard deviation over repetitions, nanoseconds.
+struct Measurement {
+  double mean_ns = 0;
+  double stddev_ns = 0;
+  int repetitions = 0;
+};
+
+/// \brief Repetitions to run: SGXBENCH_REPS or 3.
+int DefaultRepetitions();
+
+/// \brief True when SGXBENCH_FULL=1: use the paper's workload sizes.
+bool FullScale();
+
+/// \brief Scales a paper-sized byte count down for CI unless FullScale().
+size_t ScaledBytes(size_t paper_bytes);
+
+/// \brief Runs `body` `reps` times; `body` returns the measured duration
+/// of one repetition in nanoseconds (so setup can be excluded).
+Measurement Repeat(int reps, const std::function<double()>& body);
+
+/// \brief Convenience: Repeat with DefaultRepetitions().
+inline Measurement Repeat(const std::function<double()>& body) {
+  return Repeat(DefaultRepetitions(), body);
+}
+
+}  // namespace sgxb::core
+
+#endif  // SGXB_CORE_EXPERIMENT_H_

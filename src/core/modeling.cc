@@ -1,0 +1,55 @@
+#include "core/modeling.h"
+
+namespace sgxb::core {
+
+namespace {
+
+perf::ExecutionEnv EnvFor(const perf::PhaseStats& phase,
+                          ExecutionSetting setting, bool data_remote,
+                          int threads_override) {
+  perf::ExecutionEnv env;
+  env.setting = setting;
+  env.threads = phase.inherently_serial
+                    ? 1
+                    : (threads_override > 0 ? threads_override
+                                            : phase.threads);
+  env.data_remote = data_remote;
+  return env;
+}
+
+}  // namespace
+
+double ModeledPhaseNs(const perf::PhaseStats& phase,
+                      ExecutionSetting setting, bool data_remote,
+                      int threads_override) {
+  return perf::CostModel::Reference().EstimateNanos(
+      phase.profile,
+      EnvFor(phase, setting, data_remote, threads_override));
+}
+
+double PhaseSlowdown(const perf::PhaseStats& phase,
+                     ExecutionSetting setting, bool data_remote) {
+  return perf::CostModel::Reference().SlowdownFactor(
+      phase.profile, EnvFor(phase, setting, data_remote, 0));
+}
+
+double ModeledReferenceNs(const perf::PhaseBreakdown& breakdown,
+                          ExecutionSetting setting, bool data_remote,
+                          int threads_override) {
+  double total = 0;
+  for (const auto& phase : breakdown.phases) {
+    total += ModeledPhaseNs(phase, setting, data_remote, threads_override);
+  }
+  return total;
+}
+
+double HostScaledNs(const perf::PhaseBreakdown& breakdown,
+                    ExecutionSetting setting, bool data_remote) {
+  double total = 0;
+  for (const auto& phase : breakdown.phases) {
+    total += phase.host_ns * PhaseSlowdown(phase, setting, data_remote);
+  }
+  return total;
+}
+
+}  // namespace sgxb::core

@@ -1,0 +1,44 @@
+// Bridges real executions and the SGXv2 cost model.
+//
+// Every operator returns a PhaseBreakdown: real host times plus access
+// profiles. These helpers turn a breakdown into (a) modeled absolute times
+// on the paper's reference machine for any execution setting, and (b)
+// host-anchored estimates, where the real measured native time of each
+// phase is scaled by the model's per-phase slowdown factor. Benchmarks
+// print both: (a) gives paper-comparable absolute numbers, (b) ties the
+// shapes to code that actually ran.
+
+#ifndef SGXB_CORE_MODELING_H_
+#define SGXB_CORE_MODELING_H_
+
+#include "perf/access_profile.h"
+#include "perf/cost_model.h"
+
+namespace sgxb::core {
+
+/// \brief Modeled absolute runtime of the breakdown on the reference
+/// machine under `setting`, using each phase's recorded thread count
+/// (overridden by `threads_override` if > 0).
+double ModeledReferenceNs(const perf::PhaseBreakdown& breakdown,
+                          ExecutionSetting setting,
+                          bool data_remote = false,
+                          int threads_override = 0);
+
+/// \brief Host-anchored estimate: each phase's real native host time
+/// multiplied by the model's slowdown factor for `setting`.
+double HostScaledNs(const perf::PhaseBreakdown& breakdown,
+                    ExecutionSetting setting, bool data_remote = false);
+
+/// \brief Per-phase modeled time (reference machine) for breakdowns.
+double ModeledPhaseNs(const perf::PhaseStats& phase,
+                      ExecutionSetting setting, bool data_remote = false,
+                      int threads_override = 0);
+
+/// \brief Slowdown factor (>= ~1) of one phase under `setting` relative
+/// to Plain CPU.
+double PhaseSlowdown(const perf::PhaseStats& phase,
+                     ExecutionSetting setting, bool data_remote = false);
+
+}  // namespace sgxb::core
+
+#endif  // SGXB_CORE_MODELING_H_

@@ -1,0 +1,52 @@
+// Benchmark output formatting.
+//
+// Every bench binary regenerates one table or figure of the paper and
+// prints it in the same rows/series the paper reports, plus the paper's
+// own value where one is quoted, so the shape comparison is immediate.
+
+#ifndef SGXB_CORE_REPORT_H_
+#define SGXB_CORE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace sgxb::core {
+
+/// \brief Prints the standard header for a reproduced experiment.
+void PrintExperimentHeader(const std::string& id,
+                           const std::string& description);
+
+/// \brief Prints a footnote (substitutions, paper-reported values, ...).
+void PrintNote(const std::string& note);
+
+/// \brief Column-aligned table printer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns);
+
+  /// \brief Adds one row; cells must match the column count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// \brief Renders the table to stdout.
+  void Print() const;
+
+  /// \brief Mirrors the table to <SGXBENCH_CSV_DIR>/<experiment_id>.csv
+  /// if CSV export is enabled (no-op otherwise).
+  void ExportCsv(const std::string& experiment_id) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// \brief "123.4 M rows/s", "1.23 GB/s", "12.3 ms" style formatting.
+std::string FormatRowsPerSec(double rows_per_sec);
+std::string FormatBytesPerSec(double bytes_per_sec);
+std::string FormatNanos(double ns);
+std::string FormatBytes(double bytes);
+/// \brief "0.83x" relative-performance formatting.
+std::string FormatRel(double ratio);
+
+}  // namespace sgxb::core
+
+#endif  // SGXB_CORE_REPORT_H_

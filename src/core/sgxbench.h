@@ -1,0 +1,61 @@
+// Umbrella header: the public API of the sgxv2-olap-bench library.
+//
+// Typical usage (see examples/quickstart.cpp):
+//
+//   #include "core/sgxbench.h"
+//   using namespace sgxb;
+//
+//   auto build = join::GenerateBuildRelation(n, MemoryRegion::kEnclave);
+//   auto probe = join::GenerateProbeRelation(4 * n, n,
+//                                            MemoryRegion::kEnclave);
+//   join::JoinConfig cfg;
+//   cfg.num_threads = 4;
+//   cfg.flavor = KernelFlavor::kUnrolledReordered;
+//   cfg.setting = ExecutionSetting::kSgxDataInEnclave;
+//   auto result = join::RhoJoin(build.value(), probe.value(), cfg);
+
+#ifndef SGXB_CORE_SGXBENCH_H_
+#define SGXB_CORE_SGXBENCH_H_
+
+#include "common/aligned_buffer.h"
+#include "common/bitvector.h"
+#include "common/cpu_info.h"
+#include "common/parallel.h"
+#include "common/random.h"
+#include "common/relation.h"
+#include "common/status.h"
+#include "common/timer.h"
+#include "common/types.h"
+#include "core/csv.h"
+#include "core/experiment.h"
+#include "core/modeling.h"
+#include "core/report.h"
+#include "index/btree.h"
+#include "join/cht_join.h"
+#include "join/crk_join.h"
+#include "join/data_gen.h"
+#include "join/inl_join.h"
+#include "join/join_common.h"
+#include "join/materializer.h"
+#include "join/mway_join.h"
+#include "join/pht_join.h"
+#include "join/radix_common.h"
+#include "join/rho_join.h"
+#include "perf/access_profile.h"
+#include "perf/calibration.h"
+#include "perf/cost_model.h"
+#include "perf/machine_model.h"
+#include "scan/column_scan.h"
+#include "scan/packed_column.h"
+#include "scan/pmbw.h"
+#include "scan/scan_kernels.h"
+#include "sgx/enclave.h"
+#include "sgx/mee.h"
+#include "sgx/queue_factory.h"
+#include "sgx/sealing.h"
+#include "sgx/sgx_mutex.h"
+#include "sgx/transition.h"
+#include "tpch/queries.h"
+#include "tpch/tpch_gen.h"
+
+#endif  // SGXB_CORE_SGXBENCH_H_

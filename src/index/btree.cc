@@ -1,0 +1,496 @@
+#include "index/btree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace sgxb::index {
+
+// Descent rule: in an inner node, child[i] holds keys k with
+// keys[i-1] < k <= keys[i] (separators are the maximum key of the left
+// subtree). Lookups descend with lower_bound, which lands on the leftmost
+// leaf that can contain a key; duplicate runs continue through the leaf
+// chain.
+
+struct BTree::Node {
+  bool is_leaf;
+  int count;
+};
+
+struct BTree::LeafNode : BTree::Node {
+  Key keys[kLeafCapacity];
+  Value values[kLeafCapacity];
+  LeafNode* next;
+};
+
+struct BTree::InnerNode : BTree::Node {
+  Key keys[kInnerCapacity];
+  Node* children[kInnerCapacity + 1];
+};
+
+namespace {
+constexpr double kBulkLoadFill = 0.9;
+}  // namespace
+
+BTree::BTree() = default;
+
+BTree::~BTree() {
+  if (root_ != nullptr) FreeSubtree(root_);
+}
+
+BTree::BTree(BTree&& other) noexcept
+    : root_(other.root_),
+      first_leaf_(other.first_leaf_),
+      size_(other.size_),
+      height_(other.height_),
+      num_leaves_(other.num_leaves_),
+      num_inner_(other.num_inner_) {
+  other.root_ = nullptr;
+  other.first_leaf_ = nullptr;
+  other.size_ = 0;
+  other.height_ = 0;
+  other.num_leaves_ = 0;
+  other.num_inner_ = 0;
+}
+
+BTree& BTree::operator=(BTree&& other) noexcept {
+  if (this != &other) {
+    if (root_ != nullptr) FreeSubtree(root_);
+    root_ = other.root_;
+    first_leaf_ = other.first_leaf_;
+    size_ = other.size_;
+    height_ = other.height_;
+    num_leaves_ = other.num_leaves_;
+    num_inner_ = other.num_inner_;
+    other.root_ = nullptr;
+    other.first_leaf_ = nullptr;
+    other.size_ = 0;
+    other.height_ = 0;
+    other.num_leaves_ = 0;
+    other.num_inner_ = 0;
+  }
+  return *this;
+}
+
+void BTree::FreeSubtree(Node* node) {
+  if (!node->is_leaf) {
+    auto* inner = static_cast<InnerNode*>(node);
+    for (int i = 0; i <= inner->count; ++i) FreeSubtree(inner->children[i]);
+    delete inner;
+  } else {
+    delete static_cast<LeafNode*>(node);
+  }
+}
+
+Result<BTree> BTree::BulkLoad(
+    const std::vector<std::pair<Key, Value>>& sorted_entries) {
+  for (size_t i = 1; i < sorted_entries.size(); ++i) {
+    if (sorted_entries[i - 1].first > sorted_entries[i].first) {
+      return Status::InvalidArgument("bulk-load input is not sorted");
+    }
+  }
+
+  BTree tree;
+  if (sorted_entries.empty()) return tree;
+
+  const int per_leaf = std::max(
+      1, static_cast<int>(kLeafCapacity * kBulkLoadFill));
+
+  // Level 0: build the leaf chain.
+  std::vector<Node*> level;
+  std::vector<Key> level_max;  // max key of each node's subtree
+  LeafNode* prev = nullptr;
+  size_t pos = 0;
+  while (pos < sorted_entries.size()) {
+    auto* leaf = new LeafNode();
+    leaf->is_leaf = true;
+    leaf->next = nullptr;
+    int n = static_cast<int>(
+        std::min<size_t>(per_leaf, sorted_entries.size() - pos));
+    // Avoid a dangling undersized final leaf: rebalance the last two.
+    if (sorted_entries.size() - pos - n > 0 &&
+        sorted_entries.size() - pos - n < static_cast<size_t>(per_leaf) / 2) {
+      n = static_cast<int>((sorted_entries.size() - pos + 1) / 2);
+    }
+    leaf->count = n;
+    for (int i = 0; i < n; ++i) {
+      leaf->keys[i] = sorted_entries[pos + i].first;
+      leaf->values[i] = sorted_entries[pos + i].second;
+    }
+    pos += n;
+    if (prev != nullptr) {
+      prev->next = leaf;
+    } else {
+      tree.first_leaf_ = leaf;
+    }
+    prev = leaf;
+    level.push_back(leaf);
+    level_max.push_back(leaf->keys[n - 1]);
+    ++tree.num_leaves_;
+  }
+  tree.size_ = sorted_entries.size();
+  tree.height_ = 1;
+
+  // Upper levels: group children under inner nodes.
+  const int per_inner = std::max(
+      2, static_cast<int>((kInnerCapacity + 1) * kBulkLoadFill));
+  while (level.size() > 1) {
+    std::vector<Node*> next_level;
+    std::vector<Key> next_max;
+    size_t i = 0;
+    while (i < level.size()) {
+      size_t n = std::min<size_t>(per_inner, level.size() - i);
+      if (level.size() - i - n == 1) {
+        // Never leave a single orphan child for the next node.
+        n -= 1;
+      }
+      auto* inner = new InnerNode();
+      inner->is_leaf = false;
+      inner->count = static_cast<int>(n) - 1;
+      for (size_t c = 0; c < n; ++c) {
+        inner->children[c] = level[i + c];
+        if (c + 1 < n) inner->keys[c] = level_max[i + c];
+      }
+      next_level.push_back(inner);
+      next_max.push_back(level_max[i + n - 1]);
+      ++tree.num_inner_;
+      i += n;
+    }
+    level = std::move(next_level);
+    level_max = std::move(next_max);
+    ++tree.height_;
+  }
+
+  tree.root_ = level[0];
+  return tree;
+}
+
+BTree::LeafNode* BTree::FindLeaf(Key key) const {
+  Node* node = root_;
+  if (node == nullptr) return nullptr;
+  while (!node->is_leaf) {
+    auto* inner = static_cast<InnerNode*>(node);
+    int idx = static_cast<int>(
+        std::lower_bound(inner->keys, inner->keys + inner->count, key) -
+        inner->keys);
+    node = inner->children[idx];
+  }
+  return static_cast<LeafNode*>(node);
+}
+
+Result<BTree::Value> BTree::Lookup(Key key) const {
+  const LeafNode* leaf = FindLeaf(key);
+  if (leaf == nullptr) return Status::NotFound("empty tree");
+  const Key* it =
+      std::lower_bound(leaf->keys, leaf->keys + leaf->count, key);
+  int idx = static_cast<int>(it - leaf->keys);
+  if (idx < leaf->count && leaf->keys[idx] == key) {
+    return leaf->values[idx];
+  }
+  // Duplicates of a separator key may begin in the next leaf.
+  if (idx == leaf->count && leaf->next != nullptr &&
+      leaf->next->count > 0 && leaf->next->keys[0] == key) {
+    return leaf->next->values[0];
+  }
+  return Status::NotFound("key not present");
+}
+
+size_t BTree::ForEachMatch(Key key,
+                           const std::function<void(Value)>& fn) const {
+  const LeafNode* leaf = FindLeaf(key);
+  if (leaf == nullptr) return 0;
+  size_t matches = 0;
+  const Key* it =
+      std::lower_bound(leaf->keys, leaf->keys + leaf->count, key);
+  int idx = static_cast<int>(it - leaf->keys);
+  while (leaf != nullptr) {
+    for (; idx < leaf->count; ++idx) {
+      if (leaf->keys[idx] != key) return matches;
+      fn(leaf->values[idx]);
+      ++matches;
+    }
+    leaf = leaf->next;
+    idx = 0;
+  }
+  return matches;
+}
+
+size_t BTree::ScanRange(Key lo, Key hi,
+                        const std::function<void(Key, Value)>& fn) const {
+  if (lo >= hi) return 0;
+  const LeafNode* leaf = FindLeaf(lo);
+  if (leaf == nullptr) return 0;
+  size_t visited = 0;
+  const Key* it = std::lower_bound(leaf->keys, leaf->keys + leaf->count, lo);
+  int idx = static_cast<int>(it - leaf->keys);
+  while (leaf != nullptr) {
+    for (; idx < leaf->count; ++idx) {
+      if (leaf->keys[idx] >= hi) return visited;
+      fn(leaf->keys[idx], leaf->values[idx]);
+      ++visited;
+    }
+    leaf = leaf->next;
+    idx = 0;
+  }
+  return visited;
+}
+
+Status BTree::Insert(Key key, Value value) {
+  if (root_ == nullptr) {
+    auto* leaf = new LeafNode();
+    leaf->is_leaf = true;
+    leaf->count = 1;
+    leaf->keys[0] = key;
+    leaf->values[0] = value;
+    leaf->next = nullptr;
+    root_ = leaf;
+    first_leaf_ = leaf;
+    size_ = 1;
+    height_ = 1;
+    num_leaves_ = 1;
+    return Status::OK();
+  }
+
+  // Descend, remembering the path of inner nodes.
+  std::vector<InnerNode*> path;
+  Node* node = root_;
+  while (!node->is_leaf) {
+    auto* inner = static_cast<InnerNode*>(node);
+    path.push_back(inner);
+    int idx = static_cast<int>(
+        std::lower_bound(inner->keys, inner->keys + inner->count, key) -
+        inner->keys);
+    node = inner->children[idx];
+  }
+  auto* leaf = static_cast<LeafNode*>(node);
+
+  // Insert position: after existing duplicates.
+  int pos = static_cast<int>(
+      std::upper_bound(leaf->keys, leaf->keys + leaf->count, key) -
+      leaf->keys);
+
+  if (leaf->count < kLeafCapacity) {
+    std::move_backward(leaf->keys + pos, leaf->keys + leaf->count,
+                       leaf->keys + leaf->count + 1);
+    std::move_backward(leaf->values + pos, leaf->values + leaf->count,
+                       leaf->values + leaf->count + 1);
+    leaf->keys[pos] = key;
+    leaf->values[pos] = value;
+    ++leaf->count;
+    ++size_;
+    return Status::OK();
+  }
+
+  // Split the leaf: left keeps the lower half; separator = max(left).
+  auto* right = new LeafNode();
+  right->is_leaf = true;
+  ++num_leaves_;
+  int split = leaf->count / 2;
+  right->count = leaf->count - split;
+  std::copy(leaf->keys + split, leaf->keys + leaf->count, right->keys);
+  std::copy(leaf->values + split, leaf->values + leaf->count,
+            right->values);
+  leaf->count = split;
+  right->next = leaf->next;
+  leaf->next = right;
+
+  // Insert into the proper half.
+  LeafNode* target = pos <= split ? leaf : right;
+  int tpos = pos <= split ? pos : pos - split;
+  std::move_backward(target->keys + tpos, target->keys + target->count,
+                     target->keys + target->count + 1);
+  std::move_backward(target->values + tpos,
+                     target->values + target->count,
+                     target->values + target->count + 1);
+  target->keys[tpos] = key;
+  target->values[tpos] = value;
+  ++target->count;
+  ++size_;
+
+  InsertUpward(path, leaf, leaf->keys[leaf->count - 1], right);
+  return Status::OK();
+}
+
+void BTree::InsertUpward(std::vector<InnerNode*>& path, Node* left,
+                         Key sep, Node* right) {
+  while (true) {
+    if (path.empty()) {
+      // Split reached the root: grow the tree by one level.
+      auto* new_root = new InnerNode();
+      new_root->is_leaf = false;
+      new_root->count = 1;
+      new_root->keys[0] = sep;
+      new_root->children[0] = left;
+      new_root->children[1] = right;
+      root_ = new_root;
+      ++height_;
+      ++num_inner_;
+      return;
+    }
+    InnerNode* parent = path.back();
+    path.pop_back();
+
+    // Position of `left` among the children (via separator search).
+    int idx = static_cast<int>(
+        std::lower_bound(parent->keys, parent->keys + parent->count, sep) -
+        parent->keys);
+
+    if (parent->count < kInnerCapacity) {
+      std::move_backward(parent->keys + idx,
+                         parent->keys + parent->count,
+                         parent->keys + parent->count + 1);
+      std::move_backward(parent->children + idx + 1,
+                         parent->children + parent->count + 1,
+                         parent->children + parent->count + 2);
+      parent->keys[idx] = sep;
+      parent->children[idx + 1] = right;
+      ++parent->count;
+      return;
+    }
+
+    // Split the inner node. Middle key moves up.
+    auto* new_inner = new InnerNode();
+    new_inner->is_leaf = false;
+    ++num_inner_;
+    int split = parent->count / 2;
+    Key up_key = parent->keys[split];
+    new_inner->count = parent->count - split - 1;
+    std::copy(parent->keys + split + 1, parent->keys + parent->count,
+              new_inner->keys);
+    std::copy(parent->children + split + 1,
+              parent->children + parent->count + 1, new_inner->children);
+    parent->count = split;
+
+    // Now place (sep, right) into the correct half.
+    if (sep <= up_key) {
+      int p = static_cast<int>(
+          std::lower_bound(parent->keys, parent->keys + parent->count,
+                           sep) -
+          parent->keys);
+      std::move_backward(parent->keys + p, parent->keys + parent->count,
+                         parent->keys + parent->count + 1);
+      std::move_backward(parent->children + p + 1,
+                         parent->children + parent->count + 1,
+                         parent->children + parent->count + 2);
+      parent->keys[p] = sep;
+      parent->children[p + 1] = right;
+      ++parent->count;
+    } else {
+      int p = static_cast<int>(
+          std::lower_bound(new_inner->keys,
+                           new_inner->keys + new_inner->count, sep) -
+          new_inner->keys);
+      std::move_backward(new_inner->keys + p,
+                         new_inner->keys + new_inner->count,
+                         new_inner->keys + new_inner->count + 1);
+      std::move_backward(new_inner->children + p + 1,
+                         new_inner->children + new_inner->count + 1,
+                         new_inner->children + new_inner->count + 2);
+      new_inner->keys[p] = sep;
+      new_inner->children[p + 1] = right;
+      ++new_inner->count;
+    }
+
+    left = parent;
+    right = new_inner;
+    sep = up_key;
+  }
+}
+
+namespace {
+
+struct CheckResult {
+  sgxb::Status status;
+  BTree::Key min_key;
+  BTree::Key max_key;
+  int depth;
+};
+
+}  // namespace
+
+Status BTree::CheckInvariants() const {
+  if (root_ == nullptr) {
+    return size_ == 0 ? Status::OK()
+                      : Status::Internal("empty tree with nonzero size");
+  }
+
+  // Recursive structural check via an explicit lambda.
+  std::function<CheckResult(const Node*)> check =
+      [&](const Node* node) -> CheckResult {
+    if (node->is_leaf) {
+      const auto* leaf = static_cast<const LeafNode*>(node);
+      if (leaf->count < 1 || leaf->count > kLeafCapacity) {
+        return {Status::Internal("leaf count out of bounds"), 0, 0, 1};
+      }
+      for (int i = 1; i < leaf->count; ++i) {
+        if (leaf->keys[i - 1] > leaf->keys[i]) {
+          return {Status::Internal("leaf keys unsorted"), 0, 0, 1};
+        }
+      }
+      return {Status::OK(), leaf->keys[0], leaf->keys[leaf->count - 1], 1};
+    }
+    const auto* inner = static_cast<const InnerNode*>(node);
+    if (inner->count < 1 || inner->count > kInnerCapacity) {
+      return {Status::Internal("inner count out of bounds"), 0, 0, 1};
+    }
+    for (int i = 1; i < inner->count; ++i) {
+      if (inner->keys[i - 1] > inner->keys[i]) {
+        return {Status::Internal("inner keys unsorted"), 0, 0, 1};
+      }
+    }
+    Key min_key = std::numeric_limits<Key>::max();
+    Key max_key = 0;
+    int depth = -1;
+    for (int i = 0; i <= inner->count; ++i) {
+      CheckResult r = check(inner->children[i]);
+      if (!r.status.ok()) return r;
+      if (depth == -1) {
+        depth = r.depth;
+      } else if (depth != r.depth) {
+        return {Status::Internal("leaves at different depths"), 0, 0, 1};
+      }
+      // Child i's keys must lie in (keys[i-1], keys[i]] — except that a
+      // run of duplicates may span the separator, so a child minimum
+      // *equal* to the left separator is legal.
+      if (i > 0 && r.min_key < inner->keys[i - 1]) {
+        return {Status::Internal("child keys below separator"), 0, 0, 1};
+      }
+      if (i < inner->count && r.max_key > inner->keys[i]) {
+        return {Status::Internal("child keys above separator"), 0, 0, 1};
+      }
+      min_key = std::min(min_key, r.min_key);
+      max_key = std::max(max_key, r.max_key);
+    }
+    return {Status::OK(), min_key, max_key, depth + 1};
+  };
+
+  CheckResult r = check(root_);
+  if (!r.status.ok()) return r.status;
+  if (r.depth != height_) return Status::Internal("height mismatch");
+
+  // Leaf chain must be globally sorted and cover all entries.
+  size_t chained = 0;
+  Key prev = 0;
+  bool first = true;
+  for (const LeafNode* leaf = first_leaf_; leaf != nullptr;
+       leaf = leaf->next) {
+    for (int i = 0; i < leaf->count; ++i) {
+      if (!first && leaf->keys[i] < prev) {
+        return Status::Internal("leaf chain unsorted");
+      }
+      prev = leaf->keys[i];
+      first = false;
+      ++chained;
+    }
+  }
+  if (chained != size_) {
+    return Status::Internal("leaf chain size mismatch");
+  }
+  return Status::OK();
+}
+
+size_t BTree::MemoryFootprint() const {
+  return num_leaves_ * sizeof(LeafNode) + num_inner_ * sizeof(InnerNode);
+}
+
+}  // namespace sgxb::index

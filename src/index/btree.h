@@ -1,0 +1,92 @@
+// Cache-conscious B+-tree over 32-bit keys.
+//
+// Substrate for the Index Nested Loop join (paper Section 4, join #4): INL
+// probes an existing B-tree index on the inner table instead of scanning
+// it. The tree supports bulk loading from sorted data (how the benchmark
+// builds its index), single inserts, point lookups, and an iterator over
+// duplicate keys. Nodes are sized to a small number of cache lines; inner
+// nodes hold only keys and child pointers, leaves hold key/value pairs and
+// are chained for range scans.
+
+#ifndef SGXB_INDEX_BTREE_H_
+#define SGXB_INDEX_BTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sgxb::index {
+
+class BTree {
+ public:
+  using Key = uint32_t;
+  using Value = uint32_t;
+
+  // 16 cache lines per leaf: 120 slots of (key, value) plus header.
+  static constexpr int kLeafCapacity = 120;
+  static constexpr int kInnerCapacity = 120;
+
+  BTree();
+  ~BTree();
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+  BTree(BTree&&) noexcept;
+  BTree& operator=(BTree&&) noexcept;
+
+  /// \brief Builds a tree from entries sorted by key (duplicates allowed).
+  /// Existing contents are discarded. Leaves are filled to ~90% so that
+  /// subsequent inserts do not immediately split.
+  static Result<BTree> BulkLoad(
+      const std::vector<std::pair<Key, Value>>& sorted_entries);
+
+  /// \brief Inserts one entry (duplicates allowed).
+  Status Insert(Key key, Value value);
+
+  /// \brief Returns the value of the first entry with `key`, if any.
+  Result<Value> Lookup(Key key) const;
+
+  /// \brief Invokes `fn` for every entry with exactly `key`; returns the
+  /// number of matches. This is the INL probe primitive.
+  size_t ForEachMatch(Key key,
+                      const std::function<void(Value)>& fn) const;
+
+  /// \brief Invokes `fn(key, value)` for all entries with lo <= key < hi,
+  /// in key order; returns the number of entries visited.
+  size_t ScanRange(Key lo, Key hi,
+                   const std::function<void(Key, Value)>& fn) const;
+
+  size_t size() const { return size_; }
+  int height() const { return height_; }
+
+  /// \brief Validates all structural invariants (key order within nodes,
+  /// separator correctness, leaf chain order, fill bounds). Used by tests.
+  Status CheckInvariants() const;
+
+  /// \brief Total bytes occupied by tree nodes (index working-set size,
+  /// reported to the cost model by the INL join).
+  size_t MemoryFootprint() const;
+
+ private:
+  struct Node;
+  struct LeafNode;
+  struct InnerNode;
+
+  LeafNode* FindLeaf(Key key) const;
+  void InsertUpward(std::vector<InnerNode*>& path, Node* left, Key sep,
+                    Node* right);
+  void FreeSubtree(Node* node);
+
+  Node* root_ = nullptr;
+  LeafNode* first_leaf_ = nullptr;
+  size_t size_ = 0;
+  int height_ = 0;
+  size_t num_leaves_ = 0;
+  size_t num_inner_ = 0;
+};
+
+}  // namespace sgxb::index
+
+#endif  // SGXB_INDEX_BTREE_H_

@@ -1,0 +1,33 @@
+// Concise Hash Table join (CHT) — Barber et al., VLDB 2015. Extension
+// beyond the paper's five joins.
+//
+// CHT replaces the bucket-chained hash table with a bitmap (one bit per
+// hash slot, ~4 slots per key, with per-word popcount prefixes) plus a
+// dense tuple array indexed by bitmap rank. The table shrinks from PHT's
+// ~32 bytes/tuple to ~8.5 bytes/tuple — and since the paper shows that
+// the SGXv2 random-access penalty grows with the randomly-hit working
+// set (Fig. 4/5), a concise table directly buys back in-enclave
+// performance. bench_ext_cht quantifies that effect.
+//
+// Collisions linear-probe within a bounded bit window; tuples that
+// cannot claim a bit go to a small overflow table. Correctness never
+// depends on hashing: every candidate is verified by key comparison.
+
+#ifndef SGXB_JOIN_CHT_JOIN_H_
+#define SGXB_JOIN_CHT_JOIN_H_
+
+#include "join/join_common.h"
+
+namespace sgxb::join {
+
+/// \brief Runs the CHT join of `build` (table side) and `probe`.
+Result<JoinResult> ChtJoin(const Relation& build, const Relation& probe,
+                           const JoinConfig& config);
+
+/// \brief Bytes of the concise table (bitmap + prefixes + dense array)
+/// for `build_tuples` rows; compare with PhtHashTableBytes.
+size_t ChtTableBytes(size_t build_tuples);
+
+}  // namespace sgxb::join
+
+#endif  // SGXB_JOIN_CHT_JOIN_H_

@@ -1,0 +1,273 @@
+#include "join/crk_join.h"
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/barrier.h"
+#include "common/parallel.h"
+#include "join/materializer.h"
+#include "join/radix_common.h"
+#include "sgx/queue_factory.h"
+
+namespace sgxb::join {
+
+size_t CrackPartitionStep(Tuple* data, size_t begin, size_t end,
+                          uint32_t bit) {
+  const uint32_t mask = 1u << bit;
+  size_t lo = begin;
+  size_t hi = end;
+  while (lo < hi) {
+    // Advance lo past tuples already in the 0-side.
+    while (lo < hi && (data[lo].key & mask) == 0) ++lo;
+    // Retreat hi past tuples already in the 1-side.
+    while (lo < hi && (data[hi - 1].key & mask) != 0) --hi;
+    if (lo < hi) {
+      Tuple tmp = data[lo];
+      data[lo] = data[hi - 1];
+      data[hi - 1] = tmp;
+      ++lo;
+      --hi;
+    }
+  }
+  return lo;
+}
+
+namespace {
+
+// Recursively cracks [begin, end) on bits [bit, max_bits); writes the
+// partition boundaries for the covered leaf range into `bounds` starting
+// at `leaf_base` (leaf order = key bits read LSB-first, identical for
+// both relations, so leaf i of R pairs with leaf i of S).
+void CrackRecursive(Tuple* data, size_t begin, size_t end, uint32_t bit,
+                    uint32_t max_bits, uint64_t* bounds,
+                    size_t leaf_base) {
+  if (bit == max_bits) {
+    bounds[leaf_base] = begin;
+    return;
+  }
+  size_t mid = CrackPartitionStep(data, begin, end, bit);
+  size_t half_leaves = size_t{1} << (max_bits - bit - 1);
+  CrackRecursive(data, begin, mid, bit + 1, max_bits, bounds, leaf_base);
+  CrackRecursive(data, mid, end, bit + 1, max_bits, bounds,
+                 leaf_base + half_leaves);
+}
+
+struct MatCtx {
+  Materializer* mat;
+  int tid;
+};
+
+void EmitToMaterializer(void* ctx, const Tuple& b, const Tuple& p) {
+  auto* m = static_cast<MatCtx*>(ctx);
+  m->mat->Append(m->tid, JoinOutputTuple{b.key, b.payload, p.payload});
+}
+
+perf::AccessProfile CrackProfile(size_t n, int bits) {
+  perf::AccessProfile p;
+  // Each of the `bits` levels makes a full pass over the data with two
+  // sequential pointers; roughly half the tuples are swapped per level.
+  p.seq_read_bytes = static_cast<uint64_t>(n) * sizeof(Tuple) * bits;
+  p.seq_write_bytes = static_cast<uint64_t>(n) * sizeof(Tuple) * bits / 2;
+  p.loop_iterations = static_cast<uint64_t>(n) * bits;
+  // The two-pointer loop's cost is dominated by the ~50% unpredictable
+  // swap branch (a mispredict per other tuple), not by ILP the CPU could
+  // recover through reordering — so no extra enclave-mode penalty, but a
+  // high native CPI.
+  p.ilp = perf::IlpClass::kStreaming;
+  p.cpi_hint = 8.0;
+  return p;
+}
+
+}  // namespace
+
+Result<JoinResult> CrkJoin(const Relation& build, const Relation& probe,
+                           const JoinConfig& config) {
+  SGXB_RETURN_NOT_OK(ValidateJoinInputs(build, probe, config));
+  if (config.crack_bits <= 0 || config.crack_bits > 24) {
+    return Status::InvalidArgument("crack_bits must be in [1, 24]");
+  }
+
+  const int threads = config.num_threads;
+  const uint32_t bits = static_cast<uint32_t>(config.crack_bits);
+  const size_t fanout = size_t{1} << bits;
+
+  // Partitioning is in place, but the inputs are const: copy them into
+  // working buffers first (sequential, cheap relative to cracking).
+  auto work_r = AllocateIntermediate(build.size_bytes(), config);
+  if (!work_r.ok()) return work_r.status();
+  auto work_s = AllocateIntermediate(probe.size_bytes(), config);
+  if (!work_s.ok()) return work_s.status();
+  AlignedBuffer work_r_buf = std::move(work_r).value();
+  AlignedBuffer work_s_buf = std::move(work_s).value();
+  Tuple* r_data = work_r_buf.As<Tuple>();
+  Tuple* s_data = work_s_buf.As<Tuple>();
+  const size_t rn = build.num_tuples();
+  const size_t sn = probe.num_tuples();
+
+  // Crack to a fixed depth d0 first (inherently serial: each binary
+  // split must complete before its halves exist), creating 16 subranges
+  // that are then cracked to full depth in parallel via the task queue.
+  // d0 is fixed (not host-dependent) so the recorded phase structure
+  // matches the algorithm's behaviour on the 16-core reference machine.
+  const uint32_t d0 = std::min<uint32_t>(4, bits);
+  const size_t top_parts = size_t{1} << d0;
+  const size_t leaves_per_top = fanout >> d0;
+
+  std::vector<uint64_t> r_bounds(fanout + 1, 0);
+  std::vector<uint64_t> s_bounds(fanout + 1, 0);
+  std::vector<uint64_t> r_top(top_parts + 1, 0);
+  std::vector<uint64_t> s_top(top_parts + 1, 0);
+
+  auto queue = sgx::MakeTaskQueue(config.queue, 2 * top_parts + fanout + 2,
+                                  config.setting);
+
+  Barrier barrier(threads);
+  PhaseRecorder recorder;
+  std::vector<uint64_t> matches(threads, 0);
+  std::optional<Materializer> own_mat;
+  Materializer* mat = config.output;
+  if (config.materialize && mat == nullptr) {
+    own_mat.emplace(threads, config.setting, config.enclave);
+    mat = &*own_mat;
+  }
+  const bool in_enclave = config.setting != ExecutionSetting::kPlainCpu;
+
+  ParallelRun(threads, [&](int tid) {
+    std::optional<sgx::ScopedEcall> ecall;
+    if (in_enclave) ecall.emplace();
+
+    barrier.WaitThen([&] { recorder.Begin(); });
+
+    // Copy inputs into the working buffers (parallel, sequential I/O).
+    {
+      Range r = SplitRange(rn, threads, tid);
+      std::memcpy(r_data + r.begin, build.tuples() + r.begin,
+                  r.size() * sizeof(Tuple));
+      Range s = SplitRange(sn, threads, tid);
+      std::memcpy(s_data + s.begin, probe.tuples() + s.begin,
+                  s.size() * sizeof(Tuple));
+    }
+    barrier.WaitThen([&] {
+      perf::AccessProfile p;
+      p.seq_read_bytes = build.size_bytes() + probe.size_bytes();
+      p.seq_write_bytes = p.seq_read_bytes;
+      p.loop_iterations = rn + sn;
+      p.ilp = perf::IlpClass::kStreaming;
+      recorder.End("copy_in", p, threads);
+
+      // Serial top-level cracking to depth d0 (cheap: d0 passes).
+      r_top[0] = 0;
+      r_top[top_parts] = rn;
+      s_top[0] = 0;
+      s_top[top_parts] = sn;
+      std::function<void(Tuple*, size_t, size_t, uint32_t, uint64_t*,
+                         size_t, size_t)>
+          top_crack = [&](Tuple* data, size_t begin, size_t end,
+                          uint32_t bit, uint64_t* top, size_t base,
+                          size_t width) {
+            if (bit == d0) {
+              top[base] = begin;
+              return;
+            }
+            size_t mid = CrackPartitionStep(data, begin, end, bit);
+            top_crack(data, begin, mid, bit + 1, top, base, width / 2);
+            top_crack(data, mid, end, bit + 1, top, base + width / 2,
+                      width / 2);
+          };
+      recorder.Begin();
+      if (d0 > 0) {
+        top_crack(r_data, 0, rn, 0, r_top.data(), 0, top_parts);
+        top_crack(s_data, 0, sn, 0, s_top.data(), 0, top_parts);
+      }
+      // The top-level cracking is inherently serial — one of CrkJoin's
+      // structural costs on many-core machines.
+      perf::PhaseStats serial;
+      serial.name = "crack_serial";
+      serial.host_ns = recorder.ElapsedNs();
+      serial.profile = CrackProfile(rn + sn, static_cast<int>(d0));
+      serial.threads = 1;
+      serial.inherently_serial = true;
+      recorder.AddRaw(std::move(serial));
+      // Tasks: crack each top partition of each relation to full depth.
+      for (size_t p2 = 0; p2 < top_parts; ++p2) {
+        queue->Push(p2);               // relation R task
+        queue->Push(top_parts + p2);   // relation S task
+      }
+      recorder.Begin();
+    });
+
+    // --- Parallel cracking to full depth. ---
+    {
+      uint64_t task;
+      while (queue->TryPop(&task)) {
+        bool is_s = task >= top_parts;
+        size_t p2 = is_s ? task - top_parts : task;
+        Tuple* data = is_s ? s_data : r_data;
+        uint64_t* top = is_s ? s_top.data() : r_top.data();
+        uint64_t* bounds = is_s ? s_bounds.data() : r_bounds.data();
+        CrackRecursive(data, top[p2], top[p2 + 1], d0, bits, bounds,
+                       p2 * leaves_per_top);
+      }
+    }
+    barrier.WaitThen([&] {
+      perf::AccessProfile p =
+          CrackProfile(rn + sn, static_cast<int>(bits - d0));
+      recorder.End("crack_parallel", p, threads);
+      r_bounds[fanout] = rn;
+      s_bounds[fanout] = sn;
+      for (size_t q = 0; q < fanout; ++q) queue->Push(q);
+      recorder.Begin();
+    });
+
+    // --- Join partition pairs (same in-cache join as RHO). ---
+    InCacheJoinScratch scratch;
+    uint64_t local = 0;
+    MatCtx mctx{mat, tid};
+    uint64_t task;
+    while (queue->TryPop(&task)) {
+      auto q = static_cast<size_t>(task);
+      local += InCachePartitionJoin(
+          r_data + r_bounds[q], r_bounds[q + 1] - r_bounds[q],
+          s_data + s_bounds[q], s_bounds[q + 1] - s_bounds[q],
+          config.flavor, &scratch,
+          config.materialize ? &EmitToMaterializer : nullptr,
+          config.materialize ? &mctx : nullptr);
+    }
+    matches[tid] = local;
+    barrier.WaitThen([&] {
+      perf::AccessProfile p;
+      p.seq_read_bytes = build.size_bytes() + probe.size_bytes();
+      p.loop_iterations = rn + sn;
+      p.rand_writes = rn;
+      p.rand_write_working_set =
+          (rn / fanout) * sizeof(Tuple) * 2;
+      p.rand_reads = sn;
+      p.rand_read_working_set = (rn / fanout) * sizeof(Tuple) * 2;
+      p.ilp = config.flavor == KernelFlavor::kReference
+                  ? perf::IlpClass::kReferenceLoop
+                  : perf::IlpClass::kUnrolledReordered;
+      recorder.End("join", p, threads);
+    });
+  });
+
+  if (mat != nullptr) {
+    SGXB_RETURN_NOT_OK(mat->status());
+  }
+
+  JoinResult result;
+  result.phases = recorder.Take();
+  result.host_ns = result.phases.TotalHostNs();
+  result.threads = threads;
+  for (uint64_t m : matches) result.matches += m;
+
+  if (config.enclave != nullptr &&
+      config.setting == ExecutionSetting::kSgxDataInEnclave) {
+    config.enclave->NotifyFree(build.size_bytes() + probe.size_bytes());
+  }
+  return result;
+}
+
+}  // namespace sgxb::join

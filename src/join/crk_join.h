@@ -1,0 +1,36 @@
+// CrkJoin — the SGXv1-optimized cracking join of Maliszewski et al.
+//
+// CrkJoin was designed around SGXv1's two bottlenecks, EPC paging and
+// random memory access: it radix-partitions both inputs *in place*, one
+// key bit at a time, by moving two pointers from the ends of the table
+// toward the middle and swapping out-of-order tuples — purely sequential
+// access, no auxiliary partition buffers. After partitioning to the target
+// depth it joins partition pairs with the same in-cache hash join as RHO.
+//
+// The paper's headline result (Figures 1 and 3) is that these SGXv1
+// optimizations no longer pay off on SGXv2: the k sequential passes over
+// the data cost more than RHO's two scatter passes now that EPC paging is
+// gone. This implementation reproduces that trade-off faithfully.
+
+#ifndef SGXB_JOIN_CRK_JOIN_H_
+#define SGXB_JOIN_CRK_JOIN_H_
+
+#include "join/join_common.h"
+
+namespace sgxb::join {
+
+/// \brief Runs CrkJoin on `build` and `probe`. `config.crack_bits` sets
+/// the partitioning depth (2^bits final partitions).
+Result<JoinResult> CrkJoin(const Relation& build, const Relation& probe,
+                           const JoinConfig& config);
+
+/// \brief In-place binary radix partition of [begin, end): tuples whose
+/// key has bit `bit` cleared are moved before those with it set, with the
+/// two-pointer swap scheme. Returns the index of the first set-bit tuple.
+/// Exposed for unit tests.
+size_t CrackPartitionStep(Tuple* data, size_t begin, size_t end,
+                          uint32_t bit);
+
+}  // namespace sgxb::join
+
+#endif  // SGXB_JOIN_CRK_JOIN_H_

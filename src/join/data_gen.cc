@@ -1,0 +1,89 @@
+#include "join/data_gen.h"
+
+#include <unordered_map>
+
+#include "common/random.h"
+
+namespace sgxb::join {
+
+Result<Relation> GenerateBuildRelation(size_t num_tuples,
+                                       MemoryRegion region, uint64_t seed,
+                                       int numa_node) {
+  auto rel = Relation::Allocate(num_tuples, region, numa_node);
+  if (!rel.ok()) return rel.status();
+  Relation r = std::move(rel).value();
+  Tuple* t = r.tuples();
+  for (size_t i = 0; i < num_tuples; ++i) {
+    t[i].key = static_cast<uint32_t>(i);
+    t[i].payload = static_cast<uint32_t>(i);
+  }
+  // Fisher-Yates shuffle of the keys (payload keeps the original slot so
+  // the provenance of each tuple stays testable).
+  Xoshiro256 rng(seed);
+  for (size_t i = num_tuples - 1; i > 0; --i) {
+    size_t j = rng.NextBounded(i + 1);
+    uint32_t tmp = t[i].key;
+    t[i].key = t[j].key;
+    t[j].key = tmp;
+  }
+  return r;
+}
+
+Result<Relation> GenerateProbeRelation(size_t num_tuples, size_t key_domain,
+                                       MemoryRegion region, uint64_t seed,
+                                       int numa_node) {
+  if (key_domain == 0) {
+    return Status::InvalidArgument("key_domain must be positive");
+  }
+  auto rel = Relation::Allocate(num_tuples, region, numa_node);
+  if (!rel.ok()) return rel.status();
+  Relation r = std::move(rel).value();
+  Tuple* t = r.tuples();
+  Xoshiro256 rng(seed);
+  for (size_t i = 0; i < num_tuples; ++i) {
+    t[i].key = static_cast<uint32_t>(rng.NextBounded(key_domain));
+    t[i].payload = static_cast<uint32_t>(i);
+  }
+  return r;
+}
+
+Result<Relation> GenerateSkewedProbeRelation(size_t num_tuples,
+                                             size_t key_domain,
+                                             double zipf_theta,
+                                             MemoryRegion region,
+                                             uint64_t seed,
+                                             int numa_node) {
+  if (key_domain == 0) {
+    return Status::InvalidArgument("key_domain must be positive");
+  }
+  auto rel = Relation::Allocate(num_tuples, region, numa_node);
+  if (!rel.ok()) return rel.status();
+  Relation r = std::move(rel).value();
+  Tuple* t = r.tuples();
+  ZipfGenerator zipf(key_domain, zipf_theta, seed);
+  // Scramble the Zipf rank into the key domain so hot keys are not
+  // clustered at small values (which would bias radix partitioning).
+  for (size_t i = 0; i < num_tuples; ++i) {
+    uint64_t rank = zipf.Next();
+    uint64_t scrambled = rank * 2654435761u % key_domain;
+    t[i].key = static_cast<uint32_t>(scrambled);
+    t[i].payload = static_cast<uint32_t>(i);
+  }
+  return r;
+}
+
+uint64_t ReferenceMatchCount(const Relation& build, const Relation& probe) {
+  std::unordered_map<uint32_t, uint64_t> counts;
+  counts.reserve(build.num_tuples() * 2);
+  for (size_t i = 0; i < build.num_tuples(); ++i) {
+    ++counts[build[i].key];
+  }
+  uint64_t matches = 0;
+  for (size_t i = 0; i < probe.num_tuples(); ++i) {
+    auto it = counts.find(probe[i].key);
+    if (it != counts.end()) matches += it->second;
+  }
+  return matches;
+}
+
+}  // namespace sgxb::join

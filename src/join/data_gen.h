@@ -1,0 +1,49 @@
+// Join input generation (paper Section 4, "Join data").
+//
+// Inputs are foreign-key joins with uniformly distributed 32-bit keys: the
+// build (primary-key) relation holds each key in [0, n) exactly once in
+// random order; the probe (foreign-key) relation draws keys uniformly from
+// the same domain, so every probe tuple matches exactly one build tuple.
+
+#ifndef SGXB_JOIN_DATA_GEN_H_
+#define SGXB_JOIN_DATA_GEN_H_
+
+#include "common/relation.h"
+#include "common/status.h"
+
+namespace sgxb::join {
+
+/// \brief Primary-key relation: keys are a random permutation of [0, n);
+/// payloads equal the original key position so tests can trace tuples.
+Result<Relation> GenerateBuildRelation(size_t num_tuples,
+                                       MemoryRegion region,
+                                       uint64_t seed = 42,
+                                       int numa_node = 0);
+
+/// \brief Foreign-key relation: keys uniform over [0, key_domain).
+/// With key_domain equal to the build relation's size this yields exactly
+/// one match per probe tuple.
+Result<Relation> GenerateProbeRelation(size_t num_tuples,
+                                       size_t key_domain,
+                                       MemoryRegion region,
+                                       uint64_t seed = 43,
+                                       int numa_node = 0);
+
+/// \brief Skewed foreign-key relation: keys Zipf-distributed over
+/// [0, key_domain) with parameter `theta` (0 = uniform; 0.99 = heavily
+/// skewed). Extension beyond the paper's uniform-only workloads; used by
+/// the skew ablation bench.
+Result<Relation> GenerateSkewedProbeRelation(size_t num_tuples,
+                                             size_t key_domain,
+                                             double zipf_theta,
+                                             MemoryRegion region,
+                                             uint64_t seed = 44,
+                                             int numa_node = 0);
+
+/// \brief Exact number of matching pairs between two relations, computed
+/// with a straightforward reference algorithm (hash map). Test oracle.
+uint64_t ReferenceMatchCount(const Relation& build, const Relation& probe);
+
+}  // namespace sgxb::join
+
+#endif  // SGXB_JOIN_DATA_GEN_H_

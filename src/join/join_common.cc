@@ -1,0 +1,59 @@
+#include "join/join_common.h"
+
+namespace sgxb::join {
+
+const char* JoinAlgorithmToString(JoinAlgorithm algo) {
+  switch (algo) {
+    case JoinAlgorithm::kPht:
+      return "PHT";
+    case JoinAlgorithm::kRho:
+      return "RHO";
+    case JoinAlgorithm::kMway:
+      return "MWAY";
+    case JoinAlgorithm::kInl:
+      return "INL";
+    case JoinAlgorithm::kCrk:
+      return "CrkJoin";
+    case JoinAlgorithm::kCht:
+      return "CHT";
+  }
+  return "unknown";
+}
+
+Status ValidateJoinInputs(const Relation& build, const Relation& probe,
+                          const JoinConfig& config) {
+  if (build.empty() || probe.empty()) {
+    return Status::InvalidArgument("join inputs must be non-empty");
+  }
+  if (config.num_threads <= 0) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
+  if (config.radix_bits <= 0 || config.radix_bits > 24) {
+    return Status::InvalidArgument("radix_bits must be in [1, 24]");
+  }
+  if (config.radix_passes != 1 && config.radix_passes != 2) {
+    return Status::InvalidArgument("radix_passes must be 1 or 2");
+  }
+  if (config.materialize &&
+      config.setting == ExecutionSetting::kSgxDataInEnclave &&
+      config.enclave == nullptr) {
+    return Status::InvalidArgument(
+        "materializing inside the enclave requires an Enclave instance");
+  }
+  return Status::OK();
+}
+
+Result<AlignedBuffer> AllocateIntermediate(size_t bytes,
+                                           const JoinConfig& config) {
+  if (config.setting == ExecutionSetting::kSgxDataInEnclave &&
+      config.enclave != nullptr) {
+    return config.enclave->Allocate(bytes);
+  }
+  MemoryRegion region =
+      config.setting == ExecutionSetting::kSgxDataInEnclave
+          ? MemoryRegion::kEnclave
+          : MemoryRegion::kUntrusted;
+  return AlignedBuffer::Allocate(bytes, region);
+}
+
+}  // namespace sgxb::join

@@ -1,0 +1,143 @@
+// Shared configuration, result, and phase-recording types for all join
+// algorithms (paper Section 4).
+//
+// Every join takes a build (smaller) and a probe (larger) Relation plus a
+// JoinConfig, runs with `num_threads` workers in the TEEBench style (all
+// workers execute the whole pipeline, synchronizing at phase barriers), and
+// returns the match count plus a per-phase breakdown with access profiles
+// for the cost model.
+
+#ifndef SGXB_JOIN_JOIN_COMMON_H_
+#define SGXB_JOIN_JOIN_COMMON_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/relation.h"
+#include "common/status.h"
+#include "common/timer.h"
+#include "common/types.h"
+#include "perf/access_profile.h"
+#include "sgx/enclave.h"
+#include "sync/task_queue.h"
+
+namespace sgxb::join {
+
+class Materializer;
+
+/// \brief The join algorithms in the paper's benchmark suite (Figure 3).
+enum class JoinAlgorithm {
+  kPht = 0,   ///< Parallel hash table join (Blanas et al.).
+  kRho = 1,   ///< Radix hash optimized join (Balkesen/Manegold et al.).
+  kMway = 2,  ///< Multi-way sort-merge join (Kim et al.).
+  kInl = 3,   ///< Index nested loop join over a B+-tree.
+  kCrk = 4,   ///< CrkJoin, the SGXv1-optimized cracking join.
+  kCht = 5,   ///< Concise Hash Table join (extension, Barber et al.).
+};
+
+const char* JoinAlgorithmToString(JoinAlgorithm algo);
+
+struct JoinConfig {
+  int num_threads = 1;
+  /// Listing-1-style loops vs the paper's unroll-and-reorder optimization.
+  KernelFlavor flavor = KernelFlavor::kReference;
+  /// Task queue used by task-based joins (RHO, CrkJoin); Figure 10 knob.
+  TaskQueueKind queue = TaskQueueKind::kLockFree;
+  ExecutionSetting setting = ExecutionSetting::kPlainCpu;
+  /// Enclave backing trusted allocations; required for SGX settings that
+  /// materialize output or allocate intermediates dynamically.
+  sgx::Enclave* enclave = nullptr;
+  /// Materialize output tuples (Section 4.4 / Figure 11 and Section 6).
+  bool materialize = false;
+  /// Optional caller-owned output sink; when null and `materialize` is
+  /// set, the join uses an internal materializer and discards the output
+  /// after counting (the common benchmarking configuration).
+  Materializer* output = nullptr;
+
+  /// RHO: total radix bits over both passes and the number of passes.
+  int radix_bits = 14;
+  int radix_passes = 2;
+  /// CrkJoin: partitioning depth in bits.
+  int crack_bits = 12;
+};
+
+struct JoinResult {
+  /// Number of matching (build, probe) pairs.
+  uint64_t matches = 0;
+  /// Total measured wall time on the host, ns.
+  double host_ns = 0;
+  perf::PhaseBreakdown phases;
+  int threads = 1;
+
+  /// Throughput metric as defined in the paper: (|R| + |S|) / time.
+  double RowsPerSecond(size_t build_rows, size_t probe_rows) const {
+    if (host_ns <= 0) return 0;
+    return (static_cast<double>(build_rows) + probe_rows) /
+           (host_ns * 1e-9);
+  }
+};
+
+/// \brief Records phase boundaries from worker thread 0. Workers call
+/// BeginPhase/EndPhase around barrier-synchronized sections; only tid 0
+/// writes, so no synchronization is needed beyond the join's own barriers.
+class PhaseRecorder {
+ public:
+  void Begin() { timer_.Restart(); }
+
+  /// \brief Closes the current phase: elapsed time since the last
+  /// Begin()/End() is attributed to `name` with the given profile.
+  void End(const std::string& name, const perf::AccessProfile& profile,
+           int threads) {
+    perf::PhaseStats s;
+    s.name = name;
+    s.host_ns = static_cast<double>(timer_.ElapsedNanos());
+    s.profile = profile;
+    s.threads = threads;
+    breakdown_.Add(std::move(s));
+    timer_.Restart();
+  }
+
+  /// \brief Nanoseconds since the last Begin()/End(), without closing the
+  /// phase. Used when a wall-clock phase is split into sub-phases.
+  double ElapsedNs() const {
+    return static_cast<double>(timer_.ElapsedNanos());
+  }
+
+  /// \brief Appends a pre-built phase entry and restarts the timer.
+  void AddRaw(perf::PhaseStats stats) {
+    breakdown_.Add(std::move(stats));
+    timer_.Restart();
+  }
+
+  perf::PhaseBreakdown Take() { return std::move(breakdown_); }
+
+ private:
+  WallTimer timer_;
+  perf::PhaseBreakdown breakdown_;
+};
+
+/// \brief Multiplicative hash for 32-bit join keys (Fibonacci hashing),
+/// mapping into [0, 2^bits).
+inline uint32_t HashKey(uint32_t key, uint32_t bits) {
+  return static_cast<uint32_t>((key * 2654435761u) >> (32 - bits));
+}
+
+/// \brief Radix function used by partitioning: the `bits` bits of the key
+/// starting at `shift` (the paper partitions by least significant bits).
+inline uint32_t RadixOf(uint32_t key, uint32_t mask, uint32_t shift) {
+  return (key & mask) >> shift;
+}
+
+/// \brief Validates the common preconditions shared by all joins.
+Status ValidateJoinInputs(const Relation& build, const Relation& probe,
+                          const JoinConfig& config);
+
+/// \brief Allocates an intermediate structure (hash table, partition
+/// buffer, ...) in the memory region implied by the execution setting:
+/// from the enclave heap when data lives in the enclave, else untrusted.
+Result<AlignedBuffer> AllocateIntermediate(size_t bytes,
+                                           const JoinConfig& config);
+
+}  // namespace sgxb::join
+
+#endif  // SGXB_JOIN_JOIN_COMMON_H_

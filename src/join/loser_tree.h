@@ -1,0 +1,111 @@
+// Loser tree for multi-way merging (Knuth TAOCP vol. 3; the structure the
+// MWAY sort-merge join of Kim et al. uses to merge sorted runs).
+//
+// A loser tree over K runs answers "which run holds the smallest head?"
+// in O(log K) comparisons per pop with excellent branch behaviour: after
+// removing the winner, only the path from its leaf to the root is
+// replayed. Compared to a binary heap it halves the comparisons per
+// element and touches a contiguous K-entry array.
+
+#ifndef SGXB_JOIN_LOSER_TREE_H_
+#define SGXB_JOIN_LOSER_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sgxb::join {
+
+/// \brief Merges K sorted runs of Tuples by key. Usage:
+///   LoserTree tree(cursors);
+///   while (!tree.Empty()) out[k++] = tree.Pop();
+class LoserTree {
+ public:
+  struct Cursor {
+    const Tuple* pos;
+    const Tuple* end;
+  };
+
+  explicit LoserTree(std::vector<Cursor> runs) : runs_(std::move(runs)) {
+    // k_ = number of leaves, padded to a power of two for a complete
+    // tree; empty runs participate as exhausted leaves.
+    k_ = 1;
+    while (k_ < runs_.size()) k_ <<= 1;
+    runs_.resize(k_, Cursor{nullptr, nullptr});
+    tree_.assign(k_, 0);
+    remaining_ = 0;
+    for (const Cursor& c : runs_) {
+      remaining_ += static_cast<size_t>(c.end - c.pos);
+    }
+    Rebuild();
+  }
+
+  bool Empty() const { return remaining_ == 0; }
+  size_t remaining() const { return remaining_; }
+
+  /// \brief Removes and returns the tuple with the smallest key.
+  Tuple Pop() {
+    const size_t run = winner_;
+    Tuple result = *runs_[run].pos++;
+    --remaining_;
+    Replay(run);
+    return result;
+  }
+
+  /// \brief Key of the current minimum (valid unless Empty()).
+  uint32_t MinKey() const { return runs_[winner_].pos->key; }
+
+ private:
+  static constexpr uint64_t kExhausted = ~uint64_t{0};
+
+  // Sort key of a run's head; exhausted runs sort last.
+  uint64_t KeyOf(size_t run) const {
+    const Cursor& c = runs_[run];
+    return c.pos == c.end ? kExhausted : c.pos->key;
+  }
+
+  // Rebuilds the whole tree (initialization): plays knockout rounds
+  // bottom-up, storing losers at internal nodes and the winner aside.
+  void Rebuild() {
+    // Compute the winner of the subtree rooted at internal node `node`
+    // and store losers along the way.
+    winner_ = BuildSubtree(1);
+  }
+
+  size_t BuildSubtree(size_t node) {
+    if (node >= k_) return node - k_;  // leaf index -> run index
+    size_t left = BuildSubtree(2 * node);
+    size_t right = BuildSubtree(2 * node + 1);
+    if (KeyOf(left) <= KeyOf(right)) {
+      tree_[node] = right;  // loser stays at the node
+      return left;
+    }
+    tree_[node] = left;
+    return right;
+  }
+
+  // After run `run` advanced, replay its leaf-to-root path.
+  void Replay(size_t run) {
+    size_t winner = run;
+    for (size_t node = (run + k_) / 2; node >= 1; node /= 2) {
+      if (KeyOf(tree_[node]) < KeyOf(winner)) {
+        // The stored loser beats the incoming contender: swap.
+        size_t tmp = winner;
+        winner = tree_[node];
+        tree_[node] = tmp;
+      }
+    }
+    winner_ = winner;
+  }
+
+  std::vector<Cursor> runs_;
+  std::vector<size_t> tree_;  // internal nodes store losers
+  size_t k_ = 0;
+  size_t winner_ = 0;
+  size_t remaining_ = 0;
+};
+
+}  // namespace sgxb::join
+
+#endif  // SGXB_JOIN_LOSER_TREE_H_

@@ -1,0 +1,70 @@
+#include "join/materializer.h"
+
+namespace sgxb::join {
+
+Materializer::Materializer(int num_threads, ExecutionSetting setting,
+                           sgx::Enclave* enclave, size_t chunk_tuples)
+    : setting_(setting), enclave_(enclave), chunk_tuples_(chunk_tuples) {
+  slots_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    slots_.push_back(std::make_unique<ThreadSlot>());
+  }
+}
+
+bool Materializer::Grow(ThreadSlot& slot) {
+  if (!slot.error.ok()) return false;
+  if (slot.current != nullptr) {
+    slot.chunk_used.back() = slot.used;
+  }
+  const size_t bytes = chunk_tuples_ * sizeof(JoinOutputTuple);
+  Result<AlignedBuffer> buf =
+      (setting_ == ExecutionSetting::kSgxDataInEnclave &&
+       enclave_ != nullptr)
+          ? enclave_->Allocate(bytes)
+          : AlignedBuffer::Allocate(bytes, MemoryRegion::kUntrusted);
+  if (!buf.ok()) {
+    slot.error = buf.status();
+    slot.current = nullptr;
+    slot.used = slot.capacity = 0;
+    return false;
+  }
+  slot.chunks.push_back(std::move(buf).value());
+  slot.chunk_used.push_back(0);
+  slot.current = slot.chunks.back().As<JoinOutputTuple>();
+  slot.used = 0;
+  slot.capacity = chunk_tuples_;
+  return true;
+}
+
+uint64_t Materializer::TotalTuples() const {
+  uint64_t total = 0;
+  for (const auto& slot : slots_) {
+    for (size_t i = 0; i + 1 < slot->chunk_used.size(); ++i) {
+      total += slot->chunk_used[i];
+    }
+    total += slot->used;
+  }
+  return total;
+}
+
+Status Materializer::status() const {
+  for (const auto& slot : slots_) {
+    if (!slot->error.ok()) return slot->error;
+  }
+  return Status::OK();
+}
+
+void Materializer::ForEachChunk(
+    const std::function<void(const JoinOutputTuple*, size_t)>& fn) const {
+  for (const auto& slot : slots_) {
+    for (size_t i = 0; i < slot->chunks.size(); ++i) {
+      size_t used =
+          (i + 1 == slot->chunks.size()) ? slot->used : slot->chunk_used[i];
+      if (used > 0) {
+        fn(slot->chunks[i].As<JoinOutputTuple>(), used);
+      }
+    }
+  }
+}
+
+}  // namespace sgxb::join

@@ -1,0 +1,72 @@
+// Join output materialization.
+//
+// Joins that materialize append output tuples into per-thread chunked
+// buffers. Chunks are allocated either from untrusted memory or from the
+// enclave heap; in the latter case, allocations beyond the enclave's
+// committed size trigger EDMM page-growth costs — exactly the effect the
+// paper measures in Section 4.4 / Figure 11.
+
+#ifndef SGXB_JOIN_MATERIALIZER_H_
+#define SGXB_JOIN_MATERIALIZER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "sgx/enclave.h"
+
+namespace sgxb::join {
+
+class Materializer {
+ public:
+  /// \brief `enclave` may be null; it is required only when `setting`
+  /// places data inside the enclave.
+  Materializer(int num_threads, ExecutionSetting setting,
+               sgx::Enclave* enclave,
+               size_t chunk_tuples = 128 * 1024);
+
+  Materializer(const Materializer&) = delete;
+  Materializer& operator=(const Materializer&) = delete;
+
+  /// \brief Appends one output tuple on behalf of worker `tid`. Only
+  /// thread `tid` may call this with its id (no internal locking).
+  void Append(int tid, const JoinOutputTuple& tuple) {
+    ThreadSlot& slot = *slots_[tid];
+    if (slot.used == slot.capacity && !Grow(slot)) return;
+    slot.current[slot.used++] = tuple;
+  }
+
+  /// \brief Total tuples materialized across all threads.
+  uint64_t TotalTuples() const;
+
+  /// \brief First allocation error encountered, if any.
+  Status status() const;
+
+  /// \brief Invokes `fn` over every chunk (pointer, count); chunks of one
+  /// thread appear in append order.
+  void ForEachChunk(
+      const std::function<void(const JoinOutputTuple*, size_t)>& fn) const;
+
+ private:
+  struct alignas(kCacheLineSize) ThreadSlot {
+    std::vector<AlignedBuffer> chunks;
+    std::vector<size_t> chunk_used;
+    JoinOutputTuple* current = nullptr;
+    size_t used = 0;
+    size_t capacity = 0;
+    Status error;
+  };
+
+  bool Grow(ThreadSlot& slot);
+
+  ExecutionSetting setting_;
+  sgx::Enclave* enclave_;
+  size_t chunk_tuples_;
+  std::vector<std::unique_ptr<ThreadSlot>> slots_;
+};
+
+}  // namespace sgxb::join
+
+#endif  // SGXB_JOIN_MATERIALIZER_H_

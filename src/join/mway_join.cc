@@ -1,0 +1,255 @@
+#include "join/mway_join.h"
+
+#include <algorithm>
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include "common/barrier.h"
+#include "common/parallel.h"
+#include "join/loser_tree.h"
+#include "join/materializer.h"
+
+namespace sgxb::join {
+
+namespace {
+
+struct SortedTable {
+  Tuple* runs = nullptr;    // run-sorted data (phase 1 output)
+  Tuple* merged = nullptr;  // fully sorted data (phase 2 output)
+  size_t n = 0;
+  std::vector<Range> run_bounds;  // one sorted run per thread
+};
+
+bool KeyLess(const Tuple& a, const Tuple& b) { return a.key < b.key; }
+
+// First position in [begin, end) whose key is >= key.
+size_t LowerBoundKey(const Tuple* data, size_t begin, size_t end,
+                     uint32_t key) {
+  while (begin < end) {
+    size_t mid = begin + (end - begin) / 2;
+    if (data[mid].key < key) {
+      begin = mid + 1;
+    } else {
+      end = mid;
+    }
+  }
+  return begin;
+}
+
+// Merges the slices of all runs whose keys lie in [lo_key, hi_key) into
+// out (which must have exactly the right capacity), using the loser tree
+// — the K-way merge structure of the original MWAY join.
+void MergeKeyRange(const SortedTable& table, uint32_t lo_key,
+                   uint64_t hi_key_exclusive, Tuple* out) {
+  std::vector<LoserTree::Cursor> cursors;
+  cursors.reserve(table.run_bounds.size());
+  for (const Range& run : table.run_bounds) {
+    size_t b = LowerBoundKey(table.runs, run.begin, run.end, lo_key);
+    size_t e = hi_key_exclusive > 0xffffffffull
+                   ? run.end
+                   : LowerBoundKey(table.runs, run.begin, run.end,
+                                   static_cast<uint32_t>(hi_key_exclusive));
+    cursors.push_back(
+        LoserTree::Cursor{table.runs + b, table.runs + e});
+  }
+  LoserTree tree(std::move(cursors));
+  size_t k = 0;
+  while (!tree.Empty()) out[k++] = tree.Pop();
+}
+
+// Counts tuples with keys in [lo, hi) across all runs.
+size_t CountKeyRange(const SortedTable& table, uint32_t lo_key,
+                     uint64_t hi_key_exclusive) {
+  size_t count = 0;
+  for (const Range& run : table.run_bounds) {
+    size_t b = LowerBoundKey(table.runs, run.begin, run.end, lo_key);
+    size_t e = hi_key_exclusive > 0xffffffffull
+                   ? run.end
+                   : LowerBoundKey(table.runs, run.begin, run.end,
+                                   static_cast<uint32_t>(hi_key_exclusive));
+    count += e - b;
+  }
+  return count;
+}
+
+}  // namespace
+
+Result<JoinResult> MwayJoin(const Relation& build, const Relation& probe,
+                            const JoinConfig& config) {
+  SGXB_RETURN_NOT_OK(ValidateJoinInputs(build, probe, config));
+
+  const int threads = config.num_threads;
+  const size_t r_bytes = build.size_bytes();
+  const size_t s_bytes = probe.size_bytes();
+
+  // Working buffers: run storage plus merged output, for each table.
+  auto run_r = AllocateIntermediate(r_bytes, config);
+  if (!run_r.ok()) return run_r.status();
+  auto run_s = AllocateIntermediate(s_bytes, config);
+  if (!run_s.ok()) return run_s.status();
+  auto merged_r = AllocateIntermediate(r_bytes, config);
+  if (!merged_r.ok()) return merged_r.status();
+  auto merged_s = AllocateIntermediate(s_bytes, config);
+  if (!merged_s.ok()) return merged_s.status();
+  AlignedBuffer run_r_buf = std::move(run_r).value();
+  AlignedBuffer run_s_buf = std::move(run_s).value();
+  AlignedBuffer merged_r_buf = std::move(merged_r).value();
+  AlignedBuffer merged_s_buf = std::move(merged_s).value();
+
+  SortedTable R, S;
+  R.runs = run_r_buf.As<Tuple>();
+  R.merged = merged_r_buf.As<Tuple>();
+  R.n = build.num_tuples();
+  S.runs = run_s_buf.As<Tuple>();
+  S.merged = merged_s_buf.As<Tuple>();
+  S.n = probe.num_tuples();
+  for (int t = 0; t < threads; ++t) {
+    R.run_bounds.push_back(SplitRange(R.n, threads, t));
+    S.run_bounds.push_back(SplitRange(S.n, threads, t));
+  }
+
+  // Key-range splitters for the parallel merge and merge-join: thread t
+  // owns keys in [splitter[t], splitter[t+1]).
+  std::vector<uint64_t> splitters(threads + 1);
+  for (int t = 0; t <= threads; ++t) {
+    splitters[t] = (uint64_t{0x100000000ull} * t) / threads;
+  }
+  std::vector<size_t> r_range_begin(threads + 1, 0);
+  std::vector<size_t> s_range_begin(threads + 1, 0);
+
+  Barrier barrier(threads);
+  PhaseRecorder recorder;
+  std::vector<uint64_t> matches(threads, 0);
+  std::optional<Materializer> own_mat;
+  Materializer* mat = config.output;
+  if (config.materialize && mat == nullptr) {
+    own_mat.emplace(threads, config.setting, config.enclave);
+    mat = &*own_mat;
+  }
+  const bool in_enclave = config.setting != ExecutionSetting::kPlainCpu;
+
+  ParallelRun(threads, [&](int tid) {
+    std::optional<sgx::ScopedEcall> ecall;
+    if (in_enclave) ecall.emplace();
+
+    barrier.WaitThen([&] { recorder.Begin(); });
+
+    // --- Phase 1: sort per-thread runs of both tables. ---
+    {
+      Range r = R.run_bounds[tid];
+      std::memcpy(R.runs + r.begin, build.tuples() + r.begin,
+                  r.size() * sizeof(Tuple));
+      std::sort(R.runs + r.begin, R.runs + r.end, KeyLess);
+      Range s = S.run_bounds[tid];
+      std::memcpy(S.runs + s.begin, probe.tuples() + s.begin,
+                  s.size() * sizeof(Tuple));
+      std::sort(S.runs + s.begin, S.runs + s.end, KeyLess);
+    }
+    barrier.WaitThen([&] {
+      perf::AccessProfile p;
+      p.seq_read_bytes = (r_bytes + s_bytes) * 2;
+      p.seq_write_bytes = r_bytes + s_bytes;
+      // Sorting is ~n log(run) compares with good ILP in introsort.
+      p.loop_iterations =
+          static_cast<uint64_t>((R.n + S.n) *
+                                (64 - __builtin_clzll(
+                                          std::max<size_t>(2, R.n / threads))));
+      p.ilp = perf::IlpClass::kUnrolledReordered;
+      recorder.End("sort", p, threads);
+      // Compute merge output offsets per key range (serial, cheap).
+      size_t racc = 0, sacc = 0;
+      for (int t = 0; t < threads; ++t) {
+        r_range_begin[t] = racc;
+        s_range_begin[t] = sacc;
+        racc += CountKeyRange(R, static_cast<uint32_t>(splitters[t]),
+                              splitters[t + 1]);
+        sacc += CountKeyRange(S, static_cast<uint32_t>(splitters[t]),
+                              splitters[t + 1]);
+      }
+      r_range_begin[threads] = racc;
+      s_range_begin[threads] = sacc;
+      recorder.Begin();
+    });
+
+    // --- Phase 2: parallel multi-way merge by key range. ---
+    MergeKeyRange(R, static_cast<uint32_t>(splitters[tid]),
+                  splitters[tid + 1], R.merged + r_range_begin[tid]);
+    MergeKeyRange(S, static_cast<uint32_t>(splitters[tid]),
+                  splitters[tid + 1], S.merged + s_range_begin[tid]);
+    barrier.WaitThen([&] {
+      perf::AccessProfile p;
+      p.seq_read_bytes = r_bytes + s_bytes;
+      p.seq_write_bytes = r_bytes + s_bytes;
+      p.loop_iterations = R.n + S.n;
+      p.ilp = perf::IlpClass::kReferenceLoop;  // heap pops are dependent
+      recorder.End("merge", p, threads);
+      recorder.Begin();
+    });
+
+    // --- Phase 3: merge-join each key range. ---
+    {
+      const Tuple* r = R.merged;
+      const Tuple* s = S.merged;
+      size_t ri = r_range_begin[tid];
+      size_t re = r_range_begin[tid + 1];
+      size_t si = s_range_begin[tid];
+      size_t se = s_range_begin[tid + 1];
+      uint64_t local = 0;
+      while (ri < re && si < se) {
+        if (r[ri].key < s[si].key) {
+          ++ri;
+        } else if (r[ri].key > s[si].key) {
+          ++si;
+        } else {
+          uint32_t key = r[ri].key;
+          size_t r_run_end = ri;
+          while (r_run_end < re && r[r_run_end].key == key) ++r_run_end;
+          size_t s_run_end = si;
+          while (s_run_end < se && s[s_run_end].key == key) ++s_run_end;
+          local += static_cast<uint64_t>(r_run_end - ri) *
+                   (s_run_end - si);
+          if (config.materialize) {
+            for (size_t a = ri; a < r_run_end; ++a) {
+              for (size_t b = si; b < s_run_end; ++b) {
+                mat->Append(tid, JoinOutputTuple{key, r[a].payload,
+                                                 s[b].payload});
+              }
+            }
+          }
+          ri = r_run_end;
+          si = s_run_end;
+        }
+      }
+      matches[tid] = local;
+    }
+    barrier.WaitThen([&] {
+      perf::AccessProfile p;
+      p.seq_read_bytes = r_bytes + s_bytes;
+      p.loop_iterations = R.n + S.n;
+      p.ilp = perf::IlpClass::kStreaming;
+      if (config.materialize) {
+        p.seq_write_bytes = S.n * sizeof(JoinOutputTuple);
+      }
+      recorder.End("mergejoin", p, threads);
+    });
+  });
+
+  if (mat != nullptr) {
+    SGXB_RETURN_NOT_OK(mat->status());
+  }
+
+  JoinResult result;
+  result.phases = recorder.Take();
+  result.host_ns = result.phases.TotalHostNs();
+  result.threads = threads;
+  for (uint64_t m : matches) result.matches += m;
+
+  if (config.enclave != nullptr &&
+      config.setting == ExecutionSetting::kSgxDataInEnclave) {
+    config.enclave->NotifyFree(2 * (r_bytes + s_bytes));
+  }
+  return result;
+}
+
+}  // namespace sgxb::join

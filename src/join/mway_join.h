@@ -1,0 +1,26 @@
+// Multi-way sort-merge join (MWAY) — Kim et al.'s sort-merge join as
+// shipped in TEEBench.
+//
+// Each thread sorts a contiguous run of both inputs; the runs are merged
+// into fully sorted tables with a parallel multi-way merge (threads own
+// disjoint key ranges found by binary search over the runs); finally the
+// sorted tables are merge-joined in one pass, again parallelized by key
+// range. The original uses AVX bitonic sorting networks for the run sort;
+// this implementation uses introsort for the runs and keeps the multi-way
+// merge structure — the memory access pattern (sequential runs, merge
+// fan-in) that the paper's SGX analysis depends on is preserved.
+
+#ifndef SGXB_JOIN_MWAY_JOIN_H_
+#define SGXB_JOIN_MWAY_JOIN_H_
+
+#include "join/join_common.h"
+
+namespace sgxb::join {
+
+/// \brief Runs the MWAY sort-merge join of `build` and `probe`.
+Result<JoinResult> MwayJoin(const Relation& build, const Relation& probe,
+                            const JoinConfig& config);
+
+}  // namespace sgxb::join
+
+#endif  // SGXB_JOIN_MWAY_JOIN_H_

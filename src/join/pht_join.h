@@ -1,0 +1,27 @@
+// Parallel Hash Table join (PHT) — Blanas et al.'s no-partitioning join.
+//
+// Multiple threads build one shared bucket-chained hash table from the
+// smaller input (buckets are latched for parallel inserts), then probe it
+// in parallel over partitions of the larger input. Because the shared
+// table is much larger than cache for the paper's table sizes, PHT is the
+// join that suffers most from the SGXv2 random-access penalty (Sections
+// 4.1 and Figure 4).
+
+#ifndef SGXB_JOIN_PHT_JOIN_H_
+#define SGXB_JOIN_PHT_JOIN_H_
+
+#include "join/join_common.h"
+
+namespace sgxb::join {
+
+/// \brief Runs the PHT join of `build` (hash side) and `probe`.
+Result<JoinResult> PhtJoin(const Relation& build, const Relation& probe,
+                           const JoinConfig& config);
+
+/// \brief Bytes the shared hash table will occupy for `build_tuples`
+/// rows; exposed so benchmarks can report the random-access working set.
+size_t PhtHashTableBytes(size_t build_tuples);
+
+}  // namespace sgxb::join
+
+#endif  // SGXB_JOIN_PHT_JOIN_H_

@@ -1,0 +1,335 @@
+#include "join/radix_common.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+#include <algorithm>
+
+#include "join/join_common.h"
+
+namespace sgxb::join {
+
+// A compiler barrier that keeps GCC from re-interleaving the index
+// computations with the increments (which would undo the reordering that
+// matters inside enclaves, cf. the unroll-pragma observation in 4.2).
+#define SGXB_REORDER_BARRIER() asm volatile("" ::: "memory")
+
+void HistogramReference(const Tuple* data, size_t n, uint32_t mask,
+                        uint32_t shift, uint32_t* hist) {
+  for (size_t i = 0; i < n; ++i) {
+    size_t idx = RadixOf(data[i].key, mask, shift);
+    ++hist[idx];
+  }
+}
+
+void HistogramUnrolled(const Tuple* data, size_t n, uint32_t mask,
+                       uint32_t shift, uint32_t* hist) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    size_t idx0 = RadixOf(data[i].key, mask, shift);
+    size_t idx1 = RadixOf(data[i + 1].key, mask, shift);
+    size_t idx2 = RadixOf(data[i + 2].key, mask, shift);
+    size_t idx3 = RadixOf(data[i + 3].key, mask, shift);
+    size_t idx4 = RadixOf(data[i + 4].key, mask, shift);
+    size_t idx5 = RadixOf(data[i + 5].key, mask, shift);
+    size_t idx6 = RadixOf(data[i + 6].key, mask, shift);
+    size_t idx7 = RadixOf(data[i + 7].key, mask, shift);
+    SGXB_REORDER_BARRIER();
+    ++hist[idx0];
+    ++hist[idx1];
+    ++hist[idx2];
+    ++hist[idx3];
+    ++hist[idx4];
+    ++hist[idx5];
+    ++hist[idx6];
+    ++hist[idx7];
+  }
+  for (; i < n; ++i) {
+    size_t idx = RadixOf(data[i].key, mask, shift);
+    ++hist[idx];
+  }
+}
+
+#if defined(__AVX2__)
+
+void HistogramSimd(const Tuple* data, size_t n, uint32_t mask,
+                   uint32_t shift, uint32_t* hist) {
+  // Buffer 16 bin indexes in AVX registers before issuing any increment,
+  // pushing the reordering distance beyond what 8x scalar unroll reaches.
+  const __m256i vmask = _mm256_set1_epi32(static_cast<int>(mask));
+  alignas(32) uint32_t idx[16];
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    // Tuples are (key, payload) pairs: gather the keys (even lanes).
+    __m256i a = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(data + i));       // t0..t3
+    __m256i b = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(data + i + 4));   // t4..t7
+    __m256i c = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(data + i + 8));   // t8..t11
+    __m256i d = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(data + i + 12));  // t12..t15
+    // Even 32-bit lanes of each 64-bit tuple are the keys.
+    __m256i keys_ab = _mm256_castps_si256(_mm256_shuffle_ps(
+        _mm256_castsi256_ps(a), _mm256_castsi256_ps(b),
+        _MM_SHUFFLE(2, 0, 2, 0)));
+    __m256i keys_cd = _mm256_castps_si256(_mm256_shuffle_ps(
+        _mm256_castsi256_ps(c), _mm256_castsi256_ps(d),
+        _MM_SHUFFLE(2, 0, 2, 0)));
+    __m256i i_ab = _mm256_srli_epi32(_mm256_and_si256(keys_ab, vmask),
+                                     static_cast<int>(shift));
+    __m256i i_cd = _mm256_srli_epi32(_mm256_and_si256(keys_cd, vmask),
+                                     static_cast<int>(shift));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(idx), i_ab);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(idx + 8), i_cd);
+    SGXB_REORDER_BARRIER();
+    for (int k = 0; k < 16; ++k) ++hist[idx[k]];
+  }
+  for (; i < n; ++i) {
+    ++hist[RadixOf(data[i].key, mask, shift)];
+  }
+}
+
+#else
+
+void HistogramSimd(const Tuple* data, size_t n, uint32_t mask,
+                   uint32_t shift, uint32_t* hist) {
+  HistogramUnrolled(data, n, mask, shift, hist);
+}
+
+#endif  // __AVX2__
+
+HistogramKernel PickHistogramKernel(KernelFlavor flavor) {
+  return flavor == KernelFlavor::kReference ? &HistogramReference
+                                            : &HistogramUnrolled;
+}
+
+void ScatterReference(const Tuple* data, size_t n, uint32_t mask,
+                      uint32_t shift, uint64_t* offsets, Tuple* out) {
+  for (size_t i = 0; i < n; ++i) {
+    size_t idx = RadixOf(data[i].key, mask, shift);
+    out[offsets[idx]++] = data[i];
+  }
+}
+
+void ScatterUnrolled(const Tuple* data, size_t n, uint32_t mask,
+                     uint32_t shift, uint64_t* offsets, Tuple* out) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    size_t idx0 = RadixOf(data[i].key, mask, shift);
+    size_t idx1 = RadixOf(data[i + 1].key, mask, shift);
+    size_t idx2 = RadixOf(data[i + 2].key, mask, shift);
+    size_t idx3 = RadixOf(data[i + 3].key, mask, shift);
+    size_t idx4 = RadixOf(data[i + 4].key, mask, shift);
+    size_t idx5 = RadixOf(data[i + 5].key, mask, shift);
+    size_t idx6 = RadixOf(data[i + 6].key, mask, shift);
+    size_t idx7 = RadixOf(data[i + 7].key, mask, shift);
+    SGXB_REORDER_BARRIER();
+    out[offsets[idx0]++] = data[i];
+    out[offsets[idx1]++] = data[i + 1];
+    out[offsets[idx2]++] = data[i + 2];
+    out[offsets[idx3]++] = data[i + 3];
+    out[offsets[idx4]++] = data[i + 4];
+    out[offsets[idx5]++] = data[i + 5];
+    out[offsets[idx6]++] = data[i + 6];
+    out[offsets[idx7]++] = data[i + 7];
+  }
+  for (; i < n; ++i) {
+    size_t idx = RadixOf(data[i].key, mask, shift);
+    out[offsets[idx]++] = data[i];
+  }
+}
+
+ScatterKernel PickScatterKernel(KernelFlavor flavor) {
+  return flavor == KernelFlavor::kReference ? &ScatterReference
+                                            : &ScatterUnrolled;
+}
+
+void ScatterBufferScratch::Reserve(int bits) {
+  const size_t fanout = size_t{1} << bits;
+  if (fill_.size() < fanout) {
+    buffers_.resize(fanout * 8);
+    fill_.resize(fanout);
+  }
+  std::fill(fill_.begin(), fill_.end(), 0);
+}
+
+void ScatterSoftwareBuffered(const Tuple* data, size_t n, uint32_t mask,
+                             uint32_t shift, uint64_t* offsets,
+                             Tuple* out, ScatterBufferScratch* scratch) {
+  Tuple* buffers = scratch->buffers();
+  uint8_t* fill = scratch->fill();
+
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t part = RadixOf(data[i].key, mask, shift);
+    Tuple* line = buffers + part * 8;
+    line[fill[part]++] = data[i];
+    if (fill[part] == 8) {
+      // Flush a full cache line worth of tuples at once.
+      Tuple* dst = out + offsets[part];
+      for (int k = 0; k < 8; ++k) dst[k] = line[k];
+      offsets[part] += 8;
+      fill[part] = 0;
+    }
+  }
+  // Drain partial buffers.
+  const uint32_t fanout = (mask >> shift) + 1;
+  for (uint32_t part = 0; part < fanout; ++part) {
+    Tuple* line = buffers + static_cast<size_t>(part) * 8;
+    for (uint8_t k = 0; k < fill[part]; ++k) {
+      out[offsets[part]++] = line[k];
+    }
+    fill[part] = 0;
+  }
+}
+
+// --- In-cache join -----------------------------------------------------------
+
+size_t InCacheJoinScratch::BucketsFor(size_t n) {
+  size_t buckets = 16;
+  while (buckets < n) buckets <<= 1;
+  return buckets;
+}
+
+void InCacheJoinScratch::Reserve(size_t n) {
+  if (next_.size() < n) next_.resize(n);
+  size_t buckets = BucketsFor(n);
+  if (heads_cap_ < buckets) {
+    heads_.resize(buckets);
+    heads_cap_ = buckets;
+  }
+}
+
+namespace {
+
+constexpr uint32_t kEmpty = 0xffffffffu;
+
+inline uint32_t BitsOf(size_t buckets) {
+  uint32_t bits = 0;
+  while ((size_t{1} << bits) < buckets) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+uint64_t InCachePartitionJoin(const Tuple* build, size_t build_n,
+                              const Tuple* probe, size_t probe_n,
+                              KernelFlavor flavor,
+                              InCacheJoinScratch* scratch,
+                              MatchEmitter emit, void* emit_ctx) {
+  if (build_n == 0 || probe_n == 0) return 0;
+  scratch->Reserve(build_n);
+  const size_t buckets = InCacheJoinScratch::BucketsFor(build_n);
+  const uint32_t bits = BitsOf(buckets);
+  uint32_t* heads = scratch->bucket_heads();
+  uint32_t* next = scratch->next();
+  std::fill(heads, heads + buckets, kEmpty);
+
+  // Build.
+  if (flavor == KernelFlavor::kReference) {
+    for (size_t i = 0; i < build_n; ++i) {
+      uint32_t h = HashKey(build[i].key, bits);
+      next[i] = heads[h];
+      heads[h] = static_cast<uint32_t>(i);
+    }
+  } else {
+    size_t i = 0;
+    uint32_t h[8];
+    for (; i + 8 <= build_n; i += 8) {
+      for (int k = 0; k < 8; ++k) h[k] = HashKey(build[i + k].key, bits);
+      SGXB_REORDER_BARRIER();
+      for (int k = 0; k < 8; ++k) {
+        next[i + k] = heads[h[k]];
+        heads[h[k]] = static_cast<uint32_t>(i + k);
+      }
+    }
+    for (; i < build_n; ++i) {
+      uint32_t hh = HashKey(build[i].key, bits);
+      next[i] = heads[hh];
+      heads[hh] = static_cast<uint32_t>(i);
+    }
+  }
+
+  // Probe.
+  uint64_t matches = 0;
+  if (flavor == KernelFlavor::kReference) {
+    for (size_t j = 0; j < probe_n; ++j) {
+      uint32_t key = probe[j].key;
+      for (uint32_t idx = heads[HashKey(key, bits)]; idx != kEmpty;
+           idx = next[idx]) {
+        if (build[idx].key == key) {
+          ++matches;
+          if (emit != nullptr) emit(emit_ctx, build[idx], probe[j]);
+        }
+      }
+    }
+  } else {
+    size_t j = 0;
+    uint32_t h[8];
+    for (; j + 8 <= probe_n; j += 8) {
+      for (int k = 0; k < 8; ++k) h[k] = HashKey(probe[j + k].key, bits);
+      SGXB_REORDER_BARRIER();
+      for (int k = 0; k < 8; ++k) {
+        uint32_t key = probe[j + k].key;
+        for (uint32_t idx = heads[h[k]]; idx != kEmpty; idx = next[idx]) {
+          if (build[idx].key == key) {
+            ++matches;
+            if (emit != nullptr) emit(emit_ctx, build[idx], probe[j + k]);
+          }
+        }
+      }
+    }
+    for (; j < probe_n; ++j) {
+      uint32_t key = probe[j].key;
+      for (uint32_t idx = heads[HashKey(key, bits)]; idx != kEmpty;
+           idx = next[idx]) {
+        if (build[idx].key == key) {
+          ++matches;
+          if (emit != nullptr) emit(emit_ctx, build[idx], probe[j]);
+        }
+      }
+    }
+  }
+  return matches;
+}
+
+// --- Profiles -----------------------------------------------------------------
+
+perf::AccessProfile HistogramProfile(size_t n, int bits,
+                                     KernelFlavor flavor) {
+  perf::AccessProfile p;
+  p.seq_read_bytes = n * sizeof(Tuple);
+  p.loop_iterations = n;
+  // The histogram itself is cache-resident (2^bits counters); its
+  // increments are random cache writes, which are free in SGX — the
+  // enclave effect on this loop is purely the ILP restriction.
+  p.rand_writes = n;
+  p.rand_write_working_set = (size_t{1} << bits) * sizeof(uint32_t);
+  p.ilp = flavor == KernelFlavor::kReference
+              ? perf::IlpClass::kReferenceLoop
+              : perf::IlpClass::kUnrolledReordered;
+  return p;
+}
+
+perf::AccessProfile ScatterProfile(size_t n, int bits, size_t out_bytes,
+                                   KernelFlavor flavor) {
+  perf::AccessProfile p;
+  p.seq_read_bytes = n * sizeof(Tuple);
+  p.loop_iterations = n;
+  // Scatter writes land in 2^bits output streams; per stream they are
+  // sequential, so the tuple traffic is modeled as streaming writes. The
+  // read-modify-write offset bookkeeping hits a small cache-resident
+  // array, so — like the histogram — the dominant enclave effect on this
+  // loop is the ILP restriction.
+  p.seq_write_bytes = n * sizeof(Tuple);
+  p.rand_writes = n;
+  p.rand_write_working_set = (size_t{1} << bits) * sizeof(uint64_t);
+  (void)out_bytes;
+  p.ilp = flavor == KernelFlavor::kReference
+              ? perf::IlpClass::kReferenceLoop
+              : perf::IlpClass::kUnrolledReordered;
+  return p;
+}
+
+}  // namespace sgxb::join

@@ -1,0 +1,136 @@
+// Radix-partitioning kernels: histogram and scatter, in the paper's
+// reference (Listing 1) and manually unrolled + reordered (Listing 2)
+// flavours, plus an AVX index-buffering variant.
+//
+// These loops are where the paper discovered the enclave-mode
+// instruction-reordering penalty (Section 4.2, Figure 7): inside an SGXv2
+// enclave the reference loop runs 225% slower, while computing 8 indexes
+// before issuing the 8 increments recovers most of the loss. The compiler
+// is prevented from fusing the unrolled index/increment groups back
+// together with lightweight barriers, mirroring the observation that GCC's
+// unroll pragma (which interleaves) does not help.
+
+#ifndef SGXB_JOIN_RADIX_COMMON_H_
+#define SGXB_JOIN_RADIX_COMMON_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "perf/access_profile.h"
+
+namespace sgxb::join {
+
+// --- Histogram (count keys per radix bin) --------------------------------
+
+/// \brief Listing 1: straightforward histogram loop.
+void HistogramReference(const Tuple* data, size_t n, uint32_t mask,
+                        uint32_t shift, uint32_t* hist);
+
+/// \brief Listing 2: 8x manual unroll, all index computations before all
+/// increments.
+void HistogramUnrolled(const Tuple* data, size_t n, uint32_t mask,
+                       uint32_t shift, uint32_t* hist);
+
+/// \brief Deeper unroll buffering 16 indexes through SIMD registers (the
+/// paper's AVX variant); falls back to HistogramUnrolled without AVX2.
+void HistogramSimd(const Tuple* data, size_t n, uint32_t mask,
+                   uint32_t shift, uint32_t* hist);
+
+/// \brief Picks the histogram kernel for a flavour.
+using HistogramKernel = void (*)(const Tuple*, size_t, uint32_t, uint32_t,
+                                 uint32_t*);
+HistogramKernel PickHistogramKernel(KernelFlavor flavor);
+
+// --- Scatter (copy tuples to their partition) ------------------------------
+
+/// \brief Reference scatter: for each tuple, find its bin and store it at
+/// offsets[bin]++ in `out`. `offsets` are running positions.
+void ScatterReference(const Tuple* data, size_t n, uint32_t mask,
+                      uint32_t shift, uint64_t* offsets, Tuple* out);
+
+/// \brief Unrolled + reordered scatter (the paper applies the optimization
+/// to the partitioning copy phase as well, Figure 6).
+void ScatterUnrolled(const Tuple* data, size_t n, uint32_t mask,
+                     uint32_t shift, uint64_t* offsets, Tuple* out);
+
+using ScatterKernel = void (*)(const Tuple*, size_t, uint32_t, uint32_t,
+                               uint64_t*, Tuple*);
+ScatterKernel PickScatterKernel(KernelFlavor flavor);
+
+/// \brief Scratch for the software-managed-buffer scatter: one cache
+/// line (8 tuples) per partition, flushed to the output when full.
+class ScatterBufferScratch {
+ public:
+  /// \brief Ensures room for 2^bits partitions.
+  void Reserve(int bits);
+
+  Tuple* buffers() { return buffers_.data(); }
+  uint8_t* fill() { return fill_.data(); }
+
+ private:
+  std::vector<Tuple> buffers_;   // fanout x 8 tuples
+  std::vector<uint8_t> fill_;    // entries per partition buffer
+};
+
+/// \brief Software write-combining scatter (Balkesen et al.): tuples are
+/// staged in per-partition cache-line buffers and written out a full
+/// line at a time. Converts the scattered stores into cache-line-granular
+/// bursts — the classic radix-partitioning optimization, and a natural
+/// fit for enclaves since it both groups stores (software MLP) and cuts
+/// write-allocate traffic. Output order within a partition is preserved.
+void ScatterSoftwareBuffered(const Tuple* data, size_t n, uint32_t mask,
+                             uint32_t shift, uint64_t* offsets,
+                             Tuple* out, ScatterBufferScratch* scratch);
+
+// --- In-cache hash join on one partition -----------------------------------
+// The bucket-chained in-cache join used by both RHO and CrkJoin ("the same
+// in-cache join method as RHO", Section 4). Chains are index-linked arrays
+// sized to the partition, so everything stays cache-resident.
+
+/// \brief Scratch space for one in-cache join; reusable across partitions.
+class InCacheJoinScratch {
+ public:
+  /// \brief Ensures capacity for a build partition of `n` tuples.
+  void Reserve(size_t n);
+
+  uint32_t* next() { return next_.data(); }
+  uint32_t* bucket_heads() { return heads_.data(); }
+  size_t bucket_count() const { return heads_cap_; }
+
+  /// \brief Number of buckets (power of two) for `n` build tuples.
+  static size_t BucketsFor(size_t n);
+
+ private:
+  std::vector<uint32_t> next_;
+  std::vector<uint32_t> heads_;
+  size_t heads_cap_ = 0;
+};
+
+/// \brief Joins one partition pair; returns the number of matches. If
+/// `emit` is non-null it is called for each match with (build, probe).
+using MatchEmitter = void (*)(void* ctx, const Tuple& build,
+                              const Tuple& probe);
+uint64_t InCachePartitionJoin(const Tuple* build, size_t build_n,
+                              const Tuple* probe, size_t probe_n,
+                              KernelFlavor flavor,
+                              InCacheJoinScratch* scratch,
+                              MatchEmitter emit = nullptr,
+                              void* emit_ctx = nullptr);
+
+// --- Profile helpers ---------------------------------------------------------
+
+/// \brief Access profile of one histogram pass over `n` tuples with 2^bits
+/// bins, in the given flavour.
+perf::AccessProfile HistogramProfile(size_t n, int bits,
+                                     KernelFlavor flavor);
+
+/// \brief Access profile of one scatter pass of `n` tuples into 2^bits
+/// partitions spread over `out_bytes` of output.
+perf::AccessProfile ScatterProfile(size_t n, int bits, size_t out_bytes,
+                                   KernelFlavor flavor);
+
+}  // namespace sgxb::join
+
+#endif  // SGXB_JOIN_RADIX_COMMON_H_

@@ -1,0 +1,26 @@
+// Radix Hash Optimized join (RHO) — Manegold/Balkesen-style radix join
+// with two-phase parallel partitioning (Kim et al.) and a task-queue join
+// phase.
+//
+// Both inputs are partitioned into cache-sized partitions by the least
+// significant bits of the join key: pass 1 is a histogram + scatter over
+// all threads with a global prefix sum; pass 2 re-partitions each pass-1
+// partition task-by-task. The final partition pairs are joined with the
+// in-cache bucket-chained hash join. The histogram/scatter/build loops
+// come in the reference and unrolled+reordered flavours (Figures 6-8), and
+// the task queue is pluggable (Figure 10).
+
+#ifndef SGXB_JOIN_RHO_JOIN_H_
+#define SGXB_JOIN_RHO_JOIN_H_
+
+#include "join/join_common.h"
+
+namespace sgxb::join {
+
+/// \brief Runs the RHO join of `build` and `probe`.
+Result<JoinResult> RhoJoin(const Relation& build, const Relation& probe,
+                           const JoinConfig& config);
+
+}  // namespace sgxb::join
+
+#endif  // SGXB_JOIN_RHO_JOIN_H_

@@ -1,0 +1,83 @@
+#include "perf/access_profile.h"
+
+#include <algorithm>
+
+namespace sgxb::perf {
+
+const char* IlpClassToString(IlpClass c) {
+  switch (c) {
+    case IlpClass::kStreaming:
+      return "streaming";
+    case IlpClass::kReferenceLoop:
+      return "reference-loop";
+    case IlpClass::kUnrolledReordered:
+      return "unrolled";
+    case IlpClass::kSimdUnrolled:
+      return "simd-unrolled";
+  }
+  return "unknown";
+}
+
+AccessProfile& AccessProfile::Merge(const AccessProfile& other) {
+  seq_read_bytes += other.seq_read_bytes;
+  seq_write_bytes += other.seq_write_bytes;
+  rand_reads += other.rand_reads;
+  rand_read_working_set =
+      std::max(rand_read_working_set, other.rand_read_working_set);
+  rand_reads_dependent = rand_reads_dependent || other.rand_reads_dependent;
+  rand_writes += other.rand_writes;
+  rand_write_working_set =
+      std::max(rand_write_working_set, other.rand_write_working_set);
+  loop_iterations += other.loop_iterations;
+  // The merged ILP class is the weakest one involved: a reference loop
+  // anywhere dominates the enclave penalty.
+  ilp = std::min(ilp, other.ilp, [](IlpClass a, IlpClass b) {
+    auto rank = [](IlpClass c) {
+      switch (c) {
+        case IlpClass::kReferenceLoop:
+          return 0;
+        case IlpClass::kUnrolledReordered:
+          return 1;
+        case IlpClass::kSimdUnrolled:
+          return 2;
+        case IlpClass::kStreaming:
+          return 3;
+      }
+      return 3;
+    };
+    return rank(a) < rank(b);
+  });
+  wide_vectors = wide_vectors && other.wide_vectors;
+  return *this;
+}
+
+AccessProfile AccessProfile::ScaledBy(double factor) const {
+  AccessProfile p = *this;
+  auto scale = [factor](uint64_t v) {
+    return static_cast<uint64_t>(static_cast<double>(v) * factor);
+  };
+  p.seq_read_bytes = scale(p.seq_read_bytes);
+  p.seq_write_bytes = scale(p.seq_write_bytes);
+  p.seq_data_bytes = scale(p.seq_data_bytes);
+  p.rand_reads = scale(p.rand_reads);
+  p.rand_read_working_set = scale(p.rand_read_working_set);
+  p.rand_writes = scale(p.rand_writes);
+  p.rand_write_working_set = scale(p.rand_write_working_set);
+  p.loop_iterations = scale(p.loop_iterations);
+  return p;
+}
+
+double PhaseBreakdown::TotalHostNs() const {
+  double total = 0;
+  for (const auto& p : phases) total += p.host_ns;
+  return total;
+}
+
+const PhaseStats* PhaseBreakdown::Find(const std::string& name) const {
+  for (const auto& p : phases) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+}  // namespace sgxb::perf

@@ -1,0 +1,113 @@
+// Per-phase memory-access profiles.
+//
+// Every operator phase (histogram, partition copy, hash build, probe, scan,
+// sort, merge, ...) describes its memory behaviour in an AccessProfile. The
+// cost model turns a profile plus an execution setting into an estimated
+// runtime on the reference machine and into an SGX slowdown factor. Because
+// the profiles are emitted by the *real* algorithm execution (actual
+// working-set sizes, actual tuple counts), crossover behaviour — e.g. a
+// hash table outgrowing the L3 — emerges from the algorithms, not from
+// per-figure constants.
+
+#ifndef SGXB_PERF_ACCESS_PROFILE_H_
+#define SGXB_PERF_ACCESS_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sgxb::perf {
+
+/// \brief Instruction-level-parallelism class of a phase's dominant loop;
+/// determines the enclave-mode execution penalty (paper Section 4.2).
+enum class IlpClass {
+  /// Streaming/SIMD loop with no loop-carried dependency (e.g. a scan).
+  kStreaming = 0,
+  /// Listing-1-style read-modify-write loop; the CPU's dynamic unrolling
+  /// is what enclave mode restricts, so this class is hit hardest (3.25x).
+  kReferenceLoop = 1,
+  /// Listing-2-style manual 8x unroll with grouped index computation.
+  kUnrolledReordered = 2,
+  /// AVX-register index buffering (the paper's deepest unroll).
+  kSimdUnrolled = 3,
+};
+
+const char* IlpClassToString(IlpClass c);
+
+/// \brief Memory/compute footprint of one operator phase.
+struct AccessProfile {
+  /// Bytes read with a sequential pattern (prefetcher-friendly).
+  uint64_t seq_read_bytes = 0;
+  /// Bytes written with a sequential pattern.
+  uint64_t seq_write_bytes = 0;
+  /// Size of the structure being streamed (one pass); repeated scans of
+  /// a cache-resident structure run at cache bandwidth with no SGX
+  /// penalty (Fig. 12). 0 = unknown, assume larger than cache.
+  uint64_t seq_data_bytes = 0;
+
+  /// Count of random reads and the size of the structure they hit.
+  uint64_t rand_reads = 0;
+  uint64_t rand_read_working_set = 0;
+  /// True if each random read depends on the previous one (pointer chase).
+  bool rand_reads_dependent = false;
+
+  /// Count of random writes and the size of the structure they hit.
+  uint64_t rand_writes = 0;
+  uint64_t rand_write_working_set = 0;
+
+  /// Iterations of the dominant loop (used for the compute estimate).
+  uint64_t loop_iterations = 0;
+  IlpClass ilp = IlpClass::kStreaming;
+
+  /// Native cycles per loop iteration when the IlpClass default is a bad
+  /// fit (e.g. CrkJoin's branch-mispredict-bound swap loop); 0 = use the
+  /// class default.
+  double cpi_hint = 0;
+
+  /// True if the streaming loads/stores use 512-bit vectors (lower linear
+  /// SGX overhead than 64-bit scalar accesses, paper Fig. 15).
+  bool wide_vectors = false;
+
+  /// True if independent random accesses are grouped in software (the
+  /// unroll-and-reorder optimization computes 8 hashes before issuing 8
+  /// accesses). Without this, enclave mode's restricted reordering also
+  /// limits how many misses the reference loop keeps in flight, which is
+  /// why unrolling speeds up the *memory-bound* PHT phases (Fig. 8).
+  bool software_mlp = false;
+
+  /// \brief Element-wise sum; working sets take the max, flags the OR.
+  AccessProfile& Merge(const AccessProfile& other);
+
+  /// \brief Returns the profile with all volumes (bytes, access counts,
+  /// iterations) and working-set sizes multiplied by `factor`. Used to
+  /// evaluate a host-validated execution at the paper's workload scale.
+  AccessProfile ScaledBy(double factor) const;
+};
+
+/// \brief A named phase with its real measured time and its profile.
+struct PhaseStats {
+  std::string name;
+  /// Wall time of the real execution on the host, in nanoseconds.
+  double host_ns = 0;
+  AccessProfile profile;
+  /// Threads that executed this phase concurrently.
+  int threads = 1;
+  /// True for phases that cannot be parallelized (e.g. CrkJoin's
+  /// top-level cracking); modeling never scales these to more threads.
+  bool inherently_serial = false;
+};
+
+/// \brief Ordered list of phases recorded by one operator execution.
+struct PhaseBreakdown {
+  std::vector<PhaseStats> phases;
+
+  void Add(PhaseStats s) { phases.push_back(std::move(s)); }
+  double TotalHostNs() const;
+  const PhaseStats* Find(const std::string& name) const;
+};
+
+}  // namespace sgxb::perf
+
+#endif  // SGXB_PERF_ACCESS_PROFILE_H_

@@ -1,0 +1,57 @@
+#include "perf/calibration.h"
+
+#include <cstdlib>
+
+namespace sgxb::perf {
+
+namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  double parsed = std::strtod(v, &end);
+  return (end != v && parsed > 0) ? parsed : fallback;
+}
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(v, &end, 10);
+  return (end != v) ? static_cast<uint64_t>(parsed) : fallback;
+}
+
+}  // namespace
+
+CalibrationParams CalibrationParams::FromEnv() {
+  CalibrationParams p;
+  p.transition_cycles =
+      EnvU64("SGXBENCH_TRANSITION_CYCLES", p.transition_cycles);
+  p.futex_syscall_cycles =
+      EnvU64("SGXBENCH_FUTEX_CYCLES", p.futex_syscall_cycles);
+  p.edmm_page_add_ns = EnvDouble("SGXBENCH_EDMM_PAGE_NS", p.edmm_page_add_ns);
+  p.ilp_penalty_reference =
+      EnvDouble("SGXBENCH_ILP_PENALTY_REF", p.ilp_penalty_reference);
+  p.ilp_penalty_unrolled =
+      EnvDouble("SGXBENCH_ILP_PENALTY_UNROLLED", p.ilp_penalty_unrolled);
+  p.ilp_penalty_simd =
+      EnvDouble("SGXBENCH_ILP_PENALTY_SIMD", p.ilp_penalty_simd);
+  p.rand_read_relperf_floor =
+      EnvDouble("SGXBENCH_RAND_READ_FLOOR", p.rand_read_relperf_floor);
+  p.rand_write_relperf_floor =
+      EnvDouble("SGXBENCH_RAND_WRITE_FLOOR", p.rand_write_relperf_floor);
+  p.upi_bandwidth = EnvDouble("SGXBENCH_UPI_BW", p.upi_bandwidth);
+  p.node_read_bandwidth =
+      EnvDouble("SGXBENCH_NODE_READ_BW", p.node_read_bandwidth);
+  p.node_write_bandwidth =
+      EnvDouble("SGXBENCH_NODE_WRITE_BW", p.node_write_bandwidth);
+  return p;
+}
+
+const CalibrationParams& CalibrationParams::Default() {
+  static const CalibrationParams kParams = FromEnv();
+  return kParams;
+}
+
+}  // namespace sgxb::perf

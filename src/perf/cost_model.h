@@ -1,0 +1,80 @@
+// The SGXv2 cost model: (access profile, execution environment) -> time.
+//
+// Given a phase's AccessProfile, the model decomposes its runtime on the
+// reference machine into compute / sequential / random components, applies
+// the SGX multipliers to each component, and reports either an absolute
+// estimate (for modeled reference-machine series) or a slowdown factor
+// relative to Plain CPU (for scaling real host measurements into the three
+// execution settings).
+
+#ifndef SGXB_PERF_COST_MODEL_H_
+#define SGXB_PERF_COST_MODEL_H_
+
+#include "common/types.h"
+#include "perf/access_profile.h"
+#include "perf/machine_model.h"
+
+namespace sgxb::perf {
+
+/// \brief Where code runs and where data lives for one phase execution.
+struct ExecutionEnv {
+  ExecutionSetting setting = ExecutionSetting::kPlainCpu;
+  /// Number of worker threads executing the phase concurrently.
+  int threads = 1;
+  /// True if data sits on the other socket than the executing threads
+  /// (cross-NUMA over UPI).
+  bool data_remote = false;
+
+  bool InEnclave() const {
+    return setting != ExecutionSetting::kPlainCpu;
+  }
+  bool DataEncrypted() const {
+    return setting == ExecutionSetting::kSgxDataInEnclave;
+  }
+};
+
+/// \brief Per-component estimate, so benches can print breakdowns.
+struct CostBreakdown {
+  double compute_ns = 0;
+  double seq_read_ns = 0;
+  double seq_write_ns = 0;
+  double rand_read_ns = 0;
+  double rand_write_ns = 0;
+
+  double TotalNs() const {
+    return compute_ns + seq_read_ns + seq_write_ns + rand_read_ns +
+           rand_write_ns;
+  }
+};
+
+class CostModel {
+ public:
+  explicit CostModel(const MachineModel& machine) : machine_(machine) {}
+
+  /// \brief Cost model over the paper's Table 1 machine.
+  static const CostModel& Reference();
+
+  /// \brief Estimated runtime of the phase on the reference machine.
+  CostBreakdown Estimate(const AccessProfile& profile,
+                         const ExecutionEnv& env) const;
+
+  double EstimateNanos(const AccessProfile& profile,
+                       const ExecutionEnv& env) const {
+    return Estimate(profile, env).TotalNs();
+  }
+
+  /// \brief Ratio Estimate(env) / Estimate(same env but Plain CPU, local
+  /// data). Multiplying a real host measurement of the native execution by
+  /// this factor yields the modeled time under `env`.
+  double SlowdownFactor(const AccessProfile& profile,
+                        const ExecutionEnv& env) const;
+
+  const MachineModel& machine() const { return machine_; }
+
+ private:
+  const MachineModel& machine_;
+};
+
+}  // namespace sgxb::perf
+
+#endif  // SGXB_PERF_COST_MODEL_H_

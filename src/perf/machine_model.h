@@ -1,0 +1,116 @@
+// Analytical model of the paper's reference machine (Table 1): a
+// dual-socket Xeon Gold 6326 with SGXv2.
+//
+// The model answers latency/bandwidth questions about that machine, both in
+// native mode and inside an SGXv2 enclave, using curves fitted to the
+// paper's micro-benchmarks (Figures 5, 7, 15, 16). It is the substitute for
+// the SGXv2 silicon this reproduction does not have; see DESIGN.md.
+
+#ifndef SGXB_PERF_MACHINE_MODEL_H_
+#define SGXB_PERF_MACHINE_MODEL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "perf/access_profile.h"
+#include "perf/calibration.h"
+
+namespace sgxb::perf {
+
+/// \brief Piecewise-linear curve in log2(x) space; clamps outside the
+/// defined range. Used for latency and relative-performance curves.
+class Log2Curve {
+ public:
+  /// Points must be sorted by x ascending.
+  explicit Log2Curve(std::vector<std::pair<double, double>> points);
+  double At(double x) const;
+
+ private:
+  std::vector<std::pair<double, double>> pts_;  // (log2 x, y)
+};
+
+class MachineModel {
+ public:
+  explicit MachineModel(const CalibrationParams& params);
+
+  /// \brief Model of the paper's machine with default calibration.
+  static const MachineModel& Reference();
+
+  const CalibrationParams& params() const { return params_; }
+  int total_cores() const {
+    return params_.sockets * params_.cores_per_socket;
+  }
+
+  // --- Native-mode memory behaviour -----------------------------------
+
+  /// \brief Latency of one dependent (pointer-chase) load over a working
+  /// set of `working_set` bytes, local or remote node.
+  double DependentLoadLatencyNs(size_t working_set, bool remote) const;
+
+  /// \brief Effective cost of one independent random 8-byte write over a
+  /// `working_set`-byte structure (MLP and write-combining included).
+  double RandomWriteCostNs(size_t working_set, bool remote) const;
+
+  /// \brief Aggregate sequential read bandwidth for `threads` cores on one
+  /// socket; `remote` routes the traffic over UPI. `data_bytes` is the
+  /// size of the streamed structure: cache-resident streams run at cache
+  /// bandwidth (0 = assume DRAM-resident).
+  double SeqReadBandwidth(int threads, bool remote,
+                          size_t data_bytes = 0) const;
+  double SeqWriteBandwidth(int threads, bool remote,
+                           size_t data_bytes = 0) const;
+
+  // --- SGX relative-performance curves (enclave vs native) -------------
+
+  /// \brief Fig. 5 left: relative performance of dependent random reads
+  /// hitting EPC data, by working-set size.
+  double RandomReadRelPerfSgx(size_t working_set) const;
+
+  /// \brief Fig. 5 right: relative performance of independent random
+  /// writes to EPC data, by working-set size.
+  double RandomWriteRelPerfSgx(size_t working_set) const;
+
+  /// \brief Fig. 15: streaming overhead factor (>= 1) for EPC data;
+  /// smaller for 512-bit vector access than for 64-bit scalar access.
+  double LinearReadFactorSgx(bool wide_vectors) const;
+  double LinearWriteFactorSgx() const;
+
+  /// \brief Fig. 7: enclave-mode execution penalty (>= 1) by ILP class;
+  /// independent of data location.
+  double IlpPenaltySgx(IlpClass ilp) const;
+
+  /// \brief Native cycles per iteration of the dominant loop by ILP class.
+  double CyclesPerIteration(IlpClass ilp) const;
+
+  /// \brief Fig. 16: relative performance of SGX cross-NUMA traffic vs
+  /// plain cross-NUMA traffic, improving as the UPI link saturates.
+  double UpiCryptoRelPerf(int threads) const;
+
+  /// \brief True if `working_set` fits the socket's combined caches.
+  bool CacheResident(size_t working_set) const {
+    return working_set <= params_.l3_bytes;
+  }
+
+  /// \brief EPC paging multiplier (>= 1): the slowdown of enclave memory
+  /// access once the working set exceeds an EPC of `epc_bytes`.
+  ///
+  /// Extension beyond the paper's scope: the paper sizes all workloads to
+  /// fit SGXv2's 64 GB EPC precisely to avoid this effect, but cites the
+  /// orders-of-magnitude SGXv1 slowdowns it causes. The model charges an
+  /// EWB+ELDU page round-trip (~40 us for 4 KiB) for the miss fraction of
+  /// accesses under a random-replacement assumption, reproducing the
+  /// SGXv1 cliff that motivated CrkJoin.
+  double EpcPagingFactor(size_t working_set, size_t epc_bytes,
+                         bool sequential) const;
+
+ private:
+  CalibrationParams params_;
+  Log2Curve dependent_latency_ns_;
+  Log2Curve rand_read_relperf_;
+  Log2Curve rand_write_relperf_;
+  Log2Curve rand_write_cost_ns_;
+};
+
+}  // namespace sgxb::perf
+
+#endif  // SGXB_PERF_MACHINE_MODEL_H_

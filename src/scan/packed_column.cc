@@ -1,0 +1,192 @@
+#include "scan/packed_column.h"
+
+#if defined(__BMI2__)
+#include <immintrin.h>
+#endif
+
+#include <string>
+
+namespace sgxb::scan {
+
+namespace {
+
+// Guard-bit mask: bit (f * fw + w) set for every field f.
+uint64_t GuardMask(int w, int fw, int k) {
+  uint64_t g = 0;
+  for (int f = 0; f < k; ++f) {
+    g |= uint64_t{1} << (f * fw + w);
+  }
+  return g;
+}
+
+// Broadcast `v` into the data bits of every field.
+uint64_t Broadcast(uint32_t v, int fw, int k) {
+  uint64_t b = 0;
+  for (int f = 0; f < k; ++f) {
+    b |= static_cast<uint64_t>(v) << (f * fw);
+  }
+  return b;
+}
+
+// Compact the guard bits of `mask` (positions given by `guard`) into the
+// low bits of the result, one bit per field.
+inline uint64_t ExtractGuards(uint64_t mask, uint64_t guard, int fw,
+                              int w, int k) {
+#if defined(__BMI2__)
+  (void)fw;
+  (void)w;
+  (void)k;
+  return _pext_u64(mask, guard);
+#else
+  uint64_t out = 0;
+  for (int f = 0; f < k; ++f) {
+    out |= ((mask >> (f * fw + w)) & 1u) << f;
+  }
+  (void)guard;
+  return out;
+#endif
+}
+
+// Appends bit-groups of variable width into a bit vector.
+class BitWriter {
+ public:
+  explicit BitWriter(BitVector* out) : out_(out) {}
+
+  void Append(uint64_t bits, int count) {
+    acc_ |= bits << filled_;
+    int space = 64 - filled_;
+    if (count >= space) {
+      out_->words()[word_++] = acc_;
+      acc_ = space < 64 ? bits >> space : 0;
+      filled_ = count - space;
+    } else {
+      filled_ += count;
+    }
+  }
+
+  void Flush() {
+    if (filled_ > 0) {
+      out_->words()[word_++] = acc_;
+      acc_ = 0;
+      filled_ = 0;
+    }
+  }
+
+ private:
+  BitVector* out_;
+  uint64_t acc_ = 0;
+  int filled_ = 0;
+  size_t word_ = 0;
+};
+
+}  // namespace
+
+size_t PackedColumn::num_words() const {
+  const int k = fields_per_word();
+  return (num_values_ + k - 1) / k;
+}
+
+Result<PackedColumn> PackedColumn::Pack(const Column<uint32_t>& values,
+                                        int bit_width,
+                                        MemoryRegion region) {
+  if (bit_width < 1 || bit_width > 31) {
+    return Status::InvalidArgument("bit_width must be in [1, 31]");
+  }
+  const uint32_t limit =
+      bit_width == 31 ? 0x7fffffffu : (1u << bit_width) - 1;
+  for (size_t i = 0; i < values.num_values(); ++i) {
+    if (values[i] > limit) {
+      return Status::InvalidArgument(
+          "value at row " + std::to_string(i) + " exceeds " +
+          std::to_string(bit_width) + " bits");
+    }
+  }
+
+  PackedColumn col;
+  col.bit_width_ = bit_width;
+  col.num_values_ = values.num_values();
+  const int fw = bit_width + 1;
+  const int k = 64 / fw;
+  const size_t words = (values.num_values() + k - 1) / k;
+  auto buf =
+      AlignedBuffer::AllocateZeroed(words * sizeof(uint64_t), region);
+  if (!buf.ok()) return buf.status();
+  col.buffer_ = std::move(buf).value();
+
+  uint64_t* data = col.buffer_.As<uint64_t>();
+  for (size_t i = 0; i < values.num_values(); ++i) {
+    data[i / k] |= static_cast<uint64_t>(values[i])
+                   << ((i % k) * fw);
+  }
+  return col;
+}
+
+uint32_t PackedColumn::Get(size_t i) const {
+  const int fw = field_width();
+  const int k = fields_per_word();
+  const uint64_t word = words()[i / k];
+  const uint32_t mask =
+      bit_width_ == 31 ? 0x7fffffffu : (1u << bit_width_) - 1;
+  return static_cast<uint32_t>(word >> ((i % k) * fw)) & mask;
+}
+
+uint64_t PackedScanScalar(const PackedColumn& column, uint32_t lo,
+                          uint32_t hi, BitVector* out) {
+  uint64_t count = 0;
+  for (size_t i = 0; i < column.num_values(); ++i) {
+    uint32_t v = column.Get(i);
+    if (v >= lo && v <= hi) {
+      out->Set(i);
+      ++count;
+    } else {
+      out->Clear(i);
+    }
+  }
+  return count;
+}
+
+uint64_t PackedScan(const PackedColumn& column, uint32_t lo, uint32_t hi,
+                    BitVector* out) {
+  const int w = column.bit_width();
+  const int fw = column.field_width();
+  const int k = column.fields_per_word();
+  const size_t n = column.num_values();
+  const size_t full_words = n / k;
+  const uint64_t guard = GuardMask(w, fw, k);
+  const uint64_t lo_b = Broadcast(lo, fw, k);
+  const uint64_t hi_b = Broadcast(hi, fw, k) | guard;
+  const uint64_t* words = column.words();
+
+  BitWriter writer(out);
+  uint64_t count = 0;
+  for (size_t i = 0; i < full_words; ++i) {
+    const uint64_t x = words[i];
+    // Parallel comparison (Willhalm et al. / Lamport): the guard bit of
+    // field f survives iff x_f >= lo (no borrow) and hi >= x_f.
+    const uint64_t ge = ((x | guard) - lo_b) & guard;
+    const uint64_t le = (hi_b - x) & guard;
+    const uint64_t hits = ge & le;
+    count += __builtin_popcountll(hits);
+    writer.Append(ExtractGuards(hits, guard, fw, w, k), k);
+  }
+  // Tail word with fewer than k valid fields.
+  const int tail = static_cast<int>(n - full_words * k);
+  if (tail > 0) {
+    const uint64_t x = words[full_words];
+    const uint64_t ge = ((x | guard) - lo_b) & guard;
+    const uint64_t le = (hi_b - x) & guard;
+    uint64_t hits = ge & le;
+    // Keep only the valid fields.
+    uint64_t valid = 0;
+    for (int f = 0; f < tail; ++f) {
+      valid |= uint64_t{1} << (f * fw + w);
+    }
+    hits &= valid;
+    count += __builtin_popcountll(hits);
+    writer.Append(ExtractGuards(hits, guard, fw, w, k), tail);
+  }
+  writer.Flush();
+  return count;
+}
+
+}  // namespace sgxb::scan

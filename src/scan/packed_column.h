@@ -1,0 +1,82 @@
+// Bit-packed columns with parallel-comparison range scans.
+//
+// The SIMD-scan line of work the paper builds on (Willhalm et al. [38])
+// scans *bit-packed* columns: values of w bits are packed densely and
+// compared against range predicates many-at-a-time inside wide registers
+// using the guard-bit parallel-comparison technique. This module
+// implements that design with a word-aligned layout: each value occupies
+// w data bits plus 1 guard bit, and fields never cross 64-bit word
+// boundaries, so a single subtraction evaluates 64/(w+1) comparisons at
+// once and BMI2 PEXT compacts the per-field results into the output bit
+// vector.
+//
+// Packing shrinks the bytes a scan must pull through the (encrypted)
+// memory subsystem — for enclave scans this multiplies the effective
+// bandwidth, which bench_ext_packed_scan quantifies.
+
+#ifndef SGXB_SCAN_PACKED_COLUMN_H_
+#define SGXB_SCAN_PACKED_COLUMN_H_
+
+#include <cstdint>
+
+#include "common/aligned_buffer.h"
+#include "common/bitvector.h"
+#include "common/relation.h"
+#include "common/status.h"
+
+namespace sgxb::scan {
+
+class PackedColumn {
+ public:
+  PackedColumn() = default;
+
+  /// \brief Packs `values` at `bit_width` data bits per value (1..31).
+  /// Values must fit the width; the first offending value is reported.
+  static Result<PackedColumn> Pack(const Column<uint32_t>& values,
+                                   int bit_width,
+                                   MemoryRegion region =
+                                       MemoryRegion::kUntrusted);
+
+  /// \brief Value at index i (test/debug accessor; scans use the word
+  /// kernels).
+  uint32_t Get(size_t i) const;
+
+  size_t num_values() const { return num_values_; }
+  int bit_width() const { return bit_width_; }
+  /// Data + guard bits per field.
+  int field_width() const { return bit_width_ + 1; }
+  int fields_per_word() const { return 64 / field_width(); }
+  size_t size_bytes() const { return buffer_.size(); }
+
+  const uint64_t* words() const { return buffer_.As<uint64_t>(); }
+  size_t num_words() const;
+
+  /// \brief Compression ratio versus a plain uint32 column.
+  double CompressionRatio() const {
+    return size_bytes() == 0
+               ? 0
+               : static_cast<double>(num_values_ * sizeof(uint32_t)) /
+                     size_bytes();
+  }
+
+ private:
+  AlignedBuffer buffer_;
+  size_t num_values_ = 0;
+  int bit_width_ = 0;
+};
+
+/// \brief Range scan lo <= v <= hi over a packed column; sets one bit per
+/// matching value in `out` (which must hold num_values() bits). Returns
+/// the match count. Uses the guard-bit parallel comparison (one 64-bit
+/// subtraction tests fields_per_word values).
+uint64_t PackedScan(const PackedColumn& column, uint32_t lo, uint32_t hi,
+                    BitVector* out);
+
+/// \brief Scalar reference implementation (one value at a time); oracle
+/// for tests and the baseline for the packed-scan bench.
+uint64_t PackedScanScalar(const PackedColumn& column, uint32_t lo,
+                          uint32_t hi, BitVector* out);
+
+}  // namespace sgxb::scan
+
+#endif  // SGXB_SCAN_PACKED_COLUMN_H_

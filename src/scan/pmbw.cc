@@ -1,0 +1,131 @@
+#include "scan/pmbw.h"
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+#include "common/random.h"
+
+namespace sgxb::scan {
+
+void MakePointerChain(uint64_t* arr, size_t n, uint64_t seed) {
+  // Sattolo's algorithm produces a uniformly random cyclic permutation.
+  for (size_t i = 0; i < n; ++i) arr[i] = i;
+  Xoshiro256 rng(seed);
+  for (size_t i = n - 1; i > 0; --i) {
+    size_t j = rng.NextBounded(i);  // j in [0, i)
+    uint64_t tmp = arr[i];
+    arr[i] = arr[j];
+    arr[j] = tmp;
+  }
+}
+
+uint64_t RunPointerChase(const uint64_t* arr, uint64_t steps) {
+  uint64_t idx = 0;
+  for (uint64_t s = 0; s < steps; ++s) {
+    idx = arr[idx];
+    // Barrier: the next load must consume this result from a register.
+    asm volatile("" : "+r"(idx));
+  }
+  return idx;
+}
+
+void RandomWrites(uint64_t* arr, size_t n, uint64_t count, uint64_t seed) {
+  Lcg64 lcg(seed);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t pos = lcg.NextBounded(n);
+    arr[pos] = i;
+    asm volatile("" ::: "memory");
+  }
+}
+
+uint64_t LinearRead64(const uint64_t* arr, size_t n) {
+  uint64_t sum = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t v = arr[i];
+    // Keep the loads scalar: forbid the compiler from vectorizing by
+    // threading the accumulator through a register barrier.
+    asm volatile("" : "+r"(v));
+    sum += v;
+  }
+  asm volatile("" : "+r"(sum));
+  return sum;
+}
+
+void LinearWrite64(uint64_t* arr, size_t n, uint64_t value) {
+  for (size_t i = 0; i < n; ++i) {
+    asm volatile("" : "+r"(value));
+    arr[i] = value;
+  }
+  asm volatile("" ::: "memory");
+}
+
+#if defined(__AVX512F__)
+
+uint64_t LinearRead512(const uint64_t* arr, size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm512_add_epi64(acc, _mm512_loadu_si512(arr + i));
+  }
+  uint64_t sum = _mm512_reduce_add_epi64(acc);
+  for (; i < n; ++i) sum += arr[i];
+  asm volatile("" : "+r"(sum));
+  return sum;
+}
+
+void LinearWrite512(uint64_t* arr, size_t n, uint64_t value) {
+  __m512i v = _mm512_set1_epi64(static_cast<long long>(value));
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm512_storeu_si512(arr + i, v);
+  }
+  for (; i < n; ++i) arr[i] = value;
+  asm volatile("" ::: "memory");
+}
+
+#elif defined(__AVX2__)
+
+uint64_t LinearRead512(const uint64_t* arr, size_t n) {
+  __m256i acc0 = _mm256_setzero_si256();
+  __m256i acc1 = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_add_epi64(
+        acc0, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(arr + i)));
+    acc1 = _mm256_add_epi64(
+        acc1,
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(arr + i + 4)));
+  }
+  alignas(32) uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes),
+                     _mm256_add_epi64(acc0, acc1));
+  uint64_t sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (; i < n; ++i) sum += arr[i];
+  asm volatile("" : "+r"(sum));
+  return sum;
+}
+
+void LinearWrite512(uint64_t* arr, size_t n, uint64_t value) {
+  __m256i v = _mm256_set1_epi64x(static_cast<long long>(value));
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(arr + i), v);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(arr + i + 4), v);
+  }
+  for (; i < n; ++i) arr[i] = value;
+  asm volatile("" ::: "memory");
+}
+
+#else
+
+uint64_t LinearRead512(const uint64_t* arr, size_t n) {
+  return LinearRead64(arr, n);
+}
+void LinearWrite512(uint64_t* arr, size_t n, uint64_t value) {
+  LinearWrite64(arr, n, value);
+}
+
+#endif
+
+}  // namespace sgxb::scan

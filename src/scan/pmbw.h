@@ -1,0 +1,50 @@
+// pmbw-style memory micro-benchmark kernels (Bingmann's pmbw, extended).
+//
+// The paper uses pmbw's pointer-chasing loop for random-read latency
+// (Section 4.1), a linear-congruential random-write loop of its own design,
+// and pmbw's linear read/write loops — extended with 512-bit AVX variants —
+// for the streaming measurements of Section 5.4 (Figure 15). These kernels
+// are the exact counterparts. Inline assembly barriers keep the compiler
+// from vectorizing the scalar loops or deleting result-less read loops,
+// mirroring pmbw's decision to write its loops in assembly.
+
+#ifndef SGXB_SCAN_PMBW_H_
+#define SGXB_SCAN_PMBW_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sgxb::scan {
+
+/// \brief Fills `arr` with a random single-cycle permutation (Sattolo's
+/// algorithm): arr[i] is the index of the next element, and following the
+/// chain visits every element exactly once before returning to 0. This is
+/// pmbw's pointer-chasing setup.
+void MakePointerChain(uint64_t* arr, size_t n, uint64_t seed);
+
+/// \brief Follows the pointer chain for `steps` hops starting at index 0.
+/// Each load depends on the previous one, defeating out-of-order overlap —
+/// the worst case for random-read latency. Returns the final index (so the
+/// loop cannot be optimized away).
+uint64_t RunPointerChase(const uint64_t* arr, uint64_t steps);
+
+/// \brief Writes `count` 8-byte integers to LCG-chosen positions of
+/// `arr[0..n)`, the paper's random-write micro-benchmark (Section 4.1).
+void RandomWrites(uint64_t* arr, size_t n, uint64_t count, uint64_t seed);
+
+/// \brief Streams over `arr` with 64-bit scalar loads; returns a checksum.
+uint64_t LinearRead64(const uint64_t* arr, size_t n);
+
+/// \brief Streams over `arr` with 512-bit vector loads (AVX-512 when
+/// available, otherwise the widest available); returns a checksum.
+uint64_t LinearRead512(const uint64_t* arr, size_t n);
+
+/// \brief Streams 64-bit scalar stores of `value` over `arr`.
+void LinearWrite64(uint64_t* arr, size_t n, uint64_t value);
+
+/// \brief Streams 512-bit vector stores over `arr`.
+void LinearWrite512(uint64_t* arr, size_t n, uint64_t value);
+
+}  // namespace sgxb::scan
+
+#endif  // SGXB_SCAN_PMBW_H_

@@ -1,0 +1,273 @@
+#include "scan/scan_kernels.h"
+
+#include <algorithm>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace sgxb::scan {
+
+namespace {
+
+inline bool Matches(uint8_t v, uint8_t lo, uint8_t hi) {
+  return v >= lo && v <= hi;
+}
+
+}  // namespace
+
+// --- Scalar ----------------------------------------------------------------
+
+uint64_t ScanBitVectorScalar(const uint8_t* data, size_t n, uint8_t lo,
+                             uint8_t hi, uint64_t* out_words) {
+  uint64_t count = 0;
+  size_t full_words = n / 64;
+  for (size_t w = 0; w < full_words; ++w) {
+    uint64_t word = 0;
+    const uint8_t* block = data + w * 64;
+    for (int i = 0; i < 64; ++i) {
+      word |= static_cast<uint64_t>(Matches(block[i], lo, hi)) << i;
+    }
+    out_words[w] = word;
+    count += __builtin_popcountll(word);
+  }
+  if (n % 64 != 0) {
+    uint64_t word = 0;
+    const uint8_t* block = data + full_words * 64;
+    for (size_t i = 0; i < n % 64; ++i) {
+      word |= static_cast<uint64_t>(Matches(block[i], lo, hi)) << i;
+    }
+    out_words[full_words] = word;
+    count += __builtin_popcountll(word);
+  }
+  return count;
+}
+
+uint64_t ScanRowIdsScalar(const uint8_t* data, size_t n, uint8_t lo,
+                          uint8_t hi, uint64_t base, uint64_t* out_ids) {
+  uint64_t k = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (Matches(data[i], lo, hi)) out_ids[k++] = base + i;
+  }
+  return k;
+}
+
+// --- AVX2 --------------------------------------------------------------------
+
+#if defined(__AVX2__)
+
+namespace {
+
+// Unsigned byte range check with AVX2: shift into signed space, then
+// (v >= lo) & (v <= hi) via signed compares.
+inline uint32_t RangeMask32(__m256i v, __m256i lo_s, __m256i hi_s,
+                            __m256i bias) {
+  __m256i vs = _mm256_xor_si256(v, bias);
+  __m256i ge_lo = _mm256_cmpgt_epi8(lo_s, vs);  // lo > v  -> fail
+  __m256i gt_hi = _mm256_cmpgt_epi8(vs, hi_s);  // v > hi  -> fail
+  __m256i fail = _mm256_or_si256(ge_lo, gt_hi);
+  return ~static_cast<uint32_t>(_mm256_movemask_epi8(fail));
+}
+
+}  // namespace
+
+uint64_t ScanBitVectorAvx2(const uint8_t* data, size_t n, uint8_t lo,
+                           uint8_t hi, uint64_t* out_words) {
+  const __m256i bias = _mm256_set1_epi8(static_cast<char>(0x80));
+  const __m256i lo_s =
+      _mm256_set1_epi8(static_cast<char>(lo ^ 0x80));
+  const __m256i hi_s =
+      _mm256_set1_epi8(static_cast<char>(hi ^ 0x80));
+
+  uint64_t count = 0;
+  size_t full = n / 64;
+  for (size_t w = 0; w < full; ++w) {
+    __m256i v0 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(data + w * 64));
+    __m256i v1 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(data + w * 64 + 32));
+    uint64_t word = static_cast<uint64_t>(RangeMask32(v0, lo_s, hi_s, bias));
+    word |= static_cast<uint64_t>(RangeMask32(v1, lo_s, hi_s, bias)) << 32;
+    out_words[w] = word;
+    count += __builtin_popcountll(word);
+  }
+  if (n % 64 != 0) {
+    count += ScanBitVectorScalar(data + full * 64, n % 64, lo, hi,
+                                 out_words + full);
+  }
+  return count;
+}
+
+uint64_t ScanRowIdsAvx2(const uint8_t* data, size_t n, uint8_t lo,
+                        uint8_t hi, uint64_t base, uint64_t* out_ids) {
+  const __m256i bias = _mm256_set1_epi8(static_cast<char>(0x80));
+  const __m256i lo_s = _mm256_set1_epi8(static_cast<char>(lo ^ 0x80));
+  const __m256i hi_s = _mm256_set1_epi8(static_cast<char>(hi ^ 0x80));
+
+  uint64_t k = 0;
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i v = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(data + i));
+    uint32_t mask = RangeMask32(v, lo_s, hi_s, bias);
+    while (mask != 0) {
+      int bit = __builtin_ctz(mask);
+      out_ids[k++] = base + i + bit;
+      mask &= mask - 1;
+    }
+  }
+  k += ScanRowIdsScalar(data + i, n - i, lo, hi, base + i, out_ids + k);
+  return k;
+}
+
+#else  // !__AVX2__
+
+uint64_t ScanBitVectorAvx2(const uint8_t* data, size_t n, uint8_t lo,
+                           uint8_t hi, uint64_t* out_words) {
+  return ScanBitVectorScalar(data, n, lo, hi, out_words);
+}
+uint64_t ScanRowIdsAvx2(const uint8_t* data, size_t n, uint8_t lo,
+                        uint8_t hi, uint64_t base, uint64_t* out_ids) {
+  return ScanRowIdsScalar(data, n, lo, hi, base, out_ids);
+}
+
+#endif  // __AVX2__
+
+// --- AVX-512 ------------------------------------------------------------------
+
+#if defined(__AVX512F__) && defined(__AVX512BW__)
+
+uint64_t ScanBitVectorAvx512(const uint8_t* data, size_t n, uint8_t lo,
+                             uint8_t hi, uint64_t* out_words) {
+  const __m512i vlo = _mm512_set1_epi8(static_cast<char>(lo));
+  const __m512i vhi = _mm512_set1_epi8(static_cast<char>(hi));
+
+  uint64_t count = 0;
+  size_t full = n / 64;
+  for (size_t w = 0; w < full; ++w) {
+    __m512i v = _mm512_loadu_si512(data + w * 64);
+    __mmask64 ge = _mm512_cmp_epu8_mask(v, vlo, _MM_CMPINT_NLT);
+    __mmask64 le = _mm512_cmp_epu8_mask(v, vhi, _MM_CMPINT_LE);
+    uint64_t word = static_cast<uint64_t>(ge & le);
+    out_words[w] = word;
+    count += __builtin_popcountll(word);
+  }
+  if (n % 64 != 0) {
+    count += ScanBitVectorScalar(data + full * 64, n % 64, lo, hi,
+                                 out_words + full);
+  }
+  return count;
+}
+
+uint64_t ScanRowIdsAvx512(const uint8_t* data, size_t n, uint8_t lo,
+                          uint8_t hi, uint64_t base, uint64_t* out_ids) {
+  const __m512i vlo = _mm512_set1_epi8(static_cast<char>(lo));
+  const __m512i vhi = _mm512_set1_epi8(static_cast<char>(hi));
+
+  uint64_t k = 0;
+  size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    __m512i v = _mm512_loadu_si512(data + i);
+    __mmask64 ge = _mm512_cmp_epu8_mask(v, vlo, _MM_CMPINT_NLT);
+    __mmask64 le = _mm512_cmp_epu8_mask(v, vhi, _MM_CMPINT_LE);
+    uint64_t mask = static_cast<uint64_t>(ge & le);
+    while (mask != 0) {
+      int bit = __builtin_ctzll(mask);
+      out_ids[k++] = base + i + bit;
+      mask &= mask - 1;
+    }
+  }
+  k += ScanRowIdsScalar(data + i, n - i, lo, hi, base + i, out_ids + k);
+  return k;
+}
+
+uint64_t ScanRowIdsAvx512Compress(const uint8_t* data, size_t n,
+                                  uint8_t lo, uint8_t hi, uint64_t base,
+                                  uint64_t* out_ids) {
+  const __m512i vlo = _mm512_set1_epi8(static_cast<char>(lo));
+  const __m512i vhi = _mm512_set1_epi8(static_cast<char>(hi));
+  // Rolling vector of eight candidate row ids.
+  __m512i ids = _mm512_setr_epi64(0, 1, 2, 3, 4, 5, 6, 7);
+  ids = _mm512_add_epi64(ids, _mm512_set1_epi64(
+                                  static_cast<long long>(base)));
+  const __m512i step = _mm512_set1_epi64(8);
+
+  uint64_t k = 0;
+  size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    __m512i v = _mm512_loadu_si512(data + i);
+    __mmask64 ge = _mm512_cmp_epu8_mask(v, vlo, _MM_CMPINT_NLT);
+    __mmask64 le = _mm512_cmp_epu8_mask(v, vhi, _MM_CMPINT_LE);
+    uint64_t mask = static_cast<uint64_t>(ge & le);
+    // Eight compress-stores of eight candidate ids each: no
+    // data-dependent branches in the materialization.
+    for (int b = 0; b < 8; ++b) {
+      __mmask8 m = static_cast<__mmask8>(mask >> (8 * b));
+      _mm512_mask_compressstoreu_epi64(out_ids + k, m, ids);
+      k += __builtin_popcount(m);
+      ids = _mm512_add_epi64(ids, step);
+    }
+  }
+  k += ScanRowIdsScalar(data + i, n - i, lo, hi, base + i, out_ids + k);
+  return k;
+}
+
+#else  // !AVX512
+
+uint64_t ScanBitVectorAvx512(const uint8_t* data, size_t n, uint8_t lo,
+                             uint8_t hi, uint64_t* out_words) {
+  return ScanBitVectorAvx2(data, n, lo, hi, out_words);
+}
+uint64_t ScanRowIdsAvx512(const uint8_t* data, size_t n, uint8_t lo,
+                          uint8_t hi, uint64_t base, uint64_t* out_ids) {
+  return ScanRowIdsAvx2(data, n, lo, hi, base, out_ids);
+}
+uint64_t ScanRowIdsAvx512Compress(const uint8_t* data, size_t n,
+                                  uint8_t lo, uint8_t hi, uint64_t base,
+                                  uint64_t* out_ids) {
+  return ScanRowIdsAvx2(data, n, lo, hi, base, out_ids);
+}
+
+#endif  // AVX512
+
+// --- Dispatch -----------------------------------------------------------------
+
+SimdLevel BestSupportedSimdLevel() {
+  SimdLevel host = CpuInfo::Host().max_simd;
+#if defined(__AVX512F__) && defined(__AVX512BW__)
+  SimdLevel build = SimdLevel::kAvx512;
+#elif defined(__AVX2__)
+  SimdLevel build = SimdLevel::kAvx2;
+#else
+  SimdLevel build = SimdLevel::kScalar;
+#endif
+  return std::min(host, build);
+}
+
+BitVectorKernel PickBitVectorKernel(SimdLevel level) {
+  level = std::min(level, BestSupportedSimdLevel());
+  switch (level) {
+    case SimdLevel::kAvx512:
+      return &ScanBitVectorAvx512;
+    case SimdLevel::kAvx2:
+      return &ScanBitVectorAvx2;
+    case SimdLevel::kScalar:
+      return &ScanBitVectorScalar;
+  }
+  return &ScanBitVectorScalar;
+}
+
+RowIdKernel PickRowIdKernel(SimdLevel level) {
+  level = std::min(level, BestSupportedSimdLevel());
+  switch (level) {
+    case SimdLevel::kAvx512:
+      return &ScanRowIdsAvx512;
+    case SimdLevel::kAvx2:
+      return &ScanRowIdsAvx2;
+    case SimdLevel::kScalar:
+      return &ScanRowIdsScalar;
+  }
+  return &ScanRowIdsScalar;
+}
+
+}  // namespace sgxb::scan

@@ -1,0 +1,73 @@
+// Column-scan kernels: scalar, AVX2, and AVX-512 variants.
+//
+// The paper's scan (Section 5) implements the SIMD-scan designs of
+// Willhalm et al. and Polychroniou et al.: load 64 byte-sized values at a
+// time, compare against a lower and an upper bound, and either store the
+// 64-bit comparison mask into a bit vector or materialize the row indexes
+// of matching values. The predicate is inclusive: lo <= v <= hi.
+//
+// AVX-512 kernels compile only when the build targets AVX-512 (the paper
+// uses -march=native on an Ice Lake Xeon); ScanDispatch picks the widest
+// kernel the *host* supports at runtime.
+
+#ifndef SGXB_SCAN_SCAN_KERNELS_H_
+#define SGXB_SCAN_SCAN_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/cpu_info.h"
+
+namespace sgxb::scan {
+
+// --- Bit-vector output ---------------------------------------------------
+// `out_words` must hold (n + 63) / 64 words; n need not be a multiple of
+// 64 (the tail word is partially filled). Returns the number of matches.
+
+uint64_t ScanBitVectorScalar(const uint8_t* data, size_t n, uint8_t lo,
+                             uint8_t hi, uint64_t* out_words);
+uint64_t ScanBitVectorAvx2(const uint8_t* data, size_t n, uint8_t lo,
+                           uint8_t hi, uint64_t* out_words);
+uint64_t ScanBitVectorAvx512(const uint8_t* data, size_t n, uint8_t lo,
+                             uint8_t hi, uint64_t* out_words);
+
+// --- Row-id materialization ------------------------------------------------
+// `out_ids` must have room for n entries (worst case). `base` is added to
+// every produced index (for partitioned multi-threaded scans). Returns the
+// number of ids written.
+
+uint64_t ScanRowIdsScalar(const uint8_t* data, size_t n, uint8_t lo,
+                          uint8_t hi, uint64_t base, uint64_t* out_ids);
+uint64_t ScanRowIdsAvx2(const uint8_t* data, size_t n, uint8_t lo,
+                        uint8_t hi, uint64_t base, uint64_t* out_ids);
+uint64_t ScanRowIdsAvx512(const uint8_t* data, size_t n, uint8_t lo,
+                          uint8_t hi, uint64_t base, uint64_t* out_ids);
+
+/// \brief AVX-512 row-id kernel using VPCOMPRESSQ (compress-store), the
+/// branch-free materialization of Polychroniou et al.: eight candidate
+/// indexes are compressed by the comparison mask per step, so the write
+/// pattern has no data-dependent branches. Falls back to
+/// ScanRowIdsAvx512 without AVX-512.
+uint64_t ScanRowIdsAvx512Compress(const uint8_t* data, size_t n,
+                                  uint8_t lo, uint8_t hi, uint64_t base,
+                                  uint64_t* out_ids);
+
+// --- Dispatch ---------------------------------------------------------------
+
+using BitVectorKernel = uint64_t (*)(const uint8_t*, size_t, uint8_t,
+                                     uint8_t, uint64_t*);
+using RowIdKernel = uint64_t (*)(const uint8_t*, size_t, uint8_t, uint8_t,
+                                 uint64_t, uint64_t*);
+
+/// \brief Returns the widest bit-vector kernel available on this host, or
+/// the kernel for an explicitly requested level (falling back if the host
+/// cannot run it).
+BitVectorKernel PickBitVectorKernel(SimdLevel level);
+RowIdKernel PickRowIdKernel(SimdLevel level);
+
+/// \brief Widest level that both the build and the host support.
+SimdLevel BestSupportedSimdLevel();
+
+}  // namespace sgxb::scan
+
+#endif  // SGXB_SCAN_SCAN_KERNELS_H_

@@ -1,0 +1,112 @@
+#include "sgx/enclave.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+#include "perf/calibration.h"
+
+namespace sgxb::sgx {
+
+namespace {
+size_t RoundUpToPage(size_t bytes) {
+  return (bytes + kEpcPageSize - 1) & ~(kEpcPageSize - 1);
+}
+}  // namespace
+
+Enclave::Enclave(const EnclaveConfig& config) : config_(config) {
+  heap_committed_.store(RoundUpToPage(config.initial_heap_bytes),
+                        std::memory_order_relaxed);
+}
+
+Result<Enclave*> Enclave::Create(const EnclaveConfig& config) {
+  const auto& cal = perf::CalibrationParams::Default();
+  if (config.initial_heap_bytes > cal.epc_per_socket_bytes) {
+    return Status::ResourceExhausted(
+        "initial enclave heap exceeds the per-socket EPC capacity");
+  }
+  if (config.dynamic && config.max_heap_bytes < config.initial_heap_bytes) {
+    return Status::InvalidArgument(
+        "max_heap_bytes must be >= initial_heap_bytes for dynamic "
+        "enclaves");
+  }
+  return new Enclave(config);
+}
+
+Enclave::~Enclave() = default;
+
+void DestroyEnclave(Enclave* enclave) { delete enclave; }
+
+Status Enclave::CommitPages(size_t new_used) {
+  const auto& cal = perf::CalibrationParams::Default();
+  if (new_used <= heap_committed_.load(std::memory_order_acquire)) {
+    return Status::OK();
+  }
+  // Slow path: serialize growth so concurrent growers neither shrink the
+  // committed size nor double-charge the same pages.
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  size_t committed = heap_committed_.load(std::memory_order_relaxed);
+  if (new_used <= committed) return Status::OK();
+
+  if (!config_.dynamic) {
+    return Status::OutOfMemory(
+        "enclave heap exhausted (" + std::to_string(new_used) + " of " +
+        std::to_string(committed) +
+        " bytes) and EDMM dynamic growth is disabled");
+  }
+  size_t target = RoundUpToPage(new_used);
+  if (target > config_.max_heap_bytes) {
+    return Status::OutOfMemory("enclave heap would exceed max_heap_bytes");
+  }
+  if (target > cal.epc_per_socket_bytes) {
+    return Status::ResourceExhausted(
+        "enclave heap would exceed the per-socket EPC");
+  }
+
+  // EDMM growth: each added 4 KiB page pays the EAUG + EACCEPT + zeroing
+  // cost. The delay is injected for real so that dynamic allocation slows
+  // down the surrounding algorithm exactly where it would on hardware.
+  size_t pages = (target - committed) / kEpcPageSize;
+  double ns = static_cast<double>(pages) * cal.edmm_page_add_ns;
+  if (CostInjectionEnabled() && ns > 0) {
+    SpinForCycles(
+        static_cast<uint64_t>(ns * 1e-9 * TscFrequencyHz()));
+  }
+  edmm_pages_added_.fetch_add(pages, std::memory_order_relaxed);
+  edmm_injected_ns_.fetch_add(static_cast<uint64_t>(ns),
+                              std::memory_order_relaxed);
+  heap_committed_.store(target, std::memory_order_release);
+  return Status::OK();
+}
+
+Result<AlignedBuffer> Enclave::Allocate(size_t bytes) {
+  size_t new_used =
+      heap_used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  Status st = CommitPages(new_used);
+  if (!st.ok()) {
+    heap_used_.fetch_sub(bytes, std::memory_order_relaxed);
+    return st;
+  }
+  auto buf = AlignedBuffer::Allocate(bytes, MemoryRegion::kEnclave,
+                                     config_.numa_node);
+  if (!buf.ok()) {
+    heap_used_.fetch_sub(bytes, std::memory_order_relaxed);
+    return buf.status();
+  }
+  return buf;
+}
+
+void Enclave::NotifyFree(size_t bytes) {
+  heap_used_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+EnclaveMemoryStats Enclave::memory_stats() const {
+  return EnclaveMemoryStats{
+      heap_used_.load(std::memory_order_relaxed),
+      heap_committed_.load(std::memory_order_relaxed),
+      edmm_pages_added_.load(std::memory_order_relaxed),
+      static_cast<double>(
+          edmm_injected_ns_.load(std::memory_order_relaxed)),
+  };
+}
+
+}  // namespace sgxb::sgx

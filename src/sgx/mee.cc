@@ -1,0 +1,32 @@
+#include "sgx/mee.h"
+
+#include <cstring>
+
+#include "common/random.h"
+
+namespace sgxb::sgx {
+
+void MemoryEncryptionEngine::Apply(void* data, size_t bytes,
+                                   uint64_t base_offset) const {
+  auto* p = static_cast<uint8_t*>(data);
+  size_t i = 0;
+  // Whole 8-byte words.
+  for (; i + 8 <= bytes; i += 8) {
+    uint64_t state = key_ ^ (base_offset + i);
+    uint64_t ks = SplitMix64(state);
+    uint64_t word;
+    std::memcpy(&word, p + i, 8);
+    word ^= ks;
+    std::memcpy(p + i, &word, 8);
+  }
+  // Tail bytes.
+  if (i < bytes) {
+    uint64_t state = key_ ^ (base_offset + i);
+    uint64_t ks = SplitMix64(state);
+    for (size_t j = 0; i + j < bytes; ++j) {
+      p[i + j] ^= static_cast<uint8_t>(ks >> (8 * j));
+    }
+  }
+}
+
+}  // namespace sgxb::sgx

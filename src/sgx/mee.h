@@ -1,0 +1,44 @@
+// Software stand-in for the SGXv2 memory encryption engine (MEE).
+//
+// On real hardware, EPC cache lines are encrypted/decrypted transparently
+// by the memory controller. The simulator cannot intercept loads, so the
+// performance cost of the MEE is handled by the cost model; this class
+// exists so that *functional* properties hold in tests: data placed in the
+// simulated EPC can be sealed (encrypted at rest) and unsealed, and the
+// ciphertext differs from the plaintext. The cipher is a keyed XOR
+// keystream per 64-byte line — deliberately simple and NOT
+// cryptographically strong (see DESIGN.md, Non-goals).
+
+#ifndef SGXB_SGX_MEE_H_
+#define SGXB_SGX_MEE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sgxb::sgx {
+
+class MemoryEncryptionEngine {
+ public:
+  explicit MemoryEncryptionEngine(uint64_t key = 0x5367785632204d45ull)
+      : key_(key) {}
+
+  /// \brief Encrypts `bytes` bytes in place. `bytes` may be any size;
+  /// the keystream is derived from (key, base_offset + position).
+  void Encrypt(void* data, size_t bytes, uint64_t base_offset = 0) const {
+    Apply(data, bytes, base_offset);
+  }
+
+  /// \brief Decrypts in place (the keystream cipher is an involution).
+  void Decrypt(void* data, size_t bytes, uint64_t base_offset = 0) const {
+    Apply(data, bytes, base_offset);
+  }
+
+ private:
+  void Apply(void* data, size_t bytes, uint64_t base_offset) const;
+
+  uint64_t key_;
+};
+
+}  // namespace sgxb::sgx
+
+#endif  // SGXB_SGX_MEE_H_

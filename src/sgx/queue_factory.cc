@@ -1,0 +1,26 @@
+#include "sgx/queue_factory.h"
+
+#include "sgx/sgx_mutex.h"
+#include "sync/lockfree_queue.h"
+#include "sync/locked_queue.h"
+
+namespace sgxb::sgx {
+
+std::unique_ptr<TaskQueue> MakeTaskQueue(TaskQueueKind kind,
+                                         size_t capacity,
+                                         ExecutionSetting setting) {
+  switch (kind) {
+    case TaskQueueKind::kLockFree:
+      return std::make_unique<LockFreeTaskQueue>(capacity);
+    case TaskQueueKind::kSpinLock:
+      return std::make_unique<SpinLockTaskQueue>();
+    case TaskQueueKind::kMutex:
+      if (setting != ExecutionSetting::kPlainCpu) {
+        return std::make_unique<LockedTaskQueue<SgxSdkMutex>>();
+      }
+      return std::make_unique<MutexTaskQueue>();
+  }
+  return std::make_unique<LockFreeTaskQueue>(capacity);
+}
+
+}  // namespace sgxb::sgx

@@ -1,0 +1,25 @@
+// Builds the task queue a join should use for a given execution setting.
+//
+// Inside the enclave, the "mutex" option uses the simulated SGX SDK mutex
+// (which sleeps via OCALL); natively it uses std::mutex. This is exactly
+// the contrast of Figure 10.
+
+#ifndef SGXB_SGX_QUEUE_FACTORY_H_
+#define SGXB_SGX_QUEUE_FACTORY_H_
+
+#include <memory>
+
+#include "common/types.h"
+#include "sync/task_queue.h"
+
+namespace sgxb::sgx {
+
+/// \brief Creates a task queue of `kind` with room for `capacity` tasks.
+/// `setting` selects the mutex implementation for kMutex queues.
+std::unique_ptr<TaskQueue> MakeTaskQueue(TaskQueueKind kind,
+                                         size_t capacity,
+                                         ExecutionSetting setting);
+
+}  // namespace sgxb::sgx
+
+#endif  // SGXB_SGX_QUEUE_FACTORY_H_

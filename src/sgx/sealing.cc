@@ -1,0 +1,129 @@
+#include "sgx/sealing.h"
+
+#include <cstring>
+
+#include "common/random.h"
+#include "sgx/mee.h"
+
+namespace sgxb::sgx {
+
+namespace {
+
+// Blob layout: magic (8) | nonce (8) | payload_size (8) | aad_size (8)
+// | ciphertext | tag (8).
+constexpr uint64_t kMagic = 0x53475853454c4421ull;  // "SGXSEAL!"
+constexpr size_t kHeaderBytes = 32;
+constexpr size_t kTagBytes = 8;
+
+struct Header {
+  uint64_t magic;
+  uint64_t nonce;
+  uint64_t payload_size;
+  uint64_t aad_size;
+};
+static_assert(sizeof(Header) == kHeaderBytes);
+
+// Keyed tag over header + aad + ciphertext. A simple multiply-xor
+// compression (simulation-grade, NOT a cryptographic MAC).
+uint64_t ComputeTag(uint64_t key, const Header& header,
+                    const std::vector<uint8_t>& aad,
+                    const uint8_t* ciphertext, size_t size) {
+  uint64_t acc = key ^ 0x746167206b657921ull;
+  auto mix = [&acc](uint64_t v) {
+    acc ^= v;
+    acc *= 0xff51afd7ed558ccdull;
+    acc ^= acc >> 33;
+  };
+  mix(header.magic);
+  mix(header.nonce);
+  mix(header.payload_size);
+  mix(header.aad_size);
+  for (uint8_t b : aad) mix(b + 0x9e);
+  size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    uint64_t word;
+    std::memcpy(&word, ciphertext + i, 8);
+    mix(word);
+  }
+  for (; i < size; ++i) mix(ciphertext[i]);
+  return acc;
+}
+
+uint64_t FreshNonce() {
+  static Xoshiro256 rng(0x5eed5eed5eed5eedull);
+  return rng.Next();
+}
+
+}  // namespace
+
+size_t SealedBlob::payload_size() const {
+  if (bytes.size() < kHeaderBytes + kTagBytes) return 0;
+  Header header;
+  std::memcpy(&header, bytes.data(), kHeaderBytes);
+  return header.payload_size;
+}
+
+Result<SealedBlob> Seal(const void* data, size_t size,
+                        uint64_t enclave_key,
+                        const std::vector<uint8_t>& aad) {
+  if (data == nullptr && size > 0) {
+    return Status::InvalidArgument("null data with nonzero size");
+  }
+  Header header;
+  header.magic = kMagic;
+  header.nonce = FreshNonce();
+  header.payload_size = size;
+  header.aad_size = aad.size();
+
+  SealedBlob blob;
+  blob.bytes.resize(kHeaderBytes + size + kTagBytes);
+  std::memcpy(blob.bytes.data(), &header, kHeaderBytes);
+
+  uint8_t* ciphertext = blob.bytes.data() + kHeaderBytes;
+  if (size > 0) std::memcpy(ciphertext, data, size);
+  MemoryEncryptionEngine mee(enclave_key ^ header.nonce);
+  mee.Encrypt(ciphertext, size);
+
+  uint64_t tag = ComputeTag(enclave_key, header, aad, ciphertext, size);
+  std::memcpy(blob.bytes.data() + kHeaderBytes + size, &tag, kTagBytes);
+  return blob;
+}
+
+Result<std::vector<uint8_t>> Unseal(const SealedBlob& blob,
+                                    uint64_t enclave_key,
+                                    const std::vector<uint8_t>& aad) {
+  if (blob.bytes.size() < kHeaderBytes + kTagBytes) {
+    return Status::InvalidArgument("sealed blob too small");
+  }
+  Header header;
+  std::memcpy(&header, blob.bytes.data(), kHeaderBytes);
+  if (header.magic != kMagic) {
+    return Status::InvalidArgument("not a sealed blob (bad magic)");
+  }
+  if (blob.bytes.size() !=
+      kHeaderBytes + header.payload_size + kTagBytes) {
+    return Status::InvalidArgument("sealed blob size mismatch");
+  }
+  if (header.aad_size != aad.size()) {
+    return Status::Internal("sealed blob authentication failed");
+  }
+
+  const uint8_t* ciphertext = blob.bytes.data() + kHeaderBytes;
+  uint64_t expected_tag = ComputeTag(enclave_key, header, aad, ciphertext,
+                                     header.payload_size);
+  uint64_t stored_tag;
+  std::memcpy(&stored_tag,
+              blob.bytes.data() + kHeaderBytes + header.payload_size,
+              kTagBytes);
+  if (stored_tag != expected_tag) {
+    return Status::Internal("sealed blob authentication failed");
+  }
+
+  std::vector<uint8_t> plaintext(ciphertext,
+                                 ciphertext + header.payload_size);
+  MemoryEncryptionEngine mee(enclave_key ^ header.nonce);
+  mee.Decrypt(plaintext.data(), plaintext.size());
+  return plaintext;
+}
+
+}  // namespace sgxb::sgx

@@ -1,0 +1,45 @@
+// Sealed storage: the simulator's analogue of the SGX SDK's
+// sgx_seal_data / sgx_unseal_data.
+//
+// An enclave DBMS that spills intermediate results (or persists tables)
+// must seal them: encrypt with an enclave-bound key and authenticate, so
+// untrusted storage can hold them. This module provides that envelope on
+// top of the software MEE: [header | ciphertext | tag]. The cipher and
+// MAC are simulation-grade (see DESIGN.md, Non-goals) but the API,
+// failure modes (tampering -> error, wrong enclave key -> error), and
+// data flow match the SDK's.
+
+#ifndef SGXB_SGX_SEALING_H_
+#define SGXB_SGX_SEALING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sgxb::sgx {
+
+/// \brief A sealed blob: safe to hand to untrusted storage.
+struct SealedBlob {
+  std::vector<uint8_t> bytes;
+
+  size_t payload_size() const;
+};
+
+/// \brief Seals `data` under the enclave measurement key `enclave_key`
+/// (the SDK derives this from MRENCLAVE/MRSIGNER; callers pass it
+/// directly here). `aad` is authenticated but not encrypted.
+Result<SealedBlob> Seal(const void* data, size_t size,
+                        uint64_t enclave_key,
+                        const std::vector<uint8_t>& aad = {});
+
+/// \brief Unseals a blob. Fails with kInvalidArgument on malformed input
+/// and kInternal on authentication failure (tampered ciphertext, wrong
+/// key, or wrong AAD).
+Result<std::vector<uint8_t>> Unseal(const SealedBlob& blob,
+                                    uint64_t enclave_key,
+                                    const std::vector<uint8_t>& aad = {});
+
+}  // namespace sgxb::sgx
+
+#endif  // SGXB_SGX_SEALING_H_

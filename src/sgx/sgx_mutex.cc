@@ -1,0 +1,60 @@
+#include "sgx/sgx_mutex.h"
+
+#include "common/timer.h"
+#include "perf/calibration.h"
+#include "sync/spinlock.h"
+
+namespace sgxb::sgx {
+
+void SgxSdkMutex::lock() {
+  // Optimistic in-enclave spin, as the SDK does.
+  for (int i = 0; i < kSpinBudget; ++i) {
+    if (try_lock()) return;
+    CpuRelax();
+  }
+
+  // Contended path: the thread leaves the enclave to sleep. Charge the
+  // OCALL round-trip plus the futex syscall before blocking for real.
+  const auto& cal = perf::CalibrationParams::Default();
+  std::unique_lock<std::mutex> guard(mu_);
+  while (locked_) {
+    if (InEnclaveMode()) {
+      guard.unlock();
+      OcallRoundTrip();
+      if (CostInjectionEnabled()) {
+        SpinForCycles(cal.futex_syscall_cycles);
+      }
+      guard.lock();
+      if (!locked_) break;
+    }
+    ++waiters_;
+    cv_.wait(guard, [this] { return !locked_; });
+    --waiters_;
+  }
+  locked_ = true;
+}
+
+bool SgxSdkMutex::try_lock() {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (locked_) return false;
+  locked_ = true;
+  return true;
+}
+
+void SgxSdkMutex::unlock() {
+  bool must_wake;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    locked_ = false;
+    must_wake = waiters_ > 0;
+  }
+  if (must_wake) {
+    // Waking a sleeping thread is another OCALL (futex wake) issued by the
+    // *owner*, which is what stretches the effective critical section and
+    // triggers the avalanche the paper observes.
+    OcallRoundTrip();
+    cv_.notify_one();
+  }
+}
+
+}  // namespace sgxb::sgx

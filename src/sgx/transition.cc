@@ -1,0 +1,74 @@
+#include "sgx/transition.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "perf/calibration.h"
+
+namespace sgxb::sgx {
+
+namespace {
+
+std::atomic<uint64_t> g_ecalls{0};
+std::atomic<uint64_t> g_ocalls{0};
+std::atomic<uint64_t> g_injected_cycles{0};
+
+thread_local int t_enclave_depth = 0;
+
+bool InitInjection() {
+  const char* v = std::getenv("SGXBENCH_NO_INJECT");
+  return v == nullptr || v[0] == '0';
+}
+
+void InjectTransition() {
+  if (!CostInjectionEnabled()) return;
+  const uint64_t cycles =
+      perf::CalibrationParams::Default().transition_cycles;
+  SpinForCycles(cycles);
+  g_injected_cycles.fetch_add(cycles, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+bool CostInjectionEnabled() {
+  static const bool kEnabled = InitInjection();
+  return kEnabled;
+}
+
+TransitionStats GetTransitionStats() {
+  return TransitionStats{g_ecalls.load(std::memory_order_relaxed),
+                         g_ocalls.load(std::memory_order_relaxed),
+                         g_injected_cycles.load(std::memory_order_relaxed)};
+}
+
+void ResetTransitionStats() {
+  g_ecalls.store(0, std::memory_order_relaxed);
+  g_ocalls.store(0, std::memory_order_relaxed);
+  g_injected_cycles.store(0, std::memory_order_relaxed);
+}
+
+bool InEnclaveMode() { return t_enclave_depth > 0; }
+
+void EnclaveEnter() {
+  InjectTransition();
+  ++t_enclave_depth;
+  g_ecalls.fetch_add(1, std::memory_order_relaxed);
+}
+
+void EnclaveExit() {
+  SGXB_CHECK(t_enclave_depth > 0) << "EnclaveExit without EnclaveEnter";
+  --t_enclave_depth;
+  InjectTransition();
+}
+
+void OcallRoundTrip() {
+  if (t_enclave_depth == 0) return;
+  g_ocalls.fetch_add(1, std::memory_order_relaxed);
+  // Exit + re-enter: two transitions.
+  InjectTransition();
+  InjectTransition();
+}
+
+}  // namespace sgxb::sgx

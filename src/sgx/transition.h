@@ -1,0 +1,63 @@
+// Enclave-mode tracking and transition cost injection.
+//
+// Real SGX enclave transitions (EENTER/EEXIT plus the SDK trampolines) cost
+// thousands of cycles. The simulator injects that cost as a real busy-wait
+// so that code paths whose *structure* depends on transitions — SDK mutexes
+// that leave the enclave to sleep, OCALL-based allocation — exhibit the
+// paper's behaviour (Section 4.4) without SGX silicon.
+//
+// A thread is "in enclave mode" between EnclaveEnter() and EnclaveExit();
+// the flag is thread-local, mirroring how each logical processor enters an
+// enclave independently.
+
+#ifndef SGXB_SGX_TRANSITION_H_
+#define SGXB_SGX_TRANSITION_H_
+
+#include <cstdint>
+
+namespace sgxb::sgx {
+
+/// \brief Counters of simulated transition activity; one global instance,
+/// resettable by benchmarks to isolate a measurement window.
+struct TransitionStats {
+  uint64_t ecalls;
+  uint64_t ocalls;
+  uint64_t injected_cycles;
+};
+
+TransitionStats GetTransitionStats();
+void ResetTransitionStats();
+
+/// \brief True if the calling thread is currently executing (simulated)
+/// enclave code.
+bool InEnclaveMode();
+
+/// \brief Enters enclave mode on this thread, injecting the EENTER cost.
+/// `charge_cycles` defaults to the calibrated transition cost.
+void EnclaveEnter();
+
+/// \brief Leaves enclave mode, injecting the EEXIT cost.
+void EnclaveExit();
+
+/// \brief Performs an OCALL round-trip (exit + re-enter) without running
+/// any untrusted code; used by the SDK mutex and allocator simulations.
+/// No-op if the thread is not in enclave mode.
+void OcallRoundTrip();
+
+/// \brief RAII enclave-mode scope (one ECALL).
+class ScopedEcall {
+ public:
+  ScopedEcall() { EnclaveEnter(); }
+  ~ScopedEcall() { EnclaveExit(); }
+  ScopedEcall(const ScopedEcall&) = delete;
+  ScopedEcall& operator=(const ScopedEcall&) = delete;
+};
+
+/// \brief Injects transition delays only when cost injection is enabled
+/// (default on; disable with SGXBENCH_NO_INJECT=1 for functional tests
+/// that should run fast).
+bool CostInjectionEnabled();
+
+}  // namespace sgxb::sgx
+
+#endif  // SGXB_SGX_TRANSITION_H_

@@ -1,0 +1,55 @@
+// Lock-guarded task queues: the TEEBench-style mutex queue and a spin-lock
+// variant. Templated over the lock type so the same code runs with
+// std::mutex (native), the simulated SGX SDK mutex (enclave), or SpinLock.
+
+#ifndef SGXB_SYNC_LOCKED_QUEUE_H_
+#define SGXB_SYNC_LOCKED_QUEUE_H_
+
+#include <deque>
+#include <mutex>
+
+#include "sync/spinlock.h"
+#include "sync/task_queue.h"
+
+namespace sgxb {
+
+template <typename Lock>
+class LockedTaskQueue final : public TaskQueue {
+ public:
+  LockedTaskQueue() = default;
+
+  /// \brief Constructs around an external lock, e.g. a simulated SGX SDK
+  /// mutex owned by an enclave. The lock must outlive the queue.
+  explicit LockedTaskQueue(Lock* external_lock) : lock_(external_lock) {}
+
+  bool Push(uint64_t task) override {
+    std::lock_guard<Lock> guard(*lock_);
+    queue_.push_back(task);
+    return true;
+  }
+
+  bool TryPop(uint64_t* task) override {
+    std::lock_guard<Lock> guard(*lock_);
+    if (queue_.empty()) return false;
+    *task = queue_.front();
+    queue_.pop_front();
+    return true;
+  }
+
+  size_t ApproxSize() const override {
+    std::lock_guard<Lock> guard(*lock_);
+    return queue_.size();
+  }
+
+ private:
+  mutable Lock own_lock_;
+  Lock* lock_ = &own_lock_;
+  std::deque<uint64_t> queue_;
+};
+
+using MutexTaskQueue = LockedTaskQueue<std::mutex>;
+using SpinLockTaskQueue = LockedTaskQueue<SpinLock>;
+
+}  // namespace sgxb
+
+#endif  // SGXB_SYNC_LOCKED_QUEUE_H_

@@ -1,0 +1,103 @@
+// Bounded lock-free MPMC queue (Dmitry Vyukov's design).
+//
+// Every cell carries a sequence number; producers and consumers claim
+// positions with a single fetch_add-free CAS loop on head/tail counters and
+// synchronize through the per-cell sequence, so neither side ever blocks on
+// the OS. This is the stand-in for the Boost lock-free queue the paper uses
+// as the RHO task queue (Section 4.4).
+
+#ifndef SGXB_SYNC_LOCKFREE_QUEUE_H_
+#define SGXB_SYNC_LOCKFREE_QUEUE_H_
+
+#include <atomic>
+#include <cassert>
+#include <memory>
+
+#include "common/types.h"
+#include "sync/spinlock.h"
+#include "sync/task_queue.h"
+
+namespace sgxb {
+
+class LockFreeTaskQueue final : public TaskQueue {
+ public:
+  /// \brief Capacity is rounded up to the next power of two.
+  explicit LockFreeTaskQueue(size_t capacity) {
+    size_t cap = 16;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (size_t i = 0; i < cap; ++i) {
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  bool Push(uint64_t task) override {
+    Cell* cell;
+    size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      size_t seq = cell->sequence.load(std::memory_order_acquire);
+      intptr_t diff =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+      if (diff == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = task;
+    cell->sequence.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool TryPop(uint64_t* task) override {
+    Cell* cell;
+    size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      size_t seq = cell->sequence.load(std::memory_order_acquire);
+      intptr_t diff =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // empty
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    *task = cell->value;
+    cell->sequence.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  size_t ApproxSize() const override {
+    size_t head = dequeue_pos_.load(std::memory_order_relaxed);
+    size_t tail = enqueue_pos_.load(std::memory_order_relaxed);
+    return tail >= head ? tail - head : 0;
+  }
+
+ private:
+  struct alignas(kCacheLineSize) Cell {
+    std::atomic<size_t> sequence;
+    uint64_t value;
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  size_t mask_;
+  alignas(kCacheLineSize) std::atomic<size_t> enqueue_pos_{0};
+  alignas(kCacheLineSize) std::atomic<size_t> dequeue_pos_{0};
+};
+
+}  // namespace sgxb
+
+#endif  // SGXB_SYNC_LOCKFREE_QUEUE_H_

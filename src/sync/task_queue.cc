@@ -1,0 +1,17 @@
+#include "sync/task_queue.h"
+
+namespace sgxb {
+
+const char* TaskQueueKindToString(TaskQueueKind kind) {
+  switch (kind) {
+    case TaskQueueKind::kLockFree:
+      return "lock-free";
+    case TaskQueueKind::kMutex:
+      return "mutex";
+    case TaskQueueKind::kSpinLock:
+      return "spinlock";
+  }
+  return "unknown";
+}
+
+}  // namespace sgxb

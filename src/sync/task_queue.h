@@ -1,0 +1,50 @@
+// Task queues that distribute partition/join tasks between worker threads.
+//
+// The RHO join distributes its per-partition work items through a queue.
+// The paper shows that the queue implementation is performance-critical
+// inside enclaves: a mutex-guarded queue (original TEEBench design) loses
+// 75% throughput under contention because the SDK mutex sleeps via OCALL,
+// while a lock-free queue retains near-native performance (Section 4.4,
+// Figure 10). All implementations here share the TaskQueue interface so
+// joins can swap them.
+
+#ifndef SGXB_SYNC_TASK_QUEUE_H_
+#define SGXB_SYNC_TASK_QUEUE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sgxb {
+
+/// \brief Which queue implementation a join should use (Figure 10 knob).
+enum class TaskQueueKind {
+  /// Bounded lock-free MPMC ring buffer (Vyukov); the paper's fix.
+  kLockFree = 0,
+  /// Guarded by a sleeping mutex (std::mutex natively, the simulated SGX
+  /// SDK mutex inside an enclave); the original TEEBench design.
+  kMutex = 1,
+  /// Guarded by a userspace spin lock; an intermediate design point.
+  kSpinLock = 2,
+};
+
+const char* TaskQueueKindToString(TaskQueueKind kind);
+
+/// \brief A multi-producer/multi-consumer queue of 64-bit task ids.
+class TaskQueue {
+ public:
+  virtual ~TaskQueue() = default;
+
+  /// \brief Enqueues a task. Returns false if the queue is full.
+  virtual bool Push(uint64_t task) = 0;
+
+  /// \brief Dequeues a task into *task. Returns false if the queue is
+  /// empty at the time of the call.
+  virtual bool TryPop(uint64_t* task) = 0;
+
+  /// \brief Approximate number of queued tasks (exact when quiescent).
+  virtual size_t ApproxSize() const = 0;
+};
+
+}  // namespace sgxb
+
+#endif  // SGXB_SYNC_TASK_QUEUE_H_

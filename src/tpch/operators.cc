@@ -1,0 +1,515 @@
+#include "tpch/operators.h"
+
+#include <atomic>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/timer.h"
+#include "join/materializer.h"
+#include "join/rho_join.h"
+#include "scan/column_scan.h"
+
+namespace sgxb::tpch {
+
+namespace {
+
+Result<AlignedBuffer> AllocForSetting(size_t bytes,
+                                      const QueryConfig& config) {
+  if (config.setting == ExecutionSetting::kSgxDataInEnclave &&
+      config.enclave != nullptr) {
+    return config.enclave->Allocate(bytes);
+  }
+  MemoryRegion region =
+      config.setting == ExecutionSetting::kSgxDataInEnclave
+          ? MemoryRegion::kEnclave
+          : MemoryRegion::kUntrusted;
+  return AlignedBuffer::Allocate(bytes, region);
+}
+
+join::JoinConfig ToJoinConfig(const QueryConfig& config, bool materialize) {
+  join::JoinConfig jc;
+  jc.num_threads = config.num_threads;
+  jc.flavor = config.flavor;
+  jc.setting = config.setting;
+  jc.enclave = config.enclave;
+  jc.materialize = materialize;
+  jc.radix_bits = config.radix_bits;
+  jc.radix_passes = 2;
+  return jc;
+}
+
+// Generic parallel refinement: keeps ids of `in` that satisfy `pred`.
+// Output order is preserved (per-thread slices are compacted in order).
+template <typename Pred>
+Result<RowIdList> RefineImpl(const RowIdList& in, Pred pred,
+                             size_t gather_bytes,
+                             const QueryConfig& config, OpRecorder* rec,
+                             const std::string& name) {
+  auto out = RowIdList::Allocate(in.count(), config);
+  if (!out.ok()) return out.status();
+  RowIdList result = std::move(out).value();
+
+  const int threads = config.num_threads;
+  std::vector<uint64_t> counts(threads, 0);
+  std::vector<Range> ranges(threads);
+  WallTimer timer;
+  ParallelRun(threads, [&](int tid) {
+    Range r = SplitRange(in.count(), threads, tid);
+    ranges[tid] = r;
+    uint64_t k = 0;
+    const uint64_t* ids = in.ids();
+    uint64_t* dst = result.ids() + r.begin;
+    for (size_t i = r.begin; i < r.end; ++i) {
+      uint64_t id = ids[i];
+      dst[k] = id;
+      k += pred(id) ? 1 : 0;
+    }
+    counts[tid] = k;
+  });
+  // Compact slices.
+  uint64_t total = counts[0];
+  for (int t = 1; t < threads; ++t) {
+    if (counts[t] > 0 && ranges[t].begin != total) {
+      std::move(result.ids() + ranges[t].begin,
+                result.ids() + ranges[t].begin + counts[t],
+                result.ids() + total);
+    }
+    total += counts[t];
+  }
+  result.set_count(total);
+
+  if (rec != nullptr) {
+    perf::AccessProfile p;
+    p.seq_read_bytes = in.count() * sizeof(uint64_t);
+    p.rand_reads = in.count();
+    p.rand_read_working_set = gather_bytes;
+    p.seq_write_bytes = total * sizeof(uint64_t);
+    p.loop_iterations = in.count();
+    p.ilp = perf::IlpClass::kUnrolledReordered;
+    rec->Record(name, static_cast<double>(timer.ElapsedNanos()), p,
+                threads);
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<RowIdList> RowIdList::Allocate(size_t capacity,
+                                      const QueryConfig& config) {
+  RowIdList list;
+  if (capacity == 0) capacity = 1;
+  auto buf = AllocForSetting(capacity * sizeof(uint64_t), config);
+  if (!buf.ok()) return buf.status();
+  list.buf_ = std::move(buf).value();
+  return list;
+}
+
+void OpRecorder::Absorb(const std::string& prefix,
+                        const perf::PhaseBreakdown& other) {
+  for (const auto& phase : other.phases) {
+    perf::PhaseStats s = phase;
+    s.name = prefix + "." + phase.name;
+    breakdown_.Add(std::move(s));
+  }
+}
+
+Result<RowIdList> FilterU8Range(const Column<uint8_t>& col, uint8_t lo,
+                                uint8_t hi, const QueryConfig& config,
+                                OpRecorder* rec, const std::string& name) {
+  auto out = RowIdList::Allocate(col.num_values(), config);
+  if (!out.ok()) return out.status();
+  RowIdList result = std::move(out).value();
+
+  scan::ScanConfig sc;
+  sc.lo = lo;
+  sc.hi = hi;
+  sc.num_threads = config.num_threads;
+  sc.setting = config.setting;
+  uint64_t count = 0;
+  auto scan_result = scan::RunRowIdScan(col, result.ids(), &count, sc);
+  if (!scan_result.ok()) return scan_result.status();
+  result.set_count(count);
+  if (rec != nullptr) {
+    rec->Record(name, scan_result.value().host_ns,
+                scan_result.value().profile, config.num_threads);
+  }
+  return result;
+}
+
+Result<RowIdList> FilterU32Range(const Column<uint32_t>& col, uint32_t lo,
+                                 uint32_t hi, const QueryConfig& config,
+                                 OpRecorder* rec, const std::string& name) {
+  auto out = RowIdList::Allocate(col.num_values(), config);
+  if (!out.ok()) return out.status();
+  RowIdList result = std::move(out).value();
+
+  const int threads = config.num_threads;
+  std::vector<uint64_t> counts(threads, 0);
+  std::vector<Range> ranges(threads);
+  WallTimer timer;
+  ParallelRun(threads, [&](int tid) {
+    Range r = SplitRange(col.num_values(), threads, tid);
+    ranges[tid] = r;
+    const uint32_t* data = col.data();
+    uint64_t* dst = result.ids() + r.begin;
+    uint64_t k = 0;
+    for (size_t i = r.begin; i < r.end; ++i) {
+      // Branchless conditional append (autovectorizes well).
+      dst[k] = i;
+      k += (data[i] >= lo && data[i] <= hi) ? 1 : 0;
+    }
+    counts[tid] = k;
+  });
+  uint64_t total = counts[0];
+  for (int t = 1; t < threads; ++t) {
+    if (counts[t] > 0 && ranges[t].begin != total) {
+      std::move(result.ids() + ranges[t].begin,
+                result.ids() + ranges[t].begin + counts[t],
+                result.ids() + total);
+    }
+    total += counts[t];
+  }
+  result.set_count(total);
+
+  if (rec != nullptr) {
+    perf::AccessProfile p;
+    p.seq_read_bytes = col.size_bytes();
+    p.seq_write_bytes = total * sizeof(uint64_t);
+    p.loop_iterations = col.num_values();
+    p.ilp = perf::IlpClass::kStreaming;
+    rec->Record(name, static_cast<double>(timer.ElapsedNanos()), p,
+                threads);
+  }
+  return result;
+}
+
+Result<RowIdList> RefineU8InSet(const RowIdList& in,
+                                const Column<uint8_t>& col,
+                                uint64_t set_mask,
+                                const QueryConfig& config, OpRecorder* rec,
+                                const std::string& name) {
+  const uint8_t* data = col.data();
+  return RefineImpl(
+      in,
+      [data, set_mask](uint64_t id) {
+        return (set_mask >> data[id]) & 1u;
+      },
+      col.size_bytes(), config, rec, name);
+}
+
+Result<RowIdList> RefineU32Range(const RowIdList& in,
+                                 const Column<uint32_t>& col, uint32_t lo,
+                                 uint32_t hi, const QueryConfig& config,
+                                 OpRecorder* rec, const std::string& name) {
+  const uint32_t* data = col.data();
+  return RefineImpl(
+      in,
+      [data, lo, hi](uint64_t id) {
+        return data[id] >= lo && data[id] <= hi;
+      },
+      col.size_bytes(), config, rec, name);
+}
+
+Result<RowIdList> RefineLess(const RowIdList& in,
+                             const Column<uint32_t>& a,
+                             const Column<uint32_t>& b,
+                             const QueryConfig& config, OpRecorder* rec,
+                             const std::string& name) {
+  const uint32_t* da = a.data();
+  const uint32_t* db = b.data();
+  return RefineImpl(
+      in, [da, db](uint64_t id) { return da[id] < db[id]; },
+      a.size_bytes() + b.size_bytes(), config, rec, name);
+}
+
+Result<Relation> GatherKeys(const Column<uint32_t>& keys,
+                            const RowIdList* rows,
+                            const QueryConfig& config, OpRecorder* rec,
+                            const std::string& name) {
+  const size_t n = rows != nullptr ? rows->count() : keys.num_values();
+  MemoryRegion region =
+      config.setting == ExecutionSetting::kSgxDataInEnclave
+          ? MemoryRegion::kEnclave
+          : MemoryRegion::kUntrusted;
+  // An empty selection yields a genuinely empty relation (never pad with
+  // uninitialized tuples — downstream joins would "match" garbage).
+  auto rel = Relation::Allocate(n, region);
+  if (!rel.ok()) return rel.status();
+  Relation result = std::move(rel).value();
+  if (n == 0) {
+    if (rec != nullptr) {
+      rec->Record(name, 0.0, perf::AccessProfile{}, config.num_threads);
+    }
+    return result;
+  }
+
+  WallTimer timer;
+  const int threads = config.num_threads;
+  ParallelRun(threads, [&](int tid) {
+    Range r = SplitRange(n, threads, tid);
+    Tuple* out = result.tuples();
+    const uint32_t* key_data = keys.data();
+    if (rows != nullptr) {
+      const uint64_t* ids = rows->ids();
+      for (size_t i = r.begin; i < r.end; ++i) {
+        out[i].key = key_data[ids[i]];
+        out[i].payload = static_cast<uint32_t>(ids[i]);
+      }
+    } else {
+      for (size_t i = r.begin; i < r.end; ++i) {
+        out[i].key = key_data[i];
+        out[i].payload = static_cast<uint32_t>(i);
+      }
+    }
+  });
+
+  if (rec != nullptr) {
+    perf::AccessProfile p;
+    p.seq_read_bytes = n * sizeof(uint64_t);
+    p.rand_reads = rows != nullptr ? n : 0;
+    p.rand_read_working_set = keys.size_bytes();
+    p.seq_write_bytes = n * sizeof(Tuple);
+    p.loop_iterations = n;
+    p.ilp = perf::IlpClass::kUnrolledReordered;
+    rec->Record(name, static_cast<double>(timer.ElapsedNanos()), p,
+                threads);
+  }
+  return result;
+}
+
+Result<JoinStepResult> MaterializingJoin(const Relation& build,
+                                         const Relation& probe,
+                                         const QueryConfig& config,
+                                         OpRecorder* rec,
+                                         const std::string& name) {
+  // The join's own materializer produces JoinOutputTuples; the probe-side
+  // payload is the probe row id, which is what the next operator needs.
+  // Empty inputs short-circuit (a filter can legitimately select nothing).
+  JoinStepResult step;
+  if (build.empty() || probe.empty()) {
+    auto empty = RowIdList::Allocate(1, config);
+    if (!empty.ok()) return empty.status();
+    step.probe_rows = std::move(empty).value();
+    return step;
+  }
+
+  join::JoinConfig jc = ToJoinConfig(config, /*materialize=*/true);
+  join::Materializer sink(config.num_threads, config.setting,
+                          config.enclave);
+  jc.output = &sink;
+  auto jr = join::RhoJoin(build, probe, jc);
+  if (!jr.ok()) return jr.status();
+  step.matches = jr.value().matches;
+  if (rec != nullptr) rec->Absorb(name, jr.value().phases);
+
+  // Project the probe-side row ids out of the materialized output; this
+  // is the input selection vector of the next operator.
+  auto rows = RowIdList::Allocate(step.matches, config);
+  if (!rows.ok()) return rows.status();
+  step.probe_rows = std::move(rows).value();
+  uint64_t k = 0;
+  uint64_t* ids = step.probe_rows.ids();
+  sink.ForEachChunk([&](const JoinOutputTuple* chunk, size_t n) {
+    for (size_t i = 0; i < n; ++i) ids[k++] = chunk[i].probe_payload;
+  });
+  step.probe_rows.set_count(k);
+  return step;
+}
+
+Result<uint64_t> CountingJoin(const Relation& build, const Relation& probe,
+                              const QueryConfig& config, OpRecorder* rec,
+                              const std::string& name) {
+  if (build.empty() || probe.empty()) return uint64_t{0};
+  join::JoinConfig jc = ToJoinConfig(config, /*materialize=*/false);
+  auto jr = join::RhoJoin(build, probe, jc);
+  if (!jr.ok()) return jr.status();
+  if (rec != nullptr) rec->Absorb(name, jr.value().phases);
+  return jr.value().matches;
+}
+
+namespace {
+
+// Shared implementation: group id of row `id` comes from `group_of`.
+template <typename GroupOf>
+Result<std::vector<uint64_t>> GroupCountImpl(size_t n, GroupOf group_of,
+                                             int num_groups,
+                                             size_t gather_bytes,
+                                             const QueryConfig& config,
+                                             OpRecorder* rec,
+                                             const std::string& name) {
+  if (num_groups <= 0 || num_groups > 4096) {
+    return Status::InvalidArgument("num_groups must be in [1, 4096]");
+  }
+  const int threads = config.num_threads;
+  std::vector<std::vector<uint64_t>> partials(
+      threads, std::vector<uint64_t>(num_groups, 0));
+  std::atomic<bool> out_of_range{false};
+
+  WallTimer timer;
+  ParallelRun(threads, [&](int tid) {
+    Range r = SplitRange(n, threads, tid);
+    std::vector<uint64_t>& local = partials[tid];
+    for (size_t i = r.begin; i < r.end; ++i) {
+      int g = group_of(i);
+      if (g < 0 || g >= num_groups) {
+        out_of_range.store(true, std::memory_order_relaxed);
+        return;
+      }
+      ++local[g];
+    }
+  });
+  if (out_of_range.load()) {
+    return Status::Internal("group code out of range in " + name);
+  }
+
+  std::vector<uint64_t> counts(num_groups, 0);
+  for (const auto& local : partials) {
+    for (int g = 0; g < num_groups; ++g) counts[g] += local[g];
+  }
+  if (rec != nullptr) {
+    perf::AccessProfile p;
+    p.seq_read_bytes = n * sizeof(uint64_t);
+    p.rand_reads = n;
+    p.rand_read_working_set = gather_bytes;
+    p.rand_writes = n;
+    p.rand_write_working_set = num_groups * sizeof(uint64_t);
+    p.loop_iterations = n;
+    p.ilp = perf::IlpClass::kReferenceLoop;
+    rec->Record(name, static_cast<double>(timer.ElapsedNanos()), p,
+                threads);
+  }
+  return counts;
+}
+
+}  // namespace
+
+Result<std::vector<uint64_t>> GroupCountU8(const Column<uint8_t>& col,
+                                           const RowIdList* rows,
+                                           int num_groups,
+                                           const QueryConfig& config,
+                                           OpRecorder* rec,
+                                           const std::string& name) {
+  const uint8_t* data = col.data();
+  if (rows == nullptr) {
+    return GroupCountImpl(
+        col.num_values(), [data](size_t i) { return int{data[i]}; },
+        num_groups, col.size_bytes(), config, rec, name);
+  }
+  const uint64_t* ids = rows->ids();
+  return GroupCountImpl(
+      rows->count(),
+      [data, ids](size_t i) { return int{data[ids[i]]}; }, num_groups,
+      col.size_bytes(), config, rec, name);
+}
+
+Result<std::vector<uint64_t>> GroupCountU8ViaFk(
+    const Column<uint8_t>& values, const Column<uint32_t>& fk,
+    const RowIdList& rows, int num_groups, const QueryConfig& config,
+    OpRecorder* rec, const std::string& name) {
+  const uint8_t* vals = values.data();
+  const uint32_t* keys = fk.data();
+  const uint64_t* ids = rows.ids();
+  return GroupCountImpl(
+      rows.count(),
+      [vals, keys, ids](size_t i) { return int{vals[keys[ids[i]]]}; },
+      num_groups, values.size_bytes() + fk.size_bytes(), config, rec,
+      name);
+}
+
+Result<std::vector<GroupAgg>> GroupSumU32By2U8(
+    const Column<uint32_t>& value, const Column<uint8_t>& g1, int num_g1,
+    const Column<uint8_t>& g2, int num_g2, const RowIdList* rows,
+    const QueryConfig& config, OpRecorder* rec,
+    const std::string& name) {
+  if (num_g1 <= 0 || num_g2 <= 0 || num_g1 * num_g2 > 4096) {
+    return Status::InvalidArgument("bad group dimensions");
+  }
+  const int groups = num_g1 * num_g2;
+  const size_t n = rows != nullptr ? rows->count() : value.num_values();
+  const uint64_t* ids = rows != nullptr ? rows->ids() : nullptr;
+  const uint32_t* vals = value.data();
+  const uint8_t* d1 = g1.data();
+  const uint8_t* d2 = g2.data();
+
+  const int threads = config.num_threads;
+  std::vector<std::vector<GroupAgg>> partials(
+      threads, std::vector<GroupAgg>(groups));
+  std::atomic<bool> out_of_range{false};
+
+  WallTimer timer;
+  ParallelRun(threads, [&](int tid) {
+    Range r = SplitRange(n, threads, tid);
+    std::vector<GroupAgg>& local = partials[tid];
+    for (size_t i = r.begin; i < r.end; ++i) {
+      const size_t id = ids != nullptr ? ids[i] : i;
+      const int g = d1[id] * num_g2 + d2[id];
+      if (d1[id] >= num_g1 || d2[id] >= num_g2) {
+        out_of_range.store(true, std::memory_order_relaxed);
+        return;
+      }
+      ++local[g].count;
+      local[g].sum += vals[id];
+    }
+  });
+  if (out_of_range.load()) {
+    return Status::Internal("group code out of range in " + name);
+  }
+
+  std::vector<GroupAgg> result(groups);
+  for (const auto& local : partials) {
+    for (int g = 0; g < groups; ++g) {
+      result[g].count += local[g].count;
+      result[g].sum += local[g].sum;
+    }
+  }
+  if (rec != nullptr) {
+    perf::AccessProfile p;
+    p.seq_read_bytes = n * (sizeof(uint64_t) + sizeof(uint32_t) + 2);
+    p.rand_writes = n;
+    p.rand_write_working_set = groups * sizeof(GroupAgg);
+    p.loop_iterations = n;
+    p.ilp = perf::IlpClass::kReferenceLoop;
+    rec->Record(name, static_cast<double>(timer.ElapsedNanos()), p,
+                threads);
+  }
+  return result;
+}
+
+Result<uint64_t> SumProductU32(const Column<uint32_t>& a,
+                               const Column<uint32_t>& b,
+                               const RowIdList& rows,
+                               const QueryConfig& config, OpRecorder* rec,
+                               const std::string& name) {
+  const uint32_t* da = a.data();
+  const uint32_t* db = b.data();
+  const uint64_t* ids = rows.ids();
+  const int threads = config.num_threads;
+  std::vector<uint64_t> partials(threads, 0);
+
+  WallTimer timer;
+  ParallelRun(threads, [&](int tid) {
+    Range r = SplitRange(rows.count(), threads, tid);
+    uint64_t local = 0;
+    for (size_t i = r.begin; i < r.end; ++i) {
+      const size_t id = ids[i];
+      local += static_cast<uint64_t>(da[id]) * db[id];
+    }
+    partials[tid] = local;
+  });
+  uint64_t total = 0;
+  for (uint64_t v : partials) total += v;
+
+  if (rec != nullptr) {
+    perf::AccessProfile p;
+    p.seq_read_bytes = rows.count() * sizeof(uint64_t);
+    p.rand_reads = rows.count() * 2;
+    p.rand_read_working_set = a.size_bytes() + b.size_bytes();
+    p.loop_iterations = rows.count();
+    p.ilp = perf::IlpClass::kStreaming;
+    rec->Record(name, static_cast<double>(timer.ElapsedNanos()), p,
+                threads);
+  }
+  return total;
+}
+
+}  // namespace sgxb::tpch

@@ -1,0 +1,183 @@
+// Materializing query operators (paper Section 6).
+//
+// The paper's query framework has no pipelining: "each operator fully
+// materializes its output", MonetDB-style. Selections produce row-id
+// lists (using the SIMD scan kernels from src/scan), refinements thin an
+// existing row-id list with further predicates, gathers turn row-id lists
+// into join input relations (key + row id), and joins run the optimized
+// RHO join with materialized outputs feeding the next operator.
+
+#ifndef SGXB_TPCH_OPERATORS_H_
+#define SGXB_TPCH_OPERATORS_H_
+
+#include <string>
+
+#include "common/aligned_buffer.h"
+#include "common/relation.h"
+#include "common/status.h"
+#include "join/join_common.h"
+#include "perf/access_profile.h"
+#include "sgx/enclave.h"
+
+namespace sgxb::tpch {
+
+struct QueryConfig {
+  int num_threads = 1;
+  /// kUnrolledReordered is the paper's optimized configuration.
+  KernelFlavor flavor = KernelFlavor::kUnrolledReordered;
+  ExecutionSetting setting = ExecutionSetting::kPlainCpu;
+  sgx::Enclave* enclave = nullptr;
+  int radix_bits = 12;
+};
+
+/// \brief A materialized list of row ids (selection vector).
+class RowIdList {
+ public:
+  RowIdList() = default;
+  static Result<RowIdList> Allocate(size_t capacity,
+                                    const QueryConfig& config);
+
+  uint64_t* ids() { return buf_.As<uint64_t>(); }
+  const uint64_t* ids() const { return buf_.As<uint64_t>(); }
+  uint64_t count() const { return count_; }
+  void set_count(uint64_t c) { count_ = c; }
+  size_t capacity() const { return buf_.size() / sizeof(uint64_t); }
+
+ private:
+  AlignedBuffer buf_;
+  uint64_t count_ = 0;
+};
+
+/// \brief Accumulates per-operator phases for a query execution.
+class OpRecorder {
+ public:
+  void Record(const std::string& name, double host_ns,
+              const perf::AccessProfile& profile, int threads) {
+    perf::PhaseStats s;
+    s.name = name;
+    s.host_ns = host_ns;
+    s.profile = profile;
+    s.threads = threads;
+    breakdown_.Add(std::move(s));
+  }
+
+  /// \brief Appends another breakdown, prefixing phase names.
+  void Absorb(const std::string& prefix,
+              const perf::PhaseBreakdown& other);
+
+  perf::PhaseBreakdown Take() { return std::move(breakdown_); }
+
+ private:
+  perf::PhaseBreakdown breakdown_;
+};
+
+// --- Selections ---------------------------------------------------------
+
+/// \brief sigma(lo <= col <= hi) over a uint8 column via the SIMD scan.
+Result<RowIdList> FilterU8Range(const Column<uint8_t>& col, uint8_t lo,
+                                uint8_t hi, const QueryConfig& config,
+                                OpRecorder* rec, const std::string& name);
+
+/// \brief sigma(lo <= col <= hi) over a uint32 column.
+Result<RowIdList> FilterU32Range(const Column<uint32_t>& col, uint32_t lo,
+                                 uint32_t hi, const QueryConfig& config,
+                                 OpRecorder* rec, const std::string& name);
+
+// --- Refinements (thin an existing row-id list) -----------------------------
+
+/// \brief Keeps ids where col[id]'s code bit is set in `set_mask`
+/// (codes must be < 64).
+Result<RowIdList> RefineU8InSet(const RowIdList& in,
+                                const Column<uint8_t>& col,
+                                uint64_t set_mask,
+                                const QueryConfig& config, OpRecorder* rec,
+                                const std::string& name);
+
+/// \brief Keeps ids where lo <= col[id] <= hi.
+Result<RowIdList> RefineU32Range(const RowIdList& in,
+                                 const Column<uint32_t>& col, uint32_t lo,
+                                 uint32_t hi, const QueryConfig& config,
+                                 OpRecorder* rec, const std::string& name);
+
+/// \brief Keeps ids where a[id] < b[id] (e.g. commitdate < receiptdate).
+Result<RowIdList> RefineLess(const RowIdList& in,
+                             const Column<uint32_t>& a,
+                             const Column<uint32_t>& b,
+                             const QueryConfig& config, OpRecorder* rec,
+                             const std::string& name);
+
+// --- Gather / join ------------------------------------------------------------
+
+/// \brief Builds a join input relation from `keys[id]` for each id in
+/// `rows` (payload = row id). Pass nullptr to gather every row.
+Result<Relation> GatherKeys(const Column<uint32_t>& keys,
+                            const RowIdList* rows,
+                            const QueryConfig& config, OpRecorder* rec,
+                            const std::string& name);
+
+/// \brief Result of an intermediate (materializing) join step.
+struct JoinStepResult {
+  uint64_t matches = 0;
+  /// Probe-side row ids of all matches (for the next operator).
+  RowIdList probe_rows;
+};
+
+/// \brief Materializing RHO join step; extracts probe-side row ids.
+Result<JoinStepResult> MaterializingJoin(const Relation& build,
+                                         const Relation& probe,
+                                         const QueryConfig& config,
+                                         OpRecorder* rec,
+                                         const std::string& name);
+
+/// \brief Final count(*) join: no materialization, returns match count.
+Result<uint64_t> CountingJoin(const Relation& build, const Relation& probe,
+                              const QueryConfig& config, OpRecorder* rec,
+                              const std::string& name);
+
+// --- Aggregation (extension) ---------------------------------------------
+// The paper replaces final aggregations with count(*); these operators
+// restore the real queries' GROUP BY finals (e.g. Q12 groups line counts
+// into high/low order priority).
+
+/// \brief GROUP BY count over `col[id]` for each id in `rows` (all rows
+/// if null). Returns `num_groups` counts; codes >= num_groups are
+/// rejected as kInternal.
+Result<std::vector<uint64_t>> GroupCountU8(const Column<uint8_t>& col,
+                                           const RowIdList* rows,
+                                           int num_groups,
+                                           const QueryConfig& config,
+                                           OpRecorder* rec,
+                                           const std::string& name);
+
+/// \brief GROUP BY count via a foreign key: for each id in `rows`, the
+/// group is `values[fk[id]]` (e.g. order priority of a lineitem's order).
+Result<std::vector<uint64_t>> GroupCountU8ViaFk(
+    const Column<uint8_t>& values, const Column<uint32_t>& fk,
+    const RowIdList& rows, int num_groups, const QueryConfig& config,
+    OpRecorder* rec, const std::string& name);
+
+/// \brief Per-group count and sum (Q1-style aggregate).
+struct GroupAgg {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+};
+
+/// \brief GROUP BY (g1, g2) computing count(*) and sum(value) per group;
+/// the group index is g1[id] * num_g2 + g2[id]. `rows` may be null for
+/// all rows. Returns num_g1 * num_g2 aggregates.
+Result<std::vector<GroupAgg>> GroupSumU32By2U8(
+    const Column<uint32_t>& value, const Column<uint8_t>& g1, int num_g1,
+    const Column<uint8_t>& g2, int num_g2, const RowIdList* rows,
+    const QueryConfig& config, OpRecorder* rec, const std::string& name);
+
+/// \brief sum(a[id] * b[id]) over the row-id list (Q6's revenue
+/// aggregate: sum(l_extendedprice * l_discount)).
+Result<uint64_t> SumProductU32(const Column<uint32_t>& a,
+                               const Column<uint32_t>& b,
+                               const RowIdList& rows,
+                               const QueryConfig& config, OpRecorder* rec,
+                               const std::string& name);
+
+}  // namespace sgxb::tpch
+
+#endif  // SGXB_TPCH_OPERATORS_H_

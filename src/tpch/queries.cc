@@ -1,0 +1,470 @@
+#include "tpch/queries.h"
+
+#include <vector>
+
+#include "common/timer.h"
+
+namespace sgxb::tpch {
+
+namespace {
+
+constexpr uint64_t Bit(uint8_t code) { return uint64_t{1} << code; }
+
+// Q12 ship modes: MAIL and SHIP.
+constexpr uint64_t kQ12ModeMask = Bit(kModeMail) | Bit(kModeShip);
+// Q19 ship modes: AIR and AIR REG.
+constexpr uint64_t kQ19ModeMask = Bit(kModeAir) | Bit(kModeRegAir);
+
+// Q19 branch parameters (brand codes are arbitrary but fixed; containers
+// encode size*8+kind, see tpch_schema.h).
+struct Q19Branch {
+  uint8_t brand;
+  uint64_t container_mask;
+  uint32_t qty_lo;
+  uint32_t qty_hi;
+  uint32_t size_hi;
+};
+
+constexpr Q19Branch kQ19Branches[3] = {
+    // Brand#12, SM CASE/BOX/PACK/PKG, qty in [1, 11], size in [1, 5]
+    {3, Bit(0) | Bit(1) | Bit(5) | Bit(4), 1, 11, 5},
+    // Brand#23, MED BAG/BOX/PKG/PACK, qty in [10, 20], size in [1, 10]
+    {8, Bit(10) | Bit(9) | Bit(12) | Bit(13), 10, 20, 10},
+    // Brand#34, LG CASE/BOX/PACK/PKG, qty in [20, 30], size in [1, 15]
+    {14, Bit(16) | Bit(17) | Bit(21) | Bit(20), 20, 30, 15},
+};
+
+}  // namespace
+
+Result<QueryResult> RunQ3(const TpchDb& db, const QueryConfig& config) {
+  OpRecorder rec;
+  WallTimer timer;
+
+  // sigma(c_mktsegment = BUILDING)(customer)
+  auto cust = FilterU8Range(db.customer.c_mktsegment, kSegBuilding,
+                            kSegBuilding, config, &rec, "filter_customer");
+  if (!cust.ok()) return cust.status();
+  auto build1 = GatherKeys(db.customer.c_custkey, &cust.value(), config,
+                           &rec, "gather_customer");
+  if (!build1.ok()) return build1.status();
+
+  // sigma(o_orderdate < 1995-03-15)(orders)
+  auto ord = FilterU32Range(db.orders.o_orderdate, 0, kDate19950315 - 1,
+                            config, &rec, "filter_orders");
+  if (!ord.ok()) return ord.status();
+  auto probe1 = GatherKeys(db.orders.o_custkey, &ord.value(), config, &rec,
+                           "gather_orders");
+  if (!probe1.ok()) return probe1.status();
+
+  auto join1 = MaterializingJoin(build1.value(), probe1.value(), config,
+                                 &rec, "join_cust_orders");
+  if (!join1.ok()) return join1.status();
+
+  auto build2 = GatherKeys(db.orders.o_orderkey, &join1.value().probe_rows,
+                           config, &rec, "gather_orderkeys");
+  if (!build2.ok()) return build2.status();
+
+  // sigma(l_shipdate > 1995-03-15)(lineitem)
+  auto line = FilterU32Range(db.lineitem.l_shipdate, kDate19950315 + 1,
+                             0xffffffffu, config, &rec, "filter_lineitem");
+  if (!line.ok()) return line.status();
+  auto probe2 = GatherKeys(db.lineitem.l_orderkey, &line.value(), config,
+                           &rec, "gather_lineitem");
+  if (!probe2.ok()) return probe2.status();
+
+  auto count = CountingJoin(build2.value(), probe2.value(), config, &rec,
+                            "join_orders_lineitem");
+  if (!count.ok()) return count.status();
+
+  QueryResult result;
+  result.count = count.value();
+  result.host_ns = static_cast<double>(timer.ElapsedNanos());
+  result.phases = rec.Take();
+  return result;
+}
+
+Result<QueryResult> RunQ10(const TpchDb& db, const QueryConfig& config) {
+  OpRecorder rec;
+  WallTimer timer;
+
+  // sigma(o_orderdate in [1993-10-01, 1994-01-01))(orders)
+  auto ord = FilterU32Range(db.orders.o_orderdate, kDate19931001,
+                            kDate19940101 - 1, config, &rec,
+                            "filter_orders");
+  if (!ord.ok()) return ord.status();
+  auto probe1 = GatherKeys(db.orders.o_custkey, &ord.value(), config, &rec,
+                           "gather_orders");
+  if (!probe1.ok()) return probe1.status();
+  auto build1 = GatherKeys(db.customer.c_custkey, nullptr, config, &rec,
+                           "gather_customer");
+  if (!build1.ok()) return build1.status();
+
+  auto join1 = MaterializingJoin(build1.value(), probe1.value(), config,
+                                 &rec, "join_cust_orders");
+  if (!join1.ok()) return join1.status();
+
+  auto build2 = GatherKeys(db.orders.o_orderkey, &join1.value().probe_rows,
+                           config, &rec, "gather_orderkeys");
+  if (!build2.ok()) return build2.status();
+
+  // sigma(l_returnflag = 'R')(lineitem)
+  auto line = FilterU8Range(db.lineitem.l_returnflag, kFlagR, kFlagR,
+                            config, &rec, "filter_lineitem");
+  if (!line.ok()) return line.status();
+  auto probe2 = GatherKeys(db.lineitem.l_orderkey, &line.value(), config,
+                           &rec, "gather_lineitem");
+  if (!probe2.ok()) return probe2.status();
+
+  auto count = CountingJoin(build2.value(), probe2.value(), config, &rec,
+                            "join_orders_lineitem");
+  if (!count.ok()) return count.status();
+
+  QueryResult result;
+  result.count = count.value();
+  result.host_ns = static_cast<double>(timer.ElapsedNanos());
+  result.phases = rec.Take();
+  return result;
+}
+
+Result<QueryResult> RunQ12(const TpchDb& db, const QueryConfig& config) {
+  OpRecorder rec;
+  WallTimer timer;
+
+  auto rows = FilterU32Range(db.lineitem.l_receiptdate, kDate19940101,
+                             kDate19950101 - 1, config, &rec,
+                             "filter_receiptdate");
+  if (!rows.ok()) return rows.status();
+  auto rows2 = RefineU8InSet(rows.value(), db.lineitem.l_shipmode,
+                             kQ12ModeMask, config, &rec, "refine_shipmode");
+  if (!rows2.ok()) return rows2.status();
+  auto rows3 =
+      RefineLess(rows2.value(), db.lineitem.l_commitdate,
+                 db.lineitem.l_receiptdate, config, &rec,
+                 "refine_commit_lt_receipt");
+  if (!rows3.ok()) return rows3.status();
+  auto rows4 =
+      RefineLess(rows3.value(), db.lineitem.l_shipdate,
+                 db.lineitem.l_commitdate, config, &rec,
+                 "refine_ship_lt_commit");
+  if (!rows4.ok()) return rows4.status();
+
+  auto probe = GatherKeys(db.lineitem.l_orderkey, &rows4.value(), config,
+                          &rec, "gather_lineitem");
+  if (!probe.ok()) return probe.status();
+  auto build = GatherKeys(db.orders.o_orderkey, nullptr, config, &rec,
+                          "gather_orders");
+  if (!build.ok()) return build.status();
+
+  auto count = CountingJoin(build.value(), probe.value(), config, &rec,
+                            "join_orders_lineitem");
+  if (!count.ok()) return count.status();
+
+  QueryResult result;
+  result.count = count.value();
+  result.host_ns = static_cast<double>(timer.ElapsedNanos());
+  result.phases = rec.Take();
+  return result;
+}
+
+Result<QueryResult> RunQ19(const TpchDb& db, const QueryConfig& config) {
+  OpRecorder rec;
+  WallTimer timer;
+
+  QueryResult result;
+  int branch_no = 0;
+  for (const Q19Branch& br : kQ19Branches) {
+    const std::string suffix = "_b" + std::to_string(++branch_no);
+
+    auto parts = FilterU8Range(db.part.p_brand, br.brand, br.brand, config,
+                               &rec, "filter_brand" + suffix);
+    if (!parts.ok()) return parts.status();
+    auto parts2 = RefineU8InSet(parts.value(), db.part.p_container,
+                                br.container_mask, config, &rec,
+                                "refine_container" + suffix);
+    if (!parts2.ok()) return parts2.status();
+    auto parts3 = RefineU32Range(parts2.value(), db.part.p_size, 1,
+                                 br.size_hi, config, &rec,
+                                 "refine_size" + suffix);
+    if (!parts3.ok()) return parts3.status();
+    auto build = GatherKeys(db.part.p_partkey, &parts3.value(), config,
+                            &rec, "gather_part" + suffix);
+    if (!build.ok()) return build.status();
+
+    auto lines = FilterU32Range(db.lineitem.l_quantity, br.qty_lo,
+                                br.qty_hi, config, &rec,
+                                "filter_quantity" + suffix);
+    if (!lines.ok()) return lines.status();
+    auto lines2 = RefineU8InSet(lines.value(), db.lineitem.l_shipmode,
+                                kQ19ModeMask, config, &rec,
+                                "refine_shipmode" + suffix);
+    if (!lines2.ok()) return lines2.status();
+    auto lines3 = RefineU8InSet(lines2.value(), db.lineitem.l_shipinstruct,
+                                Bit(kInstrDeliverInPerson), config, &rec,
+                                "refine_shipinstruct" + suffix);
+    if (!lines3.ok()) return lines3.status();
+    auto probe = GatherKeys(db.lineitem.l_partkey, &lines3.value(), config,
+                            &rec, "gather_lineitem" + suffix);
+    if (!probe.ok()) return probe.status();
+
+    auto count = CountingJoin(build.value(), probe.value(), config, &rec,
+                              "join_part_lineitem" + suffix);
+    if (!count.ok()) return count.status();
+    result.count += count.value();
+  }
+
+  result.host_ns = static_cast<double>(timer.ElapsedNanos());
+  result.phases = rec.Take();
+  return result;
+}
+
+Result<QueryResult> RunQuery(int query_number, const TpchDb& db,
+                             const QueryConfig& config) {
+  switch (query_number) {
+    case 1:
+      return RunQ1(db, config);
+    case 6:
+      return RunQ6(db, config);
+    case 3:
+      return RunQ3(db, config);
+    case 10:
+      return RunQ10(db, config);
+    case 12:
+      return RunQ12(db, config);
+    case 19:
+      return RunQ19(db, config);
+    default:
+      return Status::InvalidArgument(
+          "queries 1, 3, 6, 10, 12, 19 are implemented");
+  }
+}
+
+Result<QueryResult> RunQ12Grouped(const TpchDb& db,
+                                  const QueryConfig& config) {
+  OpRecorder rec;
+  WallTimer timer;
+
+  // Same selection chain as Q12...
+  auto rows = FilterU32Range(db.lineitem.l_receiptdate, kDate19940101,
+                             kDate19950101 - 1, config, &rec,
+                             "filter_receiptdate");
+  if (!rows.ok()) return rows.status();
+  auto rows2 = RefineU8InSet(rows.value(), db.lineitem.l_shipmode,
+                             kQ12ModeMask, config, &rec, "refine_shipmode");
+  if (!rows2.ok()) return rows2.status();
+  auto rows3 =
+      RefineLess(rows2.value(), db.lineitem.l_commitdate,
+                 db.lineitem.l_receiptdate, config, &rec,
+                 "refine_commit_lt_receipt");
+  if (!rows3.ok()) return rows3.status();
+  auto rows4 =
+      RefineLess(rows3.value(), db.lineitem.l_shipdate,
+                 db.lineitem.l_commitdate, config, &rec,
+                 "refine_ship_lt_commit");
+  if (!rows4.ok()) return rows4.status();
+
+  // ... but with the query's real final: count lines per order-priority
+  // class of the owning order.
+  auto by_prio = GroupCountU8ViaFk(
+      db.orders.o_orderpriority, db.lineitem.l_orderkey, rows4.value(),
+      kNumOrderPriorities, config, &rec, "group_by_priority");
+  if (!by_prio.ok()) return by_prio.status();
+
+  QueryResult result;
+  const std::vector<uint64_t>& prio = by_prio.value();
+  uint64_t high = prio[kPrioUrgent] + prio[kPrioHigh];
+  uint64_t low = 0;
+  for (int g = kPrioMedium; g < kNumOrderPriorities; ++g) low += prio[g];
+  result.group_counts = {high, low};
+  result.count = high + low;
+  result.host_ns = static_cast<double>(timer.ElapsedNanos());
+  result.phases = rec.Take();
+  return result;
+}
+
+std::pair<uint64_t, uint64_t> ReferenceQ12Grouped(const TpchDb& db) {
+  uint64_t high = 0, low = 0;
+  for (size_t i = 0; i < db.lineitem.num_rows; ++i) {
+    const uint8_t mode = db.lineitem.l_shipmode[i];
+    bool qualifies =
+        (mode == kModeMail || mode == kModeShip) &&
+        db.lineitem.l_commitdate[i] < db.lineitem.l_receiptdate[i] &&
+        db.lineitem.l_shipdate[i] < db.lineitem.l_commitdate[i] &&
+        db.lineitem.l_receiptdate[i] >= kDate19940101 &&
+        db.lineitem.l_receiptdate[i] < kDate19950101;
+    if (!qualifies) continue;
+    uint8_t prio =
+        db.orders.o_orderpriority[db.lineitem.l_orderkey[i]];
+    if (prio == kPrioUrgent || prio == kPrioHigh) {
+      ++high;
+    } else {
+      ++low;
+    }
+  }
+  return {high, low};
+}
+
+namespace {
+// Q1's shipdate cutoff: date '1998-12-01' - interval '90' day.
+constexpr uint32_t kQ1Cutoff =
+    static_cast<uint32_t>(DaysFromCivil(1998, 9, 2));
+}  // namespace
+
+Result<QueryResult> RunQ1(const TpchDb& db, const QueryConfig& config) {
+  OpRecorder rec;
+  WallTimer timer;
+
+  auto rows = FilterU32Range(db.lineitem.l_shipdate, 0, kQ1Cutoff, config,
+                             &rec, "filter_shipdate");
+  if (!rows.ok()) return rows.status();
+
+  auto aggs = GroupSumU32By2U8(
+      db.lineitem.l_quantity, db.lineitem.l_returnflag, kNumReturnFlags,
+      db.lineitem.l_linestatus, kNumLineStatuses, &rows.value(), config,
+      &rec, "group_flag_status");
+  if (!aggs.ok()) return aggs.status();
+
+  QueryResult result;
+  for (const GroupAgg& g : aggs.value()) {
+    result.group_counts.push_back(g.count);
+    result.count += g.count;
+  }
+  result.host_ns = static_cast<double>(timer.ElapsedNanos());
+  result.phases = rec.Take();
+  return result;
+}
+
+Result<QueryResult> RunQ6(const TpchDb& db, const QueryConfig& config) {
+  OpRecorder rec;
+  WallTimer timer;
+
+  auto rows = FilterU32Range(db.lineitem.l_shipdate, kDate19940101,
+                             kDate19950101 - 1, config, &rec,
+                             "filter_shipdate");
+  if (!rows.ok()) return rows.status();
+  auto rows2 = RefineU32Range(rows.value(), db.lineitem.l_discount, 5, 7,
+                              config, &rec, "refine_discount");
+  if (!rows2.ok()) return rows2.status();
+  auto rows3 = RefineU32Range(rows2.value(), db.lineitem.l_quantity, 1,
+                              23, config, &rec, "refine_quantity");
+  if (!rows3.ok()) return rows3.status();
+
+  auto revenue =
+      SumProductU32(db.lineitem.l_extendedprice, db.lineitem.l_discount,
+                    rows3.value(), config, &rec, "sum_revenue");
+  if (!revenue.ok()) return revenue.status();
+
+  QueryResult result;
+  result.count = rows3.value().count();
+  result.group_counts = {revenue.value()};
+  result.host_ns = static_cast<double>(timer.ElapsedNanos());
+  result.phases = rec.Take();
+  return result;
+}
+
+std::vector<uint64_t> ReferenceQ1Counts(const TpchDb& db) {
+  std::vector<uint64_t> counts(kNumReturnFlags * kNumLineStatuses, 0);
+  for (size_t i = 0; i < db.lineitem.num_rows; ++i) {
+    if (db.lineitem.l_shipdate[i] <= kQ1Cutoff) {
+      ++counts[db.lineitem.l_returnflag[i] * kNumLineStatuses +
+               db.lineitem.l_linestatus[i]];
+    }
+  }
+  return counts;
+}
+
+std::vector<uint64_t> ReferenceQ1Sums(const TpchDb& db) {
+  std::vector<uint64_t> sums(kNumReturnFlags * kNumLineStatuses, 0);
+  for (size_t i = 0; i < db.lineitem.num_rows; ++i) {
+    if (db.lineitem.l_shipdate[i] <= kQ1Cutoff) {
+      sums[db.lineitem.l_returnflag[i] * kNumLineStatuses +
+           db.lineitem.l_linestatus[i]] += db.lineitem.l_quantity[i];
+    }
+  }
+  return sums;
+}
+
+uint64_t ReferenceQ6(const TpchDb& db) {
+  uint64_t revenue = 0;
+  for (size_t i = 0; i < db.lineitem.num_rows; ++i) {
+    if (db.lineitem.l_shipdate[i] >= kDate19940101 &&
+        db.lineitem.l_shipdate[i] < kDate19950101 &&
+        db.lineitem.l_discount[i] >= 5 && db.lineitem.l_discount[i] <= 7 &&
+        db.lineitem.l_quantity[i] < 24) {
+      revenue += static_cast<uint64_t>(db.lineitem.l_extendedprice[i]) *
+                 db.lineitem.l_discount[i];
+    }
+  }
+  return revenue;
+}
+
+// --- Reference implementations (test oracles) ------------------------------
+
+uint64_t ReferenceQ3(const TpchDb& db) {
+  std::vector<uint8_t> cust_ok(db.customer.num_rows, 0);
+  for (size_t i = 0; i < db.customer.num_rows; ++i) {
+    cust_ok[i] = db.customer.c_mktsegment[i] == kSegBuilding;
+  }
+  std::vector<uint8_t> order_ok(db.orders.num_rows, 0);
+  for (size_t i = 0; i < db.orders.num_rows; ++i) {
+    order_ok[i] = db.orders.o_orderdate[i] < kDate19950315 &&
+                  cust_ok[db.orders.o_custkey[i]];
+  }
+  uint64_t count = 0;
+  for (size_t i = 0; i < db.lineitem.num_rows; ++i) {
+    count += db.lineitem.l_shipdate[i] > kDate19950315 &&
+             order_ok[db.lineitem.l_orderkey[i]];
+  }
+  return count;
+}
+
+uint64_t ReferenceQ10(const TpchDb& db) {
+  std::vector<uint8_t> order_ok(db.orders.num_rows, 0);
+  for (size_t i = 0; i < db.orders.num_rows; ++i) {
+    order_ok[i] = db.orders.o_orderdate[i] >= kDate19931001 &&
+                  db.orders.o_orderdate[i] < kDate19940101;
+  }
+  uint64_t count = 0;
+  for (size_t i = 0; i < db.lineitem.num_rows; ++i) {
+    count += db.lineitem.l_returnflag[i] == kFlagR &&
+             order_ok[db.lineitem.l_orderkey[i]];
+  }
+  return count;
+}
+
+uint64_t ReferenceQ12(const TpchDb& db) {
+  uint64_t count = 0;
+  for (size_t i = 0; i < db.lineitem.num_rows; ++i) {
+    const uint8_t mode = db.lineitem.l_shipmode[i];
+    count += (mode == kModeMail || mode == kModeShip) &&
+             db.lineitem.l_commitdate[i] < db.lineitem.l_receiptdate[i] &&
+             db.lineitem.l_shipdate[i] < db.lineitem.l_commitdate[i] &&
+             db.lineitem.l_receiptdate[i] >= kDate19940101 &&
+             db.lineitem.l_receiptdate[i] < kDate19950101;
+  }
+  return count;
+}
+
+uint64_t ReferenceQ19(const TpchDb& db) {
+  uint64_t count = 0;
+  for (size_t i = 0; i < db.lineitem.num_rows; ++i) {
+    const uint8_t mode = db.lineitem.l_shipmode[i];
+    if ((mode != kModeAir && mode != kModeRegAir) ||
+        db.lineitem.l_shipinstruct[i] != kInstrDeliverInPerson) {
+      continue;
+    }
+    const uint32_t part = db.lineitem.l_partkey[i];
+    const uint32_t qty = db.lineitem.l_quantity[i];
+    for (const Q19Branch& br : kQ19Branches) {
+      if (db.part.p_brand[part] == br.brand &&
+          ((br.container_mask >> db.part.p_container[part]) & 1u) != 0 &&
+          qty >= br.qty_lo && qty <= br.qty_hi &&
+          db.part.p_size[part] >= 1 && db.part.p_size[part] <= br.size_hi) {
+        ++count;
+        break;  // branches are brand-disjoint; at most one can match
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace sgxb::tpch

@@ -1,0 +1,169 @@
+#include "tpch/tpch_gen.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+
+namespace sgxb::tpch {
+
+size_t CustomerRows(double sf) {
+  return std::max<size_t>(1, static_cast<size_t>(sf * 150000));
+}
+size_t OrdersRows(double sf) {
+  return std::max<size_t>(1, static_cast<size_t>(sf * 1500000));
+}
+size_t PartRows(double sf) {
+  return std::max<size_t>(1, static_cast<size_t>(sf * 200000));
+}
+
+namespace {
+
+template <typename T>
+Status Alloc(Column<T>* col, size_t n, MemoryRegion region) {
+  auto c = Column<T>::Allocate(n, region);
+  if (!c.ok()) return c.status();
+  *col = std::move(c).value();
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<TpchDb> Generate(const GenConfig& config) {
+  if (config.scale_factor <= 0) {
+    return Status::InvalidArgument("scale_factor must be positive");
+  }
+  TpchDb db;
+  db.scale_factor = config.scale_factor;
+  const MemoryRegion region = config.region;
+  Xoshiro256 rng(config.seed);
+
+  // --- customer ---------------------------------------------------------
+  {
+    const size_t n = CustomerRows(config.scale_factor);
+    db.customer.num_rows = n;
+    SGXB_RETURN_NOT_OK(Alloc(&db.customer.c_custkey, n, region));
+    SGXB_RETURN_NOT_OK(Alloc(&db.customer.c_mktsegment, n, region));
+    for (size_t i = 0; i < n; ++i) {
+      db.customer.c_custkey[i] = static_cast<uint32_t>(i);
+      db.customer.c_mktsegment[i] =
+          static_cast<uint8_t>(rng.NextBounded(kNumSegments));
+    }
+  }
+
+  // --- orders -----------------------------------------------------------
+  const size_t num_orders = OrdersRows(config.scale_factor);
+  {
+    db.orders.num_rows = num_orders;
+    SGXB_RETURN_NOT_OK(Alloc(&db.orders.o_orderkey, num_orders, region));
+    SGXB_RETURN_NOT_OK(Alloc(&db.orders.o_custkey, num_orders, region));
+    SGXB_RETURN_NOT_OK(Alloc(&db.orders.o_orderdate, num_orders, region));
+    SGXB_RETURN_NOT_OK(
+        Alloc(&db.orders.o_orderpriority, num_orders, region));
+    // dbgen draws order dates uniformly from [STARTDATE, ENDDATE - 151
+    // days]; ENDDATE is 1998-12-31 and the last order date is 1998-08-02.
+    const uint32_t max_date = kDate19980802;
+    const size_t num_cust = db.customer.num_rows;
+    for (size_t i = 0; i < num_orders; ++i) {
+      db.orders.o_orderkey[i] = static_cast<uint32_t>(i);
+      db.orders.o_custkey[i] =
+          static_cast<uint32_t>(rng.NextBounded(num_cust));
+      db.orders.o_orderdate[i] =
+          static_cast<uint32_t>(rng.NextBounded(max_date + 1));
+      db.orders.o_orderpriority[i] =
+          static_cast<uint8_t>(rng.NextBounded(kNumOrderPriorities));
+    }
+  }
+
+  // --- lineitem ---------------------------------------------------------
+  {
+    // dbgen: each order has 1..7 lineitems, uniform. Sizing pass first so
+    // the columns can be allocated exactly.
+    std::vector<uint8_t> lines_per_order(num_orders);
+    size_t total = 0;
+    for (size_t i = 0; i < num_orders; ++i) {
+      lines_per_order[i] = static_cast<uint8_t>(1 + rng.NextBounded(7));
+      total += lines_per_order[i];
+    }
+    db.lineitem.num_rows = total;
+    LineitemTable& l = db.lineitem;
+    SGXB_RETURN_NOT_OK(Alloc(&l.l_orderkey, total, region));
+    SGXB_RETURN_NOT_OK(Alloc(&l.l_partkey, total, region));
+    SGXB_RETURN_NOT_OK(Alloc(&l.l_quantity, total, region));
+    SGXB_RETURN_NOT_OK(Alloc(&l.l_extendedprice, total, region));
+    SGXB_RETURN_NOT_OK(Alloc(&l.l_discount, total, region));
+    SGXB_RETURN_NOT_OK(Alloc(&l.l_shipdate, total, region));
+    SGXB_RETURN_NOT_OK(Alloc(&l.l_commitdate, total, region));
+    SGXB_RETURN_NOT_OK(Alloc(&l.l_receiptdate, total, region));
+    SGXB_RETURN_NOT_OK(Alloc(&l.l_shipmode, total, region));
+    SGXB_RETURN_NOT_OK(Alloc(&l.l_shipinstruct, total, region));
+    SGXB_RETURN_NOT_OK(Alloc(&l.l_returnflag, total, region));
+    SGXB_RETURN_NOT_OK(Alloc(&l.l_linestatus, total, region));
+
+    const size_t num_parts = PartRows(config.scale_factor);
+    size_t row = 0;
+    for (size_t o = 0; o < num_orders; ++o) {
+      const uint32_t odate = db.orders.o_orderdate[o];
+      for (uint8_t k = 0; k < lines_per_order[o]; ++k) {
+        l.l_orderkey[row] = static_cast<uint32_t>(o);
+        l.l_partkey[row] =
+            static_cast<uint32_t>(rng.NextBounded(num_parts));
+        l.l_quantity[row] = static_cast<uint32_t>(1 + rng.NextBounded(50));
+        // dbgen: extendedprice = quantity * part retail price; the shape
+        // that matters here is a positive value with spread (in cents).
+        l.l_extendedprice[row] = static_cast<uint32_t>(
+            l.l_quantity[row] * (90000 + rng.NextBounded(110001)) / 100);
+        l.l_discount[row] = static_cast<uint32_t>(rng.NextBounded(11));
+        // dbgen: shipdate = orderdate + [1, 121]; commitdate =
+        // orderdate + [30, 90]; receiptdate = shipdate + [1, 30].
+        const uint32_t ship =
+            odate + 1 + static_cast<uint32_t>(rng.NextBounded(121));
+        const uint32_t commit =
+            odate + 30 + static_cast<uint32_t>(rng.NextBounded(61));
+        const uint32_t receipt =
+            ship + 1 + static_cast<uint32_t>(rng.NextBounded(30));
+        l.l_shipdate[row] = ship;
+        l.l_commitdate[row] = commit;
+        l.l_receiptdate[row] = receipt;
+        l.l_shipmode[row] =
+            static_cast<uint8_t>(rng.NextBounded(kNumShipModes));
+        l.l_shipinstruct[row] =
+            static_cast<uint8_t>(rng.NextBounded(kNumShipInstructs));
+        // dbgen: returnflag is R or A when the receipt date has passed
+        // CURRENTDATE (1995-06-17), N otherwise.
+        if (receipt <= kDate19950617) {
+          l.l_returnflag[row] =
+              rng.NextBounded(2) == 0 ? kFlagA : kFlagR;
+        } else {
+          l.l_returnflag[row] = kFlagN;
+        }
+        // dbgen: linestatus is F if shipped by CURRENTDATE, else O.
+        l.l_linestatus[row] =
+            ship <= kDate19950617 ? kStatusF : kStatusO;
+        ++row;
+      }
+    }
+  }
+
+  // --- part -------------------------------------------------------------
+  {
+    const size_t n = PartRows(config.scale_factor);
+    db.part.num_rows = n;
+    SGXB_RETURN_NOT_OK(Alloc(&db.part.p_partkey, n, region));
+    SGXB_RETURN_NOT_OK(Alloc(&db.part.p_size, n, region));
+    SGXB_RETURN_NOT_OK(Alloc(&db.part.p_brand, n, region));
+    SGXB_RETURN_NOT_OK(Alloc(&db.part.p_container, n, region));
+    for (size_t i = 0; i < n; ++i) {
+      db.part.p_partkey[i] = static_cast<uint32_t>(i);
+      db.part.p_size[i] = static_cast<uint32_t>(1 + rng.NextBounded(50));
+      db.part.p_brand[i] =
+          static_cast<uint8_t>(rng.NextBounded(kNumBrands));
+      db.part.p_container[i] =
+          static_cast<uint8_t>(rng.NextBounded(kNumContainers));
+    }
+  }
+
+  return db;
+}
+
+}  // namespace sgxb::tpch

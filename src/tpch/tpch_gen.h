@@ -1,0 +1,36 @@
+// TPC-H data generator (dbgen stand-in).
+//
+// Generates the four tables of tpch_schema.h with the cardinalities and
+// value distributions of TPC-H dbgen, restricted to the columns the
+// evaluated queries touch: customer = SF * 150k, orders = SF * 1.5M (order
+// dates uniform over [1992-01-01, 1998-08-02]), lineitem = 1..7 lines per
+// order (≈ SF * 6M) with ship/commit/receipt dates derived from the order
+// date exactly as dbgen derives them, part = SF * 200k. Keys are dense
+// (dbgen's sparse order keys are an artifact our queries do not depend
+// on). Deterministic for a given seed.
+
+#ifndef SGXB_TPCH_TPCH_GEN_H_
+#define SGXB_TPCH_TPCH_GEN_H_
+
+#include "common/status.h"
+#include "tpch/tpch_schema.h"
+
+namespace sgxb::tpch {
+
+struct GenConfig {
+  double scale_factor = 0.01;
+  MemoryRegion region = MemoryRegion::kUntrusted;
+  uint64_t seed = 19920101;
+};
+
+/// \brief Generates a database at the given scale factor.
+Result<TpchDb> Generate(const GenConfig& config);
+
+/// \brief Expected row counts for a scale factor (lineitem approximate).
+size_t CustomerRows(double sf);
+size_t OrdersRows(double sf);
+size_t PartRows(double sf);
+
+}  // namespace sgxb::tpch
+
+#endif  // SGXB_TPCH_TPCH_GEN_H_

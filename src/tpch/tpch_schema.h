@@ -1,0 +1,154 @@
+// Integer-encoded TPC-H schema (paper Section 6).
+//
+// The paper's query evaluation "represent[s] dates and categorical strings
+// as integers, mimicking the evaluation setup for CrkJoin", removes all
+// operators other than scans and joins, and replaces the final aggregation
+// with count(*). This schema matches that setup: only the columns touched
+// by Q3, Q10, Q12, and Q19 exist; dates are days since 1992-01-01; all
+// categorical columns are small integer codes.
+
+#ifndef SGXB_TPCH_TPCH_SCHEMA_H_
+#define SGXB_TPCH_TPCH_SCHEMA_H_
+
+#include <cstdint>
+
+#include "common/relation.h"
+
+namespace sgxb::tpch {
+
+/// \brief Days since 1992-01-01 for a civil date (proleptic Gregorian).
+constexpr int64_t DaysFromCivil(int y, unsigned m, unsigned d) {
+  // Howard Hinnant's days_from_civil, rebased to 1992-01-01.
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  const int64_t civil = era * 146097LL + static_cast<int64_t>(doe) - 719468;
+  constexpr int64_t kEpoch1992 = 8035;  // days_from_civil(1992,1,1)
+  return civil - kEpoch1992;
+}
+
+/// \brief Encoded date constants used by the queries.
+inline constexpr uint32_t kDate19930701 =
+    static_cast<uint32_t>(DaysFromCivil(1993, 7, 1));
+inline constexpr uint32_t kDate19931001 =
+    static_cast<uint32_t>(DaysFromCivil(1993, 10, 1));
+inline constexpr uint32_t kDate19940101 =
+    static_cast<uint32_t>(DaysFromCivil(1994, 1, 1));
+inline constexpr uint32_t kDate19950101 =
+    static_cast<uint32_t>(DaysFromCivil(1995, 1, 1));
+inline constexpr uint32_t kDate19950315 =
+    static_cast<uint32_t>(DaysFromCivil(1995, 3, 15));
+inline constexpr uint32_t kDate19950617 =
+    static_cast<uint32_t>(DaysFromCivil(1995, 6, 17));
+inline constexpr uint32_t kDate19980802 =
+    static_cast<uint32_t>(DaysFromCivil(1998, 8, 2));
+
+// --- Categorical encodings ---------------------------------------------
+
+enum MktSegment : uint8_t {
+  kSegAutomobile = 0,
+  kSegBuilding = 1,
+  kSegFurniture = 2,
+  kSegMachinery = 3,
+  kSegHousehold = 4,
+  kNumSegments = 5,
+};
+
+enum ShipMode : uint8_t {
+  kModeAir = 0,
+  kModeRail = 1,
+  kModeMail = 2,
+  kModeTruck = 3,
+  kModeFob = 4,
+  kModeShip = 5,
+  kModeRegAir = 6,
+  kNumShipModes = 7,
+};
+
+enum ShipInstruct : uint8_t {
+  kInstrDeliverInPerson = 0,
+  kInstrCollectCod = 1,
+  kInstrNone = 2,
+  kInstrTakeBackReturn = 3,
+  kNumShipInstructs = 4,
+};
+
+enum ReturnFlag : uint8_t {
+  kFlagA = 0,
+  kFlagN = 1,
+  kFlagR = 2,
+  kNumReturnFlags = 3,
+};
+
+enum LineStatus : uint8_t {
+  kStatusF = 0,  // shipped on or before CURRENTDATE
+  kStatusO = 1,  // open (shipped after CURRENTDATE)
+  kNumLineStatuses = 2,
+};
+
+inline constexpr int kNumBrands = 25;      // 'Brand#11' .. 'Brand#55'
+inline constexpr int kNumContainers = 40;  // 5 sizes x 8 kinds
+
+// --- Tables -----------------------------------------------------------------
+
+struct CustomerTable {
+  size_t num_rows = 0;
+  Column<uint32_t> c_custkey;
+  Column<uint8_t> c_mktsegment;
+};
+
+enum OrderPriority : uint8_t {
+  kPrioUrgent = 0,  // '1-URGENT'
+  kPrioHigh = 1,    // '2-HIGH'
+  kPrioMedium = 2,
+  kPrioNotSpecified = 3,
+  kPrioLow = 4,
+  kNumOrderPriorities = 5,
+};
+
+struct OrdersTable {
+  size_t num_rows = 0;
+  Column<uint32_t> o_orderkey;
+  Column<uint32_t> o_custkey;
+  Column<uint32_t> o_orderdate;
+  Column<uint8_t> o_orderpriority;
+};
+
+struct LineitemTable {
+  size_t num_rows = 0;
+  Column<uint32_t> l_orderkey;
+  Column<uint32_t> l_partkey;
+  Column<uint32_t> l_quantity;   // 1..50
+  Column<uint32_t> l_extendedprice;  // cents
+  Column<uint32_t> l_discount;       // percent, 0..10
+  Column<uint32_t> l_shipdate;
+  Column<uint32_t> l_commitdate;
+  Column<uint32_t> l_receiptdate;
+  Column<uint8_t> l_shipmode;
+  Column<uint8_t> l_shipinstruct;
+  Column<uint8_t> l_returnflag;
+  Column<uint8_t> l_linestatus;
+};
+
+struct PartTable {
+  size_t num_rows = 0;
+  Column<uint32_t> p_partkey;
+  Column<uint32_t> p_size;  // 1..50
+  Column<uint8_t> p_brand;
+  Column<uint8_t> p_container;
+};
+
+/// \brief The database: the four tables the evaluated queries touch.
+struct TpchDb {
+  double scale_factor = 0;
+  CustomerTable customer;
+  OrdersTable orders;
+  LineitemTable lineitem;
+  PartTable part;
+};
+
+}  // namespace sgxb::tpch
+
+#endif  // SGXB_TPCH_TPCH_SCHEMA_H_

@@ -1,0 +1,83 @@
+#include "common/aligned_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace sgxb {
+namespace {
+
+TEST(AlignedBufferTest, AllocatesAligned) {
+  auto r = AlignedBuffer::Allocate(1000, MemoryRegion::kUntrusted);
+  ASSERT_TRUE(r.ok());
+  AlignedBuffer buf = std::move(r).value();
+  EXPECT_EQ(buf.size(), 1000u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(buf.data()) % kCacheLineSize, 0u);
+  EXPECT_EQ(buf.region(), MemoryRegion::kUntrusted);
+}
+
+TEST(AlignedBufferTest, CustomAlignment) {
+  auto r = AlignedBuffer::Allocate(64, MemoryRegion::kUntrusted, 0, 4096);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(r.value().data()) % 4096, 0u);
+}
+
+TEST(AlignedBufferTest, RejectsBadAlignment) {
+  EXPECT_FALSE(AlignedBuffer::Allocate(64, MemoryRegion::kUntrusted, 0,
+                                       48).ok());
+  EXPECT_FALSE(AlignedBuffer::Allocate(64, MemoryRegion::kUntrusted, 0,
+                                       16).ok());
+}
+
+TEST(AlignedBufferTest, ZeroSizeIsEmpty) {
+  auto r = AlignedBuffer::Allocate(0, MemoryRegion::kUntrusted);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().empty());
+  EXPECT_EQ(r.value().data(), nullptr);
+}
+
+TEST(AlignedBufferTest, AllocateZeroedIsZeroed) {
+  auto r = AlignedBuffer::AllocateZeroed(512, MemoryRegion::kUntrusted);
+  ASSERT_TRUE(r.ok());
+  const auto* p = r.value().As<uint8_t>();
+  for (int i = 0; i < 512; ++i) EXPECT_EQ(p[i], 0) << i;
+}
+
+TEST(AlignedBufferTest, MoveTransfersOwnership) {
+  auto r = AlignedBuffer::Allocate(128, MemoryRegion::kEnclave, 1);
+  ASSERT_TRUE(r.ok());
+  AlignedBuffer a = std::move(r).value();
+  void* data = a.data();
+  AlignedBuffer b = std::move(a);
+  EXPECT_EQ(b.data(), data);
+  EXPECT_EQ(b.numa_node(), 1);
+  EXPECT_EQ(a.data(), nullptr);  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(AlignedBufferTest, RegionUsageTracksAllocations) {
+  RegionUsage before = GetRegionUsage();
+  {
+    auto enclave =
+        AlignedBuffer::Allocate(4096, MemoryRegion::kEnclave).value();
+    auto untrusted =
+        AlignedBuffer::Allocate(2048, MemoryRegion::kUntrusted).value();
+    RegionUsage during = GetRegionUsage();
+    EXPECT_EQ(during.enclave_bytes - before.enclave_bytes, 4096u);
+    EXPECT_EQ(during.untrusted_bytes - before.untrusted_bytes, 2048u);
+  }
+  RegionUsage after = GetRegionUsage();
+  EXPECT_EQ(after.enclave_bytes, before.enclave_bytes);
+  EXPECT_EQ(after.untrusted_bytes, before.untrusted_bytes);
+}
+
+TEST(AlignedBufferTest, WritableThroughTypedAccessor) {
+  auto buf = AlignedBuffer::Allocate(8 * sizeof(uint64_t),
+                                     MemoryRegion::kUntrusted)
+                 .value();
+  uint64_t* words = buf.As<uint64_t>();
+  for (int i = 0; i < 8; ++i) words[i] = i * 3;
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(buf.As<uint64_t>()[i], i * 3ull);
+}
+
+}  // namespace
+}  // namespace sgxb

@@ -1,0 +1,50 @@
+#include "common/bitvector.h"
+
+#include <gtest/gtest.h>
+
+namespace sgxb {
+namespace {
+
+TEST(BitVectorTest, StartsZeroed) {
+  auto bv = BitVector::Allocate(200, MemoryRegion::kUntrusted).value();
+  EXPECT_EQ(bv.num_bits(), 200u);
+  EXPECT_EQ(bv.num_words(), 4u);
+  EXPECT_EQ(bv.CountOnes(), 0u);
+  for (size_t i = 0; i < 200; ++i) EXPECT_FALSE(bv.Get(i));
+}
+
+TEST(BitVectorTest, SetAndClear) {
+  auto bv = BitVector::Allocate(130, MemoryRegion::kUntrusted).value();
+  bv.Set(0);
+  bv.Set(63);
+  bv.Set(64);
+  bv.Set(129);
+  EXPECT_TRUE(bv.Get(0));
+  EXPECT_TRUE(bv.Get(63));
+  EXPECT_TRUE(bv.Get(64));
+  EXPECT_TRUE(bv.Get(129));
+  EXPECT_FALSE(bv.Get(1));
+  EXPECT_EQ(bv.CountOnes(), 4u);
+  bv.Clear(63);
+  EXPECT_FALSE(bv.Get(63));
+  EXPECT_EQ(bv.CountOnes(), 3u);
+}
+
+TEST(BitVectorTest, WordAccessMatchesBitAccess) {
+  auto bv = BitVector::Allocate(128, MemoryRegion::kUntrusted).value();
+  bv.words()[0] = 0xff00ff00ff00ff00ull;
+  for (size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(bv.Get(i), ((i / 8) % 2) == 1) << i;
+  }
+  EXPECT_EQ(bv.CountOnes(), 32u);
+}
+
+TEST(BitVectorTest, SizeNotMultipleOf64) {
+  auto bv = BitVector::Allocate(70, MemoryRegion::kUntrusted).value();
+  EXPECT_EQ(bv.num_words(), 2u);
+  bv.Set(69);
+  EXPECT_EQ(bv.CountOnes(), 1u);
+}
+
+}  // namespace
+}  // namespace sgxb

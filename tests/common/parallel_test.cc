@@ -1,0 +1,109 @@
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/barrier.h"
+
+namespace sgxb {
+namespace {
+
+TEST(SplitRangeTest, CoversWholeRangeWithoutOverlap) {
+  for (size_t total : {0u, 1u, 7u, 64u, 1000u, 1001u}) {
+    for (int parts : {1, 2, 3, 7, 16}) {
+      size_t covered = 0;
+      size_t prev_end = 0;
+      for (int i = 0; i < parts; ++i) {
+        Range r = SplitRange(total, parts, i);
+        EXPECT_EQ(r.begin, prev_end);
+        prev_end = r.end;
+        covered += r.size();
+      }
+      EXPECT_EQ(prev_end, total);
+      EXPECT_EQ(covered, total);
+    }
+  }
+}
+
+TEST(SplitRangeTest, BalancedWithinOne) {
+  for (int parts : {3, 7, 16}) {
+    size_t min_size = SIZE_MAX, max_size = 0;
+    for (int i = 0; i < parts; ++i) {
+      Range r = SplitRange(1000, parts, i);
+      min_size = std::min(min_size, r.size());
+      max_size = std::max(max_size, r.size());
+    }
+    EXPECT_LE(max_size - min_size, 1u);
+  }
+}
+
+TEST(ParallelRunTest, RunsEveryThreadExactlyOnce) {
+  constexpr int kThreads = 8;
+  std::vector<std::atomic<int>> hits(kThreads);
+  for (auto& h : hits) h = 0;
+  ASSERT_TRUE(
+      ParallelRun(kThreads, [&](int tid) { hits[tid].fetch_add(1); }).ok());
+  for (int i = 0; i < kThreads; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelRunTest, SingleThreadRunsInline) {
+  int tid_seen = -1;
+  ASSERT_TRUE(ParallelRun(1, [&](int tid) { tid_seen = tid; }).ok());
+  EXPECT_EQ(tid_seen, 0);
+}
+
+TEST(ParallelRunTest, RejectsNonPositiveThreadCount) {
+  EXPECT_FALSE(ParallelRun(0, [](int) {}).ok());
+  EXPECT_FALSE(ParallelRun(-3, [](int) {}).ok());
+}
+
+TEST(BarrierTest, ExactlyOneSerialThreadPerGeneration) {
+  constexpr int kThreads = 6;
+  constexpr int kRounds = 20;
+  Barrier barrier(kThreads);
+  std::atomic<int> serial_count{0};
+  ParallelRun(kThreads, [&](int) {
+    for (int r = 0; r < kRounds; ++r) {
+      if (barrier.Wait()) serial_count.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(serial_count.load(), kRounds);
+}
+
+TEST(BarrierTest, WaitThenRunsEpilogueOncePerRound) {
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 10;
+  Barrier barrier(kThreads);
+  std::atomic<int> counter{0};
+  std::atomic<int> observed_during{0};
+  ParallelRun(kThreads, [&](int) {
+    for (int r = 0; r < kRounds; ++r) {
+      barrier.WaitThen([&] { counter.fetch_add(1); });
+      // Every thread must observe the epilogue of its round completed.
+      observed_during.fetch_add(counter.load() >= r + 1 ? 1 : 0);
+    }
+  });
+  EXPECT_EQ(counter.load(), kRounds);
+  EXPECT_EQ(observed_during.load(), kThreads * kRounds);
+}
+
+TEST(BarrierTest, PhasesAreOrdered) {
+  // Classic phase test: all writes of phase 1 must be visible in phase 2.
+  constexpr int kThreads = 4;
+  Barrier barrier(kThreads);
+  std::vector<int> data(kThreads, 0);
+  std::atomic<int> errors{0};
+  ParallelRun(kThreads, [&](int tid) {
+    data[tid] = tid + 1;
+    barrier.Wait();
+    int sum = std::accumulate(data.begin(), data.end(), 0);
+    if (sum != kThreads * (kThreads + 1) / 2) errors.fetch_add(1);
+  });
+  EXPECT_EQ(errors.load(), 0);
+}
+
+}  // namespace
+}  // namespace sgxb

@@ -1,0 +1,75 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace sgxb {
+namespace {
+
+TEST(Lcg64Test, Deterministic) {
+  Lcg64 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Lcg64Test, BoundedStaysInBounds) {
+  Lcg64 rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(37), 37u);
+  }
+}
+
+TEST(Lcg64Test, BoundedCoversRange) {
+  Lcg64 rng(5);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Xoshiro256Test, Deterministic) {
+  Xoshiro256 a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Xoshiro256Test, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.Next() == b.Next();
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Xoshiro256Test, DoubleInUnitInterval) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro256Test, BoundedIsRoughlyUniform) {
+  Xoshiro256 rng(321);
+  constexpr int kBuckets = 16;
+  constexpr int kDraws = 160000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.NextBounded(kBuckets)];
+  }
+  // Expect each bucket within 10% of the mean — loose but catches gross
+  // bias or a broken generator.
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets / 10);
+  }
+}
+
+TEST(SplitMix64Test, AdvancesState) {
+  uint64_t state = 0;
+  uint64_t a = SplitMix64(state);
+  uint64_t b = SplitMix64(state);
+  EXPECT_NE(a, b);
+  EXPECT_NE(state, 0u);
+}
+
+}  // namespace
+}  // namespace sgxb

@@ -1,0 +1,77 @@
+#include "common/relation.h"
+
+#include <gtest/gtest.h>
+
+#include "common/cpu_info.h"
+#include "common/types.h"
+
+namespace sgxb {
+namespace {
+
+TEST(TypesTest, TupleIsEightBytes) {
+  EXPECT_EQ(sizeof(Tuple), 8u);
+  EXPECT_EQ(BytesToTuples(100_MiB), 100u * 1024 * 1024 / 8);
+}
+
+TEST(TypesTest, SizeLiterals) {
+  EXPECT_EQ(1_KiB, 1024u);
+  EXPECT_EQ(2_MiB, 2u * 1024 * 1024);
+  EXPECT_EQ(1_GiB, 1024u * 1024 * 1024);
+}
+
+TEST(TypesTest, EnumNames) {
+  EXPECT_STREQ(ExecutionSettingToString(ExecutionSetting::kPlainCpu),
+               "Plain CPU");
+  EXPECT_STREQ(
+      ExecutionSettingToString(ExecutionSetting::kSgxDataInEnclave),
+      "SGX Data in Enclave");
+  EXPECT_STREQ(
+      ExecutionSettingToString(ExecutionSetting::kSgxDataOutsideEnclave),
+      "SGX Data outside Enclave");
+  EXPECT_STREQ(KernelFlavorToString(KernelFlavor::kReference),
+               "reference");
+  EXPECT_STREQ(KernelFlavorToString(KernelFlavor::kUnrolledReordered),
+               "unrolled+reordered");
+  EXPECT_STREQ(MemoryRegionToString(MemoryRegion::kEnclave), "enclave");
+}
+
+TEST(RelationTest, AllocateAndAccess) {
+  auto r = Relation::Allocate(100, MemoryRegion::kUntrusted);
+  ASSERT_TRUE(r.ok());
+  Relation rel = std::move(r).value();
+  EXPECT_EQ(rel.num_tuples(), 100u);
+  EXPECT_EQ(rel.size_bytes(), 800u);
+  rel[5] = Tuple{42, 43};
+  EXPECT_EQ(rel[5].key, 42u);
+  EXPECT_EQ(rel[5].payload, 43u);
+}
+
+TEST(RelationTest, RegionTagPropagates) {
+  auto rel = Relation::Allocate(10, MemoryRegion::kEnclave, 1).value();
+  EXPECT_EQ(rel.region(), MemoryRegion::kEnclave);
+  EXPECT_EQ(rel.numa_node(), 1);
+}
+
+TEST(ColumnTest, TypedColumns) {
+  auto c8 = Column<uint8_t>::Allocate(1000, MemoryRegion::kUntrusted)
+                .value();
+  auto c32 = Column<uint32_t>::Allocate(1000, MemoryRegion::kUntrusted)
+                 .value();
+  EXPECT_EQ(c8.size_bytes(), 1000u);
+  EXPECT_EQ(c32.size_bytes(), 4000u);
+  c8[999] = 7;
+  c32[999] = 70000;
+  EXPECT_EQ(c8[999], 7);
+  EXPECT_EQ(c32[999], 70000u);
+}
+
+TEST(CpuInfoTest, DetectsSomethingPlausible) {
+  const CpuInfo& info = CpuInfo::Host();
+  EXPECT_GE(info.logical_cores, 1);
+  EXPECT_GT(info.l1d_bytes, 0u);
+  EXPECT_GT(info.l3_bytes, info.l1d_bytes);
+  EXPECT_STRNE(SimdLevelToString(info.max_simd), "unknown");
+}
+
+}  // namespace
+}  // namespace sgxb

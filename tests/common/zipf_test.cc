@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+
+namespace sgxb {
+namespace {
+
+std::vector<uint64_t> Frequencies(uint64_t n, double theta, int draws,
+                                  uint64_t seed = 3) {
+  ZipfGenerator zipf(n, theta, seed);
+  std::vector<uint64_t> freq(n, 0);
+  for (int i = 0; i < draws; ++i) ++freq[zipf.Next()];
+  return freq;
+}
+
+TEST(ZipfTest, ValuesInRange) {
+  ZipfGenerator zipf(100, 0.9, 1);
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_LT(zipf.Next(), 100u);
+  }
+}
+
+TEST(ZipfTest, Deterministic) {
+  ZipfGenerator a(1000, 0.7, 5), b(1000, 0.7, 5);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(ZipfTest, ThetaZeroIsRoughlyUniform) {
+  const uint64_t n = 16;
+  auto freq = Frequencies(n, 0.0, 160000);
+  for (uint64_t f : freq) {
+    EXPECT_NEAR(static_cast<double>(f), 10000.0, 1500.0);
+  }
+}
+
+TEST(ZipfTest, HigherThetaConcentratesMass) {
+  const uint64_t n = 10000;
+  const int draws = 200000;
+  double shares[3];
+  const double thetas[3] = {0.0, 0.5, 0.95};
+  for (int t = 0; t < 3; ++t) {
+    auto freq = Frequencies(n, thetas[t], draws);
+    std::sort(freq.begin(), freq.end(), std::greater<>());
+    uint64_t top = 0;
+    for (size_t i = 0; i < n / 100; ++i) top += freq[i];
+    shares[t] = static_cast<double>(top) / draws;
+  }
+  EXPECT_LT(shares[0], shares[1]);
+  EXPECT_LT(shares[1], shares[2]);
+  EXPECT_GT(shares[2], 0.4);  // heavy skew -> top 1% dominates
+}
+
+TEST(ZipfTest, HottestKeyIsZero) {
+  const uint64_t n = 1000;
+  auto freq = Frequencies(n, 0.9, 100000);
+  uint64_t hottest =
+      std::max_element(freq.begin(), freq.end()) - freq.begin();
+  EXPECT_EQ(hottest, 0u);
+}
+
+TEST(ZipfTest, DegenerateDomains) {
+  ZipfGenerator one(1, 0.9);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(one.Next(), 0u);
+  ZipfGenerator two(2, 0.5);
+  bool saw[2] = {false, false};
+  for (int i = 0; i < 1000; ++i) saw[two.Next()] = true;
+  EXPECT_TRUE(saw[0]);
+  EXPECT_TRUE(saw[1]);
+}
+
+TEST(ZipfTest, ExtremeThetaIsClamped) {
+  // theta >= 1 diverges; the generator clamps instead of misbehaving.
+  ZipfGenerator zipf(100, 5.0, 2);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Next(), 100u);
+}
+
+}  // namespace
+}  // namespace sgxb

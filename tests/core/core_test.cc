@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/types.h"
+#include "core/experiment.h"
+#include "core/modeling.h"
+#include "core/report.h"
+
+namespace sgxb::core {
+namespace {
+
+TEST(ExperimentTest, RepeatComputesMeanAndStddev) {
+  int call = 0;
+  double values[] = {100, 200, 300};
+  Measurement m = Repeat(3, [&] { return values[call++]; });
+  EXPECT_EQ(m.repetitions, 3);
+  EXPECT_DOUBLE_EQ(m.mean_ns, 200.0);
+  EXPECT_DOUBLE_EQ(m.stddev_ns, 100.0);
+}
+
+TEST(ExperimentTest, SingleRepHasZeroStddev) {
+  Measurement m = Repeat(1, [] { return 50.0; });
+  EXPECT_DOUBLE_EQ(m.mean_ns, 50.0);
+  EXPECT_DOUBLE_EQ(m.stddev_ns, 0.0);
+}
+
+TEST(ExperimentTest, DefaultsAreSane) {
+  EXPECT_GE(DefaultRepetitions(), 1);
+  // Scaled sizes are 1/10 of paper scale unless SGXBENCH_FULL is set.
+  if (!FullScale()) {
+    EXPECT_EQ(ScaledBytes(1000), 100u);
+  } else {
+    EXPECT_EQ(ScaledBytes(1000), 1000u);
+  }
+}
+
+TEST(ModelingTest, ModeledTimesOrderAsThePaperReports) {
+  // A PHT-like probe phase: random reads over a 256 MiB hash table.
+  perf::PhaseStats phase;
+  phase.name = "probe";
+  phase.host_ns = 1e9;
+  phase.threads = 16;
+  phase.profile.seq_read_bytes = 400_MiB;
+  phase.profile.rand_reads = 50'000'000;
+  phase.profile.rand_read_working_set = 256_MiB;
+  phase.profile.loop_iterations = 50'000'000;
+  phase.profile.ilp = perf::IlpClass::kReferenceLoop;
+
+  perf::PhaseBreakdown bd;
+  bd.Add(phase);
+
+  double plain = ModeledReferenceNs(bd, ExecutionSetting::kPlainCpu);
+  double sgx_in =
+      ModeledReferenceNs(bd, ExecutionSetting::kSgxDataInEnclave);
+  double sgx_out =
+      ModeledReferenceNs(bd, ExecutionSetting::kSgxDataOutsideEnclave);
+  EXPECT_LT(plain, sgx_out);
+  EXPECT_LT(sgx_out, sgx_in);  // encryption costs extra on top of mode
+}
+
+TEST(ModelingTest, HostScaledUsesMeasuredTime) {
+  perf::PhaseStats phase;
+  phase.name = "scan";
+  phase.host_ns = 1000.0;
+  phase.threads = 1;
+  phase.profile.seq_read_bytes = 1_GiB;
+  phase.profile.ilp = perf::IlpClass::kStreaming;
+  phase.profile.wide_vectors = true;
+  perf::PhaseBreakdown bd;
+  bd.Add(phase);
+
+  double plain = HostScaledNs(bd, ExecutionSetting::kPlainCpu);
+  double sgx = HostScaledNs(bd, ExecutionSetting::kSgxDataInEnclave);
+  EXPECT_DOUBLE_EQ(plain, 1000.0);
+  EXPECT_NEAR(sgx, 1030.0, 5.0);  // the 3% wide-vector read overhead
+}
+
+TEST(ModelingTest, RemoteCostsMore) {
+  perf::PhaseStats phase;
+  phase.host_ns = 1000.0;
+  phase.threads = 8;
+  phase.profile.seq_read_bytes = 1_GiB;
+  phase.profile.ilp = perf::IlpClass::kStreaming;
+  perf::PhaseBreakdown bd;
+  bd.Add(phase);
+  EXPECT_GT(ModeledReferenceNs(bd, ExecutionSetting::kPlainCpu, true),
+            ModeledReferenceNs(bd, ExecutionSetting::kPlainCpu, false));
+}
+
+TEST(ReportTest, Formatters) {
+  EXPECT_EQ(FormatNanos(500), "500 ns");
+  EXPECT_EQ(FormatNanos(1500), "1.50 us");
+  EXPECT_EQ(FormatNanos(2.5e6), "2.50 ms");
+  EXPECT_EQ(FormatNanos(3.21e9), "3.210 s");
+  EXPECT_EQ(FormatRel(0.834), "0.83x");
+  EXPECT_EQ(FormatBytes(1024), "1.0 KiB");
+  EXPECT_EQ(FormatBytes(100.0 * (1 << 20)), "100.0 MiB");
+  EXPECT_NE(FormatRowsPerSec(1.23e8).find("M rows/s"), std::string::npos);
+  EXPECT_NE(FormatBytesPerSec(5e9).find("GB/s"), std::string::npos);
+}
+
+TEST(ReportTest, TablePrinterRendersWithoutCrashing) {
+  TablePrinter table({"setting", "throughput"});
+  table.AddRow({"Plain CPU", "100 M rows/s"});
+  table.AddRow({"SGX", "83 M rows/s"});
+  table.Print();  // visual output; just must not crash
+  PrintExperimentHeader("Figure 3", "join overview");
+  PrintNote("sizes scaled down");
+}
+
+}  // namespace
+}  // namespace sgxb::core

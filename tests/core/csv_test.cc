@@ -1,0 +1,77 @@
+#include "core/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace sgxb::core {
+namespace {
+
+std::string TempPath(const char* name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+TEST(CsvWriterTest, WritesRows) {
+  std::string path = TempPath("sgxb_csv_test1.csv");
+  {
+    CsvWriter w = CsvWriter::Open(path).value();
+    ASSERT_TRUE(w.WriteRow({"a", "b", "c"}).ok());
+    ASSERT_TRUE(w.WriteRow({"1", "2", "3"}).ok());
+    ASSERT_TRUE(w.Close().ok());
+  }
+  EXPECT_EQ(ReadFile(path), "a,b,c\n1,2,3\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, EscapesSpecialCharacters) {
+  std::string path = TempPath("sgxb_csv_test2.csv");
+  {
+    CsvWriter w = CsvWriter::Open(path).value();
+    ASSERT_TRUE(w.WriteRow({"plain", "with,comma", "with\"quote",
+                            "with\nnewline"})
+                    .ok());
+    ASSERT_TRUE(w.Close().ok());
+  }
+  EXPECT_EQ(ReadFile(path),
+            "plain,\"with,comma\",\"with\"\"quote\",\"with\nnewline\"\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, OpenFailsForBadPath) {
+  EXPECT_FALSE(CsvWriter::Open("/nonexistent_dir_xyz/file.csv").ok());
+}
+
+TEST(MaybeCsvForTest, DisabledWithoutEnv) {
+  unsetenv("SGXBENCH_CSV_DIR");
+  EXPECT_FALSE(MaybeCsvFor("expX").has_value());
+}
+
+TEST(MaybeCsvForTest, WritesIntoConfiguredDir) {
+  std::string dir = TempPath("sgxb_csv_dir");
+  std::string cmd = "mkdir -p " + dir;
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+  setenv("SGXBENCH_CSV_DIR", dir.c_str(), 1);
+  {
+    auto w = MaybeCsvFor("exp_test");
+    ASSERT_TRUE(w.has_value());
+    ASSERT_TRUE(w->WriteRow({"x"}).ok());
+    ASSERT_TRUE(w->Close().ok());
+  }
+  EXPECT_EQ(ReadFile(dir + "/exp_test.csv"), "x\n");
+  unsetenv("SGXBENCH_CSV_DIR");
+  std::remove((dir + "/exp_test.csv").c_str());
+}
+
+}  // namespace
+}  // namespace sgxb::core

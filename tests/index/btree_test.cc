@@ -1,0 +1,171 @@
+#include "index/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/random.h"
+
+namespace sgxb::index {
+namespace {
+
+using Entry = std::pair<uint32_t, uint32_t>;
+
+std::vector<Entry> MakeSortedEntries(size_t n, int dup_every = 0,
+                                     uint64_t seed = 1) {
+  Xoshiro256 rng(seed);
+  std::vector<Entry> entries;
+  entries.reserve(n);
+  uint32_t key = 0;
+  for (size_t i = 0; i < n; ++i) {
+    key += 1 + static_cast<uint32_t>(rng.NextBounded(3));
+    entries.emplace_back(key, static_cast<uint32_t>(i));
+    if (dup_every > 0 && i % dup_every == 0) {
+      // Insert a run of duplicates.
+      for (int d = 0; d < 3 && entries.size() < n; ++d) {
+        entries.emplace_back(key, static_cast<uint32_t>(++i));
+      }
+    }
+  }
+  entries.resize(std::min(entries.size(), n));
+  return entries;
+}
+
+TEST(BTreeTest, EmptyTree) {
+  BTree tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_FALSE(tree.Lookup(5).ok());
+  EXPECT_EQ(tree.ForEachMatch(5, [](uint32_t) {}), 0u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(BTreeTest, BulkLoadRejectsUnsorted) {
+  std::vector<Entry> entries = {{5, 0}, {3, 1}};
+  EXPECT_FALSE(BTree::BulkLoad(entries).ok());
+}
+
+TEST(BTreeTest, BulkLoadSmall) {
+  auto entries = MakeSortedEntries(10);
+  BTree tree = BTree::BulkLoad(entries).value();
+  EXPECT_EQ(tree.size(), 10u);
+  EXPECT_EQ(tree.height(), 1);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  for (const auto& [k, v] : entries) {
+    auto r = tree.Lookup(k);
+    ASSERT_TRUE(r.ok()) << k;
+    EXPECT_EQ(r.value(), v);
+  }
+}
+
+class BTreeBulkLoadTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BTreeBulkLoadTest, LookupEveryKeyAndInvariantsHold) {
+  auto entries = MakeSortedEntries(GetParam());
+  BTree tree = BTree::BulkLoad(entries).value();
+  EXPECT_EQ(tree.size(), entries.size());
+  ASSERT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants().ToString();
+  for (size_t i = 0; i < entries.size(); i += 7) {
+    auto r = tree.Lookup(entries[i].first);
+    ASSERT_TRUE(r.ok()) << entries[i].first;
+  }
+  // Keys not present must miss.
+  EXPECT_FALSE(tree.Lookup(0).ok());
+  EXPECT_FALSE(tree.Lookup(0xffffffffu).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BTreeBulkLoadTest,
+                         ::testing::Values(1, 2, 119, 120, 121, 1000,
+                                           10000, 250000));
+
+TEST(BTreeTest, BulkLoadWithDuplicates) {
+  auto entries = MakeSortedEntries(5000, /*dup_every=*/10);
+  BTree tree = BTree::BulkLoad(entries).value();
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+
+  std::map<uint32_t, size_t> expected;
+  for (const auto& [k, v] : entries) ++expected[k];
+  for (const auto& [k, count] : expected) {
+    size_t seen = tree.ForEachMatch(k, [](uint32_t) {});
+    EXPECT_EQ(seen, count) << "key " << k;
+  }
+}
+
+TEST(BTreeTest, InsertIntoEmpty) {
+  BTree tree;
+  ASSERT_TRUE(tree.Insert(10, 100).ok());
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.Lookup(10).value(), 100u);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(BTreeTest, ManyRandomInserts) {
+  BTree tree;
+  Xoshiro256 rng(77);
+  std::map<uint32_t, size_t> expected;
+  for (int i = 0; i < 50000; ++i) {
+    uint32_t key = static_cast<uint32_t>(rng.NextBounded(20000));
+    ASSERT_TRUE(tree.Insert(key, i).ok());
+    ++expected[key];
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok())
+      << tree.CheckInvariants().ToString();
+  EXPECT_EQ(tree.size(), 50000u);
+  EXPECT_GT(tree.height(), 1);
+  for (uint32_t key = 0; key < 20000; key += 97) {
+    size_t count = tree.ForEachMatch(key, [](uint32_t) {});
+    auto it = expected.find(key);
+    EXPECT_EQ(count, it == expected.end() ? 0 : it->second) << key;
+  }
+}
+
+TEST(BTreeTest, InsertsIntoBulkLoadedTree) {
+  auto entries = MakeSortedEntries(10000);
+  BTree tree = BTree::BulkLoad(entries).value();
+  // Insert duplicates of existing keys and brand-new keys.
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(tree.Insert(entries[i * 2].first, 999999).ok());
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok())
+      << tree.CheckInvariants().ToString();
+  EXPECT_EQ(tree.size(), entries.size() + 5000);
+  size_t matches = tree.ForEachMatch(entries[0].first, [](uint32_t) {});
+  EXPECT_EQ(matches, 2u);  // original + inserted duplicate
+}
+
+TEST(BTreeTest, ScanRange) {
+  std::vector<Entry> entries;
+  for (uint32_t k = 0; k < 1000; ++k) entries.emplace_back(k * 2, k);
+  BTree tree = BTree::BulkLoad(entries).value();
+  std::vector<uint32_t> keys;
+  size_t n = tree.ScanRange(100, 200, [&](uint32_t k, uint32_t) {
+    keys.push_back(k);
+  });
+  EXPECT_EQ(n, 50u);  // even keys in [100, 200)
+  ASSERT_FALSE(keys.empty());
+  EXPECT_EQ(keys.front(), 100u);
+  EXPECT_EQ(keys.back(), 198u);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_EQ(tree.ScanRange(200, 100, [](uint32_t, uint32_t) {}), 0u);
+}
+
+TEST(BTreeTest, MemoryFootprintGrows) {
+  auto small = BTree::BulkLoad(MakeSortedEntries(100)).value();
+  auto large = BTree::BulkLoad(MakeSortedEntries(100000)).value();
+  EXPECT_GT(large.MemoryFootprint(), small.MemoryFootprint() * 100);
+}
+
+TEST(BTreeTest, MoveSemantics) {
+  auto entries = MakeSortedEntries(1000);
+  BTree a = BTree::BulkLoad(entries).value();
+  BTree b = std::move(a);
+  EXPECT_EQ(b.size(), 1000u);
+  ASSERT_TRUE(b.CheckInvariants().ok());
+  EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move)
+  a = std::move(b);
+  EXPECT_EQ(a.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace sgxb::index

@@ -1,0 +1,126 @@
+#include "join/loser_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+
+namespace sgxb::join {
+namespace {
+
+std::vector<Tuple> SortedRun(size_t n, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Tuple> run(n);
+  for (size_t i = 0; i < n; ++i) {
+    run[i] = Tuple{static_cast<uint32_t>(rng.NextBounded(100000)),
+                   static_cast<uint32_t>(i)};
+  }
+  std::sort(run.begin(), run.end(),
+            [](const Tuple& a, const Tuple& b) { return a.key < b.key; });
+  return run;
+}
+
+std::vector<Tuple> MergeWithTree(
+    const std::vector<std::vector<Tuple>>& runs) {
+  std::vector<LoserTree::Cursor> cursors;
+  size_t total = 0;
+  for (const auto& run : runs) {
+    cursors.push_back(
+        LoserTree::Cursor{run.data(), run.data() + run.size()});
+    total += run.size();
+  }
+  LoserTree tree(std::move(cursors));
+  EXPECT_EQ(tree.remaining(), total);
+  std::vector<Tuple> out;
+  out.reserve(total);
+  while (!tree.Empty()) out.push_back(tree.Pop());
+  return out;
+}
+
+bool IsSortedByKey(const std::vector<Tuple>& v) {
+  for (size_t i = 1; i < v.size(); ++i) {
+    if (v[i - 1].key > v[i].key) return false;
+  }
+  return true;
+}
+
+TEST(LoserTreeTest, SingleRun) {
+  auto run = SortedRun(100, 1);
+  auto out = MergeWithTree({run});
+  ASSERT_EQ(out.size(), 100u);
+  EXPECT_TRUE(IsSortedByKey(out));
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].key, run[i].key);
+  }
+}
+
+TEST(LoserTreeTest, MergesArbitraryRunCounts) {
+  // Includes non-power-of-two counts (internal padding) and empty runs.
+  for (size_t k : {2u, 3u, 5u, 8u, 13u}) {
+    std::vector<std::vector<Tuple>> runs;
+    size_t total = 0;
+    for (size_t i = 0; i < k; ++i) {
+      size_t len = i % 3 == 2 ? 0 : 50 + i * 17;  // every third empty
+      runs.push_back(SortedRun(len, 100 + i));
+      total += len;
+    }
+    auto out = MergeWithTree(runs);
+    ASSERT_EQ(out.size(), total) << "k=" << k;
+    EXPECT_TRUE(IsSortedByKey(out)) << "k=" << k;
+
+    // Multiset equality with the concatenated input.
+    std::vector<uint32_t> expected, actual;
+    for (const auto& run : runs) {
+      for (const Tuple& t : run) expected.push_back(t.key);
+    }
+    for (const Tuple& t : out) actual.push_back(t.key);
+    std::sort(expected.begin(), expected.end());
+    std::sort(actual.begin(), actual.end());
+    EXPECT_EQ(actual, expected) << "k=" << k;
+  }
+}
+
+TEST(LoserTreeTest, AllRunsEmpty) {
+  std::vector<std::vector<Tuple>> runs(4);
+  auto out = MergeWithTree(runs);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(LoserTreeTest, HeavyDuplicates) {
+  std::vector<std::vector<Tuple>> runs;
+  for (int i = 0; i < 6; ++i) {
+    std::vector<Tuple> run(200);
+    for (size_t j = 0; j < run.size(); ++j) {
+      run[j] = Tuple{static_cast<uint32_t>(j / 50), 0};  // long key runs
+    }
+    runs.push_back(std::move(run));
+  }
+  auto out = MergeWithTree(runs);
+  ASSERT_EQ(out.size(), 1200u);
+  EXPECT_TRUE(IsSortedByKey(out));
+  uint64_t zeros = 0;
+  for (const Tuple& t : out) zeros += t.key == 0;
+  EXPECT_EQ(zeros, 6u * 50);
+}
+
+TEST(LoserTreeTest, MinKeyTracksWinner) {
+  auto a = SortedRun(50, 7);
+  auto b = SortedRun(50, 8);
+  std::vector<LoserTree::Cursor> cursors = {
+      {a.data(), a.data() + a.size()},
+      {b.data(), b.data() + b.size()}};
+  LoserTree tree(std::move(cursors));
+  uint32_t prev = 0;
+  while (!tree.Empty()) {
+    uint32_t min = tree.MinKey();
+    EXPECT_GE(min, prev);
+    Tuple t = tree.Pop();
+    EXPECT_EQ(t.key, min);
+    prev = min;
+  }
+}
+
+}  // namespace
+}  // namespace sgxb::join

@@ -1,0 +1,101 @@
+#include "join/materializer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "common/types.h"
+#include "sgx/enclave.h"
+
+namespace sgxb::join {
+namespace {
+
+TEST(MaterializerTest, EmptyHasNoTuples) {
+  Materializer m(2, ExecutionSetting::kPlainCpu, nullptr);
+  EXPECT_EQ(m.TotalTuples(), 0u);
+  EXPECT_TRUE(m.status().ok());
+  int chunks = 0;
+  m.ForEachChunk([&](const JoinOutputTuple*, size_t) { ++chunks; });
+  EXPECT_EQ(chunks, 0);
+}
+
+TEST(MaterializerTest, AppendsAcrossChunkBoundaries) {
+  constexpr size_t kChunk = 16;
+  Materializer m(1, ExecutionSetting::kPlainCpu, nullptr, kChunk);
+  for (uint32_t i = 0; i < 100; ++i) {
+    m.Append(0, JoinOutputTuple{i, i * 2, i * 3});
+  }
+  EXPECT_EQ(m.TotalTuples(), 100u);
+
+  uint32_t next = 0;
+  m.ForEachChunk([&](const JoinOutputTuple* chunk, size_t n) {
+    EXPECT_LE(n, kChunk);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(chunk[i].key, next);
+      EXPECT_EQ(chunk[i].build_payload, next * 2);
+      EXPECT_EQ(chunk[i].probe_payload, next * 3);
+      ++next;
+    }
+  });
+  EXPECT_EQ(next, 100u);
+}
+
+TEST(MaterializerTest, PerThreadSlotsAreIndependent) {
+  constexpr int kThreads = 4;
+  Materializer m(kThreads, ExecutionSetting::kPlainCpu, nullptr, 64);
+  ParallelRun(kThreads, [&](int tid) {
+    for (uint32_t i = 0; i < 1000; ++i) {
+      m.Append(tid, JoinOutputTuple{static_cast<uint32_t>(tid), i, i});
+    }
+  });
+  EXPECT_EQ(m.TotalTuples(), 4000u);
+  EXPECT_TRUE(m.status().ok());
+}
+
+TEST(MaterializerTest, EnclaveAllocationsAccounted) {
+  sgx::EnclaveConfig cfg;
+  cfg.initial_heap_bytes = 4_MiB;
+  sgx::Enclave* enclave = sgx::Enclave::Create(cfg).value();
+  {
+    Materializer m(1, ExecutionSetting::kSgxDataInEnclave, enclave, 1024);
+    for (uint32_t i = 0; i < 5000; ++i) {
+      m.Append(0, JoinOutputTuple{i, i, i});
+    }
+    EXPECT_EQ(m.TotalTuples(), 5000u);
+    EXPECT_GT(enclave->memory_stats().heap_used_bytes, 0u);
+  }
+  sgx::DestroyEnclave(enclave);
+}
+
+TEST(MaterializerTest, EnclaveExhaustionSurfacesAsStatus) {
+  sgx::EnclaveConfig cfg;
+  cfg.initial_heap_bytes = 64_KiB;
+  cfg.dynamic = false;
+  sgx::Enclave* enclave = sgx::Enclave::Create(cfg).value();
+  Materializer m(1, ExecutionSetting::kSgxDataInEnclave, enclave, 1024);
+  // 1024-tuple chunks are 12 KiB; a 64 KiB static heap fits only ~5.
+  for (uint32_t i = 0; i < 100000; ++i) {
+    m.Append(0, JoinOutputTuple{i, i, i});
+  }
+  EXPECT_FALSE(m.status().ok());
+  EXPECT_EQ(m.status().code(), StatusCode::kOutOfMemory);
+  sgx::DestroyEnclave(enclave);
+}
+
+TEST(MaterializerTest, DynamicEnclaveGrowsInstead) {
+  sgx::EnclaveConfig cfg;
+  cfg.initial_heap_bytes = 64_KiB;
+  cfg.max_heap_bytes = 32_MiB;
+  cfg.dynamic = true;
+  sgx::Enclave* enclave = sgx::Enclave::Create(cfg).value();
+  Materializer m(1, ExecutionSetting::kSgxDataInEnclave, enclave, 1024);
+  for (uint32_t i = 0; i < 100000; ++i) {
+    m.Append(0, JoinOutputTuple{i, i, i});
+  }
+  EXPECT_TRUE(m.status().ok());
+  EXPECT_EQ(m.TotalTuples(), 100000u);
+  EXPECT_GT(enclave->memory_stats().edmm_pages_added, 0u);
+  sgx::DestroyEnclave(enclave);
+}
+
+}  // namespace
+}  // namespace sgxb::join

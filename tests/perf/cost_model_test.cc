@@ -1,0 +1,218 @@
+#include "perf/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/types.h"
+#include "perf/access_profile.h"
+
+namespace sgxb::perf {
+namespace {
+
+const CostModel& CM() { return CostModel::Reference(); }
+
+ExecutionEnv Env(ExecutionSetting setting, int threads = 1,
+                 bool remote = false) {
+  ExecutionEnv env;
+  env.setting = setting;
+  env.threads = threads;
+  env.data_remote = remote;
+  return env;
+}
+
+// A streaming SIMD scan profile over `bytes` of data.
+AccessProfile ScanProfile(size_t bytes) {
+  AccessProfile p;
+  p.seq_read_bytes = bytes;
+  p.seq_write_bytes = bytes / 8;
+  p.loop_iterations = bytes / 64;
+  p.ilp = IlpClass::kStreaming;
+  p.wide_vectors = true;
+  return p;
+}
+
+// The paper's histogram micro-benchmark profile (cache-resident bins).
+AccessProfile HistProfile(size_t n, KernelFlavor flavor) {
+  AccessProfile p;
+  p.seq_read_bytes = n * 8;
+  p.loop_iterations = n;
+  p.rand_writes = n;
+  p.rand_write_working_set = 4096;  // small histogram, cache resident
+  p.ilp = flavor == KernelFlavor::kReference ? IlpClass::kReferenceLoop
+                                             : IlpClass::kUnrolledReordered;
+  return p;
+}
+
+TEST(CostModelTest, PlainCpuFactorIsOne) {
+  AccessProfile p = ScanProfile(1_GiB);
+  EXPECT_NEAR(CM().SlowdownFactor(p, Env(ExecutionSetting::kPlainCpu)),
+              1.0, 1e-12);
+}
+
+// Paper Fig. 12: a streaming scan over EPC data loses only ~3%.
+TEST(CostModelTest, StreamingScanBarelySlowsInSgx) {
+  AccessProfile p = ScanProfile(1_GiB);
+  double f = CM().SlowdownFactor(
+      p, Env(ExecutionSetting::kSgxDataInEnclave, 1));
+  EXPECT_GT(f, 1.0);
+  EXPECT_LT(f, 1.06);
+}
+
+// Paper Fig. 12, in-cache points: data in caches is plaintext, so a
+// cache-resident scan has NO SGX penalty and runs at cache bandwidth.
+TEST(CostModelTest, CacheResidentScanIsFreeAndFast) {
+  AccessProfile small = ScanProfile(1_GiB);  // 1 GiB of traffic...
+  small.seq_data_bytes = 1_MiB;              // ...over a 1 MiB column
+  double f = CM().SlowdownFactor(
+      small, Env(ExecutionSetting::kSgxDataInEnclave, 1));
+  EXPECT_DOUBLE_EQ(f, 1.0);
+
+  AccessProfile large = ScanProfile(1_GiB);
+  large.seq_data_bytes = 1_GiB;
+  double t_small =
+      CM().EstimateNanos(small, Env(ExecutionSetting::kPlainCpu, 1));
+  double t_large =
+      CM().EstimateNanos(large, Env(ExecutionSetting::kPlainCpu, 1));
+  EXPECT_LT(t_small, t_large);  // cache streams beat DRAM streams
+}
+
+// Paper Fig. 7: the reference histogram loop is ~3.25x slower in enclave
+// mode, independent of data location; unrolling recovers most of it.
+TEST(CostModelTest, HistogramIlpPenaltyMatchesFig7) {
+  AccessProfile ref = HistProfile(1 << 22, KernelFlavor::kReference);
+  double f_in = CM().SlowdownFactor(
+      ref, Env(ExecutionSetting::kSgxDataInEnclave));
+  double f_out = CM().SlowdownFactor(
+      ref, Env(ExecutionSetting::kSgxDataOutsideEnclave));
+  // Dominated by the compute term => close to the 3.25 ILP penalty.
+  EXPECT_GT(f_in, 2.0);
+  EXPECT_GT(f_out, 2.0);
+  // Figure 7's key observation: data location does not matter much.
+  EXPECT_NEAR(f_in, f_out, 0.35);
+
+  AccessProfile unrolled =
+      HistProfile(1 << 22, KernelFlavor::kUnrolledReordered);
+  double f_unrolled = CM().SlowdownFactor(
+      unrolled, Env(ExecutionSetting::kSgxDataInEnclave));
+  EXPECT_LT(f_unrolled, 1.5);
+  EXPECT_GT(f_in / f_unrolled, 1.8);  // the optimization wins big
+}
+
+// Paper Fig. 5 / Section 4.1: random writes into a 256 MB structure are
+// about 2x slower inside the enclave.
+TEST(CostModelTest, RandomWritePenaltyBeyondCache) {
+  AccessProfile p;
+  p.rand_writes = 1 << 24;
+  p.rand_write_working_set = 256_MiB;
+  p.loop_iterations = 1 << 24;
+  p.ilp = IlpClass::kStreaming;  // isolate the memory effect
+  // The Fig. 5 write curve was measured with this very micro-benchmark,
+  // so it already contains every enclave effect; exclude the additional
+  // un-grouped-loop MLP loss to avoid double counting.
+  p.software_mlp = true;
+  double f = CM().SlowdownFactor(
+      p, Env(ExecutionSetting::kSgxDataInEnclave));
+  EXPECT_GT(f, 1.5);
+  EXPECT_LT(f, 2.4);
+}
+
+TEST(CostModelTest, CacheResidentRandomAccessIsFree) {
+  AccessProfile p;
+  p.rand_reads = 1 << 20;
+  p.rand_read_working_set = 1_MiB;
+  p.rand_writes = 1 << 20;
+  p.rand_write_working_set = 1_MiB;
+  p.loop_iterations = 1 << 20;
+  p.ilp = IlpClass::kStreaming;
+  double f = CM().SlowdownFactor(
+      p, Env(ExecutionSetting::kSgxDataInEnclave));
+  EXPECT_NEAR(f, 1.0, 0.02);
+}
+
+TEST(CostModelTest, ThreadsReduceAbsoluteTime) {
+  AccessProfile p = ScanProfile(1_GiB);
+  double t1 = CM().EstimateNanos(p, Env(ExecutionSetting::kPlainCpu, 1));
+  double t8 = CM().EstimateNanos(p, Env(ExecutionSetting::kPlainCpu, 8));
+  EXPECT_LT(t8, t1 / 4);
+}
+
+TEST(CostModelTest, BandwidthSaturationLimitsScaling) {
+  AccessProfile p = ScanProfile(4_GiB);
+  double t8 = CM().EstimateNanos(p, Env(ExecutionSetting::kPlainCpu, 8));
+  double t16 =
+      CM().EstimateNanos(p, Env(ExecutionSetting::kPlainCpu, 16));
+  // 16 threads saturate the memory controller: less than 2x over 8.
+  EXPECT_LT(t8 / t16, 1.6);
+}
+
+// Paper Fig. 16: cross-NUMA SGX scan at 1 thread reaches ~77% of the
+// plain cross-NUMA scan.
+TEST(CostModelTest, UpiEncryptionPenaltyCrossNuma) {
+  AccessProfile p = ScanProfile(1_GiB);
+  double plain_remote = CM().EstimateNanos(
+      p, Env(ExecutionSetting::kPlainCpu, 1, /*remote=*/true));
+  double sgx_remote = CM().EstimateNanos(
+      p, Env(ExecutionSetting::kSgxDataInEnclave, 1, /*remote=*/true));
+  double rel = plain_remote / sgx_remote;
+  EXPECT_GT(rel, 0.70);
+  EXPECT_LT(rel, 0.85);
+}
+
+TEST(CostModelTest, RemoteSlowerThanLocal) {
+  AccessProfile p = ScanProfile(1_GiB);
+  double local = CM().EstimateNanos(
+      p, Env(ExecutionSetting::kPlainCpu, 16, false));
+  double remote = CM().EstimateNanos(
+      p, Env(ExecutionSetting::kPlainCpu, 16, true));
+  EXPECT_GT(remote, local);
+}
+
+TEST(CostModelTest, DependentReadsCostMoreThanIndependent) {
+  AccessProfile dep;
+  dep.rand_reads = 1 << 20;
+  dep.rand_read_working_set = 1_GiB;
+  dep.rand_reads_dependent = true;
+  AccessProfile indep = dep;
+  indep.rand_reads_dependent = false;
+  double t_dep =
+      CM().EstimateNanos(dep, Env(ExecutionSetting::kPlainCpu));
+  double t_indep =
+      CM().EstimateNanos(indep, Env(ExecutionSetting::kPlainCpu));
+  EXPECT_GT(t_dep, 3 * t_indep);
+}
+
+TEST(AccessProfileTest, MergeAccumulatesAndKeepsWeakestIlp) {
+  AccessProfile a;
+  a.seq_read_bytes = 100;
+  a.rand_reads = 5;
+  a.rand_read_working_set = 1000;
+  a.ilp = IlpClass::kUnrolledReordered;
+  AccessProfile b;
+  b.seq_read_bytes = 50;
+  b.rand_reads = 7;
+  b.rand_read_working_set = 500;
+  b.ilp = IlpClass::kReferenceLoop;
+  a.Merge(b);
+  EXPECT_EQ(a.seq_read_bytes, 150u);
+  EXPECT_EQ(a.rand_reads, 12u);
+  EXPECT_EQ(a.rand_read_working_set, 1000u);
+  EXPECT_EQ(a.ilp, IlpClass::kReferenceLoop);
+}
+
+TEST(PhaseBreakdownTest, TotalsAndFind) {
+  PhaseBreakdown bd;
+  PhaseStats s1;
+  s1.name = "build";
+  s1.host_ns = 100;
+  PhaseStats s2;
+  s2.name = "probe";
+  s2.host_ns = 200;
+  bd.Add(s1);
+  bd.Add(s2);
+  EXPECT_DOUBLE_EQ(bd.TotalHostNs(), 300);
+  ASSERT_NE(bd.Find("probe"), nullptr);
+  EXPECT_DOUBLE_EQ(bd.Find("probe")->host_ns, 200);
+  EXPECT_EQ(bd.Find("missing"), nullptr);
+}
+
+}  // namespace
+}  // namespace sgxb::perf

@@ -1,0 +1,129 @@
+#include "perf/machine_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/types.h"
+
+namespace sgxb::perf {
+namespace {
+
+const MachineModel& M() { return MachineModel::Reference(); }
+
+TEST(Log2CurveTest, InterpolatesAndClamps) {
+  Log2Curve curve({{1024, 1.0}, {4096, 3.0}});
+  EXPECT_DOUBLE_EQ(curve.At(512), 1.0);    // clamp left
+  EXPECT_DOUBLE_EQ(curve.At(1024), 1.0);
+  EXPECT_DOUBLE_EQ(curve.At(2048), 2.0);   // log-midpoint
+  EXPECT_DOUBLE_EQ(curve.At(4096), 3.0);
+  EXPECT_DOUBLE_EQ(curve.At(1 << 20), 3.0);  // clamp right
+}
+
+TEST(MachineModelTest, ReferenceMatchesTable1) {
+  const CalibrationParams& p = M().params();
+  EXPECT_EQ(p.sockets, 2);
+  EXPECT_EQ(p.cores_per_socket, 16);
+  EXPECT_DOUBLE_EQ(p.base_frequency_hz, 2.9e9);
+  EXPECT_EQ(p.l3_bytes, 24_MiB);
+  EXPECT_EQ(p.epc_per_socket_bytes, 64_GiB);
+  EXPECT_EQ(M().total_cores(), 32);
+}
+
+TEST(MachineModelTest, LatencyGrowsWithWorkingSet) {
+  double l1 = M().DependentLoadLatencyNs(16_KiB, false);
+  double l2 = M().DependentLoadLatencyNs(512_KiB, false);
+  double l3 = M().DependentLoadLatencyNs(16_MiB, false);
+  double dram = M().DependentLoadLatencyNs(1_GiB, false);
+  EXPECT_LT(l1, l2);
+  EXPECT_LT(l2, l3);
+  EXPECT_LT(l3, dram);
+  EXPECT_GT(dram, 60.0);  // DRAM latency in the right ballpark
+  EXPECT_LT(dram, 120.0);
+}
+
+TEST(MachineModelTest, RemoteLatencyOnlyBeyondCache) {
+  EXPECT_DOUBLE_EQ(M().DependentLoadLatencyNs(1_MiB, true),
+                   M().DependentLoadLatencyNs(1_MiB, false));
+  EXPECT_GT(M().DependentLoadLatencyNs(1_GiB, true),
+            M().DependentLoadLatencyNs(1_GiB, false));
+}
+
+// Paper Fig. 5: random reads have no SGX penalty in cache, and drop to
+// 53% relative performance at 16 GB.
+TEST(MachineModelTest, RandomReadRelPerfMatchesFig5) {
+  EXPECT_DOUBLE_EQ(M().RandomReadRelPerfSgx(1_MiB), 1.0);
+  EXPECT_DOUBLE_EQ(M().RandomReadRelPerfSgx(24_MiB), 1.0);
+  EXPECT_NEAR(M().RandomReadRelPerfSgx(16_GiB), 0.53, 1e-9);
+  // Monotonically non-increasing.
+  double prev = 1.0;
+  for (size_t ws = 1_MiB; ws <= 16_GiB; ws *= 2) {
+    double rel = M().RandomReadRelPerfSgx(ws);
+    EXPECT_LE(rel, prev + 1e-12) << ws;
+    prev = rel;
+  }
+}
+
+// Paper Fig. 5: random writes are ~2x slower at 256 MB and ~3x at 8 GB.
+TEST(MachineModelTest, RandomWriteRelPerfMatchesFig5) {
+  EXPECT_DOUBLE_EQ(M().RandomWriteRelPerfSgx(1_MiB), 1.0);
+  EXPECT_NEAR(M().RandomWriteRelPerfSgx(256_MiB), 0.50, 1e-9);
+  EXPECT_NEAR(M().RandomWriteRelPerfSgx(8_GiB), 0.33, 1e-9);
+  // Writes are hit harder than reads beyond cache (paper's finding).
+  for (size_t ws = 64_MiB; ws <= 8_GiB; ws *= 2) {
+    EXPECT_LT(M().RandomWriteRelPerfSgx(ws), M().RandomReadRelPerfSgx(ws))
+        << ws;
+  }
+}
+
+// Paper Fig. 15: linear 64-bit reads lose 5.5%, 512-bit reads 3%,
+// writes 2%.
+TEST(MachineModelTest, LinearFactorsMatchFig15) {
+  EXPECT_NEAR(M().LinearReadFactorSgx(false), 1.055, 1e-9);
+  EXPECT_NEAR(M().LinearReadFactorSgx(true), 1.03, 1e-9);
+  EXPECT_NEAR(M().LinearWriteFactorSgx(), 1.02, 1e-9);
+}
+
+// Paper Fig. 7: reference loop 225% slower (3.25x), unrolled 20%, SIMD ~5%.
+TEST(MachineModelTest, IlpPenaltiesMatchFig7) {
+  EXPECT_NEAR(M().IlpPenaltySgx(IlpClass::kReferenceLoop), 3.25, 1e-9);
+  EXPECT_NEAR(M().IlpPenaltySgx(IlpClass::kUnrolledReordered), 1.20,
+              1e-9);
+  EXPECT_NEAR(M().IlpPenaltySgx(IlpClass::kSimdUnrolled), 1.05, 1e-9);
+  EXPECT_DOUBLE_EQ(M().IlpPenaltySgx(IlpClass::kStreaming), 1.0);
+}
+
+TEST(MachineModelTest, BandwidthScalesThenSaturates) {
+  double bw1 = M().SeqReadBandwidth(1, false);
+  double bw8 = M().SeqReadBandwidth(8, false);
+  double bw16 = M().SeqReadBandwidth(16, false);
+  EXPECT_NEAR(bw8, 8 * bw1, 1e-6);
+  EXPECT_LT(bw16, 16 * bw1);  // node limit reached
+  EXPECT_LE(bw16, M().params().node_read_bandwidth);
+}
+
+// Paper Section 5.5: cross-socket traffic is capped by the 67.2 GB/s UPI.
+TEST(MachineModelTest, RemoteBandwidthCappedByUpi) {
+  EXPECT_LE(M().SeqReadBandwidth(16, true), M().params().upi_bandwidth);
+  EXPECT_LT(M().SeqReadBandwidth(16, true),
+            M().SeqReadBandwidth(16, false));
+}
+
+// Paper Fig. 16: UPI crypto costs 23% at one thread, ~4% at link
+// saturation.
+TEST(MachineModelTest, UpiCryptoRelPerfImprovesWithThreads) {
+  EXPECT_NEAR(M().UpiCryptoRelPerf(1), 0.77, 0.05);
+  EXPECT_GT(M().UpiCryptoRelPerf(8), M().UpiCryptoRelPerf(1));
+  EXPECT_NEAR(M().UpiCryptoRelPerf(16), 0.96, 1e-9);
+}
+
+TEST(MachineModelTest, IlpClassNames) {
+  EXPECT_STREQ(IlpClassToString(IlpClass::kStreaming), "streaming");
+  EXPECT_STREQ(IlpClassToString(IlpClass::kReferenceLoop),
+               "reference-loop");
+  EXPECT_STREQ(IlpClassToString(IlpClass::kUnrolledReordered),
+               "unrolled");
+  EXPECT_STREQ(IlpClassToString(IlpClass::kSimdUnrolled),
+               "simd-unrolled");
+}
+
+}  // namespace
+}  // namespace sgxb::perf

@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "common/types.h"
+#include "perf/machine_model.h"
+
+namespace sgxb::perf {
+namespace {
+
+const MachineModel& M() { return MachineModel::Reference(); }
+
+TEST(EpcPagingTest, NoPenaltyInsideEpc) {
+  EXPECT_DOUBLE_EQ(M().EpcPagingFactor(64_MiB, 128_MiB, false), 1.0);
+  EXPECT_DOUBLE_EQ(M().EpcPagingFactor(128_MiB, 128_MiB, true), 1.0);
+  // The paper's workloads always fit SGXv2's EPC:
+  EXPECT_DOUBLE_EQ(M().EpcPagingFactor(16_GiB, 64_GiB, false), 1.0);
+}
+
+TEST(EpcPagingTest, CliffBeyondEpc) {
+  double f = M().EpcPagingFactor(256_MiB, 128_MiB, false);
+  EXPECT_GT(f, 100.0);  // orders of magnitude, as the paper recalls
+}
+
+TEST(EpcPagingTest, MonotonicInWorkingSet) {
+  double prev = 1.0;
+  for (size_t ws = 128_MiB; ws <= 8_GiB; ws *= 2) {
+    double f = M().EpcPagingFactor(ws, 128_MiB, false);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+}
+
+TEST(EpcPagingTest, ZeroEpcMeansNoEnclaveMemory) {
+  // Degenerate input: treat as "no paging model" rather than dividing
+  // by zero.
+  EXPECT_DOUBLE_EQ(M().EpcPagingFactor(1_GiB, 0, false), 1.0);
+}
+
+TEST(EpcPagingTest, StreamingAmortizesBetterPerByte) {
+  // Per *byte*, streaming under paging beats random access under paging:
+  // one fault serves 4 KiB sequentially but only 64 B randomly.
+  const size_t ws = 1_GiB;
+  const size_t epc = 128_MiB;
+  double random_factor = M().EpcPagingFactor(ws, epc, false);
+  double stream_factor = M().EpcPagingFactor(ws, epc, true);
+  // Convert to per-byte costs using the native baselines the factors
+  // are relative to.
+  double random_ns_per_byte =
+      random_factor * M().params().dram_latency_ns / 64.0;
+  double stream_ns_per_byte =
+      stream_factor * (4096.0 / M().params().node_read_bandwidth * 1e9) /
+      4096.0;
+  EXPECT_GT(random_ns_per_byte, 10 * stream_ns_per_byte);
+}
+
+}  // namespace
+}  // namespace sgxb::perf

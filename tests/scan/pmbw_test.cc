@@ -1,0 +1,85 @@
+#include "scan/pmbw.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace sgxb::scan {
+namespace {
+
+TEST(PointerChainTest, FormsSingleCycle) {
+  for (size_t n : {2u, 3u, 16u, 1000u}) {
+    std::vector<uint64_t> arr(n);
+    MakePointerChain(arr.data(), n, /*seed=*/9);
+    // Following the chain from 0 must visit every element exactly once
+    // before returning to 0 (single cycle).
+    std::vector<bool> visited(n, false);
+    uint64_t idx = 0;
+    for (size_t step = 0; step < n; ++step) {
+      ASSERT_LT(idx, n);
+      ASSERT_FALSE(visited[idx]) << "cycle shorter than n at " << n;
+      visited[idx] = true;
+      idx = arr[idx];
+    }
+    EXPECT_EQ(idx, 0u) << "not a cycle for n=" << n;
+  }
+}
+
+TEST(PointerChaseTest, LandsWhereTheChainSays) {
+  std::vector<uint64_t> arr(128);
+  MakePointerChain(arr.data(), arr.size(), 4);
+  uint64_t manual = 0;
+  for (int s = 0; s < 57; ++s) manual = arr[manual];
+  EXPECT_EQ(RunPointerChase(arr.data(), 57), manual);
+}
+
+TEST(PointerChaseTest, FullCycleReturnsToStart) {
+  std::vector<uint64_t> arr(64);
+  MakePointerChain(arr.data(), arr.size(), 12);
+  EXPECT_EQ(RunPointerChase(arr.data(), 64), 0u);
+}
+
+TEST(RandomWritesTest, WritesLandInsideArray) {
+  std::vector<uint64_t> arr(1024, 0xffffffffffffffffull);
+  RandomWrites(arr.data(), arr.size(), 4096, /*seed=*/3);
+  // The LCG writes the loop counter; every touched slot must now hold a
+  // value < 4096 and at least one slot must have been touched.
+  size_t touched = 0;
+  for (uint64_t v : arr) {
+    if (v != 0xffffffffffffffffull) {
+      EXPECT_LT(v, 4096u);
+      ++touched;
+    }
+  }
+  EXPECT_GT(touched, 512u);
+}
+
+TEST(LinearKernelsTest, Read64ComputesSum) {
+  std::vector<uint64_t> arr(1000);
+  std::iota(arr.begin(), arr.end(), 0);
+  uint64_t expected = 999 * 1000 / 2;
+  EXPECT_EQ(LinearRead64(arr.data(), arr.size()), expected);
+}
+
+TEST(LinearKernelsTest, Read512MatchesRead64) {
+  std::vector<uint64_t> arr(1003);  // tail not multiple of 8
+  std::iota(arr.begin(), arr.end(), 17);
+  EXPECT_EQ(LinearRead512(arr.data(), arr.size()),
+            LinearRead64(arr.data(), arr.size()));
+}
+
+TEST(LinearKernelsTest, Write64FillsArray) {
+  std::vector<uint64_t> arr(100, 0);
+  LinearWrite64(arr.data(), arr.size(), 0xabcdefull);
+  for (uint64_t v : arr) EXPECT_EQ(v, 0xabcdefull);
+}
+
+TEST(LinearKernelsTest, Write512FillsArrayIncludingTail) {
+  std::vector<uint64_t> arr(107, 0);
+  LinearWrite512(arr.data(), arr.size(), 42);
+  for (uint64_t v : arr) EXPECT_EQ(v, 42u);
+}
+
+}  // namespace
+}  // namespace sgxb::scan

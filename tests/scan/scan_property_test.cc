@@ -1,0 +1,111 @@
+// Randomized property tests for the scan stack: all kernels must agree
+// with each other and with a scalar oracle for arbitrary sizes and
+// bounds, and the two output formats (bit vector, row ids) must encode
+// the same result set.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "scan/column_scan.h"
+#include "scan/scan_kernels.h"
+
+namespace sgxb::scan {
+namespace {
+
+class ScanFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ScanFuzzTest, KernelsAgreeOnRandomInputs) {
+  Xoshiro256 rng(GetParam());
+  for (int round = 0; round < 30; ++round) {
+    const size_t n = 1 + rng.NextBounded(20000);
+    uint8_t a = static_cast<uint8_t>(rng.Next());
+    uint8_t b = static_cast<uint8_t>(rng.Next());
+    uint8_t lo = std::min(a, b);
+    uint8_t hi = std::max(a, b);
+    if (round % 5 == 0) std::swap(lo, hi);  // sometimes empty predicate
+
+    std::vector<uint8_t> data(n);
+    for (auto& v : data) v = static_cast<uint8_t>(rng.Next());
+
+    std::vector<uint64_t> words_scalar(n / 64 + 1, 0);
+    std::vector<uint64_t> words_simd(n / 64 + 1, 0);
+    uint64_t c_scalar = ScanBitVectorScalar(data.data(), n, lo, hi,
+                                            words_scalar.data());
+    uint64_t c_simd = PickBitVectorKernel(BestSupportedSimdLevel())(
+        data.data(), n, lo, hi, words_simd.data());
+    ASSERT_EQ(c_scalar, c_simd) << "round " << round;
+    ASSERT_EQ(words_scalar, words_simd) << "round " << round;
+
+    std::vector<uint64_t> ids(n);
+    uint64_t c_ids = PickRowIdKernel(BestSupportedSimdLevel())(
+        data.data(), n, lo, hi, 0, ids.data());
+    ASSERT_EQ(c_ids, c_scalar);
+    // Row ids must be exactly the set bits of the bit vector, in order.
+    uint64_t k = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if ((words_scalar[i / 64] >> (i % 64)) & 1) {
+        ASSERT_EQ(ids[k], i);
+        ++k;
+      }
+    }
+    ASSERT_EQ(k, c_ids);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScanFuzzTest,
+                         ::testing::Values(11, 22, 33));
+
+TEST(ScanDriverPropertyTest, BitVectorAndRowIdsEncodeSameResult) {
+  Xoshiro256 rng(99);
+  const size_t n = 123457;
+  auto col =
+      Column<uint8_t>::Allocate(n, MemoryRegion::kUntrusted).value();
+  for (size_t i = 0; i < n; ++i) {
+    col[i] = static_cast<uint8_t>(rng.Next());
+  }
+  for (int threads : {1, 4}) {
+    auto bv = BitVector::Allocate(n, MemoryRegion::kUntrusted).value();
+    ScanConfig cfg;
+    cfg.lo = 77;
+    cfg.hi = 179;
+    cfg.num_threads = threads;
+    auto bv_result = RunBitVectorScan(col, &bv, cfg).value();
+
+    std::vector<uint64_t> ids(n);
+    uint64_t count = 0;
+    auto id_result = RunRowIdScan(col, ids.data(), &count, cfg).value();
+
+    ASSERT_EQ(bv_result.matches, id_result.matches);
+    ASSERT_EQ(bv.CountOnes(), count);
+    for (uint64_t k = 0; k < count; ++k) {
+      ASSERT_TRUE(bv.Get(ids[k])) << k;
+    }
+  }
+}
+
+TEST(ScanDriverPropertyTest, ThreadCountsProduceIdenticalOutput) {
+  Xoshiro256 rng(123);
+  const size_t n = 99991;
+  auto col =
+      Column<uint8_t>::Allocate(n, MemoryRegion::kUntrusted).value();
+  for (size_t i = 0; i < n; ++i) {
+    col[i] = static_cast<uint8_t>(rng.Next());
+  }
+  auto bv1 = BitVector::Allocate(n, MemoryRegion::kUntrusted).value();
+  auto bv8 = BitVector::Allocate(n, MemoryRegion::kUntrusted).value();
+  ScanConfig cfg1;
+  cfg1.lo = 10;
+  cfg1.hi = 240;
+  ScanConfig cfg8 = cfg1;
+  cfg8.num_threads = 8;
+  RunBitVectorScan(col, &bv1, cfg1).value();
+  RunBitVectorScan(col, &bv8, cfg8).value();
+  for (size_t w = 0; w < bv1.num_words(); ++w) {
+    ASSERT_EQ(bv1.words()[w], bv8.words()[w]) << w;
+  }
+}
+
+}  // namespace
+}  // namespace sgxb::scan

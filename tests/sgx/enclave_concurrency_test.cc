@@ -1,0 +1,126 @@
+// Concurrency behaviour of the enclave simulator: parallel allocations,
+// parallel ECALLs, and EDMM growth races must keep the accounting exact.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/types.h"
+#include "sgx/enclave.h"
+#include "sgx/transition.h"
+
+namespace sgxb::sgx {
+namespace {
+
+TEST(EnclaveConcurrencyTest, ParallelAllocationsAccountExactly) {
+  EnclaveConfig cfg;
+  cfg.initial_heap_bytes = 64_MiB;
+  Enclave* enclave = Enclave::Create(cfg).value();
+  constexpr int kThreads = 8;
+  constexpr int kAllocsPerThread = 50;
+  constexpr size_t kBytes = 64_KiB;
+
+  std::atomic<int> failures{0};
+  ParallelRun(kThreads, [&](int) {
+    std::vector<AlignedBuffer> held;
+    for (int i = 0; i < kAllocsPerThread; ++i) {
+      auto buf = enclave->Allocate(kBytes);
+      if (!buf.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      held.push_back(std::move(buf).value());
+    }
+    // Free everything (notify accounting like operators do).
+    for (auto& buf : held) {
+      enclave->NotifyFree(buf.size());
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(enclave->memory_stats().heap_used_bytes, 0u);
+  DestroyEnclave(enclave);
+}
+
+TEST(EnclaveConcurrencyTest, ParallelDynamicGrowthNeverOverCommits) {
+  EnclaveConfig cfg;
+  cfg.initial_heap_bytes = 256_KiB;
+  cfg.max_heap_bytes = 8_MiB;
+  cfg.dynamic = true;
+  Enclave* enclave = Enclave::Create(cfg).value();
+
+  std::atomic<size_t> allocated{0};
+  ParallelRun(6, [&](int) {
+    for (int i = 0; i < 200; ++i) {
+      auto buf = enclave->Allocate(16_KiB);
+      if (buf.ok()) {
+        allocated.fetch_add(16_KiB);
+        // Keep the buffer alive only briefly; accounting stays.
+      } else {
+        // OutOfMemory once the cap is hit is acceptable; over-commit is
+        // not.
+      }
+    }
+  });
+  EnclaveMemoryStats stats = enclave->memory_stats();
+  EXPECT_LE(stats.heap_used_bytes, cfg.max_heap_bytes);
+  EXPECT_LE(stats.heap_committed_bytes,
+            cfg.max_heap_bytes + kEpcPageSize);
+  EXPECT_EQ(stats.heap_used_bytes, allocated.load());
+  DestroyEnclave(enclave);
+}
+
+TEST(EnclaveConcurrencyTest, ParallelEcallsCountExactly) {
+  ResetTransitionStats();
+  constexpr int kThreads = 6;
+  constexpr int kCallsPerThread = 100;
+  ParallelRun(kThreads, [&](int) {
+    for (int i = 0; i < kCallsPerThread; ++i) {
+      ScopedEcall ecall;
+      if (i % 10 == 0) OcallRoundTrip();
+    }
+  });
+  TransitionStats stats = GetTransitionStats();
+  EXPECT_EQ(stats.ecalls,
+            static_cast<uint64_t>(kThreads) * kCallsPerThread);
+  EXPECT_EQ(stats.ocalls,
+            static_cast<uint64_t>(kThreads) * kCallsPerThread / 10);
+}
+
+TEST(EnclaveConcurrencyTest, EnclaveModeIsPerThread) {
+  // One thread inside the enclave must not flip another thread's mode.
+  std::atomic<bool> t0_inside{false};
+  std::atomic<bool> t1_checked{false};
+  std::atomic<bool> t1_saw_outside{false};
+  ParallelRun(2, [&](int tid) {
+    if (tid == 0) {
+      ScopedEcall ecall;
+      t0_inside.store(true);
+      while (!t1_checked.load()) {
+      }
+    } else {
+      while (!t0_inside.load()) {
+      }
+      t1_saw_outside.store(!InEnclaveMode());
+      t1_checked.store(true);
+    }
+  });
+  EXPECT_TRUE(t1_saw_outside.load());
+}
+
+TEST(EnclaveConcurrencyTest, MultipleEnclavesCoexist) {
+  EnclaveConfig cfg;
+  cfg.initial_heap_bytes = 1_MiB;
+  Enclave* a = Enclave::Create(cfg).value();
+  Enclave* b = Enclave::Create(cfg).value();
+  auto ba = a->Allocate(256_KiB);
+  ASSERT_TRUE(ba.ok());
+  EXPECT_EQ(a->memory_stats().heap_used_bytes, 256_KiB);
+  EXPECT_EQ(b->memory_stats().heap_used_bytes, 0u);
+  DestroyEnclave(a);
+  DestroyEnclave(b);
+}
+
+}  // namespace
+}  // namespace sgxb::sgx

@@ -1,0 +1,151 @@
+#include "sgx/enclave.h"
+
+#include <gtest/gtest.h>
+
+#include "common/types.h"
+#include "sgx/transition.h"
+
+namespace sgxb::sgx {
+namespace {
+
+TEST(EnclaveTest, CreateAndDestroy) {
+  EnclaveConfig cfg;
+  cfg.initial_heap_bytes = 1_MiB;
+  auto e = Enclave::Create(cfg);
+  ASSERT_TRUE(e.ok());
+  Enclave* enclave = e.value();
+  EXPECT_EQ(enclave->config().initial_heap_bytes, 1_MiB);
+  DestroyEnclave(enclave);
+}
+
+TEST(EnclaveTest, RejectsHeapBeyondEpc) {
+  EnclaveConfig cfg;
+  cfg.initial_heap_bytes = 65_GiB;  // > 64 GiB EPC per socket
+  auto e = Enclave::Create(cfg);
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(EnclaveTest, RejectsInconsistentDynamicConfig) {
+  EnclaveConfig cfg;
+  cfg.initial_heap_bytes = 2_MiB;
+  cfg.max_heap_bytes = 1_MiB;
+  cfg.dynamic = true;
+  EXPECT_FALSE(Enclave::Create(cfg).ok());
+}
+
+TEST(EnclaveTest, StaticEnclaveAllocatesWithinHeap) {
+  EnclaveConfig cfg;
+  cfg.initial_heap_bytes = 1_MiB;
+  Enclave* e = Enclave::Create(cfg).value();
+  auto buf = e->Allocate(512_KiB);
+  ASSERT_TRUE(buf.ok());
+  EXPECT_EQ(buf.value().region(), MemoryRegion::kEnclave);
+  EXPECT_EQ(e->memory_stats().heap_used_bytes, 512_KiB);
+  EXPECT_EQ(e->memory_stats().edmm_pages_added, 0u);
+  DestroyEnclave(e);
+}
+
+TEST(EnclaveTest, StaticEnclaveRefusesGrowth) {
+  EnclaveConfig cfg;
+  cfg.initial_heap_bytes = 1_MiB;
+  cfg.dynamic = false;
+  Enclave* e = Enclave::Create(cfg).value();
+  auto a = e->Allocate(800_KiB);
+  ASSERT_TRUE(a.ok());
+  auto b = e->Allocate(800_KiB);  // would exceed the committed heap
+  EXPECT_FALSE(b.ok());
+  EXPECT_EQ(b.status().code(), StatusCode::kOutOfMemory);
+  // Failed allocation must not leak accounting.
+  EXPECT_EQ(e->memory_stats().heap_used_bytes, 800_KiB);
+  DestroyEnclave(e);
+}
+
+TEST(EnclaveTest, DynamicEnclaveGrowsAndChargesPages) {
+  EnclaveConfig cfg;
+  cfg.initial_heap_bytes = 64_KiB;
+  cfg.max_heap_bytes = 16_MiB;
+  cfg.dynamic = true;
+  Enclave* e = Enclave::Create(cfg).value();
+  auto buf = e->Allocate(1_MiB);
+  ASSERT_TRUE(buf.ok());
+  EnclaveMemoryStats stats = e->memory_stats();
+  EXPECT_GE(stats.heap_committed_bytes, 1_MiB);
+  // Growth from 64 KiB to >= 1 MiB: at least 240 pages EAUG'd.
+  EXPECT_GE(stats.edmm_pages_added, 240u);
+  EXPECT_GT(stats.edmm_injected_ns, 0.0);
+  DestroyEnclave(e);
+}
+
+TEST(EnclaveTest, DynamicEnclaveRespectsMaxHeap) {
+  EnclaveConfig cfg;
+  cfg.initial_heap_bytes = 64_KiB;
+  cfg.max_heap_bytes = 1_MiB;
+  cfg.dynamic = true;
+  Enclave* e = Enclave::Create(cfg).value();
+  EXPECT_FALSE(e->Allocate(2_MiB).ok());
+  DestroyEnclave(e);
+}
+
+TEST(EnclaveTest, NotifyFreeReleasesAccounting) {
+  EnclaveConfig cfg;
+  cfg.initial_heap_bytes = 1_MiB;
+  Enclave* e = Enclave::Create(cfg).value();
+  { auto buf = e->Allocate(256_KiB); }
+  // Buffer destroyed, but enclave accounting is explicit:
+  EXPECT_EQ(e->memory_stats().heap_used_bytes, 256_KiB);
+  e->NotifyFree(256_KiB);
+  EXPECT_EQ(e->memory_stats().heap_used_bytes, 0u);
+  DestroyEnclave(e);
+}
+
+TEST(TransitionTest, EcallTogglesEnclaveMode) {
+  EXPECT_FALSE(InEnclaveMode());
+  {
+    ScopedEcall ecall;
+    EXPECT_TRUE(InEnclaveMode());
+    {
+      ScopedEcall nested;
+      EXPECT_TRUE(InEnclaveMode());
+    }
+    EXPECT_TRUE(InEnclaveMode());
+  }
+  EXPECT_FALSE(InEnclaveMode());
+}
+
+TEST(TransitionTest, StatsCountEcallsAndOcalls) {
+  ResetTransitionStats();
+  {
+    ScopedEcall ecall;
+    OcallRoundTrip();
+    OcallRoundTrip();
+  }
+  TransitionStats stats = GetTransitionStats();
+  EXPECT_EQ(stats.ecalls, 1u);
+  EXPECT_EQ(stats.ocalls, 2u);
+  EXPECT_GT(stats.injected_cycles, 0u);
+}
+
+TEST(TransitionTest, OcallOutsideEnclaveIsNoop) {
+  ResetTransitionStats();
+  OcallRoundTrip();
+  EXPECT_EQ(GetTransitionStats().ocalls, 0u);
+}
+
+TEST(EnclaveTest, EcallRunsBodyInEnclaveMode) {
+  EnclaveConfig cfg;
+  cfg.initial_heap_bytes = 64_KiB;
+  Enclave* e = Enclave::Create(cfg).value();
+  bool was_in_enclave = false;
+  int result = e->Ecall([&] {
+    was_in_enclave = InEnclaveMode();
+    return 41 + 1;
+  });
+  EXPECT_TRUE(was_in_enclave);
+  EXPECT_EQ(result, 42);
+  EXPECT_FALSE(InEnclaveMode());
+  DestroyEnclave(e);
+}
+
+}  // namespace
+}  // namespace sgxb::sgx

@@ -1,0 +1,62 @@
+#include "sgx/mee.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace sgxb::sgx {
+namespace {
+
+TEST(MeeTest, EncryptDecryptRoundTrips) {
+  MemoryEncryptionEngine mee;
+  std::vector<uint8_t> data(4096);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 7);
+  }
+  std::vector<uint8_t> original = data;
+
+  mee.Encrypt(data.data(), data.size());
+  EXPECT_NE(std::memcmp(data.data(), original.data(), data.size()), 0);
+  mee.Decrypt(data.data(), data.size());
+  EXPECT_EQ(std::memcmp(data.data(), original.data(), data.size()), 0);
+}
+
+TEST(MeeTest, NonWordSizes) {
+  MemoryEncryptionEngine mee;
+  for (size_t n : {1u, 3u, 7u, 9u, 63u, 65u}) {
+    std::vector<uint8_t> data(n, 0xab);
+    std::vector<uint8_t> original = data;
+    mee.Encrypt(data.data(), n);
+    mee.Decrypt(data.data(), n);
+    EXPECT_EQ(data, original) << n;
+  }
+}
+
+TEST(MeeTest, OffsetChangesKeystream) {
+  MemoryEncryptionEngine mee;
+  std::vector<uint8_t> a(64, 0), b(64, 0);
+  mee.Encrypt(a.data(), a.size(), /*base_offset=*/0);
+  mee.Encrypt(b.data(), b.size(), /*base_offset=*/64);
+  EXPECT_NE(std::memcmp(a.data(), b.data(), 64), 0);
+}
+
+TEST(MeeTest, KeyChangesKeystream) {
+  MemoryEncryptionEngine mee1(1), mee2(2);
+  std::vector<uint8_t> a(64, 0), b(64, 0);
+  mee1.Encrypt(a.data(), a.size());
+  mee2.Encrypt(b.data(), b.size());
+  EXPECT_NE(std::memcmp(a.data(), b.data(), 64), 0);
+}
+
+TEST(MeeTest, DecryptRequiresMatchingOffset) {
+  MemoryEncryptionEngine mee;
+  std::vector<uint8_t> data(64, 0x5a);
+  std::vector<uint8_t> original = data;
+  mee.Encrypt(data.data(), data.size(), 0);
+  mee.Decrypt(data.data(), data.size(), 128);  // wrong offset
+  EXPECT_NE(data, original);
+}
+
+}  // namespace
+}  // namespace sgxb::sgx

@@ -1,0 +1,114 @@
+#include "sgx/sealing.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/random.h"
+
+namespace sgxb::sgx {
+namespace {
+
+constexpr uint64_t kKey = 0x1122334455667788ull;
+
+std::vector<uint8_t> MakeData(size_t n, uint64_t seed = 9) {
+  Xoshiro256 rng(seed);
+  std::vector<uint8_t> data(n);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.Next());
+  return data;
+}
+
+TEST(SealingTest, RoundTrip) {
+  auto data = MakeData(1000);
+  SealedBlob blob = Seal(data.data(), data.size(), kKey).value();
+  EXPECT_EQ(blob.payload_size(), 1000u);
+  auto out = Unseal(blob, kKey);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out.value(), data);
+}
+
+TEST(SealingTest, CiphertextDiffersFromPlaintext) {
+  auto data = MakeData(256);
+  SealedBlob blob = Seal(data.data(), data.size(), kKey).value();
+  // The payload section must not equal the plaintext.
+  EXPECT_NE(std::memcmp(blob.bytes.data() + 32, data.data(), data.size()),
+            0);
+}
+
+TEST(SealingTest, EmptyPayload) {
+  SealedBlob blob = Seal(nullptr, 0, kKey).value();
+  auto out = Unseal(blob, kKey);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out.value().empty());
+}
+
+TEST(SealingTest, OddSizes) {
+  for (size_t n : {1u, 7u, 63u, 65u, 4097u}) {
+    auto data = MakeData(n, n);
+    SealedBlob blob = Seal(data.data(), n, kKey).value();
+    auto out = Unseal(blob, kKey);
+    ASSERT_TRUE(out.ok()) << n;
+    EXPECT_EQ(out.value(), data) << n;
+  }
+}
+
+TEST(SealingTest, WrongKeyFailsAuthentication) {
+  auto data = MakeData(128);
+  SealedBlob blob = Seal(data.data(), data.size(), kKey).value();
+  auto out = Unseal(blob, kKey + 1);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInternal);
+}
+
+TEST(SealingTest, TamperedCiphertextDetected) {
+  auto data = MakeData(128);
+  SealedBlob blob = Seal(data.data(), data.size(), kKey).value();
+  blob.bytes[32 + 5] ^= 0x01;  // flip one ciphertext bit
+  EXPECT_FALSE(Unseal(blob, kKey).ok());
+}
+
+TEST(SealingTest, TamperedHeaderDetected) {
+  auto data = MakeData(128);
+  SealedBlob blob = Seal(data.data(), data.size(), kKey).value();
+  blob.bytes[8] ^= 0x01;  // nonce byte
+  EXPECT_FALSE(Unseal(blob, kKey).ok());
+}
+
+TEST(SealingTest, TruncatedBlobRejected) {
+  auto data = MakeData(128);
+  SealedBlob blob = Seal(data.data(), data.size(), kKey).value();
+  blob.bytes.resize(blob.bytes.size() - 4);
+  auto out = Unseal(blob, kKey);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SealingTest, GarbageRejected) {
+  SealedBlob blob;
+  blob.bytes.assign(100, 0xab);
+  EXPECT_FALSE(Unseal(blob, kKey).ok());
+  SealedBlob tiny;
+  tiny.bytes.assign(10, 0);
+  EXPECT_FALSE(Unseal(tiny, kKey).ok());
+}
+
+TEST(SealingTest, AadIsAuthenticated) {
+  auto data = MakeData(64);
+  std::vector<uint8_t> aad = {'t', 'a', 'b', 'l', 'e', '1'};
+  SealedBlob blob = Seal(data.data(), data.size(), kKey, aad).value();
+  EXPECT_TRUE(Unseal(blob, kKey, aad).ok());
+  std::vector<uint8_t> wrong_aad = {'t', 'a', 'b', 'l', 'e', '2'};
+  EXPECT_FALSE(Unseal(blob, kKey, wrong_aad).ok());
+  EXPECT_FALSE(Unseal(blob, kKey, {}).ok());
+}
+
+TEST(SealingTest, NoncesMakeSealingsUnique) {
+  auto data = MakeData(64);
+  SealedBlob a = Seal(data.data(), data.size(), kKey).value();
+  SealedBlob b = Seal(data.data(), data.size(), kKey).value();
+  EXPECT_NE(a.bytes, b.bytes);  // fresh nonce each time
+  EXPECT_EQ(Unseal(a, kKey).value(), Unseal(b, kKey).value());
+}
+
+}  // namespace
+}  // namespace sgxb::sgx

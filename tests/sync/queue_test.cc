@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "common/parallel.h"
+#include "sgx/queue_factory.h"
+#include "sync/lockfree_queue.h"
+#include "sync/locked_queue.h"
+#include "sync/task_queue.h"
+
+namespace sgxb {
+namespace {
+
+// Parameterized over all queue kinds: the TaskQueue contract must hold
+// for the lock-free, mutex, and spin-lock implementations alike.
+class TaskQueueTest
+    : public ::testing::TestWithParam<TaskQueueKind> {
+ protected:
+  std::unique_ptr<TaskQueue> Make(size_t capacity = 1024) {
+    return sgx::MakeTaskQueue(GetParam(), capacity,
+                              ExecutionSetting::kPlainCpu);
+  }
+};
+
+TEST_P(TaskQueueTest, FifoSingleThread) {
+  auto q = Make();
+  for (uint64_t i = 0; i < 100; ++i) EXPECT_TRUE(q->Push(i));
+  EXPECT_EQ(q->ApproxSize(), 100u);
+  for (uint64_t i = 0; i < 100; ++i) {
+    uint64_t v = 0;
+    ASSERT_TRUE(q->TryPop(&v));
+    EXPECT_EQ(v, i);
+  }
+  uint64_t v;
+  EXPECT_FALSE(q->TryPop(&v));
+}
+
+TEST_P(TaskQueueTest, EmptyPopsFalse) {
+  auto q = Make();
+  uint64_t v;
+  EXPECT_FALSE(q->TryPop(&v));
+  q->Push(9);
+  ASSERT_TRUE(q->TryPop(&v));
+  EXPECT_EQ(v, 9u);
+  EXPECT_FALSE(q->TryPop(&v));
+}
+
+TEST_P(TaskQueueTest, MpmcDeliversEveryTaskExactlyOnce) {
+  constexpr int kProducers = 3;
+  constexpr int kConsumers = 3;
+  constexpr uint64_t kPerProducer = 5000;
+  auto q = Make(kProducers * kPerProducer + 16);
+
+  std::vector<std::atomic<uint32_t>> delivered(kProducers * kPerProducer);
+  for (auto& d : delivered) d = 0;
+  std::atomic<uint64_t> consumed{0};
+
+  ParallelRun(kProducers + kConsumers, [&](int tid) {
+    if (tid < kProducers) {
+      for (uint64_t i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q->Push(tid * kPerProducer + i));
+      }
+    } else {
+      uint64_t v;
+      while (consumed.load(std::memory_order_relaxed) <
+             kProducers * kPerProducer) {
+        if (q->TryPop(&v)) {
+          delivered[v].fetch_add(1);
+          consumed.fetch_add(1);
+        }
+      }
+    }
+  });
+
+  for (size_t i = 0; i < delivered.size(); ++i) {
+    EXPECT_EQ(delivered[i].load(), 1u) << "task " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, TaskQueueTest,
+    ::testing::Values(TaskQueueKind::kLockFree, TaskQueueKind::kMutex,
+                      TaskQueueKind::kSpinLock),
+    [](const ::testing::TestParamInfo<TaskQueueKind>& info) {
+      switch (info.param) {
+        case TaskQueueKind::kLockFree:
+          return "LockFree";
+        case TaskQueueKind::kMutex:
+          return "Mutex";
+        case TaskQueueKind::kSpinLock:
+          return "SpinLock";
+      }
+      return "Unknown";
+    });
+
+TEST(LockFreeTaskQueueTest, FullQueueRejectsPush) {
+  LockFreeTaskQueue q(16);  // rounded to 16
+  size_t pushed = 0;
+  while (q.Push(pushed)) ++pushed;
+  EXPECT_EQ(pushed, 16u);
+  uint64_t v;
+  ASSERT_TRUE(q.TryPop(&v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(q.Push(99));  // slot freed
+}
+
+TEST(LockFreeTaskQueueTest, CapacityRoundsUpToPowerOfTwo) {
+  LockFreeTaskQueue q(17);
+  size_t pushed = 0;
+  while (q.Push(pushed) && pushed < 1000) ++pushed;
+  EXPECT_EQ(pushed, 32u);
+}
+
+TEST(QueueFactoryTest, MutexKindUsesSgxMutexInsideEnclave) {
+  // Both must satisfy the queue contract; the enclave variant charges
+  // transitions under contention, which queue_test does not assert here
+  // (covered by sgx_mutex_test).
+  auto native = sgx::MakeTaskQueue(TaskQueueKind::kMutex, 16,
+                                   ExecutionSetting::kPlainCpu);
+  auto enclave = sgx::MakeTaskQueue(TaskQueueKind::kMutex, 16,
+                                    ExecutionSetting::kSgxDataInEnclave);
+  native->Push(1);
+  enclave->Push(2);
+  uint64_t v;
+  ASSERT_TRUE(native->TryPop(&v));
+  EXPECT_EQ(v, 1u);
+  ASSERT_TRUE(enclave->TryPop(&v));
+  EXPECT_EQ(v, 2u);
+}
+
+TEST(TaskQueueKindTest, Names) {
+  EXPECT_STREQ(TaskQueueKindToString(TaskQueueKind::kLockFree),
+               "lock-free");
+  EXPECT_STREQ(TaskQueueKindToString(TaskQueueKind::kMutex), "mutex");
+  EXPECT_STREQ(TaskQueueKindToString(TaskQueueKind::kSpinLock),
+               "spinlock");
+}
+
+}  // namespace
+}  // namespace sgxb

@@ -1,0 +1,45 @@
+#include "sync/spinlock.h"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+
+#include "common/parallel.h"
+
+namespace sgxb {
+namespace {
+
+template <typename Lock>
+void CounterStressTest() {
+  Lock lock;
+  int64_t counter = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20000;
+  ParallelRun(kThreads, [&](int) {
+    for (int i = 0; i < kIters; ++i) {
+      std::lock_guard<Lock> guard(lock);
+      ++counter;
+    }
+  });
+  EXPECT_EQ(counter, int64_t{kThreads} * kIters);
+}
+
+TEST(SpinLockTest, MutualExclusionUnderContention) {
+  CounterStressTest<SpinLock>();
+}
+
+TEST(TicketLockTest, MutualExclusionUnderContention) {
+  CounterStressTest<TicketLock>();
+}
+
+TEST(SpinLockTest, TryLock) {
+  SpinLock lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+}  // namespace
+}  // namespace sgxb

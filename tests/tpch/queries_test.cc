@@ -1,0 +1,111 @@
+#include "tpch/queries.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sgx/enclave.h"
+#include "tpch/tpch_gen.h"
+
+namespace sgxb::tpch {
+namespace {
+
+const TpchDb& Db() {
+  static const TpchDb db = [] {
+    GenConfig cfg;
+    cfg.scale_factor = 0.01;
+    return Generate(cfg).value();
+  }();
+  return db;
+}
+
+uint64_t Reference(int query) {
+  switch (query) {
+    case 3:
+      return ReferenceQ3(Db());
+    case 10:
+      return ReferenceQ10(Db());
+    case 12:
+      return ReferenceQ12(Db());
+    case 19:
+      return ReferenceQ19(Db());
+  }
+  return 0;
+}
+
+using QueryParam = std::tuple<int, ExecutionSetting, int>;
+
+class QueryTest : public ::testing::TestWithParam<QueryParam> {};
+
+TEST_P(QueryTest, MatchesReference) {
+  auto [query, setting, threads] = GetParam();
+
+  sgx::EnclaveConfig ecfg;
+  ecfg.initial_heap_bytes = 128_MiB;
+  sgx::Enclave* enclave = sgx::Enclave::Create(ecfg).value();
+
+  QueryConfig cfg;
+  cfg.num_threads = threads;
+  cfg.setting = setting;
+  cfg.enclave = enclave;
+  cfg.radix_bits = 8;
+
+  auto result = RunQuery(query, Db(), cfg);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().count, Reference(query)) << "Q" << query;
+  EXPECT_GT(result.value().host_ns, 0.0);
+  EXPECT_FALSE(result.value().phases.phases.empty());
+  sgx::DestroyEnclave(enclave);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllQueries, QueryTest,
+    ::testing::Combine(::testing::Values(3, 10, 12, 19),
+                       ::testing::Values(
+                           ExecutionSetting::kPlainCpu,
+                           ExecutionSetting::kSgxDataInEnclave),
+                       ::testing::Values(1, 4)),
+    [](const ::testing::TestParamInfo<QueryParam>& info) {
+      std::string name = "Q" + std::to_string(std::get<0>(info.param));
+      name += std::get<1>(info.param) == ExecutionSetting::kPlainCpu
+                  ? "_Plain"
+                  : "_Sgx";
+      name += "_T" + std::to_string(std::get<2>(info.param));
+      return name;
+    });
+
+TEST(QueryTest, ReferenceCountsAreNonTrivial) {
+  // Guards against degenerate selectivities (0 or everything): the
+  // queries must select a real subset so the joins are exercised.
+  EXPECT_GT(ReferenceQ3(Db()), 0u);
+  EXPECT_LT(ReferenceQ3(Db()), Db().lineitem.num_rows);
+  EXPECT_GT(ReferenceQ10(Db()), 0u);
+  EXPECT_GT(ReferenceQ12(Db()), 0u);
+  EXPECT_LT(ReferenceQ12(Db()), Db().lineitem.num_rows / 4);
+  EXPECT_GT(ReferenceQ19(Db()), 0u);
+  EXPECT_LT(ReferenceQ19(Db()), Db().lineitem.num_rows / 10);
+}
+
+TEST(QueryTest, UnknownQueryRejected) {
+  QueryConfig cfg;
+  EXPECT_FALSE(RunQuery(5, Db(), cfg).ok());
+}
+
+TEST(QueryTest, FlavorsAgree) {
+  QueryConfig ref;
+  ref.flavor = KernelFlavor::kReference;
+  ref.radix_bits = 8;
+  QueryConfig opt;
+  opt.flavor = KernelFlavor::kUnrolledReordered;
+  opt.radix_bits = 8;
+  for (int q : {3, 10, 12, 19}) {
+    auto a = RunQuery(q, Db(), ref);
+    auto b = RunQuery(q, Db(), opt);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.value().count, b.value().count) << "Q" << q;
+  }
+}
+
+}  // namespace
+}  // namespace sgxb::tpch

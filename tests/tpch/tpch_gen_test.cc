@@ -1,0 +1,146 @@
+#include "tpch/tpch_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "tpch/tpch_schema.h"
+
+namespace sgxb::tpch {
+namespace {
+
+TEST(DateEncodingTest, KnownDates) {
+  EXPECT_EQ(DaysFromCivil(1992, 1, 1), 0);
+  EXPECT_EQ(DaysFromCivil(1992, 1, 2), 1);
+  EXPECT_EQ(DaysFromCivil(1993, 1, 1), 366);  // 1992 is a leap year
+  EXPECT_EQ(DaysFromCivil(1994, 1, 1), 731);
+  EXPECT_EQ(kDate19940101, 731u);
+  EXPECT_EQ(kDate19950101, 1096u);
+  EXPECT_EQ(kDate19950315, 1096u + 31 + 28 + 14);
+  // TPC-H's last order date.
+  EXPECT_EQ(kDate19980802, static_cast<uint32_t>(
+                               DaysFromCivil(1998, 8, 2)));
+}
+
+class TpchGenTest : public ::testing::Test {
+ protected:
+  static const TpchDb& Db() {
+    static const TpchDb db = [] {
+      GenConfig cfg;
+      cfg.scale_factor = 0.01;
+      return Generate(cfg).value();
+    }();
+    return db;
+  }
+};
+
+TEST_F(TpchGenTest, Cardinalities) {
+  EXPECT_EQ(Db().customer.num_rows, 1500u);
+  EXPECT_EQ(Db().orders.num_rows, 15000u);
+  EXPECT_EQ(Db().part.num_rows, 2000u);
+  // lineitem: 1..7 lines per order, expectation 4x orders; allow slack.
+  EXPECT_GT(Db().lineitem.num_rows, Db().orders.num_rows * 3);
+  EXPECT_LT(Db().lineitem.num_rows, Db().orders.num_rows * 5);
+}
+
+TEST_F(TpchGenTest, KeysAreDense) {
+  for (size_t i = 0; i < Db().customer.num_rows; i += 100) {
+    EXPECT_EQ(Db().customer.c_custkey[i], i);
+  }
+  for (size_t i = 0; i < Db().orders.num_rows; i += 1000) {
+    EXPECT_EQ(Db().orders.o_orderkey[i], i);
+  }
+}
+
+TEST_F(TpchGenTest, ForeignKeysInRange) {
+  for (size_t i = 0; i < Db().orders.num_rows; ++i) {
+    ASSERT_LT(Db().orders.o_custkey[i], Db().customer.num_rows);
+  }
+  for (size_t i = 0; i < Db().lineitem.num_rows; ++i) {
+    ASSERT_LT(Db().lineitem.l_orderkey[i], Db().orders.num_rows);
+    ASSERT_LT(Db().lineitem.l_partkey[i], Db().part.num_rows);
+  }
+}
+
+TEST_F(TpchGenTest, DbgenDateDerivations) {
+  const LineitemTable& l = Db().lineitem;
+  const OrdersTable& o = Db().orders;
+  for (size_t i = 0; i < l.num_rows; ++i) {
+    uint32_t odate = o.o_orderdate[l.l_orderkey[i]];
+    ASSERT_GE(l.l_shipdate[i], odate + 1);
+    ASSERT_LE(l.l_shipdate[i], odate + 121);
+    ASSERT_GE(l.l_commitdate[i], odate + 30);
+    ASSERT_LE(l.l_commitdate[i], odate + 90);
+    ASSERT_GE(l.l_receiptdate[i], l.l_shipdate[i] + 1);
+    ASSERT_LE(l.l_receiptdate[i], l.l_shipdate[i] + 30);
+  }
+}
+
+TEST_F(TpchGenTest, CategoricalCodesInRange) {
+  for (size_t i = 0; i < Db().customer.num_rows; ++i) {
+    ASSERT_LT(Db().customer.c_mktsegment[i], kNumSegments);
+  }
+  const LineitemTable& l = Db().lineitem;
+  for (size_t i = 0; i < l.num_rows; ++i) {
+    ASSERT_LT(l.l_shipmode[i], kNumShipModes);
+    ASSERT_LT(l.l_shipinstruct[i], kNumShipInstructs);
+    ASSERT_LT(l.l_returnflag[i], kNumReturnFlags);
+    ASSERT_GE(l.l_quantity[i], 1u);
+    ASSERT_LE(l.l_quantity[i], 50u);
+  }
+  for (size_t i = 0; i < Db().part.num_rows; ++i) {
+    ASSERT_LT(Db().part.p_brand[i], kNumBrands);
+    ASSERT_LT(Db().part.p_container[i], kNumContainers);
+    ASSERT_GE(Db().part.p_size[i], 1u);
+    ASSERT_LE(Db().part.p_size[i], 50u);
+  }
+}
+
+TEST_F(TpchGenTest, ReturnFlagFollowsDbgenRule) {
+  const LineitemTable& l = Db().lineitem;
+  for (size_t i = 0; i < l.num_rows; ++i) {
+    if (l.l_receiptdate[i] <= kDate19950617) {
+      ASSERT_NE(l.l_returnflag[i], kFlagN);
+    } else {
+      ASSERT_EQ(l.l_returnflag[i], kFlagN);
+    }
+  }
+}
+
+TEST_F(TpchGenTest, SelectivitiesRoughlyMatchTpch) {
+  // BUILDING segment ~ 1/5 of customers.
+  size_t building = 0;
+  for (size_t i = 0; i < Db().customer.num_rows; ++i) {
+    building += Db().customer.c_mktsegment[i] == kSegBuilding;
+  }
+  double frac =
+      static_cast<double>(building) / Db().customer.num_rows;
+  EXPECT_NEAR(frac, 0.2, 0.04);
+
+  // Orders per quarter ~ 1/26 of the 6.6-year date range.
+  size_t q = 0;
+  for (size_t i = 0; i < Db().orders.num_rows; ++i) {
+    q += Db().orders.o_orderdate[i] >= kDate19931001 &&
+         Db().orders.o_orderdate[i] < kDate19940101;
+  }
+  EXPECT_NEAR(static_cast<double>(q) / Db().orders.num_rows, 92.0 / 2405,
+              0.01);
+}
+
+TEST(TpchGenConfigTest, RejectsNonPositiveScale) {
+  GenConfig cfg;
+  cfg.scale_factor = 0;
+  EXPECT_FALSE(Generate(cfg).ok());
+}
+
+TEST(TpchGenConfigTest, DeterministicForSeed) {
+  GenConfig cfg;
+  cfg.scale_factor = 0.001;
+  TpchDb a = Generate(cfg).value();
+  TpchDb b = Generate(cfg).value();
+  ASSERT_EQ(a.lineitem.num_rows, b.lineitem.num_rows);
+  for (size_t i = 0; i < a.lineitem.num_rows; i += 17) {
+    EXPECT_EQ(a.lineitem.l_shipdate[i], b.lineitem.l_shipdate[i]);
+  }
+}
+
+}  // namespace
+}  // namespace sgxb::tpch
