@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_radix_bits"
+  "../bench/bench_ablation_radix_bits.pdb"
+  "CMakeFiles/bench_ablation_radix_bits.dir/bench_ablation_radix_bits.cc.o"
+  "CMakeFiles/bench_ablation_radix_bits.dir/bench_ablation_radix_bits.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_radix_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_scatter"
+  "../bench/bench_ablation_scatter.pdb"
+  "CMakeFiles/bench_ablation_scatter.dir/bench_ablation_scatter.cc.o"
+  "CMakeFiles/bench_ablation_scatter.dir/bench_ablation_scatter.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

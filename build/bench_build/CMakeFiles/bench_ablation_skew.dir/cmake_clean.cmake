@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_skew"
+  "../bench/bench_ablation_skew.pdb"
+  "CMakeFiles/bench_ablation_skew.dir/bench_ablation_skew.cc.o"
+  "CMakeFiles/bench_ablation_skew.dir/bench_ablation_skew.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_cht"
+  "../bench/bench_ext_cht.pdb"
+  "CMakeFiles/bench_ext_cht.dir/bench_ext_cht.cc.o"
+  "CMakeFiles/bench_ext_cht.dir/bench_ext_cht.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_cht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_epc_paging"
+  "../bench/bench_ext_epc_paging.pdb"
+  "CMakeFiles/bench_ext_epc_paging.dir/bench_ext_epc_paging.cc.o"
+  "CMakeFiles/bench_ext_epc_paging.dir/bench_ext_epc_paging.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_epc_paging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

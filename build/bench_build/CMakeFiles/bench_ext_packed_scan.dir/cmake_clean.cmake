@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_packed_scan"
+  "../bench/bench_ext_packed_scan.pdb"
+  "CMakeFiles/bench_ext_packed_scan.dir/bench_ext_packed_scan.cc.o"
+  "CMakeFiles/bench_ext_packed_scan.dir/bench_ext_packed_scan.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_packed_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

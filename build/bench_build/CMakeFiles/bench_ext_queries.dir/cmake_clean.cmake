@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_queries"
+  "../bench/bench_ext_queries.pdb"
+  "CMakeFiles/bench_ext_queries.dir/bench_ext_queries.cc.o"
+  "CMakeFiles/bench_ext_queries.dir/bench_ext_queries.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

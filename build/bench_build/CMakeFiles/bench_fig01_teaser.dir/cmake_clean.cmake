@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig01_teaser"
+  "../bench/bench_fig01_teaser.pdb"
+  "CMakeFiles/bench_fig01_teaser.dir/bench_fig01_teaser.cc.o"
+  "CMakeFiles/bench_fig01_teaser.dir/bench_fig01_teaser.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_teaser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig03_join_overview.cc" "bench_build/CMakeFiles/bench_fig03_join_overview.dir/bench_fig03_join_overview.cc.o" "gcc" "bench_build/CMakeFiles/bench_fig03_join_overview.dir/bench_fig03_join_overview.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sgxb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpch/CMakeFiles/sgxb_tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/scan/CMakeFiles/sgxb_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/join/CMakeFiles/sgxb_join.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/sgxb_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/sgxb_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/sgxb_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/sgxb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sgxb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig03_join_overview"
+  "../bench/bench_fig03_join_overview.pdb"
+  "CMakeFiles/bench_fig03_join_overview.dir/bench_fig03_join_overview.cc.o"
+  "CMakeFiles/bench_fig03_join_overview.dir/bench_fig03_join_overview.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_join_overview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig04_pht_random_access.
+# This may be replaced when dependencies are built.

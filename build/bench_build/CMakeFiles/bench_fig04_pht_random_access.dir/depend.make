@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig04_pht_random_access.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig05_random_access"
+  "../bench/bench_fig05_random_access.pdb"
+  "CMakeFiles/bench_fig05_random_access.dir/bench_fig05_random_access.cc.o"
+  "CMakeFiles/bench_fig05_random_access.dir/bench_fig05_random_access.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_random_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

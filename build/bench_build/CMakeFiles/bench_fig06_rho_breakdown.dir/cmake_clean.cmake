@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig06_rho_breakdown"
+  "../bench/bench_fig06_rho_breakdown.pdb"
+  "CMakeFiles/bench_fig06_rho_breakdown.dir/bench_fig06_rho_breakdown.cc.o"
+  "CMakeFiles/bench_fig06_rho_breakdown.dir/bench_fig06_rho_breakdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_rho_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

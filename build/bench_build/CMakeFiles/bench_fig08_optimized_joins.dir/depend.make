@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig08_optimized_joins.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_mutex"
+  "../bench/bench_fig10_mutex.pdb"
+  "CMakeFiles/bench_fig10_mutex.dir/bench_fig10_mutex.cc.o"
+  "CMakeFiles/bench_fig10_mutex.dir/bench_fig10_mutex.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_mutex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

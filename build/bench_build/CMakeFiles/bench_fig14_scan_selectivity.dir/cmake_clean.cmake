@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_scan_selectivity"
+  "../bench/bench_fig14_scan_selectivity.pdb"
+  "CMakeFiles/bench_fig14_scan_selectivity.dir/bench_fig14_scan_selectivity.cc.o"
+  "CMakeFiles/bench_fig14_scan_selectivity.dir/bench_fig14_scan_selectivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_scan_selectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_linear_rw"
+  "../bench/bench_fig15_linear_rw.pdb"
+  "CMakeFiles/bench_fig15_linear_rw.dir/bench_fig15_linear_rw.cc.o"
+  "CMakeFiles/bench_fig15_linear_rw.dir/bench_fig15_linear_rw.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_linear_rw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

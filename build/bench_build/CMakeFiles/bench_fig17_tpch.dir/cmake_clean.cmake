@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig17_tpch"
+  "../bench/bench_fig17_tpch.pdb"
+  "CMakeFiles/bench_fig17_tpch.dir/bench_fig17_tpch.cc.o"
+  "CMakeFiles/bench_fig17_tpch.dir/bench_fig17_tpch.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_hardware"
+  "../bench/bench_table1_hardware.pdb"
+  "CMakeFiles/bench_table1_hardware.dir/bench_table1_hardware.cc.o"
+  "CMakeFiles/bench_table1_hardware.dir/bench_table1_hardware.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

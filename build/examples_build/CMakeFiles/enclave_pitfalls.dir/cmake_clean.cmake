@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/enclave_pitfalls"
+  "../examples/enclave_pitfalls.pdb"
+  "CMakeFiles/enclave_pitfalls.dir/enclave_pitfalls.cpp.o"
+  "CMakeFiles/enclave_pitfalls.dir/enclave_pitfalls.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enclave_pitfalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

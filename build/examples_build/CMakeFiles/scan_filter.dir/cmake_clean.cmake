@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/scan_filter"
+  "../examples/scan_filter.pdb"
+  "CMakeFiles/scan_filter.dir/scan_filter.cpp.o"
+  "CMakeFiles/scan_filter.dir/scan_filter.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

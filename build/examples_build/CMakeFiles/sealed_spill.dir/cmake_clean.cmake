@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/sealed_spill"
+  "../examples/sealed_spill.pdb"
+  "CMakeFiles/sealed_spill.dir/sealed_spill.cpp.o"
+  "CMakeFiles/sealed_spill.dir/sealed_spill.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sealed_spill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/secure_analytics"
+  "../examples/secure_analytics.pdb"
+  "CMakeFiles/secure_analytics.dir/secure_analytics.cpp.o"
+  "CMakeFiles/secure_analytics.dir/secure_analytics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/sgxbench_cli"
+  "../examples/sgxbench_cli.pdb"
+  "CMakeFiles/sgxbench_cli.dir/sgxbench_cli.cpp.o"
+  "CMakeFiles/sgxbench_cli.dir/sgxbench_cli.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxbench_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

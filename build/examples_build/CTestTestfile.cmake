@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples_build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_secure_analytics "/root/repo/build/examples/secure_analytics" "0.01")
+set_tests_properties(example_secure_analytics PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_scan_filter "/root/repo/build/examples/scan_filter" "8")
+set_tests_properties(example_scan_filter PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_enclave_pitfalls "/root/repo/build/examples/enclave_pitfalls")
+set_tests_properties(example_enclave_pitfalls PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sealed_spill "/root/repo/build/examples/sealed_spill")
+set_tests_properties(example_sealed_spill PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_info "/root/repo/build/examples/sgxbench_cli" "info")
+set_tests_properties(example_cli_info PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_join "/root/repo/build/examples/sgxbench_cli" "join" "rho" "--threads" "2" "--mb" "2" "8" "--setting" "sgx-in")
+set_tests_properties(example_cli_join PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_scan "/root/repo/build/examples/sgxbench_cli" "scan" "--mb" "8" "--sel" "30")
+set_tests_properties(example_cli_scan PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_query "/root/repo/build/examples/sgxbench_cli" "query" "6" "--sf" "0.01")
+set_tests_properties(example_cli_query PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/aligned_buffer.cc" "src/common/CMakeFiles/sgxb_common.dir/aligned_buffer.cc.o" "gcc" "src/common/CMakeFiles/sgxb_common.dir/aligned_buffer.cc.o.d"
+  "/root/repo/src/common/cpu_info.cc" "src/common/CMakeFiles/sgxb_common.dir/cpu_info.cc.o" "gcc" "src/common/CMakeFiles/sgxb_common.dir/cpu_info.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/common/CMakeFiles/sgxb_common.dir/logging.cc.o" "gcc" "src/common/CMakeFiles/sgxb_common.dir/logging.cc.o.d"
+  "/root/repo/src/common/parallel.cc" "src/common/CMakeFiles/sgxb_common.dir/parallel.cc.o" "gcc" "src/common/CMakeFiles/sgxb_common.dir/parallel.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/common/CMakeFiles/sgxb_common.dir/random.cc.o" "gcc" "src/common/CMakeFiles/sgxb_common.dir/random.cc.o.d"
+  "/root/repo/src/common/relation.cc" "src/common/CMakeFiles/sgxb_common.dir/relation.cc.o" "gcc" "src/common/CMakeFiles/sgxb_common.dir/relation.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/common/CMakeFiles/sgxb_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/sgxb_common.dir/status.cc.o.d"
+  "/root/repo/src/common/timer.cc" "src/common/CMakeFiles/sgxb_common.dir/timer.cc.o" "gcc" "src/common/CMakeFiles/sgxb_common.dir/timer.cc.o.d"
+  "/root/repo/src/common/types.cc" "src/common/CMakeFiles/sgxb_common.dir/types.cc.o" "gcc" "src/common/CMakeFiles/sgxb_common.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxb_common.dir/aligned_buffer.cc.o"
+  "CMakeFiles/sgxb_common.dir/aligned_buffer.cc.o.d"
+  "CMakeFiles/sgxb_common.dir/cpu_info.cc.o"
+  "CMakeFiles/sgxb_common.dir/cpu_info.cc.o.d"
+  "CMakeFiles/sgxb_common.dir/logging.cc.o"
+  "CMakeFiles/sgxb_common.dir/logging.cc.o.d"
+  "CMakeFiles/sgxb_common.dir/parallel.cc.o"
+  "CMakeFiles/sgxb_common.dir/parallel.cc.o.d"
+  "CMakeFiles/sgxb_common.dir/random.cc.o"
+  "CMakeFiles/sgxb_common.dir/random.cc.o.d"
+  "CMakeFiles/sgxb_common.dir/relation.cc.o"
+  "CMakeFiles/sgxb_common.dir/relation.cc.o.d"
+  "CMakeFiles/sgxb_common.dir/status.cc.o"
+  "CMakeFiles/sgxb_common.dir/status.cc.o.d"
+  "CMakeFiles/sgxb_common.dir/timer.cc.o"
+  "CMakeFiles/sgxb_common.dir/timer.cc.o.d"
+  "CMakeFiles/sgxb_common.dir/types.cc.o"
+  "CMakeFiles/sgxb_common.dir/types.cc.o.d"
+  "libsgxb_common.a"
+  "libsgxb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

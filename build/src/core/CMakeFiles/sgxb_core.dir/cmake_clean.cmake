@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxb_core.dir/csv.cc.o"
+  "CMakeFiles/sgxb_core.dir/csv.cc.o.d"
+  "CMakeFiles/sgxb_core.dir/experiment.cc.o"
+  "CMakeFiles/sgxb_core.dir/experiment.cc.o.d"
+  "CMakeFiles/sgxb_core.dir/modeling.cc.o"
+  "CMakeFiles/sgxb_core.dir/modeling.cc.o.d"
+  "CMakeFiles/sgxb_core.dir/report.cc.o"
+  "CMakeFiles/sgxb_core.dir/report.cc.o.d"
+  "libsgxb_core.a"
+  "libsgxb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxb_index.dir/btree.cc.o"
+  "CMakeFiles/sgxb_index.dir/btree.cc.o.d"
+  "libsgxb_index.a"
+  "libsgxb_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxb_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/join/cht_join.cc" "src/join/CMakeFiles/sgxb_join.dir/cht_join.cc.o" "gcc" "src/join/CMakeFiles/sgxb_join.dir/cht_join.cc.o.d"
+  "/root/repo/src/join/crk_join.cc" "src/join/CMakeFiles/sgxb_join.dir/crk_join.cc.o" "gcc" "src/join/CMakeFiles/sgxb_join.dir/crk_join.cc.o.d"
+  "/root/repo/src/join/data_gen.cc" "src/join/CMakeFiles/sgxb_join.dir/data_gen.cc.o" "gcc" "src/join/CMakeFiles/sgxb_join.dir/data_gen.cc.o.d"
+  "/root/repo/src/join/inl_join.cc" "src/join/CMakeFiles/sgxb_join.dir/inl_join.cc.o" "gcc" "src/join/CMakeFiles/sgxb_join.dir/inl_join.cc.o.d"
+  "/root/repo/src/join/join_common.cc" "src/join/CMakeFiles/sgxb_join.dir/join_common.cc.o" "gcc" "src/join/CMakeFiles/sgxb_join.dir/join_common.cc.o.d"
+  "/root/repo/src/join/materializer.cc" "src/join/CMakeFiles/sgxb_join.dir/materializer.cc.o" "gcc" "src/join/CMakeFiles/sgxb_join.dir/materializer.cc.o.d"
+  "/root/repo/src/join/mway_join.cc" "src/join/CMakeFiles/sgxb_join.dir/mway_join.cc.o" "gcc" "src/join/CMakeFiles/sgxb_join.dir/mway_join.cc.o.d"
+  "/root/repo/src/join/pht_join.cc" "src/join/CMakeFiles/sgxb_join.dir/pht_join.cc.o" "gcc" "src/join/CMakeFiles/sgxb_join.dir/pht_join.cc.o.d"
+  "/root/repo/src/join/radix_common.cc" "src/join/CMakeFiles/sgxb_join.dir/radix_common.cc.o" "gcc" "src/join/CMakeFiles/sgxb_join.dir/radix_common.cc.o.d"
+  "/root/repo/src/join/rho_join.cc" "src/join/CMakeFiles/sgxb_join.dir/rho_join.cc.o" "gcc" "src/join/CMakeFiles/sgxb_join.dir/rho_join.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sgxb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/sgxb_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/sgxb_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/sgxb_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/sgxb_index.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxb_join.dir/cht_join.cc.o"
+  "CMakeFiles/sgxb_join.dir/cht_join.cc.o.d"
+  "CMakeFiles/sgxb_join.dir/crk_join.cc.o"
+  "CMakeFiles/sgxb_join.dir/crk_join.cc.o.d"
+  "CMakeFiles/sgxb_join.dir/data_gen.cc.o"
+  "CMakeFiles/sgxb_join.dir/data_gen.cc.o.d"
+  "CMakeFiles/sgxb_join.dir/inl_join.cc.o"
+  "CMakeFiles/sgxb_join.dir/inl_join.cc.o.d"
+  "CMakeFiles/sgxb_join.dir/join_common.cc.o"
+  "CMakeFiles/sgxb_join.dir/join_common.cc.o.d"
+  "CMakeFiles/sgxb_join.dir/materializer.cc.o"
+  "CMakeFiles/sgxb_join.dir/materializer.cc.o.d"
+  "CMakeFiles/sgxb_join.dir/mway_join.cc.o"
+  "CMakeFiles/sgxb_join.dir/mway_join.cc.o.d"
+  "CMakeFiles/sgxb_join.dir/pht_join.cc.o"
+  "CMakeFiles/sgxb_join.dir/pht_join.cc.o.d"
+  "CMakeFiles/sgxb_join.dir/radix_common.cc.o"
+  "CMakeFiles/sgxb_join.dir/radix_common.cc.o.d"
+  "CMakeFiles/sgxb_join.dir/rho_join.cc.o"
+  "CMakeFiles/sgxb_join.dir/rho_join.cc.o.d"
+  "libsgxb_join.a"
+  "libsgxb_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxb_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/access_profile.cc" "src/perf/CMakeFiles/sgxb_perf.dir/access_profile.cc.o" "gcc" "src/perf/CMakeFiles/sgxb_perf.dir/access_profile.cc.o.d"
+  "/root/repo/src/perf/calibration.cc" "src/perf/CMakeFiles/sgxb_perf.dir/calibration.cc.o" "gcc" "src/perf/CMakeFiles/sgxb_perf.dir/calibration.cc.o.d"
+  "/root/repo/src/perf/cost_model.cc" "src/perf/CMakeFiles/sgxb_perf.dir/cost_model.cc.o" "gcc" "src/perf/CMakeFiles/sgxb_perf.dir/cost_model.cc.o.d"
+  "/root/repo/src/perf/machine_model.cc" "src/perf/CMakeFiles/sgxb_perf.dir/machine_model.cc.o" "gcc" "src/perf/CMakeFiles/sgxb_perf.dir/machine_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sgxb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxb_perf.dir/access_profile.cc.o"
+  "CMakeFiles/sgxb_perf.dir/access_profile.cc.o.d"
+  "CMakeFiles/sgxb_perf.dir/calibration.cc.o"
+  "CMakeFiles/sgxb_perf.dir/calibration.cc.o.d"
+  "CMakeFiles/sgxb_perf.dir/cost_model.cc.o"
+  "CMakeFiles/sgxb_perf.dir/cost_model.cc.o.d"
+  "CMakeFiles/sgxb_perf.dir/machine_model.cc.o"
+  "CMakeFiles/sgxb_perf.dir/machine_model.cc.o.d"
+  "libsgxb_perf.a"
+  "libsgxb_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxb_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

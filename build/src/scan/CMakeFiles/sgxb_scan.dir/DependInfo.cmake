@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scan/column_scan.cc" "src/scan/CMakeFiles/sgxb_scan.dir/column_scan.cc.o" "gcc" "src/scan/CMakeFiles/sgxb_scan.dir/column_scan.cc.o.d"
+  "/root/repo/src/scan/packed_column.cc" "src/scan/CMakeFiles/sgxb_scan.dir/packed_column.cc.o" "gcc" "src/scan/CMakeFiles/sgxb_scan.dir/packed_column.cc.o.d"
+  "/root/repo/src/scan/pmbw.cc" "src/scan/CMakeFiles/sgxb_scan.dir/pmbw.cc.o" "gcc" "src/scan/CMakeFiles/sgxb_scan.dir/pmbw.cc.o.d"
+  "/root/repo/src/scan/scan_kernels.cc" "src/scan/CMakeFiles/sgxb_scan.dir/scan_kernels.cc.o" "gcc" "src/scan/CMakeFiles/sgxb_scan.dir/scan_kernels.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sgxb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/sgxb_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/sgxb_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/sgxb_sync.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

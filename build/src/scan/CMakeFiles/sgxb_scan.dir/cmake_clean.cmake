@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxb_scan.dir/column_scan.cc.o"
+  "CMakeFiles/sgxb_scan.dir/column_scan.cc.o.d"
+  "CMakeFiles/sgxb_scan.dir/packed_column.cc.o"
+  "CMakeFiles/sgxb_scan.dir/packed_column.cc.o.d"
+  "CMakeFiles/sgxb_scan.dir/pmbw.cc.o"
+  "CMakeFiles/sgxb_scan.dir/pmbw.cc.o.d"
+  "CMakeFiles/sgxb_scan.dir/scan_kernels.cc.o"
+  "CMakeFiles/sgxb_scan.dir/scan_kernels.cc.o.d"
+  "libsgxb_scan.a"
+  "libsgxb_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxb_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

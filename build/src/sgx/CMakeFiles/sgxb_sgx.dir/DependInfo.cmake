@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sgx/enclave.cc" "src/sgx/CMakeFiles/sgxb_sgx.dir/enclave.cc.o" "gcc" "src/sgx/CMakeFiles/sgxb_sgx.dir/enclave.cc.o.d"
+  "/root/repo/src/sgx/mee.cc" "src/sgx/CMakeFiles/sgxb_sgx.dir/mee.cc.o" "gcc" "src/sgx/CMakeFiles/sgxb_sgx.dir/mee.cc.o.d"
+  "/root/repo/src/sgx/queue_factory.cc" "src/sgx/CMakeFiles/sgxb_sgx.dir/queue_factory.cc.o" "gcc" "src/sgx/CMakeFiles/sgxb_sgx.dir/queue_factory.cc.o.d"
+  "/root/repo/src/sgx/sealing.cc" "src/sgx/CMakeFiles/sgxb_sgx.dir/sealing.cc.o" "gcc" "src/sgx/CMakeFiles/sgxb_sgx.dir/sealing.cc.o.d"
+  "/root/repo/src/sgx/sgx_mutex.cc" "src/sgx/CMakeFiles/sgxb_sgx.dir/sgx_mutex.cc.o" "gcc" "src/sgx/CMakeFiles/sgxb_sgx.dir/sgx_mutex.cc.o.d"
+  "/root/repo/src/sgx/transition.cc" "src/sgx/CMakeFiles/sgxb_sgx.dir/transition.cc.o" "gcc" "src/sgx/CMakeFiles/sgxb_sgx.dir/transition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sgxb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/sgxb_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/sgxb_sync.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxb_sgx.dir/enclave.cc.o"
+  "CMakeFiles/sgxb_sgx.dir/enclave.cc.o.d"
+  "CMakeFiles/sgxb_sgx.dir/mee.cc.o"
+  "CMakeFiles/sgxb_sgx.dir/mee.cc.o.d"
+  "CMakeFiles/sgxb_sgx.dir/queue_factory.cc.o"
+  "CMakeFiles/sgxb_sgx.dir/queue_factory.cc.o.d"
+  "CMakeFiles/sgxb_sgx.dir/sealing.cc.o"
+  "CMakeFiles/sgxb_sgx.dir/sealing.cc.o.d"
+  "CMakeFiles/sgxb_sgx.dir/sgx_mutex.cc.o"
+  "CMakeFiles/sgxb_sgx.dir/sgx_mutex.cc.o.d"
+  "CMakeFiles/sgxb_sgx.dir/transition.cc.o"
+  "CMakeFiles/sgxb_sgx.dir/transition.cc.o.d"
+  "libsgxb_sgx.a"
+  "libsgxb_sgx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxb_sgx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxb_sync.dir/task_queue.cc.o"
+  "CMakeFiles/sgxb_sync.dir/task_queue.cc.o.d"
+  "libsgxb_sync.a"
+  "libsgxb_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxb_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxb_tpch.dir/operators.cc.o"
+  "CMakeFiles/sgxb_tpch.dir/operators.cc.o.d"
+  "CMakeFiles/sgxb_tpch.dir/queries.cc.o"
+  "CMakeFiles/sgxb_tpch.dir/queries.cc.o.d"
+  "CMakeFiles/sgxb_tpch.dir/tpch_gen.cc.o"
+  "CMakeFiles/sgxb_tpch.dir/tpch_gen.cc.o.d"
+  "libsgxb_tpch.a"
+  "libsgxb_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxb_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

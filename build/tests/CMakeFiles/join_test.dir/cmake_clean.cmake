@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_test.dir/join/join_property_test.cc.o"
+  "CMakeFiles/join_test.dir/join/join_property_test.cc.o.d"
+  "CMakeFiles/join_test.dir/join/join_test.cc.o"
+  "CMakeFiles/join_test.dir/join/join_test.cc.o.d"
+  "CMakeFiles/join_test.dir/join/loser_tree_test.cc.o"
+  "CMakeFiles/join_test.dir/join/loser_tree_test.cc.o.d"
+  "CMakeFiles/join_test.dir/join/materializer_test.cc.o"
+  "CMakeFiles/join_test.dir/join/materializer_test.cc.o.d"
+  "CMakeFiles/join_test.dir/join/radix_common_test.cc.o"
+  "CMakeFiles/join_test.dir/join/radix_common_test.cc.o.d"
+  "join_test"
+  "join_test.pdb"
+  "join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgx_test.dir/sgx/enclave_concurrency_test.cc.o"
+  "CMakeFiles/sgx_test.dir/sgx/enclave_concurrency_test.cc.o.d"
+  "CMakeFiles/sgx_test.dir/sgx/enclave_test.cc.o"
+  "CMakeFiles/sgx_test.dir/sgx/enclave_test.cc.o.d"
+  "CMakeFiles/sgx_test.dir/sgx/mee_test.cc.o"
+  "CMakeFiles/sgx_test.dir/sgx/mee_test.cc.o.d"
+  "CMakeFiles/sgx_test.dir/sgx/sealing_test.cc.o"
+  "CMakeFiles/sgx_test.dir/sgx/sealing_test.cc.o.d"
+  "CMakeFiles/sgx_test.dir/sgx/sgx_mutex_test.cc.o"
+  "CMakeFiles/sgx_test.dir/sgx/sgx_mutex_test.cc.o.d"
+  "sgx_test"
+  "sgx_test.pdb"
+  "sgx_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

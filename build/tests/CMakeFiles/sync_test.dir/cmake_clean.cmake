@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_test.dir/sync/queue_test.cc.o"
+  "CMakeFiles/sync_test.dir/sync/queue_test.cc.o.d"
+  "CMakeFiles/sync_test.dir/sync/spinlock_test.cc.o"
+  "CMakeFiles/sync_test.dir/sync/spinlock_test.cc.o.d"
+  "sync_test"
+  "sync_test.pdb"
+  "sync_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
