@@ -5,6 +5,7 @@
 // radix bits = smaller partitions = more, shorter tasks.
 
 #include "bench_util.h"
+#include "exec/executor.h"
 
 using namespace sgxb;
 
@@ -61,5 +62,12 @@ int main() {
       "the mutex queue degrades with contention because each park/wake "
       "pays enclave transitions; spin locks avoid the OS but still "
       "serialize; the lock-free queue does neither.");
+  const exec::ExecutorStats stats = exec::Executor::Default().stats();
+  core::PrintNote(
+      "all join gangs above ran on the persistent executor: " +
+      std::to_string(stats.pool_threads_spawned) +
+      " pool threads served " + std::to_string(stats.gangs) +
+      " gangs (no per-dispatch thread spawn; see bench_ablation_executor "
+      "for the pool-vs-spawn ablation).");
   return 0;
 }

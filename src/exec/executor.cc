@@ -1,0 +1,285 @@
+#include "exec/executor.h"
+
+#include <pthread.h>
+
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "common/cpu_info.h"
+#include "sgx/transition.h"
+
+namespace sgxb::exec {
+
+namespace {
+
+// Thread-local identity of the current task: set for the duration of a gang
+// task (pool or fallback thread), cleared afterwards.
+thread_local bool t_on_pool_worker = false;
+thread_local int t_numa_node = 0;
+
+std::atomic<int> g_dispatch_mode{-1};  // -1 = uninitialized
+
+DispatchMode InitialDispatchMode() {
+  const char* v = std::getenv("SGXBENCH_EXECUTOR");
+  if (v != nullptr && std::string(v) == "spawn") return DispatchMode::kSpawn;
+  return DispatchMode::kPool;
+}
+
+// Pins the calling thread. Unlike the old ParallelRun, which called
+// pthread_setaffinity_np on an already-running thread (racing the body's
+// first instructions onto an arbitrary core), this always runs *before* the
+// worker reports ready / the fallback thread enters its body.
+void PinSelfToCore(int core) {
+  if (core >= CpuInfo::Host().logical_cores) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(core, &set);
+  // Best effort: pinning failures (e.g. restricted cpusets) are not fatal.
+  pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+}
+
+Status InvokeBody(const std::function<Status(int)>& body, int tid) {
+  try {
+    return body(tid);
+  } catch (const std::exception& e) {
+    return Status::Internal("worker " + std::to_string(tid) +
+                            " threw: " + e.what());
+  } catch (...) {
+    return Status::Internal("worker " + std::to_string(tid) +
+                            " threw a non-standard exception");
+  }
+}
+
+// After a task, the worker must be back outside the (simulated) enclave: a
+// body that called EnclaveEnter without a matching exit would leave the
+// thread-local enclave depth dirty, silently charging transition costs to
+// every later task scheduled on this worker. Unwind and report.
+Status CheckEnclaveHygiene(int tid, Status st) {
+  int leaked = 0;
+  while (sgx::InEnclaveMode()) {
+    sgx::EnclaveExit();
+    ++leaked;
+  }
+  if (leaked > 0 && st.ok()) {
+    st = Status::Internal("worker " + std::to_string(tid) +
+                          " left enclave mode dirty (depth " +
+                          std::to_string(leaked) + ")");
+  }
+  return st;
+}
+
+}  // namespace
+
+DispatchMode dispatch_mode() {
+  int m = g_dispatch_mode.load(std::memory_order_relaxed);
+  if (m < 0) {
+    m = static_cast<int>(InitialDispatchMode());
+    g_dispatch_mode.store(m, std::memory_order_relaxed);
+  }
+  return static_cast<DispatchMode>(m);
+}
+
+void SetDispatchMode(DispatchMode mode) {
+  g_dispatch_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+struct Executor::GangState {
+  const std::function<Status(int)>* body = nullptr;
+  const ThreadPlacement* placement = nullptr;
+  std::vector<Status> results;
+  std::atomic<int> remaining{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+};
+
+Executor& Executor::Default() {
+  static Executor executor;
+  return executor;
+}
+
+Executor::Executor() = default;
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lock(dispatch_mu_);
+    stop_.store(true, std::memory_order_release);
+    for (auto& w : workers_) {
+      std::lock_guard<std::mutex> wl(w->mu);
+      w->cv.notify_all();
+    }
+  }
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+int Executor::DefaultParallelism() {
+  return std::max(1, CpuInfo::Host().logical_cores);
+}
+
+bool Executor::OnWorkerThread() { return t_on_pool_worker; }
+
+void Executor::NoteMorsels(uint64_t executed, uint64_t stolen) {
+  morsels_.fetch_add(executed, std::memory_order_relaxed);
+  morsel_steals_.fetch_add(stolen, std::memory_order_relaxed);
+}
+
+ExecutorStats Executor::stats() const {
+  ExecutorStats s;
+  {
+    std::lock_guard<std::mutex> lock(dispatch_mu_);
+    s.workers = static_cast<int>(workers_.size());
+  }
+  s.pool_threads_spawned =
+      pool_threads_spawned_.load(std::memory_order_relaxed);
+  s.fallback_threads_spawned =
+      fallback_threads_spawned_.load(std::memory_order_relaxed);
+  s.gangs = gangs_.load(std::memory_order_relaxed);
+  s.tasks = tasks_.load(std::memory_order_relaxed);
+  s.morsels = morsels_.load(std::memory_order_relaxed);
+  s.morsel_steals = morsel_steals_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Executor::EnsureWorkersLocked(int n) {
+  while (static_cast<int>(workers_.size()) < n) {
+    auto worker = std::make_unique<Worker>();
+    worker->index = static_cast<int>(workers_.size());
+    Worker* w = worker.get();
+    workers_.push_back(std::move(worker));
+    w->thread = std::thread([this, w] { WorkerLoop(w); });
+    pool_threads_spawned_.fetch_add(1, std::memory_order_relaxed);
+    // Gate dispatch on the worker having pinned itself: "pinned at birth"
+    // means no task ever observes the thread on the wrong core.
+    std::unique_lock<std::mutex> wl(w->mu);
+    w->cv.wait(wl, [w] { return w->ready; });
+  }
+}
+
+void Executor::WorkerLoop(Worker* worker) {
+  PinSelfToCore(worker->index);
+  t_on_pool_worker = true;
+  {
+    std::lock_guard<std::mutex> lock(worker->mu);
+    worker->ready = true;
+    worker->cv.notify_all();
+  }
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(worker->mu);
+      worker->cv.wait(lock, [&] {
+        return stop_.load(std::memory_order_acquire) ||
+               !worker->tasks.empty();
+      });
+      if (worker->tasks.empty()) return;  // stopped and drained
+      task = worker->tasks.front();
+      worker->tasks.pop_front();
+    }
+    RunTask(task);
+  }
+}
+
+void Executor::RunTask(const Task& task) {
+  GangState* gang = task.gang;
+  const ThreadPlacement& placement = *gang->placement;
+  t_numa_node = placement.node_of_thread ? placement.node_of_thread(task.tid)
+                                         : 0;
+  Status st = InvokeBody(*gang->body, task.tid);
+  st = CheckEnclaveHygiene(task.tid, std::move(st));
+  t_numa_node = 0;
+  tasks_.fetch_add(1, std::memory_order_relaxed);
+  gang->results[task.tid] = std::move(st);
+  if (gang->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(gang->mu);
+    gang->done = true;
+    gang->cv.notify_all();
+  }
+}
+
+Status Executor::RunGang(int num_threads,
+                         const std::function<Status(int)>& body,
+                         const ThreadPlacement& placement) {
+  if (num_threads <= 0) {
+    return Status::InvalidArgument("num_threads must be positive");
+  }
+  if (num_threads == 1) {
+    // Inline, as ParallelRun always did for one thread; the thread-local
+    // node is still published so CurrentNumaNode() works single-threaded.
+    int saved_node = t_numa_node;
+    t_numa_node = placement.node_of_thread ? placement.node_of_thread(0) : 0;
+    Status st = InvokeBody(body, 0);
+    t_numa_node = saved_node;
+    return st;
+  }
+  if (OnWorkerThread() || dispatch_mode() == DispatchMode::kSpawn) {
+    return SpawnGang(num_threads, body, placement);
+  }
+
+  GangState gang;
+  gang.body = &body;
+  gang.placement = &placement;
+  gang.results.assign(num_threads, Status::OK());
+  gang.remaining.store(num_threads, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(dispatch_mu_);
+    EnsureWorkersLocked(num_threads);
+    // Enqueue the whole gang in tid order under the dispatch lock; paired
+    // with FIFO draining this gives all workers a consistent gang order.
+    for (int tid = 0; tid < num_threads; ++tid) {
+      Worker* w = workers_[tid].get();
+      std::lock_guard<std::mutex> wl(w->mu);
+      w->tasks.push_back(Task{&gang, tid});
+      w->cv.notify_one();
+    }
+  }
+  gangs_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::unique_lock<std::mutex> lock(gang.mu);
+    gang.cv.wait(lock, [&] { return gang.done; });
+  }
+  for (Status& st : gang.results) {
+    if (!st.ok()) return std::move(st);
+  }
+  return Status::OK();
+}
+
+Status Executor::SpawnGang(int num_threads,
+                           const std::function<Status(int)>& body,
+                           const ThreadPlacement& placement) {
+  std::vector<Status> results(num_threads);
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (int tid = 0; tid < num_threads; ++tid) {
+    threads.emplace_back([&, tid] {
+      // Pin from inside the thread, before the body runs (the old
+      // ParallelRun pinned from the spawner, racing an already-running
+      // body).
+      if (placement.pin_threads) PinSelfToCore(tid);
+      t_numa_node =
+          placement.node_of_thread ? placement.node_of_thread(tid) : 0;
+      Status st = InvokeBody(body, tid);
+      results[tid] = CheckEnclaveHygiene(tid, std::move(st));
+      t_numa_node = 0;
+    });
+  }
+  fallback_threads_spawned_.fetch_add(num_threads,
+                                      std::memory_order_relaxed);
+  for (auto& t : threads) t.join();
+  for (Status& st : results) {
+    if (!st.ok()) return std::move(st);
+  }
+  return Status::OK();
+}
+
+}  // namespace sgxb::exec
+
+namespace sgxb {
+
+// Declared in common/parallel.h; defined here so the task-identity
+// thread-locals stay private to this translation unit.
+int CurrentNumaNode() { return exec::t_numa_node; }
+
+}  // namespace sgxb

@@ -1,0 +1,116 @@
+// ParallelRun / ParallelFor, implemented on the persistent executor.
+//
+// ParallelRun keeps its historical signature (all operators and tests
+// compile unchanged) but no longer spawns threads: a call is one gang
+// dispatched to the pool, and a worker that throws now surfaces as a
+// Status instead of terminating the process. ParallelFor is the
+// morsel-driven alternative for operators whose work does not need the
+// one-range-per-thread structure: it splits [0, total) into grain-sized
+// morsels, seeds one work-stealing deque per lane, and lets idle lanes
+// steal, so a skewed morsel cost no longer idles the other lanes.
+
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "exec/executor.h"
+#include "exec/ws_deque.h"
+
+namespace sgxb {
+
+Status ParallelRun(int num_threads, const std::function<void(int)>& fn,
+                   const ThreadPlacement& placement) {
+  return exec::Executor::Default().RunGang(
+      num_threads,
+      [&fn](int tid) {
+        fn(tid);
+        return Status::OK();
+      },
+      placement);
+}
+
+Status ParallelFor(size_t total, size_t grain,
+                   const std::function<void(Range, int)>& body,
+                   const ParallelForOptions& options) {
+  if (total == 0) return Status::OK();
+  const size_t g = std::max<size_t>(1, grain);
+  const size_t num_morsels = (total + g - 1) / g;
+  int lanes = options.num_threads > 0 ? options.num_threads
+                                      : exec::Executor::DefaultParallelism();
+  lanes = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(std::max(1, lanes)), num_morsels));
+
+  // Seed each lane's deque with a contiguous block of morsels, pushed in
+  // descending order so the owner (popping the bottom, LIFO) walks its
+  // block front to back while thieves (stealing the top, FIFO) take from
+  // the far end — maximum distance from the owner's cursor.
+  std::vector<std::unique_ptr<exec::WsDeque>> deques;
+  deques.reserve(lanes);
+  for (int lane = 0; lane < lanes; ++lane) {
+    Range share = SplitRange(num_morsels, lanes, lane);
+    deques.push_back(std::make_unique<exec::WsDeque>(share.size() + 1));
+    for (size_t m = share.end; m > share.begin; --m) {
+      deques[lane]->Push(m - 1);
+    }
+  }
+
+  std::atomic<uint64_t> executed{0};
+  std::atomic<uint64_t> stolen{0};
+
+  auto run_lane = [&](int lane) {
+    uint64_t local_done = 0;
+    uint64_t local_stolen = 0;
+    uint64_t m;
+    for (;;) {
+      bool got = deques[lane]->PopBottom(&m);
+      if (!got) {
+        // Own deque drained: sweep the other lanes. Morsels are only
+        // seeded up front, so a full sweep that sees nothing but kEmpty
+        // proves every morsel is done or currently running — stop. A
+        // kLost (lost CAS race) means work may remain, so sweep again.
+        bool saw_lost = false;
+        for (int k = 1; k < lanes && !got; ++k) {
+          switch (deques[(lane + k) % lanes]->TrySteal(&m)) {
+            case exec::WsDeque::Steal::kGot:
+              got = true;
+              ++local_stolen;
+              break;
+            case exec::WsDeque::Steal::kLost:
+              saw_lost = true;
+              break;
+            case exec::WsDeque::Steal::kEmpty:
+              break;
+          }
+        }
+        if (!got) {
+          if (saw_lost) continue;
+          break;
+        }
+      }
+      body(Range{m * g, std::min(total, (m + 1) * g)}, lane);
+      ++local_done;
+    }
+    executed.fetch_add(local_done, std::memory_order_relaxed);
+    stolen.fetch_add(local_stolen, std::memory_order_relaxed);
+  };
+
+  Status st = exec::Executor::Default().RunGang(
+      lanes,
+      [&](int lane) {
+        if (options.worker_scope) {
+          options.worker_scope(lane, [&run_lane, lane] { run_lane(lane); });
+        } else {
+          run_lane(lane);
+        }
+        return Status::OK();
+      },
+      options.placement);
+  exec::Executor::Default().NoteMorsels(
+      executed.load(std::memory_order_relaxed),
+      stolen.load(std::memory_order_relaxed));
+  return st;
+}
+
+}  // namespace sgxb

@@ -1,0 +1,120 @@
+// Fixed-capacity work-stealing deque (Chase–Lev structure).
+//
+// The executor's morsel scheduler gives every lane of a ParallelFor its own
+// deque of morsel indices: the owning lane pops from the bottom (LIFO, so it
+// keeps walking its cache-warm neighbourhood) while idle lanes steal from
+// the top (FIFO, so thieves take the work farthest from the owner's cursor).
+// This is the structure morsel-driven engines use for NUMA-aware scheduling
+// (Leis et al., reused by the DuckDB-SGX2 line of work in PAPERS.md).
+//
+// Unlike the classic Chase–Lev deque this one never grows: ParallelFor
+// knows the morsel count up front, so the ring is sized once and Push is
+// owner-only seeding. Synchronization uses seq_cst operations on the two
+// cursors instead of standalone fences — marginally slower, but correct
+// under ThreadSanitizer builds (libtsan does not model fences), which the
+// CI sanitizer job requires.
+
+#ifndef SGXB_EXEC_WS_DEQUE_H_
+#define SGXB_EXEC_WS_DEQUE_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+
+#include "common/types.h"
+
+namespace sgxb::exec {
+
+class WsDeque {
+ public:
+  /// \brief Outcome of a steal attempt. kLost means another thief (or the
+  /// owner taking the last element) won the race; the element still exists
+  /// somewhere, so sweeps must retry before concluding the pool is dry.
+  enum class Steal { kGot, kEmpty, kLost };
+
+  /// \brief Capacity is rounded up to the next power of two.
+  explicit WsDeque(size_t capacity) {
+    size_t cap = 8;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    cells_ = std::make_unique<std::atomic<uint64_t>[]>(cap);
+  }
+
+  WsDeque(WsDeque&&) = delete;
+  WsDeque(const WsDeque&) = delete;
+
+  /// \brief Owner-only. Returns false when the ring is full.
+  bool Push(uint64_t value) {
+    int64_t b = bottom_.load(std::memory_order_relaxed);
+    int64_t t = top_.load(std::memory_order_acquire);
+    if (b - t > static_cast<int64_t>(mask_)) return false;
+    cells_[static_cast<size_t>(b) & mask_].store(value,
+                                                 std::memory_order_relaxed);
+    // seq_cst publish: a thief that observes the new bottom also observes
+    // the cell write (store-release is included in seq_cst ordering).
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+    return true;
+  }
+
+  /// \brief Owner-only LIFO pop. Returns false when the deque is empty.
+  bool PopBottom(uint64_t* value) {
+    int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    // Reserve the bottom slot before examining top; the seq_cst store /
+    // load pair on (bottom, top) is what arbitrates the one-element race
+    // with concurrent thieves.
+    bottom_.store(b, std::memory_order_seq_cst);
+    int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {
+      // Empty: undo the reservation.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return false;
+    }
+    *value = cells_[static_cast<size_t>(b) & mask_].load(
+        std::memory_order_relaxed);
+    if (t == b) {
+      // Last element: fight thieves for it by advancing top.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_seq_cst)) {
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return false;  // a thief got it
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return true;
+  }
+
+  /// \brief Thief-side FIFO steal; safe from any thread.
+  Steal TrySteal(uint64_t* value) {
+    int64_t t = top_.load(std::memory_order_seq_cst);
+    int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return Steal::kEmpty;
+    // Read the cell before claiming it: if the CAS below fails the value is
+    // discarded, and the cell is atomic so a concurrent overwrite is not a
+    // data race, just a stale read that the failed CAS filters out.
+    *value = cells_[static_cast<size_t>(t) & mask_].load(
+        std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_seq_cst)) {
+      return Steal::kLost;
+    }
+    return Steal::kGot;
+  }
+
+  /// \brief Approximate occupancy (exact when quiescent).
+  size_t ApproxSize() const {
+    int64_t t = top_.load(std::memory_order_relaxed);
+    int64_t b = bottom_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<size_t>(b - t) : 0;
+  }
+
+ private:
+  std::unique_ptr<std::atomic<uint64_t>[]> cells_;
+  size_t mask_;
+  alignas(kCacheLineSize) std::atomic<int64_t> top_{0};
+  alignas(kCacheLineSize) std::atomic<int64_t> bottom_{0};
+};
+
+}  // namespace sgxb::exec
+
+#endif  // SGXB_EXEC_WS_DEQUE_H_

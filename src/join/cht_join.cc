@@ -89,7 +89,7 @@ Result<JoinResult> ChtJoin(const Relation& build, const Relation& probe,
   }
   const bool in_enclave = config.setting != ExecutionSetting::kPlainCpu;
 
-  ParallelRun(threads, [&](int tid) {
+  Status run_status = ParallelRun(threads, [&](int tid) {
     std::optional<sgx::ScopedEcall> ecall;
     if (in_enclave) ecall.emplace();
 
@@ -191,6 +191,7 @@ Result<JoinResult> ChtJoin(const Relation& build, const Relation& probe,
       recorder.End("probe", p, threads);
     });
   });
+  SGXB_RETURN_NOT_OK(run_status);
 
   if (mat != nullptr) {
     SGXB_RETURN_NOT_OK(mat->status());

@@ -135,7 +135,7 @@ Result<JoinResult> CrkJoin(const Relation& build, const Relation& probe,
   }
   const bool in_enclave = config.setting != ExecutionSetting::kPlainCpu;
 
-  ParallelRun(threads, [&](int tid) {
+  Status run_status = ParallelRun(threads, [&](int tid) {
     std::optional<sgx::ScopedEcall> ecall;
     if (in_enclave) ecall.emplace();
 
@@ -252,6 +252,7 @@ Result<JoinResult> CrkJoin(const Relation& build, const Relation& probe,
       recorder.End("join", p, threads);
     });
   });
+  SGXB_RETURN_NOT_OK(run_status);
 
   if (mat != nullptr) {
     SGXB_RETURN_NOT_OK(mat->status());
@@ -265,7 +266,10 @@ Result<JoinResult> CrkJoin(const Relation& build, const Relation& probe,
 
   if (config.enclave != nullptr &&
       config.setting == ExecutionSetting::kSgxDataInEnclave) {
-    config.enclave->NotifyFree(build.size_bytes() + probe.size_bytes());
+    // One call per AllocateIntermediate buffer: accounting is
+    // page-granular, so a summed release would under-release.
+    config.enclave->NotifyFree(build.size_bytes());
+    config.enclave->NotifyFree(probe.size_bytes());
   }
   return result;
 }

@@ -30,7 +30,7 @@ Result<JoinResult> InlJoin(const Relation& build, const Relation& probe,
   index::BTree tree;
   Status build_status;
 
-  ParallelRun(threads, [&](int tid) {
+  Status run_status = ParallelRun(threads, [&](int tid) {
     std::optional<sgx::ScopedEcall> ecall;
     if (in_enclave) ecall.emplace();
 
@@ -99,6 +99,7 @@ Result<JoinResult> InlJoin(const Relation& build, const Relation& probe,
       recorder.End("probe", p, threads);
     });
   });
+  SGXB_RETURN_NOT_OK(run_status);
 
   SGXB_RETURN_NOT_OK(build_status);
   if (mat != nullptr) {

@@ -129,7 +129,7 @@ Result<JoinResult> MwayJoin(const Relation& build, const Relation& probe,
   }
   const bool in_enclave = config.setting != ExecutionSetting::kPlainCpu;
 
-  ParallelRun(threads, [&](int tid) {
+  Status run_status = ParallelRun(threads, [&](int tid) {
     std::optional<sgx::ScopedEcall> ecall;
     if (in_enclave) ecall.emplace();
 
@@ -234,6 +234,7 @@ Result<JoinResult> MwayJoin(const Relation& build, const Relation& probe,
       recorder.End("mergejoin", p, threads);
     });
   });
+  SGXB_RETURN_NOT_OK(run_status);
 
   if (mat != nullptr) {
     SGXB_RETURN_NOT_OK(mat->status());
@@ -247,7 +248,13 @@ Result<JoinResult> MwayJoin(const Relation& build, const Relation& probe,
 
   if (config.enclave != nullptr &&
       config.setting == ExecutionSetting::kSgxDataInEnclave) {
-    config.enclave->NotifyFree(2 * (r_bytes + s_bytes));
+    // One call per AllocateIntermediate buffer (run + merge buffers for
+    // each side): accounting is page-granular, so a summed release
+    // would under-release.
+    config.enclave->NotifyFree(r_bytes);
+    config.enclave->NotifyFree(s_bytes);
+    config.enclave->NotifyFree(r_bytes);
+    config.enclave->NotifyFree(s_bytes);
   }
   return result;
 }

@@ -162,7 +162,7 @@ Result<JoinResult> PhtJoin(const Relation& build, const Relation& probe,
   const bool in_enclave = config.setting != ExecutionSetting::kPlainCpu;
   const KernelFlavor flavor = config.flavor;
 
-  ParallelRun(threads, [&](int tid) {
+  Status run_status = ParallelRun(threads, [&](int tid) {
     std::optional<sgx::ScopedEcall> ecall;
     if (in_enclave) ecall.emplace();
 
@@ -227,6 +227,7 @@ Result<JoinResult> PhtJoin(const Relation& build, const Relation& probe,
                    threads);
     });
   });
+  SGXB_RETURN_NOT_OK(run_status);
 
   if (mat != nullptr) {
     SGXB_RETURN_NOT_OK(mat->status());

@@ -118,7 +118,7 @@ Result<JoinResult> RhoJoin(const Relation& build, const Relation& probe,
   }
   const bool in_enclave = config.setting != ExecutionSetting::kPlainCpu;
 
-  ParallelRun(threads, [&](int tid) {
+  Status run_status = ParallelRun(threads, [&](int tid) {
     std::optional<sgx::ScopedEcall> ecall;
     if (in_enclave) ecall.emplace();
 
@@ -300,6 +300,7 @@ Result<JoinResult> RhoJoin(const Relation& build, const Relation& probe,
       recorder.AddRaw(std::move(ps));
     });
   });
+  SGXB_RETURN_NOT_OK(run_status);
 
   if (mat != nullptr) {
     SGXB_RETURN_NOT_OK(mat->status());
@@ -313,9 +314,14 @@ Result<JoinResult> RhoJoin(const Relation& build, const Relation& probe,
 
   if (config.enclave != nullptr &&
       config.setting == ExecutionSetting::kSgxDataInEnclave) {
-    size_t intermediates = r_bytes + s_bytes;
-    if (passes == 2) intermediates += r_bytes + s_bytes;
-    config.enclave->NotifyFree(intermediates);
+    // One call per AllocateIntermediate buffer: accounting is
+    // page-granular, so a summed release would under-release.
+    config.enclave->NotifyFree(r_bytes);
+    config.enclave->NotifyFree(s_bytes);
+    if (passes == 2) {
+      config.enclave->NotifyFree(r_bytes);
+      config.enclave->NotifyFree(s_bytes);
+    }
   }
   return result;
 }

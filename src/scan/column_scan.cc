@@ -49,23 +49,37 @@ Result<ScanResult> RunBitVectorScan(const Column<uint8_t>& column,
   std::atomic<uint64_t> matches{0};
   const bool in_enclave = config.setting != ExecutionSetting::kPlainCpu;
 
-  WallTimer timer;
-  ParallelRun(config.num_threads, [&](int tid) {
-    // One ECALL carries the whole scan loop, as the paper's benchmarks
-    // enter the enclave once and measure inside.
+  // Morsel-driven (Fig 13/16 scaling path): the scan is scheduled as
+  // 64-value blocks — so every morsel owns whole bit-vector words — in
+  // ~256 KiB morsels over the executor's work-stealing lanes. The ECall
+  // scope wraps each lane's whole morsel loop: threads enter the enclave
+  // once and stream, as the paper's benchmarks do, not once per morsel.
+  constexpr size_t kMorselBlocks = (256u << 10) / 64;
+  const size_t total_blocks = (n + 63) / 64;
+  ParallelForOptions opts;
+  opts.num_threads = config.num_threads;
+  opts.worker_scope = [&](int, const std::function<void()>& run) {
     std::optional<sgx::ScopedEcall> ecall;
     if (in_enclave) ecall.emplace();
+    run();
+  };
 
-    Range r = ChunkFor(n, config.num_threads, tid);
-    if (r.begin >= r.end) return;
-    uint64_t local = 0;
-    for (int rep = 0; rep < config.repetitions; ++rep) {
-      local = kernel(data + r.begin, r.end - r.begin, config.lo, config.hi,
-                     out->words() + r.begin / 64);
-    }
-    matches.fetch_add(local, std::memory_order_relaxed);
-  });
+  WallTimer timer;
+  Status run_status = ParallelFor(
+      total_blocks, kMorselBlocks,
+      [&](Range blocks, int) {
+        const size_t begin = blocks.begin * 64;
+        const size_t end = std::min(n, blocks.end * 64);
+        uint64_t local = 0;
+        for (int rep = 0; rep < config.repetitions; ++rep) {
+          local = kernel(data + begin, end - begin, config.lo, config.hi,
+                         out->words() + begin / 64);
+        }
+        matches.fetch_add(local, std::memory_order_relaxed);
+      },
+      opts);
   double ns = static_cast<double>(timer.ElapsedNanos());
+  SGXB_RETURN_NOT_OK(run_status);
 
   ScanResult result;
   result.matches = matches.load(std::memory_order_relaxed);
@@ -92,8 +106,10 @@ Result<ScanResult> RunRowIdScan(const Column<uint8_t>& column,
   // worst case; slices are compacted afterwards (outside the timing).
   std::vector<uint64_t> counts(threads, 0);
 
+  // Stays a fixed gang (not morsels): the compaction below depends on each
+  // thread writing one contiguous slice at its ChunkFor offset.
   WallTimer timer;
-  ParallelRun(threads, [&](int tid) {
+  Status run_status = ParallelRun(threads, [&](int tid) {
     std::optional<sgx::ScopedEcall> ecall;
     if (in_enclave) ecall.emplace();
 
@@ -107,6 +123,7 @@ Result<ScanResult> RunRowIdScan(const Column<uint8_t>& column,
     counts[tid] = local;
   });
   double ns = static_cast<double>(timer.ElapsedNanos());
+  SGXB_RETURN_NOT_OK(run_status);
 
   // Compact the per-thread slices into a dense prefix.
   uint64_t total = counts[0];

@@ -1,6 +1,7 @@
 #include "sgx/enclave.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "common/timer.h"
 #include "perf/calibration.h"
@@ -79,24 +80,39 @@ Status Enclave::CommitPages(size_t new_used) {
 }
 
 Result<AlignedBuffer> Enclave::Allocate(size_t bytes) {
+  // The EPC is managed in 4 KiB pages, so the heap accounting must be too:
+  // charging raw bytes against the page-granular committed size would let
+  // sub-page allocations pack tighter than the hardware allows and report
+  // a heap_used that no sequence of page commits can produce.
+  const size_t charged = RoundUpToPage(bytes);
   size_t new_used =
-      heap_used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+      heap_used_.fetch_add(charged, std::memory_order_relaxed) + charged;
   Status st = CommitPages(new_used);
   if (!st.ok()) {
-    heap_used_.fetch_sub(bytes, std::memory_order_relaxed);
+    heap_used_.fetch_sub(charged, std::memory_order_relaxed);
     return st;
   }
   auto buf = AlignedBuffer::Allocate(bytes, MemoryRegion::kEnclave,
                                      config_.numa_node);
   if (!buf.ok()) {
-    heap_used_.fetch_sub(bytes, std::memory_order_relaxed);
+    heap_used_.fetch_sub(charged, std::memory_order_relaxed);
     return buf.status();
   }
   return buf;
 }
 
 void Enclave::NotifyFree(size_t bytes) {
-  heap_used_.fetch_sub(bytes, std::memory_order_relaxed);
+  const size_t charged = RoundUpToPage(bytes);
+  // Clamp instead of blindly subtracting: a double NotifyFree used to wrap
+  // heap_used_ past zero, corrupting memory_stats() and every later OOM
+  // check. Debug builds assert so the offending call site is found.
+  size_t used = heap_used_.load(std::memory_order_relaxed);
+  size_t dec;
+  do {
+    assert(charged <= used && "NotifyFree without a matching Allocate");
+    dec = std::min(charged, used);
+  } while (!heap_used_.compare_exchange_weak(used, used - dec,
+                                             std::memory_order_relaxed));
 }
 
 EnclaveMemoryStats Enclave::memory_stats() const {

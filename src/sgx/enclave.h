@@ -68,7 +68,10 @@ class Enclave {
 
   /// \brief Returns `bytes` to the enclave heap accounting. Buffers are
   /// freed by their destructor; this only adjusts the counters, so call it
-  /// with the size of a buffer being dropped.
+  /// once per buffer being dropped, with that buffer's requested size
+  /// (accounting is page-granular, so summing several buffers into one
+  /// call under-releases). Releasing more than is held clamps to zero
+  /// (and asserts in debug builds) instead of wrapping the counter.
   void NotifyFree(size_t bytes);
 
   /// \brief Runs `fn` as an ECALL: enters enclave mode on the calling

@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <thread>
 
 #if defined(__x86_64__)
 #include <immintrin.h>
@@ -51,7 +52,19 @@ class TicketLock {
  public:
   void lock() {
     uint32_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
-    while (serving_.load(std::memory_order_acquire) != ticket) CpuRelax();
+    // FIFO handoff means only the exact next ticket holder can make
+    // progress, so unlike the TTAS lock above this one must eventually
+    // yield: on an oversubscribed host a pure pause-spin livelocks while
+    // the serving thread waits to be scheduled.
+    int spins = 0;
+    while (serving_.load(std::memory_order_acquire) != ticket) {
+      if (++spins < 1024) {
+        CpuRelax();
+      } else {
+        spins = 0;
+        std::this_thread::yield();
+      }
+    }
   }
 
   void unlock() {

@@ -53,7 +53,7 @@ Result<RowIdList> RefineImpl(const RowIdList& in, Pred pred,
   std::vector<uint64_t> counts(threads, 0);
   std::vector<Range> ranges(threads);
   WallTimer timer;
-  ParallelRun(threads, [&](int tid) {
+  Status run_status = ParallelRun(threads, [&](int tid) {
     Range r = SplitRange(in.count(), threads, tid);
     ranges[tid] = r;
     uint64_t k = 0;
@@ -66,6 +66,7 @@ Result<RowIdList> RefineImpl(const RowIdList& in, Pred pred,
     }
     counts[tid] = k;
   });
+  SGXB_RETURN_NOT_OK(run_status);
   // Compact slices.
   uint64_t total = counts[0];
   for (int t = 1; t < threads; ++t) {
@@ -147,7 +148,7 @@ Result<RowIdList> FilterU32Range(const Column<uint32_t>& col, uint32_t lo,
   std::vector<uint64_t> counts(threads, 0);
   std::vector<Range> ranges(threads);
   WallTimer timer;
-  ParallelRun(threads, [&](int tid) {
+  Status run_status = ParallelRun(threads, [&](int tid) {
     Range r = SplitRange(col.num_values(), threads, tid);
     ranges[tid] = r;
     const uint32_t* data = col.data();
@@ -160,6 +161,7 @@ Result<RowIdList> FilterU32Range(const Column<uint32_t>& col, uint32_t lo,
     }
     counts[tid] = k;
   });
+  SGXB_RETURN_NOT_OK(run_status);
   uint64_t total = counts[0];
   for (int t = 1; t < threads; ++t) {
     if (counts[t] > 0 && ranges[t].begin != total) {
@@ -243,25 +245,33 @@ Result<Relation> GatherKeys(const Column<uint32_t>& keys,
     return result;
   }
 
+  // Morsel-driven: every output row lands at its own index, so ranges can
+  // be scheduled freely and the row-id gather (random reads into the key
+  // column) re-balances across lanes when ids cluster on hot pages.
   WallTimer timer;
   const int threads = config.num_threads;
-  ParallelRun(threads, [&](int tid) {
-    Range r = SplitRange(n, threads, tid);
-    Tuple* out = result.tuples();
-    const uint32_t* key_data = keys.data();
-    if (rows != nullptr) {
-      const uint64_t* ids = rows->ids();
-      for (size_t i = r.begin; i < r.end; ++i) {
-        out[i].key = key_data[ids[i]];
-        out[i].payload = static_cast<uint32_t>(ids[i]);
-      }
-    } else {
-      for (size_t i = r.begin; i < r.end; ++i) {
-        out[i].key = key_data[i];
-        out[i].payload = static_cast<uint32_t>(i);
-      }
-    }
-  });
+  ParallelForOptions opts;
+  opts.num_threads = threads;
+  Status run_status = ParallelFor(
+      n, /*grain=*/64 * 1024,
+      [&](Range r, int) {
+        Tuple* out = result.tuples();
+        const uint32_t* key_data = keys.data();
+        if (rows != nullptr) {
+          const uint64_t* ids = rows->ids();
+          for (size_t i = r.begin; i < r.end; ++i) {
+            out[i].key = key_data[ids[i]];
+            out[i].payload = static_cast<uint32_t>(ids[i]);
+          }
+        } else {
+          for (size_t i = r.begin; i < r.end; ++i) {
+            out[i].key = key_data[i];
+            out[i].payload = static_cast<uint32_t>(i);
+          }
+        }
+      },
+      opts);
+  SGXB_RETURN_NOT_OK(run_status);
 
   if (rec != nullptr) {
     perf::AccessProfile p;
@@ -346,7 +356,7 @@ Result<std::vector<uint64_t>> GroupCountImpl(size_t n, GroupOf group_of,
   std::atomic<bool> out_of_range{false};
 
   WallTimer timer;
-  ParallelRun(threads, [&](int tid) {
+  Status run_status = ParallelRun(threads, [&](int tid) {
     Range r = SplitRange(n, threads, tid);
     std::vector<uint64_t>& local = partials[tid];
     for (size_t i = r.begin; i < r.end; ++i) {
@@ -358,6 +368,7 @@ Result<std::vector<uint64_t>> GroupCountImpl(size_t n, GroupOf group_of,
       ++local[g];
     }
   });
+  SGXB_RETURN_NOT_OK(run_status);
   if (out_of_range.load()) {
     return Status::Internal("group code out of range in " + name);
   }
@@ -437,7 +448,7 @@ Result<std::vector<GroupAgg>> GroupSumU32By2U8(
   std::atomic<bool> out_of_range{false};
 
   WallTimer timer;
-  ParallelRun(threads, [&](int tid) {
+  Status run_status = ParallelRun(threads, [&](int tid) {
     Range r = SplitRange(n, threads, tid);
     std::vector<GroupAgg>& local = partials[tid];
     for (size_t i = r.begin; i < r.end; ++i) {
@@ -451,6 +462,7 @@ Result<std::vector<GroupAgg>> GroupSumU32By2U8(
       local[g].sum += vals[id];
     }
   });
+  SGXB_RETURN_NOT_OK(run_status);
   if (out_of_range.load()) {
     return Status::Internal("group code out of range in " + name);
   }
@@ -484,18 +496,26 @@ Result<uint64_t> SumProductU32(const Column<uint32_t>& a,
   const uint32_t* db = b.data();
   const uint64_t* ids = rows.ids();
   const int threads = config.num_threads;
+  // Morsel-driven reduction: lanes accumulate into per-lane slots (a lane
+  // runs many morsels, so slots are indexed by lane, not morsel) and the
+  // slots are summed after the gang completes.
   std::vector<uint64_t> partials(threads, 0);
+  ParallelForOptions opts;
+  opts.num_threads = threads;
 
   WallTimer timer;
-  ParallelRun(threads, [&](int tid) {
-    Range r = SplitRange(rows.count(), threads, tid);
-    uint64_t local = 0;
-    for (size_t i = r.begin; i < r.end; ++i) {
-      const size_t id = ids[i];
-      local += static_cast<uint64_t>(da[id]) * db[id];
-    }
-    partials[tid] = local;
-  });
+  Status run_status = ParallelFor(
+      rows.count(), /*grain=*/64 * 1024,
+      [&](Range r, int lane) {
+        uint64_t local = 0;
+        for (size_t i = r.begin; i < r.end; ++i) {
+          const size_t id = ids[i];
+          local += static_cast<uint64_t>(da[id]) * db[id];
+        }
+        partials[lane] += local;
+      },
+      opts);
+  SGXB_RETURN_NOT_OK(run_status);
   uint64_t total = 0;
   for (uint64_t v : partials) total += v;
 

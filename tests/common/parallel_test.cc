@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include "common/barrier.h"
@@ -58,6 +59,55 @@ TEST(ParallelRunTest, SingleThreadRunsInline) {
 TEST(ParallelRunTest, RejectsNonPositiveThreadCount) {
   EXPECT_FALSE(ParallelRun(0, [](int) {}).ok());
   EXPECT_FALSE(ParallelRun(-3, [](int) {}).ok());
+}
+
+TEST(ParallelRunTest, ThrowingWorkerSurfacesAsStatus) {
+  // Regression: a throwing worker used to escape the std::thread body and
+  // call std::terminate, taking the whole benchmark process down.
+  Status st = ParallelRun(4, [](int tid) {
+    if (tid == 2) throw std::runtime_error("worker exploded");
+  });
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("worker exploded"), std::string::npos);
+}
+
+TEST(ParallelForTest, CoverageMatchesSerialSum) {
+  constexpr size_t kTotal = 10000;
+  std::atomic<uint64_t> sum{0};
+  ParallelForOptions opts;
+  opts.num_threads = 4;
+  ASSERT_TRUE(ParallelFor(
+                  kTotal, 64,
+                  [&](Range r, int) {
+                    uint64_t local = 0;
+                    for (size_t i = r.begin; i < r.end; ++i) local += i;
+                    sum.fetch_add(local);
+                  },
+                  opts)
+                  .ok());
+  EXPECT_EQ(sum.load(), kTotal * (kTotal - 1) / 2);
+}
+
+TEST(ParallelForTest, MorselCountIsExactAcrossLanes) {
+  // With far more morsels than lanes, work may move between lanes via
+  // stealing, but the total number of executed morsels must be exact.
+  constexpr int kLanes = 4;
+  std::vector<std::atomic<uint32_t>> per_lane(kLanes);
+  for (auto& p : per_lane) p = 0;
+  ParallelForOptions opts;
+  opts.num_threads = kLanes;
+  ASSERT_TRUE(ParallelFor(
+                  1 << 14, 16,
+                  [&](Range r, int lane) {
+                    volatile uint64_t acc = 0;
+                    for (size_t i = r.begin; i < r.end; ++i) acc = acc + i;
+                    per_lane[lane].fetch_add(1);
+                  },
+                  opts)
+                  .ok());
+  uint64_t total = 0;
+  for (auto& p : per_lane) total += p.load();
+  EXPECT_EQ(total, (1u << 14) / 16);
 }
 
 TEST(BarrierTest, ExactlyOneSerialThreadPerGeneration) {

@@ -190,6 +190,10 @@ TEST_F(ShapeTest, ScansAreBarelyAffected) {
 // Paper Figure 11: a join forced to grow its enclave dynamically is far
 // slower than in a pre-sized enclave — measured for real.
 TEST_F(ShapeTest, DynamicEnclaveGrowthIsRuinous) {
+  if (!sgx::CostInjectionEnabled()) {
+    GTEST_SKIP() << "EDMM growth is only slow when its per-page delay is "
+                    "injected (SGXBENCH_NO_INJECT=1 disables that)";
+  }
   const size_t build_n = 100000;
   const size_t probe_n = 400000;
   auto build =

@@ -86,6 +86,10 @@ TEST(ColumnScanTest, RepetitionsProduceSameResult) {
 }
 
 TEST(ColumnScanTest, EnclaveSettingEntersEnclave) {
+  // The scan is morsel-driven (~256 KiB morsels): a tiny column is a
+  // single morsel, so only one lane runs and only one thread pays an
+  // enclave transition — extra requested threads no longer enter just to
+  // find no work.
   sgx::ResetTransitionStats();
   Column<uint8_t> col = MakeColumn(1000);
   auto bv = BitVector::Allocate(1000, MemoryRegion::kUntrusted).value();
@@ -93,7 +97,16 @@ TEST(ColumnScanTest, EnclaveSettingEntersEnclave) {
   cfg.setting = ExecutionSetting::kSgxDataInEnclave;
   cfg.num_threads = 2;
   ASSERT_TRUE(RunBitVectorScan(col, &bv, cfg).ok());
-  EXPECT_EQ(sgx::GetTransitionStats().ecalls, 2u);  // one per thread
+  EXPECT_EQ(sgx::GetTransitionStats().ecalls, 1u);  // one morsel, one lane
+
+  // With at least one morsel per lane, every lane enters exactly once (not
+  // once per morsel): one ECall per thread, as on hardware.
+  constexpr size_t kBig = 600 * 1024;  // > 2 morsels
+  sgx::ResetTransitionStats();
+  Column<uint8_t> big = MakeColumn(kBig);
+  auto big_bv = BitVector::Allocate(kBig, MemoryRegion::kUntrusted).value();
+  ASSERT_TRUE(RunBitVectorScan(big, &big_bv, cfg).ok());
+  EXPECT_EQ(sgx::GetTransitionStats().ecalls, 2u);  // one per lane
 }
 
 TEST(ColumnScanTest, RejectsInvalidConfig) {
