@@ -215,6 +215,82 @@ size_t BTree::ForEachMatch(Key key,
   return matches;
 }
 
+// One descent as a probe state machine: each Advance() consumes one tree
+// level (or one leaf of a duplicate run) and targets the next node, so the
+// batched drivers overlap `width` descents' node fetches. Four prefetched
+// lines cover a node's header plus the slice of the key array lower_bound
+// touches first.
+struct BTree::ProbeCursor {
+  static constexpr int kPrefetchLines = 4;
+  const BTree* tree = nullptr;
+  const std::function<void(const Tuple&, Value)>* fn = nullptr;
+  size_t matches = 0;
+
+  Tuple probe_;
+  const Node* node_ = nullptr;
+  bool scanning_ = false;  // inside a leaf-chain duplicate run
+
+  void Reset(const Tuple& t) {
+    probe_ = t;
+    scanning_ = false;
+    node_ = tree->root_;
+  }
+  const void* Target() const { return node_; }
+  void Advance() {
+    if (!node_->is_leaf) {
+      const auto* inner = static_cast<const InnerNode*>(node_);
+      int idx = static_cast<int>(
+          std::lower_bound(inner->keys, inner->keys + inner->count,
+                           probe_.key) -
+          inner->keys);
+      node_ = inner->children[idx];
+      return;
+    }
+    const auto* leaf = static_cast<const LeafNode*>(node_);
+    int idx = scanning_
+                  ? 0
+                  : static_cast<int>(std::lower_bound(
+                                         leaf->keys,
+                                         leaf->keys + leaf->count,
+                                         probe_.key) -
+                                     leaf->keys);
+    scanning_ = true;
+    for (; idx < leaf->count; ++idx) {
+      if (leaf->keys[idx] != probe_.key) {
+        node_ = nullptr;
+        return;
+      }
+      (*fn)(probe_, leaf->values[idx]);
+      ++matches;
+    }
+    // Duplicate run may continue in the next leaf (nullptr ends the probe).
+    node_ = leaf->next;
+  }
+};
+
+size_t BTree::BatchForEachMatch(
+    const Tuple* probes, size_t n, exec::ProbeMode mode, int width,
+    const std::function<void(const Tuple&, Value)>& fn) const {
+  if (n == 0 || root_ == nullptr) return 0;
+  size_t matches = 0;
+  if (mode == exec::ProbeMode::kTupleAtATime) {
+    for (size_t i = 0; i < n; ++i) {
+      matches += ForEachMatch(probes[i].key,
+                              [&](Value v) { fn(probes[i], v); });
+    }
+    return matches;
+  }
+  const int w = exec::ClampProbeWidth(width);
+  std::vector<ProbeCursor> cursors(static_cast<size_t>(w));
+  for (auto& c : cursors) {
+    c.tree = this;
+    c.fn = &fn;
+  }
+  exec::BatchedProbe(mode, probes, n, w, cursors.data());
+  for (const auto& c : cursors) matches += c.matches;
+  return matches;
+}
+
 size_t BTree::ScanRange(Key lo, Key hi,
                         const std::function<void(Key, Value)>& fn) const {
   if (lo >= hi) return 0;

@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/types.h"
+#include "exec/probe_pipeline.h"
 
 namespace sgxb::index {
 
@@ -53,6 +55,16 @@ class BTree {
   size_t ForEachMatch(Key key,
                       const std::function<void(Value)>& fn) const;
 
+  /// \brief Batched INL probe primitive: descends all `n` probe tuples
+  /// (matching on Tuple::key) with the latency-hiding driver selected by
+  /// `mode` (exec/probe_pipeline.h) — `width` concurrent descents, one
+  /// tree level per hop, software prefetch ahead of each node visit.
+  /// Invokes `fn(probe, value)` per match and returns the total match
+  /// count; kTupleAtATime falls back to sequential ForEachMatch descents.
+  size_t BatchForEachMatch(
+      const Tuple* probes, size_t n, exec::ProbeMode mode, int width,
+      const std::function<void(const Tuple&, Value)>& fn) const;
+
   /// \brief Invokes `fn(key, value)` for all entries with lo <= key < hi,
   /// in key order; returns the number of entries visited.
   size_t ScanRange(Key lo, Key hi,
@@ -73,6 +85,7 @@ class BTree {
   struct Node;
   struct LeafNode;
   struct InnerNode;
+  struct ProbeCursor;
 
   LeafNode* FindLeaf(Key key) const;
   void InsertUpward(std::vector<InnerNode*>& path, Node* left, Key sep,

@@ -7,6 +7,7 @@
 
 #include "common/barrier.h"
 #include "common/parallel.h"
+#include "exec/probe_pipeline.h"
 #include "join/materializer.h"
 
 namespace sgxb::join {
@@ -48,6 +49,63 @@ uint64_t SlotOf(uint32_t key, const ConciseTable& table) {
   return HashKey(key, table.hash_bits);
 }
 
+// Two-hop probe state machine for the batched drivers: hop 1 reads the
+// bitmap word(s) covering the probe window and records the ranks of the
+// set candidates; hop 2 reads the dense entries at those ranks (they are
+// consecutive, so one prefetch span covers them). Overflow matches are
+// resolved in a separate tuple-at-a-time pass by the caller.
+struct ChtProbeCursor {
+  static constexpr int kPrefetchLines = 2;
+  const ConciseTable* table = nullptr;
+  Materializer* mat = nullptr;
+  int tid = 0;
+  uint64_t matches = 0;
+
+  Tuple probe_;
+  bool in_dense_ = false;
+  const void* target_ = nullptr;
+  uint32_t ranks_[kProbeWindow];
+  uint32_t num_ranks_ = 0;
+
+  void Reset(const Tuple& t) {
+    probe_ = t;
+    in_dense_ = false;
+    target_ = &table->bitmap[SlotOf(t.key, *table) >> 6];
+  }
+  const void* Target() const { return target_; }
+  void Advance() {
+    if (!in_dense_) {
+      num_ranks_ = 0;
+      const uint64_t base = SlotOf(probe_.key, *table);
+      for (uint32_t j = 0; j < kProbeWindow; ++j) {
+        uint64_t candidate = (base + j) & table->slot_mask;
+        if (table->BitSet(candidate)) {
+          ranks_[num_ranks_++] =
+              static_cast<uint32_t>(table->Rank(candidate));
+        }
+      }
+      if (num_ranks_ == 0) {
+        target_ = nullptr;
+        return;
+      }
+      in_dense_ = true;
+      target_ = &table->dense[ranks_[0]];
+      return;
+    }
+    for (uint32_t k = 0; k < num_ranks_; ++k) {
+      const Tuple& entry = table->dense[ranks_[k]];
+      if (entry.key == probe_.key) {
+        ++matches;
+        if (mat != nullptr) {
+          mat->Append(tid, JoinOutputTuple{probe_.key, entry.payload,
+                                           probe_.payload});
+        }
+      }
+    }
+    target_ = nullptr;
+  }
+};
+
 }  // namespace
 
 size_t ChtTableBytes(size_t build_tuples) {
@@ -88,6 +146,9 @@ Result<JoinResult> ChtJoin(const Relation& build, const Relation& probe,
     mat = &*own_mat;
   }
   const bool in_enclave = config.setting != ExecutionSetting::kPlainCpu;
+  const exec::ProbeMode probe_mode = EffectiveProbeMode(config);
+  const int probe_width = EffectiveProbeWidth(config, probe_mode);
+  const bool batched = probe_mode != exec::ProbeMode::kTupleAtATime;
 
   Status run_status = ParallelRun(threads, [&](int tid) {
     std::optional<sgx::ScopedEcall> ecall;
@@ -149,28 +210,53 @@ Result<JoinResult> ChtJoin(const Relation& build, const Relation& probe,
     Range s = SplitRange(probe.num_tuples(), threads, tid);
     const Tuple* pt = probe.tuples();
     uint64_t local = 0;
-    for (size_t i = s.begin; i < s.end; ++i) {
-      const uint32_t key = pt[i].key;
-      uint64_t base = SlotOf(key, table);
-      for (uint32_t j = 0; j < kProbeWindow; ++j) {
-        uint64_t candidate = (base + j) & table.slot_mask;
-        if (!table.BitSet(candidate)) continue;
-        const Tuple& entry = table.dense[table.Rank(candidate)];
-        if (entry.key == key) {
-          ++local;
-          if (mat != nullptr) {
-            mat->Append(tid, JoinOutputTuple{key, entry.payload,
-                                             pt[i].payload});
+    if (batched) {
+      std::vector<ChtProbeCursor> cursors(
+          static_cast<size_t>(probe_width));
+      for (auto& c : cursors) {
+        c.table = &table;
+        c.mat = mat;
+        c.tid = tid;
+      }
+      exec::BatchedProbe(probe_mode, pt + s.begin, s.end - s.begin,
+                         probe_width, cursors.data());
+      for (const auto& c : cursors) local += c.matches;
+      if (!table.overflow.empty()) {
+        for (size_t i = s.begin; i < s.end; ++i) {
+          auto [lo, hi] = table.overflow.equal_range(pt[i].key);
+          for (auto it = lo; it != hi; ++it) {
+            ++local;
+            if (mat != nullptr) {
+              mat->Append(tid, JoinOutputTuple{pt[i].key, it->second,
+                                               pt[i].payload});
+            }
           }
         }
       }
-      if (!table.overflow.empty()) {
-        auto [lo, hi] = table.overflow.equal_range(key);
-        for (auto it = lo; it != hi; ++it) {
-          ++local;
-          if (mat != nullptr) {
-            mat->Append(tid,
-                        JoinOutputTuple{key, it->second, pt[i].payload});
+    } else {
+      for (size_t i = s.begin; i < s.end; ++i) {
+        const uint32_t key = pt[i].key;
+        uint64_t base = SlotOf(key, table);
+        for (uint32_t j = 0; j < kProbeWindow; ++j) {
+          uint64_t candidate = (base + j) & table.slot_mask;
+          if (!table.BitSet(candidate)) continue;
+          const Tuple& entry = table.dense[table.Rank(candidate)];
+          if (entry.key == key) {
+            ++local;
+            if (mat != nullptr) {
+              mat->Append(tid, JoinOutputTuple{key, entry.payload,
+                                               pt[i].payload});
+            }
+          }
+        }
+        if (!table.overflow.empty()) {
+          auto [lo, hi] = table.overflow.equal_range(key);
+          for (auto it = lo; it != hi; ++it) {
+            ++local;
+            if (mat != nullptr) {
+              mat->Append(tid,
+                          JoinOutputTuple{key, it->second, pt[i].payload});
+            }
           }
         }
       }
@@ -187,7 +273,10 @@ Result<JoinResult> ChtJoin(const Relation& build, const Relation& probe,
       p.ilp = perf::IlpClass::kStreaming;
       p.cpi_hint = 3.0;
       p.software_mlp =
-          config.flavor == KernelFlavor::kUnrolledReordered;
+          config.flavor == KernelFlavor::kUnrolledReordered || batched;
+      // Both hops (bitmap word, dense entries) sit behind prefetches in
+      // the batched drivers.
+      if (batched) p.hidden_random_reads = p.rand_reads;
       recorder.End("probe", p, threads);
     });
   });

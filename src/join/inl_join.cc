@@ -26,6 +26,9 @@ Result<JoinResult> InlJoin(const Relation& build, const Relation& probe,
     mat = &*own_mat;
   }
   const bool in_enclave = config.setting != ExecutionSetting::kPlainCpu;
+  const exec::ProbeMode probe_mode = EffectiveProbeMode(config);
+  const int probe_width = EffectiveProbeWidth(config, probe_mode);
+  const bool batched = probe_mode != exec::ProbeMode::kTupleAtATime;
 
   index::BTree tree;
   Status build_status;
@@ -71,17 +74,15 @@ Result<JoinResult> InlJoin(const Relation& build, const Relation& probe,
     uint64_t local = 0;
     if (config.materialize) {
       Materializer* m = mat;
-      for (size_t j = s.begin; j < s.end; ++j) {
-        const Tuple& pt = probe[j];
-        local += tree.ForEachMatch(pt.key, [&](uint32_t payload) {
-          m->Append(tid,
-                    JoinOutputTuple{pt.key, payload, pt.payload});
-        });
-      }
+      local += tree.BatchForEachMatch(
+          probe.tuples() + s.begin, s.end - s.begin, probe_mode,
+          probe_width, [&](const Tuple& pt, uint32_t payload) {
+            m->Append(tid, JoinOutputTuple{pt.key, payload, pt.payload});
+          });
     } else {
-      for (size_t j = s.begin; j < s.end; ++j) {
-        local += tree.ForEachMatch(probe[j].key, [](uint32_t) {});
-      }
+      local += tree.BatchForEachMatch(
+          probe.tuples() + s.begin, s.end - s.begin, probe_mode,
+          probe_width, [](const Tuple&, uint32_t) {});
     }
     matches[tid] = local;
     barrier.WaitThen([&] {
@@ -93,9 +94,15 @@ Result<JoinResult> InlJoin(const Relation& build, const Relation& probe,
       // occasional lower inner node).
       p.rand_reads = probe.num_tuples() + probe.num_tuples() / 2;
       p.rand_read_working_set = tree.MemoryFootprint();
-      p.rand_reads_dependent = true;
+      // The batched drivers interleave independent descents, so the
+      // per-level loads are dependent only within one probe, not across
+      // the loop — software prefetch hides them.
+      p.rand_reads_dependent = !batched;
+      if (batched) p.hidden_random_reads = p.rand_reads;
+      p.software_mlp = batched;
       p.loop_iterations = probe.num_tuples();
-      p.ilp = perf::IlpClass::kReferenceLoop;
+      p.ilp = batched ? perf::IlpClass::kUnrolledReordered
+                      : perf::IlpClass::kReferenceLoop;
       recorder.End("probe", p, threads);
     });
   });

@@ -1,6 +1,29 @@
 #include "join/join_common.h"
 
+#include <cstdlib>
+
+#include "perf/calibration.h"
+
 namespace sgxb::join {
+
+exec::ProbeMode EffectiveProbeMode(const JoinConfig& config) {
+  if (config.probe_mode.has_value()) return *config.probe_mode;
+  return exec::ProbeModeFromString(
+      std::getenv("SGXBENCH_PROBE_MODE"),
+      config.flavor == KernelFlavor::kReference
+          ? exec::ProbeMode::kTupleAtATime
+          : exec::ProbeMode::kGroupPrefetch);
+}
+
+int EffectiveProbeWidth(const JoinConfig& config, exec::ProbeMode mode) {
+  if (config.probe_batch > 0) {
+    return exec::ClampProbeWidth(config.probe_batch);
+  }
+  const perf::CalibrationParams& cal = perf::CalibrationParams::Default();
+  return exec::ClampProbeWidth(mode == exec::ProbeMode::kAmac
+                                   ? cal.probe_prefetch_distance
+                                   : cal.probe_batch_size);
+}
 
 const char* JoinAlgorithmToString(JoinAlgorithm algo) {
   switch (algo) {

@@ -11,12 +11,14 @@
 #define SGXB_JOIN_JOIN_COMMON_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "common/relation.h"
 #include "common/status.h"
 #include "common/timer.h"
 #include "common/types.h"
+#include "exec/probe_pipeline.h"
 #include "perf/access_profile.h"
 #include "sgx/enclave.h"
 #include "sync/task_queue.h"
@@ -59,7 +61,25 @@ struct JoinConfig {
   int radix_passes = 2;
   /// CrkJoin: partitioning depth in bits.
   int crack_bits = 12;
+
+  /// Probe-loop scheduling (exec/probe_pipeline.h, docs/prefetching.md).
+  /// Unset = SGXBENCH_PROBE_MODE if present, else derived from `flavor`:
+  /// the reference flavour probes tuple-at-a-time (the paper's Listing-1
+  /// behaviour), the optimized flavour uses group prefetching.
+  std::optional<exec::ProbeMode> probe_mode;
+  /// Group size (group prefetch) / ring width (AMAC). 0 = the calibrated
+  /// default (SGXBENCH_PROBE_BATCH / SGXBENCH_PROBE_DIST).
+  int probe_batch = 0;
 };
+
+/// \brief Probe scheduling a join actually uses for `config` (resolves
+/// the env/flavour defaults described at JoinConfig::probe_mode).
+exec::ProbeMode EffectiveProbeMode(const JoinConfig& config);
+
+/// \brief Resolved group size / ring width for `mode`, from
+/// `config.probe_batch` or the calibrated defaults, clamped to
+/// exec::kMaxProbeWidth.
+int EffectiveProbeWidth(const JoinConfig& config, exec::ProbeMode mode);
 
 struct JoinResult {
   /// Number of matching (build, probe) pairs.

@@ -1,12 +1,14 @@
 #include "join/pht_join.h"
 
 #include <atomic>
+#include <cassert>
 #include <new>
 #include <optional>
 #include <vector>
 
 #include "common/barrier.h"
 #include "common/parallel.h"
+#include "exec/probe_pipeline.h"
 #include "join/materializer.h"
 #include "sync/spinlock.h"
 
@@ -56,6 +58,7 @@ struct HashTable {
     if (head.count == 2) {
       uint32_t idx =
           overflow_next.fetch_add(1, std::memory_order_relaxed);
+      assert(idx < overflow_cap && "PHT overflow pool exhausted");
       Bucket& spill = overflow[idx];
       spill.count = head.count;
       spill.next = head.next;
@@ -68,21 +71,62 @@ struct HashTable {
     head.latch.unlock();
   }
 
+  // Probes the chain starting at `buckets[bucket]` (hash hoisted to the
+  // caller so batched probes compute it exactly once per tuple). The
+  // probe phase is barrier-separated from the build phase, so this path
+  // must never touch the latch; count/next are still snapshotted into
+  // const locals before the slot scan so a bucket is read exactly once
+  // per hop and a mutated head can never walk the scan out of bounds.
   template <typename OnMatch>
-  uint64_t Probe(const Tuple& t, OnMatch&& on_match) const {
+  uint64_t ProbeBucket(uint32_t bucket, const Tuple& t,
+                       OnMatch&& on_match) const {
     uint64_t matches = 0;
-    const Bucket* b = &buckets[HashKey(t.key, hash_bits)];
+    const Bucket* b = &buckets[bucket];
     for (;;) {
-      for (uint32_t i = 0; i < b->count; ++i) {
+      const uint32_t count = b->count <= 2 ? b->count : 2;
+      const uint32_t next = b->next;
+      for (uint32_t i = 0; i < count; ++i) {
         if (b->tuples[i].key == t.key) {
           ++matches;
           on_match(b->tuples[i], t);
         }
       }
-      if (b->next == kNoOverflow) break;
-      b = &overflow[b->next];
+      if (next == kNoOverflow) break;
+      assert(next < overflow_cap);
+      b = &overflow[next];
     }
     return matches;
+  }
+};
+
+// Probe state machine for the batched drivers (exec/probe_pipeline.h):
+// one hop per Advance() — head bucket, then each overflow bucket. Buckets
+// are 32 bytes in a cache-aligned array, so a hop never spans two lines.
+template <typename OnMatch>
+struct PhtProbeCursor {
+  static constexpr int kPrefetchLines = 1;
+  const HashTable* table = nullptr;
+  OnMatch* on_match = nullptr;
+  uint64_t matches = 0;
+
+  Tuple probe_;
+  const Bucket* b_ = nullptr;
+
+  void Reset(const Tuple& t) {
+    probe_ = t;
+    b_ = &table->buckets[HashKey(t.key, table->hash_bits)];
+  }
+  const void* Target() const { return b_; }
+  void Advance() {
+    const uint32_t count = b_->count <= 2 ? b_->count : 2;
+    const uint32_t next = b_->next;
+    for (uint32_t i = 0; i < count; ++i) {
+      if (b_->tuples[i].key == probe_.key) {
+        ++matches;
+        (*on_match)(b_->tuples[i], probe_);
+      }
+    }
+    b_ = next == kNoOverflow ? nullptr : &table->overflow[next];
   }
 };
 
@@ -107,7 +151,7 @@ perf::AccessProfile BuildProfile(size_t build_n, size_t table_bytes,
 }
 
 perf::AccessProfile ProbeProfile(size_t probe_n, size_t table_bytes,
-                                 KernelFlavor flavor) {
+                                 KernelFlavor flavor, bool batched) {
   perf::AccessProfile p;
   p.seq_read_bytes = probe_n * sizeof(Tuple);
   p.rand_reads = probe_n;
@@ -116,7 +160,9 @@ perf::AccessProfile ProbeProfile(size_t probe_n, size_t table_bytes,
   p.loop_iterations = probe_n;
   p.ilp = perf::IlpClass::kStreaming;
   p.cpi_hint = 2.0;
-  p.software_mlp = flavor == KernelFlavor::kUnrolledReordered;
+  p.software_mlp = flavor == KernelFlavor::kUnrolledReordered || batched;
+  // Batched drivers keep every bucket fetch behind a software prefetch.
+  if (batched) p.hidden_random_reads = probe_n;
   return p;
 }
 
@@ -161,6 +207,9 @@ Result<JoinResult> PhtJoin(const Relation& build, const Relation& probe,
   }
   const bool in_enclave = config.setting != ExecutionSetting::kPlainCpu;
   const KernelFlavor flavor = config.flavor;
+  const exec::ProbeMode probe_mode = EffectiveProbeMode(config);
+  const int probe_width = EffectiveProbeWidth(config, probe_mode);
+  const bool batched = probe_mode != exec::ProbeMode::kTupleAtATime;
 
   Status run_status = ParallelRun(threads, [&](int tid) {
     std::optional<sgx::ScopedEcall> ecall;
@@ -208,22 +257,37 @@ Result<JoinResult> PhtJoin(const Relation& build, const Relation& probe,
     Range s = SplitRange(probe.num_tuples(), threads, tid);
     const Tuple* pt = probe.tuples();
     uint64_t local = 0;
+    auto run_probe = [&](auto on_match) {
+      if (!batched) {
+        for (size_t j = s.begin; j < s.end; ++j) {
+          local += table.ProbeBucket(HashKey(pt[j].key, table.hash_bits),
+                                     pt[j], on_match);
+        }
+        return;
+      }
+      std::vector<PhtProbeCursor<decltype(on_match)>> cursors(
+          static_cast<size_t>(probe_width));
+      for (auto& c : cursors) {
+        c.table = &table;
+        c.on_match = &on_match;
+      }
+      exec::BatchedProbe(probe_mode, pt + s.begin, s.end - s.begin,
+                         probe_width, cursors.data());
+      for (const auto& c : cursors) local += c.matches;
+    };
     if (config.materialize) {
       Materializer* m = mat;
-      for (size_t j = s.begin; j < s.end; ++j) {
-        local += table.Probe(pt[j], [&](const Tuple& b, const Tuple& p) {
-          m->Append(tid, JoinOutputTuple{b.key, b.payload, p.payload});
-        });
-      }
+      run_probe([&, m](const Tuple& b, const Tuple& p) {
+        m->Append(tid, JoinOutputTuple{b.key, b.payload, p.payload});
+      });
     } else {
-      for (size_t j = s.begin; j < s.end; ++j) {
-        local += table.Probe(pt[j], [](const Tuple&, const Tuple&) {});
-      }
+      run_probe([](const Tuple&, const Tuple&) {});
     }
     matches[tid] = local;
     barrier.WaitThen([&] {
       recorder.End("probe",
-                   ProbeProfile(probe.num_tuples(), table_bytes, flavor),
+                   ProbeProfile(probe.num_tuples(), table_bytes, flavor,
+                                batched),
                    threads);
     });
   });

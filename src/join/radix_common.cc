@@ -211,13 +211,49 @@ inline uint32_t BitsOf(size_t buckets) {
   return bits;
 }
 
+// Probe state machine over the index-linked chains: one build tuple per
+// hop. Target() covers build[idx]; the chain link lives in the separate
+// `links` array, so each hop prefetches its link line by hand.
+struct InCacheProbeCursor {
+  static constexpr int kPrefetchLines = 1;
+  const Tuple* build = nullptr;
+  const uint32_t* heads = nullptr;
+  const uint32_t* links = nullptr;
+  uint32_t bits = 0;
+  MatchEmitter emit = nullptr;
+  void* emit_ctx = nullptr;
+  uint64_t matches = 0;
+
+  Tuple probe_;
+  uint32_t idx_ = kEmpty;
+
+  void Reset(const Tuple& t) {
+    probe_ = t;
+    idx_ = heads[HashKey(t.key, bits)];
+    if (idx_ != kEmpty) PrefetchRead(&links[idx_]);
+  }
+  const void* Target() const {
+    return idx_ == kEmpty ? nullptr : &build[idx_];
+  }
+  void Advance() {
+    if (build[idx_].key == probe_.key) {
+      ++matches;
+      if (emit != nullptr) emit(emit_ctx, build[idx_], probe_);
+    }
+    idx_ = links[idx_];
+    if (idx_ != kEmpty) PrefetchRead(&links[idx_]);
+  }
+};
+
 }  // namespace
 
 uint64_t InCachePartitionJoin(const Tuple* build, size_t build_n,
                               const Tuple* probe, size_t probe_n,
                               KernelFlavor flavor,
                               InCacheJoinScratch* scratch,
-                              MatchEmitter emit, void* emit_ctx) {
+                              MatchEmitter emit, void* emit_ctx,
+                              exec::ProbeMode probe_mode,
+                              int probe_width) {
   if (build_n == 0 || probe_n == 0) return 0;
   scratch->Reserve(build_n);
   const size_t buckets = InCacheJoinScratch::BucketsFor(build_n);
@@ -253,6 +289,21 @@ uint64_t InCachePartitionJoin(const Tuple* build, size_t build_n,
 
   // Probe.
   uint64_t matches = 0;
+  if (probe_mode != exec::ProbeMode::kTupleAtATime) {
+    const int w = exec::ClampProbeWidth(probe_width);
+    InCacheProbeCursor cursors[exec::kMaxProbeWidth];
+    for (int k = 0; k < w; ++k) {
+      cursors[k].build = build;
+      cursors[k].heads = heads;
+      cursors[k].links = next;
+      cursors[k].bits = bits;
+      cursors[k].emit = emit;
+      cursors[k].emit_ctx = emit_ctx;
+    }
+    exec::BatchedProbe(probe_mode, probe, probe_n, w, cursors);
+    for (int k = 0; k < w; ++k) matches += cursors[k].matches;
+    return matches;
+  }
   if (flavor == KernelFlavor::kReference) {
     for (size_t j = 0; j < probe_n; ++j) {
       uint32_t key = probe[j].key;

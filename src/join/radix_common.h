@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "exec/probe_pipeline.h"
 #include "perf/access_profile.h"
 
 namespace sgxb::join {
@@ -110,14 +111,19 @@ class InCacheJoinScratch {
 
 /// \brief Joins one partition pair; returns the number of matches. If
 /// `emit` is non-null it is called for each match with (build, probe).
+/// `probe_mode` selects the probe-loop scheduling: the default keeps the
+/// flavour-derived scalar loops (a well-partitioned build side is cache
+/// resident, so callers opt in only when partitions may spill — e.g. when
+/// sweeping radix bits). `probe_width` is the group size / ring width
+/// (0 = calibrated default).
 using MatchEmitter = void (*)(void* ctx, const Tuple& build,
                               const Tuple& probe);
-uint64_t InCachePartitionJoin(const Tuple* build, size_t build_n,
-                              const Tuple* probe, size_t probe_n,
-                              KernelFlavor flavor,
-                              InCacheJoinScratch* scratch,
-                              MatchEmitter emit = nullptr,
-                              void* emit_ctx = nullptr);
+uint64_t InCachePartitionJoin(
+    const Tuple* build, size_t build_n, const Tuple* probe, size_t probe_n,
+    KernelFlavor flavor, InCacheJoinScratch* scratch,
+    MatchEmitter emit = nullptr, void* emit_ctx = nullptr,
+    exec::ProbeMode probe_mode = exec::ProbeMode::kTupleAtATime,
+    int probe_width = 0);
 
 // --- Profile helpers ---------------------------------------------------------
 

@@ -225,6 +225,13 @@ Result<JoinResult> RhoJoin(const Relation& build, const Relation& probe,
     uint64_t bcycles = 0;
     uint64_t pcycles = 0;
     MatCtx mctx{mat, tid};
+    // Well-partitioned chains are cache-resident, so batched probing is
+    // opt-in for RHO (explicit config, not the flavour-derived default):
+    // it pays off only when radix_bits undershoots the build size.
+    const exec::ProbeMode rho_probe_mode =
+        config.probe_mode.value_or(exec::ProbeMode::kTupleAtATime);
+    const int rho_probe_width =
+        EffectiveProbeWidth(config, rho_probe_mode);
     uint64_t task;
     while (queue->TryPop(&task)) {
       auto q = static_cast<uint32_t>(task);
@@ -238,7 +245,8 @@ Result<JoinResult> RhoJoin(const Relation& build, const Relation& probe,
       local_matches += InCachePartitionJoin(
           rp, rn, sp, sn, flavor, &scratch,
           config.materialize ? &EmitToMaterializer : nullptr,
-          config.materialize ? &mctx : nullptr);
+          config.materialize ? &mctx : nullptr, rho_probe_mode,
+          rho_probe_width);
       uint64_t dt = ReadTsc() - t0;
       // Split proportionally to input sizes (build touches rn tuples
       // twice — insert + chain init — probe walks sn chains).

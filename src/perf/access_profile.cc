@@ -25,6 +25,7 @@ AccessProfile& AccessProfile::Merge(const AccessProfile& other) {
   rand_read_working_set =
       std::max(rand_read_working_set, other.rand_read_working_set);
   rand_reads_dependent = rand_reads_dependent || other.rand_reads_dependent;
+  hidden_random_reads += other.hidden_random_reads;
   rand_writes += other.rand_writes;
   rand_write_working_set =
       std::max(rand_write_working_set, other.rand_write_working_set);
@@ -61,6 +62,7 @@ AccessProfile AccessProfile::ScaledBy(double factor) const {
   p.seq_data_bytes = scale(p.seq_data_bytes);
   p.rand_reads = scale(p.rand_reads);
   p.rand_read_working_set = scale(p.rand_read_working_set);
+  p.hidden_random_reads = scale(p.hidden_random_reads);
   p.rand_writes = scale(p.rand_writes);
   p.rand_write_working_set = scale(p.rand_write_working_set);
   p.loop_iterations = scale(p.loop_iterations);

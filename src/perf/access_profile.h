@@ -52,6 +52,14 @@ struct AccessProfile {
   uint64_t rand_read_working_set = 0;
   /// True if each random read depends on the previous one (pointer chase).
   bool rand_reads_dependent = false;
+  /// Of `rand_reads`, how many have their miss latency hidden by a
+  /// software-prefetched probe pipeline (group prefetching / AMAC, see
+  /// exec/probe_pipeline.h). Hidden reads are costed as pipelined misses
+  /// (latency / prefetch_mlp) even when `rand_reads_dependent` is set —
+  /// the chains belong to *independent* probes — and they dodge both the
+  /// enclave MLP loss and the SGX random-read latency penalty, which is
+  /// the point of batching the probes.
+  uint64_t hidden_random_reads = 0;
 
   /// Count of random writes and the size of the structure they hit.
   uint64_t rand_writes = 0;

@@ -22,6 +22,14 @@ uint64_t EnvU64(const char* name, uint64_t fallback) {
   return (end != v) ? static_cast<uint64_t>(parsed) : fallback;
 }
 
+int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  long parsed = std::strtol(v, &end, 10);
+  return (end != v && parsed > 0) ? static_cast<int>(parsed) : fallback;
+}
+
 }  // namespace
 
 CalibrationParams CalibrationParams::FromEnv() {
@@ -46,6 +54,10 @@ CalibrationParams CalibrationParams::FromEnv() {
       EnvDouble("SGXBENCH_NODE_READ_BW", p.node_read_bandwidth);
   p.node_write_bandwidth =
       EnvDouble("SGXBENCH_NODE_WRITE_BW", p.node_write_bandwidth);
+  p.probe_batch_size = EnvInt("SGXBENCH_PROBE_BATCH", p.probe_batch_size);
+  p.probe_prefetch_distance =
+      EnvInt("SGXBENCH_PROBE_DIST", p.probe_prefetch_distance);
+  p.prefetch_mlp = EnvDouble("SGXBENCH_PREFETCH_MLP", p.prefetch_mlp);
   return p;
 }
 

@@ -88,6 +88,21 @@ struct CalibrationParams {
   /// Extra cost of an SDK mutex sleep/wake pair beyond the transitions.
   uint64_t futex_syscall_cycles = 2000;
 
+  // --- Latency-hiding probe pipelines (docs/prefetching.md) -------------
+  /// Group size of group-prefetching probe pipelines. The sweet spot
+  /// trades prefetch distance against L1/L2 eviction of the group's own
+  /// in-flight lines; re-calibrate per host with bench_ablation_prefetch.
+  int probe_batch_size = 16;
+  /// Ring width of AMAC probe pipelines — the effective prefetch
+  /// distance, since a state's prefetch is issued ~width visits before
+  /// its use.
+  int probe_prefetch_distance = 12;
+  /// Effective misses a software-prefetched probe loop keeps in flight:
+  /// bounds how much latency a batched probe hides. Hidden random reads
+  /// are costed at latency / prefetch_mlp instead of the full dependent
+  /// latency per access.
+  double prefetch_mlp = 6.0;
+
   // --- EDMM dynamic enclave growth (paper Fig. 11) ----------------------
   /// Cost to add one 4 KiB page to a running enclave (EAUG + EACCEPT +
   /// zeroing + kernel ioctl); calibrated so that a materializing join in a

@@ -61,27 +61,45 @@ CostBreakdown CostModel::Estimate(const AccessProfile& p,
   if (p.rand_reads > 0) {
     double lat = machine_.DependentLoadLatencyNs(p.rand_read_working_set,
                                                  remote);
-    double per_access =
-        p.rand_reads_dependent ? lat : lat / cal.mlp_per_core;
-    double ns = static_cast<double>(p.rand_reads) * per_access / threads;
+    // Reads a software-prefetched probe pipeline keeps in flight are
+    // pipelined at latency / prefetch_mlp regardless of chain dependence
+    // (the chains belong to independent probes); the rest are exposed.
+    const uint64_t hidden = std::min(p.hidden_random_reads, p.rand_reads);
+    const uint64_t exposed = p.rand_reads - hidden;
     // Random line fetches also consume bandwidth; never run faster than
-    // the memory system can deliver cache lines.
-    if (p.rand_read_working_set > cal.l3_bytes) {
-      double bw_floor_ns = static_cast<double>(p.rand_reads) *
-                           kCacheLineSize /
-                           machine_.SeqReadBandwidth(threads, remote) * 1e9;
-      ns = std::max(ns, bw_floor_ns);
-    }
+    // the memory system can deliver cache lines. Applied per share so the
+    // exposed share's SGX penalties stack on its floor exactly as before
+    // this split existed.
+    auto bw_floor_ns = [&](uint64_t reads) {
+      return static_cast<double>(reads) * kCacheLineSize /
+             machine_.SeqReadBandwidth(threads, remote) * 1e9;
+    };
+    const bool out_of_cache = p.rand_read_working_set > cal.l3_bytes;
+
+    double exposed_per_access =
+        p.rand_reads_dependent ? lat : lat / cal.mlp_per_core;
+    double exposed_ns =
+        static_cast<double>(exposed) * exposed_per_access / threads;
+    if (out_of_cache) exposed_ns = std::max(exposed_ns, bw_floor_ns(exposed));
     if (env.DataEncrypted()) {
-      ns /= machine_.RandomReadRelPerfSgx(p.rand_read_working_set);
+      exposed_ns /= machine_.RandomReadRelPerfSgx(p.rand_read_working_set);
     }
-    if (env.InEnclave() && !p.rand_reads_dependent && !p.software_mlp &&
-        p.rand_read_working_set > cal.l3_bytes) {
+    if (env.InEnclave() && exposed > 0 && !p.rand_reads_dependent &&
+        !p.software_mlp && out_of_cache) {
       // Enclave mode's restricted reordering keeps fewer independent
       // misses in flight unless the loop groups them in software.
-      ns *= kEnclaveMlpLossFactor;
+      exposed_ns *= kEnclaveMlpLossFactor;
     }
-    out.rand_read_ns = ns;
+
+    // Hidden reads dodge the SGX latency inflation and the enclave MLP
+    // loss: a prefetched line's MEE decryption overlaps with the
+    // pipeline's other in-flight probes, which is why batching recovers
+    // in-enclave probe performance. The bandwidth floor still binds.
+    double hidden_ns = static_cast<double>(hidden) * lat /
+                       std::max(1.0, cal.prefetch_mlp) / threads;
+    if (out_of_cache) hidden_ns = std::max(hidden_ns, bw_floor_ns(hidden));
+
+    out.rand_read_ns = exposed_ns + hidden_ns;
   }
 
   // --- Random writes. ---------------------------------------------------

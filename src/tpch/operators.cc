@@ -35,6 +35,8 @@ join::JoinConfig ToJoinConfig(const QueryConfig& config, bool materialize) {
   jc.materialize = materialize;
   jc.radix_bits = config.radix_bits;
   jc.radix_passes = 2;
+  jc.probe_mode = config.probe_mode;
+  jc.probe_batch = config.probe_batch;
   return jc;
 }
 

@@ -10,6 +10,7 @@
 #ifndef SGXB_TPCH_OPERATORS_H_
 #define SGXB_TPCH_OPERATORS_H_
 
+#include <optional>
 #include <string>
 
 #include "common/aligned_buffer.h"
@@ -28,6 +29,11 @@ struct QueryConfig {
   ExecutionSetting setting = ExecutionSetting::kPlainCpu;
   sgx::Enclave* enclave = nullptr;
   int radix_bits = 12;
+  /// Probe-loop scheduling for the hash-probe operators, forwarded to the
+  /// join layer (exec/probe_pipeline.h); unset = the join's own default.
+  std::optional<exec::ProbeMode> probe_mode;
+  /// Group size / ring width; 0 = calibrated default.
+  int probe_batch = 0;
 };
 
 /// \brief A materialized list of row ids (selection vector).

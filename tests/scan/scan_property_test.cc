@@ -57,6 +57,60 @@ TEST_P(ScanFuzzTest, KernelsAgreeOnRandomInputs) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ScanFuzzTest,
                          ::testing::Values(11, 22, 33));
 
+// Tail handling: every SIMD level must agree with the scalar kernels for
+// every partial tail length (n % 64 in {1..63}), a nonzero row-id base,
+// and the degenerate single-value predicate lo == hi. These are exactly
+// the cases a masked-epilogue bug would corrupt while the bulk path stays
+// correct.
+TEST(ScanTailPropertyTest, AllLevelsAgreeOnPartialTailWords) {
+  Xoshiro256 rng(4242);
+  constexpr uint8_t kLo = 100;
+  constexpr uint8_t kHi = 100;  // lo == hi: single-value predicate
+  constexpr uint64_t kBase = 1ull << 33;  // nonzero, past 32-bit ids
+  const std::vector<SimdLevel> levels = {SimdLevel::kScalar,
+                                         SimdLevel::kAvx2,
+                                         SimdLevel::kAvx512};
+  for (size_t tail = 1; tail < 64; ++tail) {
+    const size_t n = 3 * 64 + tail;  // three full words + partial tail
+    std::vector<uint8_t> data(n);
+    for (auto& v : data) {
+      // Dense hits around the predicate value so the tail word is
+      // non-trivial with high probability.
+      v = static_cast<uint8_t>(98 + rng.NextBounded(5));
+    }
+
+    std::vector<uint64_t> ref_words(n / 64 + 1, 0);
+    const uint64_t ref_count =
+        ScanBitVectorScalar(data.data(), n, kLo, kHi, ref_words.data());
+    std::vector<uint64_t> ref_ids(n);
+    const uint64_t ref_id_count = ScanRowIdsScalar(
+        data.data(), n, kLo, kHi, kBase, ref_ids.data());
+    ASSERT_EQ(ref_count, ref_id_count) << "tail " << tail;
+
+    for (SimdLevel level : levels) {
+      // PickXxxKernel falls back to the widest level the host supports,
+      // so requesting kAvx512 is safe everywhere.
+      std::vector<uint64_t> words(n / 64 + 1, 0);
+      const uint64_t count = PickBitVectorKernel(level)(
+          data.data(), n, kLo, kHi, words.data());
+      EXPECT_EQ(count, ref_count)
+          << SimdLevelToString(level) << " tail " << tail;
+      EXPECT_EQ(words, ref_words)
+          << SimdLevelToString(level) << " tail " << tail;
+
+      std::vector<uint64_t> ids(n);
+      const uint64_t id_count = PickRowIdKernel(level)(
+          data.data(), n, kLo, kHi, kBase, ids.data());
+      ASSERT_EQ(id_count, ref_id_count)
+          << SimdLevelToString(level) << " tail " << tail;
+      for (uint64_t k = 0; k < id_count; ++k) {
+        ASSERT_EQ(ids[k], ref_ids[k])
+            << SimdLevelToString(level) << " tail " << tail << " id " << k;
+      }
+    }
+  }
+}
+
 TEST(ScanDriverPropertyTest, BitVectorAndRowIdsEncodeSameResult) {
   Xoshiro256 rng(99);
   const size_t n = 123457;
