@@ -33,8 +33,7 @@ int main() {
   auto probe = join::GenerateProbeRelation(800'000, 200'000,
                                            MemoryRegion::kEnclave)
                    .value();
-  join::Materializer output(1, ExecutionSetting::kSgxDataInEnclave,
-                            enclave);
+  join::Materializer output(1, mem::ForEnclave(enclave));
   join::JoinConfig cfg;
   cfg.setting = ExecutionSetting::kSgxDataInEnclave;
   cfg.enclave = enclave;

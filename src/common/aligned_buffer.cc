@@ -1,6 +1,7 @@
 #include "common/aligned_buffer.h"
 
 #include <atomic>
+#include <cassert>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -10,10 +11,18 @@ namespace sgxb {
 namespace {
 std::atomic<size_t> g_untrusted_bytes{0};
 std::atomic<size_t> g_enclave_bytes{0};
+std::atomic<uint64_t> g_trusted_bypass_allocs{0};
+std::atomic<bool> g_trusted_bypass_strict{false};
+thread_local int t_sanction_depth = 0;
 
 std::atomic<size_t>& CounterFor(MemoryRegion region) {
   return region == MemoryRegion::kEnclave ? g_enclave_bytes
                                           : g_untrusted_bytes;
+}
+
+// Release function for plain heap allocations (Allocate/AllocateZeroed).
+void FreeRelease(void* /*ctx*/, void* data, size_t /*bytes*/) {
+  std::free(data);
 }
 }  // namespace
 
@@ -23,9 +32,13 @@ AlignedBuffer::AlignedBuffer(AlignedBuffer&& other) noexcept
     : data_(other.data_),
       size_(other.size_),
       region_(other.region_),
-      numa_node_(other.numa_node_) {
+      numa_node_(other.numa_node_),
+      release_(other.release_),
+      release_ctx_(other.release_ctx_) {
   other.data_ = nullptr;
   other.size_ = 0;
+  other.release_ = nullptr;
+  other.release_ctx_ = nullptr;
 }
 
 AlignedBuffer& AlignedBuffer::operator=(AlignedBuffer&& other) noexcept {
@@ -35,8 +48,12 @@ AlignedBuffer& AlignedBuffer::operator=(AlignedBuffer&& other) noexcept {
     size_ = other.size_;
     region_ = other.region_;
     numa_node_ = other.numa_node_;
+    release_ = other.release_;
+    release_ctx_ = other.release_ctx_;
     other.data_ = nullptr;
     other.size_ = 0;
+    other.release_ = nullptr;
+    other.release_ctx_ = nullptr;
   }
   return *this;
 }
@@ -48,8 +65,13 @@ Result<AlignedBuffer> AlignedBuffer::Allocate(size_t bytes,
   if (alignment < kCacheLineSize || (alignment & (alignment - 1)) != 0) {
     return Status::InvalidArgument("alignment must be a power of two >= 64");
   }
+  if (region == MemoryRegion::kEnclave && t_sanction_depth == 0) {
+    g_trusted_bypass_allocs.fetch_add(1, std::memory_order_relaxed);
+    assert((!g_trusted_bypass_strict.load(std::memory_order_relaxed)) &&
+           "trusted allocation bypassed the enclave-aware resources");
+  }
   if (bytes == 0) {
-    return AlignedBuffer(nullptr, 0, region, numa_node);
+    return AlignedBuffer(nullptr, 0, region, numa_node, nullptr, nullptr);
   }
   // Round the size up to the alignment so that SIMD kernels may read a full
   // final vector without faulting.
@@ -60,7 +82,7 @@ Result<AlignedBuffer> AlignedBuffer::Allocate(size_t bytes,
                                " bytes failed");
   }
   CounterFor(region).fetch_add(bytes, std::memory_order_relaxed);
-  return AlignedBuffer(p, bytes, region, numa_node);
+  return AlignedBuffer(p, bytes, region, numa_node, &FreeRelease, nullptr);
 }
 
 Result<AlignedBuffer> AlignedBuffer::AllocateZeroed(size_t bytes,
@@ -74,11 +96,34 @@ Result<AlignedBuffer> AlignedBuffer::AllocateZeroed(size_t bytes,
   return r;
 }
 
+AlignedBuffer AlignedBuffer::FromResource(void* data, size_t bytes,
+                                          MemoryRegion region,
+                                          int numa_node,
+                                          BufferReleaseFn release,
+                                          void* ctx) {
+  assert(release != nullptr && "FromResource requires a release function");
+  if (data != nullptr) {
+    CounterFor(region).fetch_add(bytes, std::memory_order_relaxed);
+  }
+  return AlignedBuffer(data, bytes, region, numa_node, release, ctx);
+}
+
+AlignedBuffer AlignedBuffer::View(void* data, size_t bytes,
+                                  MemoryRegion region, int numa_node) {
+  return AlignedBuffer(data, bytes, region, numa_node, nullptr, nullptr);
+}
+
 void AlignedBuffer::Reset() {
   if (data_ != nullptr) {
-    CounterFor(region_).fetch_sub(size_, std::memory_order_relaxed);
-    std::free(data_);
+    if (release_ != nullptr) {
+      CounterFor(region_).fetch_sub(size_, std::memory_order_relaxed);
+      release_(release_ctx_, data_, size_);
+    }
     data_ = nullptr;
+    size_ = 0;
+    release_ = nullptr;
+    release_ctx_ = nullptr;
+  } else {
     size_ = 0;
   }
 }
@@ -86,6 +131,23 @@ void AlignedBuffer::Reset() {
 RegionUsage GetRegionUsage() {
   return RegionUsage{g_untrusted_bytes.load(std::memory_order_relaxed),
                      g_enclave_bytes.load(std::memory_order_relaxed)};
+}
+
+ScopedTrustedAllocSanction::ScopedTrustedAllocSanction() {
+  ++t_sanction_depth;
+}
+
+ScopedTrustedAllocSanction::~ScopedTrustedAllocSanction() {
+  --t_sanction_depth;
+}
+
+uint64_t TrustedBypassAllocCount() {
+  return g_trusted_bypass_allocs.load(std::memory_order_relaxed);
+}
+
+bool SetTrustedBypassStrict(bool strict) {
+  return g_trusted_bypass_strict.exchange(strict,
+                                          std::memory_order_relaxed);
 }
 
 }  // namespace sgxb

@@ -4,6 +4,16 @@
 // AlignedBuffer so that (a) SIMD kernels can rely on 64-byte alignment and
 // (b) each buffer carries the MemoryRegion and NUMA node it was (logically)
 // placed in, which the cost model uses to charge SGX/NUMA overheads.
+//
+// Ownership comes in three flavours:
+//  - Allocate/AllocateZeroed: the buffer owns plain heap memory.
+//  - FromResource: the buffer owns memory handed over by an allocator
+//    (src/mem/, sgx::Enclave) and calls the given release function on
+//    destruction, so accounting (enclave heap charges, pool reuse) settles
+//    automatically when the last handle dies.
+//  - View: a non-owning window over memory owned elsewhere (e.g. an Arena
+//    carve-out); destruction is a no-op and the bytes are not counted in
+//    the region totals a second time.
 
 #ifndef SGXB_COMMON_ALIGNED_BUFFER_H_
 #define SGXB_COMMON_ALIGNED_BUFFER_H_
@@ -15,6 +25,10 @@
 #include "common/types.h"
 
 namespace sgxb {
+
+/// \brief Called exactly once when an owning buffer releases its memory.
+/// `ctx` is the creator-supplied context (e.g. the Enclave* to credit).
+using BufferReleaseFn = void (*)(void* ctx, void* data, size_t bytes);
 
 /// \brief An owning, cache-line-aligned byte buffer tagged with its
 /// (simulated) memory placement.
@@ -42,6 +56,21 @@ class AlignedBuffer {
                                               size_t alignment =
                                                   kCacheLineSize);
 
+  /// \brief Wraps memory owned by an allocator. `release(ctx, data, bytes)`
+  /// runs exactly once when the buffer (or its final move target) is
+  /// destroyed or Reset. The bytes are counted in the region totals for
+  /// the buffer's lifetime. `release` must not be null (use View for
+  /// non-owning windows).
+  static AlignedBuffer FromResource(void* data, size_t bytes,
+                                    MemoryRegion region, int numa_node,
+                                    BufferReleaseFn release, void* ctx);
+
+  /// \brief A non-owning window over memory owned elsewhere: destruction
+  /// releases nothing and the bytes are not added to the region totals
+  /// (the owner already counted them).
+  static AlignedBuffer View(void* data, size_t bytes, MemoryRegion region,
+                            int numa_node = 0);
+
   void* data() { return data_; }
   const void* data() const { return data_; }
   template <typename T>
@@ -57,18 +86,29 @@ class AlignedBuffer {
   bool empty() const { return size_ == 0; }
   MemoryRegion region() const { return region_; }
   int numa_node() const { return numa_node_; }
+  /// \brief True if destroying this buffer frees/credits the memory.
+  bool owning() const { return data_ != nullptr && release_ != nullptr; }
 
-  /// \brief Releases the memory and resets to the empty state.
+  /// \brief Releases the memory (for owning buffers) and resets to the
+  /// empty state.
   void Reset();
 
  private:
-  AlignedBuffer(void* data, size_t size, MemoryRegion region, int numa_node)
-      : data_(data), size_(size), region_(region), numa_node_(numa_node) {}
+  AlignedBuffer(void* data, size_t size, MemoryRegion region, int numa_node,
+                BufferReleaseFn release, void* release_ctx)
+      : data_(data),
+        size_(size),
+        region_(region),
+        numa_node_(numa_node),
+        release_(release),
+        release_ctx_(release_ctx) {}
 
   void* data_ = nullptr;
   size_t size_ = 0;
   MemoryRegion region_ = MemoryRegion::kUntrusted;
   int numa_node_ = 0;
+  BufferReleaseFn release_ = nullptr;
+  void* release_ctx_ = nullptr;
 };
 
 /// \brief Running total of bytes currently allocated per memory region;
@@ -78,6 +118,34 @@ struct RegionUsage {
   size_t enclave_bytes;
 };
 RegionUsage GetRegionUsage();
+
+// --- Trusted-allocation bypass accounting --------------------------------
+//
+// Direct AlignedBuffer::Allocate(kEnclave) calls tag bytes as trusted
+// without charging any sgx::Enclave heap — historically how operator code
+// leaked allocations past the EPC/EDMM accounting. The mem/ resources wrap
+// every sanctioned trusted allocation in a ScopedTrustedAllocSanction;
+// anything else bumps the bypass counter, and strict mode turns a bypass
+// into a debug assertion so the offending call site is found.
+
+/// \brief Marks allocations on this thread as routed through an
+/// enclave-aware resource (nestable).
+class ScopedTrustedAllocSanction {
+ public:
+  ScopedTrustedAllocSanction();
+  ~ScopedTrustedAllocSanction();
+  ScopedTrustedAllocSanction(const ScopedTrustedAllocSanction&) = delete;
+  ScopedTrustedAllocSanction& operator=(const ScopedTrustedAllocSanction&) =
+      delete;
+};
+
+/// \brief Process-wide count of kEnclave allocations made outside any
+/// sanction scope since start-up.
+uint64_t TrustedBypassAllocCount();
+
+/// \brief When strict, a bypassing trusted allocation asserts in debug
+/// builds (release builds only count). Returns the previous value.
+bool SetTrustedBypassStrict(bool strict);
 
 }  // namespace sgxb
 

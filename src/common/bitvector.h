@@ -31,6 +31,20 @@ class BitVector {
     return bv;
   }
 
+  /// \brief Duck-typed resource allocation (see Relation::AllocateFrom):
+  /// `resource->AllocateZeroed(bytes)` must return Result<AlignedBuffer>.
+  template <typename ResourceT>
+  static Result<BitVector> AllocateFrom(ResourceT* resource,
+                                        size_t num_bits) {
+    size_t words = (num_bits + 63) / 64;
+    auto buf = resource->AllocateZeroed(words * sizeof(uint64_t));
+    if (!buf.ok()) return buf.status();
+    BitVector bv;
+    bv.buffer_ = std::move(buf).value();
+    bv.num_bits_ = num_bits;
+    return bv;
+  }
+
   size_t num_bits() const { return num_bits_; }
   size_t num_words() const { return (num_bits_ + 63) / 64; }
   uint64_t* words() { return buffer_.As<uint64_t>(); }

@@ -22,6 +22,20 @@ class Relation {
                                    MemoryRegion region,
                                    int numa_node = 0);
 
+  /// \brief Allocates from a mem::MemoryResource-like object — duck-typed
+  /// (`resource->Allocate(bytes)` returning Result<AlignedBuffer>) so
+  /// common/ stays below mem/ in the layering.
+  template <typename ResourceT>
+  static Result<Relation> AllocateFrom(ResourceT* resource,
+                                       size_t num_tuples) {
+    auto buf = resource->Allocate(num_tuples * sizeof(Tuple));
+    if (!buf.ok()) return buf.status();
+    Relation r;
+    r.buffer_ = std::move(buf).value();
+    r.num_tuples_ = num_tuples;
+    return r;
+  }
+
   Tuple* tuples() { return buffer_.As<Tuple>(); }
   const Tuple* tuples() const { return buffer_.As<Tuple>(); }
   size_t num_tuples() const { return num_tuples_; }
@@ -49,6 +63,18 @@ class Column {
                                  int numa_node = 0) {
     auto buf = AlignedBuffer::Allocate(num_values * sizeof(T), region,
                                        numa_node);
+    if (!buf.ok()) return buf.status();
+    Column c;
+    c.buffer_ = std::move(buf).value();
+    c.num_values_ = num_values;
+    return c;
+  }
+
+  /// \brief Duck-typed resource allocation (see Relation::AllocateFrom).
+  template <typename ResourceT>
+  static Result<Column> AllocateFrom(ResourceT* resource,
+                                     size_t num_values) {
+    auto buf = resource->Allocate(num_values * sizeof(T));
     if (!buf.ok()) return buf.status();
     Column c;
     c.buffer_ = std::move(buf).value();

@@ -41,6 +41,10 @@
 #include "join/pht_join.h"
 #include "join/radix_common.h"
 #include "join/rho_join.h"
+#include "mem/arena.h"
+#include "mem/arena_pool.h"
+#include "mem/enclave_resource.h"
+#include "mem/memory_resource.h"
 #include "perf/access_profile.h"
 #include "perf/calibration.h"
 #include "perf/cost_model.h"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <new>
 
 namespace sgxb::index {
 
@@ -32,14 +33,17 @@ namespace {
 constexpr double kBulkLoadFill = 0.9;
 }  // namespace
 
-BTree::BTree() = default;
+BTree::BTree(mem::MemoryResource* resource)
+    : resource_(resource != nullptr ? resource : mem::Untrusted()) {}
 
-BTree::~BTree() {
-  if (root_ != nullptr) FreeSubtree(root_);
-}
+// Nodes are trivially destructible: dropping the arena releases every
+// chunk (and credits enclave accounting for trusted resources).
+BTree::~BTree() = default;
 
 BTree::BTree(BTree&& other) noexcept
-    : root_(other.root_),
+    : resource_(other.resource_),
+      arena_(std::move(other.arena_)),
+      root_(other.root_),
       first_leaf_(other.first_leaf_),
       size_(other.size_),
       height_(other.height_),
@@ -55,7 +59,8 @@ BTree::BTree(BTree&& other) noexcept
 
 BTree& BTree::operator=(BTree&& other) noexcept {
   if (this != &other) {
-    if (root_ != nullptr) FreeSubtree(root_);
+    resource_ = other.resource_;
+    arena_ = std::move(other.arena_);
     root_ = other.root_;
     first_leaf_ = other.first_leaf_;
     size_ = other.size_;
@@ -72,25 +77,40 @@ BTree& BTree::operator=(BTree&& other) noexcept {
   return *this;
 }
 
-void BTree::FreeSubtree(Node* node) {
-  if (!node->is_leaf) {
-    auto* inner = static_cast<InnerNode*>(node);
-    for (int i = 0; i <= inner->count; ++i) FreeSubtree(inner->children[i]);
-    delete inner;
-  } else {
-    delete static_cast<LeafNode*>(node);
+mem::Arena& BTree::NodeArena() {
+  if (arena_ == nullptr) {
+    if (resource_ == nullptr) resource_ = mem::Untrusted();
+    arena_ = std::make_unique<mem::Arena>(resource_);
   }
+  return *arena_;
+}
+
+Result<BTree::LeafNode*> BTree::NewLeaf() {
+  auto p = NodeArena().Allocate(sizeof(LeafNode), alignof(LeafNode) > 64
+                                                      ? alignof(LeafNode)
+                                                      : 64);
+  if (!p.ok()) return p.status();
+  return new (p.value()) LeafNode;
+}
+
+Result<BTree::InnerNode*> BTree::NewInner() {
+  auto p = NodeArena().Allocate(sizeof(InnerNode), alignof(InnerNode) > 64
+                                                       ? alignof(InnerNode)
+                                                       : 64);
+  if (!p.ok()) return p.status();
+  return new (p.value()) InnerNode;
 }
 
 Result<BTree> BTree::BulkLoad(
-    const std::vector<std::pair<Key, Value>>& sorted_entries) {
+    const std::vector<std::pair<Key, Value>>& sorted_entries,
+    mem::MemoryResource* resource) {
   for (size_t i = 1; i < sorted_entries.size(); ++i) {
     if (sorted_entries[i - 1].first > sorted_entries[i].first) {
       return Status::InvalidArgument("bulk-load input is not sorted");
     }
   }
 
-  BTree tree;
+  BTree tree(resource);
   if (sorted_entries.empty()) return tree;
 
   const int per_leaf = std::max(
@@ -102,7 +122,8 @@ Result<BTree> BTree::BulkLoad(
   LeafNode* prev = nullptr;
   size_t pos = 0;
   while (pos < sorted_entries.size()) {
-    auto* leaf = new LeafNode();
+    LeafNode* leaf = nullptr;
+    SGXB_ASSIGN_OR_RETURN(leaf, tree.NewLeaf());
     leaf->is_leaf = true;
     leaf->next = nullptr;
     int n = static_cast<int>(
@@ -144,7 +165,8 @@ Result<BTree> BTree::BulkLoad(
         // Never leave a single orphan child for the next node.
         n -= 1;
       }
-      auto* inner = new InnerNode();
+      InnerNode* inner = nullptr;
+      SGXB_ASSIGN_OR_RETURN(inner, tree.NewInner());
       inner->is_leaf = false;
       inner->count = static_cast<int>(n) - 1;
       for (size_t c = 0; c < n; ++c) {
@@ -313,7 +335,8 @@ size_t BTree::ScanRange(Key lo, Key hi,
 
 Status BTree::Insert(Key key, Value value) {
   if (root_ == nullptr) {
-    auto* leaf = new LeafNode();
+    LeafNode* leaf = nullptr;
+    SGXB_ASSIGN_OR_RETURN(leaf, NewLeaf());
     leaf->is_leaf = true;
     leaf->count = 1;
     leaf->keys[0] = key;
@@ -358,7 +381,8 @@ Status BTree::Insert(Key key, Value value) {
   }
 
   // Split the leaf: left keeps the lower half; separator = max(left).
-  auto* right = new LeafNode();
+  LeafNode* right = nullptr;
+  SGXB_ASSIGN_OR_RETURN(right, NewLeaf());
   right->is_leaf = true;
   ++num_leaves_;
   int split = leaf->count / 2;
@@ -383,16 +407,16 @@ Status BTree::Insert(Key key, Value value) {
   ++target->count;
   ++size_;
 
-  InsertUpward(path, leaf, leaf->keys[leaf->count - 1], right);
-  return Status::OK();
+  return InsertUpward(path, leaf, leaf->keys[leaf->count - 1], right);
 }
 
-void BTree::InsertUpward(std::vector<InnerNode*>& path, Node* left,
-                         Key sep, Node* right) {
+Status BTree::InsertUpward(std::vector<InnerNode*>& path, Node* left,
+                           Key sep, Node* right) {
   while (true) {
     if (path.empty()) {
       // Split reached the root: grow the tree by one level.
-      auto* new_root = new InnerNode();
+      InnerNode* new_root = nullptr;
+      SGXB_ASSIGN_OR_RETURN(new_root, NewInner());
       new_root->is_leaf = false;
       new_root->count = 1;
       new_root->keys[0] = sep;
@@ -401,7 +425,7 @@ void BTree::InsertUpward(std::vector<InnerNode*>& path, Node* left,
       root_ = new_root;
       ++height_;
       ++num_inner_;
-      return;
+      return Status::OK();
     }
     InnerNode* parent = path.back();
     path.pop_back();
@@ -421,11 +445,12 @@ void BTree::InsertUpward(std::vector<InnerNode*>& path, Node* left,
       parent->keys[idx] = sep;
       parent->children[idx + 1] = right;
       ++parent->count;
-      return;
+      return Status::OK();
     }
 
     // Split the inner node. Middle key moves up.
-    auto* new_inner = new InnerNode();
+    InnerNode* new_inner = nullptr;
+    SGXB_ASSIGN_OR_RETURN(new_inner, NewInner());
     new_inner->is_leaf = false;
     ++num_inner_;
     int split = parent->count / 2;

@@ -19,6 +19,8 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "exec/probe_pipeline.h"
+#include "mem/arena.h"
+#include "mem/memory_resource.h"
 
 namespace sgxb::index {
 
@@ -31,7 +33,11 @@ class BTree {
   static constexpr int kLeafCapacity = 120;
   static constexpr int kInnerCapacity = 120;
 
-  BTree();
+  /// \brief Nodes are carved from an arena over `resource` (null =
+  /// untrusted host memory), created lazily on the first insert/load, so
+  /// a tree built for an in-enclave INL join charges the enclave's heap
+  /// accounting and pays EDMM growth like every other operator structure.
+  explicit BTree(mem::MemoryResource* resource = nullptr);
   ~BTree();
   BTree(const BTree&) = delete;
   BTree& operator=(const BTree&) = delete;
@@ -42,7 +48,8 @@ class BTree {
   /// Existing contents are discarded. Leaves are filled to ~90% so that
   /// subsequent inserts do not immediately split.
   static Result<BTree> BulkLoad(
-      const std::vector<std::pair<Key, Value>>& sorted_entries);
+      const std::vector<std::pair<Key, Value>>& sorted_entries,
+      mem::MemoryResource* resource = nullptr);
 
   /// \brief Inserts one entry (duplicates allowed).
   Status Insert(Key key, Value value);
@@ -88,10 +95,16 @@ class BTree {
   struct ProbeCursor;
 
   LeafNode* FindLeaf(Key key) const;
-  void InsertUpward(std::vector<InnerNode*>& path, Node* left, Key sep,
-                    Node* right);
-  void FreeSubtree(Node* node);
+  Status InsertUpward(std::vector<InnerNode*>& path, Node* left, Key sep,
+                      Node* right);
+  Result<LeafNode*> NewLeaf();
+  Result<InnerNode*> NewInner();
+  mem::Arena& NodeArena();
 
+  mem::MemoryResource* resource_ = nullptr;
+  // Nodes live until the tree dies: no per-node frees, the arena's
+  // chunks are released wholesale by the destructor.
+  std::unique_ptr<mem::Arena> arena_;
   Node* root_ = nullptr;
   LeafNode* first_leaf_ = nullptr;
   size_t size_ = 0;

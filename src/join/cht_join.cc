@@ -142,7 +142,8 @@ Result<JoinResult> ChtJoin(const Relation& build, const Relation& probe,
   std::optional<Materializer> own_mat;
   Materializer* mat = config.output;
   if (config.materialize && mat == nullptr) {
-    own_mat.emplace(threads, config.setting, config.enclave);
+    own_mat.emplace(threads, EffectiveResource(config),
+                    Materializer::kDefaultChunkTuples, config.arena_pool);
     mat = &*own_mat;
   }
   const bool in_enclave = config.setting != ExecutionSetting::kPlainCpu;

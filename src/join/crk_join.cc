@@ -96,14 +96,13 @@ Result<JoinResult> CrkJoin(const Relation& build, const Relation& probe,
 
   // Partitioning is in place, but the inputs are const: copy them into
   // working buffers first (sequential, cheap relative to cracking).
-  auto work_r = AllocateIntermediate(build.size_bytes(), config);
+  JoinScratch scratch_mem(config);
+  auto work_r = scratch_mem.Allocate(build.size_bytes());
   if (!work_r.ok()) return work_r.status();
-  auto work_s = AllocateIntermediate(probe.size_bytes(), config);
+  auto work_s = scratch_mem.Allocate(probe.size_bytes());
   if (!work_s.ok()) return work_s.status();
-  AlignedBuffer work_r_buf = std::move(work_r).value();
-  AlignedBuffer work_s_buf = std::move(work_s).value();
-  Tuple* r_data = work_r_buf.As<Tuple>();
-  Tuple* s_data = work_s_buf.As<Tuple>();
+  Tuple* r_data = static_cast<Tuple*>(work_r.value());
+  Tuple* s_data = static_cast<Tuple*>(work_s.value());
   const size_t rn = build.num_tuples();
   const size_t sn = probe.num_tuples();
 
@@ -130,7 +129,8 @@ Result<JoinResult> CrkJoin(const Relation& build, const Relation& probe,
   std::optional<Materializer> own_mat;
   Materializer* mat = config.output;
   if (config.materialize && mat == nullptr) {
-    own_mat.emplace(threads, config.setting, config.enclave);
+    own_mat.emplace(threads, EffectiveResource(config),
+                    Materializer::kDefaultChunkTuples, config.arena_pool);
     mat = &*own_mat;
   }
   const bool in_enclave = config.setting != ExecutionSetting::kPlainCpu;
@@ -263,14 +263,8 @@ Result<JoinResult> CrkJoin(const Relation& build, const Relation& probe,
   result.host_ns = result.phases.TotalHostNs();
   result.threads = threads;
   for (uint64_t m : matches) result.matches += m;
-
-  if (config.enclave != nullptr &&
-      config.setting == ExecutionSetting::kSgxDataInEnclave) {
-    // One call per AllocateIntermediate buffer: accounting is
-    // page-granular, so a summed release would under-release.
-    config.enclave->NotifyFree(build.size_bytes());
-    config.enclave->NotifyFree(probe.size_bytes());
-  }
+  // `scratch_mem` releases the working buffers (and credits enclave
+  // accounting) on scope exit.
   return result;
 }
 

@@ -22,7 +22,8 @@ Result<JoinResult> InlJoin(const Relation& build, const Relation& probe,
   std::optional<Materializer> own_mat;
   Materializer* mat = config.output;
   if (config.materialize && mat == nullptr) {
-    own_mat.emplace(threads, config.setting, config.enclave);
+    own_mat.emplace(threads, EffectiveResource(config),
+                    Materializer::kDefaultChunkTuples, config.arena_pool);
     mat = &*own_mat;
   }
   const bool in_enclave = config.setting != ExecutionSetting::kPlainCpu;
@@ -48,7 +49,9 @@ Result<JoinResult> InlJoin(const Relation& build, const Relation& probe,
         entries.emplace_back(build[i].key, build[i].payload);
       }
       std::sort(entries.begin(), entries.end());
-      auto t = index::BTree::BulkLoad(entries);
+      // Node memory comes from the join's resource, so an in-enclave
+      // index build shows up in the enclave heap stats.
+      auto t = index::BTree::BulkLoad(entries, EffectiveResource(config));
       if (!t.ok()) {
         build_status = t.status();
       } else {

@@ -68,15 +68,28 @@ Status ValidateJoinInputs(const Relation& build, const Relation& probe,
 
 Result<AlignedBuffer> AllocateIntermediate(size_t bytes,
                                            const JoinConfig& config) {
-  if (config.setting == ExecutionSetting::kSgxDataInEnclave &&
-      config.enclave != nullptr) {
-    return config.enclave->Allocate(bytes);
+  return EffectiveResource(config)->Allocate(bytes);
+}
+
+mem::MemoryResource* EffectiveResource(const JoinConfig& config) {
+  if (config.resource != nullptr) return config.resource;
+  return mem::ResourceFor(config.setting, config.enclave);
+}
+
+JoinScratch::JoinScratch(const JoinConfig& config)
+    : resource_(EffectiveResource(config)) {
+  if (config.alloc_policy == AllocPolicy::kArena) {
+    arena_.emplace(resource_, /*chunk_bytes=*/0, config.arena_pool);
   }
-  MemoryRegion region =
-      config.setting == ExecutionSetting::kSgxDataInEnclave
-          ? MemoryRegion::kEnclave
-          : MemoryRegion::kUntrusted;
-  return AlignedBuffer::Allocate(bytes, region);
+}
+
+Result<void*> JoinScratch::Allocate(size_t bytes) {
+  if (arena_.has_value()) return arena_->Allocate(bytes);
+  AlignedBuffer buf;
+  SGXB_ASSIGN_OR_RETURN(buf, resource_->Allocate(bytes));
+  void* p = buf.data();
+  direct_.push_back(std::move(buf));
+  return p;
 }
 
 }  // namespace sgxb::join

@@ -14,11 +14,16 @@
 #include <optional>
 #include <string>
 
+#include <vector>
+
 #include "common/relation.h"
 #include "common/status.h"
 #include "common/timer.h"
 #include "common/types.h"
 #include "exec/probe_pipeline.h"
+#include "mem/arena.h"
+#include "mem/arena_pool.h"
+#include "mem/enclave_resource.h"
 #include "perf/access_profile.h"
 #include "sgx/enclave.h"
 #include "sync/task_queue.h"
@@ -26,6 +31,17 @@
 namespace sgxb::join {
 
 class Materializer;
+
+/// \brief How a join obtains its intermediate structures (hash tables,
+/// partition buffers, sort runs) from the memory layer.
+enum class AllocPolicy {
+  /// One MemoryResource allocation per structure — the pre-arena
+  /// behaviour, kept as the ablation baseline (bench_ablation_arena).
+  kDirect = 0,
+  /// Carve structures from a per-join Arena (2 MiB chunks, optionally
+  /// recycled through JoinConfig::arena_pool across queries).
+  kArena = 1,
+};
 
 /// \brief The join algorithms in the paper's benchmark suite (Figure 3).
 enum class JoinAlgorithm {
@@ -70,6 +86,44 @@ struct JoinConfig {
   /// Group size (group prefetch) / ring width (AMAC). 0 = the calibrated
   /// default (SGXBENCH_PROBE_BATCH / SGXBENCH_PROBE_DIST).
   int probe_batch = 0;
+
+  /// Memory resource every intermediate and materialized chunk comes
+  /// from; null = derived from `setting`/`enclave` (mem::ResourceFor).
+  mem::MemoryResource* resource = nullptr;
+  /// Chunk pool for warm reuse across queries (docs/memory.md); null =
+  /// chunks come straight from the resource and die with the join.
+  mem::ArenaPool* arena_pool = nullptr;
+  /// Intermediate-allocation strategy; kArena is the default path.
+  AllocPolicy alloc_policy = AllocPolicy::kArena;
+};
+
+/// \brief The resource the join allocates from: `config.resource` if set,
+/// else derived from the setting/enclave.
+mem::MemoryResource* EffectiveResource(const JoinConfig& config);
+
+/// \brief Owns one join invocation's intermediate memory. Under
+/// AllocPolicy::kArena the carve-outs share 2 MiB chunks (recycled via
+/// JoinConfig::arena_pool when present); under kDirect each call is its
+/// own resource allocation. Everything is released — and, for enclave
+/// resources, credited back to the heap accounting — when the scratch is
+/// destroyed. Not thread-safe; allocate before fanning out workers.
+class JoinScratch {
+ public:
+  explicit JoinScratch(const JoinConfig& config);
+
+  /// \brief 64-byte-aligned scratch block, alive until destruction.
+  Result<void*> Allocate(size_t bytes);
+
+  /// \brief The backing arena, or null under kDirect. Joins with phased
+  /// memory use it for checkpoint/rollback (e.g. MWAY's sort runs die
+  /// after the merge).
+  mem::Arena* arena() { return arena_.has_value() ? &*arena_ : nullptr; }
+  mem::MemoryResource* resource() const { return resource_; }
+
+ private:
+  mem::MemoryResource* resource_;
+  std::optional<mem::Arena> arena_;
+  std::vector<AlignedBuffer> direct_;
 };
 
 /// \brief Probe scheduling a join actually uses for `config` (resolves

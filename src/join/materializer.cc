@@ -2,12 +2,23 @@
 
 namespace sgxb::join {
 
-Materializer::Materializer(int num_threads, ExecutionSetting setting,
-                           sgx::Enclave* enclave, size_t chunk_tuples)
-    : setting_(setting), enclave_(enclave), chunk_tuples_(chunk_tuples) {
+Materializer::Materializer(int num_threads, mem::MemoryResource* resource,
+                           size_t chunk_tuples, mem::ArenaPool* pool)
+    : resource_(resource != nullptr ? resource : mem::Untrusted()),
+      pool_(pool),
+      chunk_tuples_(chunk_tuples) {
   slots_.reserve(num_threads);
   for (int i = 0; i < num_threads; ++i) {
     slots_.push_back(std::make_unique<ThreadSlot>());
+  }
+}
+
+Materializer::~Materializer() {
+  if (pool_ == nullptr) return;
+  for (auto& slot : slots_) {
+    for (auto& chunk : slot->chunks) {
+      pool_->Release(std::move(chunk));
+    }
   }
 }
 
@@ -17,11 +28,9 @@ bool Materializer::Grow(ThreadSlot& slot) {
     slot.chunk_used.back() = slot.used;
   }
   const size_t bytes = chunk_tuples_ * sizeof(JoinOutputTuple);
-  Result<AlignedBuffer> buf =
-      (setting_ == ExecutionSetting::kSgxDataInEnclave &&
-       enclave_ != nullptr)
-          ? enclave_->Allocate(bytes)
-          : AlignedBuffer::Allocate(bytes, MemoryRegion::kUntrusted);
+  Result<AlignedBuffer> buf = pool_ != nullptr
+                                  ? pool_->Acquire(bytes)
+                                  : resource_->Allocate(bytes);
   if (!buf.ok()) {
     slot.error = buf.status();
     slot.current = nullptr;
@@ -32,7 +41,8 @@ bool Materializer::Grow(ThreadSlot& slot) {
   slot.chunk_used.push_back(0);
   slot.current = slot.chunks.back().As<JoinOutputTuple>();
   slot.used = 0;
-  slot.capacity = chunk_tuples_;
+  // Pool chunks are rounded up to the pool's chunk size; use all of it.
+  slot.capacity = slot.chunks.back().size() / sizeof(JoinOutputTuple);
   return true;
 }
 

@@ -1,31 +1,42 @@
 // Join output materialization.
 //
 // Joins that materialize append output tuples into per-thread chunked
-// buffers. Chunks are allocated either from untrusted memory or from the
-// enclave heap; in the latter case, allocations beyond the enclave's
-// committed size trigger EDMM page-growth costs — exactly the effect the
-// paper measures in Section 4.4 / Figure 11.
+// buffers. Chunks come from a mem::MemoryResource — untrusted memory or
+// the simulated enclave heap; in the latter case, allocations beyond the
+// enclave's committed size trigger EDMM page-growth costs — exactly the
+// effect the paper measures in Section 4.4 / Figure 11. An optional
+// mem::ArenaPool recycles chunks across queries instead of returning
+// them to the resource on destruction.
 
 #ifndef SGXB_JOIN_MATERIALIZER_H_
 #define SGXB_JOIN_MATERIALIZER_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "common/aligned_buffer.h"
 #include "common/status.h"
 #include "common/types.h"
-#include "sgx/enclave.h"
+#include "mem/arena_pool.h"
+#include "mem/memory_resource.h"
 
 namespace sgxb::join {
 
 class Materializer {
  public:
-  /// \brief `enclave` may be null; it is required only when `setting`
-  /// places data inside the enclave.
-  Materializer(int num_threads, ExecutionSetting setting,
-               sgx::Enclave* enclave,
-               size_t chunk_tuples = 128 * 1024);
+  static constexpr size_t kDefaultChunkTuples = 128 * 1024;
+
+  /// \brief Appends through `resource` (null = untrusted host memory).
+  /// When `pool` is non-null, chunks are acquired from and released back
+  /// to it, so a long-lived pool keeps enclave pages committed across
+  /// queries (the Figure 11 reuse mechanism).
+  explicit Materializer(int num_threads,
+                        mem::MemoryResource* resource = nullptr,
+                        size_t chunk_tuples = kDefaultChunkTuples,
+                        mem::ArenaPool* pool = nullptr);
+
+  ~Materializer();
 
   Materializer(const Materializer&) = delete;
   Materializer& operator=(const Materializer&) = delete;
@@ -49,6 +60,8 @@ class Materializer {
   void ForEachChunk(
       const std::function<void(const JoinOutputTuple*, size_t)>& fn) const;
 
+  mem::MemoryResource* resource() const { return resource_; }
+
  private:
   struct alignas(kCacheLineSize) ThreadSlot {
     std::vector<AlignedBuffer> chunks;
@@ -61,8 +74,8 @@ class Materializer {
 
   bool Grow(ThreadSlot& slot);
 
-  ExecutionSetting setting_;
-  sgx::Enclave* enclave_;
+  mem::MemoryResource* resource_;
+  mem::ArenaPool* pool_;
   size_t chunk_tuples_;
   std::vector<std::unique_ptr<ThreadSlot>> slots_;
 };

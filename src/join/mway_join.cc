@@ -83,26 +83,31 @@ Result<JoinResult> MwayJoin(const Relation& build, const Relation& probe,
   const size_t r_bytes = build.size_bytes();
   const size_t s_bytes = probe.size_bytes();
 
-  // Working buffers: run storage plus merged output, for each table.
-  auto run_r = AllocateIntermediate(r_bytes, config);
-  if (!run_r.ok()) return run_r.status();
-  auto run_s = AllocateIntermediate(s_bytes, config);
-  if (!run_s.ok()) return run_s.status();
-  auto merged_r = AllocateIntermediate(r_bytes, config);
+  // Working buffers: merged output first, then run storage. The run
+  // buffers are dead once the merge phase completes, so under the arena
+  // policy they sit past a checkpoint and are rolled back mid-join —
+  // halving MWAY's peak intermediate footprint (which matters most when
+  // the arena is carved from a tight EPC budget).
+  JoinScratch scratch_mem(config);
+  auto merged_r = scratch_mem.Allocate(r_bytes);
   if (!merged_r.ok()) return merged_r.status();
-  auto merged_s = AllocateIntermediate(s_bytes, config);
+  auto merged_s = scratch_mem.Allocate(s_bytes);
   if (!merged_s.ok()) return merged_s.status();
-  AlignedBuffer run_r_buf = std::move(run_r).value();
-  AlignedBuffer run_s_buf = std::move(run_s).value();
-  AlignedBuffer merged_r_buf = std::move(merged_r).value();
-  AlignedBuffer merged_s_buf = std::move(merged_s).value();
+  mem::ArenaCheckpoint runs_checkpoint;
+  if (scratch_mem.arena() != nullptr) {
+    runs_checkpoint = scratch_mem.arena()->Save();
+  }
+  auto run_r = scratch_mem.Allocate(r_bytes);
+  if (!run_r.ok()) return run_r.status();
+  auto run_s = scratch_mem.Allocate(s_bytes);
+  if (!run_s.ok()) return run_s.status();
 
   SortedTable R, S;
-  R.runs = run_r_buf.As<Tuple>();
-  R.merged = merged_r_buf.As<Tuple>();
+  R.runs = static_cast<Tuple*>(run_r.value());
+  R.merged = static_cast<Tuple*>(merged_r.value());
   R.n = build.num_tuples();
-  S.runs = run_s_buf.As<Tuple>();
-  S.merged = merged_s_buf.As<Tuple>();
+  S.runs = static_cast<Tuple*>(run_s.value());
+  S.merged = static_cast<Tuple*>(merged_s.value());
   S.n = probe.num_tuples();
   for (int t = 0; t < threads; ++t) {
     R.run_bounds.push_back(SplitRange(R.n, threads, t));
@@ -124,7 +129,8 @@ Result<JoinResult> MwayJoin(const Relation& build, const Relation& probe,
   std::optional<Materializer> own_mat;
   Materializer* mat = config.output;
   if (config.materialize && mat == nullptr) {
-    own_mat.emplace(threads, config.setting, config.enclave);
+    own_mat.emplace(threads, EffectiveResource(config),
+                    Materializer::kDefaultChunkTuples, config.arena_pool);
     mat = &*own_mat;
   }
   const bool in_enclave = config.setting != ExecutionSetting::kPlainCpu;
@@ -184,6 +190,16 @@ Result<JoinResult> MwayJoin(const Relation& build, const Relation& probe,
       p.loop_iterations = R.n + S.n;
       p.ilp = perf::IlpClass::kReferenceLoop;  // heap pops are dependent
       recorder.End("merge", p, threads);
+      // The run buffers are dead now — only `merged` is read from here
+      // on. Roll the arena back so their chunks are released (to the
+      // pool, or back to the resource which credits enclave accounting)
+      // before the merge-join phase. Every other worker is parked in the
+      // barrier, so the arena is touched exclusively.
+      if (scratch_mem.arena() != nullptr) {
+        R.runs = nullptr;
+        S.runs = nullptr;
+        scratch_mem.arena()->Rollback(runs_checkpoint);
+      }
       recorder.Begin();
     });
 
@@ -245,17 +261,8 @@ Result<JoinResult> MwayJoin(const Relation& build, const Relation& probe,
   result.host_ns = result.phases.TotalHostNs();
   result.threads = threads;
   for (uint64_t m : matches) result.matches += m;
-
-  if (config.enclave != nullptr &&
-      config.setting == ExecutionSetting::kSgxDataInEnclave) {
-    // One call per AllocateIntermediate buffer (run + merge buffers for
-    // each side): accounting is page-granular, so a summed release
-    // would under-release.
-    config.enclave->NotifyFree(r_bytes);
-    config.enclave->NotifyFree(s_bytes);
-    config.enclave->NotifyFree(r_bytes);
-    config.enclave->NotifyFree(s_bytes);
-  }
+  // `scratch_mem` releases the merge buffers (and credits enclave
+  // accounting) on scope exit; the run buffers were already rolled back.
   return result;
 }
 

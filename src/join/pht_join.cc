@@ -184,12 +184,12 @@ Result<JoinResult> PhtJoin(const Relation& build, const Relation& probe,
   const size_t table_bytes =
       (num_buckets + overflow_cap) * sizeof(Bucket);
 
-  auto table_buf = AllocateIntermediate(table_bytes, config);
+  JoinScratch scratch(config);
+  auto table_buf = scratch.Allocate(table_bytes);
   if (!table_buf.ok()) return table_buf.status();
-  AlignedBuffer table_mem = std::move(table_buf).value();
 
   HashTable table;
-  table.buckets = table_mem.As<Bucket>();
+  table.buckets = static_cast<Bucket*>(table_buf.value());
   table.num_buckets = num_buckets;
   table.hash_bits = BitsOf(num_buckets);
   table.overflow = table.buckets + num_buckets;
@@ -202,7 +202,8 @@ Result<JoinResult> PhtJoin(const Relation& build, const Relation& probe,
   std::optional<Materializer> own_mat;
   Materializer* mat = config.output;
   if (config.materialize && mat == nullptr) {
-    own_mat.emplace(threads, config.setting, config.enclave);
+    own_mat.emplace(threads, EffectiveResource(config),
+                    Materializer::kDefaultChunkTuples, config.arena_pool);
     mat = &*own_mat;
   }
   const bool in_enclave = config.setting != ExecutionSetting::kPlainCpu;
@@ -302,10 +303,8 @@ Result<JoinResult> PhtJoin(const Relation& build, const Relation& probe,
   result.host_ns = result.phases.TotalHostNs();
   result.threads = threads;
   for (uint64_t m : matches) result.matches += m;
-  if (config.enclave != nullptr &&
-      config.setting == ExecutionSetting::kSgxDataInEnclave) {
-    config.enclave->NotifyFree(table_bytes);
-  }
+  // `scratch` releases the hash table (and credits enclave accounting)
+  // on scope exit.
   return result;
 }
 

@@ -62,31 +62,31 @@ Result<JoinResult> RhoJoin(const Relation& build, const Relation& probe,
   // --- Allocate intermediate buffers ------------------------------------
   const size_t r_bytes = build.size_bytes();
   const size_t s_bytes = probe.size_bytes();
-  auto tmp_r = AllocateIntermediate(r_bytes, config);
+  JoinScratch scratch_mem(config);
+  auto tmp_r = scratch_mem.Allocate(r_bytes);
   if (!tmp_r.ok()) return tmp_r.status();
-  auto tmp_s = AllocateIntermediate(s_bytes, config);
+  auto tmp_s = scratch_mem.Allocate(s_bytes);
   if (!tmp_s.ok()) return tmp_s.status();
-  AlignedBuffer dst_r_buf, dst_s_buf;
+  Tuple* dst_r = nullptr;
+  Tuple* dst_s = nullptr;
   if (passes == 2) {
-    auto d_r = AllocateIntermediate(r_bytes, config);
+    auto d_r = scratch_mem.Allocate(r_bytes);
     if (!d_r.ok()) return d_r.status();
-    auto d_s = AllocateIntermediate(s_bytes, config);
+    auto d_s = scratch_mem.Allocate(s_bytes);
     if (!d_s.ok()) return d_s.status();
-    dst_r_buf = std::move(d_r).value();
-    dst_s_buf = std::move(d_s).value();
+    dst_r = static_cast<Tuple*>(d_r.value());
+    dst_s = static_cast<Tuple*>(d_s.value());
   }
-  AlignedBuffer tmp_r_buf = std::move(tmp_r).value();
-  AlignedBuffer tmp_s_buf = std::move(tmp_s).value();
 
   PartitionState R, S;
   R.input = build.tuples();
   R.n = build.num_tuples();
-  R.pass1_out = tmp_r_buf.As<Tuple>();
-  R.final_out = passes == 2 ? dst_r_buf.As<Tuple>() : R.pass1_out;
+  R.pass1_out = static_cast<Tuple*>(tmp_r.value());
+  R.final_out = passes == 2 ? dst_r : R.pass1_out;
   S.input = probe.tuples();
   S.n = probe.num_tuples();
-  S.pass1_out = tmp_s_buf.As<Tuple>();
-  S.final_out = passes == 2 ? dst_s_buf.As<Tuple>() : S.pass1_out;
+  S.pass1_out = static_cast<Tuple*>(tmp_s.value());
+  S.final_out = passes == 2 ? dst_s : S.pass1_out;
 
   for (PartitionState* st : {&R, &S}) {
     st->thread_hist.assign(threads, std::vector<uint32_t>(fanout1, 0));
@@ -113,7 +113,8 @@ Result<JoinResult> RhoJoin(const Relation& build, const Relation& probe,
   std::optional<Materializer> own_mat;
   Materializer* mat = config.output;
   if (config.materialize && mat == nullptr) {
-    own_mat.emplace(threads, config.setting, config.enclave);
+    own_mat.emplace(threads, EffectiveResource(config),
+                    Materializer::kDefaultChunkTuples, config.arena_pool);
     mat = &*own_mat;
   }
   const bool in_enclave = config.setting != ExecutionSetting::kPlainCpu;
@@ -319,18 +320,8 @@ Result<JoinResult> RhoJoin(const Relation& build, const Relation& probe,
   result.host_ns = result.phases.TotalHostNs();
   result.threads = threads;
   for (uint64_t m : matches) result.matches += m;
-
-  if (config.enclave != nullptr &&
-      config.setting == ExecutionSetting::kSgxDataInEnclave) {
-    // One call per AllocateIntermediate buffer: accounting is
-    // page-granular, so a summed release would under-release.
-    config.enclave->NotifyFree(r_bytes);
-    config.enclave->NotifyFree(s_bytes);
-    if (passes == 2) {
-      config.enclave->NotifyFree(r_bytes);
-      config.enclave->NotifyFree(s_bytes);
-    }
-  }
+  // `scratch_mem` releases the partition buffers (and credits enclave
+  // accounting) on scope exit.
   return result;
 }
 

@@ -1,0 +1,76 @@
+#include "mem/arena_pool.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+
+#include "mem/arena.h"
+
+namespace sgxb::mem {
+
+bool ArenaReuseEnabled() {
+  const char* env = std::getenv("SGXBENCH_ARENA_REUSE");
+  if (env == nullptr) return true;
+  return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+           std::strcmp(env, "false") == 0);
+}
+
+ArenaPool::ArenaPool(MemoryResource* resource, size_t chunk_bytes)
+    : resource_(resource),
+      chunk_bytes_(chunk_bytes != 0 ? chunk_bytes
+                                    : DefaultArenaChunkBytes()),
+      reuse_(ArenaReuseEnabled()) {
+  assert(resource_ != nullptr);
+}
+
+Result<AlignedBuffer> ArenaPool::Acquire(size_t min_bytes) {
+  const size_t want =
+      (min_bytes + chunk_bytes_ - 1) / chunk_bytes_ * chunk_bytes_;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.lower_bound(want);
+    if (it != cache_.end()) {
+      AlignedBuffer chunk = std::move(it->second);
+      cached_bytes_ -= it->first;
+      cache_.erase(it);
+      ++reuse_hits_;
+      return chunk;
+    }
+    ++fresh_allocs_;
+  }
+  // Allocate outside the lock: an EDMM-growing enclave allocation injects
+  // real page-commit delays, which must not serialize unrelated arenas.
+  return resource_->Allocate(want);
+}
+
+void ArenaPool::Release(AlignedBuffer chunk) {
+  if (chunk.data() == nullptr) return;
+  if (!reuse_) return;  // dropped: chunk's own release path frees/credits
+  std::lock_guard<std::mutex> lock(mu_);
+  cached_bytes_ += chunk.size();
+  ++released_;
+  cache_.emplace(chunk.size(), std::move(chunk));
+}
+
+void ArenaPool::Trim() {
+  std::multimap<size_t, AlignedBuffer> doomed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    doomed.swap(cache_);
+    cached_bytes_ = 0;
+  }
+  // Chunks free as `doomed` dies, outside the lock.
+}
+
+ArenaPool::Stats ArenaPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.reuse_hits = reuse_hits_;
+  s.fresh_allocs = fresh_allocs_;
+  s.released = released_;
+  s.cached_chunks = cache_.size();
+  s.cached_bytes = cached_bytes_;
+  return s;
+}
+
+}  // namespace sgxb::mem

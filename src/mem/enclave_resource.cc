@@ -1,0 +1,41 @@
+#include "mem/enclave_resource.h"
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace sgxb::mem {
+
+namespace {
+std::mutex g_intern_mu;
+std::unordered_map<sgx::Enclave*, std::unique_ptr<EnclaveResource>>*
+    g_interned = nullptr;
+}  // namespace
+
+MemoryResource* ForEnclave(sgx::Enclave* enclave) {
+  std::lock_guard<std::mutex> lock(g_intern_mu);
+  if (g_interned == nullptr) {
+    // Leaked intentionally: resources are process-lifetime singletons and
+    // destruction order against static enclaves is otherwise fraught.
+    g_interned = new std::unordered_map<sgx::Enclave*,
+                                        std::unique_ptr<EnclaveResource>>();
+  }
+  auto it = g_interned->find(enclave);
+  if (it == g_interned->end()) {
+    it = g_interned
+             ->emplace(enclave, std::make_unique<EnclaveResource>(enclave))
+             .first;
+  }
+  return it->second.get();
+}
+
+MemoryResource* ResourceFor(ExecutionSetting setting,
+                            sgx::Enclave* enclave, int numa_node) {
+  if (setting != ExecutionSetting::kSgxDataInEnclave) {
+    return Untrusted(numa_node);
+  }
+  if (enclave != nullptr) return ForEnclave(enclave);
+  return SimulatedEnclave(numa_node);
+}
+
+}  // namespace sgxb::mem

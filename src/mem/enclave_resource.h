@@ -1,0 +1,56 @@
+// MemoryResource backed by a simulated SGX enclave's heap.
+//
+// Every allocation charges Enclave::ChargeAlloc (page-granular, paying
+// EDMM growth costs for dynamic enclaves) and every release credits it via
+// the buffer's release hook — so enclave heap stats reflect each trusted
+// allocation an operator makes, and EPC exhaustion surfaces as a Status
+// instead of an abort.
+
+#ifndef SGXB_MEM_ENCLAVE_RESOURCE_H_
+#define SGXB_MEM_ENCLAVE_RESOURCE_H_
+
+#include "mem/memory_resource.h"
+#include "sgx/enclave.h"
+
+namespace sgxb::mem {
+
+class EnclaveResource final : public MemoryResource {
+ public:
+  /// \brief Stateless wrapper: buffers it hands out stay valid for the
+  /// enclave's lifetime, independent of this object.
+  explicit EnclaveResource(sgx::Enclave* enclave) : enclave_(enclave) {}
+
+  Placement placement() const override {
+    return Placement{MemoryRegion::kEnclave,
+                     enclave_->config().numa_node};
+  }
+  const char* name() const override { return "enclave"; }
+
+  sgx::Enclave* enclave() const { return enclave_; }
+
+ protected:
+  Result<AlignedBuffer> DoAllocate(size_t bytes,
+                                   size_t alignment) override {
+    return enclave_->Allocate(bytes, alignment);
+  }
+
+ private:
+  sgx::Enclave* enclave_;
+};
+
+/// \brief Interned EnclaveResource for `enclave` (one per enclave
+/// pointer, process lifetime). The resource must not be used after its
+/// enclave is destroyed.
+MemoryResource* ForEnclave(sgx::Enclave* enclave);
+
+/// \brief The resource the execution setting implies: the enclave's heap
+/// when data lives inside a live enclave, the kEnclave-tagged simulation
+/// when no enclave instance exists, untrusted memory otherwise. This is
+/// the one place the "region from setting" rule survives — everything
+/// downstream reads the resource's placement tag.
+MemoryResource* ResourceFor(ExecutionSetting setting,
+                            sgx::Enclave* enclave, int numa_node = 0);
+
+}  // namespace sgxb::mem
+
+#endif  // SGXB_MEM_ENCLAVE_RESOURCE_H_

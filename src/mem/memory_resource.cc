@@ -1,0 +1,139 @@
+#include "mem/memory_resource.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstring>
+#include <string>
+
+namespace sgxb::mem {
+
+namespace {
+
+// Failure-injection state. A single scope arms it; counters are atomic so
+// concurrent allocators contend correctly for the "next N fail" budget.
+std::atomic<bool> g_inject_armed{false};
+std::atomic<uint64_t> g_inject_skip{0};
+std::atomic<uint64_t> g_inject_fail{0};
+std::atomic<uint64_t> g_inject_hits{0};
+
+bool ShouldInjectFailure() {
+  if (!g_inject_armed.load(std::memory_order_acquire)) return false;
+  // Burn through the skip budget first.
+  uint64_t skip = g_inject_skip.load(std::memory_order_relaxed);
+  while (skip > 0) {
+    if (g_inject_skip.compare_exchange_weak(skip, skip - 1,
+                                            std::memory_order_relaxed)) {
+      return false;
+    }
+  }
+  uint64_t fail = g_inject_fail.load(std::memory_order_relaxed);
+  while (fail > 0) {
+    if (g_inject_fail.compare_exchange_weak(fail, fail - 1,
+                                            std::memory_order_relaxed)) {
+      g_inject_hits.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+class HostResource final : public MemoryResource {
+ public:
+  HostResource(MemoryRegion region, int numa_node)
+      : placement_{region, numa_node} {}
+
+  Placement placement() const override { return placement_; }
+  const char* name() const override {
+    return placement_.region == MemoryRegion::kEnclave
+               ? "simulated-enclave"
+               : "untrusted";
+  }
+
+ protected:
+  Result<AlignedBuffer> DoAllocate(size_t bytes,
+                                   size_t alignment) override {
+    // Region-tagged host memory is the sanctioned path for kEnclave tags
+    // without a live enclave; mark it so the bypass guard stays quiet.
+    ScopedTrustedAllocSanction sanction;
+    return AlignedBuffer::Allocate(bytes, placement_.region,
+                                   placement_.numa_node, alignment);
+  }
+
+ private:
+  Placement placement_;
+};
+
+constexpr int kMaxNumaNodes = 8;
+
+}  // namespace
+
+Result<AlignedBuffer> MemoryResource::Allocate(size_t bytes,
+                                               size_t alignment) {
+  if (ShouldInjectFailure()) {
+    return Status::OutOfMemory("injected allocation failure (" +
+                               std::string(name()) + ")");
+  }
+  return DoAllocate(bytes, alignment);
+}
+
+Result<AlignedBuffer> MemoryResource::AllocateZeroed(size_t bytes,
+                                                     size_t alignment) {
+  auto buf = Allocate(bytes, alignment);
+  if (buf.ok() && buf.value().data() != nullptr) {
+    std::memset(buf.value().data(), 0, bytes);
+  }
+  return buf;
+}
+
+MemoryResource* Untrusted(int numa_node) {
+  static HostResource nodes[kMaxNumaNodes] = {
+      {MemoryRegion::kUntrusted, 0}, {MemoryRegion::kUntrusted, 1},
+      {MemoryRegion::kUntrusted, 2}, {MemoryRegion::kUntrusted, 3},
+      {MemoryRegion::kUntrusted, 4}, {MemoryRegion::kUntrusted, 5},
+      {MemoryRegion::kUntrusted, 6}, {MemoryRegion::kUntrusted, 7}};
+  if (numa_node < 0 || numa_node >= kMaxNumaNodes) numa_node = 0;
+  return &nodes[numa_node];
+}
+
+MemoryResource* SimulatedEnclave(int numa_node) {
+  static HostResource nodes[kMaxNumaNodes] = {
+      {MemoryRegion::kEnclave, 0}, {MemoryRegion::kEnclave, 1},
+      {MemoryRegion::kEnclave, 2}, {MemoryRegion::kEnclave, 3},
+      {MemoryRegion::kEnclave, 4}, {MemoryRegion::kEnclave, 5},
+      {MemoryRegion::kEnclave, 6}, {MemoryRegion::kEnclave, 7}};
+  if (numa_node < 0 || numa_node >= kMaxNumaNodes) numa_node = 0;
+  return &nodes[numa_node];
+}
+
+perf::ExecutionEnv EnvFor(const MemoryResource& resource,
+                          ExecutionSetting setting, int threads,
+                          bool data_remote) {
+  perf::ExecutionEnv env;
+  env.setting = setting;
+  env.threads = threads;
+  env.data_remote = data_remote;
+  env.data_region = resource.placement().region;
+  return env;
+}
+
+ScopedAllocFailure::ScopedAllocFailure(uint64_t fail_after,
+                                       uint64_t count) {
+  assert(!g_inject_armed.load(std::memory_order_relaxed) &&
+         "only one ScopedAllocFailure may be active");
+  g_inject_skip.store(fail_after, std::memory_order_relaxed);
+  g_inject_fail.store(count, std::memory_order_relaxed);
+  g_inject_hits.store(0, std::memory_order_relaxed);
+  g_inject_armed.store(true, std::memory_order_release);
+}
+
+ScopedAllocFailure::~ScopedAllocFailure() {
+  g_inject_armed.store(false, std::memory_order_release);
+  g_inject_skip.store(0, std::memory_order_relaxed);
+  g_inject_fail.store(0, std::memory_order_relaxed);
+}
+
+uint64_t ScopedAllocFailure::injected() const {
+  return g_inject_hits.load(std::memory_order_relaxed);
+}
+
+}  // namespace sgxb::mem

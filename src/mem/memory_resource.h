@@ -1,0 +1,101 @@
+// Enclave-aware memory resources: the single allocation path from
+// operators down to EPC/EDMM accounting (docs/memory.md).
+//
+// A MemoryResource hands out AlignedBuffers and carries a Placement tag
+// (region + NUMA node) describing where the bytes physically live. The
+// concrete resources are:
+//  - Untrusted(numa): plain host memory, tagged kUntrusted.
+//  - SimulatedEnclave(numa): host memory tagged kEnclave for runs that
+//    model enclave placement without an sgx::Enclave instance (the cost
+//    model charges the MEE, no heap cap applies).
+//  - EnclaveResource (enclave_resource.h): charges an sgx::Enclave's heap,
+//    pays EDMM page costs, and returns Status on EPC exhaustion.
+//
+// Every allocation funnels through MemoryResource::Allocate, which also
+// checks the global failure-injection hook (ScopedAllocFailure) so tests
+// can drive OOM through arbitrarily deep operator stacks.
+
+#ifndef SGXB_MEM_MEMORY_RESOURCE_H_
+#define SGXB_MEM_MEMORY_RESOURCE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/aligned_buffer.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "perf/cost_model.h"
+
+namespace sgxb::mem {
+
+/// \brief Where a resource's bytes live; the cost model consumes this tag
+/// instead of a caller-supplied MemoryRegion guess (see EnvFor).
+struct Placement {
+  MemoryRegion region = MemoryRegion::kUntrusted;
+  int numa_node = 0;
+};
+
+class MemoryResource {
+ public:
+  virtual ~MemoryResource() = default;
+
+  /// \brief Allocates `bytes` aligned to `alignment` (power of two,
+  /// >= 64). Returns Status on exhaustion or injected failure; never
+  /// throws or aborts. The buffer releases through the resource's own
+  /// path when destroyed.
+  Result<AlignedBuffer> Allocate(size_t bytes,
+                                 size_t alignment = kCacheLineSize);
+
+  /// \brief Allocates and zero-fills.
+  Result<AlignedBuffer> AllocateZeroed(size_t bytes,
+                                       size_t alignment = kCacheLineSize);
+
+  virtual Placement placement() const = 0;
+  virtual const char* name() const = 0;
+
+ protected:
+  virtual Result<AlignedBuffer> DoAllocate(size_t bytes,
+                                           size_t alignment) = 0;
+};
+
+/// \brief Interned untrusted-memory resource for `numa_node` (process
+/// lifetime; never delete).
+MemoryResource* Untrusted(int numa_node = 0);
+
+/// \brief Interned kEnclave-tagged host resource for settings that model
+/// enclave placement without a live sgx::Enclave (no heap cap, no EDMM;
+/// the cost model still charges encrypted-memory access).
+MemoryResource* SimulatedEnclave(int numa_node = 0);
+
+/// \brief Execution environment for the cost model with the data-placement
+/// tag read from the resource that actually allocated the data —
+/// replacing the historical "derive the region from the setting" guess.
+/// Benches that model one measured profile under several hypothetical
+/// settings should keep constructing ExecutionEnv by hand instead.
+perf::ExecutionEnv EnvFor(const MemoryResource& resource,
+                          ExecutionSetting setting, int threads,
+                          bool data_remote = false);
+
+// --- Allocation-failure injection ----------------------------------------
+
+/// \brief While alive, makes MemoryResource::Allocate fail with
+/// kOutOfMemory: the next `fail_after` allocations (process-wide, any
+/// resource) succeed, then `count` allocations fail. One active scope at
+/// a time; scopes are for single-threaded test orchestration, though the
+/// counters themselves are atomic so injected failures may land on any
+/// thread.
+class ScopedAllocFailure {
+ public:
+  explicit ScopedAllocFailure(uint64_t fail_after = 0,
+                              uint64_t count = UINT64_MAX);
+  ~ScopedAllocFailure();
+  ScopedAllocFailure(const ScopedAllocFailure&) = delete;
+  ScopedAllocFailure& operator=(const ScopedAllocFailure&) = delete;
+
+  /// \brief Failures injected by this scope so far.
+  uint64_t injected() const;
+};
+
+}  // namespace sgxb::mem
+
+#endif  // SGXB_MEM_MEMORY_RESOURCE_H_

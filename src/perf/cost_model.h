@@ -10,6 +10,8 @@
 #ifndef SGXB_PERF_COST_MODEL_H_
 #define SGXB_PERF_COST_MODEL_H_
 
+#include <optional>
+
 #include "common/types.h"
 #include "perf/access_profile.h"
 #include "perf/machine_model.h"
@@ -24,11 +26,20 @@ struct ExecutionEnv {
   /// True if data sits on the other socket than the executing threads
   /// (cross-NUMA over UPI).
   bool data_remote = false;
+  /// Actual placement of the phase's data, read from the mem:: resource
+  /// that allocated it (mem::EnvFor). When set it overrides the
+  /// setting-derived encryption guess below; when unset (the default —
+  /// and the right choice for benches that model ONE measured profile
+  /// under several hypothetical settings) the setting decides.
+  std::optional<MemoryRegion> data_region;
 
   bool InEnclave() const {
     return setting != ExecutionSetting::kPlainCpu;
   }
   bool DataEncrypted() const {
+    if (data_region.has_value()) {
+      return *data_region == MemoryRegion::kEnclave;
+    }
     return setting == ExecutionSetting::kSgxDataInEnclave;
   }
 };

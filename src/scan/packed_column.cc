@@ -89,6 +89,14 @@ size_t PackedColumn::num_words() const {
 Result<PackedColumn> PackedColumn::Pack(const Column<uint32_t>& values,
                                         int bit_width,
                                         MemoryRegion region) {
+  return Pack(values, bit_width,
+              region == MemoryRegion::kEnclave ? mem::SimulatedEnclave()
+                                               : mem::Untrusted());
+}
+
+Result<PackedColumn> PackedColumn::Pack(const Column<uint32_t>& values,
+                                        int bit_width,
+                                        mem::MemoryResource* resource) {
   if (bit_width < 1 || bit_width > 31) {
     return Status::InvalidArgument("bit_width must be in [1, 31]");
   }
@@ -108,8 +116,8 @@ Result<PackedColumn> PackedColumn::Pack(const Column<uint32_t>& values,
   const int fw = bit_width + 1;
   const int k = 64 / fw;
   const size_t words = (values.num_values() + k - 1) / k;
-  auto buf =
-      AlignedBuffer::AllocateZeroed(words * sizeof(uint64_t), region);
+  if (resource == nullptr) resource = mem::Untrusted();
+  auto buf = resource->AllocateZeroed(words * sizeof(uint64_t));
   if (!buf.ok()) return buf.status();
   col.buffer_ = std::move(buf).value();
 

@@ -23,6 +23,7 @@
 #include "common/bitvector.h"
 #include "common/relation.h"
 #include "common/status.h"
+#include "mem/memory_resource.h"
 
 namespace sgxb::scan {
 
@@ -30,12 +31,17 @@ class PackedColumn {
  public:
   PackedColumn() = default;
 
-  /// \brief Packs `values` at `bit_width` data bits per value (1..31).
-  /// Values must fit the width; the first offending value is reported.
+  /// \brief Packs `values` at `bit_width` data bits per value (1..31)
+  /// into memory from `resource` (null = untrusted host memory). Values
+  /// must fit the width; the first offending value is reported.
   static Result<PackedColumn> Pack(const Column<uint32_t>& values,
                                    int bit_width,
-                                   MemoryRegion region =
-                                       MemoryRegion::kUntrusted);
+                                   mem::MemoryResource* resource = nullptr);
+
+  /// \brief Region-flavoured convenience overload: packs into the
+  /// process-wide resource simulating `region`.
+  static Result<PackedColumn> Pack(const Column<uint32_t>& values,
+                                   int bit_width, MemoryRegion region);
 
   /// \brief Value at index i (test/debug accessor; scans use the word
   /// kernels).

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_set>
 
 #include "common/timer.h"
 #include "perf/calibration.h"
@@ -11,6 +14,17 @@ namespace sgxb::sgx {
 namespace {
 size_t RoundUpToPage(size_t bytes) {
   return (bytes + kEpcPageSize - 1) & ~(kEpcPageSize - 1);
+}
+
+// Buffers handed out by Enclave::Allocate credit the enclave from their
+// destructor, which may run after DestroyEnclave (an operator result that
+// outlives its enclave, teardown-order accidents in tests). Crediting is
+// gated on this registry so a late release frees the host memory but
+// skips the accounting of an enclave that no longer exists.
+std::mutex g_live_enclaves_mu;
+std::unordered_set<Enclave*>& LiveEnclaves() {
+  static auto* live = new std::unordered_set<Enclave*>();
+  return *live;
 }
 }  // namespace
 
@@ -30,12 +44,24 @@ Result<Enclave*> Enclave::Create(const EnclaveConfig& config) {
         "max_heap_bytes must be >= initial_heap_bytes for dynamic "
         "enclaves");
   }
-  return new Enclave(config);
+  auto* enclave = new Enclave(config);
+  {
+    std::lock_guard<std::mutex> lock(g_live_enclaves_mu);
+    LiveEnclaves().insert(enclave);
+  }
+  return enclave;
 }
 
 Enclave::~Enclave() = default;
 
-void DestroyEnclave(Enclave* enclave) { delete enclave; }
+void DestroyEnclave(Enclave* enclave) {
+  if (enclave == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(g_live_enclaves_mu);
+    LiveEnclaves().erase(enclave);
+  }
+  delete enclave;
+}
 
 Status Enclave::CommitPages(size_t new_used) {
   const auto& cal = perf::CalibrationParams::Default();
@@ -79,7 +105,7 @@ Status Enclave::CommitPages(size_t new_used) {
   return Status::OK();
 }
 
-Result<AlignedBuffer> Enclave::Allocate(size_t bytes) {
+Status Enclave::ChargeAlloc(size_t bytes) {
   // The EPC is managed in 4 KiB pages, so the heap accounting must be too:
   // charging raw bytes against the page-granular committed size would let
   // sub-page allocations pack tighter than the hardware allows and report
@@ -92,13 +118,40 @@ Result<AlignedBuffer> Enclave::Allocate(size_t bytes) {
     heap_used_.fetch_sub(charged, std::memory_order_relaxed);
     return st;
   }
-  auto buf = AlignedBuffer::Allocate(bytes, MemoryRegion::kEnclave,
-                                     config_.numa_node);
-  if (!buf.ok()) {
-    heap_used_.fetch_sub(charged, std::memory_order_relaxed);
-    return buf.status();
+  return Status::OK();
+}
+
+void Enclave::ReleaseTrustedBuffer(void* ctx, void* data, size_t bytes) {
+  auto* enclave = static_cast<Enclave*>(ctx);
+  {
+    // Credit under the registry lock so the enclave cannot be destroyed
+    // between the liveness check and the NotifyFree.
+    std::lock_guard<std::mutex> lock(g_live_enclaves_mu);
+    if (LiveEnclaves().count(enclave) != 0) enclave->NotifyFree(bytes);
   }
-  return buf;
+  std::free(data);
+}
+
+Result<AlignedBuffer> Enclave::Allocate(size_t bytes, size_t alignment) {
+  if (alignment < kCacheLineSize || (alignment & (alignment - 1)) != 0) {
+    return Status::InvalidArgument("alignment must be a power of two >= 64");
+  }
+  SGXB_RETURN_NOT_OK(ChargeAlloc(bytes));
+  if (bytes == 0) {
+    NotifyFree(bytes);  // zero pages charged; keep the call balanced
+    return AlignedBuffer::View(nullptr, 0, MemoryRegion::kEnclave,
+                               config_.numa_node);
+  }
+  const size_t padded = (bytes + alignment - 1) & ~(alignment - 1);
+  void* p = std::aligned_alloc(alignment, padded);
+  if (p == nullptr) {
+    NotifyFree(bytes);
+    return Status::OutOfMemory("aligned_alloc of " + std::to_string(padded) +
+                               " bytes failed");
+  }
+  return AlignedBuffer::FromResource(p, bytes, MemoryRegion::kEnclave,
+                                     config_.numa_node,
+                                     &ReleaseTrustedBuffer, this);
 }
 
 void Enclave::NotifyFree(size_t bytes) {
@@ -113,6 +166,21 @@ void Enclave::NotifyFree(size_t bytes) {
     dec = std::min(charged, used);
   } while (!heap_used_.compare_exchange_weak(used, used - dec,
                                              std::memory_order_relaxed));
+  if (config_.dynamic && config_.edmm_trim) TrimPages();
+}
+
+void Enclave::TrimPages() {
+  // Return committed-but-unused pages, but never below the EADD'ed
+  // initial heap: static pages stay resident for the enclave's lifetime.
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  const size_t floor_bytes = RoundUpToPage(config_.initial_heap_bytes);
+  const size_t target = std::max(
+      floor_bytes, RoundUpToPage(heap_used_.load(std::memory_order_relaxed)));
+  const size_t committed = heap_committed_.load(std::memory_order_relaxed);
+  if (target >= committed) return;
+  edmm_pages_trimmed_.fetch_add((committed - target) / kEpcPageSize,
+                                std::memory_order_relaxed);
+  heap_committed_.store(target, std::memory_order_release);
 }
 
 EnclaveMemoryStats Enclave::memory_stats() const {
@@ -120,6 +188,7 @@ EnclaveMemoryStats Enclave::memory_stats() const {
       heap_used_.load(std::memory_order_relaxed),
       heap_committed_.load(std::memory_order_relaxed),
       edmm_pages_added_.load(std::memory_order_relaxed),
+      edmm_pages_trimmed_.load(std::memory_order_relaxed),
       static_cast<double>(
           edmm_injected_ns_.load(std::memory_order_relaxed)),
   };

@@ -36,6 +36,12 @@ struct EnclaveConfig {
   size_t max_heap_bytes = 4_GiB;
   /// Enables EDMM-style dynamic page addition beyond the initial heap.
   bool dynamic = false;
+  /// For dynamic enclaves: return ("ETRACK/EMODT-trim") committed pages
+  /// back to the OS when frees bring the heap below the committed size,
+  /// like an SDK allocator configured to release unused regions. A later
+  /// regrowth then re-pays the per-page EDMM cost — the behaviour the
+  /// arena pool (src/mem/arena_pool.h) exists to avoid.
+  bool edmm_trim = false;
   /// Simulated NUMA node whose EPC backs this enclave.
   int numa_node = 0;
   std::string name = "enclave";
@@ -46,6 +52,7 @@ struct EnclaveMemoryStats {
   size_t heap_used_bytes;
   size_t heap_committed_bytes;
   uint64_t edmm_pages_added;
+  uint64_t edmm_pages_trimmed;
   double edmm_injected_ns;
 };
 
@@ -64,13 +71,24 @@ class Enclave {
   /// \brief Allocates trusted (EPC) memory. Growth beyond the committed
   /// heap requires `dynamic` and pays the per-page EDMM cost as a real
   /// injected delay; otherwise returns OutOfMemory like the SDK allocator.
-  Result<AlignedBuffer> Allocate(size_t bytes);
+  /// The returned buffer credits the heap accounting (NotifyFree) when it
+  /// is destroyed — no manual release calls.
+  Result<AlignedBuffer> Allocate(size_t bytes,
+                                 size_t alignment = kCacheLineSize);
 
-  /// \brief Returns `bytes` to the enclave heap accounting. Buffers are
-  /// freed by their destructor; this only adjusts the counters, so call it
-  /// once per buffer being dropped, with that buffer's requested size
-  /// (accounting is page-granular, so summing several buffers into one
-  /// call under-releases). Releasing more than is held clamps to zero
+  /// \brief Charges `bytes` (page-rounded) against the enclave heap
+  /// without handing out memory: the accounting half of Allocate, for
+  /// callers that place data themselves (mem::EnclaveResource, tests).
+  /// Pays EDMM growth / returns OutOfMemory exactly like Allocate; every
+  /// successful charge must be balanced by one NotifyFree of the same
+  /// size.
+  Status ChargeAlloc(size_t bytes);
+
+  /// \brief Returns `bytes` to the enclave heap accounting. Buffers from
+  /// Allocate() credit themselves on destruction; call this only to
+  /// balance a manual ChargeAlloc, once per charge, with that charge's
+  /// size (accounting is page-granular, so summing several charges into
+  /// one call under-releases). Releasing more than is held clamps to zero
   /// (and asserts in debug builds) instead of wrapping the counter.
   void NotifyFree(size_t bytes);
 
@@ -85,6 +103,8 @@ class Enclave {
   explicit Enclave(const EnclaveConfig& config);
 
   Status CommitPages(size_t new_used);
+  void TrimPages();
+  static void ReleaseTrustedBuffer(void* ctx, void* data, size_t bytes);
 
   EnclaveConfig config_;
   // Serializes EDMM growth: on hardware, EAUG/EACCEPT page commits go
@@ -93,6 +113,7 @@ class Enclave {
   std::atomic<size_t> heap_used_{0};
   std::atomic<size_t> heap_committed_{0};
   std::atomic<uint64_t> edmm_pages_added_{0};
+  std::atomic<uint64_t> edmm_pages_trimmed_{0};
   std::atomic<uint64_t> edmm_injected_ns_{0};
 };
 

@@ -15,15 +15,7 @@ namespace {
 
 Result<AlignedBuffer> AllocForSetting(size_t bytes,
                                       const QueryConfig& config) {
-  if (config.setting == ExecutionSetting::kSgxDataInEnclave &&
-      config.enclave != nullptr) {
-    return config.enclave->Allocate(bytes);
-  }
-  MemoryRegion region =
-      config.setting == ExecutionSetting::kSgxDataInEnclave
-          ? MemoryRegion::kEnclave
-          : MemoryRegion::kUntrusted;
-  return AlignedBuffer::Allocate(bytes, region);
+  return EffectiveResource(config)->Allocate(bytes);
 }
 
 join::JoinConfig ToJoinConfig(const QueryConfig& config, bool materialize) {
@@ -37,6 +29,8 @@ join::JoinConfig ToJoinConfig(const QueryConfig& config, bool materialize) {
   jc.radix_passes = 2;
   jc.probe_mode = config.probe_mode;
   jc.probe_batch = config.probe_batch;
+  jc.resource = config.resource;
+  jc.arena_pool = config.arena_pool;
   return jc;
 }
 
@@ -96,6 +90,11 @@ Result<RowIdList> RefineImpl(const RowIdList& in, Pred pred,
 }
 
 }  // namespace
+
+mem::MemoryResource* EffectiveResource(const QueryConfig& config) {
+  if (config.resource != nullptr) return config.resource;
+  return mem::ResourceFor(config.setting, config.enclave);
+}
 
 Result<RowIdList> RowIdList::Allocate(size_t capacity,
                                       const QueryConfig& config) {
@@ -231,13 +230,11 @@ Result<Relation> GatherKeys(const Column<uint32_t>& keys,
                             const QueryConfig& config, OpRecorder* rec,
                             const std::string& name) {
   const size_t n = rows != nullptr ? rows->count() : keys.num_values();
-  MemoryRegion region =
-      config.setting == ExecutionSetting::kSgxDataInEnclave
-          ? MemoryRegion::kEnclave
-          : MemoryRegion::kUntrusted;
   // An empty selection yields a genuinely empty relation (never pad with
-  // uninitialized tuples — downstream joins would "match" garbage).
-  auto rel = Relation::Allocate(n, region);
+  // uninitialized tuples — downstream joins would "match" garbage). The
+  // resource's placement tag replaces the old setting-derived region
+  // guess, so the cost model sees where the gather output actually lives.
+  auto rel = Relation::AllocateFrom(EffectiveResource(config), n);
   if (!rel.ok()) return rel.status();
   Relation result = std::move(rel).value();
   if (n == 0) {
@@ -306,8 +303,9 @@ Result<JoinStepResult> MaterializingJoin(const Relation& build,
   }
 
   join::JoinConfig jc = ToJoinConfig(config, /*materialize=*/true);
-  join::Materializer sink(config.num_threads, config.setting,
-                          config.enclave);
+  join::Materializer sink(config.num_threads, EffectiveResource(config),
+                          join::Materializer::kDefaultChunkTuples,
+                          config.arena_pool);
   jc.output = &sink;
   auto jr = join::RhoJoin(build, probe, jc);
   if (!jr.ok()) return jr.status();

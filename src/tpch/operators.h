@@ -17,6 +17,8 @@
 #include "common/relation.h"
 #include "common/status.h"
 #include "join/join_common.h"
+#include "mem/arena_pool.h"
+#include "mem/enclave_resource.h"
 #include "perf/access_profile.h"
 #include "sgx/enclave.h"
 
@@ -34,7 +36,18 @@ struct QueryConfig {
   std::optional<exec::ProbeMode> probe_mode;
   /// Group size / ring width; 0 = calibrated default.
   int probe_batch = 0;
+  /// Memory resource every operator output (row-id lists, gathered
+  /// relations, join intermediates) comes from; null = derived from
+  /// `setting`/`enclave` (mem::ResourceFor).
+  mem::MemoryResource* resource = nullptr;
+  /// Chunk pool recycling operator memory across queries (docs/memory.md
+  /// — the Figure 11 warm-reuse mechanism); forwarded to the join layer.
+  mem::ArenaPool* arena_pool = nullptr;
 };
+
+/// \brief The resource the query's operators allocate from (see
+/// QueryConfig::resource).
+mem::MemoryResource* EffectiveResource(const QueryConfig& config);
 
 /// \brief A materialized list of row ids (selection vector).
 class RowIdList {

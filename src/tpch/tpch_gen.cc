@@ -19,9 +19,16 @@ size_t PartRows(double sf) {
 
 namespace {
 
+struct ColumnSource {
+  mem::MemoryResource* resource;  // wins when non-null
+  MemoryRegion region;
+};
+
 template <typename T>
-Status Alloc(Column<T>* col, size_t n, MemoryRegion region) {
-  auto c = Column<T>::Allocate(n, region);
+Status Alloc(Column<T>* col, size_t n, const ColumnSource& src) {
+  auto c = src.resource != nullptr
+               ? Column<T>::AllocateFrom(src.resource, n)
+               : Column<T>::Allocate(n, src.region);
   if (!c.ok()) return c.status();
   *col = std::move(c).value();
   return Status::OK();
@@ -35,15 +42,15 @@ Result<TpchDb> Generate(const GenConfig& config) {
   }
   TpchDb db;
   db.scale_factor = config.scale_factor;
-  const MemoryRegion region = config.region;
+  const ColumnSource src{config.resource, config.region};
   Xoshiro256 rng(config.seed);
 
   // --- customer ---------------------------------------------------------
   {
     const size_t n = CustomerRows(config.scale_factor);
     db.customer.num_rows = n;
-    SGXB_RETURN_NOT_OK(Alloc(&db.customer.c_custkey, n, region));
-    SGXB_RETURN_NOT_OK(Alloc(&db.customer.c_mktsegment, n, region));
+    SGXB_RETURN_NOT_OK(Alloc(&db.customer.c_custkey, n, src));
+    SGXB_RETURN_NOT_OK(Alloc(&db.customer.c_mktsegment, n, src));
     for (size_t i = 0; i < n; ++i) {
       db.customer.c_custkey[i] = static_cast<uint32_t>(i);
       db.customer.c_mktsegment[i] =
@@ -55,11 +62,11 @@ Result<TpchDb> Generate(const GenConfig& config) {
   const size_t num_orders = OrdersRows(config.scale_factor);
   {
     db.orders.num_rows = num_orders;
-    SGXB_RETURN_NOT_OK(Alloc(&db.orders.o_orderkey, num_orders, region));
-    SGXB_RETURN_NOT_OK(Alloc(&db.orders.o_custkey, num_orders, region));
-    SGXB_RETURN_NOT_OK(Alloc(&db.orders.o_orderdate, num_orders, region));
+    SGXB_RETURN_NOT_OK(Alloc(&db.orders.o_orderkey, num_orders, src));
+    SGXB_RETURN_NOT_OK(Alloc(&db.orders.o_custkey, num_orders, src));
+    SGXB_RETURN_NOT_OK(Alloc(&db.orders.o_orderdate, num_orders, src));
     SGXB_RETURN_NOT_OK(
-        Alloc(&db.orders.o_orderpriority, num_orders, region));
+        Alloc(&db.orders.o_orderpriority, num_orders, src));
     // dbgen draws order dates uniformly from [STARTDATE, ENDDATE - 151
     // days]; ENDDATE is 1998-12-31 and the last order date is 1998-08-02.
     const uint32_t max_date = kDate19980802;
@@ -87,18 +94,18 @@ Result<TpchDb> Generate(const GenConfig& config) {
     }
     db.lineitem.num_rows = total;
     LineitemTable& l = db.lineitem;
-    SGXB_RETURN_NOT_OK(Alloc(&l.l_orderkey, total, region));
-    SGXB_RETURN_NOT_OK(Alloc(&l.l_partkey, total, region));
-    SGXB_RETURN_NOT_OK(Alloc(&l.l_quantity, total, region));
-    SGXB_RETURN_NOT_OK(Alloc(&l.l_extendedprice, total, region));
-    SGXB_RETURN_NOT_OK(Alloc(&l.l_discount, total, region));
-    SGXB_RETURN_NOT_OK(Alloc(&l.l_shipdate, total, region));
-    SGXB_RETURN_NOT_OK(Alloc(&l.l_commitdate, total, region));
-    SGXB_RETURN_NOT_OK(Alloc(&l.l_receiptdate, total, region));
-    SGXB_RETURN_NOT_OK(Alloc(&l.l_shipmode, total, region));
-    SGXB_RETURN_NOT_OK(Alloc(&l.l_shipinstruct, total, region));
-    SGXB_RETURN_NOT_OK(Alloc(&l.l_returnflag, total, region));
-    SGXB_RETURN_NOT_OK(Alloc(&l.l_linestatus, total, region));
+    SGXB_RETURN_NOT_OK(Alloc(&l.l_orderkey, total, src));
+    SGXB_RETURN_NOT_OK(Alloc(&l.l_partkey, total, src));
+    SGXB_RETURN_NOT_OK(Alloc(&l.l_quantity, total, src));
+    SGXB_RETURN_NOT_OK(Alloc(&l.l_extendedprice, total, src));
+    SGXB_RETURN_NOT_OK(Alloc(&l.l_discount, total, src));
+    SGXB_RETURN_NOT_OK(Alloc(&l.l_shipdate, total, src));
+    SGXB_RETURN_NOT_OK(Alloc(&l.l_commitdate, total, src));
+    SGXB_RETURN_NOT_OK(Alloc(&l.l_receiptdate, total, src));
+    SGXB_RETURN_NOT_OK(Alloc(&l.l_shipmode, total, src));
+    SGXB_RETURN_NOT_OK(Alloc(&l.l_shipinstruct, total, src));
+    SGXB_RETURN_NOT_OK(Alloc(&l.l_returnflag, total, src));
+    SGXB_RETURN_NOT_OK(Alloc(&l.l_linestatus, total, src));
 
     const size_t num_parts = PartRows(config.scale_factor);
     size_t row = 0;
@@ -149,10 +156,10 @@ Result<TpchDb> Generate(const GenConfig& config) {
   {
     const size_t n = PartRows(config.scale_factor);
     db.part.num_rows = n;
-    SGXB_RETURN_NOT_OK(Alloc(&db.part.p_partkey, n, region));
-    SGXB_RETURN_NOT_OK(Alloc(&db.part.p_size, n, region));
-    SGXB_RETURN_NOT_OK(Alloc(&db.part.p_brand, n, region));
-    SGXB_RETURN_NOT_OK(Alloc(&db.part.p_container, n, region));
+    SGXB_RETURN_NOT_OK(Alloc(&db.part.p_partkey, n, src));
+    SGXB_RETURN_NOT_OK(Alloc(&db.part.p_size, n, src));
+    SGXB_RETURN_NOT_OK(Alloc(&db.part.p_brand, n, src));
+    SGXB_RETURN_NOT_OK(Alloc(&db.part.p_container, n, src));
     for (size_t i = 0; i < n; ++i) {
       db.part.p_partkey[i] = static_cast<uint32_t>(i);
       db.part.p_size[i] = static_cast<uint32_t>(1 + rng.NextBounded(50));

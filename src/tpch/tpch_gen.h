@@ -13,6 +13,7 @@
 #define SGXB_TPCH_TPCH_GEN_H_
 
 #include "common/status.h"
+#include "mem/memory_resource.h"
 #include "tpch/tpch_schema.h"
 
 namespace sgxb::tpch {
@@ -21,6 +22,10 @@ struct GenConfig {
   double scale_factor = 0.01;
   MemoryRegion region = MemoryRegion::kUntrusted;
   uint64_t seed = 19920101;
+  /// When set, base-table columns come from this resource (its placement
+  /// tag supersedes `region`) — e.g. mem::ForEnclave(&enclave) to charge
+  /// the database against the enclave heap accounting.
+  mem::MemoryResource* resource = nullptr;
 };
 
 /// \brief Generates a database at the given scale factor.

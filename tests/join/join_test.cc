@@ -162,8 +162,7 @@ class JoinMaterializationTest
 
 TEST_P(JoinMaterializationTest, MaterializesExactlyTheMatches) {
   const Inputs& in = SharedInputs();
-  Materializer sink(/*num_threads=*/2, ExecutionSetting::kPlainCpu,
-                    nullptr);
+  Materializer sink(/*num_threads=*/2);
   JoinConfig config;
   config.num_threads = 2;
   config.materialize = true;

@@ -4,13 +4,14 @@
 
 #include "common/parallel.h"
 #include "common/types.h"
+#include "mem/enclave_resource.h"
 #include "sgx/enclave.h"
 
 namespace sgxb::join {
 namespace {
 
 TEST(MaterializerTest, EmptyHasNoTuples) {
-  Materializer m(2, ExecutionSetting::kPlainCpu, nullptr);
+  Materializer m(2);
   EXPECT_EQ(m.TotalTuples(), 0u);
   EXPECT_TRUE(m.status().ok());
   int chunks = 0;
@@ -20,7 +21,7 @@ TEST(MaterializerTest, EmptyHasNoTuples) {
 
 TEST(MaterializerTest, AppendsAcrossChunkBoundaries) {
   constexpr size_t kChunk = 16;
-  Materializer m(1, ExecutionSetting::kPlainCpu, nullptr, kChunk);
+  Materializer m(1, /*resource=*/nullptr, kChunk);
   for (uint32_t i = 0; i < 100; ++i) {
     m.Append(0, JoinOutputTuple{i, i * 2, i * 3});
   }
@@ -41,7 +42,7 @@ TEST(MaterializerTest, AppendsAcrossChunkBoundaries) {
 
 TEST(MaterializerTest, PerThreadSlotsAreIndependent) {
   constexpr int kThreads = 4;
-  Materializer m(kThreads, ExecutionSetting::kPlainCpu, nullptr, 64);
+  Materializer m(kThreads, /*resource=*/nullptr, 64);
   ParallelRun(kThreads, [&](int tid) {
     for (uint32_t i = 0; i < 1000; ++i) {
       m.Append(tid, JoinOutputTuple{static_cast<uint32_t>(tid), i, i});
@@ -56,7 +57,7 @@ TEST(MaterializerTest, EnclaveAllocationsAccounted) {
   cfg.initial_heap_bytes = 4_MiB;
   sgx::Enclave* enclave = sgx::Enclave::Create(cfg).value();
   {
-    Materializer m(1, ExecutionSetting::kSgxDataInEnclave, enclave, 1024);
+    Materializer m(1, mem::ForEnclave(enclave), 1024);
     for (uint32_t i = 0; i < 5000; ++i) {
       m.Append(0, JoinOutputTuple{i, i, i});
     }
@@ -71,7 +72,7 @@ TEST(MaterializerTest, EnclaveExhaustionSurfacesAsStatus) {
   cfg.initial_heap_bytes = 64_KiB;
   cfg.dynamic = false;
   sgx::Enclave* enclave = sgx::Enclave::Create(cfg).value();
-  Materializer m(1, ExecutionSetting::kSgxDataInEnclave, enclave, 1024);
+  Materializer m(1, mem::ForEnclave(enclave), 1024);
   // 1024-tuple chunks are 12 KiB; a 64 KiB static heap fits only ~5.
   for (uint32_t i = 0; i < 100000; ++i) {
     m.Append(0, JoinOutputTuple{i, i, i});
@@ -87,7 +88,7 @@ TEST(MaterializerTest, DynamicEnclaveGrowsInstead) {
   cfg.max_heap_bytes = 32_MiB;
   cfg.dynamic = true;
   sgx::Enclave* enclave = sgx::Enclave::Create(cfg).value();
-  Materializer m(1, ExecutionSetting::kSgxDataInEnclave, enclave, 1024);
+  Materializer m(1, mem::ForEnclave(enclave), 1024);
   for (uint32_t i = 0; i < 100000; ++i) {
     m.Append(0, JoinOutputTuple{i, i, i});
   }

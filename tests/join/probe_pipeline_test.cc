@@ -189,7 +189,7 @@ using JoinFn = Result<JoinResult> (*)(const Relation&, const Relation&,
 
 JoinOutput RunMaterialized(JoinFn join, const Relation& build,
                            const Relation& probe, JoinConfig config) {
-  Materializer sink(config.num_threads, config.setting, config.enclave);
+  Materializer sink(config.num_threads, EffectiveResource(config));
   config.materialize = true;
   config.output = &sink;
   auto result = join(build, probe, config);

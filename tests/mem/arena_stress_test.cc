@@ -1,0 +1,110 @@
+// Concurrency: many arenas hammering one shared ArenaPool (the
+// per-worker-arena / shared-pool design docs/memory.md prescribes). Run
+// under TSan in CI via the mem_test label.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+
+#include "common/parallel.h"
+#include "common/types.h"
+#include "mem/arena.h"
+#include "mem/arena_pool.h"
+#include "mem/enclave_resource.h"
+#include "mem/memory_resource.h"
+#include "sgx/enclave.h"
+
+namespace sgxb::mem {
+namespace {
+
+constexpr size_t kChunk = 64_KiB;
+constexpr int kThreads = 8;
+constexpr int kQueriesPerThread = 25;
+
+TEST(ArenaStressTest, ConcurrentArenasShareOnePool) {
+  ArenaPool pool(Untrusted(), kChunk);
+  std::atomic<uint64_t> failures{0};
+  ParallelRun(kThreads, [&](int tid) {
+    for (int q = 0; q < kQueriesPerThread; ++q) {
+      Arena arena(Untrusted(), kChunk, &pool);
+      for (int i = 0; i < 6; ++i) {
+        auto p = arena.AllocateArray<uint64_t>(1024);
+        if (!p.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        // Touch the memory so races on recycled chunks are visible to
+        // TSan and to the checksum below.
+        for (int j = 0; j < 1024; ++j) p.value()[j] = tid * 1000 + j;
+        uint64_t sum = 0;
+        for (int j = 0; j < 1024; ++j) sum += p.value()[j];
+        if (sum != 1024ull * (tid * 1000) + 1023ull * 1024 / 2) {
+          failures.fetch_add(1);
+        }
+      }
+      // Arena destruction releases its chunks back to the pool.
+    }
+  });
+  EXPECT_EQ(failures.load(), 0u);
+  ArenaPool::Stats s = pool.stats();
+  // Every chunk ever handed out came back.
+  EXPECT_EQ(s.released, s.fresh_allocs + s.reuse_hits);
+  EXPECT_EQ(s.cached_chunks * pool.chunk_bytes(), s.cached_bytes);
+  // Reuse must dominate: the pool never holds more chunks than the peak
+  // concurrent demand (~kThreads), far below total acquires.
+  EXPECT_GT(s.reuse_hits, s.fresh_allocs);
+}
+
+TEST(ArenaStressTest, ConcurrentEnclaveArenasKeepAccountingExact) {
+  sgx::EnclaveConfig cfg;
+  cfg.initial_heap_bytes = 256_MiB;
+  sgx::Enclave* e = sgx::Enclave::Create(cfg).value();
+  MemoryResource* r = ForEnclave(e);
+  ArenaPool pool(r, kChunk);
+  std::atomic<uint64_t> failures{0};
+  ParallelRun(kThreads, [&](int) {
+    for (int q = 0; q < kQueriesPerThread; ++q) {
+      Arena arena(r, kChunk, &pool);
+      for (int i = 0; i < 4; ++i) {
+        if (!arena.Allocate(kChunk / 2).ok()) failures.fetch_add(1);
+      }
+    }
+  });
+  EXPECT_EQ(failures.load(), 0u);
+  // All live trusted bytes are exactly the pool's cache.
+  EXPECT_EQ(e->memory_stats().heap_used_bytes, pool.stats().cached_bytes);
+  pool.Trim();
+  EXPECT_EQ(e->memory_stats().heap_used_bytes, 0u);
+  sgx::DestroyEnclave(e);
+}
+
+TEST(ArenaStressTest, RollbackUnderConcurrentPoolTraffic) {
+  // Checkpoints are arena-local; rolling back while sibling arenas churn
+  // the shared pool must neither race nor leak.
+  ArenaPool pool(Untrusted(), kChunk);
+  std::atomic<uint64_t> failures{0};
+  ParallelRun(kThreads, [&](int) {
+    for (int q = 0; q < kQueriesPerThread; ++q) {
+      Arena arena(Untrusted(), kChunk, &pool);
+      if (!arena.Allocate(128).ok()) {
+        failures.fetch_add(1);
+        continue;
+      }
+      ArenaCheckpoint cp = arena.Save();
+      const size_t used = arena.used();
+      for (int i = 0; i < 4; ++i) {
+        if (!arena.Allocate(kChunk / 2).ok()) failures.fetch_add(1);
+      }
+      arena.Rollback(cp);
+      if (arena.used() != used) failures.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(failures.load(), 0u);
+  ArenaPool::Stats s = pool.stats();
+  EXPECT_EQ(s.released, s.fresh_allocs + s.reuse_hits);
+}
+
+}  // namespace
+}  // namespace sgxb::mem

@@ -1,0 +1,253 @@
+// Arena and ArenaPool behaviour: alignment, checkpoint/rollback, warm
+// chunk reuse, EDMM page-charge accounting against a live enclave, and
+// OOM injection driven through a full join build.
+
+#include "mem/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "join/data_gen.h"
+#include "join/join_common.h"
+#include "join/pht_join.h"
+#include "mem/arena_pool.h"
+#include "mem/enclave_resource.h"
+#include "mem/memory_resource.h"
+#include "sgx/enclave.h"
+
+namespace sgxb::mem {
+namespace {
+
+constexpr size_t kChunk = 64_KiB;
+
+TEST(ArenaTest, BumpsWithinOneChunk) {
+  Arena arena(Untrusted(), kChunk);
+  auto a = arena.Allocate(100);
+  auto b = arena.Allocate(100);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a.value(), b.value());
+  EXPECT_EQ(arena.num_chunks(), 1u);
+  EXPECT_EQ(arena.reserved(), kChunk);
+}
+
+TEST(ArenaTest, CarveOutsAreCacheLineAligned) {
+  Arena arena(Untrusted(), kChunk);
+  for (int i = 0; i < 10; ++i) {
+    auto p = arena.Allocate(i * 7 + 1);
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p.value()) % kCacheLineSize, 0u);
+  }
+}
+
+TEST(ArenaTest, HonorsLargerAlignment) {
+  Arena arena(Untrusted(), kChunk);
+  ASSERT_TRUE(arena.Allocate(1).ok());  // skew the bump offset
+  auto p = arena.Allocate(64, /*alignment=*/4096);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p.value()) % 4096, 0u);
+  EXPECT_FALSE(arena.Allocate(64, /*alignment=*/48).ok());
+}
+
+TEST(ArenaTest, GrowsAcrossChunks) {
+  Arena arena(Untrusted(), kChunk);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(arena.Allocate(kChunk / 2).ok());
+  EXPECT_GE(arena.num_chunks(), 2u);
+  EXPECT_GE(arena.reserved(), arena.used());
+}
+
+TEST(ArenaTest, OversizedRequestGetsDedicatedChunk) {
+  Arena arena(Untrusted(), kChunk);
+  auto p = arena.Allocate(5 * kChunk);
+  ASSERT_TRUE(p.ok());
+  // Rounded up to a chunk-size multiple, in one contiguous chunk.
+  EXPECT_EQ(arena.num_chunks(), 1u);
+  EXPECT_GE(arena.reserved(), 5 * kChunk);
+}
+
+TEST(ArenaTest, AllocateArrayIsTypedAndAligned) {
+  Arena arena(Untrusted(), kChunk);
+  auto arr = arena.AllocateArray<uint64_t>(100);
+  ASSERT_TRUE(arr.ok());
+  for (int i = 0; i < 100; ++i) arr.value()[i] = i;  // must not fault
+  EXPECT_EQ(arr.value()[99], 99u);
+}
+
+TEST(ArenaTest, RollbackReturnsToCheckpoint) {
+  Arena arena(Untrusted(), kChunk);
+  ASSERT_TRUE(arena.Allocate(1_KiB).ok());
+  const ArenaCheckpoint cp = arena.Save();
+  const size_t used_at_cp = arena.used();
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(arena.Allocate(kChunk / 2).ok());
+  EXPECT_GT(arena.used(), used_at_cp);
+  EXPECT_GT(arena.num_chunks(), 1u);
+  arena.Rollback(cp);
+  EXPECT_EQ(arena.used(), used_at_cp);
+  // Whole chunks past the checkpoint were released immediately.
+  EXPECT_EQ(arena.num_chunks(), 1u);
+}
+
+TEST(ArenaTest, RollbackToEmptyReleasesEverything) {
+  Arena arena(Untrusted(), kChunk);
+  const ArenaCheckpoint cp = arena.Save();
+  ASSERT_TRUE(arena.Allocate(3 * kChunk).ok());
+  arena.Rollback(cp);
+  EXPECT_EQ(arena.used(), 0u);
+  EXPECT_EQ(arena.num_chunks(), 0u);
+}
+
+TEST(ArenaTest, ResetRetainsChunksForReuse) {
+  Arena arena(Untrusted(), kChunk);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(arena.Allocate(kChunk / 2).ok());
+  const size_t reserved = arena.reserved();
+  ASSERT_GT(reserved, 0u);
+  arena.Reset();
+  EXPECT_EQ(arena.used(), 0u);
+  EXPECT_EQ(arena.reserved(), reserved);  // chunks kept
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(arena.Allocate(kChunk / 2).ok());
+  EXPECT_EQ(arena.reserved(), reserved);  // ...and actually reused
+}
+
+TEST(ArenaTest, ChargesEnclaveHeapAndCreditsOnDestruction) {
+  sgx::EnclaveConfig cfg;
+  cfg.initial_heap_bytes = 4_MiB;
+  sgx::Enclave* e = sgx::Enclave::Create(cfg).value();
+  {
+    Arena arena(ForEnclave(e), kChunk);
+    ASSERT_TRUE(arena.Allocate(3 * kChunk).ok());
+    EXPECT_EQ(e->memory_stats().heap_used_bytes, arena.reserved());
+  }
+  EXPECT_EQ(e->memory_stats().heap_used_bytes, 0u);
+  sgx::DestroyEnclave(e);
+}
+
+TEST(ArenaTest, SurfacesEnclaveExhaustion) {
+  sgx::EnclaveConfig cfg;
+  cfg.initial_heap_bytes = 2 * kChunk;
+  cfg.dynamic = false;
+  sgx::Enclave* e = sgx::Enclave::Create(cfg).value();
+  {
+    Arena arena(ForEnclave(e), kChunk);
+    ASSERT_TRUE(arena.Allocate(kChunk).ok());
+    auto p = arena.Allocate(4 * kChunk);
+    ASSERT_FALSE(p.ok());
+    EXPECT_EQ(p.status().code(), StatusCode::kOutOfMemory);
+    // The failed growth did not corrupt the arena: smaller asks still
+    // fit.
+    EXPECT_TRUE(arena.Allocate(64).ok());
+  }
+  sgx::DestroyEnclave(e);
+}
+
+TEST(ArenaPoolTest, ReleaseThenAcquireIsAReuseHit) {
+  ArenaPool pool(Untrusted(), kChunk);
+  {
+    Arena arena(Untrusted(), kChunk, &pool);
+    ASSERT_TRUE(arena.Allocate(100).ok());
+  }
+  ArenaPool::Stats s = pool.stats();
+  EXPECT_EQ(s.fresh_allocs, 1u);
+  EXPECT_EQ(s.released, 1u);
+  EXPECT_EQ(s.cached_chunks, 1u);
+  {
+    Arena arena(Untrusted(), kChunk, &pool);
+    ASSERT_TRUE(arena.Allocate(100).ok());
+  }
+  s = pool.stats();
+  EXPECT_EQ(s.reuse_hits, 1u);
+  EXPECT_EQ(s.fresh_allocs, 1u);
+}
+
+TEST(ArenaPoolTest, TrimDropsCachedChunks) {
+  ArenaPool pool(Untrusted(), kChunk);
+  {
+    Arena arena(Untrusted(), kChunk, &pool);
+    ASSERT_TRUE(arena.Allocate(100).ok());
+  }
+  ASSERT_EQ(pool.stats().cached_chunks, 1u);
+  pool.Trim();
+  EXPECT_EQ(pool.stats().cached_chunks, 0u);
+  EXPECT_EQ(pool.stats().cached_bytes, 0u);
+}
+
+TEST(ArenaPoolTest, PoolReuseAvoidsEdmmRepayment) {
+  // The Fig 11 mechanism at allocator level: against a trimming dynamic
+  // enclave, a fresh arena per query re-pays EDMM page commits every time,
+  // while a pooled arena pays once and then reuses warm chunks.
+  sgx::EnclaveConfig cfg;
+  cfg.initial_heap_bytes = 64_KiB;
+  cfg.max_heap_bytes = 64_MiB;
+  cfg.dynamic = true;
+  cfg.edmm_trim = true;
+  sgx::Enclave* e = sgx::Enclave::Create(cfg).value();
+  MemoryResource* r = ForEnclave(e);
+
+  auto pages_added = [&] { return e->memory_stats().edmm_pages_added; };
+
+  // Two "queries" without a pool: both pay page growth.
+  uint64_t fresh_first, fresh_second;
+  {
+    Arena arena(r, kChunk);
+    ASSERT_TRUE(arena.Allocate(8 * kChunk).ok());
+  }
+  fresh_first = pages_added();
+  EXPECT_GT(fresh_first, 0u);
+  {
+    Arena arena(r, kChunk);
+    ASSERT_TRUE(arena.Allocate(8 * kChunk).ok());
+  }
+  fresh_second = pages_added() - fresh_first;
+  EXPECT_GT(fresh_second, 0u);
+
+  // Two "queries" sharing a pool: only the first allocates; the chunks
+  // stay committed in the cache so the second adds zero pages.
+  ArenaPool pool(r, kChunk);
+  uint64_t pooled_base = pages_added();
+  {
+    Arena arena(r, kChunk, &pool);
+    ASSERT_TRUE(arena.Allocate(8 * kChunk).ok());
+  }
+  const uint64_t pooled_first = pages_added() - pooled_base;
+  EXPECT_GT(pooled_first, 0u);
+  pooled_base = pages_added();
+  {
+    Arena arena(r, kChunk, &pool);
+    ASSERT_TRUE(arena.Allocate(8 * kChunk).ok());
+  }
+  EXPECT_EQ(pages_added() - pooled_base, 0u);
+  EXPECT_GE(pool.stats().reuse_hits, 1u);
+
+  pool.Trim();
+  EXPECT_EQ(e->memory_stats().heap_used_bytes, 0u);
+  sgx::DestroyEnclave(e);
+}
+
+TEST(ArenaTest, InjectedOomPropagatesThroughJoinBuild) {
+  // Satellite (b) end to end: a failure injected at the resource layer
+  // must surface as a clean kOutOfMemory Status from a full join call —
+  // no abort, no partial-result success.
+  auto build = join::GenerateBuildRelation(10000, MemoryRegion::kUntrusted)
+                   .value();
+  auto probe = join::GenerateProbeRelation(40000, 10000,
+                                           MemoryRegion::kUntrusted)
+                   .value();
+  join::JoinConfig config;
+  config.num_threads = 1;
+  config.radix_bits = 6;
+  {
+    ScopedAllocFailure inject(/*fail_after=*/0);
+    auto result = join::PhtJoin(build, probe, config);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kOutOfMemory);
+    EXPECT_GE(inject.injected(), 1u);
+  }
+  // With injection gone the same inputs join fine.
+  auto result = join::PhtJoin(build, probe, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.value().matches, 0u);
+}
+
+}  // namespace
+}  // namespace sgxb::mem

@@ -1,0 +1,146 @@
+// MemoryResource behaviour: placement tags, enclave accounting, the
+// failure-injection hook, and the trusted-allocation bypass counters.
+
+#include "mem/memory_resource.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/aligned_buffer.h"
+#include "common/types.h"
+#include "mem/enclave_resource.h"
+#include "sgx/enclave.h"
+
+namespace sgxb::mem {
+namespace {
+
+TEST(MemoryResourceTest, UntrustedPlacement) {
+  MemoryResource* r = Untrusted();
+  EXPECT_EQ(r->placement().region, MemoryRegion::kUntrusted);
+  auto buf = r->Allocate(4_KiB);
+  ASSERT_TRUE(buf.ok());
+  EXPECT_EQ(buf.value().region(), MemoryRegion::kUntrusted);
+  EXPECT_EQ(buf.value().size(), 4_KiB);
+}
+
+TEST(MemoryResourceTest, SimulatedEnclavePlacement) {
+  MemoryResource* r = SimulatedEnclave();
+  EXPECT_EQ(r->placement().region, MemoryRegion::kEnclave);
+  auto buf = r->Allocate(4_KiB);
+  ASSERT_TRUE(buf.ok());
+  EXPECT_EQ(buf.value().region(), MemoryRegion::kEnclave);
+}
+
+TEST(MemoryResourceTest, InternedPerNumaNode) {
+  EXPECT_EQ(Untrusted(0), Untrusted(0));
+  EXPECT_NE(Untrusted(0), Untrusted(1));
+  EXPECT_EQ(Untrusted(1)->placement().numa_node, 1);
+  EXPECT_NE(Untrusted(0), SimulatedEnclave(0));
+}
+
+TEST(MemoryResourceTest, AllocateZeroedZeroFills) {
+  auto buf = Untrusted()->AllocateZeroed(64_KiB);
+  ASSERT_TRUE(buf.ok());
+  const auto* p = buf.value().As<uint8_t>();
+  for (size_t i = 0; i < 64_KiB; ++i) ASSERT_EQ(p[i], 0) << "byte " << i;
+}
+
+TEST(MemoryResourceTest, RejectsBadAlignment) {
+  EXPECT_FALSE(Untrusted()->Allocate(64, /*alignment=*/24).ok());
+  EXPECT_FALSE(Untrusted()->Allocate(64, /*alignment=*/32).ok());
+  EXPECT_TRUE(Untrusted()->Allocate(64, /*alignment=*/128).ok());
+}
+
+TEST(MemoryResourceTest, EnclaveResourceChargesAndCreditsHeap) {
+  sgx::EnclaveConfig cfg;
+  cfg.initial_heap_bytes = 1_MiB;
+  sgx::Enclave* e = sgx::Enclave::Create(cfg).value();
+  MemoryResource* r = ForEnclave(e);
+  EXPECT_EQ(r, ForEnclave(e));  // interned per enclave
+  EXPECT_EQ(r->placement().region, MemoryRegion::kEnclave);
+  {
+    auto buf = r->Allocate(256_KiB);
+    ASSERT_TRUE(buf.ok());
+    EXPECT_EQ(e->memory_stats().heap_used_bytes, 256_KiB);
+  }
+  EXPECT_EQ(e->memory_stats().heap_used_bytes, 0u);
+  sgx::DestroyEnclave(e);
+}
+
+TEST(MemoryResourceTest, EnclaveResourceSurfacesExhaustionAsStatus) {
+  sgx::EnclaveConfig cfg;
+  cfg.initial_heap_bytes = 64_KiB;
+  cfg.dynamic = false;
+  sgx::Enclave* e = sgx::Enclave::Create(cfg).value();
+  auto buf = ForEnclave(e)->Allocate(1_MiB);
+  ASSERT_FALSE(buf.ok());
+  EXPECT_EQ(buf.status().code(), StatusCode::kOutOfMemory);
+  sgx::DestroyEnclave(e);
+}
+
+TEST(MemoryResourceTest, ResourceForMapsSettings) {
+  sgx::EnclaveConfig cfg;
+  cfg.initial_heap_bytes = 64_KiB;
+  sgx::Enclave* e = sgx::Enclave::Create(cfg).value();
+  EXPECT_EQ(ResourceFor(ExecutionSetting::kPlainCpu, e), Untrusted());
+  EXPECT_EQ(ResourceFor(ExecutionSetting::kSgxDataOutsideEnclave, e),
+            Untrusted());
+  EXPECT_EQ(ResourceFor(ExecutionSetting::kSgxDataInEnclave, e),
+            ForEnclave(e));
+  EXPECT_EQ(ResourceFor(ExecutionSetting::kSgxDataInEnclave, nullptr),
+            SimulatedEnclave());
+  sgx::DestroyEnclave(e);
+}
+
+TEST(MemoryResourceTest, EnvForReadsPlacementTag) {
+  // The env's data region comes from where the resource actually puts
+  // bytes, not from the setting: data outside a live enclave stays
+  // unencrypted even under kSgxDataInEnclave modelling, and vice versa.
+  perf::ExecutionEnv env =
+      EnvFor(*Untrusted(), ExecutionSetting::kSgxDataInEnclave, 4);
+  ASSERT_TRUE(env.data_region.has_value());
+  EXPECT_EQ(*env.data_region, MemoryRegion::kUntrusted);
+  EXPECT_FALSE(env.DataEncrypted());
+  EXPECT_EQ(env.threads, 4);
+
+  env = EnvFor(*SimulatedEnclave(),
+               ExecutionSetting::kSgxDataOutsideEnclave, 1);
+  EXPECT_TRUE(env.DataEncrypted());
+}
+
+TEST(MemoryResourceTest, InjectedFailureAfterPrefix) {
+  ScopedAllocFailure inject(/*fail_after=*/2, /*count=*/1);
+  MemoryResource* r = Untrusted();
+  EXPECT_TRUE(r->Allocate(64).ok());
+  EXPECT_TRUE(r->Allocate(64).ok());
+  auto failed = r->Allocate(64);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kOutOfMemory);
+  EXPECT_TRUE(r->Allocate(64).ok());  // count exhausted
+  EXPECT_EQ(inject.injected(), 1u);
+}
+
+TEST(MemoryResourceTest, InjectionScopeEndsWithScope) {
+  {
+    ScopedAllocFailure inject(/*fail_after=*/0);
+    EXPECT_FALSE(Untrusted()->Allocate(64).ok());
+    EXPECT_FALSE(SimulatedEnclave()->Allocate(64).ok());
+  }
+  EXPECT_TRUE(Untrusted()->Allocate(64).ok());
+}
+
+TEST(MemoryResourceTest, ResourceAllocationsAreSanctioned) {
+  // Trusted allocations routed through mem/ resources must not count as
+  // bypasses; a direct AlignedBuffer::Allocate(kEnclave) must.
+  const uint64_t before = TrustedBypassAllocCount();
+  auto a = SimulatedEnclave()->Allocate(4_KiB);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(TrustedBypassAllocCount(), before);
+  auto direct = AlignedBuffer::Allocate(4_KiB, MemoryRegion::kEnclave);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(TrustedBypassAllocCount(), before + 1);
+}
+
+}  // namespace
+}  // namespace sgxb::mem

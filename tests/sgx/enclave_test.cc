@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "common/types.h"
 #include "sgx/transition.h"
 
@@ -87,12 +89,27 @@ TEST(EnclaveTest, DynamicEnclaveRespectsMaxHeap) {
   DestroyEnclave(e);
 }
 
-TEST(EnclaveTest, NotifyFreeReleasesAccounting) {
+TEST(EnclaveTest, BufferDestructionReleasesAccounting) {
   EnclaveConfig cfg;
   cfg.initial_heap_bytes = 1_MiB;
   Enclave* e = Enclave::Create(cfg).value();
-  { auto buf = e->Allocate(256_KiB); }
-  // Buffer destroyed, but enclave accounting is explicit:
+  {
+    auto buf = e->Allocate(256_KiB);
+    ASSERT_TRUE(buf.ok());
+    EXPECT_EQ(e->memory_stats().heap_used_bytes, 256_KiB);
+  }
+  // The buffer credits the heap accounting when it is destroyed.
+  EXPECT_EQ(e->memory_stats().heap_used_bytes, 0u);
+  DestroyEnclave(e);
+}
+
+TEST(EnclaveTest, ChargeAllocBalancedByNotifyFree) {
+  // The accounting-only path used by arenas: ChargeAlloc pays for pages
+  // without handing out memory; the caller balances it with NotifyFree.
+  EnclaveConfig cfg;
+  cfg.initial_heap_bytes = 1_MiB;
+  Enclave* e = Enclave::Create(cfg).value();
+  ASSERT_TRUE(e->ChargeAlloc(256_KiB).ok());
   EXPECT_EQ(e->memory_stats().heap_used_bytes, 256_KiB);
   e->NotifyFree(256_KiB);
   EXPECT_EQ(e->memory_stats().heap_used_bytes, 0u);
@@ -106,13 +123,42 @@ TEST(EnclaveTest, AllocationChargesWholePages) {
   EnclaveConfig cfg;
   cfg.initial_heap_bytes = 1_MiB;
   Enclave* e = Enclave::Create(cfg).value();
-  { auto buf = e->Allocate(100); }
-  EXPECT_EQ(e->memory_stats().heap_used_bytes, kEpcPageSize);
-  { auto buf = e->Allocate(kEpcPageSize + 1); }
-  EXPECT_EQ(e->memory_stats().heap_used_bytes, 3 * kEpcPageSize);
-  e->NotifyFree(kEpcPageSize + 1);
-  e->NotifyFree(100);
+  {
+    auto a = e->Allocate(100);
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(e->memory_stats().heap_used_bytes, kEpcPageSize);
+    auto b = e->Allocate(kEpcPageSize + 1);
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(e->memory_stats().heap_used_bytes, 3 * kEpcPageSize);
+  }
   EXPECT_EQ(e->memory_stats().heap_used_bytes, 0u);
+  DestroyEnclave(e);
+}
+
+TEST(EnclaveTest, EdmmTrimReturnsPagesOnFree) {
+  // With edmm_trim, freeing decommits pages back to the EPC, so the next
+  // allocation re-pays EDMM growth (what makes pool reuse measurable).
+  EnclaveConfig cfg;
+  cfg.initial_heap_bytes = 64_KiB;
+  cfg.max_heap_bytes = 16_MiB;
+  cfg.dynamic = true;
+  cfg.edmm_trim = true;
+  Enclave* e = Enclave::Create(cfg).value();
+  uint64_t added_first = 0;
+  {
+    auto buf = e->Allocate(1_MiB);
+    ASSERT_TRUE(buf.ok());
+    added_first = e->memory_stats().edmm_pages_added;
+    EXPECT_GT(added_first, 0u);
+  }
+  EnclaveMemoryStats stats = e->memory_stats();
+  EXPECT_GT(stats.edmm_pages_trimmed, 0u);
+  EXPECT_EQ(stats.heap_committed_bytes, 64_KiB);  // back to the EADD floor
+  {
+    auto buf = e->Allocate(1_MiB);
+    ASSERT_TRUE(buf.ok());
+  }
+  EXPECT_GT(e->memory_stats().edmm_pages_added, added_first);
   DestroyEnclave(e);
 }
 
@@ -122,7 +168,12 @@ TEST(EnclaveTest, PageChargingCanExhaustHeapBeforeRawBytesWould) {
   EnclaveConfig cfg;
   cfg.initial_heap_bytes = 16 * kEpcPageSize;
   Enclave* e = Enclave::Create(cfg).value();
-  for (int i = 0; i < 16; ++i) ASSERT_TRUE(e->Allocate(1).ok());
+  std::vector<AlignedBuffer> held;
+  for (int i = 0; i < 16; ++i) {
+    auto buf = e->Allocate(1);
+    ASSERT_TRUE(buf.ok());
+    held.push_back(std::move(buf).value());
+  }
   EXPECT_FALSE(e->Allocate(1).ok());
   DestroyEnclave(e);
 }
@@ -135,9 +186,9 @@ TEST(EnclaveTest, OverReleaseClampsToZero) {
   EnclaveConfig cfg;
   cfg.initial_heap_bytes = 1_MiB;
   Enclave* e = Enclave::Create(cfg).value();
-  { auto buf = e->Allocate(16_KiB); }
+  ASSERT_TRUE(e->ChargeAlloc(16_KiB).ok());
   e->NotifyFree(16_KiB);
-  e->NotifyFree(16_KiB);  // double free of the same buffer
+  e->NotifyFree(16_KiB);  // double release of the same charge
   EXPECT_EQ(e->memory_stats().heap_used_bytes, 0u);
   ASSERT_TRUE(e->Allocate(64_KiB).ok());  // accounting still sane
   DestroyEnclave(e);

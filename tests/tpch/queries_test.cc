@@ -4,6 +4,9 @@
 
 #include <tuple>
 
+#include "common/aligned_buffer.h"
+#include "mem/arena_pool.h"
+#include "mem/enclave_resource.h"
 #include "sgx/enclave.h"
 #include "tpch/tpch_gen.h"
 
@@ -84,6 +87,37 @@ TEST(QueryTest, ReferenceCountsAreNonTrivial) {
   EXPECT_LT(ReferenceQ12(Db()), Db().lineitem.num_rows / 4);
   EXPECT_GT(ReferenceQ19(Db()), 0u);
   EXPECT_LT(ReferenceQ19(Db()), Db().lineitem.num_rows / 10);
+}
+
+TEST(QueryTest, EnclaveHeapReflectsEveryTrustedAllocation) {
+  // End-to-end accounting: a full TPC-H query in-enclave must route every
+  // trusted allocation through the mem/ resources (no bypasses), and at
+  // the end the only live trusted bytes are the pool's warm chunks.
+  sgx::EnclaveConfig ecfg;
+  ecfg.initial_heap_bytes = 128_MiB;
+  sgx::Enclave* enclave = sgx::Enclave::Create(ecfg).value();
+  mem::ArenaPool pool(mem::ForEnclave(enclave));
+
+  QueryConfig cfg;
+  cfg.num_threads = 2;
+  cfg.setting = ExecutionSetting::kSgxDataInEnclave;
+  cfg.enclave = enclave;
+  cfg.radix_bits = 8;
+  cfg.arena_pool = &pool;
+
+  const bool prev = SetTrustedBypassStrict(true);
+  const uint64_t bypass_before = TrustedBypassAllocCount();
+  auto result = RunQuery(12, Db(), cfg);
+  SetTrustedBypassStrict(prev);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().count, ReferenceQ12(Db()));
+  EXPECT_EQ(TrustedBypassAllocCount(), bypass_before);
+  EXPECT_GT(pool.stats().cached_bytes, 0u);
+  EXPECT_EQ(enclave->memory_stats().heap_used_bytes,
+            pool.stats().cached_bytes);
+  pool.Trim();
+  EXPECT_EQ(enclave->memory_stats().heap_used_bytes, 0u);
+  sgx::DestroyEnclave(enclave);
 }
 
 TEST(QueryTest, UnknownQueryRejected) {
