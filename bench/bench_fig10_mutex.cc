@@ -11,6 +11,7 @@
 // inside, the mutex queue loses ~75% of the lock-free throughput.
 
 #include "bench_util.h"
+#include "obs/metrics.h"
 
 using namespace sgxb;
 
@@ -110,6 +111,14 @@ int main() {
       "ocalls\n",
       static_cast<unsigned long long>(stats.ecalls),
       static_cast<unsigned long long>(stats.ocalls));
+  // The park/wake mechanism counts come straight from the obs registry —
+  // the same counters a QueryReport cites (docs/observability.md).
+  obs::MetricsSnapshot snap = obs::Registry::Global().Snapshot();
+  std::printf(
+      "  registry: sgx.mutex_parks=%llu sgx.mutex_wake_ocalls=%llu\n",
+      static_cast<unsigned long long>(snap.CounterOr(obs::kCtrMutexParks)),
+      static_cast<unsigned long long>(
+          snap.CounterOr(obs::kCtrMutexWakeOcalls)));
   core::PrintNote(
       "paper: inside the enclave the mutex-guarded queue loses 75% "
       "throughput; the SDK mutex sleeps via OCALL and waking the next "

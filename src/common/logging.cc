@@ -2,8 +2,9 @@
 
 #include <atomic>
 #include <cstdio>
-#include <cstdlib>
 #include <mutex>
+
+#include "common/env.h"
 
 namespace sgxb {
 
@@ -12,12 +13,9 @@ namespace {
 std::atomic<int> g_level{-1};
 
 int InitLevelFromEnv() {
-  const char* env = std::getenv("SGXBENCH_LOG_LEVEL");
-  if (env != nullptr) {
-    int v = std::atoi(env);
-    if (v >= 0 && v <= 3) return v;
-  }
-  return static_cast<int>(LogLevel::kInfo);
+  return static_cast<int>(EnvInt("SGXBENCH_LOG_LEVEL",
+                                 static_cast<int>(LogLevel::kInfo),
+                                 /*lo=*/0, /*hi=*/3));
 }
 
 const char* LevelName(LogLevel level) {

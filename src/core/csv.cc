@@ -1,7 +1,6 @@
 #include "core/csv.h"
 
-#include <cstdlib>
-
+#include "common/env.h"
 #include "common/logging.h"
 
 namespace sgxb::core {
@@ -44,9 +43,9 @@ Status CsvWriter::Close() {
 }
 
 std::optional<CsvWriter> MaybeCsvFor(const std::string& experiment_id) {
-  const char* dir = std::getenv("SGXBENCH_CSV_DIR");
-  if (dir == nullptr || dir[0] == '\0') return std::nullopt;
-  std::string path = std::string(dir) + "/" + experiment_id + ".csv";
+  const auto dir = EnvString("SGXBENCH_CSV_DIR");
+  if (!dir.has_value() || dir->empty()) return std::nullopt;
+  std::string path = *dir + "/" + experiment_id + ".csv";
   auto writer = CsvWriter::Open(path);
   if (!writer.ok()) {
     SGXB_LOG(kWarning) << "CSV export disabled: "

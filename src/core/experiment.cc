@@ -1,26 +1,17 @@
 #include "core/experiment.h"
 
-#include <cstdlib>
+#include "common/env.h"
 
 namespace sgxb::core {
 
 int DefaultRepetitions() {
-  static const int kReps = [] {
-    const char* v = std::getenv("SGXBENCH_REPS");
-    if (v != nullptr) {
-      int parsed = std::atoi(v);
-      if (parsed > 0 && parsed <= 1000) return parsed;
-    }
-    return 3;
-  }();
+  static const int kReps = static_cast<int>(
+      EnvInt("SGXBENCH_REPS", 3, /*lo=*/1, /*hi=*/1000));
   return kReps;
 }
 
 bool FullScale() {
-  static const bool kFull = [] {
-    const char* v = std::getenv("SGXBENCH_FULL");
-    return v != nullptr && v[0] == '1';
-  }();
+  static const bool kFull = EnvBool("SGXBENCH_FULL", false);
   return kFull;
 }
 

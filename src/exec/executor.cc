@@ -2,11 +2,13 @@
 
 #include <pthread.h>
 
-#include <cstdlib>
 #include <exception>
 #include <string>
 
 #include "common/cpu_info.h"
+#include "common/env.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sgx/transition.h"
 
 namespace sgxb::exec {
@@ -21,9 +23,39 @@ thread_local int t_numa_node = 0;
 std::atomic<int> g_dispatch_mode{-1};  // -1 = uninitialized
 
 DispatchMode InitialDispatchMode() {
-  const char* v = std::getenv("SGXBENCH_EXECUTOR");
-  if (v != nullptr && std::string(v) == "spawn") return DispatchMode::kSpawn;
+  auto v = EnvString("SGXBENCH_EXECUTOR");
+  if (v.has_value()) {
+    if (*v == "spawn") return DispatchMode::kSpawn;
+    if (*v != "pool") {
+      sgxb::internal::WarnOnce("SGXBENCH_EXECUTOR",
+                             "expected \"pool\" or \"spawn\"; using pool");
+    }
+  }
   return DispatchMode::kPool;
+}
+
+// Scheduling activity mirrored into the obs registry so per-query reports
+// can diff it over a query window. ExecutorStats keeps the per-instance
+// view; these are process-global sums.
+obs::Counter& CtrGangs() {
+  static obs::Counter* c =
+      obs::Registry::Global().GetCounter(obs::kCtrExecGangs);
+  return *c;
+}
+obs::Counter& CtrTasks() {
+  static obs::Counter* c =
+      obs::Registry::Global().GetCounter(obs::kCtrExecTasks);
+  return *c;
+}
+obs::Counter& CtrMorsels() {
+  static obs::Counter* c =
+      obs::Registry::Global().GetCounter(obs::kCtrExecMorsels);
+  return *c;
+}
+obs::Counter& CtrMorselSteals() {
+  static obs::Counter* c =
+      obs::Registry::Global().GetCounter(obs::kCtrExecMorselSteals);
+  return *c;
 }
 
 // Pins the calling thread. Unlike the old ParallelRun, which called
@@ -124,6 +156,8 @@ bool Executor::OnWorkerThread() { return t_on_pool_worker; }
 void Executor::NoteMorsels(uint64_t executed, uint64_t stolen) {
   morsels_.fetch_add(executed, std::memory_order_relaxed);
   morsel_steals_.fetch_add(stolen, std::memory_order_relaxed);
+  CtrMorsels().Add(executed);
+  CtrMorselSteals().Add(stolen);
 }
 
 ExecutorStats Executor::stats() const {
@@ -187,10 +221,15 @@ void Executor::RunTask(const Task& task) {
   const ThreadPlacement& placement = *gang->placement;
   t_numa_node = placement.node_of_thread ? placement.node_of_thread(task.tid)
                                          : 0;
-  Status st = InvokeBody(*gang->body, task.tid);
+  Status st;
+  {
+    obs::ObsSpan span("task", "exec");
+    st = InvokeBody(*gang->body, task.tid);
+  }
   st = CheckEnclaveHygiene(task.tid, std::move(st));
   t_numa_node = 0;
   tasks_.fetch_add(1, std::memory_order_relaxed);
+  CtrTasks().Increment();
   gang->results[task.tid] = std::move(st);
   if (gang->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     std::lock_guard<std::mutex> lock(gang->mu);
@@ -236,6 +275,7 @@ Status Executor::RunGang(int num_threads,
     }
   }
   gangs_.fetch_add(1, std::memory_order_relaxed);
+  CtrGangs().Increment();
   {
     std::unique_lock<std::mutex> lock(gang.mu);
     gang.cv.wait(lock, [&] { return gang.done; });
@@ -260,13 +300,19 @@ Status Executor::SpawnGang(int num_threads,
       if (placement.pin_threads) PinSelfToCore(tid);
       t_numa_node =
           placement.node_of_thread ? placement.node_of_thread(tid) : 0;
-      Status st = InvokeBody(body, tid);
+      Status st;
+      {
+        obs::ObsSpan span("task", "exec");
+        st = InvokeBody(body, tid);
+      }
       results[tid] = CheckEnclaveHygiene(tid, std::move(st));
       t_numa_node = 0;
+      CtrTasks().Increment();
     });
   }
   fallback_threads_spawned_.fetch_add(num_threads,
                                       std::memory_order_relaxed);
+  CtrGangs().Increment();
   for (auto& t : threads) t.join();
   for (Status& st : results) {
     if (!st.ok()) return std::move(st);

@@ -45,9 +45,9 @@
 #define SGXB_EXEC_PROBE_PIPELINE_H_
 
 #include <algorithm>
-#include <cstdlib>
 #include <cstring>
 
+#include "common/env.h"
 #include "common/prefetch.h"
 #include "common/types.h"
 
@@ -85,12 +85,25 @@ inline ProbeMode ProbeModeFromString(const char* s, ProbeMode fallback) {
   return fallback;
 }
 
+/// \brief SGXBENCH_PROBE_MODE as a ProbeMode: unset -> `fallback`
+/// silently, an unrecognized value -> `fallback` with a one-time warning.
+inline ProbeMode ProbeModeFromEnv(ProbeMode fallback) {
+  const auto v = EnvString("SGXBENCH_PROBE_MODE");
+  if (!v.has_value()) return fallback;
+  if (*v != "tuple" && *v != "gp" && *v != "amac") {
+    sgxb::internal::WarnOnce(
+        "SGXBENCH_PROBE_MODE",
+        "expected \"tuple\", \"gp\", or \"amac\"; using the default");
+    return fallback;
+  }
+  return ProbeModeFromString(v->c_str(), fallback);
+}
+
 /// \brief Process-default probe mode: SGXBENCH_PROBE_MODE, else batched
 /// (group prefetching) — the optimized configuration, like
 /// KernelFlavor::kUnrolledReordered is for the partitioning loops.
 inline ProbeMode DefaultProbeMode() {
-  return ProbeModeFromString(std::getenv("SGXBENCH_PROBE_MODE"),
-                             ProbeMode::kGroupPrefetch);
+  return ProbeModeFromEnv(ProbeMode::kGroupPrefetch);
 }
 
 /// \brief Hard cap on group size / ring width; drivers and callers clamp

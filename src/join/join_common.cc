@@ -1,18 +1,14 @@
 #include "join/join_common.h"
 
-#include <cstdlib>
-
 #include "perf/calibration.h"
 
 namespace sgxb::join {
 
 exec::ProbeMode EffectiveProbeMode(const JoinConfig& config) {
   if (config.probe_mode.has_value()) return *config.probe_mode;
-  return exec::ProbeModeFromString(
-      std::getenv("SGXBENCH_PROBE_MODE"),
-      config.flavor == KernelFlavor::kReference
-          ? exec::ProbeMode::kTupleAtATime
-          : exec::ProbeMode::kGroupPrefetch);
+  return exec::ProbeModeFromEnv(config.flavor == KernelFlavor::kReference
+                                    ? exec::ProbeMode::kTupleAtATime
+                                    : exec::ProbeMode::kGroupPrefetch);
 }
 
 int EffectiveProbeWidth(const JoinConfig& config, exec::ProbeMode mode) {

@@ -24,6 +24,7 @@
 #include "mem/arena.h"
 #include "mem/arena_pool.h"
 #include "mem/enclave_resource.h"
+#include "obs/trace.h"
 #include "perf/access_profile.h"
 #include "sgx/enclave.h"
 #include "sync/task_queue.h"
@@ -167,6 +168,9 @@ class PhaseRecorder {
     s.host_ns = static_cast<double>(timer_.ElapsedNanos());
     s.profile = profile;
     s.threads = threads;
+    if (obs::TracingEnabled()) {
+      obs::TraceCompleteEndingNow(obs::InternName(name), "join", s.host_ns);
+    }
     breakdown_.Add(std::move(s));
     timer_.Restart();
   }
@@ -179,6 +183,10 @@ class PhaseRecorder {
 
   /// \brief Appends a pre-built phase entry and restarts the timer.
   void AddRaw(perf::PhaseStats stats) {
+    if (obs::TracingEnabled()) {
+      obs::TraceCompleteEndingNow(obs::InternName(stats.name), "join",
+                                  stats.host_ns);
+    }
     breakdown_.Add(std::move(stats));
     timer_.Restart();
   }

@@ -2,26 +2,34 @@
 
 #include <cassert>
 #include <cstdint>
-#include <cstdlib>
 
+#include "common/env.h"
 #include "mem/arena_pool.h"
+#include "obs/metrics.h"
 
 namespace sgxb::mem {
 
 namespace {
 size_t RoundUp(size_t v, size_t to) { return (v + to - 1) & ~(to - 1); }
+
+// Chunk acquisitions mirrored into the obs registry: per-query reports use
+// the byte/chunk deltas to show how much arena memory a query pulled in.
+obs::Counter& CtrArenaBytes() {
+  static obs::Counter* c =
+      obs::Registry::Global().GetCounter(obs::kCtrArenaBytes);
+  return *c;
+}
+obs::Counter& CtrArenaChunks() {
+  static obs::Counter* c =
+      obs::Registry::Global().GetCounter(obs::kCtrArenaChunks);
+  return *c;
+}
 }  // namespace
 
 size_t DefaultArenaChunkBytes() {
-  static const size_t bytes = [] {
-    const char* env = std::getenv("SGXBENCH_ARENA_CHUNK");
-    if (env != nullptr) {
-      char* end = nullptr;
-      unsigned long long v = std::strtoull(env, &end, 10);
-      if (end != env && v >= 4096) return static_cast<size_t>(v);
-    }
-    return size_t{2} * 1024 * 1024;
-  }();
+  static const size_t bytes = static_cast<size_t>(
+      EnvUint("SGXBENCH_ARENA_CHUNK", size_t{2} * 1024 * 1024,
+              /*lo=*/4096, /*hi=*/uint64_t{1} << 40));
   return bytes;
 }
 
@@ -45,6 +53,8 @@ Status Arena::AcquireChunk(size_t min_bytes) {
   if (!buf.ok()) return buf.status();
   Chunk c;
   c.buf = std::move(buf).value();
+  CtrArenaBytes().Add(c.buf.size());
+  CtrArenaChunks().Increment();
   chunks_.push_back(std::move(c));
   return Status::OK();
 }

@@ -1,19 +1,29 @@
 #include "mem/arena_pool.h"
 
 #include <cassert>
-#include <cstdlib>
-#include <cstring>
 
+#include "common/env.h"
 #include "mem/arena.h"
+#include "obs/metrics.h"
 
 namespace sgxb::mem {
 
-bool ArenaReuseEnabled() {
-  const char* env = std::getenv("SGXBENCH_ARENA_REUSE");
-  if (env == nullptr) return true;
-  return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
-           std::strcmp(env, "false") == 0);
+namespace {
+// Pool effectiveness mirrored into the obs registry; the per-query pool
+// hit rate in obs::QueryReport is derived from these two.
+obs::Counter& CtrPoolHits() {
+  static obs::Counter* c =
+      obs::Registry::Global().GetCounter(obs::kCtrPoolHits);
+  return *c;
 }
+obs::Counter& CtrPoolMisses() {
+  static obs::Counter* c =
+      obs::Registry::Global().GetCounter(obs::kCtrPoolMisses);
+  return *c;
+}
+}  // namespace
+
+bool ArenaReuseEnabled() { return EnvBool("SGXBENCH_ARENA_REUSE", true); }
 
 ArenaPool::ArenaPool(MemoryResource* resource, size_t chunk_bytes)
     : resource_(resource),
@@ -34,9 +44,11 @@ Result<AlignedBuffer> ArenaPool::Acquire(size_t min_bytes) {
       cached_bytes_ -= it->first;
       cache_.erase(it);
       ++reuse_hits_;
+      CtrPoolHits().Increment();
       return chunk;
     }
     ++fresh_allocs_;
+    CtrPoolMisses().Increment();
   }
   // Allocate outside the lock: an EDMM-growing enclave allocation injects
   // real page-commit delays, which must not serialize unrelated arenas.

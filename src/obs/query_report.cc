@@ -1,0 +1,135 @@
+#include "obs/query_report.h"
+
+#include <cstdio>
+
+#include "obs/trace.h"
+
+namespace sgxb::obs {
+
+double QueryReport::PoolHitRate() const {
+  const uint64_t total = pool_hits + pool_misses;
+  return total == 0 ? 0.0
+                    : static_cast<double>(pool_hits) /
+                          static_cast<double>(total);
+}
+
+std::string QueryReport::ToJson() const {
+  std::string out = "{\"query\": \"" + query + "\"";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ", \"wall_ns\": %.0f", wall_ns);
+  out += buf;
+  auto add = [&out](const char* key, uint64_t v) {
+    out += ", \"";
+    out += key;
+    out += "\": " + std::to_string(v);
+  };
+  add("ecalls", ecalls);
+  add("ocalls", ocalls);
+  add("transition_cycles", transition_cycles);
+  add("mutex_parks", mutex_parks);
+  add("mutex_wake_ocalls", mutex_wake_ocalls);
+  add("edmm_pages_added", edmm_pages_added);
+  add("edmm_pages_trimmed", edmm_pages_trimmed);
+  add("edmm_injected_ns", edmm_injected_ns);
+  add("arena_bytes", arena_bytes);
+  add("arena_chunks", arena_chunks);
+  add("pool_hits", pool_hits);
+  add("pool_misses", pool_misses);
+  add("gangs", gangs);
+  add("tasks", tasks);
+  add("morsels", morsels);
+  add("morsel_steals", morsel_steals);
+  std::snprintf(buf, sizeof(buf), ", \"pool_hit_rate\": %.4f",
+                PoolHitRate());
+  out += buf;
+  out += ", \"phases\": [";
+  for (size_t i = 0; i < phases.size(); ++i) {
+    if (i > 0) out += ", ";
+    std::snprintf(buf, sizeof(buf), "\": %.0f}", phases[i].host_ns);
+    out += "{\"" + phases[i].name + buf;
+  }
+  out += "]}";
+  return out;
+}
+
+std::string QueryReport::ToString() const {
+  char buf[256];
+  std::string out = "QueryReport(" + query + ")\n";
+  std::snprintf(buf, sizeof(buf), "  wall: %.3f ms over %zu phases\n",
+                wall_ns * 1e-6, phases.size());
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  transitions: %llu ecalls, %llu ocalls, %llu injected "
+                "cycles\n",
+                static_cast<unsigned long long>(ecalls),
+                static_cast<unsigned long long>(ocalls),
+                static_cast<unsigned long long>(transition_cycles));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  mutex: %llu parks, %llu wake ocalls\n",
+                static_cast<unsigned long long>(mutex_parks),
+                static_cast<unsigned long long>(mutex_wake_ocalls));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  edmm: +%llu/-%llu pages, %.3f ms injected\n",
+                static_cast<unsigned long long>(edmm_pages_added),
+                static_cast<unsigned long long>(edmm_pages_trimmed),
+                static_cast<double>(edmm_injected_ns) * 1e-6);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  memory: %llu arena bytes in %llu chunks, pool hit rate "
+                "%.1f%%\n",
+                static_cast<unsigned long long>(arena_bytes),
+                static_cast<unsigned long long>(arena_chunks),
+                100.0 * PoolHitRate());
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  executor: %llu gangs, %llu tasks, %llu morsels "
+                "(%llu stolen)\n",
+                static_cast<unsigned long long>(gangs),
+                static_cast<unsigned long long>(tasks),
+                static_cast<unsigned long long>(morsels),
+                static_cast<unsigned long long>(morsel_steals));
+  out += buf;
+  return out;
+}
+
+QueryReportScope::QueryReportScope(const std::string& query_name)
+    : query_(query_name), before_(Registry::Global().Snapshot()) {
+  if (TracingEnabled()) span_begin_tsc_ = ReadTsc();
+}
+
+QueryReport QueryReportScope::Finish(std::vector<PhaseTiming> phases) {
+  QueryReport report;
+  report.query = query_;
+  report.wall_ns = static_cast<double>(timer_.ElapsedNanos());
+  report.phases = std::move(phases);
+  if (span_begin_tsc_ != 0 && !finished_) {
+    TraceComplete(InternName(query_), "query", span_begin_tsc_, ReadTsc());
+  }
+  finished_ = true;
+
+  const MetricsSnapshot after = Registry::Global().Snapshot();
+  auto delta = [&](const char* name) {
+    return after.CounterOr(name) - before_.CounterOr(name);
+  };
+  report.ecalls = delta(kCtrEcalls);
+  report.ocalls = delta(kCtrOcalls);
+  report.transition_cycles = delta(kCtrTransitionCycles);
+  report.mutex_parks = delta(kCtrMutexParks);
+  report.mutex_wake_ocalls = delta(kCtrMutexWakeOcalls);
+  report.edmm_pages_added = delta(kCtrEdmmPagesAdded);
+  report.edmm_pages_trimmed = delta(kCtrEdmmPagesTrimmed);
+  report.edmm_injected_ns = delta(kCtrEdmmInjectedNs);
+  report.arena_bytes = delta(kCtrArenaBytes);
+  report.arena_chunks = delta(kCtrArenaChunks);
+  report.pool_hits = delta(kCtrPoolHits);
+  report.pool_misses = delta(kCtrPoolMisses);
+  report.gangs = delta(kCtrExecGangs);
+  report.tasks = delta(kCtrExecTasks);
+  report.morsels = delta(kCtrExecMorsels);
+  report.morsel_steals = delta(kCtrExecMorselSteals);
+  return report;
+}
+
+}  // namespace sgxb::obs

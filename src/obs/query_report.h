@@ -1,0 +1,98 @@
+// Per-query execution reports assembled from the metrics registry.
+//
+// A QueryReportScope snapshots the registry when a query starts and diffs
+// it when the query finishes, so the report attributes exactly the SGX
+// activity that happened during the query: transitions, mutex parkings,
+// EDMM page churn, arena/pool traffic, and executor work. This replaces
+// the EXPERIMENTS.md habit of *deriving* those numbers (e.g. estimating
+// parked pops from a throughput gap) — the serving-scale north star needs
+// them countable per query, continuously, in production builds.
+//
+// Counter diffs are process-global: a scope opened around query Q sees
+// activity from anything else running concurrently. That matches the
+// benchmark harness (one query stream at a time); a multi-tenant server
+// would partition by registry instance, which the Registry API permits
+// but nothing needs yet.
+
+#ifndef SGXB_OBS_QUERY_REPORT_H_
+#define SGXB_OBS_QUERY_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "obs/metrics.h"
+
+namespace sgxb::obs {
+
+/// \brief One named phase of the query (join build/partition/probe, an
+/// operator of the TPC-H pipeline, ...).
+struct PhaseTiming {
+  std::string name;
+  double host_ns = 0;
+};
+
+/// \brief Everything the observability layer knows about one query
+/// execution. All counts are deltas over the query's window.
+struct QueryReport {
+  std::string query;
+  double wall_ns = 0;
+  std::vector<PhaseTiming> phases;
+
+  // Enclave transitions (sgx/transition.cc).
+  uint64_t ecalls = 0;
+  uint64_t ocalls = 0;
+  uint64_t transition_cycles = 0;
+
+  // SDK mutex behaviour (sgx/sgx_mutex.cc) — the Figure 10 mechanism.
+  uint64_t mutex_parks = 0;
+  uint64_t mutex_wake_ocalls = 0;
+
+  // EDMM page churn (sgx/enclave.cc) — the Figure 11 mechanism.
+  uint64_t edmm_pages_added = 0;
+  uint64_t edmm_pages_trimmed = 0;
+  uint64_t edmm_injected_ns = 0;
+
+  // Arena / pool traffic (src/mem/).
+  uint64_t arena_bytes = 0;
+  uint64_t arena_chunks = 0;
+  uint64_t pool_hits = 0;
+  uint64_t pool_misses = 0;
+
+  // Executor activity (src/exec/).
+  uint64_t gangs = 0;
+  uint64_t tasks = 0;
+  uint64_t morsels = 0;
+  uint64_t morsel_steals = 0;
+
+  /// \brief pool_hits / (pool_hits + pool_misses), or 0 with no traffic.
+  double PoolHitRate() const;
+
+  std::string ToJson() const;
+  /// \brief Multi-line human-readable rendering for bench output.
+  std::string ToString() const;
+};
+
+/// \brief Brackets one query execution: construct before running, call
+/// Finish() after. Also opens a trace span named after the query so the
+/// chrome trace shows the query window at the top of the span tree.
+class QueryReportScope {
+ public:
+  explicit QueryReportScope(const std::string& query_name);
+
+  /// \brief Closes the window and builds the report. Call exactly once;
+  /// `phases` (optional) is attached verbatim.
+  QueryReport Finish(std::vector<PhaseTiming> phases = {});
+
+ private:
+  std::string query_;
+  MetricsSnapshot before_;
+  WallTimer timer_;
+  uint64_t span_begin_tsc_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace sgxb::obs
+
+#endif  // SGXB_OBS_QUERY_REPORT_H_

@@ -1,63 +1,51 @@
 #include "perf/calibration.h"
 
-#include <cstdlib>
+#include <limits>
+
+#include "common/env.h"
 
 namespace sgxb::perf {
 
 namespace {
+// Calibration overrides must be positive; zero or negative bandwidths and
+// penalties would divide the cost model by zero.
+constexpr double kPos = std::numeric_limits<double>::min();
+constexpr double kMax = std::numeric_limits<double>::max();
 
-double EnvDouble(const char* name, double fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr) return fallback;
-  char* end = nullptr;
-  double parsed = std::strtod(v, &end);
-  return (end != v && parsed > 0) ? parsed : fallback;
+double PosDouble(const char* name, double fallback) {
+  return EnvDouble(name, fallback, kPos, kMax);
 }
-
-uint64_t EnvU64(const char* name, uint64_t fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr) return fallback;
-  char* end = nullptr;
-  unsigned long long parsed = std::strtoull(v, &end, 10);
-  return (end != v) ? static_cast<uint64_t>(parsed) : fallback;
-}
-
-int EnvInt(const char* name, int fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr) return fallback;
-  char* end = nullptr;
-  long parsed = std::strtol(v, &end, 10);
-  return (end != v && parsed > 0) ? static_cast<int>(parsed) : fallback;
-}
-
 }  // namespace
 
 CalibrationParams CalibrationParams::FromEnv() {
   CalibrationParams p;
   p.transition_cycles =
-      EnvU64("SGXBENCH_TRANSITION_CYCLES", p.transition_cycles);
+      EnvUint("SGXBENCH_TRANSITION_CYCLES", p.transition_cycles);
   p.futex_syscall_cycles =
-      EnvU64("SGXBENCH_FUTEX_CYCLES", p.futex_syscall_cycles);
-  p.edmm_page_add_ns = EnvDouble("SGXBENCH_EDMM_PAGE_NS", p.edmm_page_add_ns);
+      EnvUint("SGXBENCH_FUTEX_CYCLES", p.futex_syscall_cycles);
+  p.edmm_page_add_ns = PosDouble("SGXBENCH_EDMM_PAGE_NS", p.edmm_page_add_ns);
   p.ilp_penalty_reference =
-      EnvDouble("SGXBENCH_ILP_PENALTY_REF", p.ilp_penalty_reference);
+      PosDouble("SGXBENCH_ILP_PENALTY_REF", p.ilp_penalty_reference);
   p.ilp_penalty_unrolled =
-      EnvDouble("SGXBENCH_ILP_PENALTY_UNROLLED", p.ilp_penalty_unrolled);
+      PosDouble("SGXBENCH_ILP_PENALTY_UNROLLED", p.ilp_penalty_unrolled);
   p.ilp_penalty_simd =
-      EnvDouble("SGXBENCH_ILP_PENALTY_SIMD", p.ilp_penalty_simd);
+      PosDouble("SGXBENCH_ILP_PENALTY_SIMD", p.ilp_penalty_simd);
   p.rand_read_relperf_floor =
-      EnvDouble("SGXBENCH_RAND_READ_FLOOR", p.rand_read_relperf_floor);
+      PosDouble("SGXBENCH_RAND_READ_FLOOR", p.rand_read_relperf_floor);
   p.rand_write_relperf_floor =
-      EnvDouble("SGXBENCH_RAND_WRITE_FLOOR", p.rand_write_relperf_floor);
-  p.upi_bandwidth = EnvDouble("SGXBENCH_UPI_BW", p.upi_bandwidth);
+      PosDouble("SGXBENCH_RAND_WRITE_FLOOR", p.rand_write_relperf_floor);
+  p.upi_bandwidth = PosDouble("SGXBENCH_UPI_BW", p.upi_bandwidth);
   p.node_read_bandwidth =
-      EnvDouble("SGXBENCH_NODE_READ_BW", p.node_read_bandwidth);
+      PosDouble("SGXBENCH_NODE_READ_BW", p.node_read_bandwidth);
   p.node_write_bandwidth =
-      EnvDouble("SGXBENCH_NODE_WRITE_BW", p.node_write_bandwidth);
-  p.probe_batch_size = EnvInt("SGXBENCH_PROBE_BATCH", p.probe_batch_size);
-  p.probe_prefetch_distance =
-      EnvInt("SGXBENCH_PROBE_DIST", p.probe_prefetch_distance);
-  p.prefetch_mlp = EnvDouble("SGXBENCH_PREFETCH_MLP", p.prefetch_mlp);
+      PosDouble("SGXBENCH_NODE_WRITE_BW", p.node_write_bandwidth);
+  p.probe_batch_size = static_cast<int>(
+      EnvInt("SGXBENCH_PROBE_BATCH", p.probe_batch_size, /*lo=*/1,
+             /*hi=*/1 << 20));
+  p.probe_prefetch_distance = static_cast<int>(
+      EnvInt("SGXBENCH_PROBE_DIST", p.probe_prefetch_distance, /*lo=*/1,
+             /*hi=*/1 << 20));
+  p.prefetch_mlp = PosDouble("SGXBENCH_PREFETCH_MLP", p.prefetch_mlp);
   return p;
 }
 

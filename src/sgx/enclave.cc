@@ -7,6 +7,8 @@
 #include <unordered_set>
 
 #include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "perf/calibration.h"
 
 namespace sgxb::sgx {
@@ -25,6 +27,30 @@ std::mutex g_live_enclaves_mu;
 std::unordered_set<Enclave*>& LiveEnclaves() {
   static auto* live = new std::unordered_set<Enclave*>();
   return *live;
+}
+
+// Process-wide EDMM activity mirrored into the obs registry (summed over
+// all enclaves), so query reports can attribute page churn to a query
+// window without holding an enclave pointer.
+obs::Counter& EdmmPagesAdded() {
+  static obs::Counter* c =
+      obs::Registry::Global().GetCounter(obs::kCtrEdmmPagesAdded);
+  return *c;
+}
+obs::Counter& EdmmPagesTrimmed() {
+  static obs::Counter* c =
+      obs::Registry::Global().GetCounter(obs::kCtrEdmmPagesTrimmed);
+  return *c;
+}
+obs::Counter& EdmmInjectedNs() {
+  static obs::Counter* c =
+      obs::Registry::Global().GetCounter(obs::kCtrEdmmInjectedNs);
+  return *c;
+}
+obs::Histogram& EdmmCommitNs() {
+  static obs::Histogram* h =
+      obs::Registry::Global().GetHistogram(obs::kHistEdmmCommitNs);
+  return *h;
 }
 }  // namespace
 
@@ -63,24 +89,28 @@ void DestroyEnclave(Enclave* enclave) {
   delete enclave;
 }
 
-Status Enclave::CommitPages(size_t new_used) {
-  const auto& cal = perf::CalibrationParams::Default();
-  if (new_used <= heap_committed_.load(std::memory_order_acquire)) {
+Status Enclave::CommitPages(size_t new_reserved) {
+  if (new_reserved <= heap_committed_.load(std::memory_order_acquire)) {
     return Status::OK();
   }
   // Slow path: serialize growth so concurrent growers neither shrink the
   // committed size nor double-charge the same pages.
   std::lock_guard<std::mutex> lock(commit_mu_);
+  return CommitPagesLocked(new_reserved);
+}
+
+Status Enclave::CommitPagesLocked(size_t new_reserved) {
+  const auto& cal = perf::CalibrationParams::Default();
   size_t committed = heap_committed_.load(std::memory_order_relaxed);
-  if (new_used <= committed) return Status::OK();
+  if (new_reserved <= committed) return Status::OK();
 
   if (!config_.dynamic) {
     return Status::OutOfMemory(
-        "enclave heap exhausted (" + std::to_string(new_used) + " of " +
+        "enclave heap exhausted (" + std::to_string(new_reserved) + " of " +
         std::to_string(committed) +
         " bytes) and EDMM dynamic growth is disabled");
   }
-  size_t target = RoundUpToPage(new_used);
+  size_t target = RoundUpToPage(new_reserved);
   if (target > config_.max_heap_bytes) {
     return Status::OutOfMemory("enclave heap would exceed max_heap_bytes");
   }
@@ -94,13 +124,18 @@ Status Enclave::CommitPages(size_t new_used) {
   // down the surrounding algorithm exactly where it would on hardware.
   size_t pages = (target - committed) / kEpcPageSize;
   double ns = static_cast<double>(pages) * cal.edmm_page_add_ns;
-  if (CostInjectionEnabled() && ns > 0) {
-    SpinForCycles(
-        static_cast<uint64_t>(ns * 1e-9 * TscFrequencyHz()));
+  {
+    obs::ObsSpan span("edmm_commit", "sgx");
+    if (CostInjectionEnabled() && ns > 0) {
+      SpinForCycles(static_cast<uint64_t>(ns * 1e-9 * TscFrequencyHz()));
+    }
   }
   edmm_pages_added_.fetch_add(pages, std::memory_order_relaxed);
   edmm_injected_ns_.fetch_add(static_cast<uint64_t>(ns),
                               std::memory_order_relaxed);
+  EdmmPagesAdded().Add(pages);
+  EdmmInjectedNs().Add(static_cast<uint64_t>(ns));
+  EdmmCommitNs().Record(static_cast<uint64_t>(ns));
   heap_committed_.store(target, std::memory_order_release);
   return Status::OK();
 }
@@ -110,14 +145,43 @@ Status Enclave::ChargeAlloc(size_t bytes) {
   // charging raw bytes against the page-granular committed size would let
   // sub-page allocations pack tighter than the hardware allows and report
   // a heap_used that no sequence of page commits can produce.
+  //
+  // Reservation ordering keeps memory_stats coherent: the charge is
+  // admitted against heap_reserved_ first, pages are committed to cover
+  // the reservation, and only then does heap_used_ advance. heap_used_ <=
+  // heap_committed_ therefore holds at every instant — the old scheme
+  // bumped heap_used_ *before* committing, so a concurrent reader could
+  // observe more heap in use than the enclave had pages for.
   const size_t charged = RoundUpToPage(bytes);
-  size_t new_used =
-      heap_used_.fetch_add(charged, std::memory_order_relaxed) + charged;
-  Status st = CommitPages(new_used);
+  if (config_.dynamic && config_.edmm_trim) {
+    // Trim-enabled enclaves serialize the whole charge against TrimPages:
+    // with a lock-free reservation, a concurrent trim could snapshot
+    // heap_reserved_ just before this charge reserves and shrink the
+    // committed heap below memory the charge then publishes as used.
+    std::lock_guard<std::mutex> lock(commit_mu_);
+    const size_t new_reserved =
+        heap_reserved_.fetch_add(charged, std::memory_order_relaxed) +
+        charged;
+    Status st = CommitPagesLocked(new_reserved);
+    if (!st.ok()) {
+      heap_reserved_.fetch_sub(charged, std::memory_order_relaxed);
+      return st;
+    }
+    heap_used_.fetch_add(charged, std::memory_order_release);
+    return Status::OK();
+  }
+  const size_t new_reserved =
+      heap_reserved_.fetch_add(charged, std::memory_order_relaxed) +
+      charged;
+  Status st = CommitPages(new_reserved);
   if (!st.ok()) {
-    heap_used_.fetch_sub(charged, std::memory_order_relaxed);
+    heap_reserved_.fetch_sub(charged, std::memory_order_relaxed);
     return st;
   }
+  // Release so a memory_stats() reader that acquires this used value also
+  // sees the committed store (direct or via CommitPages' acquire of an
+  // earlier grower's release) that covers it.
+  heap_used_.fetch_add(charged, std::memory_order_release);
   return Status::OK();
 }
 
@@ -166,32 +230,61 @@ void Enclave::NotifyFree(size_t bytes) {
     dec = std::min(charged, used);
   } while (!heap_used_.compare_exchange_weak(used, used - dec,
                                              std::memory_order_relaxed));
+  // heap_used_ drops before the reservation so TrimPages — which sizes the
+  // committed heap off heap_reserved_ — can never shrink below live usage.
+  heap_reserved_.fetch_sub(dec, std::memory_order_relaxed);
   if (config_.dynamic && config_.edmm_trim) TrimPages();
 }
 
 void Enclave::TrimPages() {
   // Return committed-but-unused pages, but never below the EADD'ed
   // initial heap: static pages stay resident for the enclave's lifetime.
+  // The floor is the *reserved* size, not the used size: a concurrent
+  // ChargeAlloc may have committed pages for a reservation it has not yet
+  // published into heap_used_, and trimming those would break the
+  // used <= committed invariant the moment it publishes.
   std::lock_guard<std::mutex> lock(commit_mu_);
   const size_t floor_bytes = RoundUpToPage(config_.initial_heap_bytes);
-  const size_t target = std::max(
-      floor_bytes, RoundUpToPage(heap_used_.load(std::memory_order_relaxed)));
+  const size_t target =
+      std::max(floor_bytes,
+               RoundUpToPage(heap_reserved_.load(std::memory_order_relaxed)));
   const size_t committed = heap_committed_.load(std::memory_order_relaxed);
   if (target >= committed) return;
-  edmm_pages_trimmed_.fetch_add((committed - target) / kEpcPageSize,
-                                std::memory_order_relaxed);
+  const uint64_t pages = (committed - target) / kEpcPageSize;
+  edmm_pages_trimmed_.fetch_add(pages, std::memory_order_relaxed);
+  EdmmPagesTrimmed().Add(pages);
+  obs::TraceInstant("edmm_trim", "sgx");
   heap_committed_.store(target, std::memory_order_release);
 }
 
 EnclaveMemoryStats Enclave::memory_stats() const {
-  return EnclaveMemoryStats{
-      heap_used_.load(std::memory_order_relaxed),
-      heap_committed_.load(std::memory_order_relaxed),
-      edmm_pages_added_.load(std::memory_order_relaxed),
-      edmm_pages_trimmed_.load(std::memory_order_relaxed),
-      static_cast<double>(
-          edmm_injected_ns_.load(std::memory_order_relaxed)),
-  };
+  EnclaveMemoryStats stats;
+  if (config_.dynamic && config_.edmm_trim) {
+    // Trims make heap_committed_ non-monotone, so a lock-free pair of
+    // loads can tear (read a large used, then a committed that a trim
+    // shrank after frees). All committed mutations and trim-enclave
+    // charges hold commit_mu_, so under it the pair is coherent.
+    std::lock_guard<std::mutex> lock(commit_mu_);
+    stats.heap_committed_bytes =
+        heap_committed_.load(std::memory_order_relaxed);
+    stats.heap_used_bytes = heap_used_.load(std::memory_order_relaxed);
+  } else {
+    // Without trims committed is monotone non-decreasing and used only
+    // grows after the growth path has raised committed (see ChargeAlloc).
+    // Loading used *first* therefore yields a coherent pair: committed
+    // read afterwards is at least the value that covered that used.
+    stats.heap_used_bytes = heap_used_.load(std::memory_order_acquire);
+    stats.heap_committed_bytes =
+        heap_committed_.load(std::memory_order_acquire);
+  }
+  stats.edmm_pages_added = edmm_pages_added_.load(std::memory_order_relaxed);
+  stats.edmm_pages_trimmed =
+      edmm_pages_trimmed_.load(std::memory_order_relaxed);
+  stats.edmm_injected_ns = static_cast<double>(
+      edmm_injected_ns_.load(std::memory_order_relaxed));
+  assert(stats.heap_used_bytes <= stats.heap_committed_bytes &&
+         "memory_stats tearing: heap_used exceeds heap_committed");
+  return stats;
 }
 
 }  // namespace sgxb::sgx

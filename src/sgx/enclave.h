@@ -102,14 +102,22 @@ class Enclave {
  private:
   explicit Enclave(const EnclaveConfig& config);
 
-  Status CommitPages(size_t new_used);
+  Status CommitPages(size_t new_reserved);
+  Status CommitPagesLocked(size_t new_reserved);
   void TrimPages();
   static void ReleaseTrustedBuffer(void* ctx, void* data, size_t bytes);
 
   EnclaveConfig config_;
   // Serializes EDMM growth: on hardware, EAUG/EACCEPT page commits go
-  // through the kernel one region at a time as well.
-  std::mutex commit_mu_;
+  // through the kernel one region at a time as well. Mutable so that
+  // memory_stats() can take it on trim-enabled enclaves, where committed
+  // is not monotone and a lock-free snapshot could tear.
+  mutable std::mutex commit_mu_;
+  // Admission counter for in-flight charges. ChargeAlloc reserves here
+  // first, commits pages to cover the reservation, and only then publishes
+  // into heap_used_ — so heap_used_ <= heap_committed_ holds at every
+  // instant and memory_stats() never observes a torn intermediate state.
+  std::atomic<size_t> heap_reserved_{0};
   std::atomic<size_t> heap_used_{0};
   std::atomic<size_t> heap_committed_{0};
   std::atomic<uint64_t> edmm_pages_added_{0};

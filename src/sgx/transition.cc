@@ -1,71 +1,92 @@
 #include "sgx/transition.h"
 
 #include <atomic>
-#include <cstdlib>
 
+#include "common/env.h"
 #include "common/logging.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "perf/calibration.h"
 
 namespace sgxb::sgx {
 
 namespace {
 
-std::atomic<uint64_t> g_ecalls{0};
-std::atomic<uint64_t> g_ocalls{0};
-std::atomic<uint64_t> g_injected_cycles{0};
+// Transition activity is published through the obs registry so per-query
+// reports (obs/query_report.h) can diff it over a query window; the
+// GetTransitionStats/ResetTransitionStats API below stays as the
+// benchmark-facing view of the same counters.
+obs::Counter& Ecalls() {
+  static obs::Counter* c =
+      obs::Registry::Global().GetCounter(obs::kCtrEcalls);
+  return *c;
+}
+obs::Counter& Ocalls() {
+  static obs::Counter* c =
+      obs::Registry::Global().GetCounter(obs::kCtrOcalls);
+  return *c;
+}
+obs::Counter& InjectedCycles() {
+  static obs::Counter* c =
+      obs::Registry::Global().GetCounter(obs::kCtrTransitionCycles);
+  return *c;
+}
 
 thread_local int t_enclave_depth = 0;
-
-bool InitInjection() {
-  const char* v = std::getenv("SGXBENCH_NO_INJECT");
-  return v == nullptr || v[0] == '0';
-}
+// RDTSCP stamp of the outermost EnclaveEnter, so the matching exit can
+// record the whole enclave residency as one "ecall" trace span.
+thread_local uint64_t t_ecall_begin_tsc = 0;
 
 void InjectTransition() {
   if (!CostInjectionEnabled()) return;
   const uint64_t cycles =
       perf::CalibrationParams::Default().transition_cycles;
   SpinForCycles(cycles);
-  g_injected_cycles.fetch_add(cycles, std::memory_order_relaxed);
+  InjectedCycles().Add(cycles);
 }
 
 }  // namespace
 
 bool CostInjectionEnabled() {
-  static const bool kEnabled = InitInjection();
+  static const bool kEnabled = !EnvBool("SGXBENCH_NO_INJECT", false);
   return kEnabled;
 }
 
 TransitionStats GetTransitionStats() {
-  return TransitionStats{g_ecalls.load(std::memory_order_relaxed),
-                         g_ocalls.load(std::memory_order_relaxed),
-                         g_injected_cycles.load(std::memory_order_relaxed)};
+  return TransitionStats{Ecalls().Value(), Ocalls().Value(),
+                         InjectedCycles().Value()};
 }
 
 void ResetTransitionStats() {
-  g_ecalls.store(0, std::memory_order_relaxed);
-  g_ocalls.store(0, std::memory_order_relaxed);
-  g_injected_cycles.store(0, std::memory_order_relaxed);
+  Ecalls().Reset();
+  Ocalls().Reset();
+  InjectedCycles().Reset();
 }
 
 bool InEnclaveMode() { return t_enclave_depth > 0; }
 
 void EnclaveEnter() {
   InjectTransition();
-  ++t_enclave_depth;
-  g_ecalls.fetch_add(1, std::memory_order_relaxed);
+  if (t_enclave_depth++ == 0 && obs::TracingEnabled()) {
+    t_ecall_begin_tsc = ReadTsc();
+  }
+  Ecalls().Increment();
 }
 
 void EnclaveExit() {
   SGXB_CHECK(t_enclave_depth > 0) << "EnclaveExit without EnclaveEnter";
-  --t_enclave_depth;
+  if (--t_enclave_depth == 0 && t_ecall_begin_tsc != 0) {
+    obs::TraceComplete("ecall", "sgx", t_ecall_begin_tsc, ReadTsc());
+    t_ecall_begin_tsc = 0;
+  }
   InjectTransition();
 }
 
 void OcallRoundTrip() {
   if (t_enclave_depth == 0) return;
-  g_ocalls.fetch_add(1, std::memory_order_relaxed);
+  obs::ObsSpan span("ocall", "sgx");
+  Ocalls().Increment();
   // Exit + re-enter: two transitions.
   InjectTransition();
   InjectTransition();

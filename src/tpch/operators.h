@@ -19,6 +19,7 @@
 #include "join/join_common.h"
 #include "mem/arena_pool.h"
 #include "mem/enclave_resource.h"
+#include "obs/trace.h"
 #include "perf/access_profile.h"
 #include "sgx/enclave.h"
 
@@ -77,6 +78,9 @@ class OpRecorder {
     s.host_ns = host_ns;
     s.profile = profile;
     s.threads = threads;
+    if (obs::TracingEnabled()) {
+      obs::TraceCompleteEndingNow(obs::InternName(name), "op", host_ns);
+    }
     breakdown_.Add(std::move(s));
   }
 

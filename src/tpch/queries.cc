@@ -217,8 +217,10 @@ Result<QueryResult> RunQ19(const TpchDb& db, const QueryConfig& config) {
   return result;
 }
 
-Result<QueryResult> RunQuery(int query_number, const TpchDb& db,
-                             const QueryConfig& config) {
+namespace {
+
+Result<QueryResult> DispatchQuery(int query_number, const TpchDb& db,
+                                  const QueryConfig& config) {
   switch (query_number) {
     case 1:
       return RunQ1(db, config);
@@ -236,6 +238,22 @@ Result<QueryResult> RunQuery(int query_number, const TpchDb& db,
       return Status::InvalidArgument(
           "queries 1, 3, 6, 10, 12, 19 are implemented");
   }
+}
+
+}  // namespace
+
+Result<QueryResult> RunQuery(int query_number, const TpchDb& db,
+                             const QueryConfig& config) {
+  obs::QueryReportScope scope("Q" + std::to_string(query_number));
+  Result<QueryResult> result = DispatchQuery(query_number, db, config);
+  if (!result.ok()) return result;
+  std::vector<obs::PhaseTiming> phases;
+  phases.reserve(result.value().phases.phases.size());
+  for (const perf::PhaseStats& s : result.value().phases.phases) {
+    phases.push_back(obs::PhaseTiming{s.name, s.host_ns});
+  }
+  result.value().report = scope.Finish(std::move(phases));
+  return result;
 }
 
 Result<QueryResult> RunQ12Grouped(const TpchDb& db,

@@ -8,6 +8,7 @@
 #ifndef SGXB_TPCH_QUERIES_H_
 #define SGXB_TPCH_QUERIES_H_
 
+#include "obs/query_report.h"
 #include "perf/access_profile.h"
 #include "tpch/operators.h"
 #include "tpch/tpch_schema.h"
@@ -21,6 +22,10 @@ struct QueryResult {
   /// Extension: per-group counts when the query ends in a GROUP BY
   /// (empty for the paper's count(*) finals).
   std::vector<uint64_t> group_counts;
+  /// Registry-counter deltas over this execution (transitions, EDMM page
+  /// churn, arena/pool and executor activity). Filled by RunQuery; the
+  /// RunQ* entry points leave it default (their callers own the window).
+  obs::QueryReport report;
 };
 
 /// \brief Q3: shipping priority. customer (mktsegment = BUILDING) JOIN

@@ -1,0 +1,181 @@
+// Tracing: ring wraparound and drop accounting, span recording across
+// threads, and the chrome trace-event JSON shape.
+
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace sgxb::obs {
+namespace {
+
+// Tests share process-global rings, so every expectation works on deltas
+// of GetTraceStats() and every test disables tracing before returning.
+class TraceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { DisableTracing(); }
+
+  static uint64_t TotalEvents() {
+    TraceStats s = GetTraceStats();
+    return s.recorded + s.dropped;
+  }
+};
+
+TEST_F(TraceTest, DisabledSpanRecordsNothing) {
+  DisableTracing();
+  const uint64_t before = TotalEvents();
+  {
+    ObsSpan span("disabled_span", "test");
+  }
+  TraceInstant("disabled_instant", "test");
+  TraceComplete("disabled_complete", "test", 1, 2);
+  EXPECT_EQ(TotalEvents(), before);
+}
+
+TEST_F(TraceTest, SpansRecordWhenEnabled) {
+  EnableTracing();
+  const uint64_t before = TotalEvents();
+  {
+    ObsSpan span("enabled_span", "test");
+  }
+  TraceInstant("enabled_instant", "test");
+  EXPECT_EQ(TotalEvents(), before + 2);
+}
+
+TEST_F(TraceTest, RingWrapsAndCountsDrops) {
+  // A fresh thread gets a fresh ring at the capacity set here; writing
+  // past it must keep the newest `cap` events and count the overwritten
+  // ones as dropped.
+  constexpr size_t kCap = 16;
+  constexpr int kEvents = 40;
+  EnableTracing(kCap);
+  TraceStats before = GetTraceStats();
+  std::thread recorder([] {
+    for (int i = 0; i < kEvents; ++i) TraceInstant("wrap", "test");
+  });
+  recorder.join();
+  TraceStats after = GetTraceStats();
+  EXPECT_EQ(after.threads, before.threads + 1);
+  EXPECT_EQ(after.recorded - before.recorded, kCap);
+  EXPECT_EQ(after.dropped - before.dropped, kEvents - kCap);
+}
+
+TEST_F(TraceTest, ResetTraceDropsHeldEvents) {
+  EnableTracing();
+  TraceInstant("to_be_reset", "test");
+  ResetTrace();
+  TraceStats s = GetTraceStats();
+  EXPECT_EQ(s.recorded, 0u);
+  EXPECT_EQ(s.dropped, 0u);
+}
+
+TEST_F(TraceTest, InternNameIsStableAndDeduplicated) {
+  const char* a = InternName("interned_name");
+  const char* b = InternName("interned_name");
+  EXPECT_EQ(a, b);
+  EXPECT_STREQ(a, "interned_name");
+  EXPECT_NE(InternName("other_name"), a);
+}
+
+// Golden-shape test for the chrome trace-event JSON: one complete span,
+// one instant event, and the envelope fields chrome://tracing requires.
+TEST_F(TraceTest, JsonHasChromeTraceShape) {
+  ResetTrace();
+  EnableTracing();
+  const uint64_t begin = ReadTsc();
+  TraceComplete("golden_span", "golden_cat", begin, begin + 100000);
+  TraceInstant("golden_marker", "golden_cat");
+  DisableTracing();
+  const std::string json = TraceToJson();
+
+  EXPECT_EQ(json.find("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["), 0u);
+  EXPECT_NE(json.find("\"name\":\"golden_span\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"golden_cat\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"golden_marker\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":"), std::string::npos);
+  // Well-formed envelope: the array and object close.
+  EXPECT_NE(json.find("\n]}\n"), std::string::npos);
+  // Balanced braces -- cheap structural sanity without a JSON parser.
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST_F(TraceTest, MultiThreadedSpansAllLand) {
+  ResetTrace();
+  EnableTracing();
+  TraceStats before = GetTraceStats();
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 100;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        ObsSpan span("mt_span", "test");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  DisableTracing();
+  TraceStats after = GetTraceStats();
+  EXPECT_EQ(
+      (after.recorded + after.dropped) - (before.recorded + before.dropped),
+      static_cast<uint64_t>(kThreads) * kSpansPerThread);
+}
+
+TEST_F(TraceTest, TraceCompleteEndingNowReconstructsDuration) {
+  ResetTrace();
+  EnableTracing();
+  TraceCompleteEndingNow("backdated", "test", 1e6);  // 1 ms
+  DisableTracing();
+  const std::string json = TraceToJson();
+  const size_t dur_at = json.find("\"dur\":");
+  ASSERT_NE(dur_at, std::string::npos);
+  const double dur_us = std::stod(json.substr(dur_at + 6));
+  // 1 ms expressed in microseconds, give or take TSC calibration noise.
+  EXPECT_GT(dur_us, 900.0);
+  EXPECT_LT(dur_us, 1100.0);
+}
+
+TEST_F(TraceTest, WriteTraceCreatesLoadableFile) {
+  ResetTrace();
+  EnableTracing();
+  TraceInstant("file_marker", "test");
+  DisableTracing();
+  const std::string path = ::testing::TempDir() + "obs_trace_test.json";
+  ASSERT_TRUE(WriteTrace(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char head[64] = {};
+  ASSERT_GT(std::fread(head, 1, sizeof(head) - 1, f), 0u);
+  std::fclose(f);
+  EXPECT_EQ(std::string(head).rfind("{\"displayTimeUnit\"", 0), 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sgxb::obs

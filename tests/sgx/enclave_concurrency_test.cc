@@ -109,6 +109,51 @@ TEST(EnclaveConcurrencyTest, EnclaveModeIsPerThread) {
   EXPECT_TRUE(t1_saw_outside.load());
 }
 
+// memory_stats() must never show a torn pair: heap_used <= heap_committed
+// on every snapshot, even while other threads allocate, free, and (with
+// edmm_trim) shrink the committed heap concurrently.
+void StressMemoryStatsCoherence(bool edmm_trim) {
+  EnclaveConfig cfg;
+  cfg.initial_heap_bytes = 256_KiB;
+  cfg.max_heap_bytes = 64_MiB;
+  cfg.dynamic = true;
+  cfg.edmm_trim = edmm_trim;
+  Enclave* enclave = Enclave::Create(cfg).value();
+
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 2;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> torn{0};
+  ParallelRun(kWriters + kReaders, [&](int tid) {
+    if (tid < kWriters) {
+      for (int i = 0; i < 300; ++i) {
+        // Freed immediately (destroyed each iteration): with trim on,
+        // this drives commit/trim churn against the readers.
+        ASSERT_TRUE(enclave->Allocate(32_KiB).ok());
+      }
+      stop.store(true, std::memory_order_release);
+    } else {
+      while (!stop.load(std::memory_order_acquire)) {
+        EnclaveMemoryStats s = enclave->memory_stats();
+        if (s.heap_used_bytes > s.heap_committed_bytes) {
+          torn.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  });
+  EXPECT_EQ(torn.load(), 0u) << "memory_stats returned used > committed";
+  EXPECT_EQ(enclave->memory_stats().heap_used_bytes, 0u);
+  DestroyEnclave(enclave);
+}
+
+TEST(EnclaveConcurrencyTest, MemoryStatsNeverTearsWithoutTrim) {
+  StressMemoryStatsCoherence(/*edmm_trim=*/false);
+}
+
+TEST(EnclaveConcurrencyTest, MemoryStatsNeverTearsWithTrim) {
+  StressMemoryStatsCoherence(/*edmm_trim=*/true);
+}
+
 TEST(EnclaveConcurrencyTest, MultipleEnclavesCoexist) {
   EnclaveConfig cfg;
   cfg.initial_heap_bytes = 1_MiB;
