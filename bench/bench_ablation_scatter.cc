@@ -7,6 +7,7 @@
 // stores in software (immune to the enclave reordering restriction) and
 // cuts write-allocate traffic — a candidate "SGXv2-native" partitioner.
 
+#include <cstdlib>
 #include <vector>
 
 #include "bench_util.h"
@@ -66,7 +67,7 @@ int main() {
                                              offsets.data(), out.data());
                        break;
                      default:
-                       scratch.Reserve(bits);
+                       if (!scratch.Reserve(bits).ok()) std::abort();
                        join::ScatterSoftwareBuffered(
                            data.data(), n, mask, 0, offsets.data(),
                            out.data(), &scratch);

@@ -1,0 +1,115 @@
+// Fused, morsel-driven pipeline driver (docs/pipelines.md).
+//
+// The paper's query framework is operator-at-a-time: every operator
+// fully materializes its output (Section 6), so each query pays a full
+// write + re-read round-trip per intermediate — the traffic class
+// enclave memory encryption penalizes hardest. This driver runs a whole
+// operator chain (filter -> refine -> gather -> probe -> aggregate) as
+// ONE pass per morsel on the work-stealing executor: the intermediate
+// "row-id list" shrinks to a per-morsel selection vector in worker-local,
+// arena-backed scratch that stays cache-resident, and only pipeline
+// breakers (hash-table builds, final aggregates) write anything global.
+//
+// The driver owns the per-lane scratch and the parallel loop; the fused
+// operator chain itself is the caller's morsel body (tpch/pipelines.cc
+// composes them per query). Lanes optionally run under a ScopedEcall so
+// enclave entry is charged once per lane, exactly like the materializing
+// operators.
+
+#ifndef SGXB_EXEC_PIPELINE_H_
+#define SGXB_EXEC_PIPELINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "common/parallel.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "mem/arena.h"
+
+namespace sgxb::mem {
+class ArenaPool;
+}
+
+namespace sgxb::exec {
+
+struct PipelineConfig {
+  /// Span / phase label ("q3.scan_orders", ...). Must outlive the run.
+  const char* name = "pipeline";
+  int num_threads = 1;
+  /// Rows per morsel. The lane scratch (two selection vectors + a tuple
+  /// staging buffer, 24 bytes/row) is sized to this, so the working set
+  /// of one morsel stays cache-resident: 32 Ki rows = 768 KiB.
+  size_t grain = 32 * 1024;
+  /// Wrap each lane's whole morsel loop in an sgx::ScopedEcall (one
+  /// enclave entry per lane, as on hardware).
+  bool enclave_lanes = false;
+  /// Resource the lane arenas draw chunks from (required); with a pool
+  /// the chunks are recycled across pipelines and queries.
+  mem::MemoryResource* resource = nullptr;
+  mem::ArenaPool* arena_pool = nullptr;
+};
+
+/// \brief Worker-local scratch for one pipeline lane: a double-buffered
+/// selection vector (absolute row ids) and a tuple staging area for
+/// batched probes, all carved from an arena over the query's resource.
+class PipelineLane {
+ public:
+  PipelineLane(int id, mem::MemoryResource* resource,
+               mem::ArenaPool* pool)
+      : id_(id), arena_(resource, 0, pool) {}
+
+  PipelineLane(const PipelineLane&) = delete;
+  PipelineLane& operator=(const PipelineLane&) = delete;
+
+  /// \brief Carves the scratch buffers for `grain`-row morsels.
+  Status Reserve(size_t grain);
+
+  int lane_id() const { return id_; }
+  size_t capacity() const { return capacity_; }
+
+  /// \brief Input selection vector of the current stage.
+  uint64_t* sel_in() { return sel_in_; }
+  /// \brief Output selection vector of the current stage.
+  uint64_t* sel_out() { return sel_out_; }
+  /// \brief Makes the current output the next stage's input (a
+  /// refinement consumed sel_in and produced sel_out).
+  void FlipSel() { std::swap(sel_in_, sel_out_); }
+
+  /// \brief Staging buffer for batched hash probes: `capacity()` tuples.
+  Tuple* stage() { return stage_; }
+
+  /// \brief The lane's arena, for pipeline-specific extra scratch
+  /// (thread-local aggregation states, ...). Lane-local: never share
+  /// carve-outs across lanes.
+  mem::Arena& arena() { return arena_; }
+
+ private:
+  int id_;
+  mem::Arena arena_;
+  size_t capacity_ = 0;
+  uint64_t* sel_in_ = nullptr;
+  uint64_t* sel_out_ = nullptr;
+  Tuple* stage_ = nullptr;
+};
+
+/// \brief The fused operator chain, invoked once per morsel. `morsel` is
+/// an absolute row range of the pipeline's driving table; the body runs
+/// every stage over it (typically: scan into `lane.sel_out()`, FlipSel,
+/// refine sel_in -> sel_out, ..., probe/aggregate into lane-local state).
+/// A non-OK return aborts the pipeline (remaining morsels are skipped)
+/// and is returned from RunMorselPipeline.
+using MorselBody = std::function<Status(Range morsel, PipelineLane& lane)>;
+
+/// \brief Runs one pipeline: splits [0, total_rows) into grain-sized
+/// morsels scheduled over the work-stealing executor, with per-lane
+/// arena-backed scratch and (optionally) one ScopedEcall per lane. Emits
+/// a trace span for the pipeline and, when tracing, one per morsel.
+Status RunMorselPipeline(size_t total_rows, const PipelineConfig& config,
+                         const MorselBody& body);
+
+}  // namespace sgxb::exec
+
+#endif  // SGXB_EXEC_PIPELINE_H_

@@ -9,6 +9,7 @@
 #include "common/barrier.h"
 #include "common/parallel.h"
 #include "exec/probe_pipeline.h"
+#include "join/hash_table.h"
 #include "join/materializer.h"
 #include "sync/spinlock.h"
 
@@ -16,119 +17,10 @@ namespace sgxb::join {
 
 namespace {
 
-// Bucket layout follows the classic multi-core hash join code: two
-// in-line tuple slots, a latch for parallel builds, and an overflow link.
-struct Bucket {
-  SpinLock latch;
-  uint32_t count;
-  uint32_t next;  // index into the overflow pool, kNoOverflow if none
-  Tuple tuples[2];
-};
-static_assert(sizeof(Bucket) <= 32, "Bucket should stay compact");
-
-constexpr uint32_t kNoOverflow = 0xffffffffu;
-
-size_t NumBuckets(size_t build_tuples) {
-  // Average two tuples per bucket, like the original implementation.
-  size_t buckets = 16;
-  while (buckets * 2 < build_tuples) buckets <<= 1;
-  return buckets;
-}
-
-uint32_t BitsOf(size_t pow2) {
-  uint32_t bits = 0;
-  while ((size_t{1} << bits) < pow2) ++bits;
-  return bits;
-}
-
-struct HashTable {
-  Bucket* buckets = nullptr;
-  size_t num_buckets = 0;
-  uint32_t hash_bits = 0;
-  Bucket* overflow = nullptr;
-  std::atomic<uint32_t> overflow_next{0};
-  size_t overflow_cap = 0;
-
-  // Inserts under the head bucket's latch. When the head is full its
-  // contents are pushed into a fresh overflow bucket, so inserts always
-  // hit the head (constant work under the latch).
-  void Insert(const Tuple& t) {
-    Bucket& head = buckets[HashKey(t.key, hash_bits)];
-    head.latch.lock();
-    if (head.count == 2) {
-      uint32_t idx =
-          overflow_next.fetch_add(1, std::memory_order_relaxed);
-      assert(idx < overflow_cap && "PHT overflow pool exhausted");
-      Bucket& spill = overflow[idx];
-      spill.count = head.count;
-      spill.next = head.next;
-      spill.tuples[0] = head.tuples[0];
-      spill.tuples[1] = head.tuples[1];
-      head.next = idx;
-      head.count = 0;
-    }
-    head.tuples[head.count++] = t;
-    head.latch.unlock();
-  }
-
-  // Probes the chain starting at `buckets[bucket]` (hash hoisted to the
-  // caller so batched probes compute it exactly once per tuple). The
-  // probe phase is barrier-separated from the build phase, so this path
-  // must never touch the latch; count/next are still snapshotted into
-  // const locals before the slot scan so a bucket is read exactly once
-  // per hop and a mutated head can never walk the scan out of bounds.
-  template <typename OnMatch>
-  uint64_t ProbeBucket(uint32_t bucket, const Tuple& t,
-                       OnMatch&& on_match) const {
-    uint64_t matches = 0;
-    const Bucket* b = &buckets[bucket];
-    for (;;) {
-      const uint32_t count = b->count <= 2 ? b->count : 2;
-      const uint32_t next = b->next;
-      for (uint32_t i = 0; i < count; ++i) {
-        if (b->tuples[i].key == t.key) {
-          ++matches;
-          on_match(b->tuples[i], t);
-        }
-      }
-      if (next == kNoOverflow) break;
-      assert(next < overflow_cap);
-      b = &overflow[next];
-    }
-    return matches;
-  }
-};
-
-// Probe state machine for the batched drivers (exec/probe_pipeline.h):
-// one hop per Advance() — head bucket, then each overflow bucket. Buckets
-// are 32 bytes in a cache-aligned array, so a hop never spans two lines.
-template <typename OnMatch>
-struct PhtProbeCursor {
-  static constexpr int kPrefetchLines = 1;
-  const HashTable* table = nullptr;
-  OnMatch* on_match = nullptr;
-  uint64_t matches = 0;
-
-  Tuple probe_;
-  const Bucket* b_ = nullptr;
-
-  void Reset(const Tuple& t) {
-    probe_ = t;
-    b_ = &table->buckets[HashKey(t.key, table->hash_bits)];
-  }
-  const void* Target() const { return b_; }
-  void Advance() {
-    const uint32_t count = b_->count <= 2 ? b_->count : 2;
-    const uint32_t next = b_->next;
-    for (uint32_t i = 0; i < count; ++i) {
-      if (b_->tuples[i].key == probe_.key) {
-        ++matches;
-        (*on_match)(b_->tuples[i], probe_);
-      }
-    }
-    b_ = next == kNoOverflow ? nullptr : &table->overflow[next];
-  }
-};
+// The table itself (latched build, latch-free snapshot probe, batched
+// probe cursor) lives in join/hash_table.h, shared with the fused TPC-H
+// pipelines.
+using HashTable = BucketChainTable;
 
 // PHT's build and probe loops walk latched bucket chains: they are
 // latency-bound, not ILP-bound, so enclave mode does not add the tight-
@@ -169,31 +61,22 @@ perf::AccessProfile ProbeProfile(size_t probe_n, size_t table_bytes,
 }  // namespace
 
 size_t PhtHashTableBytes(size_t build_tuples) {
-  return (NumBuckets(build_tuples) + build_tuples / 2 + 16) *
-         sizeof(Bucket);
+  return BucketChainTable::BytesFor(build_tuples);
 }
 
 Result<JoinResult> PhtJoin(const Relation& build, const Relation& probe,
                            const JoinConfig& config) {
   SGXB_RETURN_NOT_OK(ValidateJoinInputs(build, probe, config));
 
-  const size_t num_buckets = NumBuckets(build.num_tuples());
-  // Worst case: every insert spills once -> one overflow bucket per two
-  // build tuples, plus slack.
-  const size_t overflow_cap = build.num_tuples() / 2 + 16;
-  const size_t table_bytes =
-      (num_buckets + overflow_cap) * sizeof(Bucket);
+  const size_t table_bytes = BucketChainTable::BytesFor(build.num_tuples());
 
   JoinScratch scratch(config);
   auto table_buf = scratch.Allocate(table_bytes);
   if (!table_buf.ok()) return table_buf.status();
 
   HashTable table;
-  table.buckets = static_cast<Bucket*>(table_buf.value());
-  table.num_buckets = num_buckets;
-  table.hash_bits = BitsOf(num_buckets);
-  table.overflow = table.buckets + num_buckets;
-  table.overflow_cap = overflow_cap;
+  table.Bind(table_buf.value(), build.num_tuples());
+  const size_t num_buckets = table.num_buckets;
 
   const int threads = config.num_threads;
   Barrier barrier(threads);
@@ -219,11 +102,7 @@ Result<JoinResult> PhtJoin(const Relation& build, const Relation& probe,
     // Initialize bucket headers in parallel (part of setup, measured as
     // its own phase like the original code's allocation step).
     Range init = SplitRange(num_buckets, threads, tid);
-    for (size_t b = init.begin; b < init.end; ++b) {
-      Bucket* bucket = new (&table.buckets[b]) Bucket();
-      bucket->count = 0;
-      bucket->next = kNoOverflow;
-    }
+    table.InitBuckets(init.begin, init.end);
     barrier.WaitThen([&] { recorder.Begin(); });
 
     // --- Build phase ---
@@ -266,7 +145,7 @@ Result<JoinResult> PhtJoin(const Relation& build, const Relation& probe,
         }
         return;
       }
-      std::vector<PhtProbeCursor<decltype(on_match)>> cursors(
+      std::vector<BucketChainCursor<decltype(on_match)>> cursors(
           static_cast<size_t>(probe_width));
       for (auto& c : cursors) {
         c.table = &table;

@@ -5,6 +5,8 @@
 #endif
 
 #include <algorithm>
+#include <limits>
+#include <string>
 
 #include "join/join_common.h"
 
@@ -146,13 +148,26 @@ ScatterKernel PickScatterKernel(KernelFlavor flavor) {
                                             : &ScatterUnrolled;
 }
 
-void ScatterBufferScratch::Reserve(int bits) {
+Status ScatterBufferScratch::Reserve(int bits) {
+  // The radix mask is computed over 32-bit keys and the line buffers hold
+  // 2^bits * 8 tuples, so anything past 28 bits is either meaningless or
+  // an overflow risk on 32-bit size_t; reject instead of wrapping.
+  if (bits < 0 || bits > 28) {
+    return Status::InvalidArgument(
+        "ScatterBufferScratch::Reserve: bits out of range: " +
+        std::to_string(bits));
+  }
   const size_t fanout = size_t{1} << bits;
+  if (fanout > std::numeric_limits<size_t>::max() / (8 * sizeof(Tuple))) {
+    return Status::InvalidArgument(
+        "ScatterBufferScratch::Reserve: buffer size overflows");
+  }
   if (fill_.size() < fanout) {
     buffers_.resize(fanout * 8);
     fill_.resize(fanout);
   }
   std::fill(fill_.begin(), fill_.end(), 0);
+  return Status::OK();
 }
 
 void ScatterSoftwareBuffered(const Tuple* data, size_t n, uint32_t mask,

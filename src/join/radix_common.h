@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
 #include "common/types.h"
 #include "exec/probe_pipeline.h"
 #include "perf/access_profile.h"
@@ -64,8 +65,10 @@ ScatterKernel PickScatterKernel(KernelFlavor flavor);
 /// line (8 tuples) per partition, flushed to the output when full.
 class ScatterBufferScratch {
  public:
-  /// \brief Ensures room for 2^bits partitions.
-  void Reserve(int bits);
+  /// \brief Ensures room for 2^bits partitions. Rejects negative bit
+  /// counts and fanouts whose buffer size (2^bits * 8 tuples) would
+  /// overflow size_t instead of silently wrapping the allocation.
+  Status Reserve(int bits);
 
   Tuple* buffers() { return buffers_.data(); }
   uint8_t* fill() { return fill_.data(); }

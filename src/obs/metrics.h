@@ -189,6 +189,11 @@ inline constexpr char kCtrArenaBytes[] = "mem.arena_bytes";
 inline constexpr char kCtrArenaChunks[] = "mem.arena_chunks";
 inline constexpr char kCtrPoolHits[] = "mem.pool_hits";
 inline constexpr char kCtrPoolMisses[] = "mem.pool_misses";
+/// Bytes written to operator output structures (row-id lists, gathered
+/// relations, join intermediates; breaker sinks in fused mode) — the
+/// intermediate-materialization traffic the pipelined execution mode
+/// exists to avoid (docs/pipelines.md).
+inline constexpr char kCtrBytesMaterialized[] = "tpch.bytes_materialized";
 inline constexpr char kHistMutexParkNs[] = "sgx.mutex_park_ns";
 inline constexpr char kHistEdmmCommitNs[] = "sgx.edmm_commit_ns";
 

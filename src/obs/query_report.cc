@@ -39,6 +39,7 @@ std::string QueryReport::ToJson() const {
   add("tasks", tasks);
   add("morsels", morsels);
   add("morsel_steals", morsel_steals);
+  add("bytes_materialized", bytes_materialized);
   std::snprintf(buf, sizeof(buf), ", \"pool_hit_rate\": %.4f",
                 PoolHitRate());
   out += buf;
@@ -91,6 +92,9 @@ std::string QueryReport::ToString() const {
                 static_cast<unsigned long long>(morsels),
                 static_cast<unsigned long long>(morsel_steals));
   out += buf;
+  std::snprintf(buf, sizeof(buf), "  materialized: %llu bytes\n",
+                static_cast<unsigned long long>(bytes_materialized));
+  out += buf;
   return out;
 }
 
@@ -129,6 +133,7 @@ QueryReport QueryReportScope::Finish(std::vector<PhaseTiming> phases) {
   report.tasks = delta(kCtrExecTasks);
   report.morsels = delta(kCtrExecMorsels);
   report.morsel_steals = delta(kCtrExecMorselSteals);
+  report.bytes_materialized = delta(kCtrBytesMaterialized);
   return report;
 }
 

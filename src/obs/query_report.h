@@ -66,6 +66,11 @@ struct QueryReport {
   uint64_t morsels = 0;
   uint64_t morsel_steals = 0;
 
+  // Intermediate bytes written to operator outputs (tpch/operators.cc) or
+  // pipeline-breaker sinks (tpch/pipelines.cc) — the traffic the fused
+  // execution mode avoids (docs/pipelines.md).
+  uint64_t bytes_materialized = 0;
+
   /// \brief pool_hits / (pool_hits + pool_misses), or 0 with no traffic.
   double PoolHitRate() const;
 

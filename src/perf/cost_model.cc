@@ -139,4 +139,12 @@ double CostModel::SlowdownFactor(const AccessProfile& profile,
   return EstimateNanos(profile, env) / base_ns;
 }
 
+double MaterializationTrafficNs(const CostModel& model, uint64_t bytes,
+                                const ExecutionEnv& env) {
+  AccessProfile p;
+  p.seq_write_bytes = bytes;
+  p.seq_read_bytes = bytes;
+  return model.EstimateNanos(p, env);
+}
+
 }  // namespace sgxb::perf

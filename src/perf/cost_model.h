@@ -86,6 +86,15 @@ class CostModel {
   const MachineModel& machine_;
 };
 
+/// \brief Modeled round-trip cost of materializing `bytes` of operator
+/// output under `env`: written once by the producer and re-read once by
+/// the consumer. This is the traffic class enclave memory encryption
+/// penalizes hardest, and exactly what the fused pipelines avoid — the
+/// per-query `tpch.bytes_materialized` counter times this rate is the
+/// modeled saving (docs/pipelines.md, bench_ablation_pipeline).
+double MaterializationTrafficNs(const CostModel& model, uint64_t bytes,
+                                const ExecutionEnv& env);
+
 }  // namespace sgxb::perf
 
 #endif  // SGXB_PERF_COST_MODEL_H_

@@ -68,6 +68,20 @@ RowIdKernel PickRowIdKernel(SimdLevel level);
 /// \brief Widest level that both the build and the host support.
 SimdLevel BestSupportedSimdLevel();
 
+// --- Morsel-range entry point ------------------------------------------------
+
+/// \brief Selection over one morsel: scans `col[base, base + len)` of a
+/// column starting at `data` and writes the ABSOLUTE row ids of matching
+/// values (lo <= v <= hi) to `out_ids`, which must have room for `len`
+/// entries. Returns the number of ids written. This is the fused
+/// pipelines' scan entry point (exec/pipeline.h): the same SIMD kernels
+/// as the global row-id scan, applied to an arbitrary worker morsel —
+/// `len` need not be a multiple of the SIMD width and `base` need not be
+/// aligned (the kernels handle unaligned heads and partial tails).
+uint64_t ScanRowIdRange(const uint8_t* data, size_t base, size_t len,
+                        uint8_t lo, uint8_t hi, uint64_t* out_ids,
+                        SimdLevel level);
+
 }  // namespace sgxb::scan
 
 #endif  // SGXB_SCAN_SCAN_KERNELS_H_

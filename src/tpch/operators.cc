@@ -1,12 +1,16 @@
 #include "tpch/operators.h"
 
 #include <atomic>
+#include <limits>
+#include <type_traits>
 #include <vector>
 
+#include "common/env.h"
 #include "common/parallel.h"
 #include "common/timer.h"
 #include "join/materializer.h"
 #include "join/rho_join.h"
+#include "obs/metrics.h"
 #include "scan/column_scan.h"
 
 namespace sgxb::tpch {
@@ -74,6 +78,7 @@ Result<RowIdList> RefineImpl(const RowIdList& in, Pred pred,
     total += counts[t];
   }
   result.set_count(total);
+  ChargeBytesMaterialized(total * sizeof(uint64_t));
 
   if (rec != nullptr) {
     perf::AccessProfile p;
@@ -96,10 +101,29 @@ mem::MemoryResource* EffectiveResource(const QueryConfig& config) {
   return mem::ResourceFor(config.setting, config.enclave);
 }
 
+bool PipelineEnabled(const QueryConfig& config) {
+  if (config.pipeline.has_value()) return *config.pipeline;
+  return EnvBool("SGXBENCH_PIPELINE", false);
+}
+
+void ChargeBytesMaterialized(uint64_t bytes) {
+  if (bytes == 0) return;
+  static obs::Counter* counter =
+      obs::Registry::Global().GetCounter(obs::kCtrBytesMaterialized);
+  counter->Add(bytes);
+}
+
 Result<RowIdList> RowIdList::Allocate(size_t capacity,
                                       const QueryConfig& config) {
   RowIdList list;
   if (capacity == 0) capacity = 1;
+  // capacity * sizeof(uint64_t) must not wrap: a silently-short buffer
+  // would turn the operators' "worst case fits" writes into corruption.
+  if (capacity > std::numeric_limits<size_t>::max() / sizeof(uint64_t)) {
+    return Status::InvalidArgument(
+        "RowIdList capacity overflows size_t: " +
+        std::to_string(capacity));
+  }
   auto buf = AllocForSetting(capacity * sizeof(uint64_t), config);
   if (!buf.ok()) return buf.status();
   list.buf_ = std::move(buf).value();
@@ -131,6 +155,7 @@ Result<RowIdList> FilterU8Range(const Column<uint8_t>& col, uint8_t lo,
   auto scan_result = scan::RunRowIdScan(col, result.ids(), &count, sc);
   if (!scan_result.ok()) return scan_result.status();
   result.set_count(count);
+  ChargeBytesMaterialized(count * sizeof(uint64_t));
   if (rec != nullptr) {
     rec->Record(name, scan_result.value().host_ns,
                 scan_result.value().profile, config.num_threads);
@@ -173,6 +198,7 @@ Result<RowIdList> FilterU32Range(const Column<uint32_t>& col, uint32_t lo,
     total += counts[t];
   }
   result.set_count(total);
+  ChargeBytesMaterialized(total * sizeof(uint64_t));
 
   if (rec != nullptr) {
     perf::AccessProfile p;
@@ -271,6 +297,7 @@ Result<Relation> GatherKeys(const Column<uint32_t>& keys,
       },
       opts);
   SGXB_RETURN_NOT_OK(run_status);
+  ChargeBytesMaterialized(n * sizeof(Tuple));
 
   if (rec != nullptr) {
     perf::AccessProfile p;
@@ -323,6 +350,10 @@ Result<JoinStepResult> MaterializingJoin(const Relation& build,
     for (size_t i = 0; i < n; ++i) ids[k++] = chunk[i].probe_payload;
   });
   step.probe_rows.set_count(k);
+  // The materialized join output plus the row-id projection of it; both
+  // are written here and re-read by the next operator.
+  ChargeBytesMaterialized(step.matches * sizeof(JoinOutputTuple) +
+                          k * sizeof(uint64_t));
   return step;
 }
 
@@ -339,6 +370,14 @@ Result<uint64_t> CountingJoin(const Relation& build, const Relation& probe,
 
 namespace {
 
+// Per-thread partial rows are padded to a whole cache line so lanes
+// never false-share, and the padded table is the unit the aggregation
+// operators allocate from the query's resource.
+constexpr size_t PartialStride(size_t groups, size_t elem_bytes) {
+  const size_t per_line = kCacheLineSize / elem_bytes;
+  return (groups + per_line - 1) / per_line * per_line;
+}
+
 // Shared implementation: group id of row `id` comes from `group_of`.
 template <typename GroupOf>
 Result<std::vector<uint64_t>> GroupCountImpl(size_t n, GroupOf group_of,
@@ -351,14 +390,22 @@ Result<std::vector<uint64_t>> GroupCountImpl(size_t n, GroupOf group_of,
     return Status::InvalidArgument("num_groups must be in [1, 4096]");
   }
   const int threads = config.num_threads;
-  std::vector<std::vector<uint64_t>> partials(
-      threads, std::vector<uint64_t>(num_groups, 0));
+  // The per-thread partial tables are the operator's only substantive
+  // allocation, so they come from the query's resource (enclave-charged
+  // under SGX settings) like every other operator intermediate; only the
+  // num_groups-sized result copy-out below leaves through the host heap.
+  const size_t stride = PartialStride(num_groups, sizeof(uint64_t));
+  auto partial_buf = EffectiveResource(config)->AllocateZeroed(
+      static_cast<size_t>(threads) * stride * sizeof(uint64_t));
+  if (!partial_buf.ok()) return partial_buf.status();
+  AlignedBuffer partials = std::move(partial_buf).value();
+  uint64_t* const partial_rows = partials.As<uint64_t>();
   std::atomic<bool> out_of_range{false};
 
   WallTimer timer;
   Status run_status = ParallelRun(threads, [&](int tid) {
     Range r = SplitRange(n, threads, tid);
-    std::vector<uint64_t>& local = partials[tid];
+    uint64_t* local = partial_rows + static_cast<size_t>(tid) * stride;
     for (size_t i = r.begin; i < r.end; ++i) {
       int g = group_of(i);
       if (g < 0 || g >= num_groups) {
@@ -374,7 +421,8 @@ Result<std::vector<uint64_t>> GroupCountImpl(size_t n, GroupOf group_of,
   }
 
   std::vector<uint64_t> counts(num_groups, 0);
-  for (const auto& local : partials) {
+  for (int t = 0; t < threads; ++t) {
+    const uint64_t* local = partial_rows + static_cast<size_t>(t) * stride;
     for (int g = 0; g < num_groups; ++g) counts[g] += local[g];
   }
   if (rec != nullptr) {
@@ -443,14 +491,21 @@ Result<std::vector<GroupAgg>> GroupSumU32By2U8(
   const uint8_t* d2 = g2.data();
 
   const int threads = config.num_threads;
-  std::vector<std::vector<GroupAgg>> partials(
-      threads, std::vector<GroupAgg>(groups));
+  // Resource-routed like GroupCountImpl: padded per-thread rows from the
+  // query's resource, with only the groups-sized result copied out.
+  static_assert(std::is_trivially_destructible_v<GroupAgg>);
+  const size_t stride = PartialStride(groups, sizeof(GroupAgg));
+  auto partial_buf = EffectiveResource(config)->AllocateZeroed(
+      static_cast<size_t>(threads) * stride * sizeof(GroupAgg));
+  if (!partial_buf.ok()) return partial_buf.status();
+  AlignedBuffer partials = std::move(partial_buf).value();
+  GroupAgg* const partial_rows = partials.As<GroupAgg>();
   std::atomic<bool> out_of_range{false};
 
   WallTimer timer;
   Status run_status = ParallelRun(threads, [&](int tid) {
     Range r = SplitRange(n, threads, tid);
-    std::vector<GroupAgg>& local = partials[tid];
+    GroupAgg* local = partial_rows + static_cast<size_t>(tid) * stride;
     for (size_t i = r.begin; i < r.end; ++i) {
       const size_t id = ids != nullptr ? ids[i] : i;
       const int g = d1[id] * num_g2 + d2[id];
@@ -468,7 +523,8 @@ Result<std::vector<GroupAgg>> GroupSumU32By2U8(
   }
 
   std::vector<GroupAgg> result(groups);
-  for (const auto& local : partials) {
+  for (int t = 0; t < threads; ++t) {
+    const GroupAgg* local = partial_rows + static_cast<size_t>(t) * stride;
     for (int g = 0; g < groups; ++g) {
       result[g].count += local[g].count;
       result[g].sum += local[g].sum;

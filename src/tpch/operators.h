@@ -44,7 +44,23 @@ struct QueryConfig {
   /// Chunk pool recycling operator memory across queries (docs/memory.md
   /// — the Figure 11 warm-reuse mechanism); forwarded to the join layer.
   mem::ArenaPool* arena_pool = nullptr;
+  /// Fused, morsel-driven execution (docs/pipelines.md): run each query
+  /// as a short DAG of pipelines with per-morsel selection vectors
+  /// instead of the paper's operator-at-a-time materialization. Unset =
+  /// SGXBENCH_PIPELINE (default off, preserving the paper's semantics).
+  std::optional<bool> pipeline;
 };
+
+/// \brief Resolves QueryConfig::pipeline against SGXBENCH_PIPELINE.
+bool PipelineEnabled(const QueryConfig& config);
+
+/// \brief Adds `bytes` to the tpch.bytes_materialized counter (surfaced
+/// per query as QueryReport::bytes_materialized). Operators call this for
+/// every intermediate they write that a downstream operator re-reads —
+/// row-id lists, gathered relations, join outputs, pipeline-breaker
+/// sinks — so fused and materializing runs of the same query can be
+/// compared on avoided traffic, not just wall time.
+void ChargeBytesMaterialized(uint64_t bytes);
 
 /// \brief The resource the query's operators allocate from (see
 /// QueryConfig::resource).

@@ -1,0 +1,38 @@
+// Fused, morsel-driven TPC-H plans (docs/pipelines.md).
+//
+// One entry point per query, mirroring the RunQ* signatures in
+// queries.h. Each runs the same logical plan as its materializing
+// counterpart but as a short DAG of pipelines over
+// exec::RunMorselPipeline: selections and refinements carry per-morsel
+// selection vectors in worker-local arena scratch instead of global
+// row-id lists, probes run against shared bucket-chained hash tables
+// (join::BucketChainTable) with the configured batched driver, and only
+// pipeline breakers — hash-table builds and final aggregates — write
+// global state. Results are byte-identical to the materializing plans
+// (tests/tpch/pipeline_test.cc proves it across the full config matrix).
+//
+// Callers normally go through RunQ*/RunQuery, which dispatch here when
+// PipelineEnabled(config) (QueryConfig::pipeline / SGXBENCH_PIPELINE).
+
+#ifndef SGXB_TPCH_PIPELINES_H_
+#define SGXB_TPCH_PIPELINES_H_
+
+#include "tpch/queries.h"
+
+namespace sgxb::tpch {
+
+Result<QueryResult> RunQ1Fused(const TpchDb& db, const QueryConfig& config);
+Result<QueryResult> RunQ3Fused(const TpchDb& db, const QueryConfig& config);
+Result<QueryResult> RunQ6Fused(const TpchDb& db, const QueryConfig& config);
+Result<QueryResult> RunQ10Fused(const TpchDb& db,
+                                const QueryConfig& config);
+Result<QueryResult> RunQ12Fused(const TpchDb& db,
+                                const QueryConfig& config);
+Result<QueryResult> RunQ19Fused(const TpchDb& db,
+                                const QueryConfig& config);
+Result<QueryResult> RunQ12GroupedFused(const TpchDb& db,
+                                       const QueryConfig& config);
+
+}  // namespace sgxb::tpch
+
+#endif  // SGXB_TPCH_PIPELINES_H_

@@ -3,40 +3,13 @@
 #include <vector>
 
 #include "common/timer.h"
+#include "tpch/pipelines.h"
+#include "tpch/query_constants.h"
 
 namespace sgxb::tpch {
 
-namespace {
-
-constexpr uint64_t Bit(uint8_t code) { return uint64_t{1} << code; }
-
-// Q12 ship modes: MAIL and SHIP.
-constexpr uint64_t kQ12ModeMask = Bit(kModeMail) | Bit(kModeShip);
-// Q19 ship modes: AIR and AIR REG.
-constexpr uint64_t kQ19ModeMask = Bit(kModeAir) | Bit(kModeRegAir);
-
-// Q19 branch parameters (brand codes are arbitrary but fixed; containers
-// encode size*8+kind, see tpch_schema.h).
-struct Q19Branch {
-  uint8_t brand;
-  uint64_t container_mask;
-  uint32_t qty_lo;
-  uint32_t qty_hi;
-  uint32_t size_hi;
-};
-
-constexpr Q19Branch kQ19Branches[3] = {
-    // Brand#12, SM CASE/BOX/PACK/PKG, qty in [1, 11], size in [1, 5]
-    {3, Bit(0) | Bit(1) | Bit(5) | Bit(4), 1, 11, 5},
-    // Brand#23, MED BAG/BOX/PKG/PACK, qty in [10, 20], size in [1, 10]
-    {8, Bit(10) | Bit(9) | Bit(12) | Bit(13), 10, 20, 10},
-    // Brand#34, LG CASE/BOX/PACK/PKG, qty in [20, 30], size in [1, 15]
-    {14, Bit(16) | Bit(17) | Bit(21) | Bit(20), 20, 30, 15},
-};
-
-}  // namespace
-
 Result<QueryResult> RunQ3(const TpchDb& db, const QueryConfig& config) {
+  if (PipelineEnabled(config)) return RunQ3Fused(db, config);
   OpRecorder rec;
   WallTimer timer;
 
@@ -84,6 +57,7 @@ Result<QueryResult> RunQ3(const TpchDb& db, const QueryConfig& config) {
 }
 
 Result<QueryResult> RunQ10(const TpchDb& db, const QueryConfig& config) {
+  if (PipelineEnabled(config)) return RunQ10Fused(db, config);
   OpRecorder rec;
   WallTimer timer;
 
@@ -127,6 +101,7 @@ Result<QueryResult> RunQ10(const TpchDb& db, const QueryConfig& config) {
 }
 
 Result<QueryResult> RunQ12(const TpchDb& db, const QueryConfig& config) {
+  if (PipelineEnabled(config)) return RunQ12Fused(db, config);
   OpRecorder rec;
   WallTimer timer;
 
@@ -167,6 +142,7 @@ Result<QueryResult> RunQ12(const TpchDb& db, const QueryConfig& config) {
 }
 
 Result<QueryResult> RunQ19(const TpchDb& db, const QueryConfig& config) {
+  if (PipelineEnabled(config)) return RunQ19Fused(db, config);
   OpRecorder rec;
   WallTimer timer;
 
@@ -258,6 +234,7 @@ Result<QueryResult> RunQuery(int query_number, const TpchDb& db,
 
 Result<QueryResult> RunQ12Grouped(const TpchDb& db,
                                   const QueryConfig& config) {
+  if (PipelineEnabled(config)) return RunQ12GroupedFused(db, config);
   OpRecorder rec;
   WallTimer timer;
 
@@ -321,13 +298,8 @@ std::pair<uint64_t, uint64_t> ReferenceQ12Grouped(const TpchDb& db) {
   return {high, low};
 }
 
-namespace {
-// Q1's shipdate cutoff: date '1998-12-01' - interval '90' day.
-constexpr uint32_t kQ1Cutoff =
-    static_cast<uint32_t>(DaysFromCivil(1998, 9, 2));
-}  // namespace
-
 Result<QueryResult> RunQ1(const TpchDb& db, const QueryConfig& config) {
+  if (PipelineEnabled(config)) return RunQ1Fused(db, config);
   OpRecorder rec;
   WallTimer timer;
 
@@ -352,6 +324,7 @@ Result<QueryResult> RunQ1(const TpchDb& db, const QueryConfig& config) {
 }
 
 Result<QueryResult> RunQ6(const TpchDb& db, const QueryConfig& config) {
+  if (PipelineEnabled(config)) return RunQ6Fused(db, config);
   OpRecorder rec;
   WallTimer timer;
 

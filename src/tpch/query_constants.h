@@ -1,0 +1,47 @@
+// Predicate constants shared by the two execution modes of the simplified
+// TPC-H queries: the materializing plans and reference oracles
+// (queries.cc) and the fused morsel-driven plans (pipelines.cc) must
+// evaluate exactly the same predicates, so the constants live once here.
+
+#ifndef SGXB_TPCH_QUERY_CONSTANTS_H_
+#define SGXB_TPCH_QUERY_CONSTANTS_H_
+
+#include <cstdint>
+
+#include "tpch/tpch_schema.h"
+
+namespace sgxb::tpch {
+
+constexpr uint64_t Bit(uint8_t code) { return uint64_t{1} << code; }
+
+// Q12 ship modes: MAIL and SHIP.
+inline constexpr uint64_t kQ12ModeMask = Bit(kModeMail) | Bit(kModeShip);
+// Q19 ship modes: AIR and AIR REG.
+inline constexpr uint64_t kQ19ModeMask = Bit(kModeAir) | Bit(kModeRegAir);
+
+// Q19 branch parameters (brand codes are arbitrary but fixed; containers
+// encode size*8+kind, see tpch_schema.h).
+struct Q19Branch {
+  uint8_t brand;
+  uint64_t container_mask;
+  uint32_t qty_lo;
+  uint32_t qty_hi;
+  uint32_t size_hi;
+};
+
+inline constexpr Q19Branch kQ19Branches[3] = {
+    // Brand#12, SM CASE/BOX/PACK/PKG, qty in [1, 11], size in [1, 5]
+    {3, Bit(0) | Bit(1) | Bit(5) | Bit(4), 1, 11, 5},
+    // Brand#23, MED BAG/BOX/PKG/PACK, qty in [10, 20], size in [1, 10]
+    {8, Bit(10) | Bit(9) | Bit(12) | Bit(13), 10, 20, 10},
+    // Brand#34, LG CASE/BOX/PACK/PKG, qty in [20, 30], size in [1, 15]
+    {14, Bit(16) | Bit(17) | Bit(21) | Bit(20), 20, 30, 15},
+};
+
+// Q1's shipdate cutoff: date '1998-12-01' - interval '90' day.
+inline constexpr uint32_t kQ1Cutoff =
+    static_cast<uint32_t>(DaysFromCivil(1998, 9, 2));
+
+}  // namespace sgxb::tpch
+
+#endif  // SGXB_TPCH_QUERY_CONSTANTS_H_

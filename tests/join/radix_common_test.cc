@@ -128,7 +128,7 @@ TEST(SoftwareBufferedScatterTest, MatchesReferenceScatter) {
     ScatterReference(data.data(), data.size(), mask, 0, off_ref.data(),
                      out_ref.data());
     ScatterBufferScratch scratch;
-    scratch.Reserve(bits);
+    ASSERT_TRUE(scratch.Reserve(bits).ok());
     ScatterSoftwareBuffered(data.data(), data.size(), mask, 0,
                             off_buf.data(), out_buf.data(), &scratch);
 
@@ -145,7 +145,7 @@ TEST(SoftwareBufferedScatterTest, MatchesReferenceScatter) {
 TEST(SoftwareBufferedScatterTest, ScratchReusableAcrossFanouts) {
   ScatterBufferScratch scratch;
   for (int bits : {6, 3, 8}) {
-    scratch.Reserve(bits);
+    ASSERT_TRUE(scratch.Reserve(bits).ok());
     const uint32_t mask = (1u << bits) - 1;
     auto data = MakeTuples(777, bits);
     std::vector<uint32_t> hist(1u << bits, 0);
