@@ -25,8 +25,12 @@ void WarnOnce(const char* name, const std::string& message) {
   {
     std::lock_guard<std::mutex> lock(g_warned_mu);
     if (!WarnedNames().insert(name).second) return;
+    // Count under the same lock as the insert: a reader that observes the
+    // count also observes the matching set membership, and two threads
+    // racing on different knobs cannot make EnvWarningCount() lag the set
+    // (the staleness TSan flags when the count is bumped outside).
+    g_warnings.fetch_add(1, std::memory_order_relaxed);
   }
-  g_warnings.fetch_add(1, std::memory_order_relaxed);
   std::fprintf(stderr, "[sgxbench] warning: %s: %s (using default)\n", name,
                message.c_str());
 }

@@ -106,8 +106,18 @@ Status CheckEnclaveHygiene(int tid, Status st) {
 DispatchMode dispatch_mode() {
   int m = g_dispatch_mode.load(std::memory_order_relaxed);
   if (m < 0) {
-    m = static_cast<int>(InitialDispatchMode());
-    g_dispatch_mode.store(m, std::memory_order_relaxed);
+    // First reader resolves the env knob. CAS instead of a plain store:
+    // a blind store could overwrite a concurrent SetDispatchMode() with
+    // the stale env-derived value (a lost update two overlapping queries
+    // would actually hit when one flips the mode mid-stream).
+    int expected = -1;
+    const int initial = static_cast<int>(InitialDispatchMode());
+    if (g_dispatch_mode.compare_exchange_strong(expected, initial,
+                                                std::memory_order_relaxed)) {
+      m = initial;
+    } else {
+      m = expected;
+    }
   }
   return static_cast<DispatchMode>(m);
 }
@@ -120,6 +130,11 @@ struct Executor::GangState {
   const std::function<Status(int)>* body = nullptr;
   const ThreadPlacement* placement = nullptr;
   std::vector<Status> results;
+  // Attribution domain of the dispatching thread; re-published inside
+  // every task body so the query's parallel work lands in its own
+  // QueryReport (obs/metrics.h).
+  int domain = -1;
+  std::vector<int> leased;  // worker index running each tid
   std::atomic<int> remaining{0};
   std::mutex mu;
   std::condition_variable cv;
@@ -137,6 +152,7 @@ Executor::~Executor() {
   {
     std::lock_guard<std::mutex> lock(dispatch_mu_);
     stop_.store(true, std::memory_order_release);
+    slots_cv_.notify_all();
     for (auto& w : workers_) {
       std::lock_guard<std::mutex> wl(w->mu);
       w->cv.notify_all();
@@ -165,6 +181,8 @@ ExecutorStats Executor::stats() const {
   {
     std::lock_guard<std::mutex> lock(dispatch_mu_);
     s.workers = static_cast<int>(workers_.size());
+    s.active_gangs = active_gangs_;
+    s.busy_workers = static_cast<int>(workers_.size()) - free_count_;
   }
   s.pool_threads_spawned =
       pool_threads_spawned_.load(std::memory_order_relaxed);
@@ -174,6 +192,7 @@ ExecutorStats Executor::stats() const {
   s.tasks = tasks_.load(std::memory_order_relaxed);
   s.morsels = morsels_.load(std::memory_order_relaxed);
   s.morsel_steals = morsel_steals_.load(std::memory_order_relaxed);
+  s.gang_waits = gang_waits_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -183,6 +202,8 @@ void Executor::EnsureWorkersLocked(int n) {
     worker->index = static_cast<int>(workers_.size());
     Worker* w = worker.get();
     workers_.push_back(std::move(worker));
+    busy_.push_back(0);
+    ++free_count_;
     w->thread = std::thread([this, w] { WorkerLoop(w); });
     pool_threads_spawned_.fetch_add(1, std::memory_order_relaxed);
     // Gate dispatch on the worker having pinned itself: "pinned at birth"
@@ -190,6 +211,42 @@ void Executor::EnsureWorkersLocked(int n) {
     std::unique_lock<std::mutex> wl(w->mu);
     w->cv.wait(wl, [w] { return w->ready; });
   }
+}
+
+void Executor::EnsurePoolSize(int n) {
+  std::lock_guard<std::mutex> lock(dispatch_mu_);
+  EnsureWorkersLocked(std::max(0, n));
+  slots_cv_.notify_all();
+}
+
+void Executor::SetMaxWorkersPerGang(int cap) {
+  max_workers_per_gang_.store(std::max(0, cap), std::memory_order_relaxed);
+}
+
+int Executor::max_workers_per_gang() const {
+  return max_workers_per_gang_.load(std::memory_order_relaxed);
+}
+
+int Executor::GrantedGangSize(int want) {
+  want = std::max(1, want);
+  int granted = want;
+  const int cap = max_workers_per_gang_.load(std::memory_order_relaxed);
+  if (cap > 0) granted = std::min(granted, cap);
+  {
+    std::lock_guard<std::mutex> lock(dispatch_mu_);
+    const int contenders =
+        active_gangs_ + static_cast<int>(lease_tail_ - lease_head_);
+    if (contenders > 0) {
+      // Others are running or queued: take a fair slice of the pool's
+      // eventual capacity (the pool grows to the host's core count under
+      // the serving layer, see EnsurePoolSize).
+      const int capacity =
+          std::max(static_cast<int>(workers_.size()), DefaultParallelism());
+      granted = std::min(granted,
+                         std::max(1, capacity / (contenders + 1)));
+    }
+  }
+  return granted;
 }
 
 void Executor::WorkerLoop(Worker* worker) {
@@ -219,6 +276,10 @@ void Executor::WorkerLoop(Worker* worker) {
 void Executor::RunTask(const Task& task) {
   GangState* gang = task.gang;
   const ThreadPlacement& placement = *gang->placement;
+  // Re-publish the dispatching thread's attribution domain for the whole
+  // task, counter bumps included, so a query's parallel work lands in its
+  // own QueryReport no matter which worker ran it.
+  obs::ScopedMetricDomain domain_scope(gang->domain);
   t_numa_node = placement.node_of_thread ? placement.node_of_thread(task.tid)
                                          : 0;
   Status st;
@@ -260,25 +321,73 @@ Status Executor::RunGang(int num_threads,
   GangState gang;
   gang.body = &body;
   gang.placement = &placement;
+  gang.domain = obs::CurrentMetricDomain();
   gang.results.assign(num_threads, Status::OK());
   gang.remaining.store(num_threads, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(dispatch_mu_);
+    std::unique_lock<std::mutex> lock(dispatch_mu_);
     EnsureWorkersLocked(num_threads);
-    // Enqueue the whole gang in tid order under the dispatch lock; paired
-    // with FIFO draining this gives all workers a consistent gang order.
+    // Lease num_threads workers, FIFO by ticket: a wide gang cannot be
+    // starved by a stream of narrow ones, and all members of a gang hold
+    // their workers concurrently (intra-gang barriers stay deadlock-free
+    // even with overlapping gangs — the bug this replaced: gangs anchored
+    // at workers 0..n-1 let the first caller claim every worker).
+    const uint64_t ticket = lease_tail_++;
+    if (!(lease_head_ == ticket && free_count_ >= num_threads)) {
+      gang_waits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    slots_cv_.wait(lock, [&] {
+      return stop_.load(std::memory_order_acquire) ||
+             (lease_head_ == ticket && free_count_ >= num_threads);
+    });
+    if (stop_.load(std::memory_order_acquire)) {
+      ++lease_head_;  // retire the ticket so later waiters can observe stop
+      slots_cv_.notify_all();
+      return Status::Internal("executor stopped");
+    }
+    for (int i = 0;
+         i < static_cast<int>(workers_.size()) &&
+         static_cast<int>(gang.leased.size()) < num_threads;
+         ++i) {
+      if (!busy_[i]) {
+        busy_[i] = 1;
+        gang.leased.push_back(i);
+      }
+    }
+    free_count_ -= num_threads;
+    ++lease_head_;
+    ++active_gangs_;
+    // Wake the next ticket holder: it may already be satisfiable if the
+    // pool is larger than both gangs combined.
+    slots_cv_.notify_all();
+    // Enqueue the whole gang in tid order under the dispatch lock; leased
+    // workers are idle, so each takes exactly its one task.
     for (int tid = 0; tid < num_threads; ++tid) {
-      Worker* w = workers_[tid].get();
+      Worker* w = workers_[gang.leased[tid]].get();
       std::lock_guard<std::mutex> wl(w->mu);
       w->tasks.push_back(Task{&gang, tid});
       w->cv.notify_one();
     }
   }
   gangs_.fetch_add(1, std::memory_order_relaxed);
-  CtrGangs().Increment();
+  {
+    obs::ScopedMetricDomain domain_scope(gang.domain);
+    CtrGangs().Increment();
+  }
   {
     std::unique_lock<std::mutex> lock(gang.mu);
     gang.cv.wait(lock, [&] { return gang.done; });
+  }
+  {
+    // Release the lease. Slot release and waiter wake-up happen under the
+    // single dispatch lock: a waiting gang cannot observe the free count
+    // before the release yet miss the notify after it (the lost-wakeup
+    // shape this handoff is designed against).
+    std::lock_guard<std::mutex> lock(dispatch_mu_);
+    for (int idx : gang.leased) busy_[idx] = 0;
+    free_count_ += num_threads;
+    --active_gangs_;
+    slots_cv_.notify_all();
   }
   for (Status& st : gang.results) {
     if (!st.ok()) return std::move(st);
@@ -292,8 +401,12 @@ Status Executor::SpawnGang(int num_threads,
   std::vector<Status> results(num_threads);
   std::vector<std::thread> threads;
   threads.reserve(num_threads);
+  // Fresh threads start with no attribution domain; carry the spawner's
+  // over so nested/spawn-mode gangs attribute like pool gangs do.
+  const int domain = obs::CurrentMetricDomain();
   for (int tid = 0; tid < num_threads; ++tid) {
-    threads.emplace_back([&, tid] {
+    threads.emplace_back([&, tid, domain] {
+      obs::ScopedMetricDomain domain_scope(domain);
       // Pin from inside the thread, before the body runs (the old
       // ParallelRun pinned from the spawner, racing an already-running
       // body).

@@ -22,14 +22,32 @@
 //    pool checks after every task that the worker left enclave mode (a
 //    leaked EnclaveEnter would silently bill every later task).
 //
-// Scheduling model: a "gang" of n tasks (tid 0..n-1) occupies workers
-// 0..n-1, one task per worker, enqueued atomically in tid order. Because
-// every worker drains its queue FIFO and all gangs are enqueued under one
-// dispatch lock, overlapping gangs execute in dispatch order and barrier
-// synchronization inside a gang cannot deadlock. Gang tasks are never
-// stolen (a stolen gang member would deadlock its barrier); work stealing
-// happens one level down, between the morsels of a ParallelFor (see
-// ws_deque.h and common/parallel.h).
+// Scheduling model: a "gang" of n tasks (tid 0..n-1) *leases* n free
+// workers from the pool, one task per worker, and releases them when the
+// gang completes. Leases are granted in request order (FIFO tickets), so
+// a wide gang cannot be starved by a stream of narrow ones, and every
+// gang's members run truly concurrently — barrier synchronization inside
+// a gang cannot deadlock and cannot stall behind an unrelated gang.
+//
+// (Earlier versions anchored every gang at workers 0..n-1 and queued
+// overlapping gangs FIFO on the same workers. With two concurrent
+// queries that meant the first gang claimed every worker and the second
+// either serialized wholesale behind it or — worse — had its high-tid
+// members start on free workers and spin at an intra-gang barrier while
+// its low-tid members were still queued behind the first gang: the
+// shared-state starvation this leasing scheme exists to fix. The
+// completion handoff is also race-free: slot release and the waiter
+// wake-up happen under the single dispatch lock, so a gang waiting for
+// workers cannot miss the notify of the release that would satisfy it.)
+//
+// Fairness: elastic callers (ParallelFor picking its lane count, the
+// serving layer capping a query's threads at admission) consult
+// GrantedGangSize(), which divides the pool among in-flight gangs and
+// applies the serving layer's per-gang worker-share cap, so one heavy
+// query cannot monopolize all workers against many cheap ones. Gang
+// tasks are never stolen (a stolen gang member would deadlock its
+// barrier); work stealing happens one level down, between the morsels of
+// a ParallelFor (see ws_deque.h and common/parallel.h).
 //
 // Nested parallelism: a gang launched from inside a pool worker falls back
 // to plain spawned threads (still pinned from inside, still
@@ -86,6 +104,13 @@ struct ExecutorStats {
   uint64_t morsels = 0;
   /// Morsels a lane took from another lane's deque.
   uint64_t morsel_steals = 0;
+  /// Gangs that had to wait for workers to free up before dispatching —
+  /// the pool was contended when they arrived.
+  uint64_t gang_waits = 0;
+  /// Gangs currently holding worker leases.
+  int active_gangs = 0;
+  /// Workers currently leased to a gang.
+  int busy_workers = 0;
 };
 
 class Executor {
@@ -99,14 +124,37 @@ class Executor {
   Executor& operator=(const Executor&) = delete;
 
   /// \brief Runs body(tid) for tid in [0, num_threads) concurrently, one
-  /// task per pool worker, and waits for all of them. Returns the first
-  /// (lowest-tid) non-OK Status; a body that throws is captured as an
-  /// Internal status. num_threads == 1 runs inline on the caller.
+  /// task per leased pool worker, and waits for all of them. Blocks until
+  /// num_threads workers are free (leases are granted in request order).
+  /// Returns the first (lowest-tid) non-OK Status; a body that throws is
+  /// captured as an Internal status. num_threads == 1 runs inline on the
+  /// caller.
   ///
-  /// Bodies of one gang may synchronize with each other (barriers, queues);
-  /// they must not wait on a gang dispatched *after* theirs.
+  /// Bodies of one gang may synchronize with each other (barriers,
+  /// queues): all members of a gang hold their workers concurrently, so
+  /// intra-gang barriers are deadlock-free even with overlapping gangs.
   Status RunGang(int num_threads, const std::function<Status(int)>& body,
                  const ThreadPlacement& placement = {});
+
+  /// \brief Share-aware gang sizing for *elastic* callers (ParallelFor
+  /// picking a lane count, the serving layer capping a query's threads):
+  /// returns `want` when the pool is uncontended, else a fair fraction of
+  /// the pool given the gangs currently active or waiting, always >= 1
+  /// and never more than `want` or the per-gang cap. Rigid gangs (bodies
+  /// with barriers sized to a fixed n) should pass their n to RunGang
+  /// directly and rely on leasing for correctness.
+  int GrantedGangSize(int want);
+
+  /// \brief Hard cap applied by GrantedGangSize (0 = uncapped). Set by
+  /// the serving layer from SGXBENCH_SERVE_WORKER_SHARE so no single
+  /// query's elastic gangs exceed its worker share while serving.
+  void SetMaxWorkersPerGang(int cap);
+  int max_workers_per_gang() const;
+
+  /// \brief Grows the pool to at least `n` workers now (the serving layer
+  /// prewarms to the host's core count so concurrent queries do not
+  /// serialize on a pool sized by the first, smallest gang).
+  void EnsurePoolSize(int n);
 
   ExecutorStats stats() const;
 
@@ -143,11 +191,18 @@ class Executor {
   Status SpawnGang(int num_threads, const std::function<Status(int)>& body,
                    const ThreadPlacement& placement);
 
-  // Guards workers_ growth and gang enqueueing; the global enqueue order it
-  // imposes is what makes overlapping gangs deadlock-free (see file
-  // comment).
+  // Guards pool growth and all lease state (busy_, free_count_, tickets).
+  // Slot release and waiter wake-up both happen under this lock, which is
+  // what makes the gang handoff free of lost wakeups (see file comment).
   mutable std::mutex dispatch_mu_;
+  std::condition_variable slots_cv_;
   std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<uint8_t> busy_;  // parallel to workers_: leased to a gang
+  int free_count_ = 0;
+  uint64_t lease_head_ = 0;  // next ticket to be granted
+  uint64_t lease_tail_ = 0;  // next ticket to be issued
+  int active_gangs_ = 0;
+  std::atomic<int> max_workers_per_gang_{0};
   std::atomic<bool> stop_{false};
 
   std::atomic<uint64_t> pool_threads_spawned_{0};
@@ -156,6 +211,7 @@ class Executor {
   std::atomic<uint64_t> tasks_{0};
   std::atomic<uint64_t> morsels_{0};
   std::atomic<uint64_t> morsel_steals_{0};
+  std::atomic<uint64_t> gang_waits_{0};
 };
 
 }  // namespace sgxb::exec

@@ -37,8 +37,14 @@ Status ParallelFor(size_t total, size_t grain,
   if (total == 0) return Status::OK();
   const size_t g = std::max<size_t>(1, grain);
   const size_t num_morsels = (total + g - 1) / g;
-  int lanes = options.num_threads > 0 ? options.num_threads
-                                      : exec::Executor::DefaultParallelism();
+  // Elastic lane count: a caller that does not fix its thread count takes
+  // a share-aware grant, so under concurrent serving one ParallelFor does
+  // not lease the whole pool away from other in-flight queries. Explicit
+  // num_threads stays exact (rigid gangs size their barriers to it).
+  int lanes = options.num_threads > 0
+                  ? options.num_threads
+                  : exec::Executor::Default().GrantedGangSize(
+                        exec::Executor::DefaultParallelism());
   lanes = static_cast<int>(
       std::min<size_t>(static_cast<size_t>(std::max(1, lanes)), num_morsels));
 

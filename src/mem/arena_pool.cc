@@ -44,6 +44,7 @@ Result<AlignedBuffer> ArenaPool::Acquire(size_t min_bytes) {
       cached_bytes_ -= it->first;
       cache_.erase(it);
       ++reuse_hits_;
+      ++outstanding_chunks_;
       CtrPoolHits().Increment();
       return chunk;
     }
@@ -52,15 +53,21 @@ Result<AlignedBuffer> ArenaPool::Acquire(size_t min_bytes) {
   }
   // Allocate outside the lock: an EDMM-growing enclave allocation injects
   // real page-commit delays, which must not serialize unrelated arenas.
-  return resource_->Allocate(want);
+  Result<AlignedBuffer> chunk = resource_->Allocate(want);
+  if (chunk.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++outstanding_chunks_;
+  }
+  return chunk;
 }
 
 void ArenaPool::Release(AlignedBuffer chunk) {
   if (chunk.data() == nullptr) return;
-  if (!reuse_) return;  // dropped: chunk's own release path frees/credits
   std::lock_guard<std::mutex> lock(mu_);
-  cached_bytes_ += chunk.size();
+  --outstanding_chunks_;
   ++released_;
+  if (!reuse_) return;  // dropped: chunk's own release path frees/credits
+  cached_bytes_ += chunk.size();
   cache_.emplace(chunk.size(), std::move(chunk));
 }
 
@@ -80,6 +87,7 @@ ArenaPool::Stats ArenaPool::stats() const {
   s.reuse_hits = reuse_hits_;
   s.fresh_allocs = fresh_allocs_;
   s.released = released_;
+  s.outstanding_chunks = outstanding_chunks_;
   s.cached_chunks = cache_.size();
   s.cached_bytes = cached_bytes_;
   return s;

@@ -37,6 +37,10 @@ class ArenaPool {
     uint64_t reuse_hits = 0;     ///< Acquires served from the cache.
     uint64_t fresh_allocs = 0;   ///< Acquires that hit the resource.
     uint64_t released = 0;       ///< Chunks returned to the pool.
+    /// Chunks acquired and not yet Release()d — chunks a live Arena (or a
+    /// leak) is still holding. Balances to zero once every query drains;
+    /// the serving layer's accounting test asserts exactly that.
+    int64_t outstanding_chunks = 0;
     size_t cached_chunks = 0;
     size_t cached_bytes = 0;
   };
@@ -72,6 +76,7 @@ class ArenaPool {
   uint64_t reuse_hits_ = 0;
   uint64_t fresh_allocs_ = 0;
   uint64_t released_ = 0;
+  int64_t outstanding_chunks_ = 0;
   size_t cached_bytes_ = 0;
 };
 

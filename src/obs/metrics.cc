@@ -13,6 +13,7 @@ namespace internal {
 
 namespace {
 std::atomic<int> g_next_shard{0};
+thread_local int t_domain = -1;
 }  // namespace
 
 int ThisThreadShard() {
@@ -21,7 +22,15 @@ int ThisThreadShard() {
   return shard;
 }
 
+int CurrentDomainIndex() { return t_domain; }
+
+void SetCurrentDomainIndex(int domain) {
+  t_domain = (domain >= 0 && domain < kMaxMetricDomains) ? domain : -1;
+}
+
 }  // namespace internal
+
+int CurrentMetricDomain() { return internal::CurrentDomainIndex(); }
 
 namespace {
 
@@ -157,7 +166,11 @@ struct Registry::Impl {
   std::map<std::string, std::unique_ptr<Counter>> counters;
   std::map<std::string, std::unique_ptr<Gauge>> gauges;
   std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  // Bitmap of attribution domains in flight (bit set = acquired).
+  uint64_t domains_used = 0;
 };
+static_assert(kMaxMetricDomains <= 64,
+              "domain free-set is a single uint64_t bitmap");
 
 Registry::Impl& Registry::impl() const {
   // Leaked intentionally: worker threads and atexit exporters may touch
@@ -218,6 +231,39 @@ MetricsSnapshot Registry::Snapshot() const {
     }
     for (int b = 0; b <= last; ++b) d.buckets.push_back(h->BucketCount(b));
     snap.histograms[name] = std::move(d);
+  }
+  return snap;
+}
+
+int Registry::AcquireDomain() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  for (int d = 0; d < kMaxMetricDomains; ++d) {
+    if ((i.domains_used >> d) & 1u) continue;
+    i.domains_used |= uint64_t{1} << d;
+    // Zero the slot in every counter registered so far. Counters
+    // registered *after* this point start at zero anyway, so a
+    // DomainSnapshot always reads totals-since-acquire.
+    for (auto& [name, c] : i.counters) c->ResetDomain(d);
+    return d;
+  }
+  return -1;
+}
+
+void Registry::ReleaseDomain(int domain) {
+  if (domain < 0 || domain >= kMaxMetricDomains) return;
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  i.domains_used &= ~(uint64_t{1} << domain);
+}
+
+MetricsSnapshot Registry::DomainSnapshot(int domain) const {
+  Impl& i = impl();
+  MetricsSnapshot snap;
+  if (domain < 0 || domain >= kMaxMetricDomains) return snap;
+  std::lock_guard<std::mutex> lock(i.mu);
+  for (const auto& [name, c] : i.counters) {
+    snap.counters[name] = c->DomainValue(domain);
   }
   return snap;
 }

@@ -35,6 +35,11 @@ namespace sgxb::obs {
 
 inline constexpr int kCounterShards = 16;
 
+/// \brief Concurrent attribution domains (in-flight queries) the registry
+/// can track at once. The serving layer's admission bound must stay at or
+/// below this for every admitted query to get its own report window.
+inline constexpr int kMaxMetricDomains = 64;
+
 namespace internal {
 struct alignas(64) PaddedAtomic {
   std::atomic<uint64_t> v{0};
@@ -42,15 +47,28 @@ struct alignas(64) PaddedAtomic {
 /// \brief The calling thread's home shard index (assigned round-robin on
 /// first use, constant for the thread's lifetime).
 int ThisThreadShard();
+/// \brief The calling thread's current attribution domain (-1 = none).
+int CurrentDomainIndex();
+void SetCurrentDomainIndex(int domain);
 }  // namespace internal
 
 /// \brief Monotonic event counter, sharded to keep concurrent Add()s off
 /// each other's cache lines. Value() is the merged sum.
+///
+/// Besides the process-global shards, every Add() is mirrored into the
+/// calling thread's current *attribution domain* (if any): a per-query
+/// slot set up by the serving layer so concurrent queries see only their
+/// own activity in QueryReport diffs. The domain branch costs one
+/// thread-local load when no domain is active.
 class Counter {
  public:
   void Add(uint64_t delta) {
     shards_[internal::ThisThreadShard()].v.fetch_add(
         delta, std::memory_order_relaxed);
+    const int d = internal::CurrentDomainIndex();
+    if (d >= 0) {
+      domains_[d].v.fetch_add(delta, std::memory_order_relaxed);
+    }
   }
   void Increment() { Add(1); }
 
@@ -58,6 +76,16 @@ class Counter {
     uint64_t sum = 0;
     for (const auto& s : shards_) sum += s.v.load(std::memory_order_relaxed);
     return sum;
+  }
+
+  /// \brief This counter's total within one attribution domain since the
+  /// domain was acquired (domain slots are zeroed by AcquireDomain).
+  uint64_t DomainValue(int domain) const {
+    return domains_[domain].v.load(std::memory_order_relaxed);
+  }
+
+  void ResetDomain(int domain) {
+    domains_[domain].v.store(0, std::memory_order_relaxed);
   }
 
   /// \brief Zeroes all shards. Not atomic with concurrent Add()s — meant
@@ -68,6 +96,12 @@ class Counter {
 
  private:
   internal::PaddedAtomic shards_[kCounterShards];
+  // One slot per domain, not per (domain, shard): within one query the
+  // threads bumping the same counter share a line, but counters are
+  // charged at coarse grain (per lane, per chunk, per operator), and
+  // across queries — the contention that matters for serving — domains
+  // are distinct lines.
+  internal::PaddedAtomic domains_[kMaxMetricDomains];
 };
 
 /// \brief Last-writer-wins instantaneous value (pool cache size, worker
@@ -157,6 +191,20 @@ class Registry {
 
   MetricsSnapshot Snapshot() const;
 
+  /// \brief Claims a free attribution domain and zeroes its slot in every
+  /// registered counter, so DomainSnapshot() reads are totals since the
+  /// acquire. Returns -1 when all kMaxMetricDomains are in flight (the
+  /// caller runs unattributed and its report falls back to global diffs).
+  int AcquireDomain();
+
+  /// \brief Returns a domain to the free set. No-op for -1.
+  void ReleaseDomain(int domain);
+
+  /// \brief Counters-only view of one domain: every registered counter's
+  /// activity attributed to `domain` since AcquireDomain. Gauges and
+  /// histograms are process-global and not included.
+  MetricsSnapshot DomainSnapshot(int domain) const;
+
   /// \brief Resets every registered metric to zero (benchmark measurement
   /// windows; see Counter::Reset for the concurrency caveat).
   void ResetAll();
@@ -165,6 +213,28 @@ class Registry {
   Registry() = default;
   struct Impl;
   Impl& impl() const;
+};
+
+/// \brief The calling thread's current attribution domain (-1 = none).
+int CurrentMetricDomain();
+
+/// \brief RAII: attributes this thread's counter activity to `domain` for
+/// the scope's lifetime (-1 = unattributed), restoring the previous
+/// domain on destruction. The executor re-publishes the dispatching
+/// thread's domain inside gang task bodies, so a query's parallel work is
+/// attributed no matter which worker runs it.
+class ScopedMetricDomain {
+ public:
+  explicit ScopedMetricDomain(int domain)
+      : prev_(internal::CurrentDomainIndex()) {
+    internal::SetCurrentDomainIndex(domain);
+  }
+  ~ScopedMetricDomain() { internal::SetCurrentDomainIndex(prev_); }
+  ScopedMetricDomain(const ScopedMetricDomain&) = delete;
+  ScopedMetricDomain& operator=(const ScopedMetricDomain&) = delete;
+
+ private:
+  int prev_;
 };
 
 /// \brief Writes Registry::Global().Snapshot() to `path` (CSV if the path

@@ -98,8 +98,11 @@ std::string QueryReport::ToString() const {
   return out;
 }
 
-QueryReportScope::QueryReportScope(const std::string& query_name)
-    : query_(query_name), before_(Registry::Global().Snapshot()) {
+QueryReportScope::QueryReportScope(const std::string& query_name, int domain)
+    : query_(query_name),
+      domain_(domain),
+      before_(domain >= 0 ? Registry::Global().DomainSnapshot(domain)
+                          : Registry::Global().Snapshot()) {
   if (TracingEnabled()) span_begin_tsc_ = ReadTsc();
 }
 
@@ -113,7 +116,9 @@ QueryReport QueryReportScope::Finish(std::vector<PhaseTiming> phases) {
   }
   finished_ = true;
 
-  const MetricsSnapshot after = Registry::Global().Snapshot();
+  const MetricsSnapshot after =
+      domain_ >= 0 ? Registry::Global().DomainSnapshot(domain_)
+                   : Registry::Global().Snapshot();
   auto delta = [&](const char* name) {
     return after.CounterOr(name) - before_.CounterOr(name);
   };

@@ -8,11 +8,16 @@
 // parked pops from a throughput gap) — the serving-scale north star needs
 // them countable per query, continuously, in production builds.
 //
-// Counter diffs are process-global: a scope opened around query Q sees
-// activity from anything else running concurrently. That matches the
-// benchmark harness (one query stream at a time); a multi-tenant server
-// would partition by registry instance, which the Registry API permits
-// but nothing needs yet.
+// By default counter diffs are process-global: a scope opened around
+// query Q sees activity from anything else running concurrently, which is
+// fine for the benchmark harness (one query stream at a time). The
+// serving layer instead passes an *attribution domain* (see
+// Registry::AcquireDomain and ScopedMetricDomain in obs/metrics.h): the
+// scope then diffs only activity tagged with that domain — the executor
+// re-publishes the dispatching thread's domain inside every gang task, so
+// a query's parallel work is attributed to its own report no matter which
+// worker ran it, and concurrent queries cannot see each other's ecalls,
+// parks, EDMM churn, or steals.
 
 #ifndef SGXB_OBS_QUERY_REPORT_H_
 #define SGXB_OBS_QUERY_REPORT_H_
@@ -84,7 +89,12 @@ struct QueryReport {
 /// chrome trace shows the query window at the top of the span tree.
 class QueryReportScope {
  public:
-  explicit QueryReportScope(const std::string& query_name);
+  /// \brief `domain` >= 0 restricts the report to activity attributed to
+  /// that metric domain (multi-tenant serving); -1 keeps the historical
+  /// process-global diff. The scope reads the domain but does not set it —
+  /// callers wrap execution in a ScopedMetricDomain (tpch::RunQuery does
+  /// this when QueryConfig::obs_domain is set).
+  explicit QueryReportScope(const std::string& query_name, int domain = -1);
 
   /// \brief Closes the window and builds the report. Call exactly once;
   /// `phases` (optional) is attached verbatim.
@@ -92,6 +102,7 @@ class QueryReportScope {
 
  private:
   std::string query_;
+  int domain_ = -1;
   MetricsSnapshot before_;
   WallTimer timer_;
   uint64_t span_begin_tsc_ = 0;

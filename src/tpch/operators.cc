@@ -8,9 +8,11 @@
 #include "common/env.h"
 #include "common/parallel.h"
 #include "common/timer.h"
+#include "exec/probe_pipeline.h"
 #include "join/materializer.h"
 #include "join/rho_join.h"
 #include "obs/metrics.h"
+#include "perf/calibration.h"
 #include "scan/column_scan.h"
 
 namespace sgxb::tpch {
@@ -104,6 +106,27 @@ mem::MemoryResource* EffectiveResource(const QueryConfig& config) {
 bool PipelineEnabled(const QueryConfig& config) {
   if (config.pipeline.has_value()) return *config.pipeline;
   return EnvBool("SGXBENCH_PIPELINE", false);
+}
+
+QueryConfig ResolvedQueryConfig(const QueryConfig& config) {
+  QueryConfig r = config;
+  r.pipeline = PipelineEnabled(r);
+  if (!r.probe_mode.has_value()) {
+    // Mirrors join::EffectiveProbeMode: the env override, else the
+    // flavor-appropriate default.
+    r.probe_mode = exec::ProbeModeFromEnv(
+        r.flavor == KernelFlavor::kReference
+            ? exec::ProbeMode::kTupleAtATime
+            : exec::ProbeMode::kGroupPrefetch);
+  }
+  if (r.probe_batch <= 0) {
+    // Mirrors join::EffectiveProbeWidth with the mode now pinned.
+    const perf::CalibrationParams& cal = perf::CalibrationParams::Default();
+    r.probe_batch = exec::ClampProbeWidth(
+        *r.probe_mode == exec::ProbeMode::kAmac ? cal.probe_prefetch_distance
+                                                : cal.probe_batch_size);
+  }
+  return r;
 }
 
 void ChargeBytesMaterialized(uint64_t bytes) {

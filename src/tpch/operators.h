@@ -49,10 +49,24 @@ struct QueryConfig {
   /// instead of the paper's operator-at-a-time materialization. Unset =
   /// SGXBENCH_PIPELINE (default off, preserving the paper's semantics).
   std::optional<bool> pipeline;
+  /// Metrics attribution domain for this query's report (see
+  /// Registry::AcquireDomain in obs/metrics.h); -1 = unattributed, the
+  /// report diffs the process-global registry. Set by the serving layer so
+  /// concurrent queries get disjoint QueryReports.
+  int obs_domain = -1;
 };
 
 /// \brief Resolves QueryConfig::pipeline against SGXBENCH_PIPELINE.
 bool PipelineEnabled(const QueryConfig& config);
+
+/// \brief Returns `config` with every env-defaulted knob pinned to its
+/// current resolved value: pipeline (SGXBENCH_PIPELINE), probe_mode
+/// (SGXBENCH_PROBE_MODE / flavor default) and probe_batch (calibrated).
+/// The serving layer calls this once at admission so a query's plan does
+/// not depend on getenv() calls racing deep inside operators while other
+/// queries run — and so two queries admitted under different settings
+/// keep the settings they were admitted with.
+QueryConfig ResolvedQueryConfig(const QueryConfig& config);
 
 /// \brief Adds `bytes` to the tpch.bytes_materialized counter (surfaced
 /// per query as QueryReport::bytes_materialized). Operators call this for

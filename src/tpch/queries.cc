@@ -220,7 +220,13 @@ Result<QueryResult> DispatchQuery(int query_number, const TpchDb& db,
 
 Result<QueryResult> RunQuery(int query_number, const TpchDb& db,
                              const QueryConfig& config) {
-  obs::QueryReportScope scope("Q" + std::to_string(query_number));
+  obs::QueryReportScope scope("Q" + std::to_string(query_number),
+                              config.obs_domain);
+  // Attribute this thread's work (and, via the executor, every gang task
+  // it dispatches) to the query's domain so concurrent RunQuery calls
+  // produce disjoint reports. obs_domain = -1 keeps the historical
+  // process-global behaviour.
+  obs::ScopedMetricDomain domain_scope(config.obs_domain);
   Result<QueryResult> result = DispatchQuery(query_number, db, config);
   if (!result.ok()) return result;
   std::vector<obs::PhaseTiming> phases;

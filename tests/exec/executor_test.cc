@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -174,6 +176,118 @@ TEST(ExecutorTest, RejectsNonPositiveGangSize) {
   Executor& ex = Executor::Default();
   EXPECT_FALSE(ex.RunGang(0, [](int) { return Status::OK(); }).ok());
   EXPECT_FALSE(ex.RunGang(-2, [](int) { return Status::OK(); }).ok());
+}
+
+// --- Gang leasing -------------------------------------------------------
+
+TEST(ExecutorTest, OverlappingGangsWithBarriersDoNotDeadlock) {
+  Executor& ex = Executor::Default();
+  ex.EnsurePoolSize(4);
+  // Each gang's members rendezvous at an intra-gang barrier. With the old
+  // anchored dispatch (every gang queued at workers 0..n-1) overlapping
+  // gangs could interleave members and deadlock at the barrier; leasing
+  // gives each gang 2 exclusive workers.
+  auto gang_with_barrier = [&ex] {
+    for (int round = 0; round < 25; ++round) {
+      std::atomic<int> arrived{0};
+      Status st = ex.RunGang(2, [&](int) {
+        arrived.fetch_add(1);
+        while (arrived.load() < 2) {
+          std::this_thread::yield();
+        }
+        return Status::OK();
+      });
+      ASSERT_TRUE(st.ok()) << st.ToString();
+    }
+  };
+  std::thread a(gang_with_barrier);
+  std::thread b(gang_with_barrier);
+  a.join();
+  b.join();
+}
+
+TEST(ExecutorTest, ContendedGangsRecordWaits) {
+  Executor& ex = Executor::Default();
+  ex.EnsurePoolSize(2);
+  const int workers = ex.stats().workers;
+  // Enough wide overlapping gangs that some must queue for leases.
+  const uint64_t waits_before = ex.stats().gang_waits;
+  std::vector<std::thread> submitters;
+  for (int i = 0; i < 4; ++i) {
+    submitters.emplace_back([&ex, workers] {
+      for (int round = 0; round < 10; ++round) {
+        ASSERT_TRUE(ex.RunGang(workers, [](int) {
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(1));
+                        return Status::OK();
+                      }).ok());
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  // 40 full-pool gangs from 4 threads: all but the very first dispatch of
+  // each burst had to wait for the previous lease to release.
+  EXPECT_GT(ex.stats().gang_waits, waits_before);
+}
+
+TEST(ExecutorTest, GrantedGangSizeHonorsWorkerShareCap) {
+  Executor& ex = Executor::Default();
+  ASSERT_EQ(ex.max_workers_per_gang(), 0);
+  ex.SetMaxWorkersPerGang(2);
+  EXPECT_LE(ex.GrantedGangSize(16), 2);
+  EXPECT_EQ(ex.GrantedGangSize(1), 1);
+  ex.SetMaxWorkersPerGang(0);
+  EXPECT_GE(ex.GrantedGangSize(4), 1);
+}
+
+TEST(ExecutorTest, GrantedGangSizeShrinksUnderContention) {
+  Executor& ex = Executor::Default();
+  const int dp = Executor::DefaultParallelism();
+  if (dp < 2) GTEST_SKIP() << "needs >= 2 logical cores";
+  ex.EnsurePoolSize(4);
+  const int uncontended = ex.GrantedGangSize(4);
+  EXPECT_EQ(uncontended, 4);
+  // Hold a gang on the pool, then ask for a full-parallelism grant: the
+  // fair share with one active gang is at most half the capacity.
+  std::atomic<bool> release{false};
+  std::atomic<int> running{0};
+  std::thread holder([&] {
+    ASSERT_TRUE(ex.RunGang(2, [&](int) {
+                    running.fetch_add(1);
+                    while (!release.load()) std::this_thread::yield();
+                    return Status::OK();
+                  }).ok());
+  });
+  while (running.load() < 2) std::this_thread::yield();
+  const int capacity = std::max(ex.stats().workers, dp);
+  const int contended = ex.GrantedGangSize(capacity);
+  release.store(true);
+  holder.join();
+  EXPECT_LE(contended, std::max(1, capacity / 2));
+  EXPECT_GE(contended, 1);
+}
+
+TEST(ExecutorTest, StatsExposeLeaseState) {
+  Executor& ex = Executor::Default();
+  ex.EnsurePoolSize(2);
+  std::atomic<bool> release{false};
+  std::atomic<int> running{0};
+  std::thread holder([&] {
+    ASSERT_TRUE(ex.RunGang(2, [&](int) {
+                    running.fetch_add(1);
+                    while (!release.load()) std::this_thread::yield();
+                    return Status::OK();
+                  }).ok());
+  });
+  while (running.load() < 2) std::this_thread::yield();
+  exec::ExecutorStats mid = ex.stats();
+  EXPECT_GE(mid.active_gangs, 1);
+  EXPECT_GE(mid.busy_workers, 2);
+  release.store(true);
+  holder.join();
+  exec::ExecutorStats after = ex.stats();
+  EXPECT_EQ(after.active_gangs, 0);
+  EXPECT_EQ(after.busy_workers, 0);
 }
 
 // --- ParallelFor --------------------------------------------------------

@@ -125,6 +125,78 @@ TEST(MetricsTest, SnapshotExportsJsonAndCsv) {
   EXPECT_NE(csv.find("test.export_counter"), std::string::npos);
 }
 
+TEST(MetricsTest, DomainsAttributeOnlyTaggedActivity) {
+  Registry& reg = Registry::Global();
+  Counter* c = reg.GetCounter("test.domain_counter");
+  c->Reset();
+  const int d = reg.AcquireDomain();
+  ASSERT_GE(d, 0);
+  c->Add(7);  // no domain active: global only
+  {
+    ScopedMetricDomain scope(d);
+    EXPECT_EQ(CurrentMetricDomain(), d);
+    c->Add(5);
+  }
+  EXPECT_EQ(CurrentMetricDomain(), -1);
+  c->Add(11);  // after the scope: global only again
+  EXPECT_EQ(c->Value(), 23u);
+  EXPECT_EQ(c->DomainValue(d), 5u);
+  MetricsSnapshot snap = reg.DomainSnapshot(d);
+  EXPECT_EQ(snap.CounterOr("test.domain_counter"), 5u);
+  reg.ReleaseDomain(d);
+}
+
+TEST(MetricsTest, AcquireDomainZeroesStaleSlots) {
+  Registry& reg = Registry::Global();
+  Counter* c = reg.GetCounter("test.domain_stale");
+  const int d1 = reg.AcquireDomain();
+  ASSERT_GE(d1, 0);
+  {
+    ScopedMetricDomain scope(d1);
+    c->Add(9);
+  }
+  reg.ReleaseDomain(d1);
+  // The freed slot must come back clean for the next tenant.
+  const int d2 = reg.AcquireDomain();
+  ASSERT_GE(d2, 0);
+  EXPECT_EQ(c->DomainValue(d2), 0u);
+  reg.ReleaseDomain(d2);
+}
+
+TEST(MetricsTest, DomainPoolExhaustsGracefully) {
+  Registry& reg = Registry::Global();
+  std::vector<int> held;
+  for (int i = 0; i < kMaxMetricDomains; ++i) {
+    held.push_back(reg.AcquireDomain());
+  }
+  // Some tests / layers may hold domains; all *we* acquired are valid
+  // until the pool runs dry, after which acquire fails soft with -1.
+  EXPECT_EQ(reg.AcquireDomain(), -1);
+  for (int d : held) reg.ReleaseDomain(d);
+  const int again = reg.AcquireDomain();
+  EXPECT_GE(again, 0);
+  reg.ReleaseDomain(again);
+}
+
+TEST(MetricsTest, ScopedDomainRestoresOuterDomain) {
+  Registry& reg = Registry::Global();
+  const int outer = reg.AcquireDomain();
+  const int inner = reg.AcquireDomain();
+  ASSERT_GE(outer, 0);
+  ASSERT_GE(inner, 0);
+  {
+    ScopedMetricDomain outer_scope(outer);
+    {
+      ScopedMetricDomain inner_scope(inner);
+      EXPECT_EQ(CurrentMetricDomain(), inner);
+    }
+    EXPECT_EQ(CurrentMetricDomain(), outer);
+  }
+  EXPECT_EQ(CurrentMetricDomain(), -1);
+  reg.ReleaseDomain(outer);
+  reg.ReleaseDomain(inner);
+}
+
 TEST(MetricsTest, WriteStatsRoundTrips) {
   Registry::Global().GetCounter("test.write_stats")->Add(3);
   const std::string path = ::testing::TempDir() + "obs_stats_test.json";

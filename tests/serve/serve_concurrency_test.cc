@@ -1,0 +1,236 @@
+// Concurrent-serving suite: meant to run under TSan (see CI's tsan job).
+// Overlapping RunQuery calls exercise every shared-state fix in this
+// layer at once — executor gang leasing, per-domain report attribution,
+// shared arena pools, and the admission path.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.h"
+#include "exec/executor.h"
+#include "mem/arena_pool.h"
+#include "mem/memory_resource.h"
+#include "obs/metrics.h"
+#include "serve/serve.h"
+#include "tpch/queries.h"
+#include "tpch/tpch_gen.h"
+
+namespace sgxb::serve {
+namespace {
+
+const tpch::TpchDb& Db() {
+  static const tpch::TpchDb db = [] {
+    tpch::GenConfig cfg;
+    cfg.scale_factor = 0.01;
+    return tpch::Generate(cfg).value();
+  }();
+  return db;
+}
+
+uint64_t Reference(int query) {
+  switch (query) {
+    case 3:
+      return tpch::ReferenceQ3(Db());
+    case 6:
+      return tpch::ReferenceQ6(Db());
+    case 10:
+      return tpch::ReferenceQ10(Db());
+    case 12:
+      return tpch::ReferenceQ12(Db());
+    case 19:
+      return tpch::ReferenceQ19(Db());
+  }
+  return 0;
+}
+
+// Q6 reports its revenue aggregate in group_counts[0] (count is the
+// number of qualifying rows); every other query is checked via count.
+uint64_t Observed(const tpch::QueryResult& r, int query) {
+  return query == 6 ? r.group_counts.at(0) : r.count;
+}
+
+// Runs one query through tpch::RunQuery with its own attribution domain,
+// the way the server does, returning the domain-scoped report.
+tpch::QueryResult RunAttributed(int query, int threads) {
+  tpch::QueryConfig cfg;
+  cfg.num_threads = threads;
+  cfg.obs_domain = obs::Registry::Global().AcquireDomain();
+  auto result = tpch::RunQuery(query, Db(), cfg);
+  obs::Registry::Global().ReleaseDomain(cfg.obs_domain);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+TEST(ServeConcurrencyTest, MixedQueriesUnderLoadMatchSequential) {
+  ServerOptions opts;
+  opts.max_inflight = 8;
+  QueryServer server(Db(), opts);
+  const int kQueries[] = {3, 6, 10, 12, 19};
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 5;
+
+  std::vector<std::thread> clients;
+  std::atomic<int> wrong{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        const int query = kQueries[(c + i) % 5];
+        QueryRequest req;
+        req.query_number = query;
+        req.config.num_threads = 2;
+        req.priority = c % 3;
+        QueryResponse r = server.Submit(req).get();
+        if (!r.status.ok() || Observed(r.result, query) != Reference(query)) {
+          wrong.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(wrong.load(), 0);
+  ServerStats s = server.stats();
+  EXPECT_EQ(s.completed, static_cast<uint64_t>(kClients * kPerClient));
+  EXPECT_EQ(s.failed, 0u);
+}
+
+// The regression this PR exists for: two queries running concurrently
+// used to diff the same process-global registry, so each report absorbed
+// the other query's counters. With per-query domains the deterministic
+// fields of each report must match the query's isolated run exactly.
+TEST(ServeConcurrencyTest, ConcurrentReportsDoNotCrossAttribute) {
+  exec::Executor::Default().EnsurePoolSize(4);
+  // Isolated baselines (domain-scoped, nothing else running).
+  const tpch::QueryResult base_q6 = RunAttributed(6, /*threads=*/2);
+  const tpch::QueryResult base_q3 = RunAttributed(3, /*threads=*/2);
+  ASSERT_GT(base_q3.report.bytes_materialized, 0u);
+
+  for (int round = 0; round < 3; ++round) {
+    std::atomic<int> ready{0};
+    tpch::QueryResult got_q6, got_q3;
+    auto run = [&](int query, tpch::QueryResult* out) {
+      ready.fetch_add(1);
+      while (ready.load() < 2) {
+      }  // start together so the executions overlap
+      *out = RunAttributed(query, /*threads=*/2);
+    };
+    std::thread t6(run, 6, &got_q6);
+    std::thread t3(run, 3, &got_q3);
+    t6.join();
+    t3.join();
+
+    EXPECT_EQ(Observed(got_q6, 6), Reference(6));
+    EXPECT_EQ(Observed(got_q3, 3), Reference(3));
+    // A cross-attributed Q6 report would absorb Q3's (much larger) join
+    // materialization traffic and its gangs.
+    EXPECT_EQ(got_q6.report.bytes_materialized,
+              base_q6.report.bytes_materialized);
+    EXPECT_EQ(got_q3.report.bytes_materialized,
+              base_q3.report.bytes_materialized);
+    EXPECT_EQ(got_q6.report.gangs, base_q6.report.gangs);
+    EXPECT_EQ(got_q3.report.gangs, base_q3.report.gangs);
+  }
+}
+
+// Two live domains never see each other's counter traffic, even from
+// inside executor gangs dispatched concurrently.
+TEST(ServeConcurrencyTest, DomainCountersAreDisjoint) {
+  obs::Registry& reg = obs::Registry::Global();
+  obs::Counter* ctr = reg.GetCounter("test.serve_domain_disjoint");
+  const int da = reg.AcquireDomain();
+  const int db = reg.AcquireDomain();
+  ASSERT_GE(da, 0);
+  ASSERT_GE(db, 0);
+
+  auto bump = [&](int domain, uint64_t times) {
+    obs::ScopedMetricDomain scope(domain);
+    Status st = ParallelRun(2, [&](int tid) {
+      for (uint64_t i = 0; i < times; ++i) ctr->Increment();
+      (void)tid;
+    });
+    EXPECT_TRUE(st.ok());
+  };
+  std::thread ta(bump, da, 1000);
+  std::thread tb(bump, db, 3000);
+  ta.join();
+  tb.join();
+
+  EXPECT_EQ(ctr->DomainValue(da), 2000u);  // 2 gang tasks x 1000
+  EXPECT_EQ(ctr->DomainValue(db), 6000u);
+  reg.ReleaseDomain(da);
+  reg.ReleaseDomain(db);
+}
+
+// A pool shared by overlapping queries (the pre-serving sharing model)
+// must balance: every chunk acquired during the storm is released once
+// the queries drain.
+TEST(ServeConcurrencyTest, SharedArenaPoolBalancesToZero) {
+  mem::ArenaPool pool(mem::Untrusted());
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 3; ++i) {
+        tpch::QueryConfig cfg;
+        cfg.num_threads = 2;
+        cfg.arena_pool = &pool;
+        const int query = (t + i) % 2 == 0 ? 3 : 12;
+        auto result = tpch::RunQuery(query, Db(), cfg);
+        if (!result.ok() || result.value().count != Reference(query)) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  mem::ArenaPool::Stats s = pool.stats();
+  EXPECT_EQ(s.outstanding_chunks, 0);
+  EXPECT_EQ(s.released, s.reuse_hits + s.fresh_allocs);
+  pool.Trim();
+  EXPECT_EQ(pool.stats().cached_chunks, 0u);
+}
+
+// Per-query pools inside the server: after a drained burst the server's
+// queries must have trimmed everything back (observable as zero enclave /
+// host bytes still charged per query via each response's report).
+TEST(ServeConcurrencyTest, ServerDrainLeavesNoOutstandingState) {
+  ServerOptions opts;
+  opts.max_inflight = 4;
+  QueryServer server(Db(), opts);
+  std::vector<std::future<QueryResponse>> pending;
+  for (int i = 0; i < 16; ++i) {
+    QueryRequest req;
+    req.query_number = (i % 2 == 0) ? 3 : 6;
+    req.config.num_threads = 2;
+    pending.push_back(server.Submit(req));
+  }
+  for (auto& f : pending) {
+    QueryResponse r = f.get();
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  }
+  server.Shutdown();
+  ServerStats s = server.stats();
+  EXPECT_EQ(s.inflight, 0);
+  EXPECT_EQ(s.queued, 0);
+  EXPECT_EQ(s.completed, 16u);
+  // All metric domains must be free again: acquiring the full set
+  // succeeds only if every query released its domain.
+  obs::Registry& reg = obs::Registry::Global();
+  std::vector<int> domains;
+  for (int i = 0; i < obs::kMaxMetricDomains; ++i) {
+    domains.push_back(reg.AcquireDomain());
+  }
+  for (int d : domains) {
+    EXPECT_GE(d, 0);
+    reg.ReleaseDomain(d);
+  }
+}
+
+}  // namespace
+}  // namespace sgxb::serve

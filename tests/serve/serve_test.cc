@@ -1,0 +1,226 @@
+#include "serve/serve.h"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "tpch/tpch_gen.h"
+
+namespace sgxb::serve {
+namespace {
+
+const tpch::TpchDb& Db() {
+  static const tpch::TpchDb db = [] {
+    tpch::GenConfig cfg;
+    cfg.scale_factor = 0.01;
+    return tpch::Generate(cfg).value();
+  }();
+  return db;
+}
+
+uint64_t Reference(int query) {
+  switch (query) {
+    case 1: {
+      // Q1's result.count is the total of the per-group counts.
+      uint64_t total = 0;
+      for (uint64_t c : tpch::ReferenceQ1Counts(Db())) total += c;
+      return total;
+    }
+    case 3:
+      return tpch::ReferenceQ3(Db());
+    case 6:
+      return tpch::ReferenceQ6(Db());
+    case 10:
+      return tpch::ReferenceQ10(Db());
+    case 12:
+      return tpch::ReferenceQ12(Db());
+    case 19:
+      return tpch::ReferenceQ19(Db());
+  }
+  return 0;
+}
+
+// Q6 reports its revenue aggregate in group_counts[0] (count is the
+// number of qualifying rows); every other query is checked via count.
+uint64_t Observed(const tpch::QueryResult& r, int query) {
+  return query == 6 ? r.group_counts.at(0) : r.count;
+}
+
+AdmissionQueue::Ticket MakeTicket(int priority, int query = 6) {
+  AdmissionQueue::Ticket t;
+  t.request.query_number = query;
+  t.request.priority = priority;
+  return t;
+}
+
+TEST(AdmissionQueueTest, PopsHighestPriorityFirst) {
+  AdmissionQueue q(/*max_queue=*/16);
+  ASSERT_TRUE(q.Push(MakeTicket(0, 3)));
+  ASSERT_TRUE(q.Push(MakeTicket(5, 6)));
+  ASSERT_TRUE(q.Push(MakeTicket(1, 12)));
+
+  AdmissionQueue::Ticket t;
+  ASSERT_TRUE(q.Pop(&t));
+  EXPECT_EQ(t.request.priority, 5);
+  ASSERT_TRUE(q.Pop(&t));
+  EXPECT_EQ(t.request.priority, 1);
+  ASSERT_TRUE(q.Pop(&t));
+  EXPECT_EQ(t.request.priority, 0);
+}
+
+TEST(AdmissionQueueTest, FifoWithinOnePriority) {
+  AdmissionQueue q(/*max_queue=*/16);
+  for (int query : {3, 6, 10, 12}) {
+    ASSERT_TRUE(q.Push(MakeTicket(/*priority=*/2, query)));
+  }
+  for (int expected : {3, 6, 10, 12}) {
+    AdmissionQueue::Ticket t;
+    ASSERT_TRUE(q.Pop(&t));
+    EXPECT_EQ(t.request.query_number, expected);
+  }
+}
+
+TEST(AdmissionQueueTest, RejectsWhenFull) {
+  AdmissionQueue q(/*max_queue=*/2);
+  EXPECT_TRUE(q.Push(MakeTicket(0)));
+  EXPECT_TRUE(q.Push(MakeTicket(0)));
+  EXPECT_FALSE(q.Push(MakeTicket(0)));
+  EXPECT_EQ(q.size(), 2);
+  AdmissionQueue::Ticket t;
+  ASSERT_TRUE(q.Pop(&t));
+  EXPECT_TRUE(q.Push(MakeTicket(0)));  // a slot freed up
+}
+
+TEST(AdmissionQueueTest, CloseDrainsThenFails) {
+  AdmissionQueue q(/*max_queue=*/4);
+  ASSERT_TRUE(q.Push(MakeTicket(0, 3)));
+  q.Close();
+  EXPECT_FALSE(q.Push(MakeTicket(0)));  // no admission after close
+  AdmissionQueue::Ticket t;
+  EXPECT_TRUE(q.Pop(&t));  // queued work still drains
+  EXPECT_EQ(t.request.query_number, 3);
+  EXPECT_FALSE(q.Pop(&t));  // then poppers are released
+}
+
+TEST(QueryServerTest, AnswersMatchReferences) {
+  QueryServer server(Db(), ServerOptions{});
+  std::vector<std::pair<int, std::future<QueryResponse>>> pending;
+  for (int query : {1, 3, 6, 10, 12, 19}) {
+    QueryRequest req;
+    req.query_number = query;
+    req.config.num_threads = 2;
+    pending.emplace_back(query, server.Submit(req));
+  }
+  for (auto& [query, future] : pending) {
+    QueryResponse r = future.get();
+    ASSERT_TRUE(r.status.ok()) << "Q" << query << ": "
+                               << r.status.ToString();
+    EXPECT_EQ(Observed(r.result, query), Reference(query)) << "Q" << query;
+    EXPECT_GE(r.granted_threads, 1);
+    EXPECT_GT(r.exec_ns, 0.0);
+    EXPECT_EQ(r.result.report.query, "Q" + std::to_string(query));
+  }
+  ServerStats s = server.stats();
+  EXPECT_EQ(s.submitted, 6u);
+  EXPECT_EQ(s.completed, 6u);
+  EXPECT_EQ(s.failed, 0u);
+  EXPECT_EQ(s.inflight, 0);
+}
+
+TEST(QueryServerTest, BadQueryNumberFailsThatQueryOnly) {
+  QueryServer server(Db(), ServerOptions{});
+  QueryRequest bad;
+  bad.query_number = 42;
+  QueryRequest good;
+  good.query_number = 6;
+  auto f_bad = server.Submit(bad);
+  auto f_good = server.Submit(good);
+  EXPECT_FALSE(f_bad.get().status.ok());
+  EXPECT_TRUE(f_good.get().status.ok());
+  ServerStats s = server.stats();
+  EXPECT_EQ(s.failed, 1u);
+  EXPECT_EQ(s.completed, 1u);
+}
+
+TEST(QueryServerTest, ExpiredDeadlineIsRejectedNotRun) {
+  QueryServer server(Db(), ServerOptions{});
+  QueryRequest req;
+  req.query_number = 6;
+  // Already expired by the time any runner can possibly pop it.
+  req.deadline_ms = 1e-7;
+  QueryResponse r = server.Submit(req).get();
+  EXPECT_FALSE(r.status.ok());
+  EXPECT_EQ(server.stats().rejected_deadline, 1u);
+  EXPECT_EQ(server.stats().completed, 0u);
+}
+
+TEST(QueryServerTest, SubmitAfterShutdownIsRejected) {
+  QueryServer server(Db(), ServerOptions{});
+  server.Shutdown();
+  QueryRequest req;
+  req.query_number = 6;
+  QueryResponse r = server.Submit(req).get();
+  EXPECT_FALSE(r.status.ok());
+}
+
+TEST(QueryServerTest, ShutdownDrainsQueuedWork) {
+  ServerOptions opts;
+  opts.max_inflight = 1;  // one runner: work queues behind it
+  QueryServer server(Db(), opts);
+  std::vector<std::future<QueryResponse>> pending;
+  for (int i = 0; i < 8; ++i) {
+    QueryRequest req;
+    req.query_number = 6;
+    pending.push_back(server.Submit(req));
+  }
+  server.Shutdown();  // must not abandon queued tickets
+  for (auto& f : pending) {
+    QueryResponse r = f.get();
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_EQ(Observed(r.result, 6), Reference(6));
+  }
+}
+
+TEST(QueryServerTest, OptionsClampInflightToDomainCount) {
+  ServerOptions opts;
+  opts.max_inflight = 100000;
+  QueryServer server(Db(), opts);
+  EXPECT_LE(server.options().max_inflight, obs::kMaxMetricDomains);
+  EXPECT_GE(server.options().max_inflight, 1);
+}
+
+TEST(QueryServerTest, QueueFullRejectsFast) {
+  ServerOptions opts;
+  opts.max_inflight = 1;
+  opts.max_queue = 1;
+  QueryServer server(Db(), opts);
+  // Burst far past inflight + queue capacity: every request resolves
+  // (served or rejected), nothing hangs, and the books balance.
+  std::vector<std::future<QueryResponse>> pending;
+  for (int i = 0; i < 32; ++i) {
+    QueryRequest req;
+    req.query_number = 6;
+    req.config.num_threads = 1;
+    pending.push_back(server.Submit(req));
+  }
+  uint64_t ok = 0;
+  uint64_t rejected = 0;
+  for (auto& f : pending) {
+    QueryResponse r = f.get();
+    if (r.status.ok()) {
+      EXPECT_EQ(Observed(r.result, 6), Reference(6));
+      ++ok;
+    } else {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(ok + rejected, 32u);
+  ServerStats s = server.stats();
+  EXPECT_EQ(s.submitted, 32u);
+  EXPECT_EQ(s.completed, ok);
+  EXPECT_EQ(s.rejected_queue_full, rejected);
+}
+
+}  // namespace
+}  // namespace sgxb::serve
