@@ -264,6 +264,15 @@ inline constexpr char kCtrPoolMisses[] = "mem.pool_misses";
 /// intermediate-materialization traffic the pipelined execution mode
 /// exists to avoid (docs/pipelines.md).
 inline constexpr char kCtrBytesMaterialized[] = "tpch.bytes_materialized";
+// Out-of-EPC buffer manager (src/storage/): partition residency churn and
+// the untrusted-tier byte traffic the spill codec exists to shrink.
+inline constexpr char kCtrStoragePartitionsEvicted[] =
+    "storage.partitions_evicted";
+inline constexpr char kCtrStoragePartitionsReloaded[] =
+    "storage.partitions_reloaded";
+inline constexpr char kCtrStoragePrefetchLoads[] = "storage.prefetch_loads";
+inline constexpr char kCtrStorageDecryptBytes[] = "storage.decrypt_bytes";
+inline constexpr char kCtrStoragePinWaits[] = "storage.pin_waits";
 inline constexpr char kHistMutexParkNs[] = "sgx.mutex_park_ns";
 inline constexpr char kHistEdmmCommitNs[] = "sgx.edmm_commit_ns";
 

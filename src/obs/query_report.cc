@@ -40,6 +40,11 @@ std::string QueryReport::ToJson() const {
   add("morsels", morsels);
   add("morsel_steals", morsel_steals);
   add("bytes_materialized", bytes_materialized);
+  add("partitions_evicted", partitions_evicted);
+  add("partitions_reloaded", partitions_reloaded);
+  add("storage_prefetch_loads", storage_prefetch_loads);
+  add("storage_decrypt_bytes", storage_decrypt_bytes);
+  add("storage_pin_waits", storage_pin_waits);
   std::snprintf(buf, sizeof(buf), ", \"pool_hit_rate\": %.4f",
                 PoolHitRate());
   out += buf;
@@ -95,6 +100,15 @@ std::string QueryReport::ToString() const {
   std::snprintf(buf, sizeof(buf), "  materialized: %llu bytes\n",
                 static_cast<unsigned long long>(bytes_materialized));
   out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  storage: %llu reloads (+%llu prefetch), %llu evictions, "
+                "%llu decrypt bytes, %llu pin waits\n",
+                static_cast<unsigned long long>(partitions_reloaded),
+                static_cast<unsigned long long>(storage_prefetch_loads),
+                static_cast<unsigned long long>(partitions_evicted),
+                static_cast<unsigned long long>(storage_decrypt_bytes),
+                static_cast<unsigned long long>(storage_pin_waits));
+  out += buf;
   return out;
 }
 
@@ -139,6 +153,11 @@ QueryReport QueryReportScope::Finish(std::vector<PhaseTiming> phases) {
   report.morsels = delta(kCtrExecMorsels);
   report.morsel_steals = delta(kCtrExecMorselSteals);
   report.bytes_materialized = delta(kCtrBytesMaterialized);
+  report.partitions_evicted = delta(kCtrStoragePartitionsEvicted);
+  report.partitions_reloaded = delta(kCtrStoragePartitionsReloaded);
+  report.storage_prefetch_loads = delta(kCtrStoragePrefetchLoads);
+  report.storage_decrypt_bytes = delta(kCtrStorageDecryptBytes);
+  report.storage_pin_waits = delta(kCtrStoragePinWaits);
   return report;
 }
 

@@ -76,6 +76,15 @@ struct QueryReport {
   // execution mode avoids (docs/pipelines.md).
   uint64_t bytes_materialized = 0;
 
+  // Out-of-EPC buffer manager activity (src/storage/): partition
+  // residency churn and the untrusted-tier bytes decrypted back into the
+  // pool during this query's window.
+  uint64_t partitions_evicted = 0;
+  uint64_t partitions_reloaded = 0;
+  uint64_t storage_prefetch_loads = 0;
+  uint64_t storage_decrypt_bytes = 0;
+  uint64_t storage_pin_waits = 0;
+
   /// \brief pool_hits / (pool_hits + pool_misses), or 0 with no traffic.
   double PoolHitRate() const;
 

@@ -97,13 +97,53 @@ Result<PackedColumn> PackedColumn::Pack(const Column<uint32_t>& values,
 Result<PackedColumn> PackedColumn::Pack(const Column<uint32_t>& values,
                                         int bit_width,
                                         mem::MemoryResource* resource) {
+  return PackImpl(values.data(), values.num_values(), bit_width,
+                  /*frame_min=*/0, resource);
+}
+
+Result<PackedColumn> PackedColumn::Pack(const uint32_t* values,
+                                        size_t num_values, int bit_width,
+                                        mem::MemoryResource* resource) {
+  return PackImpl(values, num_values, bit_width, /*frame_min=*/0, resource);
+}
+
+Result<PackedColumn> PackedColumn::PackFrameOfReference(
+    const Column<uint32_t>& values, mem::MemoryResource* resource) {
+  return PackFrameOfReference(values.data(), values.num_values(), resource);
+}
+
+Result<PackedColumn> PackedColumn::PackFrameOfReference(
+    const uint32_t* values, size_t num_values,
+    mem::MemoryResource* resource) {
+  uint32_t min = 0xffffffffu;
+  uint32_t max = 0;
+  for (size_t i = 0; i < num_values; ++i) {
+    min = values[i] < min ? values[i] : min;
+    max = values[i] > max ? values[i] : max;
+  }
+  if (num_values == 0) min = 0;
+  const uint32_t range = max - min;
+  if (range > 0x7fffffffu) {
+    return Status::InvalidArgument(
+        "value range exceeds 31 bits; frame-of-reference cannot pack");
+  }
+  // Smallest width holding the relative domain [0, range].
+  int bit_width = 1;
+  while (bit_width < 31 && (range >> bit_width) != 0) ++bit_width;
+  return PackImpl(values, num_values, bit_width, min, resource);
+}
+
+Result<PackedColumn> PackedColumn::PackImpl(const uint32_t* values,
+                                            size_t num_values, int bit_width,
+                                            uint32_t frame_min,
+                                            mem::MemoryResource* resource) {
   if (bit_width < 1 || bit_width > 31) {
     return Status::InvalidArgument("bit_width must be in [1, 31]");
   }
   const uint32_t limit =
       bit_width == 31 ? 0x7fffffffu : (1u << bit_width) - 1;
-  for (size_t i = 0; i < values.num_values(); ++i) {
-    if (values[i] > limit) {
+  for (size_t i = 0; i < num_values; ++i) {
+    if (values[i] < frame_min || values[i] - frame_min > limit) {
       return Status::InvalidArgument(
           "value at row " + std::to_string(i) + " exceeds " +
           std::to_string(bit_width) + " bits");
@@ -112,18 +152,19 @@ Result<PackedColumn> PackedColumn::Pack(const Column<uint32_t>& values,
 
   PackedColumn col;
   col.bit_width_ = bit_width;
-  col.num_values_ = values.num_values();
+  col.num_values_ = num_values;
+  col.frame_min_ = frame_min;
   const int fw = bit_width + 1;
   const int k = 64 / fw;
-  const size_t words = (values.num_values() + k - 1) / k;
+  const size_t words = (num_values + k - 1) / k;
   if (resource == nullptr) resource = mem::Untrusted();
   auto buf = resource->AllocateZeroed(words * sizeof(uint64_t));
   if (!buf.ok()) return buf.status();
   col.buffer_ = std::move(buf).value();
 
   uint64_t* data = col.buffer_.As<uint64_t>();
-  for (size_t i = 0; i < values.num_values(); ++i) {
-    data[i / k] |= static_cast<uint64_t>(values[i])
+  for (size_t i = 0; i < num_values; ++i) {
+    data[i / k] |= static_cast<uint64_t>(values[i] - frame_min)
                    << ((i % k) * fw);
   }
   return col;
@@ -135,7 +176,21 @@ uint32_t PackedColumn::Get(size_t i) const {
   const uint64_t word = words()[i / k];
   const uint32_t mask =
       bit_width_ == 31 ? 0x7fffffffu : (1u << bit_width_) - 1;
-  return static_cast<uint32_t>(word >> ((i % k) * fw)) & mask;
+  return frame_min_ +
+         (static_cast<uint32_t>(word >> ((i % k) * fw)) & mask);
+}
+
+bool PackedColumn::TranslateRange(uint32_t lo, uint32_t hi,
+                                  uint32_t* lo_out, uint32_t* hi_out) const {
+  if (hi < lo || hi < frame_min_) return false;
+  const uint32_t limit =
+      bit_width_ == 31 ? 0x7fffffffu : (1u << bit_width_) - 1;
+  const uint32_t lo_rel = lo <= frame_min_ ? 0 : lo - frame_min_;
+  if (lo_rel > limit) return false;
+  const uint64_t hi_rel = static_cast<uint64_t>(hi) - frame_min_;
+  *lo_out = lo_rel;
+  *hi_out = hi_rel > limit ? limit : static_cast<uint32_t>(hi_rel);
+  return true;
 }
 
 uint64_t PackedScanScalar(const PackedColumn& column, uint32_t lo,
@@ -159,10 +214,18 @@ uint64_t PackedScan(const PackedColumn& column, uint32_t lo, uint32_t hi,
   const int fw = column.field_width();
   const int k = column.fields_per_word();
   const size_t n = column.num_values();
+  // Translate the predicate into the stored (frame-relative) domain; a
+  // range that misses the frame entirely matches nothing.
+  uint32_t lo_t = 0;
+  uint32_t hi_t = 0;
+  if (!column.TranslateRange(lo, hi, &lo_t, &hi_t)) {
+    for (size_t i = 0; i < (n + 63) / 64; ++i) out->words()[i] = 0;
+    return 0;
+  }
   const size_t full_words = n / k;
   const uint64_t guard = GuardMask(w, fw, k);
-  const uint64_t lo_b = Broadcast(lo, fw, k);
-  const uint64_t hi_b = Broadcast(hi, fw, k) | guard;
+  const uint64_t lo_b = Broadcast(lo_t, fw, k);
+  const uint64_t hi_b = Broadcast(hi_t, fw, k) | guard;
   const uint64_t* words = column.words();
 
   BitWriter writer(out);

@@ -43,12 +43,38 @@ class PackedColumn {
   static Result<PackedColumn> Pack(const Column<uint32_t>& values,
                                    int bit_width, MemoryRegion region);
 
+  /// \brief Raw-pointer overload for callers that hold partition runs
+  /// rather than whole columns (the spill codec).
+  static Result<PackedColumn> Pack(const uint32_t* values, size_t num_values,
+                                   int bit_width,
+                                   mem::MemoryResource* resource = nullptr);
+
+  /// \brief Frame-of-reference packing: stores values relative to their
+  /// minimum and picks the smallest width that holds (max - min). Date and
+  /// key columns whose absolute values need 22+ bits typically span a much
+  /// narrower range, so this packs them to far fewer bits. Fails only when
+  /// the value *range* exceeds 31 bits.
+  static Result<PackedColumn> PackFrameOfReference(
+      const Column<uint32_t>& values, mem::MemoryResource* resource = nullptr);
+  static Result<PackedColumn> PackFrameOfReference(
+      const uint32_t* values, size_t num_values,
+      mem::MemoryResource* resource = nullptr);
+
   /// \brief Value at index i (test/debug accessor; scans use the word
-  /// kernels).
+  /// kernels). Frame-of-reference columns add the frame minimum back, so
+  /// Get always returns the original value.
   uint32_t Get(size_t i) const;
 
   size_t num_values() const { return num_values_; }
   int bit_width() const { return bit_width_; }
+  /// Frame-of-reference bias: stored field f holds value[f] - frame_min().
+  uint32_t frame_min() const { return frame_min_; }
+
+  /// \brief Translates an absolute-domain range predicate [lo, hi] into
+  /// the stored (frame-relative) domain, clamped to the field limit.
+  /// Returns false when no stored value can match.
+  bool TranslateRange(uint32_t lo, uint32_t hi, uint32_t* lo_out,
+                      uint32_t* hi_out) const;
   /// Data + guard bits per field.
   int field_width() const { return bit_width_ + 1; }
   int fields_per_word() const { return 64 / field_width(); }
@@ -66,15 +92,23 @@ class PackedColumn {
   }
 
  private:
+  static Result<PackedColumn> PackImpl(const uint32_t* values,
+                                       size_t num_values, int bit_width,
+                                       uint32_t frame_min,
+                                       mem::MemoryResource* resource);
+
   AlignedBuffer buffer_;
   size_t num_values_ = 0;
   int bit_width_ = 0;
+  uint32_t frame_min_ = 0;
 };
 
 /// \brief Range scan lo <= v <= hi over a packed column; sets one bit per
 /// matching value in `out` (which must hold num_values() bits). Returns
 /// the match count. Uses the guard-bit parallel comparison (one 64-bit
-/// subtraction tests fields_per_word values).
+/// subtraction tests fields_per_word values). `lo`/`hi` are in the
+/// original value domain; frame-of-reference columns translate them to
+/// the stored domain internally.
 uint64_t PackedScan(const PackedColumn& column, uint32_t lo, uint32_t hi,
                     BitVector* out);
 

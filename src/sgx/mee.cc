@@ -6,25 +6,52 @@
 
 namespace sgxb::sgx {
 
+namespace {
+
+// Keystream word covering absolute byte offsets [block, block + 8) where
+// block is 8-byte aligned. Deriving the keystream from the *absolute*
+// position (not the position within one Apply call) makes chunked
+// encryption equal one-shot encryption for any chunk split: the spill
+// path encrypts partitions in pieces and decrypts them in different
+// pieces, so this equivalence is load-bearing, not cosmetic.
+inline uint64_t KeystreamWord(uint64_t key, uint64_t block) {
+  uint64_t state = key ^ block;
+  return SplitMix64(state);
+}
+
+}  // namespace
+
 void MemoryEncryptionEngine::Apply(void* data, size_t bytes,
                                    uint64_t base_offset) const {
   auto* p = static_cast<uint8_t*>(data);
-  size_t i = 0;
-  // Whole 8-byte words.
-  for (; i + 8 <= bytes; i += 8) {
-    uint64_t state = key_ ^ (base_offset + i);
-    uint64_t ks = SplitMix64(state);
-    uint64_t word;
-    std::memcpy(&word, p + i, 8);
-    word ^= ks;
-    std::memcpy(p + i, &word, 8);
+  uint64_t off = base_offset;
+  const uint64_t end = base_offset + bytes;
+
+  // Unaligned head: bytes up to the next 8-byte boundary of the absolute
+  // offset, XORed with the matching lanes of that block's keystream word.
+  if (off % 8 != 0) {
+    const uint64_t block = off & ~7ull;
+    const uint64_t ks = KeystreamWord(key_, block);
+    while (off < end && off % 8 != 0) {
+      *p++ ^= static_cast<uint8_t>(ks >> (8 * (off & 7)));
+      ++off;
+    }
   }
-  // Tail bytes.
-  if (i < bytes) {
-    uint64_t state = key_ ^ (base_offset + i);
-    uint64_t ks = SplitMix64(state);
-    for (size_t j = 0; i + j < bytes; ++j) {
-      p[i + j] ^= static_cast<uint8_t>(ks >> (8 * j));
+  // Whole aligned words.
+  while (off + 8 <= end) {
+    const uint64_t ks = KeystreamWord(key_, off);
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    word ^= ks;
+    std::memcpy(p, &word, 8);
+    p += 8;
+    off += 8;
+  }
+  // Tail bytes of the final partial word.
+  if (off < end) {
+    const uint64_t ks = KeystreamWord(key_, off);
+    for (uint64_t j = 0; off + j < end; ++j) {
+      p[j] ^= static_cast<uint8_t>(ks >> (8 * ((off + j) & 7)));
     }
   }
 }

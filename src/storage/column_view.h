@@ -1,0 +1,184 @@
+// Column access that works over both resident arrays and paged columns.
+//
+// Operators take ColumnView<T> instead of Column<T>& / raw pointers: a
+// view either wraps resident memory (raw pointer + length — the implicit
+// conversion from Column<T> keeps existing call sites compiling and the
+// fast path a plain indexed load) or a PagedColumn<T> whose partitions
+// must be pinned before access. Two access patterns cover the operators:
+//
+//  - ForEachRun: sequential scans. Pins one partition at a time, hands the
+//    kernel a (pointer, absolute base, count) run, and prefetches the next
+//    partition before working the current one so the reload decrypt hides
+//    behind the scan.
+//  - ColumnReader: positional access by row id. Caches the last pinned
+//    partition; row-id lists produced by scans are ascending, so nearly
+//    every access hits the cached pin. operator[] cannot return a Status,
+//    so pin failures latch into status(), which callers check after the
+//    loop (reads after a failure return 0 and stay memory-safe).
+
+#ifndef SGXB_STORAGE_COLUMN_VIEW_H_
+#define SGXB_STORAGE_COLUMN_VIEW_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+
+#include "common/relation.h"
+#include "common/status.h"
+#include "storage/buffer_manager.h"
+
+namespace sgxb::storage {
+
+template <typename T>
+class ColumnView {
+ public:
+  ColumnView() = default;
+  // NOLINTNEXTLINE(runtime/explicit): Column call sites convert in place.
+  ColumnView(const Column<T>& column)
+      : data_(column.data()), num_values_(column.num_values()) {}
+  ColumnView(const T* data, size_t num_values)
+      : data_(data), num_values_(num_values) {}
+  // NOLINTNEXTLINE(runtime/explicit)
+  ColumnView(PagedColumn<T>* paged)
+      : paged_(paged), num_values_(paged->num_values()) {}
+
+  size_t num_values() const { return num_values_; }
+  /// Decoded (logical) size — what a resident copy of the column occupies.
+  size_t size_bytes() const { return num_values_ * sizeof(T); }
+  bool paged() const { return paged_ != nullptr; }
+  /// Resident data pointer; null for paged views.
+  const T* raw() const { return data_; }
+  PagedColumn<T>* paged_column() const { return paged_; }
+
+ private:
+  const T* data_ = nullptr;
+  PagedColumn<T>* paged_ = nullptr;
+  size_t num_values_ = 0;
+};
+
+/// \brief Invokes `fn(run, abs_base, count)` over [begin, end): once for a
+/// resident view, once per partition run for a paged view (pinning each
+/// and prefetching its successor). `run[i]` is row `abs_base + i`.
+template <typename T, typename Fn>
+Status ForEachRun(const ColumnView<T>& view, size_t begin, size_t end,
+                  Fn&& fn) {
+  if (begin >= end) return Status::OK();
+  if (!view.paged()) {
+    fn(view.raw() + begin, begin, end - begin);
+    return Status::OK();
+  }
+  PagedColumn<T>* col = view.paged_column();
+  const size_t pr = col->partition_rows();
+  size_t i = begin;
+  while (i < end) {
+    const size_t p = i / pr;
+    const size_t run_end = std::min(end, (p + 1) * pr);
+    if (run_end < end) col->PrefetchPartition(p + 1);
+    auto pinned = col->PinPartition(p);
+    if (!pinned.ok()) return pinned.status();
+    fn(pinned.value() + (i - p * pr), i, run_end - i);
+    col->UnpinPartition(p);
+    i = run_end;
+  }
+  return Status::OK();
+}
+
+template <typename T>
+class ColumnReader {
+ public:
+  ColumnReader() = default;
+  explicit ColumnReader(const ColumnView<T>& view) { Reset(view); }
+  ~ColumnReader() { Release(); }
+
+  ColumnReader(const ColumnReader&) = delete;
+  ColumnReader& operator=(const ColumnReader&) = delete;
+
+  // Movable so per-thread predicate objects can hold readers by value.
+  ColumnReader(ColumnReader&& other) noexcept { *this = std::move(other); }
+  ColumnReader& operator=(ColumnReader&& other) noexcept {
+    if (this != &other) {
+      Release();
+      run_ = other.run_;
+      run_base_ = other.run_base_;
+      run_len_ = other.run_len_;
+      paged_ = other.paged_;
+      pinned_part_ = other.pinned_part_;
+      status_ = std::move(other.status_);
+      other.pinned_part_ = kNoPin;
+      other.run_ = nullptr;
+      other.run_len_ = 0;
+      other.paged_ = nullptr;
+    }
+    return *this;
+  }
+
+  void Reset(const ColumnView<T>& view) {
+    Release();
+    status_ = Status::OK();
+    if (view.paged()) {
+      paged_ = view.paged_column();
+      run_ = nullptr;
+      run_base_ = 0;
+      run_len_ = 0;
+    } else {
+      paged_ = nullptr;
+      run_ = view.raw();
+      run_base_ = 0;
+      run_len_ = view.num_values();
+    }
+  }
+
+  /// \brief Value of row `i`. For paged views this may pin (and prefetch
+  /// the next) partition; a failed pin latches status() and yields 0.
+  T operator[](size_t i) {
+    // Unsigned wrap makes one compare cover both bounds.
+    if (i - run_base_ < run_len_) return run_[i - run_base_];
+    return Slow(i);
+  }
+
+  const Status& status() const { return status_; }
+
+ private:
+  T Slow(size_t i) {
+    if (paged_ == nullptr) {
+      status_ = Status::InvalidArgument("row id out of column range");
+      return T{};
+    }
+    Release();
+    const size_t p = paged_->PartitionOf(i);
+    if (p + 1 < paged_->num_partitions()) paged_->PrefetchPartition(p + 1);
+    auto pinned = paged_->PinPartition(p);
+    if (!pinned.ok()) {
+      status_ = pinned.status();
+      return T{};
+    }
+    run_ = pinned.value();
+    run_base_ = paged_->PartitionBegin(p);
+    run_len_ = paged_->PartitionValues(p);
+    pinned_part_ = p;
+    return run_[i - run_base_];
+  }
+
+  void Release() {
+    if (paged_ != nullptr && pinned_part_ != kNoPin) {
+      paged_->UnpinPartition(pinned_part_);
+    }
+    pinned_part_ = kNoPin;
+    run_ = nullptr;
+    run_base_ = 0;
+    run_len_ = 0;
+  }
+
+  static constexpr size_t kNoPin = static_cast<size_t>(-1);
+
+  const T* run_ = nullptr;
+  size_t run_base_ = 0;
+  size_t run_len_ = 0;
+  PagedColumn<T>* paged_ = nullptr;
+  size_t pinned_part_ = kNoPin;
+  Status status_;
+};
+
+}  // namespace sgxb::storage
+
+#endif  // SGXB_STORAGE_COLUMN_VIEW_H_

@@ -1,0 +1,78 @@
+// Per-partition spill codec: raw, frame-of-reference bit-packed, or
+// dictionary encoding — whichever produces the smallest image.
+//
+// The buffer manager pays MEE decrypt cost on every byte it moves back
+// from the untrusted tier, so the spill image is compressed *before*
+// encryption: decrypt+decode on few bytes beats decrypt on many ("Securing
+// the Storage Data Path with SGX Enclaves", PAPERS.md). Encodings:
+//
+//  - kRaw: memcpy of the source bytes (fallback; also the uncompressed
+//    baseline bench_ext_oepc compares against).
+//  - kForPacked: frame-of-reference + word-aligned guard-bit packing via
+//    scan::PackedColumn. Date/key partitions whose absolute values need
+//    22+ bits typically span a narrow per-partition range and pack to a
+//    fraction of the raw width.
+//  - kDict: sorted dictionary of distinct values plus packed codes, for
+//    low-cardinality columns (flags, segments, priorities).
+//
+// The payload is a single contiguous buffer so the MEE can encrypt it as
+// one image; shape metadata (encoding, widths, frame minimum, dictionary
+// size) stays in trusted bookkeeping and is never encrypted.
+
+#ifndef SGXB_STORAGE_PARTITION_CODEC_H_
+#define SGXB_STORAGE_PARTITION_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/aligned_buffer.h"
+#include "common/status.h"
+#include "mem/memory_resource.h"
+
+namespace sgxb::storage {
+
+enum class Encoding : uint8_t {
+  kRaw = 0,
+  kForPacked = 1,
+  kDict = 2,
+};
+
+const char* EncodingName(Encoding e);
+
+/// \brief Encoded spill image of one column partition. `payload` holds the
+/// encoded bytes (encrypted at rest by the buffer manager); everything
+/// else is trusted bookkeeping needed to decode.
+struct PartitionImage {
+  Encoding encoding = Encoding::kRaw;
+  uint32_t num_values = 0;
+  uint8_t elem_size = 0;    ///< source element width in bytes (1 or 4)
+  uint8_t bit_width = 0;    ///< packed field width (kForPacked / kDict codes)
+  uint32_t frame_min = 0;   ///< kForPacked frame-of-reference bias
+  uint32_t dict_size = 0;   ///< kDict distinct-value count
+  AlignedBuffer payload;
+
+  size_t payload_bytes() const { return payload.size(); }
+  size_t decoded_bytes() const {
+    return static_cast<size_t>(num_values) * elem_size;
+  }
+};
+
+/// \brief Encodes `num_values` elements of `elem_size` bytes (1 or 4)
+/// starting at `values`, choosing the smallest of raw / frame-of-reference
+/// packed / dictionary (raw only when `allow_compress` is false). The
+/// payload is allocated from `payload_resource` (null = untrusted host
+/// memory).
+Result<PartitionImage> EncodePartition(
+    const void* values, size_t num_values, size_t elem_size,
+    bool allow_compress, mem::MemoryResource* payload_resource = nullptr);
+
+/// \brief Decodes `payload` (the *decrypted* image bytes, `image.payload_bytes()`
+/// long) into `out`, which must hold `image.decoded_bytes()` bytes. The
+/// payload pointer is explicit because the at-rest image stays encrypted:
+/// the loader decrypts into transient scratch and decodes from there.
+Status DecodePartition(const PartitionImage& image, const uint8_t* payload,
+                       void* out);
+
+}  // namespace sgxb::storage
+
+#endif  // SGXB_STORAGE_PARTITION_CODEC_H_

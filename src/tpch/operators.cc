@@ -40,10 +40,43 @@ join::JoinConfig ToJoinConfig(const QueryConfig& config, bool materialize) {
   return jc;
 }
 
-// Generic parallel refinement: keeps ids of `in` that satisfy `pred`.
-// Output order is preserved (per-thread slices are compacted in order).
-template <typename Pred>
-Result<RowIdList> RefineImpl(const RowIdList& in, Pred pred,
+// Per-thread predicate objects for the refinement operators. Each holds
+// storage::ColumnReaders — which cache one pinned partition and must not
+// be shared across threads — and reports pin failures through Done()
+// (operator[] cannot, so a failed pin latches into the reader's status
+// and the reads return 0 until Done() surfaces it).
+struct U8InSetPred {
+  storage::ColumnReader<uint8_t> col;
+  uint64_t set_mask;
+  bool operator()(uint64_t id) { return ((set_mask >> col[id]) & 1u) != 0; }
+  Status Done() { return col.status(); }
+};
+
+struct U32RangePred {
+  storage::ColumnReader<uint32_t> col;
+  uint32_t lo, hi;
+  bool operator()(uint64_t id) {
+    const uint32_t v = col[id];
+    return v >= lo && v <= hi;
+  }
+  Status Done() { return col.status(); }
+};
+
+struct LessPred {
+  storage::ColumnReader<uint32_t> a, b;
+  bool operator()(uint64_t id) { return a[id] < b[id]; }
+  Status Done() {
+    if (!a.status().ok()) return a.status();
+    return b.status();
+  }
+};
+
+// Generic parallel refinement: keeps ids of `in` that satisfy the
+// predicate. `make_pred` runs once per thread and builds that thread's
+// predicate object (so each thread gets its own ColumnReaders). Output
+// order is preserved (per-thread slices are compacted in order).
+template <typename PredFactory>
+Result<RowIdList> RefineImpl(const RowIdList& in, PredFactory make_pred,
                              size_t gather_bytes,
                              const QueryConfig& config, OpRecorder* rec,
                              const std::string& name) {
@@ -54,10 +87,12 @@ Result<RowIdList> RefineImpl(const RowIdList& in, Pred pred,
   const int threads = config.num_threads;
   std::vector<uint64_t> counts(threads, 0);
   std::vector<Range> ranges(threads);
+  std::vector<Status> thread_status(threads);
   WallTimer timer;
   Status run_status = ParallelRun(threads, [&](int tid) {
     Range r = SplitRange(in.count(), threads, tid);
     ranges[tid] = r;
+    auto pred = make_pred();
     uint64_t k = 0;
     const uint64_t* ids = in.ids();
     uint64_t* dst = result.ids() + r.begin;
@@ -67,8 +102,10 @@ Result<RowIdList> RefineImpl(const RowIdList& in, Pred pred,
       k += pred(id) ? 1 : 0;
     }
     counts[tid] = k;
+    thread_status[tid] = pred.Done();
   });
   SGXB_RETURN_NOT_OK(run_status);
+  for (const Status& s : thread_status) SGXB_RETURN_NOT_OK(s);
   // Compact slices.
   uint64_t total = counts[0];
   for (int t = 1; t < threads; ++t) {
@@ -162,33 +199,84 @@ void OpRecorder::Absorb(const std::string& prefix,
   }
 }
 
-Result<RowIdList> FilterU8Range(const Column<uint8_t>& col, uint8_t lo,
-                                uint8_t hi, const QueryConfig& config,
-                                OpRecorder* rec, const std::string& name) {
+Result<RowIdList> FilterU8Range(storage::ColumnView<uint8_t> col,
+                                uint8_t lo, uint8_t hi,
+                                const QueryConfig& config, OpRecorder* rec,
+                                const std::string& name) {
   auto out = RowIdList::Allocate(col.num_values(), config);
   if (!out.ok()) return out.status();
   RowIdList result = std::move(out).value();
 
-  scan::ScanConfig sc;
-  sc.lo = lo;
-  sc.hi = hi;
-  sc.num_threads = config.num_threads;
-  sc.setting = config.setting;
-  uint64_t count = 0;
-  auto scan_result = scan::RunRowIdScan(col, result.ids(), &count, sc);
-  if (!scan_result.ok()) return scan_result.status();
-  result.set_count(count);
-  ChargeBytesMaterialized(count * sizeof(uint64_t));
+  if (!col.paged()) {
+    scan::ScanConfig sc;
+    sc.lo = lo;
+    sc.hi = hi;
+    sc.num_threads = config.num_threads;
+    sc.setting = config.setting;
+    uint64_t count = 0;
+    auto scan_result = scan::RunRowIdScan(col.raw(), col.num_values(),
+                                          result.ids(), &count, sc);
+    if (!scan_result.ok()) return scan_result.status();
+    result.set_count(count);
+    ChargeBytesMaterialized(count * sizeof(uint64_t));
+    if (rec != nullptr) {
+      rec->Record(name, scan_result.value().host_ns,
+                  scan_result.value().profile, config.num_threads);
+    }
+    return result;
+  }
+
+  // Paged: same SIMD row-id kernel, applied per pinned partition run.
+  // Per-thread slices are compacted in order, exactly like the resident
+  // driver, so the id list comes out identical.
+  const scan::RowIdKernel kernel =
+      scan::PickRowIdKernel(SimdLevel::kAvx512);
+  const int threads = config.num_threads;
+  std::vector<uint64_t> counts(threads, 0);
+  std::vector<Range> ranges(threads);
+  std::vector<Status> thread_status(threads);
+  WallTimer timer;
+  Status run_status = ParallelRun(threads, [&](int tid) {
+    Range r = SplitRange(col.num_values(), threads, tid);
+    ranges[tid] = r;
+    uint64_t* dst = result.ids() + r.begin;
+    uint64_t k = 0;
+    thread_status[tid] = storage::ForEachRun(
+        col, r.begin, r.end,
+        [&](const uint8_t* run, size_t base, size_t n) {
+          k += kernel(run, n, lo, hi, base, dst + k);
+        });
+    counts[tid] = k;
+  });
+  SGXB_RETURN_NOT_OK(run_status);
+  for (const Status& s : thread_status) SGXB_RETURN_NOT_OK(s);
+  uint64_t total = counts[0];
+  for (int t = 1; t < threads; ++t) {
+    if (counts[t] > 0 && ranges[t].begin != total) {
+      std::move(result.ids() + ranges[t].begin,
+                result.ids() + ranges[t].begin + counts[t],
+                result.ids() + total);
+    }
+    total += counts[t];
+  }
+  result.set_count(total);
+  ChargeBytesMaterialized(total * sizeof(uint64_t));
   if (rec != nullptr) {
-    rec->Record(name, scan_result.value().host_ns,
-                scan_result.value().profile, config.num_threads);
+    perf::AccessProfile p;
+    p.seq_read_bytes = col.size_bytes();
+    p.seq_write_bytes = total * sizeof(uint64_t);
+    p.loop_iterations = col.num_values();
+    p.ilp = perf::IlpClass::kStreaming;
+    rec->Record(name, static_cast<double>(timer.ElapsedNanos()), p,
+                threads);
   }
   return result;
 }
 
-Result<RowIdList> FilterU32Range(const Column<uint32_t>& col, uint32_t lo,
-                                 uint32_t hi, const QueryConfig& config,
-                                 OpRecorder* rec, const std::string& name) {
+Result<RowIdList> FilterU32Range(storage::ColumnView<uint32_t> col,
+                                 uint32_t lo, uint32_t hi,
+                                 const QueryConfig& config, OpRecorder* rec,
+                                 const std::string& name) {
   auto out = RowIdList::Allocate(col.num_values(), config);
   if (!out.ok()) return out.status();
   RowIdList result = std::move(out).value();
@@ -196,21 +284,27 @@ Result<RowIdList> FilterU32Range(const Column<uint32_t>& col, uint32_t lo,
   const int threads = config.num_threads;
   std::vector<uint64_t> counts(threads, 0);
   std::vector<Range> ranges(threads);
+  std::vector<Status> thread_status(threads);
   WallTimer timer;
   Status run_status = ParallelRun(threads, [&](int tid) {
     Range r = SplitRange(col.num_values(), threads, tid);
     ranges[tid] = r;
-    const uint32_t* data = col.data();
     uint64_t* dst = result.ids() + r.begin;
     uint64_t k = 0;
-    for (size_t i = r.begin; i < r.end; ++i) {
-      // Branchless conditional append (autovectorizes well).
-      dst[k] = i;
-      k += (data[i] >= lo && data[i] <= hi) ? 1 : 0;
-    }
+    // One run for resident views, one per pinned partition for paged.
+    thread_status[tid] = storage::ForEachRun(
+        col, r.begin, r.end,
+        [&](const uint32_t* run, size_t base, size_t n) {
+          for (size_t j = 0; j < n; ++j) {
+            // Branchless conditional append (autovectorizes well).
+            dst[k] = base + j;
+            k += (run[j] >= lo && run[j] <= hi) ? 1 : 0;
+          }
+        });
     counts[tid] = k;
   });
   SGXB_RETURN_NOT_OK(run_status);
+  for (const Status& s : thread_status) SGXB_RETURN_NOT_OK(s);
   uint64_t total = counts[0];
   for (int t = 1; t < threads; ++t) {
     if (counts[t] > 0 && ranges[t].begin != total) {
@@ -236,45 +330,46 @@ Result<RowIdList> FilterU32Range(const Column<uint32_t>& col, uint32_t lo,
 }
 
 Result<RowIdList> RefineU8InSet(const RowIdList& in,
-                                const Column<uint8_t>& col,
+                                storage::ColumnView<uint8_t> col,
                                 uint64_t set_mask,
                                 const QueryConfig& config, OpRecorder* rec,
                                 const std::string& name) {
-  const uint8_t* data = col.data();
   return RefineImpl(
       in,
-      [data, set_mask](uint64_t id) {
-        return (set_mask >> data[id]) & 1u;
+      [col, set_mask] {
+        return U8InSetPred{storage::ColumnReader<uint8_t>(col), set_mask};
       },
       col.size_bytes(), config, rec, name);
 }
 
 Result<RowIdList> RefineU32Range(const RowIdList& in,
-                                 const Column<uint32_t>& col, uint32_t lo,
-                                 uint32_t hi, const QueryConfig& config,
-                                 OpRecorder* rec, const std::string& name) {
-  const uint32_t* data = col.data();
+                                 storage::ColumnView<uint32_t> col,
+                                 uint32_t lo, uint32_t hi,
+                                 const QueryConfig& config, OpRecorder* rec,
+                                 const std::string& name) {
   return RefineImpl(
       in,
-      [data, lo, hi](uint64_t id) {
-        return data[id] >= lo && data[id] <= hi;
+      [col, lo, hi] {
+        return U32RangePred{storage::ColumnReader<uint32_t>(col), lo, hi};
       },
       col.size_bytes(), config, rec, name);
 }
 
 Result<RowIdList> RefineLess(const RowIdList& in,
-                             const Column<uint32_t>& a,
-                             const Column<uint32_t>& b,
+                             storage::ColumnView<uint32_t> a,
+                             storage::ColumnView<uint32_t> b,
                              const QueryConfig& config, OpRecorder* rec,
                              const std::string& name) {
-  const uint32_t* da = a.data();
-  const uint32_t* db = b.data();
   return RefineImpl(
-      in, [da, db](uint64_t id) { return da[id] < db[id]; },
+      in,
+      [a, b] {
+        return LessPred{storage::ColumnReader<uint32_t>(a),
+                        storage::ColumnReader<uint32_t>(b)};
+      },
       a.size_bytes() + b.size_bytes(), config, rec, name);
 }
 
-Result<Relation> GatherKeys(const Column<uint32_t>& keys,
+Result<Relation> GatherKeys(storage::ColumnView<uint32_t> keys,
                             const RowIdList* rows,
                             const QueryConfig& config, OpRecorder* rec,
                             const std::string& name) {
@@ -300,26 +395,33 @@ Result<Relation> GatherKeys(const Column<uint32_t>& keys,
   const int threads = config.num_threads;
   ParallelForOptions opts;
   opts.num_threads = threads;
+  // A reader per morsel invocation: free for resident views, and for
+  // paged views the ascending ids make nearly every access hit the
+  // reader's cached pin. Lanes run their morsels serially, so the
+  // per-lane status slot has no race.
+  std::vector<Status> lane_status(threads);
   Status run_status = ParallelFor(
       n, /*grain=*/64 * 1024,
-      [&](Range r, int) {
+      [&](Range r, int lane) {
         Tuple* out = result.tuples();
-        const uint32_t* key_data = keys.data();
+        storage::ColumnReader<uint32_t> key(keys);
         if (rows != nullptr) {
           const uint64_t* ids = rows->ids();
           for (size_t i = r.begin; i < r.end; ++i) {
-            out[i].key = key_data[ids[i]];
+            out[i].key = key[ids[i]];
             out[i].payload = static_cast<uint32_t>(ids[i]);
           }
         } else {
           for (size_t i = r.begin; i < r.end; ++i) {
-            out[i].key = key_data[i];
+            out[i].key = key[i];
             out[i].payload = static_cast<uint32_t>(i);
           }
         }
+        if (!key.status().ok()) lane_status[lane] = key.status();
       },
       opts);
   SGXB_RETURN_NOT_OK(run_status);
+  for (const Status& s : lane_status) SGXB_RETURN_NOT_OK(s);
   ChargeBytesMaterialized(n * sizeof(Tuple));
 
   if (rec != nullptr) {
@@ -401,9 +503,37 @@ constexpr size_t PartialStride(size_t groups, size_t elem_bytes) {
   return (groups + per_line - 1) / per_line * per_line;
 }
 
-// Shared implementation: group id of row `id` comes from `group_of`.
-template <typename GroupOf>
-Result<std::vector<uint64_t>> GroupCountImpl(size_t n, GroupOf group_of,
+// Per-thread group-of objects (same pattern as the refinement preds:
+// readers are thread-local, Done() surfaces pin failures).
+struct U8GroupOf {
+  storage::ColumnReader<uint8_t> col;
+  int operator()(size_t i) { return int{col[i]}; }
+  Status Done() { return col.status(); }
+};
+
+struct U8AtIdsGroupOf {
+  storage::ColumnReader<uint8_t> col;
+  const uint64_t* ids;
+  int operator()(size_t i) { return int{col[ids[i]]}; }
+  Status Done() { return col.status(); }
+};
+
+struct U8ViaFkGroupOf {
+  storage::ColumnReader<uint8_t> values;
+  storage::ColumnReader<uint32_t> fk;
+  const uint64_t* ids;
+  int operator()(size_t i) { return int{values[fk[ids[i]]]}; }
+  Status Done() {
+    if (!values.status().ok()) return values.status();
+    return fk.status();
+  }
+};
+
+// Shared implementation: group id of row `id` comes from the per-thread
+// object `make_group_of` builds.
+template <typename GroupOfFactory>
+Result<std::vector<uint64_t>> GroupCountImpl(size_t n,
+                                             GroupOfFactory make_group_of,
                                              int num_groups,
                                              size_t gather_bytes,
                                              const QueryConfig& config,
@@ -424,21 +554,27 @@ Result<std::vector<uint64_t>> GroupCountImpl(size_t n, GroupOf group_of,
   AlignedBuffer partials = std::move(partial_buf).value();
   uint64_t* const partial_rows = partials.As<uint64_t>();
   std::atomic<bool> out_of_range{false};
+  std::vector<Status> thread_status(threads);
 
   WallTimer timer;
   Status run_status = ParallelRun(threads, [&](int tid) {
     Range r = SplitRange(n, threads, tid);
+    auto group_of = make_group_of();
     uint64_t* local = partial_rows + static_cast<size_t>(tid) * stride;
     for (size_t i = r.begin; i < r.end; ++i) {
       int g = group_of(i);
       if (g < 0 || g >= num_groups) {
         out_of_range.store(true, std::memory_order_relaxed);
-        return;
+        break;
       }
       ++local[g];
     }
+    thread_status[tid] = group_of.Done();
   });
   SGXB_RETURN_NOT_OK(run_status);
+  // Pin failures first: a failed read yields 0, which is a valid group,
+  // so out_of_range may be a symptom rather than the cause.
+  for (const Status& s : thread_status) SGXB_RETURN_NOT_OK(s);
   if (out_of_range.load()) {
     return Status::Internal("group code out of range in " + name);
   }
@@ -465,43 +601,46 @@ Result<std::vector<uint64_t>> GroupCountImpl(size_t n, GroupOf group_of,
 
 }  // namespace
 
-Result<std::vector<uint64_t>> GroupCountU8(const Column<uint8_t>& col,
+Result<std::vector<uint64_t>> GroupCountU8(storage::ColumnView<uint8_t> col,
                                            const RowIdList* rows,
                                            int num_groups,
                                            const QueryConfig& config,
                                            OpRecorder* rec,
                                            const std::string& name) {
-  const uint8_t* data = col.data();
   if (rows == nullptr) {
     return GroupCountImpl(
-        col.num_values(), [data](size_t i) { return int{data[i]}; },
+        col.num_values(),
+        [col] { return U8GroupOf{storage::ColumnReader<uint8_t>(col)}; },
         num_groups, col.size_bytes(), config, rec, name);
   }
   const uint64_t* ids = rows->ids();
   return GroupCountImpl(
       rows->count(),
-      [data, ids](size_t i) { return int{data[ids[i]]}; }, num_groups,
-      col.size_bytes(), config, rec, name);
+      [col, ids] {
+        return U8AtIdsGroupOf{storage::ColumnReader<uint8_t>(col), ids};
+      },
+      num_groups, col.size_bytes(), config, rec, name);
 }
 
 Result<std::vector<uint64_t>> GroupCountU8ViaFk(
-    const Column<uint8_t>& values, const Column<uint32_t>& fk,
+    storage::ColumnView<uint8_t> values, storage::ColumnView<uint32_t> fk,
     const RowIdList& rows, int num_groups, const QueryConfig& config,
     OpRecorder* rec, const std::string& name) {
-  const uint8_t* vals = values.data();
-  const uint32_t* keys = fk.data();
   const uint64_t* ids = rows.ids();
   return GroupCountImpl(
       rows.count(),
-      [vals, keys, ids](size_t i) { return int{vals[keys[ids[i]]]}; },
+      [values, fk, ids] {
+        return U8ViaFkGroupOf{storage::ColumnReader<uint8_t>(values),
+                              storage::ColumnReader<uint32_t>(fk), ids};
+      },
       num_groups, values.size_bytes() + fk.size_bytes(), config, rec,
       name);
 }
 
 Result<std::vector<GroupAgg>> GroupSumU32By2U8(
-    const Column<uint32_t>& value, const Column<uint8_t>& g1, int num_g1,
-    const Column<uint8_t>& g2, int num_g2, const RowIdList* rows,
-    const QueryConfig& config, OpRecorder* rec,
+    storage::ColumnView<uint32_t> value, storage::ColumnView<uint8_t> g1,
+    int num_g1, storage::ColumnView<uint8_t> g2, int num_g2,
+    const RowIdList* rows, const QueryConfig& config, OpRecorder* rec,
     const std::string& name) {
   if (num_g1 <= 0 || num_g2 <= 0 || num_g1 * num_g2 > 4096) {
     return Status::InvalidArgument("bad group dimensions");
@@ -509,9 +648,6 @@ Result<std::vector<GroupAgg>> GroupSumU32By2U8(
   const int groups = num_g1 * num_g2;
   const size_t n = rows != nullptr ? rows->count() : value.num_values();
   const uint64_t* ids = rows != nullptr ? rows->ids() : nullptr;
-  const uint32_t* vals = value.data();
-  const uint8_t* d1 = g1.data();
-  const uint8_t* d2 = g2.data();
 
   const int threads = config.num_threads;
   // Resource-routed like GroupCountImpl: padded per-thread rows from the
@@ -524,23 +660,37 @@ Result<std::vector<GroupAgg>> GroupSumU32By2U8(
   AlignedBuffer partials = std::move(partial_buf).value();
   GroupAgg* const partial_rows = partials.As<GroupAgg>();
   std::atomic<bool> out_of_range{false};
+  std::vector<Status> thread_status(threads);
 
   WallTimer timer;
   Status run_status = ParallelRun(threads, [&](int tid) {
     Range r = SplitRange(n, threads, tid);
+    storage::ColumnReader<uint32_t> vals(value);
+    storage::ColumnReader<uint8_t> d1(g1);
+    storage::ColumnReader<uint8_t> d2(g2);
     GroupAgg* local = partial_rows + static_cast<size_t>(tid) * stride;
     for (size_t i = r.begin; i < r.end; ++i) {
       const size_t id = ids != nullptr ? ids[i] : i;
-      const int g = d1[id] * num_g2 + d2[id];
-      if (d1[id] >= num_g1 || d2[id] >= num_g2) {
+      const int c1 = d1[id];
+      const int c2 = d2[id];
+      if (c1 >= num_g1 || c2 >= num_g2) {
         out_of_range.store(true, std::memory_order_relaxed);
-        return;
+        break;
       }
+      const int g = c1 * num_g2 + c2;
       ++local[g].count;
       local[g].sum += vals[id];
     }
+    if (!vals.status().ok()) {
+      thread_status[tid] = vals.status();
+    } else if (!d1.status().ok()) {
+      thread_status[tid] = d1.status();
+    } else {
+      thread_status[tid] = d2.status();
+    }
   });
   SGXB_RETURN_NOT_OK(run_status);
+  for (const Status& s : thread_status) SGXB_RETURN_NOT_OK(s);
   if (out_of_range.load()) {
     return Status::Internal("group code out of range in " + name);
   }
@@ -566,19 +716,18 @@ Result<std::vector<GroupAgg>> GroupSumU32By2U8(
   return result;
 }
 
-Result<uint64_t> SumProductU32(const Column<uint32_t>& a,
-                               const Column<uint32_t>& b,
+Result<uint64_t> SumProductU32(storage::ColumnView<uint32_t> a,
+                               storage::ColumnView<uint32_t> b,
                                const RowIdList& rows,
                                const QueryConfig& config, OpRecorder* rec,
                                const std::string& name) {
-  const uint32_t* da = a.data();
-  const uint32_t* db = b.data();
   const uint64_t* ids = rows.ids();
   const int threads = config.num_threads;
   // Morsel-driven reduction: lanes accumulate into per-lane slots (a lane
   // runs many morsels, so slots are indexed by lane, not morsel) and the
   // slots are summed after the gang completes.
   std::vector<uint64_t> partials(threads, 0);
+  std::vector<Status> lane_status(threads);
   ParallelForOptions opts;
   opts.num_threads = threads;
 
@@ -586,15 +735,23 @@ Result<uint64_t> SumProductU32(const Column<uint32_t>& a,
   Status run_status = ParallelFor(
       rows.count(), /*grain=*/64 * 1024,
       [&](Range r, int lane) {
+        storage::ColumnReader<uint32_t> da(a);
+        storage::ColumnReader<uint32_t> db(b);
         uint64_t local = 0;
         for (size_t i = r.begin; i < r.end; ++i) {
           const size_t id = ids[i];
           local += static_cast<uint64_t>(da[id]) * db[id];
         }
         partials[lane] += local;
+        if (!da.status().ok()) {
+          lane_status[lane] = da.status();
+        } else if (!db.status().ok()) {
+          lane_status[lane] = db.status();
+        }
       },
       opts);
   SGXB_RETURN_NOT_OK(run_status);
+  for (const Status& s : lane_status) SGXB_RETURN_NOT_OK(s);
   uint64_t total = 0;
   for (uint64_t v : partials) total += v;
 

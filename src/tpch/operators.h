@@ -22,6 +22,7 @@
 #include "obs/trace.h"
 #include "perf/access_profile.h"
 #include "sgx/enclave.h"
+#include "storage/column_view.h"
 
 namespace sgxb::tpch {
 
@@ -125,37 +126,44 @@ class OpRecorder {
 };
 
 // --- Selections ---------------------------------------------------------
+// Operators take storage::ColumnView (implicitly convertible from
+// Column<T>): resident views keep the historical raw-pointer fast paths;
+// paged views pin one partition at a time through the out-of-EPC buffer
+// manager (docs/storage.md).
 
 /// \brief sigma(lo <= col <= hi) over a uint8 column via the SIMD scan.
-Result<RowIdList> FilterU8Range(const Column<uint8_t>& col, uint8_t lo,
-                                uint8_t hi, const QueryConfig& config,
-                                OpRecorder* rec, const std::string& name);
+Result<RowIdList> FilterU8Range(storage::ColumnView<uint8_t> col,
+                                uint8_t lo, uint8_t hi,
+                                const QueryConfig& config, OpRecorder* rec,
+                                const std::string& name);
 
 /// \brief sigma(lo <= col <= hi) over a uint32 column.
-Result<RowIdList> FilterU32Range(const Column<uint32_t>& col, uint32_t lo,
-                                 uint32_t hi, const QueryConfig& config,
-                                 OpRecorder* rec, const std::string& name);
+Result<RowIdList> FilterU32Range(storage::ColumnView<uint32_t> col,
+                                 uint32_t lo, uint32_t hi,
+                                 const QueryConfig& config, OpRecorder* rec,
+                                 const std::string& name);
 
 // --- Refinements (thin an existing row-id list) -----------------------------
 
 /// \brief Keeps ids where col[id]'s code bit is set in `set_mask`
 /// (codes must be < 64).
 Result<RowIdList> RefineU8InSet(const RowIdList& in,
-                                const Column<uint8_t>& col,
+                                storage::ColumnView<uint8_t> col,
                                 uint64_t set_mask,
                                 const QueryConfig& config, OpRecorder* rec,
                                 const std::string& name);
 
 /// \brief Keeps ids where lo <= col[id] <= hi.
 Result<RowIdList> RefineU32Range(const RowIdList& in,
-                                 const Column<uint32_t>& col, uint32_t lo,
-                                 uint32_t hi, const QueryConfig& config,
-                                 OpRecorder* rec, const std::string& name);
+                                 storage::ColumnView<uint32_t> col,
+                                 uint32_t lo, uint32_t hi,
+                                 const QueryConfig& config, OpRecorder* rec,
+                                 const std::string& name);
 
 /// \brief Keeps ids where a[id] < b[id] (e.g. commitdate < receiptdate).
 Result<RowIdList> RefineLess(const RowIdList& in,
-                             const Column<uint32_t>& a,
-                             const Column<uint32_t>& b,
+                             storage::ColumnView<uint32_t> a,
+                             storage::ColumnView<uint32_t> b,
                              const QueryConfig& config, OpRecorder* rec,
                              const std::string& name);
 
@@ -163,7 +171,7 @@ Result<RowIdList> RefineLess(const RowIdList& in,
 
 /// \brief Builds a join input relation from `keys[id]` for each id in
 /// `rows` (payload = row id). Pass nullptr to gather every row.
-Result<Relation> GatherKeys(const Column<uint32_t>& keys,
+Result<Relation> GatherKeys(storage::ColumnView<uint32_t> keys,
                             const RowIdList* rows,
                             const QueryConfig& config, OpRecorder* rec,
                             const std::string& name);
@@ -195,7 +203,7 @@ Result<uint64_t> CountingJoin(const Relation& build, const Relation& probe,
 /// \brief GROUP BY count over `col[id]` for each id in `rows` (all rows
 /// if null). Returns `num_groups` counts; codes >= num_groups are
 /// rejected as kInternal.
-Result<std::vector<uint64_t>> GroupCountU8(const Column<uint8_t>& col,
+Result<std::vector<uint64_t>> GroupCountU8(storage::ColumnView<uint8_t> col,
                                            const RowIdList* rows,
                                            int num_groups,
                                            const QueryConfig& config,
@@ -205,7 +213,7 @@ Result<std::vector<uint64_t>> GroupCountU8(const Column<uint8_t>& col,
 /// \brief GROUP BY count via a foreign key: for each id in `rows`, the
 /// group is `values[fk[id]]` (e.g. order priority of a lineitem's order).
 Result<std::vector<uint64_t>> GroupCountU8ViaFk(
-    const Column<uint8_t>& values, const Column<uint32_t>& fk,
+    storage::ColumnView<uint8_t> values, storage::ColumnView<uint32_t> fk,
     const RowIdList& rows, int num_groups, const QueryConfig& config,
     OpRecorder* rec, const std::string& name);
 
@@ -219,14 +227,15 @@ struct GroupAgg {
 /// the group index is g1[id] * num_g2 + g2[id]. `rows` may be null for
 /// all rows. Returns num_g1 * num_g2 aggregates.
 Result<std::vector<GroupAgg>> GroupSumU32By2U8(
-    const Column<uint32_t>& value, const Column<uint8_t>& g1, int num_g1,
-    const Column<uint8_t>& g2, int num_g2, const RowIdList* rows,
-    const QueryConfig& config, OpRecorder* rec, const std::string& name);
+    storage::ColumnView<uint32_t> value, storage::ColumnView<uint8_t> g1,
+    int num_g1, storage::ColumnView<uint8_t> g2, int num_g2,
+    const RowIdList* rows, const QueryConfig& config, OpRecorder* rec,
+    const std::string& name);
 
 /// \brief sum(a[id] * b[id]) over the row-id list (Q6's revenue
 /// aggregate: sum(l_extendedprice * l_discount)).
-Result<uint64_t> SumProductU32(const Column<uint32_t>& a,
-                               const Column<uint32_t>& b,
+Result<uint64_t> SumProductU32(storage::ColumnView<uint32_t> a,
+                               storage::ColumnView<uint32_t> b,
                                const RowIdList& rows,
                                const QueryConfig& config, OpRecorder* rec,
                                const std::string& name);

@@ -1,0 +1,110 @@
+#include "tpch/paged_db.h"
+
+namespace sgxb::tpch {
+
+namespace {
+
+template <typename T>
+Status Register(storage::BufferManager* bm, const char* name,
+                const Column<T>& column, storage::PagedColumn<T>** out) {
+  auto r = bm->AddColumn(std::string(name), column);
+  if (!r.ok()) return r.status();
+  *out = r.value();
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<PagedTpchDb> PagedTpchDb::Build(const TpchDb& db,
+                                       storage::BufferManager* bm) {
+  PagedTpchDb p;
+  p.scale_factor_ = db.scale_factor;
+  p.customer_rows_ = db.customer.num_rows;
+  p.orders_rows_ = db.orders.num_rows;
+  p.lineitem_rows_ = db.lineitem.num_rows;
+  p.part_rows_ = db.part.num_rows;
+
+  SGXB_RETURN_NOT_OK(Register(bm, "customer.c_custkey",
+                              db.customer.c_custkey, &p.c_custkey_));
+  SGXB_RETURN_NOT_OK(Register(bm, "customer.c_mktsegment",
+                              db.customer.c_mktsegment, &p.c_mktsegment_));
+  SGXB_RETURN_NOT_OK(Register(bm, "orders.o_orderkey", db.orders.o_orderkey,
+                              &p.o_orderkey_));
+  SGXB_RETURN_NOT_OK(Register(bm, "orders.o_custkey", db.orders.o_custkey,
+                              &p.o_custkey_));
+  SGXB_RETURN_NOT_OK(Register(bm, "orders.o_orderdate",
+                              db.orders.o_orderdate, &p.o_orderdate_));
+  SGXB_RETURN_NOT_OK(Register(bm, "orders.o_orderpriority",
+                              db.orders.o_orderpriority,
+                              &p.o_orderpriority_));
+  SGXB_RETURN_NOT_OK(Register(bm, "lineitem.l_orderkey",
+                              db.lineitem.l_orderkey, &p.l_orderkey_));
+  SGXB_RETURN_NOT_OK(Register(bm, "lineitem.l_partkey",
+                              db.lineitem.l_partkey, &p.l_partkey_));
+  SGXB_RETURN_NOT_OK(Register(bm, "lineitem.l_quantity",
+                              db.lineitem.l_quantity, &p.l_quantity_));
+  SGXB_RETURN_NOT_OK(Register(bm, "lineitem.l_extendedprice",
+                              db.lineitem.l_extendedprice,
+                              &p.l_extendedprice_));
+  SGXB_RETURN_NOT_OK(Register(bm, "lineitem.l_discount",
+                              db.lineitem.l_discount, &p.l_discount_));
+  SGXB_RETURN_NOT_OK(Register(bm, "lineitem.l_shipdate",
+                              db.lineitem.l_shipdate, &p.l_shipdate_));
+  SGXB_RETURN_NOT_OK(Register(bm, "lineitem.l_commitdate",
+                              db.lineitem.l_commitdate, &p.l_commitdate_));
+  SGXB_RETURN_NOT_OK(Register(bm, "lineitem.l_receiptdate",
+                              db.lineitem.l_receiptdate,
+                              &p.l_receiptdate_));
+  SGXB_RETURN_NOT_OK(Register(bm, "lineitem.l_shipmode",
+                              db.lineitem.l_shipmode, &p.l_shipmode_));
+  SGXB_RETURN_NOT_OK(Register(bm, "lineitem.l_shipinstruct",
+                              db.lineitem.l_shipinstruct,
+                              &p.l_shipinstruct_));
+  SGXB_RETURN_NOT_OK(Register(bm, "lineitem.l_returnflag",
+                              db.lineitem.l_returnflag, &p.l_returnflag_));
+  SGXB_RETURN_NOT_OK(Register(bm, "lineitem.l_linestatus",
+                              db.lineitem.l_linestatus, &p.l_linestatus_));
+  SGXB_RETURN_NOT_OK(
+      Register(bm, "part.p_partkey", db.part.p_partkey, &p.p_partkey_));
+  SGXB_RETURN_NOT_OK(
+      Register(bm, "part.p_size", db.part.p_size, &p.p_size_));
+  SGXB_RETURN_NOT_OK(
+      Register(bm, "part.p_brand", db.part.p_brand, &p.p_brand_));
+  SGXB_RETURN_NOT_OK(Register(bm, "part.p_container", db.part.p_container,
+                              &p.p_container_));
+  return p;
+}
+
+TpchDbView PagedTpchDb::View() const {
+  TpchDbView v;
+  v.scale_factor = scale_factor_;
+  v.customer.num_rows = customer_rows_;
+  v.customer.c_custkey = c_custkey_;
+  v.customer.c_mktsegment = c_mktsegment_;
+  v.orders.num_rows = orders_rows_;
+  v.orders.o_orderkey = o_orderkey_;
+  v.orders.o_custkey = o_custkey_;
+  v.orders.o_orderdate = o_orderdate_;
+  v.orders.o_orderpriority = o_orderpriority_;
+  v.lineitem.num_rows = lineitem_rows_;
+  v.lineitem.l_orderkey = l_orderkey_;
+  v.lineitem.l_partkey = l_partkey_;
+  v.lineitem.l_quantity = l_quantity_;
+  v.lineitem.l_extendedprice = l_extendedprice_;
+  v.lineitem.l_discount = l_discount_;
+  v.lineitem.l_shipdate = l_shipdate_;
+  v.lineitem.l_commitdate = l_commitdate_;
+  v.lineitem.l_receiptdate = l_receiptdate_;
+  v.lineitem.l_shipmode = l_shipmode_;
+  v.lineitem.l_shipinstruct = l_shipinstruct_;
+  v.lineitem.l_returnflag = l_returnflag_;
+  v.lineitem.l_linestatus = l_linestatus_;
+  v.part.num_rows = part_rows_;
+  v.part.p_partkey = p_partkey_;
+  v.part.p_size = p_size_;
+  v.part.p_brand = p_brand_;
+  v.part.p_container = p_container_;
+  return v;
+}
+
+}  // namespace sgxb::tpch

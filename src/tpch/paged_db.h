@@ -1,0 +1,64 @@
+// TPC-H database registered with the out-of-EPC buffer manager.
+//
+// Build() pushes every column of a generated TpchDb into a
+// storage::BufferManager — each column is partitioned, compressed, and
+// encrypted into untrusted spill images at registration — and View()
+// produces the TpchDbView the (templated) query bodies run over. The
+// source TpchDb can be dropped after Build(): queries touch only the
+// manager's partitions from then on, so the trusted working set is the
+// manager's pool, not the dataset (the headline bench_ext_oepc setup —
+// SF 10 data through an enclave pool sized for SF 1).
+
+#ifndef SGXB_TPCH_PAGED_DB_H_
+#define SGXB_TPCH_PAGED_DB_H_
+
+#include "storage/buffer_manager.h"
+#include "tpch/db_view.h"
+
+namespace sgxb::tpch {
+
+class PagedTpchDb {
+ public:
+  /// \brief Registers all columns of `db` with `bm` (which must outlive
+  /// the returned object). Spill images are built eagerly; nothing is
+  /// resident until the first pin.
+  static Result<PagedTpchDb> Build(const TpchDb& db,
+                                   storage::BufferManager* bm);
+
+  /// \brief View over the paged columns; pass to the query entry points.
+  TpchDbView View() const;
+
+ private:
+  double scale_factor_ = 0;
+  size_t customer_rows_ = 0;
+  size_t orders_rows_ = 0;
+  size_t lineitem_rows_ = 0;
+  size_t part_rows_ = 0;
+
+  storage::PagedColumn<uint32_t>* c_custkey_ = nullptr;
+  storage::PagedColumn<uint8_t>* c_mktsegment_ = nullptr;
+  storage::PagedColumn<uint32_t>* o_orderkey_ = nullptr;
+  storage::PagedColumn<uint32_t>* o_custkey_ = nullptr;
+  storage::PagedColumn<uint32_t>* o_orderdate_ = nullptr;
+  storage::PagedColumn<uint8_t>* o_orderpriority_ = nullptr;
+  storage::PagedColumn<uint32_t>* l_orderkey_ = nullptr;
+  storage::PagedColumn<uint32_t>* l_partkey_ = nullptr;
+  storage::PagedColumn<uint32_t>* l_quantity_ = nullptr;
+  storage::PagedColumn<uint32_t>* l_extendedprice_ = nullptr;
+  storage::PagedColumn<uint32_t>* l_discount_ = nullptr;
+  storage::PagedColumn<uint32_t>* l_shipdate_ = nullptr;
+  storage::PagedColumn<uint32_t>* l_commitdate_ = nullptr;
+  storage::PagedColumn<uint32_t>* l_receiptdate_ = nullptr;
+  storage::PagedColumn<uint8_t>* l_shipmode_ = nullptr;
+  storage::PagedColumn<uint8_t>* l_shipinstruct_ = nullptr;
+  storage::PagedColumn<uint8_t>* l_returnflag_ = nullptr;
+  storage::PagedColumn<uint8_t>* l_linestatus_ = nullptr;
+  storage::PagedColumn<uint32_t>* p_partkey_ = nullptr;
+  storage::PagedColumn<uint32_t>* p_size_ = nullptr;
+  storage::PagedColumn<uint8_t>* p_brand_ = nullptr;
+  storage::PagedColumn<uint8_t>* p_container_ = nullptr;
+};
+
+}  // namespace sgxb::tpch
+
+#endif  // SGXB_TPCH_PAGED_DB_H_

@@ -10,6 +10,7 @@
 #include "join/hash_table.h"
 #include "join/join_common.h"
 #include "scan/scan_kernels.h"
+#include "storage/column_view.h"
 #include "tpch/query_constants.h"
 
 namespace sgxb::tpch {
@@ -17,6 +18,8 @@ namespace sgxb::tpch {
 namespace {
 
 using join::BucketChainTable;
+using storage::ColumnReader;
+using storage::ColumnView;
 
 // Probe scheduling resolves exactly like the joins' (env default /
 // flavor-derived), so a fused plan honors the same knobs as the RHO probe
@@ -60,16 +63,40 @@ struct FusedTable {
 };
 
 // --- Morsel stages -------------------------------------------------------
+//
+// Every stage works on a ColumnView: resident views run one kernel call
+// over the whole morsel (the historical code path), paged views pin one
+// partition run at a time via storage::ForEachRun, which prefetches the
+// next partition so its decrypt hides behind the current run.
 
-// sigma(lo <= data <= hi) over [r.begin, r.end), branchless like
+// sigma(lo <= col <= hi) over [r.begin, r.end), branchless like
 // FilterU32Range; writes absolute row ids.
-size_t FilterU32Morsel(const uint32_t* data, Range r, uint32_t lo,
-                       uint32_t hi, uint64_t* out) {
+Result<size_t> FilterU32Morsel(const ColumnView<uint32_t>& col, Range r,
+                               uint32_t lo, uint32_t hi, uint64_t* out) {
   size_t k = 0;
-  for (size_t i = r.begin; i < r.end; ++i) {
-    out[k] = i;
-    k += (data[i] >= lo && data[i] <= hi) ? 1 : 0;
-  }
+  SGXB_RETURN_NOT_OK(storage::ForEachRun(
+      col, r.begin, r.end,
+      [&](const uint32_t* run, size_t base, size_t n) {
+        for (size_t j = 0; j < n; ++j) {
+          out[k] = base + j;
+          k += (run[j] >= lo && run[j] <= hi) ? 1 : 0;
+        }
+      }));
+  return k;
+}
+
+// SIMD u8 range scan over a morsel. The row-id kernel takes an absolute
+// base per run, so it applies to pinned partition runs natively; callers
+// hoist the kernel pick out of the morsel loop.
+Result<size_t> ScanU8Morsel(const ColumnView<uint8_t>& col, Range r,
+                            uint8_t lo, uint8_t hi, uint64_t* out,
+                            scan::RowIdKernel kernel) {
+  size_t k = 0;
+  SGXB_RETURN_NOT_OK(storage::ForEachRun(
+      col, r.begin, r.end,
+      [&](const uint8_t* run, size_t base, size_t n) {
+        k += kernel(run, n, lo, hi, base, out + k);
+      }));
   return k;
 }
 
@@ -85,9 +112,11 @@ size_t RefineMorsel(const uint64_t* in, size_t n, uint64_t* out,
   return k;
 }
 
-// Gathers {keys[id], id} into the lane's staging buffer for probing.
-void StageTuples(const uint32_t* keys, const uint64_t* ids, size_t n,
-                 Tuple* out) {
+// Gathers {keys[id], id} into the lane's staging buffer for probing. The
+// ids are ascending within the morsel, so a paged reader stays on its
+// cached pin; a pin failure latches keys.status() (checked by the body).
+void StageTuples(ColumnReader<uint32_t>& keys, const uint64_t* ids,
+                 size_t n, Tuple* out) {
   for (size_t i = 0; i < n; ++i) {
     out[i].key = keys[ids[i]];
     out[i].payload = static_cast<uint32_t>(ids[i]);
@@ -163,18 +192,18 @@ struct alignas(kCacheLineSize) LaneSlot {
   T value{};
 };
 
-}  // namespace
-
 // --- Q3: customer |x| orders |x| lineitem --------------------------------
 
-Result<QueryResult> RunQ3Fused(const TpchDb& db,
-                               const QueryConfig& config) {
+template <typename Db>
+Result<QueryResult> Q3FusedImpl(const Db& db, const QueryConfig& config) {
   OpRecorder rec;
   WallTimer timer;
   const exec::ProbeMode mode = ResolveProbeMode(config);
   const int width = ResolveProbeWidth(config, mode);
   const bool batched = mode != exec::ProbeMode::kTupleAtATime;
   const int threads = config.num_threads;
+  const scan::RowIdKernel kernel =
+      scan::PickRowIdKernel(SimdLevel::kAvx512);
 
   // Pipeline 1: filter customer on mktsegment, build table keyed by
   // c_custkey (breaker sink — the only global write of the pipeline).
@@ -182,28 +211,27 @@ Result<QueryResult> RunQ3Fused(const TpchDb& db,
   SGXB_RETURN_NOT_OK(cust.Init(db.customer.num_rows, config));
   std::atomic<uint64_t> cust_sel{0};
   {
-    const uint8_t* seg = db.customer.c_mktsegment.data();
-    const uint32_t* custkey = db.customer.c_custkey.data();
+    const ColumnView<uint8_t> seg = db.customer.c_mktsegment;
+    const ColumnView<uint32_t> custkey = db.customer.c_custkey;
     auto ns = RunPipe(
         "q3.build_customer", db.customer.num_rows, config,
         [&](Range r, exec::PipelineLane& lane) -> Status {
           uint64_t* sel = lane.sel_out();
-          const uint64_t n =
-              scan::ScanRowIdRange(seg, r.begin, r.size(), kSegBuilding,
-                                   kSegBuilding, sel, SimdLevel::kAvx512);
-          for (uint64_t i = 0; i < n; ++i) {
+          auto n = ScanU8Morsel(seg, r, kSegBuilding, kSegBuilding, sel,
+                                kernel);
+          if (!n.ok()) return n.status();
+          ColumnReader<uint32_t> key(custkey);
+          for (size_t i = 0; i < n.value(); ++i) {
             const uint64_t id = sel[i];
-            cust.table.Insert(
-                Tuple{custkey[id], static_cast<uint32_t>(id)});
+            cust.table.Insert(Tuple{key[id], static_cast<uint32_t>(id)});
           }
-          cust_sel.fetch_add(n, std::memory_order_relaxed);
-          return Status::OK();
+          cust_sel.fetch_add(n.value(), std::memory_order_relaxed);
+          return key.status();
         });
     if (!ns.ok()) return ns.status();
     rec.Record("q3.build_customer", ns.value(),
-               PipeProfile(db.customer.c_mktsegment.size_bytes(),
-                           db.customer.num_rows, 0, 0, batched,
-                           cust_sel.load(), cust.buf.size()),
+               PipeProfile(seg.size_bytes(), db.customer.num_rows, 0, 0,
+                           batched, cust_sel.load(), cust.buf.size()),
                threads);
   }
   ChargeBytesMaterialized(cust_sel.load() * sizeof(Tuple));
@@ -215,29 +243,33 @@ Result<QueryResult> RunQ3Fused(const TpchDb& db,
   std::atomic<uint64_t> ord_sel{0};
   std::atomic<uint64_t> ord_matched{0};
   {
-    const uint32_t* odate = db.orders.o_orderdate.data();
-    const uint32_t* ocust = db.orders.o_custkey.data();
-    const uint32_t* okey = db.orders.o_orderkey.data();
+    const ColumnView<uint32_t> odate = db.orders.o_orderdate;
+    const ColumnView<uint32_t> ocust = db.orders.o_custkey;
+    const ColumnView<uint32_t> okey = db.orders.o_orderkey;
     auto ns = RunPipe(
         "q3.build_orders", db.orders.num_rows, config,
         [&](Range r, exec::PipelineLane& lane) -> Status {
           uint64_t* sel = lane.sel_out();
-          const size_t n =
-              FilterU32Morsel(odate, r, 0, kDate19950315 - 1, sel);
-          StageTuples(ocust, sel, n, lane.stage());
+          auto n = FilterU32Morsel(odate, r, 0, kDate19950315 - 1, sel);
+          if (!n.ok()) return n.status();
+          ColumnReader<uint32_t> ocust_r(ocust);
+          StageTuples(ocust_r, sel, n.value(), lane.stage());
+          ColumnReader<uint32_t> okey_r(okey);
           uint64_t matched = 0;
           auto on_match = [&](const Tuple&, const Tuple& probe) {
-            ord.table.Insert(Tuple{okey[probe.payload], probe.payload});
+            ord.table.Insert(Tuple{okey_r[probe.payload], probe.payload});
             ++matched;
           };
-          ProbeStaged(cust.table, lane.stage(), n, mode, width, on_match);
-          ord_sel.fetch_add(n, std::memory_order_relaxed);
+          ProbeStaged(cust.table, lane.stage(), n.value(), mode, width,
+                      on_match);
+          ord_sel.fetch_add(n.value(), std::memory_order_relaxed);
           ord_matched.fetch_add(matched, std::memory_order_relaxed);
-          return Status::OK();
+          SGXB_RETURN_NOT_OK(ocust_r.status());
+          return okey_r.status();
         });
     if (!ns.ok()) return ns.status();
     rec.Record("q3.build_orders", ns.value(),
-               PipeProfile(db.orders.o_orderdate.size_bytes() +
+               PipeProfile(odate.size_bytes() +
                                ord_sel.load() * 2 * sizeof(uint32_t),
                            db.orders.num_rows, ord_sel.load(),
                            cust.buf.size(), batched, ord_matched.load(),
@@ -250,25 +282,28 @@ Result<QueryResult> RunQ3Fused(const TpchDb& db,
   std::atomic<uint64_t> line_sel{0};
   std::atomic<uint64_t> matches{0};
   {
-    const uint32_t* sdate = db.lineitem.l_shipdate.data();
-    const uint32_t* lokey = db.lineitem.l_orderkey.data();
+    const ColumnView<uint32_t> sdate = db.lineitem.l_shipdate;
+    const ColumnView<uint32_t> lokey = db.lineitem.l_orderkey;
     auto ns = RunPipe(
         "q3.probe_lineitem", db.lineitem.num_rows, config,
         [&](Range r, exec::PipelineLane& lane) -> Status {
           uint64_t* sel = lane.sel_out();
-          const size_t n = FilterU32Morsel(sdate, r, kDate19950315 + 1,
-                                           0xffffffffu, sel);
-          StageTuples(lokey, sel, n, lane.stage());
+          auto n = FilterU32Morsel(sdate, r, kDate19950315 + 1,
+                                   0xffffffffu, sel);
+          if (!n.ok()) return n.status();
+          ColumnReader<uint32_t> lokey_r(lokey);
+          StageTuples(lokey_r, sel, n.value(), lane.stage());
           uint64_t local = 0;
           auto on_match = [&](const Tuple&, const Tuple&) { ++local; };
-          ProbeStaged(ord.table, lane.stage(), n, mode, width, on_match);
-          line_sel.fetch_add(n, std::memory_order_relaxed);
+          ProbeStaged(ord.table, lane.stage(), n.value(), mode, width,
+                      on_match);
+          line_sel.fetch_add(n.value(), std::memory_order_relaxed);
           matches.fetch_add(local, std::memory_order_relaxed);
-          return Status::OK();
+          return lokey_r.status();
         });
     if (!ns.ok()) return ns.status();
     rec.Record("q3.probe_lineitem", ns.value(),
-               PipeProfile(db.lineitem.l_shipdate.size_bytes() +
+               PipeProfile(sdate.size_bytes() +
                                line_sel.load() * sizeof(uint32_t),
                            db.lineitem.num_rows, line_sel.load(),
                            ord.buf.size(), batched, 0, 0),
@@ -284,34 +319,39 @@ Result<QueryResult> RunQ3Fused(const TpchDb& db,
 
 // --- Q10: customer |x| orders |x| lineitem -------------------------------
 
-Result<QueryResult> RunQ10Fused(const TpchDb& db,
-                                const QueryConfig& config) {
+template <typename Db>
+Result<QueryResult> Q10FusedImpl(const Db& db, const QueryConfig& config) {
   OpRecorder rec;
   WallTimer timer;
   const exec::ProbeMode mode = ResolveProbeMode(config);
   const int width = ResolveProbeWidth(config, mode);
   const bool batched = mode != exec::ProbeMode::kTupleAtATime;
   const int threads = config.num_threads;
+  const scan::RowIdKernel kernel =
+      scan::PickRowIdKernel(SimdLevel::kAvx512);
 
   // Pipeline 1: build the (unfiltered) customer table.
   FusedTable cust;
   SGXB_RETURN_NOT_OK(cust.Init(db.customer.num_rows, config));
   {
-    const uint32_t* custkey = db.customer.c_custkey.data();
+    const ColumnView<uint32_t> custkey = db.customer.c_custkey;
     auto ns = RunPipe(
         "q10.build_customer", db.customer.num_rows, config,
         [&](Range r, exec::PipelineLane&) -> Status {
-          for (size_t i = r.begin; i < r.end; ++i) {
-            cust.table.Insert(
-                Tuple{custkey[i], static_cast<uint32_t>(i)});
-          }
-          return Status::OK();
+          return storage::ForEachRun(
+              custkey, r.begin, r.end,
+              [&](const uint32_t* run, size_t base, size_t n) {
+                for (size_t j = 0; j < n; ++j) {
+                  cust.table.Insert(
+                      Tuple{run[j], static_cast<uint32_t>(base + j)});
+                }
+              });
         });
     if (!ns.ok()) return ns.status();
     rec.Record("q10.build_customer", ns.value(),
-               PipeProfile(db.customer.c_custkey.size_bytes(),
-                           db.customer.num_rows, 0, 0, batched,
-                           db.customer.num_rows, cust.buf.size()),
+               PipeProfile(custkey.size_bytes(), db.customer.num_rows, 0,
+                           0, batched, db.customer.num_rows,
+                           cust.buf.size()),
                threads);
   }
   ChargeBytesMaterialized(db.customer.num_rows * sizeof(Tuple));
@@ -323,29 +363,34 @@ Result<QueryResult> RunQ10Fused(const TpchDb& db,
   std::atomic<uint64_t> ord_sel{0};
   std::atomic<uint64_t> ord_matched{0};
   {
-    const uint32_t* odate = db.orders.o_orderdate.data();
-    const uint32_t* ocust = db.orders.o_custkey.data();
-    const uint32_t* okey = db.orders.o_orderkey.data();
+    const ColumnView<uint32_t> odate = db.orders.o_orderdate;
+    const ColumnView<uint32_t> ocust = db.orders.o_custkey;
+    const ColumnView<uint32_t> okey = db.orders.o_orderkey;
     auto ns = RunPipe(
         "q10.build_orders", db.orders.num_rows, config,
         [&](Range r, exec::PipelineLane& lane) -> Status {
           uint64_t* sel = lane.sel_out();
-          const size_t n = FilterU32Morsel(odate, r, kDate19931001,
-                                           kDate19940101 - 1, sel);
-          StageTuples(ocust, sel, n, lane.stage());
+          auto n = FilterU32Morsel(odate, r, kDate19931001,
+                                   kDate19940101 - 1, sel);
+          if (!n.ok()) return n.status();
+          ColumnReader<uint32_t> ocust_r(ocust);
+          StageTuples(ocust_r, sel, n.value(), lane.stage());
+          ColumnReader<uint32_t> okey_r(okey);
           uint64_t matched = 0;
           auto on_match = [&](const Tuple&, const Tuple& probe) {
-            ord.table.Insert(Tuple{okey[probe.payload], probe.payload});
+            ord.table.Insert(Tuple{okey_r[probe.payload], probe.payload});
             ++matched;
           };
-          ProbeStaged(cust.table, lane.stage(), n, mode, width, on_match);
-          ord_sel.fetch_add(n, std::memory_order_relaxed);
+          ProbeStaged(cust.table, lane.stage(), n.value(), mode, width,
+                      on_match);
+          ord_sel.fetch_add(n.value(), std::memory_order_relaxed);
           ord_matched.fetch_add(matched, std::memory_order_relaxed);
-          return Status::OK();
+          SGXB_RETURN_NOT_OK(ocust_r.status());
+          return okey_r.status();
         });
     if (!ns.ok()) return ns.status();
     rec.Record("q10.build_orders", ns.value(),
-               PipeProfile(db.orders.o_orderdate.size_bytes() +
+               PipeProfile(odate.size_bytes() +
                                ord_sel.load() * 2 * sizeof(uint32_t),
                            db.orders.num_rows, ord_sel.load(),
                            cust.buf.size(), batched, ord_matched.load(),
@@ -358,26 +403,27 @@ Result<QueryResult> RunQ10Fused(const TpchDb& db,
   std::atomic<uint64_t> line_sel{0};
   std::atomic<uint64_t> matches{0};
   {
-    const uint8_t* flag = db.lineitem.l_returnflag.data();
-    const uint32_t* lokey = db.lineitem.l_orderkey.data();
+    const ColumnView<uint8_t> flag = db.lineitem.l_returnflag;
+    const ColumnView<uint32_t> lokey = db.lineitem.l_orderkey;
     auto ns = RunPipe(
         "q10.probe_lineitem", db.lineitem.num_rows, config,
         [&](Range r, exec::PipelineLane& lane) -> Status {
           uint64_t* sel = lane.sel_out();
-          const uint64_t n =
-              scan::ScanRowIdRange(flag, r.begin, r.size(), kFlagR, kFlagR,
-                                   sel, SimdLevel::kAvx512);
-          StageTuples(lokey, sel, n, lane.stage());
+          auto n = ScanU8Morsel(flag, r, kFlagR, kFlagR, sel, kernel);
+          if (!n.ok()) return n.status();
+          ColumnReader<uint32_t> lokey_r(lokey);
+          StageTuples(lokey_r, sel, n.value(), lane.stage());
           uint64_t local = 0;
           auto on_match = [&](const Tuple&, const Tuple&) { ++local; };
-          ProbeStaged(ord.table, lane.stage(), n, mode, width, on_match);
-          line_sel.fetch_add(n, std::memory_order_relaxed);
+          ProbeStaged(ord.table, lane.stage(), n.value(), mode, width,
+                      on_match);
+          line_sel.fetch_add(n.value(), std::memory_order_relaxed);
           matches.fetch_add(local, std::memory_order_relaxed);
-          return Status::OK();
+          return lokey_r.status();
         });
     if (!ns.ok()) return ns.status();
     rec.Record("q10.probe_lineitem", ns.value(),
-               PipeProfile(db.lineitem.l_returnflag.size_bytes() +
+               PipeProfile(flag.size_bytes() +
                                line_sel.load() * sizeof(uint32_t),
                            db.lineitem.num_rows, line_sel.load(),
                            ord.buf.size(), batched, 0, 0),
@@ -393,77 +439,89 @@ Result<QueryResult> RunQ10Fused(const TpchDb& db,
 
 // --- Q12: orders |x| lineitem --------------------------------------------
 
-namespace {
-
 // Q12 and Q12Grouped share the order table and the lineitem selection
-// chain; `on_row` runs per surviving lineitem row id after the probe (for
-// plain Q12 it counts, for the grouped final it classifies by priority).
-template <typename PerMatch>
-Status RunQ12Chain(const TpchDb& db, const QueryConfig& config,
+// chain; `per_match` runs per surviving lineitem row id after the probe
+// (for plain Q12 it counts, for the grouped final it classifies by
+// priority).
+template <typename Db, typename PerMatch>
+Status RunQ12Chain(const Db& db, const QueryConfig& config,
                    const FusedTable& ord, exec::ProbeMode mode, int width,
                    std::atomic<uint64_t>* line_sel, PerMatch per_match) {
-  const uint32_t* rdate = db.lineitem.l_receiptdate.data();
-  const uint32_t* cdate = db.lineitem.l_commitdate.data();
-  const uint32_t* sdate = db.lineitem.l_shipdate.data();
-  const uint8_t* smode = db.lineitem.l_shipmode.data();
-  const uint32_t* lokey = db.lineitem.l_orderkey.data();
+  const ColumnView<uint32_t> rdate = db.lineitem.l_receiptdate;
+  const ColumnView<uint32_t> cdate = db.lineitem.l_commitdate;
+  const ColumnView<uint32_t> sdate = db.lineitem.l_shipdate;
+  const ColumnView<uint8_t> smode = db.lineitem.l_shipmode;
+  const ColumnView<uint32_t> lokey = db.lineitem.l_orderkey;
   auto ns = RunPipe(
       "q12.probe_lineitem", db.lineitem.num_rows, config,
       [&](Range r, exec::PipelineLane& lane) -> Status {
-        size_t n = FilterU32Morsel(rdate, r, kDate19940101,
-                                   kDate19950101 - 1, lane.sel_out());
+        auto filtered = FilterU32Morsel(rdate, r, kDate19940101,
+                                        kDate19950101 - 1, lane.sel_out());
+        if (!filtered.ok()) return filtered.status();
+        size_t n = filtered.value();
+        ColumnReader<uint8_t> smode_r(smode);
+        ColumnReader<uint32_t> rdate_r(rdate);
+        ColumnReader<uint32_t> cdate_r(cdate);
+        ColumnReader<uint32_t> sdate_r(sdate);
         lane.FlipSel();
         n = RefineMorsel(lane.sel_in(), n, lane.sel_out(),
                          [&](uint64_t id) {
-                           return ((kQ12ModeMask >> smode[id]) & 1u) != 0;
+                           return ((kQ12ModeMask >> smode_r[id]) & 1u) != 0;
                          });
         lane.FlipSel();
         n = RefineMorsel(
             lane.sel_in(), n, lane.sel_out(),
-            [&](uint64_t id) { return cdate[id] < rdate[id]; });
+            [&](uint64_t id) { return cdate_r[id] < rdate_r[id]; });
         lane.FlipSel();
         n = RefineMorsel(
             lane.sel_in(), n, lane.sel_out(),
-            [&](uint64_t id) { return sdate[id] < cdate[id]; });
-        StageTuples(lokey, lane.sel_out(), n, lane.stage());
+            [&](uint64_t id) { return sdate_r[id] < cdate_r[id]; });
+        ColumnReader<uint32_t> lokey_r(lokey);
+        StageTuples(lokey_r, lane.sel_out(), n, lane.stage());
         auto on_match = [&](const Tuple&, const Tuple& probe) {
           per_match(lane, probe.payload);
         };
         ProbeStaged(ord.table, lane.stage(), n, mode, width, on_match);
         line_sel->fetch_add(n, std::memory_order_relaxed);
-        return Status::OK();
+        SGXB_RETURN_NOT_OK(smode_r.status());
+        SGXB_RETURN_NOT_OK(rdate_r.status());
+        SGXB_RETURN_NOT_OK(cdate_r.status());
+        SGXB_RETURN_NOT_OK(sdate_r.status());
+        return lokey_r.status();
       });
   return ns.ok() ? Status::OK() : ns.status();
 }
 
 // Builds the all-orders table (Q12's build side) and records its phase.
-Status BuildOrderTable(const TpchDb& db, const QueryConfig& config,
+template <typename Db>
+Status BuildOrderTable(const Db& db, const QueryConfig& config,
                        FusedTable* ord, OpRecorder* rec,
                        const std::string& name) {
   SGXB_RETURN_NOT_OK(ord->Init(db.orders.num_rows, config));
-  const uint32_t* okey = db.orders.o_orderkey.data();
-  auto ns = RunPipe(name.c_str(), db.orders.num_rows, config,
-                    [&](Range r, exec::PipelineLane&) -> Status {
-                      for (size_t i = r.begin; i < r.end; ++i) {
-                        ord->table.Insert(
-                            Tuple{okey[i], static_cast<uint32_t>(i)});
-                      }
-                      return Status::OK();
-                    });
+  const ColumnView<uint32_t> okey = db.orders.o_orderkey;
+  auto ns = RunPipe(
+      name.c_str(), db.orders.num_rows, config,
+      [&](Range r, exec::PipelineLane&) -> Status {
+        return storage::ForEachRun(
+            okey, r.begin, r.end,
+            [&](const uint32_t* run, size_t base, size_t n) {
+              for (size_t j = 0; j < n; ++j) {
+                ord->table.Insert(
+                    Tuple{run[j], static_cast<uint32_t>(base + j)});
+              }
+            });
+      });
   if (!ns.ok()) return ns.status();
   rec->Record(name, ns.value(),
-              PipeProfile(db.orders.o_orderkey.size_bytes(),
-                          db.orders.num_rows, 0, 0, false,
-                          db.orders.num_rows, ord->buf.size()),
+              PipeProfile(okey.size_bytes(), db.orders.num_rows, 0, 0,
+                          false, db.orders.num_rows, ord->buf.size()),
               config.num_threads);
   ChargeBytesMaterialized(db.orders.num_rows * sizeof(Tuple));
   return Status::OK();
 }
 
-}  // namespace
-
-Result<QueryResult> RunQ12Fused(const TpchDb& db,
-                                const QueryConfig& config) {
+template <typename Db>
+Result<QueryResult> Q12FusedImpl(const Db& db, const QueryConfig& config) {
   OpRecorder rec;
   WallTimer timer;
   const exec::ProbeMode mode = ResolveProbeMode(config);
@@ -486,7 +544,8 @@ Result<QueryResult> RunQ12Fused(const TpchDb& db,
       }));
   rec.Record("q12.probe_lineitem",
              static_cast<double>(probe_timer.ElapsedNanos()),
-             PipeProfile(db.lineitem.l_receiptdate.size_bytes() +
+             PipeProfile(ColumnView<uint32_t>(db.lineitem.l_receiptdate)
+                                 .size_bytes() +
                              line_sel.load() * sizeof(uint32_t),
                          db.lineitem.num_rows, line_sel.load(),
                          ord.buf.size(), batched, 0, 0),
@@ -499,8 +558,9 @@ Result<QueryResult> RunQ12Fused(const TpchDb& db,
   return result;
 }
 
-Result<QueryResult> RunQ12GroupedFused(const TpchDb& db,
-                                       const QueryConfig& config) {
+template <typename Db>
+Result<QueryResult> Q12GroupedFusedImpl(const Db& db,
+                                        const QueryConfig& config) {
   OpRecorder rec;
   WallTimer timer;
   const int threads = config.num_threads;
@@ -509,12 +569,12 @@ Result<QueryResult> RunQ12GroupedFused(const TpchDb& db,
   // l_orderkey foreign key directly, like GroupCountU8ViaFk. The fused
   // form runs the whole selection chain and the grouped count in one
   // pass; no order table is built at all.
-  const uint32_t* rdate = db.lineitem.l_receiptdate.data();
-  const uint32_t* cdate = db.lineitem.l_commitdate.data();
-  const uint32_t* sdate = db.lineitem.l_shipdate.data();
-  const uint8_t* smode = db.lineitem.l_shipmode.data();
-  const uint32_t* lokey = db.lineitem.l_orderkey.data();
-  const uint8_t* prio = db.orders.o_orderpriority.data();
+  const ColumnView<uint32_t> rdate = db.lineitem.l_receiptdate;
+  const ColumnView<uint32_t> cdate = db.lineitem.l_commitdate;
+  const ColumnView<uint32_t> sdate = db.lineitem.l_shipdate;
+  const ColumnView<uint8_t> smode = db.lineitem.l_shipmode;
+  const ColumnView<uint32_t> lokey = db.lineitem.l_orderkey;
+  const ColumnView<uint8_t> prio = db.orders.o_orderpriority;
 
   struct PrioCounts {
     uint64_t counts[kNumOrderPriorities] = {};
@@ -527,34 +587,47 @@ Result<QueryResult> RunQ12GroupedFused(const TpchDb& db,
   auto ns = RunPipe(
       "q12g.group_lineitem", db.lineitem.num_rows, config,
       [&](Range r, exec::PipelineLane& lane) -> Status {
-        size_t n = FilterU32Morsel(rdate, r, kDate19940101,
-                                   kDate19950101 - 1, lane.sel_out());
+        auto filtered = FilterU32Morsel(rdate, r, kDate19940101,
+                                        kDate19950101 - 1, lane.sel_out());
+        if (!filtered.ok()) return filtered.status();
+        size_t n = filtered.value();
+        ColumnReader<uint8_t> smode_r(smode);
+        ColumnReader<uint32_t> rdate_r(rdate);
+        ColumnReader<uint32_t> cdate_r(cdate);
+        ColumnReader<uint32_t> sdate_r(sdate);
         lane.FlipSel();
         n = RefineMorsel(lane.sel_in(), n, lane.sel_out(),
                          [&](uint64_t id) {
-                           return ((kQ12ModeMask >> smode[id]) & 1u) != 0;
+                           return ((kQ12ModeMask >> smode_r[id]) & 1u) != 0;
                          });
         lane.FlipSel();
         n = RefineMorsel(
             lane.sel_in(), n, lane.sel_out(),
-            [&](uint64_t id) { return cdate[id] < rdate[id]; });
+            [&](uint64_t id) { return cdate_r[id] < rdate_r[id]; });
         lane.FlipSel();
         n = RefineMorsel(
             lane.sel_in(), n, lane.sel_out(),
-            [&](uint64_t id) { return sdate[id] < cdate[id]; });
+            [&](uint64_t id) { return sdate_r[id] < cdate_r[id]; });
+        ColumnReader<uint32_t> lokey_r(lokey);
+        ColumnReader<uint8_t> prio_r(prio);
         uint64_t* counts =
             lane_counts[static_cast<size_t>(lane.lane_id())].value.counts;
         const uint64_t* sel = lane.sel_out();
         for (size_t i = 0; i < n; ++i) {
-          const uint8_t g = prio[lokey[sel[i]]];
+          const uint8_t g = prio_r[lokey_r[sel[i]]];
           if (g >= kNumOrderPriorities) {
             out_of_range.store(true, std::memory_order_relaxed);
-            return Status::OK();
+            break;
           }
           ++counts[g];
         }
         line_sel.fetch_add(n, std::memory_order_relaxed);
-        return Status::OK();
+        SGXB_RETURN_NOT_OK(smode_r.status());
+        SGXB_RETURN_NOT_OK(rdate_r.status());
+        SGXB_RETURN_NOT_OK(cdate_r.status());
+        SGXB_RETURN_NOT_OK(sdate_r.status());
+        SGXB_RETURN_NOT_OK(lokey_r.status());
+        return prio_r.status();
       });
   if (!ns.ok()) return ns.status();
   if (out_of_range.load()) {
@@ -562,10 +635,9 @@ Result<QueryResult> RunQ12GroupedFused(const TpchDb& db,
         "group code out of range in q12g.group_lineitem");
   }
   perf::AccessProfile p = PipeProfile(
-      db.lineitem.l_receiptdate.size_bytes() +
-          line_sel.load() * sizeof(uint32_t),
-      db.lineitem.num_rows, line_sel.load(),
-      db.orders.o_orderpriority.size_bytes(), /*batched=*/false, 0, 0);
+      rdate.size_bytes() + line_sel.load() * sizeof(uint32_t),
+      db.lineitem.num_rows, line_sel.load(), prio.size_bytes(),
+      /*batched=*/false, 0, 0);
   rec.Record("q12g.group_lineitem", ns.value(), p, threads);
 
   uint64_t totals[kNumOrderPriorities] = {};
@@ -589,23 +661,25 @@ Result<QueryResult> RunQ12GroupedFused(const TpchDb& db,
 
 // --- Q19: part |x| lineitem, three brand-disjoint branches --------------
 
-Result<QueryResult> RunQ19Fused(const TpchDb& db,
-                                const QueryConfig& config) {
+template <typename Db>
+Result<QueryResult> Q19FusedImpl(const Db& db, const QueryConfig& config) {
   OpRecorder rec;
   WallTimer timer;
   const exec::ProbeMode mode = ResolveProbeMode(config);
   const int width = ResolveProbeWidth(config, mode);
   const bool batched = mode != exec::ProbeMode::kTupleAtATime;
   const int threads = config.num_threads;
+  const scan::RowIdKernel kernel =
+      scan::PickRowIdKernel(SimdLevel::kAvx512);
 
-  const uint8_t* brand = db.part.p_brand.data();
-  const uint8_t* container = db.part.p_container.data();
-  const uint32_t* psize = db.part.p_size.data();
-  const uint32_t* partkey = db.part.p_partkey.data();
-  const uint32_t* qty = db.lineitem.l_quantity.data();
-  const uint8_t* smode = db.lineitem.l_shipmode.data();
-  const uint8_t* sinstr = db.lineitem.l_shipinstruct.data();
-  const uint32_t* lpart = db.lineitem.l_partkey.data();
+  const ColumnView<uint8_t> brand = db.part.p_brand;
+  const ColumnView<uint8_t> container = db.part.p_container;
+  const ColumnView<uint32_t> psize = db.part.p_size;
+  const ColumnView<uint32_t> partkey = db.part.p_partkey;
+  const ColumnView<uint32_t> qty = db.lineitem.l_quantity;
+  const ColumnView<uint8_t> smode = db.lineitem.l_shipmode;
+  const ColumnView<uint8_t> sinstr = db.lineitem.l_shipinstruct;
+  const ColumnView<uint32_t> lpart = db.lineitem.l_partkey;
 
   QueryResult result;
   int branch_no = 0;
@@ -620,34 +694,38 @@ Result<QueryResult> RunQ19Fused(const TpchDb& db,
       auto ns = RunPipe(
           "q19.build_part", db.part.num_rows, config,
           [&](Range r, exec::PipelineLane& lane) -> Status {
-            size_t n = scan::ScanRowIdRange(brand, r.begin, r.size(),
-                                            br.brand, br.brand,
-                                            lane.sel_out(),
-                                            SimdLevel::kAvx512);
+            auto scanned = ScanU8Morsel(brand, r, br.brand, br.brand,
+                                        lane.sel_out(), kernel);
+            if (!scanned.ok()) return scanned.status();
+            size_t n = scanned.value();
+            ColumnReader<uint8_t> container_r(container);
+            ColumnReader<uint32_t> psize_r(psize);
             lane.FlipSel();
             n = RefineMorsel(
                 lane.sel_in(), n, lane.sel_out(), [&](uint64_t id) {
-                  return ((br.container_mask >> container[id]) & 1u) != 0;
+                  return ((br.container_mask >> container_r[id]) & 1u) != 0;
                 });
             lane.FlipSel();
             n = RefineMorsel(lane.sel_in(), n, lane.sel_out(),
                              [&](uint64_t id) {
-                               return psize[id] >= 1 &&
-                                      psize[id] <= br.size_hi;
+                               return psize_r[id] >= 1 &&
+                                      psize_r[id] <= br.size_hi;
                              });
+            ColumnReader<uint32_t> partkey_r(partkey);
             const uint64_t* sel = lane.sel_out();
             for (size_t i = 0; i < n; ++i) {
-              part.table.Insert(Tuple{partkey[sel[i]],
+              part.table.Insert(Tuple{partkey_r[sel[i]],
                                       static_cast<uint32_t>(sel[i])});
             }
             part_sel.fetch_add(n, std::memory_order_relaxed);
-            return Status::OK();
+            SGXB_RETURN_NOT_OK(container_r.status());
+            SGXB_RETURN_NOT_OK(psize_r.status());
+            return partkey_r.status();
           });
       if (!ns.ok()) return ns.status();
       rec.Record("q19.build_part" + suffix, ns.value(),
-                 PipeProfile(db.part.p_brand.size_bytes() +
-                                 db.part.p_container.size_bytes() +
-                                 db.part.p_size.size_bytes(),
+                 PipeProfile(brand.size_bytes() + container.size_bytes() +
+                                 psize.size_bytes(),
                              db.part.num_rows, 0, 0, batched,
                              part_sel.load(), part.buf.size()),
                  threads);
@@ -661,35 +739,41 @@ Result<QueryResult> RunQ19Fused(const TpchDb& db,
       auto ns = RunPipe(
           "q19.probe_lineitem", db.lineitem.num_rows, config,
           [&](Range r, exec::PipelineLane& lane) -> Status {
-            size_t n = FilterU32Morsel(qty, r, br.qty_lo, br.qty_hi,
-                                       lane.sel_out());
+            auto filtered = FilterU32Morsel(qty, r, br.qty_lo, br.qty_hi,
+                                            lane.sel_out());
+            if (!filtered.ok()) return filtered.status();
+            size_t n = filtered.value();
+            ColumnReader<uint8_t> smode_r(smode);
+            ColumnReader<uint8_t> sinstr_r(sinstr);
             lane.FlipSel();
             n = RefineMorsel(lane.sel_in(), n, lane.sel_out(),
                              [&](uint64_t id) {
-                               return ((kQ19ModeMask >> smode[id]) & 1u) !=
-                                      0;
+                               return ((kQ19ModeMask >> smode_r[id]) &
+                                       1u) != 0;
                              });
             lane.FlipSel();
             n = RefineMorsel(lane.sel_in(), n, lane.sel_out(),
                              [&](uint64_t id) {
                                return ((Bit(kInstrDeliverInPerson) >>
-                                        sinstr[id]) &
+                                        sinstr_r[id]) &
                                        1u) != 0;
                              });
-            StageTuples(lpart, lane.sel_out(), n, lane.stage());
+            ColumnReader<uint32_t> lpart_r(lpart);
+            StageTuples(lpart_r, lane.sel_out(), n, lane.stage());
             uint64_t local = 0;
             auto on_match = [&](const Tuple&, const Tuple&) { ++local; };
             ProbeStaged(part.table, lane.stage(), n, mode, width,
                         on_match);
             line_sel.fetch_add(n, std::memory_order_relaxed);
             matches.fetch_add(local, std::memory_order_relaxed);
-            return Status::OK();
+            SGXB_RETURN_NOT_OK(smode_r.status());
+            SGXB_RETURN_NOT_OK(sinstr_r.status());
+            return lpart_r.status();
           });
       if (!ns.ok()) return ns.status();
       rec.Record("q19.probe_lineitem" + suffix, ns.value(),
-                 PipeProfile(db.lineitem.l_quantity.size_bytes() +
-                                 line_sel.load() *
-                                     (2 + sizeof(uint32_t)),
+                 PipeProfile(qty.size_bytes() +
+                                 line_sel.load() * (2 + sizeof(uint32_t)),
                              db.lineitem.num_rows, line_sel.load(),
                              part.buf.size(), batched, 0, 0),
                  threads);
@@ -704,16 +788,16 @@ Result<QueryResult> RunQ19Fused(const TpchDb& db,
 
 // --- Q1: pure scan + GROUP BY (returnflag, linestatus) -------------------
 
-Result<QueryResult> RunQ1Fused(const TpchDb& db,
-                               const QueryConfig& config) {
+template <typename Db>
+Result<QueryResult> Q1FusedImpl(const Db& db, const QueryConfig& config) {
   OpRecorder rec;
   WallTimer timer;
   const int threads = config.num_threads;
 
-  const uint32_t* sdate = db.lineitem.l_shipdate.data();
-  const uint32_t* qty = db.lineitem.l_quantity.data();
-  const uint8_t* flag = db.lineitem.l_returnflag.data();
-  const uint8_t* status = db.lineitem.l_linestatus.data();
+  const ColumnView<uint32_t> sdate = db.lineitem.l_shipdate;
+  const ColumnView<uint32_t> qty = db.lineitem.l_quantity;
+  const ColumnView<uint8_t> flag = db.lineitem.l_returnflag;
+  const ColumnView<uint8_t> status = db.lineitem.l_linestatus;
   constexpr int kGroups = kNumReturnFlags * kNumLineStatuses;
 
   struct Q1Aggs {
@@ -727,30 +811,38 @@ Result<QueryResult> RunQ1Fused(const TpchDb& db,
       "q1.group_lineitem", db.lineitem.num_rows, config,
       [&](Range r, exec::PipelineLane& lane) -> Status {
         uint64_t* sel = lane.sel_out();
-        const size_t n = FilterU32Morsel(sdate, r, 0, kQ1Cutoff, sel);
+        auto filtered = FilterU32Morsel(sdate, r, 0, kQ1Cutoff, sel);
+        if (!filtered.ok()) return filtered.status();
+        const size_t n = filtered.value();
+        ColumnReader<uint8_t> flag_r(flag);
+        ColumnReader<uint8_t> status_r(status);
+        ColumnReader<uint32_t> qty_r(qty);
         GroupAgg* groups =
             lane_aggs[static_cast<size_t>(lane.lane_id())].value.groups;
         for (size_t i = 0; i < n; ++i) {
           const uint64_t id = sel[i];
-          if (flag[id] >= kNumReturnFlags ||
-              status[id] >= kNumLineStatuses) {
+          const uint8_t f = flag_r[id];
+          const uint8_t s = status_r[id];
+          if (f >= kNumReturnFlags || s >= kNumLineStatuses) {
             out_of_range.store(true, std::memory_order_relaxed);
-            return Status::OK();
+            break;
           }
-          GroupAgg& g = groups[flag[id] * kNumLineStatuses + status[id]];
+          GroupAgg& g = groups[f * kNumLineStatuses + s];
           ++g.count;
-          g.sum += qty[id];
+          g.sum += qty_r[id];
         }
         selected.fetch_add(n, std::memory_order_relaxed);
-        return Status::OK();
+        SGXB_RETURN_NOT_OK(flag_r.status());
+        SGXB_RETURN_NOT_OK(status_r.status());
+        return qty_r.status();
       });
   if (!ns.ok()) return ns.status();
   if (out_of_range.load()) {
     return Status::Internal("group code out of range in q1.group_lineitem");
   }
   perf::AccessProfile p;
-  p.seq_read_bytes = db.lineitem.l_shipdate.size_bytes() +
-                     selected.load() * (sizeof(uint32_t) + 2);
+  p.seq_read_bytes =
+      sdate.size_bytes() + selected.load() * (sizeof(uint32_t) + 2);
   p.loop_iterations = db.lineitem.num_rows;
   p.rand_writes = selected.load();
   p.rand_write_working_set = kGroups * sizeof(GroupAgg);
@@ -771,16 +863,16 @@ Result<QueryResult> RunQ1Fused(const TpchDb& db,
 
 // --- Q6: pure scan + sum(extendedprice * discount) -----------------------
 
-Result<QueryResult> RunQ6Fused(const TpchDb& db,
-                               const QueryConfig& config) {
+template <typename Db>
+Result<QueryResult> Q6FusedImpl(const Db& db, const QueryConfig& config) {
   OpRecorder rec;
   WallTimer timer;
   const int threads = config.num_threads;
 
-  const uint32_t* sdate = db.lineitem.l_shipdate.data();
-  const uint32_t* disc = db.lineitem.l_discount.data();
-  const uint32_t* qty = db.lineitem.l_quantity.data();
-  const uint32_t* price = db.lineitem.l_extendedprice.data();
+  const ColumnView<uint32_t> sdate = db.lineitem.l_shipdate;
+  const ColumnView<uint32_t> disc = db.lineitem.l_discount;
+  const ColumnView<uint32_t> qty = db.lineitem.l_quantity;
+  const ColumnView<uint32_t> price = db.lineitem.l_extendedprice;
 
   struct Q6Agg {
     uint64_t revenue = 0;
@@ -791,26 +883,35 @@ Result<QueryResult> RunQ6Fused(const TpchDb& db,
   auto ns = RunPipe(
       "q6.sum_lineitem", db.lineitem.num_rows, config,
       [&](Range r, exec::PipelineLane& lane) -> Status {
-        size_t n = FilterU32Morsel(sdate, r, kDate19940101,
-                                   kDate19950101 - 1, lane.sel_out());
+        auto filtered = FilterU32Morsel(sdate, r, kDate19940101,
+                                        kDate19950101 - 1, lane.sel_out());
+        if (!filtered.ok()) return filtered.status();
+        size_t n = filtered.value();
+        ColumnReader<uint32_t> disc_r(disc);
+        ColumnReader<uint32_t> qty_r(qty);
         lane.FlipSel();
-        n = RefineMorsel(
-            lane.sel_in(), n, lane.sel_out(),
-            [&](uint64_t id) { return disc[id] >= 5 && disc[id] <= 7; });
+        n = RefineMorsel(lane.sel_in(), n, lane.sel_out(),
+                         [&](uint64_t id) {
+                           return disc_r[id] >= 5 && disc_r[id] <= 7;
+                         });
         lane.FlipSel();
-        n = RefineMorsel(
-            lane.sel_in(), n, lane.sel_out(),
-            [&](uint64_t id) { return qty[id] >= 1 && qty[id] <= 23; });
+        n = RefineMorsel(lane.sel_in(), n, lane.sel_out(),
+                         [&](uint64_t id) {
+                           return qty_r[id] >= 1 && qty_r[id] <= 23;
+                         });
+        ColumnReader<uint32_t> price_r(price);
         const uint64_t* sel = lane.sel_out();
         uint64_t local = 0;
         for (size_t i = 0; i < n; ++i) {
           const uint64_t id = sel[i];
-          local += static_cast<uint64_t>(price[id]) * disc[id];
+          local += static_cast<uint64_t>(price_r[id]) * disc_r[id];
         }
         Q6Agg& agg = lane_aggs[static_cast<size_t>(lane.lane_id())].value;
         agg.revenue += local;
         agg.rows += n;
-        return Status::OK();
+        SGXB_RETURN_NOT_OK(disc_r.status());
+        SGXB_RETURN_NOT_OK(qty_r.status());
+        return price_r.status();
       });
   if (!ns.ok()) return ns.status();
 
@@ -821,8 +922,8 @@ Result<QueryResult> RunQ6Fused(const TpchDb& db,
     result.count += slot.value.rows;
   }
   perf::AccessProfile p;
-  p.seq_read_bytes = db.lineitem.l_shipdate.size_bytes() +
-                     result.count * 3 * sizeof(uint32_t);
+  p.seq_read_bytes =
+      sdate.size_bytes() + result.count * 3 * sizeof(uint32_t);
   p.loop_iterations = db.lineitem.num_rows;
   p.ilp = perf::IlpClass::kStreaming;
   rec.Record("q6.sum_lineitem", ns.value(), p, threads);
@@ -831,6 +932,71 @@ Result<QueryResult> RunQ6Fused(const TpchDb& db,
   result.host_ns = static_cast<double>(timer.ElapsedNanos());
   result.phases = rec.Take();
   return result;
+}
+
+}  // namespace
+
+Result<QueryResult> RunQ3Fused(const TpchDb& db,
+                               const QueryConfig& config) {
+  return Q3FusedImpl(db, config);
+}
+Result<QueryResult> RunQ3Fused(const TpchDbView& db,
+                               const QueryConfig& config) {
+  return Q3FusedImpl(db, config);
+}
+
+Result<QueryResult> RunQ10Fused(const TpchDb& db,
+                                const QueryConfig& config) {
+  return Q10FusedImpl(db, config);
+}
+Result<QueryResult> RunQ10Fused(const TpchDbView& db,
+                                const QueryConfig& config) {
+  return Q10FusedImpl(db, config);
+}
+
+Result<QueryResult> RunQ12Fused(const TpchDb& db,
+                                const QueryConfig& config) {
+  return Q12FusedImpl(db, config);
+}
+Result<QueryResult> RunQ12Fused(const TpchDbView& db,
+                                const QueryConfig& config) {
+  return Q12FusedImpl(db, config);
+}
+
+Result<QueryResult> RunQ12GroupedFused(const TpchDb& db,
+                                       const QueryConfig& config) {
+  return Q12GroupedFusedImpl(db, config);
+}
+Result<QueryResult> RunQ12GroupedFused(const TpchDbView& db,
+                                       const QueryConfig& config) {
+  return Q12GroupedFusedImpl(db, config);
+}
+
+Result<QueryResult> RunQ19Fused(const TpchDb& db,
+                                const QueryConfig& config) {
+  return Q19FusedImpl(db, config);
+}
+Result<QueryResult> RunQ19Fused(const TpchDbView& db,
+                                const QueryConfig& config) {
+  return Q19FusedImpl(db, config);
+}
+
+Result<QueryResult> RunQ1Fused(const TpchDb& db,
+                               const QueryConfig& config) {
+  return Q1FusedImpl(db, config);
+}
+Result<QueryResult> RunQ1Fused(const TpchDbView& db,
+                               const QueryConfig& config) {
+  return Q1FusedImpl(db, config);
+}
+
+Result<QueryResult> RunQ6Fused(const TpchDb& db,
+                               const QueryConfig& config) {
+  return Q6FusedImpl(db, config);
+}
+Result<QueryResult> RunQ6Fused(const TpchDbView& db,
+                               const QueryConfig& config) {
+  return Q6FusedImpl(db, config);
 }
 
 }  // namespace sgxb::tpch

@@ -21,6 +21,10 @@
 
 namespace sgxb::tpch {
 
+// Each entry point also has a TpchDbView overload (tpch/db_view.h): the
+// fused plans run unchanged over paged columns — morsel stages pin one
+// partition run at a time via storage::ForEachRun / ColumnReader.
+
 Result<QueryResult> RunQ1Fused(const TpchDb& db, const QueryConfig& config);
 Result<QueryResult> RunQ3Fused(const TpchDb& db, const QueryConfig& config);
 Result<QueryResult> RunQ6Fused(const TpchDb& db, const QueryConfig& config);
@@ -31,6 +35,21 @@ Result<QueryResult> RunQ12Fused(const TpchDb& db,
 Result<QueryResult> RunQ19Fused(const TpchDb& db,
                                 const QueryConfig& config);
 Result<QueryResult> RunQ12GroupedFused(const TpchDb& db,
+                                       const QueryConfig& config);
+
+Result<QueryResult> RunQ1Fused(const TpchDbView& db,
+                               const QueryConfig& config);
+Result<QueryResult> RunQ3Fused(const TpchDbView& db,
+                               const QueryConfig& config);
+Result<QueryResult> RunQ6Fused(const TpchDbView& db,
+                               const QueryConfig& config);
+Result<QueryResult> RunQ10Fused(const TpchDbView& db,
+                                const QueryConfig& config);
+Result<QueryResult> RunQ12Fused(const TpchDbView& db,
+                                const QueryConfig& config);
+Result<QueryResult> RunQ19Fused(const TpchDbView& db,
+                                const QueryConfig& config);
+Result<QueryResult> RunQ12GroupedFused(const TpchDbView& db,
                                        const QueryConfig& config);
 
 }  // namespace sgxb::tpch

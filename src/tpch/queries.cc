@@ -8,8 +8,16 @@
 
 namespace sgxb::tpch {
 
-Result<QueryResult> RunQ3(const TpchDb& db, const QueryConfig& config) {
-  if (PipelineEnabled(config)) return RunQ3Fused(db, config);
+// The materializing bodies are templated over the database type: TpchDb
+// (resident Columns) and TpchDbView (storage::ColumnViews, possibly paged
+// through the out-of-EPC buffer manager) have identical field names, and
+// the operators take ColumnView parameters both convert to. The public
+// entry points dispatch to the fused pipelines first, exactly as before.
+
+namespace {
+
+template <typename Db>
+Result<QueryResult> Q3Body(const Db& db, const QueryConfig& config) {
   OpRecorder rec;
   WallTimer timer;
 
@@ -56,8 +64,8 @@ Result<QueryResult> RunQ3(const TpchDb& db, const QueryConfig& config) {
   return result;
 }
 
-Result<QueryResult> RunQ10(const TpchDb& db, const QueryConfig& config) {
-  if (PipelineEnabled(config)) return RunQ10Fused(db, config);
+template <typename Db>
+Result<QueryResult> Q10Body(const Db& db, const QueryConfig& config) {
   OpRecorder rec;
   WallTimer timer;
 
@@ -100,27 +108,33 @@ Result<QueryResult> RunQ10(const TpchDb& db, const QueryConfig& config) {
   return result;
 }
 
-Result<QueryResult> RunQ12(const TpchDb& db, const QueryConfig& config) {
-  if (PipelineEnabled(config)) return RunQ12Fused(db, config);
-  OpRecorder rec;
-  WallTimer timer;
-
+// Q12's selection chain, shared with Q12Grouped.
+template <typename Db>
+Result<RowIdList> Q12Selection(const Db& db, const QueryConfig& config,
+                               OpRecorder* rec) {
   auto rows = FilterU32Range(db.lineitem.l_receiptdate, kDate19940101,
-                             kDate19950101 - 1, config, &rec,
+                             kDate19950101 - 1, config, rec,
                              "filter_receiptdate");
   if (!rows.ok()) return rows.status();
   auto rows2 = RefineU8InSet(rows.value(), db.lineitem.l_shipmode,
-                             kQ12ModeMask, config, &rec, "refine_shipmode");
+                             kQ12ModeMask, config, rec, "refine_shipmode");
   if (!rows2.ok()) return rows2.status();
   auto rows3 =
       RefineLess(rows2.value(), db.lineitem.l_commitdate,
-                 db.lineitem.l_receiptdate, config, &rec,
+                 db.lineitem.l_receiptdate, config, rec,
                  "refine_commit_lt_receipt");
   if (!rows3.ok()) return rows3.status();
-  auto rows4 =
-      RefineLess(rows3.value(), db.lineitem.l_shipdate,
-                 db.lineitem.l_commitdate, config, &rec,
-                 "refine_ship_lt_commit");
+  return RefineLess(rows3.value(), db.lineitem.l_shipdate,
+                    db.lineitem.l_commitdate, config, rec,
+                    "refine_ship_lt_commit");
+}
+
+template <typename Db>
+Result<QueryResult> Q12Body(const Db& db, const QueryConfig& config) {
+  OpRecorder rec;
+  WallTimer timer;
+
+  auto rows4 = Q12Selection(db, config, &rec);
   if (!rows4.ok()) return rows4.status();
 
   auto probe = GatherKeys(db.lineitem.l_orderkey, &rows4.value(), config,
@@ -141,8 +155,8 @@ Result<QueryResult> RunQ12(const TpchDb& db, const QueryConfig& config) {
   return result;
 }
 
-Result<QueryResult> RunQ19(const TpchDb& db, const QueryConfig& config) {
-  if (PipelineEnabled(config)) return RunQ19Fused(db, config);
+template <typename Db>
+Result<QueryResult> Q19Body(const Db& db, const QueryConfig& config) {
   OpRecorder rec;
   WallTimer timer;
 
@@ -193,74 +207,14 @@ Result<QueryResult> RunQ19(const TpchDb& db, const QueryConfig& config) {
   return result;
 }
 
-namespace {
-
-Result<QueryResult> DispatchQuery(int query_number, const TpchDb& db,
-                                  const QueryConfig& config) {
-  switch (query_number) {
-    case 1:
-      return RunQ1(db, config);
-    case 6:
-      return RunQ6(db, config);
-    case 3:
-      return RunQ3(db, config);
-    case 10:
-      return RunQ10(db, config);
-    case 12:
-      return RunQ12(db, config);
-    case 19:
-      return RunQ19(db, config);
-    default:
-      return Status::InvalidArgument(
-          "queries 1, 3, 6, 10, 12, 19 are implemented");
-  }
-}
-
-}  // namespace
-
-Result<QueryResult> RunQuery(int query_number, const TpchDb& db,
-                             const QueryConfig& config) {
-  obs::QueryReportScope scope("Q" + std::to_string(query_number),
-                              config.obs_domain);
-  // Attribute this thread's work (and, via the executor, every gang task
-  // it dispatches) to the query's domain so concurrent RunQuery calls
-  // produce disjoint reports. obs_domain = -1 keeps the historical
-  // process-global behaviour.
-  obs::ScopedMetricDomain domain_scope(config.obs_domain);
-  Result<QueryResult> result = DispatchQuery(query_number, db, config);
-  if (!result.ok()) return result;
-  std::vector<obs::PhaseTiming> phases;
-  phases.reserve(result.value().phases.phases.size());
-  for (const perf::PhaseStats& s : result.value().phases.phases) {
-    phases.push_back(obs::PhaseTiming{s.name, s.host_ns});
-  }
-  result.value().report = scope.Finish(std::move(phases));
-  return result;
-}
-
-Result<QueryResult> RunQ12Grouped(const TpchDb& db,
-                                  const QueryConfig& config) {
-  if (PipelineEnabled(config)) return RunQ12GroupedFused(db, config);
+template <typename Db>
+Result<QueryResult> Q12GroupedBody(const Db& db,
+                                   const QueryConfig& config) {
   OpRecorder rec;
   WallTimer timer;
 
   // Same selection chain as Q12...
-  auto rows = FilterU32Range(db.lineitem.l_receiptdate, kDate19940101,
-                             kDate19950101 - 1, config, &rec,
-                             "filter_receiptdate");
-  if (!rows.ok()) return rows.status();
-  auto rows2 = RefineU8InSet(rows.value(), db.lineitem.l_shipmode,
-                             kQ12ModeMask, config, &rec, "refine_shipmode");
-  if (!rows2.ok()) return rows2.status();
-  auto rows3 =
-      RefineLess(rows2.value(), db.lineitem.l_commitdate,
-                 db.lineitem.l_receiptdate, config, &rec,
-                 "refine_commit_lt_receipt");
-  if (!rows3.ok()) return rows3.status();
-  auto rows4 =
-      RefineLess(rows3.value(), db.lineitem.l_shipdate,
-                 db.lineitem.l_commitdate, config, &rec,
-                 "refine_ship_lt_commit");
+  auto rows4 = Q12Selection(db, config, &rec);
   if (!rows4.ok()) return rows4.status();
 
   // ... but with the query's real final: count lines per order-priority
@@ -282,30 +236,8 @@ Result<QueryResult> RunQ12Grouped(const TpchDb& db,
   return result;
 }
 
-std::pair<uint64_t, uint64_t> ReferenceQ12Grouped(const TpchDb& db) {
-  uint64_t high = 0, low = 0;
-  for (size_t i = 0; i < db.lineitem.num_rows; ++i) {
-    const uint8_t mode = db.lineitem.l_shipmode[i];
-    bool qualifies =
-        (mode == kModeMail || mode == kModeShip) &&
-        db.lineitem.l_commitdate[i] < db.lineitem.l_receiptdate[i] &&
-        db.lineitem.l_shipdate[i] < db.lineitem.l_commitdate[i] &&
-        db.lineitem.l_receiptdate[i] >= kDate19940101 &&
-        db.lineitem.l_receiptdate[i] < kDate19950101;
-    if (!qualifies) continue;
-    uint8_t prio =
-        db.orders.o_orderpriority[db.lineitem.l_orderkey[i]];
-    if (prio == kPrioUrgent || prio == kPrioHigh) {
-      ++high;
-    } else {
-      ++low;
-    }
-  }
-  return {high, low};
-}
-
-Result<QueryResult> RunQ1(const TpchDb& db, const QueryConfig& config) {
-  if (PipelineEnabled(config)) return RunQ1Fused(db, config);
+template <typename Db>
+Result<QueryResult> Q1Body(const Db& db, const QueryConfig& config) {
   OpRecorder rec;
   WallTimer timer;
 
@@ -329,8 +261,8 @@ Result<QueryResult> RunQ1(const TpchDb& db, const QueryConfig& config) {
   return result;
 }
 
-Result<QueryResult> RunQ6(const TpchDb& db, const QueryConfig& config) {
-  if (PipelineEnabled(config)) return RunQ6Fused(db, config);
+template <typename Db>
+Result<QueryResult> Q6Body(const Db& db, const QueryConfig& config) {
   OpRecorder rec;
   WallTimer timer;
 
@@ -356,6 +288,150 @@ Result<QueryResult> RunQ6(const TpchDb& db, const QueryConfig& config) {
   result.host_ns = static_cast<double>(timer.ElapsedNanos());
   result.phases = rec.Take();
   return result;
+}
+
+template <typename Db>
+Result<QueryResult> DispatchQuery(int query_number, const Db& db,
+                                  const QueryConfig& config) {
+  switch (query_number) {
+    case 1:
+      return RunQ1(db, config);
+    case 6:
+      return RunQ6(db, config);
+    case 3:
+      return RunQ3(db, config);
+    case 10:
+      return RunQ10(db, config);
+    case 12:
+      return RunQ12(db, config);
+    case 19:
+      return RunQ19(db, config);
+    default:
+      return Status::InvalidArgument(
+          "queries 1, 3, 6, 10, 12, 19 are implemented");
+  }
+}
+
+template <typename Db>
+Result<QueryResult> RunQueryImpl(int query_number, const Db& db,
+                                 const QueryConfig& config) {
+  obs::QueryReportScope scope("Q" + std::to_string(query_number),
+                              config.obs_domain);
+  // Attribute this thread's work (and, via the executor, every gang task
+  // it dispatches) to the query's domain so concurrent RunQuery calls
+  // produce disjoint reports. obs_domain = -1 keeps the historical
+  // process-global behaviour.
+  obs::ScopedMetricDomain domain_scope(config.obs_domain);
+  Result<QueryResult> result = DispatchQuery(query_number, db, config);
+  if (!result.ok()) return result;
+  std::vector<obs::PhaseTiming> phases;
+  phases.reserve(result.value().phases.phases.size());
+  for (const perf::PhaseStats& s : result.value().phases.phases) {
+    phases.push_back(obs::PhaseTiming{s.name, s.host_ns});
+  }
+  result.value().report = scope.Finish(std::move(phases));
+  return result;
+}
+
+}  // namespace
+
+Result<QueryResult> RunQ3(const TpchDb& db, const QueryConfig& config) {
+  if (PipelineEnabled(config)) return RunQ3Fused(db, config);
+  return Q3Body(db, config);
+}
+Result<QueryResult> RunQ3(const TpchDbView& db, const QueryConfig& config) {
+  if (PipelineEnabled(config)) return RunQ3Fused(db, config);
+  return Q3Body(db, config);
+}
+
+Result<QueryResult> RunQ10(const TpchDb& db, const QueryConfig& config) {
+  if (PipelineEnabled(config)) return RunQ10Fused(db, config);
+  return Q10Body(db, config);
+}
+Result<QueryResult> RunQ10(const TpchDbView& db,
+                           const QueryConfig& config) {
+  if (PipelineEnabled(config)) return RunQ10Fused(db, config);
+  return Q10Body(db, config);
+}
+
+Result<QueryResult> RunQ12(const TpchDb& db, const QueryConfig& config) {
+  if (PipelineEnabled(config)) return RunQ12Fused(db, config);
+  return Q12Body(db, config);
+}
+Result<QueryResult> RunQ12(const TpchDbView& db,
+                           const QueryConfig& config) {
+  if (PipelineEnabled(config)) return RunQ12Fused(db, config);
+  return Q12Body(db, config);
+}
+
+Result<QueryResult> RunQ19(const TpchDb& db, const QueryConfig& config) {
+  if (PipelineEnabled(config)) return RunQ19Fused(db, config);
+  return Q19Body(db, config);
+}
+Result<QueryResult> RunQ19(const TpchDbView& db,
+                           const QueryConfig& config) {
+  if (PipelineEnabled(config)) return RunQ19Fused(db, config);
+  return Q19Body(db, config);
+}
+
+Result<QueryResult> RunQuery(int query_number, const TpchDb& db,
+                             const QueryConfig& config) {
+  return RunQueryImpl(query_number, db, config);
+}
+Result<QueryResult> RunQuery(int query_number, const TpchDbView& db,
+                             const QueryConfig& config) {
+  return RunQueryImpl(query_number, db, config);
+}
+
+Result<QueryResult> RunQ12Grouped(const TpchDb& db,
+                                  const QueryConfig& config) {
+  if (PipelineEnabled(config)) return RunQ12GroupedFused(db, config);
+  return Q12GroupedBody(db, config);
+}
+Result<QueryResult> RunQ12Grouped(const TpchDbView& db,
+                                  const QueryConfig& config) {
+  if (PipelineEnabled(config)) return RunQ12GroupedFused(db, config);
+  return Q12GroupedBody(db, config);
+}
+
+Result<QueryResult> RunQ1(const TpchDb& db, const QueryConfig& config) {
+  if (PipelineEnabled(config)) return RunQ1Fused(db, config);
+  return Q1Body(db, config);
+}
+Result<QueryResult> RunQ1(const TpchDbView& db, const QueryConfig& config) {
+  if (PipelineEnabled(config)) return RunQ1Fused(db, config);
+  return Q1Body(db, config);
+}
+
+Result<QueryResult> RunQ6(const TpchDb& db, const QueryConfig& config) {
+  if (PipelineEnabled(config)) return RunQ6Fused(db, config);
+  return Q6Body(db, config);
+}
+Result<QueryResult> RunQ6(const TpchDbView& db, const QueryConfig& config) {
+  if (PipelineEnabled(config)) return RunQ6Fused(db, config);
+  return Q6Body(db, config);
+}
+
+std::pair<uint64_t, uint64_t> ReferenceQ12Grouped(const TpchDb& db) {
+  uint64_t high = 0, low = 0;
+  for (size_t i = 0; i < db.lineitem.num_rows; ++i) {
+    const uint8_t mode = db.lineitem.l_shipmode[i];
+    bool qualifies =
+        (mode == kModeMail || mode == kModeShip) &&
+        db.lineitem.l_commitdate[i] < db.lineitem.l_receiptdate[i] &&
+        db.lineitem.l_shipdate[i] < db.lineitem.l_commitdate[i] &&
+        db.lineitem.l_receiptdate[i] >= kDate19940101 &&
+        db.lineitem.l_receiptdate[i] < kDate19950101;
+    if (!qualifies) continue;
+    uint8_t prio =
+        db.orders.o_orderpriority[db.lineitem.l_orderkey[i]];
+    if (prio == kPrioUrgent || prio == kPrioHigh) {
+      ++high;
+    } else {
+      ++low;
+    }
+  }
+  return {high, low};
 }
 
 std::vector<uint64_t> ReferenceQ1Counts(const TpchDb& db) {

@@ -10,6 +10,7 @@
 
 #include "obs/query_report.h"
 #include "perf/access_profile.h"
+#include "tpch/db_view.h"
 #include "tpch/operators.h"
 #include "tpch/tpch_schema.h"
 
@@ -28,32 +29,45 @@ struct QueryResult {
   obs::QueryReport report;
 };
 
+// Every entry point has a TpchDbView overload: the view's columns may be
+// resident or paged through the out-of-EPC buffer manager
+// (tpch/paged_db.h, docs/storage.md); both overloads run the same
+// (templated) body and produce byte-identical results.
+
 /// \brief Q3: shipping priority. customer (mktsegment = BUILDING) JOIN
 /// orders (orderdate < 1995-03-15) JOIN lineitem (shipdate > 1995-03-15).
 Result<QueryResult> RunQ3(const TpchDb& db, const QueryConfig& config);
+Result<QueryResult> RunQ3(const TpchDbView& db, const QueryConfig& config);
 
 /// \brief Q10: returned items. customer JOIN orders (orderdate in
 /// [1993-10-01, 1994-01-01)) JOIN lineitem (returnflag = 'R').
 Result<QueryResult> RunQ10(const TpchDb& db, const QueryConfig& config);
+Result<QueryResult> RunQ10(const TpchDbView& db, const QueryConfig& config);
 
 /// \brief Q12: shipping modes. orders JOIN lineitem (shipmode in {MAIL,
 /// SHIP}, commitdate < receiptdate, shipdate < commitdate, receiptdate in
 /// [1994-01-01, 1995-01-01)).
 Result<QueryResult> RunQ12(const TpchDb& db, const QueryConfig& config);
+Result<QueryResult> RunQ12(const TpchDbView& db, const QueryConfig& config);
 
 /// \brief Q19: discounted revenue. part JOIN lineitem with the disjunction
 /// of three brand/container/quantity/size branches; executed as three
 /// disjoint joins (branches select distinct brands) whose counts sum.
 Result<QueryResult> RunQ19(const TpchDb& db, const QueryConfig& config);
+Result<QueryResult> RunQ19(const TpchDbView& db, const QueryConfig& config);
 
 /// \brief All four queries by number (3, 10, 12, 19).
 Result<QueryResult> RunQuery(int query_number, const TpchDb& db,
+                             const QueryConfig& config);
+Result<QueryResult> RunQuery(int query_number, const TpchDbView& db,
                              const QueryConfig& config);
 
 /// \brief Extension: Q12 with its real GROUP BY final — line counts per
 /// priority class (group 0 = high: URGENT/HIGH orders; group 1 = low).
 /// The paper replaces this aggregation with count(*); this restores it.
 Result<QueryResult> RunQ12Grouped(const TpchDb& db,
+                                  const QueryConfig& config);
+Result<QueryResult> RunQ12Grouped(const TpchDbView& db,
                                   const QueryConfig& config);
 
 /// \brief Oracle for RunQ12Grouped: (high_count, low_count).
@@ -65,12 +79,14 @@ std::pair<uint64_t, uint64_t> ReferenceQ12Grouped(const TpchDb& db);
 /// the per-group counts (flag * kNumLineStatuses + status); `count` is
 /// their total.
 Result<QueryResult> RunQ1(const TpchDb& db, const QueryConfig& config);
+Result<QueryResult> RunQ1(const TpchDbView& db, const QueryConfig& config);
 
 /// \brief Extension Q6: forecasting revenue. Pure scan:
 /// sum(extendedprice * discount) over shipdate in 1994, discount in
 /// [5, 7], quantity < 24. `count` holds the qualifying row count and
 /// group_counts[0] the revenue sum.
 Result<QueryResult> RunQ6(const TpchDb& db, const QueryConfig& config);
+Result<QueryResult> RunQ6(const TpchDbView& db, const QueryConfig& config);
 
 /// \brief Oracles for the extension queries.
 std::vector<uint64_t> ReferenceQ1Counts(const TpchDb& db);

@@ -108,6 +108,92 @@ TEST(PackedScanTest, SingleValueColumn) {
   EXPECT_EQ(PackedScan(packed, 43, 50, &bv), 0u);
 }
 
+TEST(FrameOfReferenceTest, PicksWidthFromRangeNotMagnitude) {
+  // Date-like values: absolute magnitude needs 23 bits, range needs 12.
+  auto col = Column<uint32_t>::Allocate(5000, MemoryRegion::kUntrusted)
+                 .value();
+  Xoshiro256 rng(17);
+  for (size_t i = 0; i < col.num_values(); ++i) {
+    col[i] = 8035200u + static_cast<uint32_t>(rng.NextBounded(2557));
+  }
+  col[0] = 8035200u;     // pin the frame to a known minimum
+  col[1] = 8035200u + 2556u;  // ...and the range to a known maximum
+  PackedColumn packed = PackedColumn::PackFrameOfReference(col).value();
+  EXPECT_EQ(packed.bit_width(), 12);
+  EXPECT_EQ(packed.frame_min(), 8035200u);
+  for (size_t i = 0; i < col.num_values(); ++i) {
+    ASSERT_EQ(packed.Get(i), col[i]) << i;
+  }
+  // 13-bit fields, 4 per word: 16 effective bits per value vs 32 raw.
+  EXPECT_GT(packed.CompressionRatio(), 1.9);
+}
+
+TEST(FrameOfReferenceTest, ConstantColumnPacksToOneBit) {
+  auto col = Column<uint32_t>::Allocate(100, MemoryRegion::kUntrusted)
+                 .value();
+  for (size_t i = 0; i < col.num_values(); ++i) col[i] = 123456789u;
+  PackedColumn packed = PackedColumn::PackFrameOfReference(col).value();
+  EXPECT_EQ(packed.bit_width(), 1);
+  for (size_t i = 0; i < col.num_values(); ++i) {
+    ASSERT_EQ(packed.Get(i), 123456789u);
+  }
+}
+
+TEST(FrameOfReferenceTest, ScanMatchesScalarOracleInAbsoluteDomain) {
+  const uint32_t base = 19980101u;
+  auto col = Column<uint32_t>::Allocate(10007, MemoryRegion::kUntrusted)
+                 .value();
+  Xoshiro256 rng(23);
+  for (size_t i = 0; i < col.num_values(); ++i) {
+    col[i] = base + static_cast<uint32_t>(rng.NextBounded(5000));
+  }
+  PackedColumn packed = PackedColumn::PackFrameOfReference(col).value();
+
+  struct Case {
+    uint32_t lo, hi;
+  };
+  const Case cases[] = {
+      {base + 100, base + 2000},  // interior range
+      {0, base - 1},              // entirely below the frame
+      {base + 5000, 0xffffffffu},  // hi above the frame, clamped
+      {0, 0xffffffffu},            // everything
+      {base + 777, base + 777},    // point query
+  };
+  for (const Case& c : cases) {
+    auto bv_fast =
+        BitVector::Allocate(col.num_values(), MemoryRegion::kUntrusted)
+            .value();
+    auto bv_ref =
+        BitVector::Allocate(col.num_values(), MemoryRegion::kUntrusted)
+            .value();
+    uint64_t fast = PackedScan(packed, c.lo, c.hi, &bv_fast);
+    uint64_t ref = PackedScanScalar(packed, c.lo, c.hi, &bv_ref);
+    ASSERT_EQ(fast, ref) << "[" << c.lo << "," << c.hi << "]";
+    for (size_t word = 0; word < bv_ref.num_words(); ++word) {
+      ASSERT_EQ(bv_fast.words()[word], bv_ref.words()[word]);
+    }
+    uint64_t expected = 0;
+    for (size_t i = 0; i < col.num_values(); ++i) {
+      expected += col[i] >= c.lo && col[i] <= c.hi;
+    }
+    ASSERT_EQ(fast, expected);
+  }
+}
+
+TEST(FrameOfReferenceTest, RawPointerOverloadMatchesColumnOverload) {
+  auto col = MakeColumn(997, (1u << 16) - 1, 31);
+  PackedColumn a = PackedColumn::PackFrameOfReference(col).value();
+  PackedColumn b =
+      PackedColumn::PackFrameOfReference(col.data(), col.num_values())
+          .value();
+  ASSERT_EQ(a.num_values(), b.num_values());
+  ASSERT_EQ(a.bit_width(), b.bit_width());
+  ASSERT_EQ(a.frame_min(), b.frame_min());
+  for (size_t i = 0; i < a.num_values(); ++i) {
+    ASSERT_EQ(a.Get(i), b.Get(i));
+  }
+}
+
 TEST(PackedScanTest, TailWordHandled) {
   // 13-bit fields: 4 per word; 10 values = 2 full words + tail of 2.
   auto col = MakeColumn(10, (1u << 13) - 1, 3);

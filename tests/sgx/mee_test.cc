@@ -49,6 +49,53 @@ TEST(MeeTest, KeyChangesKeystream) {
   EXPECT_NE(std::memcmp(a.data(), b.data(), 64), 0);
 }
 
+// The spill path encrypts a partition image in one shot at registration
+// but may decrypt it piecewise (and vice versa): chunked Apply with
+// continued base_offsets must match one-shot Apply for *any* split point,
+// not just 8-byte-aligned ones.
+TEST(MeeTest, ChunkedEncryptionMatchesOneShot) {
+  MemoryEncryptionEngine mee;
+  std::vector<uint8_t> whole(257);
+  for (size_t i = 0; i < whole.size(); ++i) {
+    whole[i] = static_cast<uint8_t>(i * 13 + 5);
+  }
+  for (uint64_t base : {0ull, 64ull, 1000ull}) {
+    std::vector<uint8_t> one_shot = whole;
+    mee.Encrypt(one_shot.data(), one_shot.size(), base);
+    for (size_t split : {1u, 7u, 8u, 9u, 64u, 100u, 255u, 256u}) {
+      std::vector<uint8_t> chunked = whole;
+      mee.Encrypt(chunked.data(), split, base);
+      mee.Encrypt(chunked.data() + split, chunked.size() - split,
+                  base + split);
+      EXPECT_EQ(chunked, one_shot) << "base=" << base << " split=" << split;
+    }
+  }
+}
+
+TEST(MeeTest, UnalignedBaseOffsetRoundTrips) {
+  MemoryEncryptionEngine mee;
+  std::vector<uint8_t> data(130, 0xc3);
+  std::vector<uint8_t> original = data;
+  mee.Encrypt(data.data(), data.size(), /*base_offset=*/3);
+  EXPECT_NE(data, original);
+  mee.Decrypt(data.data(), data.size(), /*base_offset=*/3);
+  EXPECT_EQ(data, original);
+}
+
+// Decrypting a sub-range of a larger encrypted image at its absolute
+// offset recovers exactly that sub-range's plaintext.
+TEST(MeeTest, SubRangeDecryptAtAbsoluteOffset) {
+  MemoryEncryptionEngine mee;
+  std::vector<uint8_t> data(512);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i ^ 0x9e);
+  }
+  std::vector<uint8_t> original = data;
+  mee.Encrypt(data.data(), data.size(), /*base_offset=*/0);
+  mee.Decrypt(data.data() + 123, 77, /*base_offset=*/123);
+  EXPECT_EQ(std::memcmp(data.data() + 123, original.data() + 123, 77), 0);
+}
+
 TEST(MeeTest, DecryptRequiresMatchingOffset) {
   MemoryEncryptionEngine mee;
   std::vector<uint8_t> data(64, 0x5a);

@@ -1,0 +1,139 @@
+#include "storage/partition_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/random.h"
+
+namespace sgxb::storage {
+namespace {
+
+std::vector<uint8_t> Decode8(const PartitionImage& image) {
+  std::vector<uint8_t> out(image.num_values);
+  EXPECT_TRUE(
+      DecodePartition(image, image.payload.As<uint8_t>(), out.data()).ok());
+  return out;
+}
+
+std::vector<uint32_t> Decode32(const PartitionImage& image) {
+  std::vector<uint32_t> out(image.num_values);
+  EXPECT_TRUE(
+      DecodePartition(image, image.payload.As<uint8_t>(), out.data()).ok());
+  return out;
+}
+
+TEST(PartitionCodecTest, RejectsBadShapes) {
+  uint32_t v = 7;
+  EXPECT_FALSE(EncodePartition(&v, 0, 4, true).ok());
+  EXPECT_FALSE(EncodePartition(&v, 1, 2, true).ok());
+  EXPECT_FALSE(EncodePartition(&v, 1, 8, true).ok());
+}
+
+TEST(PartitionCodecTest, CompressionOffAlwaysSpillsRaw) {
+  // Trivially compressible data must still come out raw when compression
+  // is disabled — the bench baseline depends on it.
+  std::vector<uint32_t> vals(4096, 42);
+  auto image =
+      EncodePartition(vals.data(), vals.size(), 4, /*allow_compress=*/false)
+          .value();
+  EXPECT_EQ(image.encoding, Encoding::kRaw);
+  EXPECT_EQ(image.payload_bytes(), vals.size() * sizeof(uint32_t));
+  EXPECT_EQ(Decode32(image), vals);
+}
+
+TEST(PartitionCodecTest, DateLikeU32PicksFrameOfReference) {
+  // High-magnitude, narrow-range values (dates as day numbers): FoR packs
+  // the 11-bit range, dictionary would need ~2k distinct entries.
+  Xoshiro256 rng(7);
+  std::vector<uint32_t> vals(64 * 1024);
+  for (auto& v : vals) {
+    v = 8035200u + static_cast<uint32_t>(rng.NextBounded(2000));
+  }
+  auto image =
+      EncodePartition(vals.data(), vals.size(), 4, /*allow_compress=*/true)
+          .value();
+  EXPECT_EQ(image.encoding, Encoding::kForPacked);
+  EXPECT_LT(image.payload_bytes(), image.decoded_bytes() / 2);
+  EXPECT_EQ(Decode32(image), vals);
+}
+
+TEST(PartitionCodecTest, LowCardinalityU32PicksDictionary) {
+  // Few distinct values spread across the whole u32 domain: FoR cannot
+  // narrow the range but a dictionary codes each value in 2 bits.
+  const uint32_t domain[4] = {17u, 90000u, 3000000000u, 12u};
+  Xoshiro256 rng(8);
+  std::vector<uint32_t> vals(64 * 1024);
+  for (auto& v : vals) v = domain[rng.NextBounded(4)];
+  auto image =
+      EncodePartition(vals.data(), vals.size(), 4, /*allow_compress=*/true)
+          .value();
+  EXPECT_EQ(image.encoding, Encoding::kDict);
+  EXPECT_EQ(image.dict_size, 4u);
+  EXPECT_LT(image.payload_bytes(), image.decoded_bytes() / 4);
+  EXPECT_EQ(Decode32(image), vals);
+}
+
+TEST(PartitionCodecTest, FlagLikeU8CompressesAndRoundTrips) {
+  // Categorical u8 (returnflag-style): 3 distinct values pack to 2-3 bits
+  // either via dict codes or FoR over the narrow range.
+  const uint8_t domain[3] = {0, 1, 2};
+  Xoshiro256 rng(9);
+  std::vector<uint8_t> vals(64 * 1024);
+  for (auto& v : vals) v = domain[rng.NextBounded(3)];
+  auto image =
+      EncodePartition(vals.data(), vals.size(), 1, /*allow_compress=*/true)
+          .value();
+  EXPECT_NE(image.encoding, Encoding::kRaw);
+  EXPECT_LT(image.payload_bytes(), image.decoded_bytes() / 2);
+  EXPECT_EQ(Decode8(image), vals);
+}
+
+TEST(PartitionCodecTest, IncompressibleDataFallsBackToRaw) {
+  // Full-width random u32: neither FoR (range ~2^32) nor dict (all
+  // distinct) beats raw, so raw must win even with compression on.
+  Xoshiro256 rng(10);
+  std::vector<uint32_t> vals(16 * 1024);
+  for (auto& v : vals) v = static_cast<uint32_t>(rng.Next());
+  auto image =
+      EncodePartition(vals.data(), vals.size(), 4, /*allow_compress=*/true)
+          .value();
+  EXPECT_EQ(image.encoding, Encoding::kRaw);
+  EXPECT_EQ(Decode32(image), vals);
+}
+
+TEST(PartitionCodecTest, ConstantColumnShrinksToNearNothing) {
+  std::vector<uint32_t> vals(64 * 1024, 123456789u);
+  auto image =
+      EncodePartition(vals.data(), vals.size(), 4, /*allow_compress=*/true)
+          .value();
+  EXPECT_NE(image.encoding, Encoding::kRaw);
+  EXPECT_LT(image.payload_bytes(), vals.size() / 2);
+  EXPECT_EQ(Decode32(image), vals);
+}
+
+TEST(PartitionCodecTest, OddPartitionSizesRoundTrip) {
+  // Tail partitions are not multiples of the fields-per-word count;
+  // decode must stop exactly at num_values.
+  Xoshiro256 rng(11);
+  for (size_t n : {1u, 2u, 5u, 63u, 64u, 65u, 1000u, 4097u}) {
+    std::vector<uint32_t> vals(n);
+    for (auto& v : vals) {
+      v = 500u + static_cast<uint32_t>(rng.NextBounded(1000));
+    }
+    auto image =
+        EncodePartition(vals.data(), n, 4, /*allow_compress=*/true).value();
+    EXPECT_EQ(Decode32(image), vals) << "n=" << n;
+  }
+}
+
+TEST(PartitionCodecTest, EncodingNamesAreStable) {
+  // CSV columns in the bench artifacts use these names.
+  EXPECT_STREQ(EncodingName(Encoding::kRaw), "raw");
+  EXPECT_STREQ(EncodingName(Encoding::kForPacked), "for_packed");
+  EXPECT_STREQ(EncodingName(Encoding::kDict), "dict");
+}
+
+}  // namespace
+}  // namespace sgxb::storage
