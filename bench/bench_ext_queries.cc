@@ -35,6 +35,9 @@ int main() {
     tpch::QueryConfig cfg;
     cfg.num_threads = threads;
     cfg.radix_bits = 10;
+    // Paper-faithful setup: materializing, regardless of the planner's
+    // cost-based mode pick.
+    cfg.pipeline = false;
     auto result = q.number == 0 ? tpch::RunQ12Grouped(db, cfg)
                                 : tpch::RunQuery(q.number, db, cfg);
     if (!result.ok()) {

@@ -35,6 +35,9 @@ int main() {
     tpch::QueryConfig cfg;
     cfg.num_threads = threads;
     cfg.radix_bits = core::FullScale() ? 14 : 10;
+    // The paper's exhibit is the fully materializing Section 6 setup;
+    // pin the mode so the cost-based planner cannot pick fusion here.
+    cfg.pipeline = false;
 
     // Native, optimized kernels.
     cfg.flavor = KernelFlavor::kUnrolledReordered;

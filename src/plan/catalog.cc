@@ -1,0 +1,192 @@
+#include "plan/catalog.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sgxb::plan {
+
+namespace {
+
+using tpch::Bit;
+using tpch::kQ12ModeMask;
+using tpch::kQ19Branches;
+using tpch::kQ19ModeMask;
+
+Plan MustBuild(PlanBuilder& b, int root, const char* name) {
+  Result<Plan> plan = b.Build(root, name);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "catalog plan %s invalid: %s\n", name,
+                 plan.status().message().c_str());
+    std::abort();
+  }
+  return std::move(plan).value();
+}
+
+Plan MakeQ1() {
+  PlanBuilder b;
+  const int li = b.Scan(
+      TableId::kLineitem,
+      {Predicate::U32Range(ColId::kLShipdate, 0, tpch::kQ1Cutoff)});
+  const int agg = b.Aggregate(
+      li, AggSpec::GroupSum2(ColId::kLQuantity, ColId::kLReturnflag,
+                             tpch::kNumReturnFlags, ColId::kLLinestatus,
+                             tpch::kNumLineStatuses));
+  return MustBuild(b, agg, "Q1");
+}
+
+Plan MakeQ3() {
+  PlanBuilder b;
+  const int cust = b.Scan(
+      TableId::kCustomer,
+      {Predicate::U8Eq(ColId::kCMktsegment, tpch::kSegBuilding)});
+  const int ord = b.Scan(
+      TableId::kOrders,
+      {Predicate::U32Range(ColId::kOOrderdate, 0, tpch::kDate19950315 - 1)});
+  const int co = b.Join(cust, ord, ColId::kCCustkey, ColId::kOCustkey);
+  const int li = b.Scan(
+      TableId::kLineitem,
+      {Predicate::U32Range(ColId::kLShipdate, tpch::kDate19950315 + 1,
+                           0xffffffffu)});
+  const int col = b.Join(co, li, ColId::kOOrderkey, ColId::kLOrderkey);
+  return MustBuild(b, b.Aggregate(col, AggSpec::CountStar()), "Q3");
+}
+
+Plan MakeQ6() {
+  PlanBuilder b;
+  const int li = b.Scan(
+      TableId::kLineitem,
+      {Predicate::U32Range(ColId::kLShipdate, tpch::kDate19940101,
+                           tpch::kDate19950101 - 1),
+       Predicate::U32Range(ColId::kLDiscount, 5, 7),
+       Predicate::U32Range(ColId::kLQuantity, 1, 23)});
+  const int agg = b.Aggregate(
+      li, AggSpec::SumProduct(ColId::kLExtendedprice, ColId::kLDiscount));
+  return MustBuild(b, agg, "Q6");
+}
+
+Plan MakeQ10() {
+  PlanBuilder b;
+  const int cust = b.Scan(TableId::kCustomer);
+  const int ord = b.Scan(
+      TableId::kOrders,
+      {Predicate::U32Range(ColId::kOOrderdate, tpch::kDate19931001,
+                           tpch::kDate19940101 - 1)});
+  const int co = b.Join(cust, ord, ColId::kCCustkey, ColId::kOCustkey);
+  const int li = b.Scan(
+      TableId::kLineitem,
+      {Predicate::U8Eq(ColId::kLReturnflag, tpch::kFlagR)});
+  const int col = b.Join(co, li, ColId::kOOrderkey, ColId::kLOrderkey);
+  return MustBuild(b, b.Aggregate(col, AggSpec::CountStar()), "Q10");
+}
+
+std::vector<Predicate> Q12LineitemPredicates() {
+  return {Predicate::U32Range(ColId::kLReceiptdate, tpch::kDate19940101,
+                              tpch::kDate19950101 - 1),
+          Predicate::U8InSet(ColId::kLShipmode, kQ12ModeMask),
+          Predicate::Less(ColId::kLCommitdate, ColId::kLReceiptdate),
+          Predicate::Less(ColId::kLShipdate, ColId::kLCommitdate)};
+}
+
+Plan MakeQ12() {
+  PlanBuilder b;
+  const int ord = b.Scan(TableId::kOrders);
+  const int li = b.Scan(TableId::kLineitem, Q12LineitemPredicates());
+  const int ol = b.Join(ord, li, ColId::kOOrderkey, ColId::kLOrderkey);
+  return MustBuild(b, b.Aggregate(ol, AggSpec::CountStar()), "Q12");
+}
+
+Plan MakeQ19() {
+  PlanBuilder b;
+  std::vector<int> branches;
+  for (const tpch::Q19Branch& br : kQ19Branches) {
+    const int part = b.Scan(
+        TableId::kPart,
+        {Predicate::U8Eq(ColId::kPBrand, br.brand),
+         Predicate::U8InSet(ColId::kPContainer, br.container_mask),
+         Predicate::U32Range(ColId::kPSize, 1, br.size_hi)});
+    const int li = b.Scan(
+        TableId::kLineitem,
+        {Predicate::U32Range(ColId::kLQuantity, br.qty_lo, br.qty_hi),
+         Predicate::U8InSet(ColId::kLShipmode, kQ19ModeMask),
+         Predicate::U8InSet(ColId::kLShipinstruct,
+                            Bit(tpch::kInstrDeliverInPerson))});
+    branches.push_back(b.Join(part, li, ColId::kPPartkey, ColId::kLPartkey));
+  }
+  const int u = b.UnionAll(std::move(branches));
+  return MustBuild(b, b.Aggregate(u, AggSpec::CountStar()), "Q19");
+}
+
+// The two plan-only queries: a Q5-style customer⋈orders⋈lineitem
+// multi-way join, flat and grouped. No driver code exists for these —
+// they run purely through the planner.
+int Q5JoinTree(PlanBuilder& b) {
+  const int cust = b.Scan(
+      TableId::kCustomer,
+      {Predicate::U8Eq(ColId::kCMktsegment, tpch::kSegAutomobile)});
+  const int ord = b.Scan(
+      TableId::kOrders,
+      {Predicate::U32Range(ColId::kOOrderdate, tpch::kDate19940101,
+                           tpch::kDate19950101 - 1)});
+  const int co = b.Join(cust, ord, ColId::kCCustkey, ColId::kOCustkey);
+  const int li = b.Scan(TableId::kLineitem);
+  return b.Join(co, li, ColId::kOOrderkey, ColId::kLOrderkey);
+}
+
+Plan MakeQ5M() {
+  PlanBuilder b;
+  const int col = Q5JoinTree(b);
+  return MustBuild(b, b.Aggregate(col, AggSpec::CountStar()), "Q5M");
+}
+
+Plan MakeQ5G() {
+  PlanBuilder b;
+  const int col = Q5JoinTree(b);
+  const int agg = b.Aggregate(
+      col, AggSpec::GroupCountViaFk(ColId::kOOrderpriority, ColId::kLOrderkey,
+                                    tpch::kNumOrderPriorities));
+  return MustBuild(b, agg, "Q5G");
+}
+
+Plan MakeQ12Grouped() {
+  PlanBuilder b;
+  const int li = b.Scan(TableId::kLineitem, Q12LineitemPredicates());
+  // Five order priorities folded into {high, low}: URGENT/HIGH -> 0,
+  // the rest -> 1 (the TPC-H Q12 high_line/low_line split).
+  const int agg = b.Aggregate(
+      li, AggSpec::GroupCountViaFk(ColId::kOOrderpriority, ColId::kLOrderkey,
+                                   tpch::kNumOrderPriorities,
+                                   {0, 0, 1, 1, 1}));
+  return MustBuild(b, agg, "Q12G");
+}
+
+}  // namespace
+
+const std::vector<CatalogEntry>& Catalog() {
+  static const std::vector<CatalogEntry>* entries = [] {
+    auto* v = new std::vector<CatalogEntry>();
+    v->push_back({1, "Q1", "pricing summary over lineitem", MakeQ1()});
+    v->push_back({3, "Q3", "building-segment shipping priority", MakeQ3()});
+    v->push_back({6, "Q6", "forecast revenue change", MakeQ6()});
+    v->push_back({10, "Q10", "returned-item customers", MakeQ10()});
+    v->push_back({12, "Q12", "late-receipt ship modes", MakeQ12()});
+    v->push_back({19, "Q19", "discounted brand/container revenue",
+                  MakeQ19()});
+    v->push_back({kQueryQ5Multiway, "Q5M", "plan-only multi-way join (Q5-style)",
+                  MakeQ5M()});
+    v->push_back({kQueryQ5Grouped, "Q5G", "plan-only grouped multi-way join",
+                  MakeQ5G()});
+    v->push_back({kQueryQ12Grouped, "Q12G", "grouped Q12 (high/low priority)",
+                  MakeQ12Grouped()});
+    return v;
+  }();
+  return *entries;
+}
+
+const CatalogEntry* FindQuery(int query_number) {
+  for (const CatalogEntry& e : Catalog()) {
+    if (e.query_number == query_number) return &e;
+  }
+  return nullptr;
+}
+
+}  // namespace sgxb::plan

@@ -1,0 +1,658 @@
+// Generic fused lowering: compiles a Plan into a short DAG of
+// RunMorselPipeline stages (docs/pipelines.md), replacing the
+// hand-written per-query fused drivers. Each join becomes a build
+// pipeline (drive the build subtree, insert into a pipeline-breaker
+// hash table) plus a probe stage fused into its parent's pipeline; the
+// root aggregate runs as a per-lane sink in the last pipeline.
+
+#include <atomic>
+#include <cctype>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "exec/pipeline.h"
+#include "exec/probe_pipeline.h"
+#include "join/hash_table.h"
+#include "join/join_common.h"
+#include "plan/planner.h"
+#include "scan/scan_kernels.h"
+#include "storage/column_view.h"
+#include "tpch/operators.h"
+
+namespace sgxb::plan {
+
+namespace {
+
+using join::BucketChainTable;
+using storage::ColumnReader;
+using storage::ColumnView;
+using tpch::GroupAgg;
+using tpch::OpRecorder;
+using tpch::QueryConfig;
+using tpch::QueryResult;
+
+// Mirrors the plan validator's group-count cap; per-lane aggregate
+// state is a fixed array this large.
+constexpr int kMaxGroups = 64;
+
+// A pipeline-breaker hash table plus the resource buffer backing it,
+// sized for the build side's pre-filter row count (like the
+// materializing operators' worst-case row-id lists).
+struct FusedTable {
+  AlignedBuffer buf;
+  BucketChainTable table;
+
+  Status Init(size_t capacity, const QueryConfig& config) {
+    auto mem = tpch::EffectiveResource(config)->Allocate(
+        BucketChainTable::BytesFor(capacity));
+    if (!mem.ok()) return mem.status();
+    buf = std::move(mem).value();
+    table.Bind(buf.data(), capacity);
+    const int threads = config.num_threads;
+    return ParallelRun(threads, [&](int tid) {
+      Range r = SplitRange(table.num_buckets, threads, tid);
+      table.InitBuckets(r.begin, r.end);
+    });
+  }
+};
+
+// sigma(lo <= col <= hi) over [r.begin, r.end), branchless; writes
+// absolute row ids. Paged views pin one partition run at a time.
+Result<size_t> FilterU32Morsel(const ColumnView<uint32_t>& col, Range r,
+                               uint32_t lo, uint32_t hi, uint64_t* out) {
+  size_t k = 0;
+  SGXB_RETURN_NOT_OK(storage::ForEachRun(
+      col, r.begin, r.end,
+      [&](const uint32_t* run, size_t base, size_t n) {
+        for (size_t j = 0; j < n; ++j) {
+          out[k] = base + j;
+          k += (run[j] >= lo && run[j] <= hi) ? 1 : 0;
+        }
+      }));
+  return k;
+}
+
+// SIMD u8 range scan over a morsel (kernel picked once per query).
+Result<size_t> ScanU8Morsel(const ColumnView<uint8_t>& col, Range r,
+                            uint8_t lo, uint8_t hi, uint64_t* out,
+                            scan::RowIdKernel kernel) {
+  size_t k = 0;
+  SGXB_RETURN_NOT_OK(storage::ForEachRun(
+      col, r.begin, r.end,
+      [&](const uint8_t* run, size_t base, size_t n) {
+        k += kernel(run, n, lo, hi, base, out + k);
+      }));
+  return k;
+}
+
+template <typename Pred>
+size_t RefineMorsel(const uint64_t* in, size_t n, uint64_t* out,
+                    Pred pred) {
+  size_t k = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t id = in[i];
+    out[k] = id;
+    k += pred(id) ? 1 : 0;
+  }
+  return k;
+}
+
+void StageTuples(ColumnReader<uint32_t>& keys, const uint64_t* ids,
+                 size_t n, Tuple* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i].key = keys[ids[i]];
+    out[i].payload = static_cast<uint32_t>(ids[i]);
+  }
+}
+
+template <typename OnMatch>
+void ProbeStaged(const BucketChainTable& table, const Tuple* staged,
+                 size_t n, exec::ProbeMode mode, int width,
+                 OnMatch& on_match) {
+  if (mode == exec::ProbeMode::kTupleAtATime) {
+    for (size_t i = 0; i < n; ++i) {
+      table.ProbeBucket(table.HashOf(staged[i].key), staged[i], on_match);
+    }
+    return;
+  }
+  join::BucketChainCursor<OnMatch> cursors[exec::kMaxProbeWidth];
+  for (int i = 0; i < width; ++i) {
+    cursors[i].table = &table;
+    cursors[i].on_match = &on_match;
+  }
+  exec::BatchedProbe(mode, staged, n, width, cursors);
+}
+
+Result<double> RunPipe(const std::string& span_name, size_t total,
+                       const QueryConfig& config,
+                       const exec::MorselBody& body) {
+  exec::PipelineConfig pc;
+  pc.name = span_name.c_str();
+  pc.num_threads = config.num_threads;
+  pc.enclave_lanes = config.setting != ExecutionSetting::kPlainCpu;
+  pc.resource = tpch::EffectiveResource(config);
+  pc.arena_pool = config.arena_pool;
+  WallTimer timer;
+  Status s = exec::RunMorselPipeline(total, pc, body);
+  if (!s.ok()) return s;
+  return static_cast<double>(timer.ElapsedNanos());
+}
+
+perf::AccessProfile PipeProfile(size_t seq_read_bytes, size_t rows,
+                                uint64_t probes, size_t probe_ws,
+                                bool batched, uint64_t sink_rows,
+                                size_t sink_ws) {
+  perf::AccessProfile p;
+  p.seq_read_bytes = seq_read_bytes;
+  p.loop_iterations = rows;
+  p.ilp = perf::IlpClass::kUnrolledReordered;
+  if (probes > 0) {
+    p.rand_reads = probes;
+    p.rand_read_working_set = probe_ws;
+    if (batched) p.hidden_random_reads = probes;
+    p.software_mlp = batched;
+  }
+  if (sink_rows > 0) {
+    p.rand_writes = sink_rows;
+    p.rand_write_working_set = sink_ws;
+    p.seq_write_bytes = sink_rows * sizeof(Tuple);
+  }
+  return p;
+}
+
+// Padded per-lane aggregation state so lanes never false-share.
+template <typename T>
+struct alignas(kCacheLineSize) LaneSlot {
+  T value{};
+};
+
+// A fused stage's consumer: receives the surviving row ids of the
+// subtree's output table, morsel by morsel (possibly several flushes
+// per morsel when a probe overflows the lane's selection buffer).
+using MorselSink =
+    std::function<Status(exec::PipelineLane&, const uint64_t*, size_t)>;
+
+class FusedExec {
+ public:
+  FusedExec(const Plan& plan, const tpch::TpchDbView& db,
+            const QueryConfig& config, const PlanDecisions& dec)
+      : plan_(plan),
+        db_(db),
+        config_(config),
+        dec_(dec),
+        mode_(dec.probe_mode),
+        width_(dec.probe_batch),
+        batched_(dec.probe_mode != exec::ProbeMode::kTupleAtATime),
+        kernel_(scan::PickRowIdKernel(SimdLevel::kAvx512)),
+        tables_(plan.nodes().size()) {
+    prefix_ = plan.name();
+    for (char& c : prefix_) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+  }
+
+  Result<QueryResult> Run();
+
+ private:
+  // Builds (and fills) the breaker hash table of every join in the
+  // subtree, bottom-up: inner joins' tables fill first so an outer
+  // build pipeline can probe them.
+  Status PrepareTables(int id, const std::string& suffix);
+
+  // Runs the subtree as one pipeline (scans and probes fused), feeding
+  // surviving row ids to `sink`. `role` names the pipeline ("build",
+  // "probe", or the root aggregate's verb).
+  Status DriveSubtree(int id, const std::string& role,
+                      const std::string& suffix, const MorselSink& sink,
+                      std::atomic<uint64_t>* sink_rows, size_t sink_ws);
+  Status DriveScan(int id, const std::string& name, const MorselSink& sink,
+                   std::atomic<uint64_t>* sink_rows, size_t sink_ws);
+  Status DriveJoin(int id, const std::string& name, const MorselSink& sink,
+                   std::atomic<uint64_t>* sink_rows, size_t sink_ws);
+
+  // Applies a scan node's predicate chain to one morsel; the surviving
+  // ids end up in lane.sel_out().
+  Result<size_t> ApplyPreds(const PlanNode& n, Range r,
+                            exec::PipelineLane& lane);
+
+  size_t PredBytes(const PlanNode& n) const {
+    size_t bytes = 0;
+    for (const Predicate& p : n.predicates) {
+      const size_t rows = TableRows(db_, n.table);
+      bytes += rows * (TypeOf(p.col) == ColType::kU32 ? 4 : 1);
+      if (p.kind == Predicate::Kind::kColLess) bytes += rows * 4;
+    }
+    return bytes;
+  }
+
+  const Plan& plan_;
+  const tpch::TpchDbView& db_;
+  const QueryConfig& config_;
+  const PlanDecisions& dec_;
+  const exec::ProbeMode mode_;
+  const int width_;
+  const bool batched_;
+  const scan::RowIdKernel kernel_;
+  std::vector<FusedTable> tables_;
+  std::string prefix_;
+  OpRecorder rec_;
+};
+
+Result<size_t> FusedExec::ApplyPreds(const PlanNode& n, Range r,
+                                     exec::PipelineLane& lane) {
+  uint64_t* sel = lane.sel_out();
+  size_t k = 0;
+  size_t next = 0;
+  if (n.predicates.empty()) {
+    for (size_t i = r.begin; i < r.end; ++i) sel[k++] = i;
+  } else {
+    const Predicate& p = n.predicates[0];
+    switch (p.kind) {
+      case Predicate::Kind::kU32Range: {
+        auto f = FilterU32Morsel(U32Column(db_, p.col), r, p.lo, p.hi, sel);
+        if (!f.ok()) return f.status();
+        k = f.value();
+        next = 1;
+        break;
+      }
+      case Predicate::Kind::kU8Range: {
+        auto f = ScanU8Morsel(U8Column(db_, p.col), r,
+                              static_cast<uint8_t>(p.lo),
+                              static_cast<uint8_t>(p.hi), sel, kernel_);
+        if (!f.ok()) return f.status();
+        k = f.value();
+        next = 1;
+        break;
+      }
+      default:
+        // kU8InSet / kColLess have no direct scan form: start from the
+        // full morsel and refine below.
+        for (size_t i = r.begin; i < r.end; ++i) sel[k++] = i;
+        break;
+    }
+  }
+  for (size_t pi = next; pi < n.predicates.size(); ++pi) {
+    const Predicate& p = n.predicates[pi];
+    lane.FlipSel();
+    switch (p.kind) {
+      case Predicate::Kind::kU32Range: {
+        ColumnReader<uint32_t> c(U32Column(db_, p.col));
+        k = RefineMorsel(lane.sel_in(), k, lane.sel_out(),
+                         [&](uint64_t id) {
+                           return c[id] >= p.lo && c[id] <= p.hi;
+                         });
+        SGXB_RETURN_NOT_OK(c.status());
+        break;
+      }
+      case Predicate::Kind::kU8Range: {
+        ColumnReader<uint8_t> c(U8Column(db_, p.col));
+        k = RefineMorsel(lane.sel_in(), k, lane.sel_out(),
+                         [&](uint64_t id) {
+                           return c[id] >= p.lo && c[id] <= p.hi;
+                         });
+        SGXB_RETURN_NOT_OK(c.status());
+        break;
+      }
+      case Predicate::Kind::kU8InSet: {
+        ColumnReader<uint8_t> c(U8Column(db_, p.col));
+        k = RefineMorsel(lane.sel_in(), k, lane.sel_out(),
+                         [&](uint64_t id) {
+                           return ((p.mask >> c[id]) & 1u) != 0;
+                         });
+        SGXB_RETURN_NOT_OK(c.status());
+        break;
+      }
+      case Predicate::Kind::kColLess: {
+        ColumnReader<uint32_t> a(U32Column(db_, p.col));
+        ColumnReader<uint32_t> b(U32Column(db_, p.rhs));
+        k = RefineMorsel(lane.sel_in(), k, lane.sel_out(),
+                         [&](uint64_t id) { return a[id] < b[id]; });
+        SGXB_RETURN_NOT_OK(a.status());
+        SGXB_RETURN_NOT_OK(b.status());
+        break;
+      }
+    }
+  }
+  return k;
+}
+
+Status FusedExec::DriveScan(int id, const std::string& name,
+                            const MorselSink& sink,
+                            std::atomic<uint64_t>* sink_rows,
+                            size_t sink_ws) {
+  const PlanNode& n = plan_.node(id);
+  const size_t total = TableRows(db_, n.table);
+  std::atomic<uint64_t> sel_rows{0};
+  auto ns = RunPipe(name, total, config_,
+                    [&](Range r, exec::PipelineLane& lane) -> Status {
+                      auto k = ApplyPreds(n, r, lane);
+                      if (!k.ok()) return k.status();
+                      sel_rows.fetch_add(k.value(),
+                                         std::memory_order_relaxed);
+                      return sink(lane, lane.sel_out(), k.value());
+                    });
+  if (!ns.ok()) return ns.status();
+  const size_t seq = PredBytes(n) == 0 ? total * sizeof(uint32_t)
+                                       : PredBytes(n);
+  rec_.Record(name, ns.value(),
+              PipeProfile(seq, total, 0, 0, batched_,
+                          sink_rows ? sink_rows->load() : 0, sink_ws),
+              config_.num_threads);
+  return Status::OK();
+}
+
+Status FusedExec::DriveJoin(int id, const std::string& name,
+                            const MorselSink& sink,
+                            std::atomic<uint64_t>* sink_rows,
+                            size_t sink_ws) {
+  const PlanNode& n = plan_.node(id);
+  const PlanNode& probe_scan = plan_.node(n.probe);
+  const FusedTable& tbl = tables_[static_cast<size_t>(id)];
+  const size_t total = TableRows(db_, probe_scan.table);
+  const ColumnView<uint32_t> pkey = U32Column(db_, n.probe_key);
+  std::atomic<uint64_t> sel_rows{0};
+  auto ns = RunPipe(
+      name, total, config_,
+      [&](Range r, exec::PipelineLane& lane) -> Status {
+        auto filtered = ApplyPreds(probe_scan, r, lane);
+        if (!filtered.ok()) return filtered.status();
+        const size_t k = filtered.value();
+        ColumnReader<uint32_t> pkey_r(pkey);
+        StageTuples(pkey_r, lane.sel_out(), k, lane.stage());
+        lane.FlipSel();
+        uint64_t* out = lane.sel_out();
+        const size_t cap = lane.capacity();
+        size_t m = 0;
+        Status sink_status = Status::OK();
+        auto on_match = [&](const Tuple&, const Tuple& probe) {
+          out[m++] = probe.payload;
+          if (m == cap) {
+            Status s = sink(lane, out, m);
+            if (!s.ok() && sink_status.ok()) sink_status = std::move(s);
+            m = 0;
+          }
+        };
+        ProbeStaged(tbl.table, lane.stage(), k, mode_, width_, on_match);
+        if (m > 0) {
+          Status s = sink(lane, out, m);
+          if (!s.ok() && sink_status.ok()) sink_status = std::move(s);
+        }
+        sel_rows.fetch_add(k, std::memory_order_relaxed);
+        SGXB_RETURN_NOT_OK(sink_status);
+        return pkey_r.status();
+      });
+  if (!ns.ok()) return ns.status();
+  rec_.Record(name, ns.value(),
+              PipeProfile(PredBytes(probe_scan) +
+                              sel_rows.load() * sizeof(uint32_t),
+                          total, sel_rows.load(), tbl.buf.size(), batched_,
+                          sink_rows ? sink_rows->load() : 0, sink_ws),
+              config_.num_threads);
+  return Status::OK();
+}
+
+Status FusedExec::DriveSubtree(int id, const std::string& role,
+                               const std::string& suffix,
+                               const MorselSink& sink,
+                               std::atomic<uint64_t>* sink_rows,
+                               size_t sink_ws) {
+  const PlanNode& n = plan_.node(id);
+  switch (n.kind) {
+    case PlanNode::Kind::kScan:
+      return DriveScan(id,
+                       prefix_ + "." + role + "_" + TableName(n.table) +
+                           suffix,
+                       sink, sink_rows, sink_ws);
+    case PlanNode::Kind::kJoin:
+      return DriveJoin(
+          id,
+          prefix_ + "." + role + "_" +
+              TableName(plan_.node(n.probe).table) + suffix,
+          sink, sink_rows, sink_ws);
+    case PlanNode::Kind::kUnionAll: {
+      int branch = 0;
+      for (int c : n.children) {
+        SGXB_RETURN_NOT_OK(
+            DriveSubtree(c, role, suffix + "_b" + std::to_string(++branch),
+                         sink, sink_rows, sink_ws));
+      }
+      return Status::OK();
+    }
+    case PlanNode::Kind::kAggregate:
+      break;
+  }
+  return Status::Internal("DriveSubtree reached an aggregate node");
+}
+
+Status FusedExec::PrepareTables(int id, const std::string& suffix) {
+  const PlanNode& n = plan_.node(id);
+  switch (n.kind) {
+    case PlanNode::Kind::kScan:
+      return Status::OK();
+    case PlanNode::Kind::kAggregate:
+      return PrepareTables(n.input, suffix);
+    case PlanNode::Kind::kUnionAll: {
+      int branch = 0;
+      for (int c : n.children) {
+        SGXB_RETURN_NOT_OK(
+            PrepareTables(c, suffix + "_b" + std::to_string(++branch)));
+      }
+      return Status::OK();
+    }
+    case PlanNode::Kind::kJoin: {
+      // Inner joins first: this join's build pipeline may probe them.
+      SGXB_RETURN_NOT_OK(PrepareTables(n.build, suffix));
+      FusedTable& tbl = tables_[static_cast<size_t>(id)];
+      SGXB_RETURN_NOT_OK(
+          tbl.Init(TableRows(db_, plan_.OutputTable(n.build)), config_));
+      const ColumnView<uint32_t> bkey = U32Column(db_, n.build_key);
+      std::atomic<uint64_t> inserted{0};
+      MorselSink insert_sink =
+          [&](exec::PipelineLane&, const uint64_t* ids,
+              size_t cnt) -> Status {
+        ColumnReader<uint32_t> key(bkey);
+        for (size_t i = 0; i < cnt; ++i) {
+          tbl.table.Insert(
+              Tuple{key[ids[i]], static_cast<uint32_t>(ids[i])});
+        }
+        inserted.fetch_add(cnt, std::memory_order_relaxed);
+        return key.status();
+      };
+      SGXB_RETURN_NOT_OK(DriveSubtree(n.build, "build", suffix,
+                                      insert_sink, &inserted,
+                                      tbl.buf.size()));
+      tpch::ChargeBytesMaterialized(inserted.load() * sizeof(Tuple));
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable plan node kind");
+}
+
+Result<QueryResult> FusedExec::Run() {
+  WallTimer timer;
+  SGXB_RETURN_NOT_OK(PrepareTables(plan_.root(), ""));
+
+  const PlanNode& root = plan_.node(plan_.root());
+  const AggSpec& agg = root.agg;
+  const PlanNode& in = plan_.node(root.input);
+  const size_t lanes = static_cast<size_t>(config_.num_threads);
+  QueryResult result;
+
+  // The root pipeline's verb: probe when a join/union drives it, the
+  // aggregate's own verb over a bare scan (q1.group_lineitem style).
+  auto role_for = [&](const char* scan_verb) {
+    return in.kind == PlanNode::Kind::kScan ? std::string(scan_verb)
+                                            : std::string("probe");
+  };
+
+  switch (agg.kind) {
+    case AggSpec::Kind::kCountStar: {
+      std::vector<LaneSlot<uint64_t>> counts(lanes);
+      MorselSink sink = [&](exec::PipelineLane& lane, const uint64_t*,
+                            size_t cnt) -> Status {
+        counts[static_cast<size_t>(lane.lane_id())].value += cnt;
+        return Status::OK();
+      };
+      SGXB_RETURN_NOT_OK(
+          DriveSubtree(root.input, role_for("count"), "", sink, nullptr, 0));
+      for (const auto& slot : counts) result.count += slot.value;
+      break;
+    }
+    case AggSpec::Kind::kGroupCountViaFk: {
+      struct Counts {
+        uint64_t c[kMaxGroups] = {};
+      };
+      std::vector<LaneSlot<Counts>> lane_counts(lanes);
+      std::atomic<bool> out_of_range{false};
+      const ColumnView<uint32_t> fk_col = U32Column(db_, agg.fk);
+      const ColumnView<uint8_t> val_col = U8Column(db_, agg.values);
+      MorselSink sink = [&](exec::PipelineLane& lane, const uint64_t* ids,
+                            size_t cnt) -> Status {
+        ColumnReader<uint32_t> fk(fk_col);
+        ColumnReader<uint8_t> vals(val_col);
+        uint64_t* c =
+            lane_counts[static_cast<size_t>(lane.lane_id())].value.c;
+        for (size_t i = 0; i < cnt; ++i) {
+          const uint8_t g = vals[fk[ids[i]]];
+          if (g >= agg.num_groups) {
+            out_of_range.store(true, std::memory_order_relaxed);
+            break;
+          }
+          ++c[g];
+        }
+        SGXB_RETURN_NOT_OK(fk.status());
+        return vals.status();
+      };
+      SGXB_RETURN_NOT_OK(
+          DriveSubtree(root.input, role_for("group"), "", sink, nullptr,
+                       val_col.size_bytes()));
+      if (out_of_range.load()) {
+        return Status::Internal("group code out of range in " + prefix_ +
+                                " grouped aggregate");
+      }
+      std::vector<uint64_t> raw(static_cast<size_t>(agg.num_groups), 0);
+      for (const auto& slot : lane_counts) {
+        for (int g = 0; g < agg.num_groups; ++g) {
+          raw[static_cast<size_t>(g)] += slot.value.c[g];
+        }
+      }
+      if (agg.output_map.empty()) {
+        result.group_counts = raw;
+      } else {
+        int slots = 0;
+        for (int m : agg.output_map) slots = std::max(slots, m + 1);
+        result.group_counts.assign(static_cast<size_t>(slots), 0);
+        for (size_t g = 0; g < raw.size(); ++g) {
+          result.group_counts[static_cast<size_t>(agg.output_map[g])] +=
+              raw[g];
+        }
+      }
+      for (uint64_t c : result.group_counts) result.count += c;
+      break;
+    }
+    case AggSpec::Kind::kGroupSum2: {
+      struct Aggs {
+        GroupAgg g[kMaxGroups] = {};
+      };
+      std::vector<LaneSlot<Aggs>> lane_aggs(lanes);
+      std::atomic<bool> out_of_range{false};
+      const int num_groups = agg.num_g1 * agg.num_g2;
+      const ColumnView<uint32_t> val_col = U32Column(db_, agg.value);
+      const ColumnView<uint8_t> g1_col = U8Column(db_, agg.g1);
+      const ColumnView<uint8_t> g2_col = U8Column(db_, agg.g2);
+      MorselSink sink = [&](exec::PipelineLane& lane, const uint64_t* ids,
+                            size_t cnt) -> Status {
+        ColumnReader<uint32_t> val(val_col);
+        ColumnReader<uint8_t> g1(g1_col);
+        ColumnReader<uint8_t> g2(g2_col);
+        GroupAgg* groups =
+            lane_aggs[static_cast<size_t>(lane.lane_id())].value.g;
+        for (size_t i = 0; i < cnt; ++i) {
+          const uint64_t id = ids[i];
+          const uint8_t a = g1[id];
+          const uint8_t b = g2[id];
+          if (a >= agg.num_g1 || b >= agg.num_g2) {
+            out_of_range.store(true, std::memory_order_relaxed);
+            break;
+          }
+          GroupAgg& g = groups[a * agg.num_g2 + b];
+          ++g.count;
+          g.sum += val[id];
+        }
+        SGXB_RETURN_NOT_OK(val.status());
+        SGXB_RETURN_NOT_OK(g1.status());
+        return g2.status();
+      };
+      SGXB_RETURN_NOT_OK(
+          DriveSubtree(root.input, role_for("group"), "", sink, nullptr,
+                       static_cast<size_t>(num_groups) * sizeof(GroupAgg)));
+      if (out_of_range.load()) {
+        return Status::Internal("group code out of range in " + prefix_ +
+                                " grouped aggregate");
+      }
+      for (int g = 0; g < num_groups; ++g) {
+        uint64_t count = 0;
+        for (const auto& slot : lane_aggs) count += slot.value.g[g].count;
+        result.group_counts.push_back(count);
+        result.count += count;
+      }
+      break;
+    }
+    case AggSpec::Kind::kSumProduct: {
+      struct Sums {
+        uint64_t sum = 0;
+        uint64_t rows = 0;
+      };
+      std::vector<LaneSlot<Sums>> lane_sums(lanes);
+      const ColumnView<uint32_t> a_col = U32Column(db_, agg.value);
+      const ColumnView<uint32_t> b_col = U32Column(db_, agg.value2);
+      MorselSink sink = [&](exec::PipelineLane& lane, const uint64_t* ids,
+                            size_t cnt) -> Status {
+        ColumnReader<uint32_t> a(a_col);
+        ColumnReader<uint32_t> b(b_col);
+        uint64_t local = 0;
+        for (size_t i = 0; i < cnt; ++i) {
+          const uint64_t id = ids[i];
+          local += static_cast<uint64_t>(a[id]) * b[id];
+        }
+        Sums& s = lane_sums[static_cast<size_t>(lane.lane_id())].value;
+        s.sum += local;
+        s.rows += cnt;
+        SGXB_RETURN_NOT_OK(a.status());
+        return b.status();
+      };
+      SGXB_RETURN_NOT_OK(
+          DriveSubtree(root.input, role_for("sum"), "", sink, nullptr, 0));
+      uint64_t sum = 0;
+      for (const auto& slot : lane_sums) {
+        sum += slot.value.sum;
+        result.count += slot.value.rows;
+      }
+      result.group_counts = {sum};
+      break;
+    }
+  }
+
+  result.host_ns = static_cast<double>(timer.ElapsedNanos());
+  result.phases = rec_.Take();
+  return result;
+}
+
+}  // namespace
+
+Result<QueryResult> ExecuteFused(const Plan& plan,
+                                 const tpch::TpchDbView& db,
+                                 const QueryConfig& config,
+                                 const PlanDecisions& decisions) {
+  if (!FusedLowerable(plan)) {
+    return Status::InvalidArgument(
+        "plan has a join probing a non-scan; fused lowering requires "
+        "scan probe children");
+  }
+  FusedExec exec(plan, db, config, decisions);
+  return exec.Run();
+}
+
+}  // namespace sgxb::plan

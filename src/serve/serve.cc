@@ -189,7 +189,8 @@ void QueryServer::Execute(AdmissionQueue::Ticket ticket) {
 
   WallTimer exec_timer;
   Result<tpch::QueryResult> result =
-      tpch::RunQuery(req.query_number, db_, config);
+      req.plan != nullptr ? tpch::RunPlan(*req.plan, db_, config)
+                          : tpch::RunQuery(req.query_number, db_, config);
   response.exec_ns = static_cast<double>(exec_timer.ElapsedNanos());
 
   // Release per-query state before delivering: a client that reacts to

@@ -74,8 +74,14 @@ struct ServerOptions {
 
 /// \brief One query submission.
 struct QueryRequest {
-  /// TPC-H query number (1, 3, 6, 10, 12, 19 — tpch::RunQuery).
+  /// Catalog query number (plan/catalog.h — tpch::RunQuery). Ignored
+  /// when `plan` is set.
   int query_number = 6;
+  /// Ad-hoc plan to run instead of a catalog query (tpch::RunPlan). The
+  /// caller owns the plan; it must stay alive until the response future
+  /// resolves. Plans are immutable once built, so one plan may back any
+  /// number of concurrent requests.
+  const plan::Plan* plan = nullptr;
   /// Per-query execution config. num_threads is a *request*: the server
   /// grants min(request, worker share) at dispatch; 0 = "as many as the
   /// fair share allows". arena_pool and obs_domain are server-owned and

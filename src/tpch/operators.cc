@@ -9,7 +9,9 @@
 #include "common/parallel.h"
 #include "common/timer.h"
 #include "exec/probe_pipeline.h"
+#include "join/cht_join.h"
 #include "join/materializer.h"
+#include "join/pht_join.h"
 #include "join/rho_join.h"
 #include "obs/metrics.h"
 #include "perf/calibration.h"
@@ -147,7 +149,15 @@ bool PipelineEnabled(const QueryConfig& config) {
 
 QueryConfig ResolvedQueryConfig(const QueryConfig& config) {
   QueryConfig r = config;
-  r.pipeline = PipelineEnabled(r);
+  // Pin the pipeline choice only when something actually chose: an
+  // explicit config value or SGXBENCH_PIPELINE in the environment. An
+  // unset value stays unset so the planner (plan/planner.h) remains free
+  // to cost-choose the execution mode per plan; what matters for
+  // admission-time stability is that getenv() is consulted here, once,
+  // not deep inside operators while other queries run.
+  if (!r.pipeline.has_value() && EnvString("SGXBENCH_PIPELINE")) {
+    r.pipeline = PipelineEnabled(r);
+  }
   if (!r.probe_mode.has_value()) {
     // Mirrors join::EffectiveProbeMode: the env override, else the
     // flavor-appropriate default.
@@ -438,11 +448,32 @@ Result<Relation> GatherKeys(storage::ColumnView<uint32_t> keys,
   return result;
 }
 
+namespace {
+
+// The planner's join-flavour dispatch: RHO unless the cost model (or
+// SGXBENCH_JOIN_ALGO) picked the shared-table or concise alternative.
+Result<join::JoinResult> DispatchJoin(join::JoinAlgorithm algo,
+                                      const Relation& build,
+                                      const Relation& probe,
+                                      const join::JoinConfig& jc) {
+  switch (algo) {
+    case join::JoinAlgorithm::kPht:
+      return join::PhtJoin(build, probe, jc);
+    case join::JoinAlgorithm::kCht:
+      return join::ChtJoin(build, probe, jc);
+    default:
+      return join::RhoJoin(build, probe, jc);
+  }
+}
+
+}  // namespace
+
 Result<JoinStepResult> MaterializingJoin(const Relation& build,
                                          const Relation& probe,
                                          const QueryConfig& config,
                                          OpRecorder* rec,
-                                         const std::string& name) {
+                                         const std::string& name,
+                                         join::JoinAlgorithm algo) {
   // The join's own materializer produces JoinOutputTuples; the probe-side
   // payload is the probe row id, which is what the next operator needs.
   // Empty inputs short-circuit (a filter can legitimately select nothing).
@@ -459,7 +490,7 @@ Result<JoinStepResult> MaterializingJoin(const Relation& build,
                           join::Materializer::kDefaultChunkTuples,
                           config.arena_pool);
   jc.output = &sink;
-  auto jr = join::RhoJoin(build, probe, jc);
+  auto jr = DispatchJoin(algo, build, probe, jc);
   if (!jr.ok()) return jr.status();
   step.matches = jr.value().matches;
   if (rec != nullptr) rec->Absorb(name, jr.value().phases);
@@ -484,10 +515,11 @@ Result<JoinStepResult> MaterializingJoin(const Relation& build,
 
 Result<uint64_t> CountingJoin(const Relation& build, const Relation& probe,
                               const QueryConfig& config, OpRecorder* rec,
-                              const std::string& name) {
+                              const std::string& name,
+                              join::JoinAlgorithm algo) {
   if (build.empty() || probe.empty()) return uint64_t{0};
   join::JoinConfig jc = ToJoinConfig(config, /*materialize=*/false);
-  auto jr = join::RhoJoin(build, probe, jc);
+  auto jr = DispatchJoin(algo, build, probe, jc);
   if (!jr.ok()) return jr.status();
   if (rec != nullptr) rec->Absorb(name, jr.value().phases);
   return jr.value().matches;

@@ -183,17 +183,19 @@ struct JoinStepResult {
   RowIdList probe_rows;
 };
 
-/// \brief Materializing RHO join step; extracts probe-side row ids.
-Result<JoinStepResult> MaterializingJoin(const Relation& build,
-                                         const Relation& probe,
-                                         const QueryConfig& config,
-                                         OpRecorder* rec,
-                                         const std::string& name);
+/// \brief Materializing hash-join step; extracts probe-side row ids.
+/// `algo` picks the flavour (RHO default; PHT and CHT are the planner's
+/// cost-model alternatives — all three honor the materializer sink).
+Result<JoinStepResult> MaterializingJoin(
+    const Relation& build, const Relation& probe, const QueryConfig& config,
+    OpRecorder* rec, const std::string& name,
+    join::JoinAlgorithm algo = join::JoinAlgorithm::kRho);
 
 /// \brief Final count(*) join: no materialization, returns match count.
-Result<uint64_t> CountingJoin(const Relation& build, const Relation& probe,
-                              const QueryConfig& config, OpRecorder* rec,
-                              const std::string& name);
+Result<uint64_t> CountingJoin(
+    const Relation& build, const Relation& probe, const QueryConfig& config,
+    OpRecorder* rec, const std::string& name,
+    join::JoinAlgorithm algo = join::JoinAlgorithm::kRho);
 
 // --- Aggregation (extension) ---------------------------------------------
 // The paper replaces final aggregations with count(*); these operators

@@ -1,1002 +1,91 @@
 #include "tpch/pipelines.h"
 
-#include <atomic>
-#include <string>
-#include <vector>
-
-#include "common/timer.h"
-#include "exec/pipeline.h"
-#include "exec/probe_pipeline.h"
-#include "join/hash_table.h"
-#include "join/join_common.h"
-#include "scan/scan_kernels.h"
-#include "storage/column_view.h"
-#include "tpch/query_constants.h"
+#include "plan/catalog.h"
+#include "plan/planner.h"
 
 namespace sgxb::tpch {
 
 namespace {
 
-using join::BucketChainTable;
-using storage::ColumnReader;
-using storage::ColumnView;
-
-// Probe scheduling resolves exactly like the joins' (env default /
-// flavor-derived), so a fused plan honors the same knobs as the RHO probe
-// it replaces.
-exec::ProbeMode ResolveProbeMode(const QueryConfig& config) {
-  join::JoinConfig jc;
-  jc.flavor = config.flavor;
-  jc.probe_mode = config.probe_mode;
-  jc.probe_batch = config.probe_batch;
-  return join::EffectiveProbeMode(jc);
-}
-
-int ResolveProbeWidth(const QueryConfig& config, exec::ProbeMode mode) {
-  join::JoinConfig jc;
-  jc.flavor = config.flavor;
-  jc.probe_mode = config.probe_mode;
-  jc.probe_batch = config.probe_batch;
-  return join::EffectiveProbeWidth(jc, mode);
-}
-
-// A pipeline-breaker hash table plus the resource buffer backing it.
-// Sized for the driving table's row count (the pre-filter upper bound,
-// like the materializing operators' worst-case row-id lists) so build
-// pipelines can insert without a counting pre-pass.
-struct FusedTable {
-  AlignedBuffer buf;
-  BucketChainTable table;
-
-  Status Init(size_t capacity, const QueryConfig& config) {
-    auto mem = EffectiveResource(config)->Allocate(
-        BucketChainTable::BytesFor(capacity));
-    if (!mem.ok()) return mem.status();
-    buf = std::move(mem).value();
-    table.Bind(buf.data(), capacity);
-    const int threads = config.num_threads;
-    return ParallelRun(threads, [&](int tid) {
-      Range r = SplitRange(table.num_buckets, threads, tid);
-      table.InitBuckets(r.begin, r.end);
-    });
+// Forces the fused lowering of a catalog plan regardless of the
+// planner's own mode choice; everything else (join flavour, probe
+// scheduling) still resolves through DecideFor.
+Result<QueryResult> Fused(int query_number, const TpchDbView& db,
+                          const QueryConfig& config) {
+  const plan::CatalogEntry* entry = plan::FindQuery(query_number);
+  if (entry == nullptr) {
+    return Status::InvalidArgument("query " +
+                                   std::to_string(query_number) +
+                                   " is not in the plan catalog");
   }
-};
-
-// --- Morsel stages -------------------------------------------------------
-//
-// Every stage works on a ColumnView: resident views run one kernel call
-// over the whole morsel (the historical code path), paged views pin one
-// partition run at a time via storage::ForEachRun, which prefetches the
-// next partition so its decrypt hides behind the current run.
-
-// sigma(lo <= col <= hi) over [r.begin, r.end), branchless like
-// FilterU32Range; writes absolute row ids.
-Result<size_t> FilterU32Morsel(const ColumnView<uint32_t>& col, Range r,
-                               uint32_t lo, uint32_t hi, uint64_t* out) {
-  size_t k = 0;
-  SGXB_RETURN_NOT_OK(storage::ForEachRun(
-      col, r.begin, r.end,
-      [&](const uint32_t* run, size_t base, size_t n) {
-        for (size_t j = 0; j < n; ++j) {
-          out[k] = base + j;
-          k += (run[j] >= lo && run[j] <= hi) ? 1 : 0;
-        }
-      }));
-  return k;
-}
-
-// SIMD u8 range scan over a morsel. The row-id kernel takes an absolute
-// base per run, so it applies to pinned partition runs natively; callers
-// hoist the kernel pick out of the morsel loop.
-Result<size_t> ScanU8Morsel(const ColumnView<uint8_t>& col, Range r,
-                            uint8_t lo, uint8_t hi, uint64_t* out,
-                            scan::RowIdKernel kernel) {
-  size_t k = 0;
-  SGXB_RETURN_NOT_OK(storage::ForEachRun(
-      col, r.begin, r.end,
-      [&](const uint8_t* run, size_t base, size_t n) {
-        k += kernel(run, n, lo, hi, base, out + k);
-      }));
-  return k;
-}
-
-template <typename Pred>
-size_t RefineMorsel(const uint64_t* in, size_t n, uint64_t* out,
-                    Pred pred) {
-  size_t k = 0;
-  for (size_t i = 0; i < n; ++i) {
-    const uint64_t id = in[i];
-    out[k] = id;
-    k += pred(id) ? 1 : 0;
-  }
-  return k;
-}
-
-// Gathers {keys[id], id} into the lane's staging buffer for probing. The
-// ids are ascending within the morsel, so a paged reader stays on its
-// cached pin; a pin failure latches keys.status() (checked by the body).
-void StageTuples(ColumnReader<uint32_t>& keys, const uint64_t* ids,
-                 size_t n, Tuple* out) {
-  for (size_t i = 0; i < n; ++i) {
-    out[i].key = keys[ids[i]];
-    out[i].payload = static_cast<uint32_t>(ids[i]);
-  }
-}
-
-// Probes the staged tuples with the configured driver. on_match receives
-// (build_tuple, probe_tuple) for every key match, exactly like the joins'
-// match emitters; it is where the next fused stage runs.
-template <typename OnMatch>
-void ProbeStaged(const BucketChainTable& table, const Tuple* staged,
-                 size_t n, exec::ProbeMode mode, int width,
-                 OnMatch& on_match) {
-  if (mode == exec::ProbeMode::kTupleAtATime) {
-    for (size_t i = 0; i < n; ++i) {
-      table.ProbeBucket(table.HashOf(staged[i].key), staged[i], on_match);
-    }
-    return;
-  }
-  join::BucketChainCursor<OnMatch> cursors[exec::kMaxProbeWidth];
-  for (int i = 0; i < width; ++i) {
-    cursors[i].table = &table;
-    cursors[i].on_match = &on_match;
-  }
-  exec::BatchedProbe(mode, staged, n, width, cursors);
-}
-
-// --- Pipeline runner -----------------------------------------------------
-
-Result<double> RunPipe(const char* span_name, size_t total,
-                       const QueryConfig& config,
-                       const exec::MorselBody& body) {
-  exec::PipelineConfig pc;
-  pc.name = span_name;
-  pc.num_threads = config.num_threads;
-  pc.enclave_lanes = config.setting != ExecutionSetting::kPlainCpu;
-  pc.resource = EffectiveResource(config);
-  pc.arena_pool = config.arena_pool;
-  WallTimer timer;
-  Status s = exec::RunMorselPipeline(total, pc, body);
-  if (!s.ok()) return s;
-  return static_cast<double>(timer.ElapsedNanos());
-}
-
-// One phase profile per pipeline: the whole fused pass is a single
-// streaming loop whose only non-resident traffic is the scanned columns,
-// the hash-table probes, and the breaker sink.
-perf::AccessProfile PipeProfile(size_t seq_read_bytes, size_t rows,
-                                uint64_t probes, size_t probe_ws,
-                                bool batched, uint64_t sink_rows,
-                                size_t sink_ws) {
-  perf::AccessProfile p;
-  p.seq_read_bytes = seq_read_bytes;
-  p.loop_iterations = rows;
-  p.ilp = perf::IlpClass::kUnrolledReordered;
-  if (probes > 0) {
-    p.rand_reads = probes;
-    p.rand_read_working_set = probe_ws;
-    if (batched) p.hidden_random_reads = probes;
-    p.software_mlp = batched;
-  }
-  if (sink_rows > 0) {
-    p.rand_writes = sink_rows;
-    p.rand_write_working_set = sink_ws;
-    p.seq_write_bytes = sink_rows * sizeof(Tuple);
-  }
-  return p;
-}
-
-// Padded per-lane aggregation state so lanes never false-share.
-template <typename T>
-struct alignas(kCacheLineSize) LaneSlot {
-  T value{};
-};
-
-// --- Q3: customer |x| orders |x| lineitem --------------------------------
-
-template <typename Db>
-Result<QueryResult> Q3FusedImpl(const Db& db, const QueryConfig& config) {
-  OpRecorder rec;
-  WallTimer timer;
-  const exec::ProbeMode mode = ResolveProbeMode(config);
-  const int width = ResolveProbeWidth(config, mode);
-  const bool batched = mode != exec::ProbeMode::kTupleAtATime;
-  const int threads = config.num_threads;
-  const scan::RowIdKernel kernel =
-      scan::PickRowIdKernel(SimdLevel::kAvx512);
-
-  // Pipeline 1: filter customer on mktsegment, build table keyed by
-  // c_custkey (breaker sink — the only global write of the pipeline).
-  FusedTable cust;
-  SGXB_RETURN_NOT_OK(cust.Init(db.customer.num_rows, config));
-  std::atomic<uint64_t> cust_sel{0};
-  {
-    const ColumnView<uint8_t> seg = db.customer.c_mktsegment;
-    const ColumnView<uint32_t> custkey = db.customer.c_custkey;
-    auto ns = RunPipe(
-        "q3.build_customer", db.customer.num_rows, config,
-        [&](Range r, exec::PipelineLane& lane) -> Status {
-          uint64_t* sel = lane.sel_out();
-          auto n = ScanU8Morsel(seg, r, kSegBuilding, kSegBuilding, sel,
-                                kernel);
-          if (!n.ok()) return n.status();
-          ColumnReader<uint32_t> key(custkey);
-          for (size_t i = 0; i < n.value(); ++i) {
-            const uint64_t id = sel[i];
-            cust.table.Insert(Tuple{key[id], static_cast<uint32_t>(id)});
-          }
-          cust_sel.fetch_add(n.value(), std::memory_order_relaxed);
-          return key.status();
-        });
-    if (!ns.ok()) return ns.status();
-    rec.Record("q3.build_customer", ns.value(),
-               PipeProfile(seg.size_bytes(), db.customer.num_rows, 0, 0,
-                           batched, cust_sel.load(), cust.buf.size()),
-               threads);
-  }
-  ChargeBytesMaterialized(cust_sel.load() * sizeof(Tuple));
-
-  // Pipeline 2: filter orders on orderdate, probe customers, build the
-  // order table keyed by o_orderkey for qualifying matched orders.
-  FusedTable ord;
-  SGXB_RETURN_NOT_OK(ord.Init(db.orders.num_rows, config));
-  std::atomic<uint64_t> ord_sel{0};
-  std::atomic<uint64_t> ord_matched{0};
-  {
-    const ColumnView<uint32_t> odate = db.orders.o_orderdate;
-    const ColumnView<uint32_t> ocust = db.orders.o_custkey;
-    const ColumnView<uint32_t> okey = db.orders.o_orderkey;
-    auto ns = RunPipe(
-        "q3.build_orders", db.orders.num_rows, config,
-        [&](Range r, exec::PipelineLane& lane) -> Status {
-          uint64_t* sel = lane.sel_out();
-          auto n = FilterU32Morsel(odate, r, 0, kDate19950315 - 1, sel);
-          if (!n.ok()) return n.status();
-          ColumnReader<uint32_t> ocust_r(ocust);
-          StageTuples(ocust_r, sel, n.value(), lane.stage());
-          ColumnReader<uint32_t> okey_r(okey);
-          uint64_t matched = 0;
-          auto on_match = [&](const Tuple&, const Tuple& probe) {
-            ord.table.Insert(Tuple{okey_r[probe.payload], probe.payload});
-            ++matched;
-          };
-          ProbeStaged(cust.table, lane.stage(), n.value(), mode, width,
-                      on_match);
-          ord_sel.fetch_add(n.value(), std::memory_order_relaxed);
-          ord_matched.fetch_add(matched, std::memory_order_relaxed);
-          SGXB_RETURN_NOT_OK(ocust_r.status());
-          return okey_r.status();
-        });
-    if (!ns.ok()) return ns.status();
-    rec.Record("q3.build_orders", ns.value(),
-               PipeProfile(odate.size_bytes() +
-                               ord_sel.load() * 2 * sizeof(uint32_t),
-                           db.orders.num_rows, ord_sel.load(),
-                           cust.buf.size(), batched, ord_matched.load(),
-                           ord.buf.size()),
-               threads);
-  }
-  ChargeBytesMaterialized(ord_matched.load() * sizeof(Tuple));
-
-  // Pipeline 3: filter lineitem on shipdate, probe orders, count.
-  std::atomic<uint64_t> line_sel{0};
-  std::atomic<uint64_t> matches{0};
-  {
-    const ColumnView<uint32_t> sdate = db.lineitem.l_shipdate;
-    const ColumnView<uint32_t> lokey = db.lineitem.l_orderkey;
-    auto ns = RunPipe(
-        "q3.probe_lineitem", db.lineitem.num_rows, config,
-        [&](Range r, exec::PipelineLane& lane) -> Status {
-          uint64_t* sel = lane.sel_out();
-          auto n = FilterU32Morsel(sdate, r, kDate19950315 + 1,
-                                   0xffffffffu, sel);
-          if (!n.ok()) return n.status();
-          ColumnReader<uint32_t> lokey_r(lokey);
-          StageTuples(lokey_r, sel, n.value(), lane.stage());
-          uint64_t local = 0;
-          auto on_match = [&](const Tuple&, const Tuple&) { ++local; };
-          ProbeStaged(ord.table, lane.stage(), n.value(), mode, width,
-                      on_match);
-          line_sel.fetch_add(n.value(), std::memory_order_relaxed);
-          matches.fetch_add(local, std::memory_order_relaxed);
-          return lokey_r.status();
-        });
-    if (!ns.ok()) return ns.status();
-    rec.Record("q3.probe_lineitem", ns.value(),
-               PipeProfile(sdate.size_bytes() +
-                               line_sel.load() * sizeof(uint32_t),
-                           db.lineitem.num_rows, line_sel.load(),
-                           ord.buf.size(), batched, 0, 0),
-               threads);
-  }
-
-  QueryResult result;
-  result.count = matches.load();
-  result.host_ns = static_cast<double>(timer.ElapsedNanos());
-  result.phases = rec.Take();
-  return result;
-}
-
-// --- Q10: customer |x| orders |x| lineitem -------------------------------
-
-template <typename Db>
-Result<QueryResult> Q10FusedImpl(const Db& db, const QueryConfig& config) {
-  OpRecorder rec;
-  WallTimer timer;
-  const exec::ProbeMode mode = ResolveProbeMode(config);
-  const int width = ResolveProbeWidth(config, mode);
-  const bool batched = mode != exec::ProbeMode::kTupleAtATime;
-  const int threads = config.num_threads;
-  const scan::RowIdKernel kernel =
-      scan::PickRowIdKernel(SimdLevel::kAvx512);
-
-  // Pipeline 1: build the (unfiltered) customer table.
-  FusedTable cust;
-  SGXB_RETURN_NOT_OK(cust.Init(db.customer.num_rows, config));
-  {
-    const ColumnView<uint32_t> custkey = db.customer.c_custkey;
-    auto ns = RunPipe(
-        "q10.build_customer", db.customer.num_rows, config,
-        [&](Range r, exec::PipelineLane&) -> Status {
-          return storage::ForEachRun(
-              custkey, r.begin, r.end,
-              [&](const uint32_t* run, size_t base, size_t n) {
-                for (size_t j = 0; j < n; ++j) {
-                  cust.table.Insert(
-                      Tuple{run[j], static_cast<uint32_t>(base + j)});
-                }
-              });
-        });
-    if (!ns.ok()) return ns.status();
-    rec.Record("q10.build_customer", ns.value(),
-               PipeProfile(custkey.size_bytes(), db.customer.num_rows, 0,
-                           0, batched, db.customer.num_rows,
-                           cust.buf.size()),
-               threads);
-  }
-  ChargeBytesMaterialized(db.customer.num_rows * sizeof(Tuple));
-
-  // Pipeline 2: filter orders on orderdate, probe customers, build the
-  // matched-order table.
-  FusedTable ord;
-  SGXB_RETURN_NOT_OK(ord.Init(db.orders.num_rows, config));
-  std::atomic<uint64_t> ord_sel{0};
-  std::atomic<uint64_t> ord_matched{0};
-  {
-    const ColumnView<uint32_t> odate = db.orders.o_orderdate;
-    const ColumnView<uint32_t> ocust = db.orders.o_custkey;
-    const ColumnView<uint32_t> okey = db.orders.o_orderkey;
-    auto ns = RunPipe(
-        "q10.build_orders", db.orders.num_rows, config,
-        [&](Range r, exec::PipelineLane& lane) -> Status {
-          uint64_t* sel = lane.sel_out();
-          auto n = FilterU32Morsel(odate, r, kDate19931001,
-                                   kDate19940101 - 1, sel);
-          if (!n.ok()) return n.status();
-          ColumnReader<uint32_t> ocust_r(ocust);
-          StageTuples(ocust_r, sel, n.value(), lane.stage());
-          ColumnReader<uint32_t> okey_r(okey);
-          uint64_t matched = 0;
-          auto on_match = [&](const Tuple&, const Tuple& probe) {
-            ord.table.Insert(Tuple{okey_r[probe.payload], probe.payload});
-            ++matched;
-          };
-          ProbeStaged(cust.table, lane.stage(), n.value(), mode, width,
-                      on_match);
-          ord_sel.fetch_add(n.value(), std::memory_order_relaxed);
-          ord_matched.fetch_add(matched, std::memory_order_relaxed);
-          SGXB_RETURN_NOT_OK(ocust_r.status());
-          return okey_r.status();
-        });
-    if (!ns.ok()) return ns.status();
-    rec.Record("q10.build_orders", ns.value(),
-               PipeProfile(odate.size_bytes() +
-                               ord_sel.load() * 2 * sizeof(uint32_t),
-                           db.orders.num_rows, ord_sel.load(),
-                           cust.buf.size(), batched, ord_matched.load(),
-                           ord.buf.size()),
-               threads);
-  }
-  ChargeBytesMaterialized(ord_matched.load() * sizeof(Tuple));
-
-  // Pipeline 3: filter lineitem on returnflag, probe orders, count.
-  std::atomic<uint64_t> line_sel{0};
-  std::atomic<uint64_t> matches{0};
-  {
-    const ColumnView<uint8_t> flag = db.lineitem.l_returnflag;
-    const ColumnView<uint32_t> lokey = db.lineitem.l_orderkey;
-    auto ns = RunPipe(
-        "q10.probe_lineitem", db.lineitem.num_rows, config,
-        [&](Range r, exec::PipelineLane& lane) -> Status {
-          uint64_t* sel = lane.sel_out();
-          auto n = ScanU8Morsel(flag, r, kFlagR, kFlagR, sel, kernel);
-          if (!n.ok()) return n.status();
-          ColumnReader<uint32_t> lokey_r(lokey);
-          StageTuples(lokey_r, sel, n.value(), lane.stage());
-          uint64_t local = 0;
-          auto on_match = [&](const Tuple&, const Tuple&) { ++local; };
-          ProbeStaged(ord.table, lane.stage(), n.value(), mode, width,
-                      on_match);
-          line_sel.fetch_add(n.value(), std::memory_order_relaxed);
-          matches.fetch_add(local, std::memory_order_relaxed);
-          return lokey_r.status();
-        });
-    if (!ns.ok()) return ns.status();
-    rec.Record("q10.probe_lineitem", ns.value(),
-               PipeProfile(flag.size_bytes() +
-                               line_sel.load() * sizeof(uint32_t),
-                           db.lineitem.num_rows, line_sel.load(),
-                           ord.buf.size(), batched, 0, 0),
-               threads);
-  }
-
-  QueryResult result;
-  result.count = matches.load();
-  result.host_ns = static_cast<double>(timer.ElapsedNanos());
-  result.phases = rec.Take();
-  return result;
-}
-
-// --- Q12: orders |x| lineitem --------------------------------------------
-
-// Q12 and Q12Grouped share the order table and the lineitem selection
-// chain; `per_match` runs per surviving lineitem row id after the probe
-// (for plain Q12 it counts, for the grouped final it classifies by
-// priority).
-template <typename Db, typename PerMatch>
-Status RunQ12Chain(const Db& db, const QueryConfig& config,
-                   const FusedTable& ord, exec::ProbeMode mode, int width,
-                   std::atomic<uint64_t>* line_sel, PerMatch per_match) {
-  const ColumnView<uint32_t> rdate = db.lineitem.l_receiptdate;
-  const ColumnView<uint32_t> cdate = db.lineitem.l_commitdate;
-  const ColumnView<uint32_t> sdate = db.lineitem.l_shipdate;
-  const ColumnView<uint8_t> smode = db.lineitem.l_shipmode;
-  const ColumnView<uint32_t> lokey = db.lineitem.l_orderkey;
-  auto ns = RunPipe(
-      "q12.probe_lineitem", db.lineitem.num_rows, config,
-      [&](Range r, exec::PipelineLane& lane) -> Status {
-        auto filtered = FilterU32Morsel(rdate, r, kDate19940101,
-                                        kDate19950101 - 1, lane.sel_out());
-        if (!filtered.ok()) return filtered.status();
-        size_t n = filtered.value();
-        ColumnReader<uint8_t> smode_r(smode);
-        ColumnReader<uint32_t> rdate_r(rdate);
-        ColumnReader<uint32_t> cdate_r(cdate);
-        ColumnReader<uint32_t> sdate_r(sdate);
-        lane.FlipSel();
-        n = RefineMorsel(lane.sel_in(), n, lane.sel_out(),
-                         [&](uint64_t id) {
-                           return ((kQ12ModeMask >> smode_r[id]) & 1u) != 0;
-                         });
-        lane.FlipSel();
-        n = RefineMorsel(
-            lane.sel_in(), n, lane.sel_out(),
-            [&](uint64_t id) { return cdate_r[id] < rdate_r[id]; });
-        lane.FlipSel();
-        n = RefineMorsel(
-            lane.sel_in(), n, lane.sel_out(),
-            [&](uint64_t id) { return sdate_r[id] < cdate_r[id]; });
-        ColumnReader<uint32_t> lokey_r(lokey);
-        StageTuples(lokey_r, lane.sel_out(), n, lane.stage());
-        auto on_match = [&](const Tuple&, const Tuple& probe) {
-          per_match(lane, probe.payload);
-        };
-        ProbeStaged(ord.table, lane.stage(), n, mode, width, on_match);
-        line_sel->fetch_add(n, std::memory_order_relaxed);
-        SGXB_RETURN_NOT_OK(smode_r.status());
-        SGXB_RETURN_NOT_OK(rdate_r.status());
-        SGXB_RETURN_NOT_OK(cdate_r.status());
-        SGXB_RETURN_NOT_OK(sdate_r.status());
-        return lokey_r.status();
-      });
-  return ns.ok() ? Status::OK() : ns.status();
-}
-
-// Builds the all-orders table (Q12's build side) and records its phase.
-template <typename Db>
-Status BuildOrderTable(const Db& db, const QueryConfig& config,
-                       FusedTable* ord, OpRecorder* rec,
-                       const std::string& name) {
-  SGXB_RETURN_NOT_OK(ord->Init(db.orders.num_rows, config));
-  const ColumnView<uint32_t> okey = db.orders.o_orderkey;
-  auto ns = RunPipe(
-      name.c_str(), db.orders.num_rows, config,
-      [&](Range r, exec::PipelineLane&) -> Status {
-        return storage::ForEachRun(
-            okey, r.begin, r.end,
-            [&](const uint32_t* run, size_t base, size_t n) {
-              for (size_t j = 0; j < n; ++j) {
-                ord->table.Insert(
-                    Tuple{run[j], static_cast<uint32_t>(base + j)});
-              }
-            });
-      });
-  if (!ns.ok()) return ns.status();
-  rec->Record(name, ns.value(),
-              PipeProfile(okey.size_bytes(), db.orders.num_rows, 0, 0,
-                          false, db.orders.num_rows, ord->buf.size()),
-              config.num_threads);
-  ChargeBytesMaterialized(db.orders.num_rows * sizeof(Tuple));
-  return Status::OK();
-}
-
-template <typename Db>
-Result<QueryResult> Q12FusedImpl(const Db& db, const QueryConfig& config) {
-  OpRecorder rec;
-  WallTimer timer;
-  const exec::ProbeMode mode = ResolveProbeMode(config);
-  const int width = ResolveProbeWidth(config, mode);
-  const bool batched = mode != exec::ProbeMode::kTupleAtATime;
-  const int threads = config.num_threads;
-
-  FusedTable ord;
-  SGXB_RETURN_NOT_OK(
-      BuildOrderTable(db, config, &ord, &rec, "q12.build_orders"));
-
-  std::atomic<uint64_t> line_sel{0};
-  std::vector<LaneSlot<uint64_t>> lane_matches(
-      static_cast<size_t>(threads));
-  WallTimer probe_timer;
-  SGXB_RETURN_NOT_OK(RunQ12Chain(
-      db, config, ord, mode, width, &line_sel,
-      [&](exec::PipelineLane& lane, uint32_t) {
-        ++lane_matches[static_cast<size_t>(lane.lane_id())].value;
-      }));
-  rec.Record("q12.probe_lineitem",
-             static_cast<double>(probe_timer.ElapsedNanos()),
-             PipeProfile(ColumnView<uint32_t>(db.lineitem.l_receiptdate)
-                                 .size_bytes() +
-                             line_sel.load() * sizeof(uint32_t),
-                         db.lineitem.num_rows, line_sel.load(),
-                         ord.buf.size(), batched, 0, 0),
-             threads);
-
-  QueryResult result;
-  for (const auto& slot : lane_matches) result.count += slot.value;
-  result.host_ns = static_cast<double>(timer.ElapsedNanos());
-  result.phases = rec.Take();
-  return result;
-}
-
-template <typename Db>
-Result<QueryResult> Q12GroupedFusedImpl(const Db& db,
-                                        const QueryConfig& config) {
-  OpRecorder rec;
-  WallTimer timer;
-  const int threads = config.num_threads;
-
-  // Q12Grouped has no join — the group key is fetched through the
-  // l_orderkey foreign key directly, like GroupCountU8ViaFk. The fused
-  // form runs the whole selection chain and the grouped count in one
-  // pass; no order table is built at all.
-  const ColumnView<uint32_t> rdate = db.lineitem.l_receiptdate;
-  const ColumnView<uint32_t> cdate = db.lineitem.l_commitdate;
-  const ColumnView<uint32_t> sdate = db.lineitem.l_shipdate;
-  const ColumnView<uint8_t> smode = db.lineitem.l_shipmode;
-  const ColumnView<uint32_t> lokey = db.lineitem.l_orderkey;
-  const ColumnView<uint8_t> prio = db.orders.o_orderpriority;
-
-  struct PrioCounts {
-    uint64_t counts[kNumOrderPriorities] = {};
-  };
-  std::vector<LaneSlot<PrioCounts>> lane_counts(
-      static_cast<size_t>(threads));
-  std::atomic<uint64_t> line_sel{0};
-  std::atomic<bool> out_of_range{false};
-
-  auto ns = RunPipe(
-      "q12g.group_lineitem", db.lineitem.num_rows, config,
-      [&](Range r, exec::PipelineLane& lane) -> Status {
-        auto filtered = FilterU32Morsel(rdate, r, kDate19940101,
-                                        kDate19950101 - 1, lane.sel_out());
-        if (!filtered.ok()) return filtered.status();
-        size_t n = filtered.value();
-        ColumnReader<uint8_t> smode_r(smode);
-        ColumnReader<uint32_t> rdate_r(rdate);
-        ColumnReader<uint32_t> cdate_r(cdate);
-        ColumnReader<uint32_t> sdate_r(sdate);
-        lane.FlipSel();
-        n = RefineMorsel(lane.sel_in(), n, lane.sel_out(),
-                         [&](uint64_t id) {
-                           return ((kQ12ModeMask >> smode_r[id]) & 1u) != 0;
-                         });
-        lane.FlipSel();
-        n = RefineMorsel(
-            lane.sel_in(), n, lane.sel_out(),
-            [&](uint64_t id) { return cdate_r[id] < rdate_r[id]; });
-        lane.FlipSel();
-        n = RefineMorsel(
-            lane.sel_in(), n, lane.sel_out(),
-            [&](uint64_t id) { return sdate_r[id] < cdate_r[id]; });
-        ColumnReader<uint32_t> lokey_r(lokey);
-        ColumnReader<uint8_t> prio_r(prio);
-        uint64_t* counts =
-            lane_counts[static_cast<size_t>(lane.lane_id())].value.counts;
-        const uint64_t* sel = lane.sel_out();
-        for (size_t i = 0; i < n; ++i) {
-          const uint8_t g = prio_r[lokey_r[sel[i]]];
-          if (g >= kNumOrderPriorities) {
-            out_of_range.store(true, std::memory_order_relaxed);
-            break;
-          }
-          ++counts[g];
-        }
-        line_sel.fetch_add(n, std::memory_order_relaxed);
-        SGXB_RETURN_NOT_OK(smode_r.status());
-        SGXB_RETURN_NOT_OK(rdate_r.status());
-        SGXB_RETURN_NOT_OK(cdate_r.status());
-        SGXB_RETURN_NOT_OK(sdate_r.status());
-        SGXB_RETURN_NOT_OK(lokey_r.status());
-        return prio_r.status();
-      });
-  if (!ns.ok()) return ns.status();
-  if (out_of_range.load()) {
-    return Status::Internal(
-        "group code out of range in q12g.group_lineitem");
-  }
-  perf::AccessProfile p = PipeProfile(
-      rdate.size_bytes() + line_sel.load() * sizeof(uint32_t),
-      db.lineitem.num_rows, line_sel.load(), prio.size_bytes(),
-      /*batched=*/false, 0, 0);
-  rec.Record("q12g.group_lineitem", ns.value(), p, threads);
-
-  uint64_t totals[kNumOrderPriorities] = {};
-  for (const auto& slot : lane_counts) {
-    for (int g = 0; g < kNumOrderPriorities; ++g) {
-      totals[g] += slot.value.counts[g];
-    }
-  }
-  QueryResult result;
-  uint64_t high = totals[kPrioUrgent] + totals[kPrioHigh];
-  uint64_t low = 0;
-  for (int g = kPrioMedium; g < kNumOrderPriorities; ++g) {
-    low += totals[g];
-  }
-  result.group_counts = {high, low};
-  result.count = high + low;
-  result.host_ns = static_cast<double>(timer.ElapsedNanos());
-  result.phases = rec.Take();
-  return result;
-}
-
-// --- Q19: part |x| lineitem, three brand-disjoint branches --------------
-
-template <typename Db>
-Result<QueryResult> Q19FusedImpl(const Db& db, const QueryConfig& config) {
-  OpRecorder rec;
-  WallTimer timer;
-  const exec::ProbeMode mode = ResolveProbeMode(config);
-  const int width = ResolveProbeWidth(config, mode);
-  const bool batched = mode != exec::ProbeMode::kTupleAtATime;
-  const int threads = config.num_threads;
-  const scan::RowIdKernel kernel =
-      scan::PickRowIdKernel(SimdLevel::kAvx512);
-
-  const ColumnView<uint8_t> brand = db.part.p_brand;
-  const ColumnView<uint8_t> container = db.part.p_container;
-  const ColumnView<uint32_t> psize = db.part.p_size;
-  const ColumnView<uint32_t> partkey = db.part.p_partkey;
-  const ColumnView<uint32_t> qty = db.lineitem.l_quantity;
-  const ColumnView<uint8_t> smode = db.lineitem.l_shipmode;
-  const ColumnView<uint8_t> sinstr = db.lineitem.l_shipinstruct;
-  const ColumnView<uint32_t> lpart = db.lineitem.l_partkey;
-
-  QueryResult result;
-  int branch_no = 0;
-  for (const Q19Branch& br : kQ19Branches) {
-    const std::string suffix = "_b" + std::to_string(++branch_no);
-
-    // Build pipeline: brand filter (SIMD) -> container -> size -> insert.
-    FusedTable part;
-    SGXB_RETURN_NOT_OK(part.Init(db.part.num_rows, config));
-    std::atomic<uint64_t> part_sel{0};
-    {
-      auto ns = RunPipe(
-          "q19.build_part", db.part.num_rows, config,
-          [&](Range r, exec::PipelineLane& lane) -> Status {
-            auto scanned = ScanU8Morsel(brand, r, br.brand, br.brand,
-                                        lane.sel_out(), kernel);
-            if (!scanned.ok()) return scanned.status();
-            size_t n = scanned.value();
-            ColumnReader<uint8_t> container_r(container);
-            ColumnReader<uint32_t> psize_r(psize);
-            lane.FlipSel();
-            n = RefineMorsel(
-                lane.sel_in(), n, lane.sel_out(), [&](uint64_t id) {
-                  return ((br.container_mask >> container_r[id]) & 1u) != 0;
-                });
-            lane.FlipSel();
-            n = RefineMorsel(lane.sel_in(), n, lane.sel_out(),
-                             [&](uint64_t id) {
-                               return psize_r[id] >= 1 &&
-                                      psize_r[id] <= br.size_hi;
-                             });
-            ColumnReader<uint32_t> partkey_r(partkey);
-            const uint64_t* sel = lane.sel_out();
-            for (size_t i = 0; i < n; ++i) {
-              part.table.Insert(Tuple{partkey_r[sel[i]],
-                                      static_cast<uint32_t>(sel[i])});
-            }
-            part_sel.fetch_add(n, std::memory_order_relaxed);
-            SGXB_RETURN_NOT_OK(container_r.status());
-            SGXB_RETURN_NOT_OK(psize_r.status());
-            return partkey_r.status();
-          });
-      if (!ns.ok()) return ns.status();
-      rec.Record("q19.build_part" + suffix, ns.value(),
-                 PipeProfile(brand.size_bytes() + container.size_bytes() +
-                                 psize.size_bytes(),
-                             db.part.num_rows, 0, 0, batched,
-                             part_sel.load(), part.buf.size()),
-                 threads);
-    }
-    ChargeBytesMaterialized(part_sel.load() * sizeof(Tuple));
-
-    // Probe pipeline: quantity -> shipmode -> shipinstruct -> probe.
-    std::atomic<uint64_t> line_sel{0};
-    std::atomic<uint64_t> matches{0};
-    {
-      auto ns = RunPipe(
-          "q19.probe_lineitem", db.lineitem.num_rows, config,
-          [&](Range r, exec::PipelineLane& lane) -> Status {
-            auto filtered = FilterU32Morsel(qty, r, br.qty_lo, br.qty_hi,
-                                            lane.sel_out());
-            if (!filtered.ok()) return filtered.status();
-            size_t n = filtered.value();
-            ColumnReader<uint8_t> smode_r(smode);
-            ColumnReader<uint8_t> sinstr_r(sinstr);
-            lane.FlipSel();
-            n = RefineMorsel(lane.sel_in(), n, lane.sel_out(),
-                             [&](uint64_t id) {
-                               return ((kQ19ModeMask >> smode_r[id]) &
-                                       1u) != 0;
-                             });
-            lane.FlipSel();
-            n = RefineMorsel(lane.sel_in(), n, lane.sel_out(),
-                             [&](uint64_t id) {
-                               return ((Bit(kInstrDeliverInPerson) >>
-                                        sinstr_r[id]) &
-                                       1u) != 0;
-                             });
-            ColumnReader<uint32_t> lpart_r(lpart);
-            StageTuples(lpart_r, lane.sel_out(), n, lane.stage());
-            uint64_t local = 0;
-            auto on_match = [&](const Tuple&, const Tuple&) { ++local; };
-            ProbeStaged(part.table, lane.stage(), n, mode, width,
-                        on_match);
-            line_sel.fetch_add(n, std::memory_order_relaxed);
-            matches.fetch_add(local, std::memory_order_relaxed);
-            SGXB_RETURN_NOT_OK(smode_r.status());
-            SGXB_RETURN_NOT_OK(sinstr_r.status());
-            return lpart_r.status();
-          });
-      if (!ns.ok()) return ns.status();
-      rec.Record("q19.probe_lineitem" + suffix, ns.value(),
-                 PipeProfile(qty.size_bytes() +
-                                 line_sel.load() * (2 + sizeof(uint32_t)),
-                             db.lineitem.num_rows, line_sel.load(),
-                             part.buf.size(), batched, 0, 0),
-                 threads);
-    }
-    result.count += matches.load();
-  }
-
-  result.host_ns = static_cast<double>(timer.ElapsedNanos());
-  result.phases = rec.Take();
-  return result;
-}
-
-// --- Q1: pure scan + GROUP BY (returnflag, linestatus) -------------------
-
-template <typename Db>
-Result<QueryResult> Q1FusedImpl(const Db& db, const QueryConfig& config) {
-  OpRecorder rec;
-  WallTimer timer;
-  const int threads = config.num_threads;
-
-  const ColumnView<uint32_t> sdate = db.lineitem.l_shipdate;
-  const ColumnView<uint32_t> qty = db.lineitem.l_quantity;
-  const ColumnView<uint8_t> flag = db.lineitem.l_returnflag;
-  const ColumnView<uint8_t> status = db.lineitem.l_linestatus;
-  constexpr int kGroups = kNumReturnFlags * kNumLineStatuses;
-
-  struct Q1Aggs {
-    GroupAgg groups[kGroups] = {};
-  };
-  std::vector<LaneSlot<Q1Aggs>> lane_aggs(static_cast<size_t>(threads));
-  std::atomic<uint64_t> selected{0};
-  std::atomic<bool> out_of_range{false};
-
-  auto ns = RunPipe(
-      "q1.group_lineitem", db.lineitem.num_rows, config,
-      [&](Range r, exec::PipelineLane& lane) -> Status {
-        uint64_t* sel = lane.sel_out();
-        auto filtered = FilterU32Morsel(sdate, r, 0, kQ1Cutoff, sel);
-        if (!filtered.ok()) return filtered.status();
-        const size_t n = filtered.value();
-        ColumnReader<uint8_t> flag_r(flag);
-        ColumnReader<uint8_t> status_r(status);
-        ColumnReader<uint32_t> qty_r(qty);
-        GroupAgg* groups =
-            lane_aggs[static_cast<size_t>(lane.lane_id())].value.groups;
-        for (size_t i = 0; i < n; ++i) {
-          const uint64_t id = sel[i];
-          const uint8_t f = flag_r[id];
-          const uint8_t s = status_r[id];
-          if (f >= kNumReturnFlags || s >= kNumLineStatuses) {
-            out_of_range.store(true, std::memory_order_relaxed);
-            break;
-          }
-          GroupAgg& g = groups[f * kNumLineStatuses + s];
-          ++g.count;
-          g.sum += qty_r[id];
-        }
-        selected.fetch_add(n, std::memory_order_relaxed);
-        SGXB_RETURN_NOT_OK(flag_r.status());
-        SGXB_RETURN_NOT_OK(status_r.status());
-        return qty_r.status();
-      });
-  if (!ns.ok()) return ns.status();
-  if (out_of_range.load()) {
-    return Status::Internal("group code out of range in q1.group_lineitem");
-  }
-  perf::AccessProfile p;
-  p.seq_read_bytes =
-      sdate.size_bytes() + selected.load() * (sizeof(uint32_t) + 2);
-  p.loop_iterations = db.lineitem.num_rows;
-  p.rand_writes = selected.load();
-  p.rand_write_working_set = kGroups * sizeof(GroupAgg);
-  p.ilp = perf::IlpClass::kReferenceLoop;
-  rec.Record("q1.group_lineitem", ns.value(), p, threads);
-
-  QueryResult result;
-  for (int g = 0; g < kGroups; ++g) {
-    uint64_t count = 0;
-    for (const auto& slot : lane_aggs) count += slot.value.groups[g].count;
-    result.group_counts.push_back(count);
-    result.count += count;
-  }
-  result.host_ns = static_cast<double>(timer.ElapsedNanos());
-  result.phases = rec.Take();
-  return result;
-}
-
-// --- Q6: pure scan + sum(extendedprice * discount) -----------------------
-
-template <typename Db>
-Result<QueryResult> Q6FusedImpl(const Db& db, const QueryConfig& config) {
-  OpRecorder rec;
-  WallTimer timer;
-  const int threads = config.num_threads;
-
-  const ColumnView<uint32_t> sdate = db.lineitem.l_shipdate;
-  const ColumnView<uint32_t> disc = db.lineitem.l_discount;
-  const ColumnView<uint32_t> qty = db.lineitem.l_quantity;
-  const ColumnView<uint32_t> price = db.lineitem.l_extendedprice;
-
-  struct Q6Agg {
-    uint64_t revenue = 0;
-    uint64_t rows = 0;
-  };
-  std::vector<LaneSlot<Q6Agg>> lane_aggs(static_cast<size_t>(threads));
-
-  auto ns = RunPipe(
-      "q6.sum_lineitem", db.lineitem.num_rows, config,
-      [&](Range r, exec::PipelineLane& lane) -> Status {
-        auto filtered = FilterU32Morsel(sdate, r, kDate19940101,
-                                        kDate19950101 - 1, lane.sel_out());
-        if (!filtered.ok()) return filtered.status();
-        size_t n = filtered.value();
-        ColumnReader<uint32_t> disc_r(disc);
-        ColumnReader<uint32_t> qty_r(qty);
-        lane.FlipSel();
-        n = RefineMorsel(lane.sel_in(), n, lane.sel_out(),
-                         [&](uint64_t id) {
-                           return disc_r[id] >= 5 && disc_r[id] <= 7;
-                         });
-        lane.FlipSel();
-        n = RefineMorsel(lane.sel_in(), n, lane.sel_out(),
-                         [&](uint64_t id) {
-                           return qty_r[id] >= 1 && qty_r[id] <= 23;
-                         });
-        ColumnReader<uint32_t> price_r(price);
-        const uint64_t* sel = lane.sel_out();
-        uint64_t local = 0;
-        for (size_t i = 0; i < n; ++i) {
-          const uint64_t id = sel[i];
-          local += static_cast<uint64_t>(price_r[id]) * disc_r[id];
-        }
-        Q6Agg& agg = lane_aggs[static_cast<size_t>(lane.lane_id())].value;
-        agg.revenue += local;
-        agg.rows += n;
-        SGXB_RETURN_NOT_OK(disc_r.status());
-        SGXB_RETURN_NOT_OK(qty_r.status());
-        return price_r.status();
-      });
-  if (!ns.ok()) return ns.status();
-
-  QueryResult result;
-  uint64_t revenue = 0;
-  for (const auto& slot : lane_aggs) {
-    revenue += slot.value.revenue;
-    result.count += slot.value.rows;
-  }
-  perf::AccessProfile p;
-  p.seq_read_bytes =
-      sdate.size_bytes() + result.count * 3 * sizeof(uint32_t);
-  p.loop_iterations = db.lineitem.num_rows;
-  p.ilp = perf::IlpClass::kStreaming;
-  rec.Record("q6.sum_lineitem", ns.value(), p, threads);
-
-  result.group_counts = {revenue};
-  result.host_ns = static_cast<double>(timer.ElapsedNanos());
-  result.phases = rec.Take();
-  return result;
+  QueryConfig fused_config = config;
+  fused_config.pipeline = true;
+  return plan::ExecutePlan(entry->plan, db, fused_config);
 }
 
 }  // namespace
 
-Result<QueryResult> RunQ3Fused(const TpchDb& db,
-                               const QueryConfig& config) {
-  return Q3FusedImpl(db, config);
-}
-Result<QueryResult> RunQ3Fused(const TpchDbView& db,
-                               const QueryConfig& config) {
-  return Q3FusedImpl(db, config);
-}
-
-Result<QueryResult> RunQ10Fused(const TpchDb& db,
-                                const QueryConfig& config) {
-  return Q10FusedImpl(db, config);
-}
-Result<QueryResult> RunQ10Fused(const TpchDbView& db,
-                                const QueryConfig& config) {
-  return Q10FusedImpl(db, config);
-}
-
-Result<QueryResult> RunQ12Fused(const TpchDb& db,
-                                const QueryConfig& config) {
-  return Q12FusedImpl(db, config);
-}
-Result<QueryResult> RunQ12Fused(const TpchDbView& db,
-                                const QueryConfig& config) {
-  return Q12FusedImpl(db, config);
-}
-
-Result<QueryResult> RunQ12GroupedFused(const TpchDb& db,
-                                       const QueryConfig& config) {
-  return Q12GroupedFusedImpl(db, config);
-}
-Result<QueryResult> RunQ12GroupedFused(const TpchDbView& db,
-                                       const QueryConfig& config) {
-  return Q12GroupedFusedImpl(db, config);
-}
-
-Result<QueryResult> RunQ19Fused(const TpchDb& db,
-                                const QueryConfig& config) {
-  return Q19FusedImpl(db, config);
-}
-Result<QueryResult> RunQ19Fused(const TpchDbView& db,
-                                const QueryConfig& config) {
-  return Q19FusedImpl(db, config);
-}
-
 Result<QueryResult> RunQ1Fused(const TpchDb& db,
                                const QueryConfig& config) {
-  return Q1FusedImpl(db, config);
+  return Fused(1, ViewOf(db), config);
 }
 Result<QueryResult> RunQ1Fused(const TpchDbView& db,
                                const QueryConfig& config) {
-  return Q1FusedImpl(db, config);
+  return Fused(1, db, config);
+}
+
+Result<QueryResult> RunQ3Fused(const TpchDb& db,
+                               const QueryConfig& config) {
+  return Fused(3, ViewOf(db), config);
+}
+Result<QueryResult> RunQ3Fused(const TpchDbView& db,
+                               const QueryConfig& config) {
+  return Fused(3, db, config);
 }
 
 Result<QueryResult> RunQ6Fused(const TpchDb& db,
                                const QueryConfig& config) {
-  return Q6FusedImpl(db, config);
+  return Fused(6, ViewOf(db), config);
 }
 Result<QueryResult> RunQ6Fused(const TpchDbView& db,
                                const QueryConfig& config) {
-  return Q6FusedImpl(db, config);
+  return Fused(6, db, config);
+}
+
+Result<QueryResult> RunQ10Fused(const TpchDb& db,
+                                const QueryConfig& config) {
+  return Fused(10, ViewOf(db), config);
+}
+Result<QueryResult> RunQ10Fused(const TpchDbView& db,
+                                const QueryConfig& config) {
+  return Fused(10, db, config);
+}
+
+Result<QueryResult> RunQ12Fused(const TpchDb& db,
+                                const QueryConfig& config) {
+  return Fused(12, ViewOf(db), config);
+}
+Result<QueryResult> RunQ12Fused(const TpchDbView& db,
+                                const QueryConfig& config) {
+  return Fused(12, db, config);
+}
+
+Result<QueryResult> RunQ19Fused(const TpchDb& db,
+                                const QueryConfig& config) {
+  return Fused(19, ViewOf(db), config);
+}
+Result<QueryResult> RunQ19Fused(const TpchDbView& db,
+                                const QueryConfig& config) {
+  return Fused(19, db, config);
+}
+
+Result<QueryResult> RunQ12GroupedFused(const TpchDb& db,
+                                       const QueryConfig& config) {
+  return Fused(plan::kQueryQ12Grouped, ViewOf(db), config);
+}
+Result<QueryResult> RunQ12GroupedFused(const TpchDbView& db,
+                                       const QueryConfig& config) {
+  return Fused(plan::kQueryQ12Grouped, db, config);
 }
 
 }  // namespace sgxb::tpch

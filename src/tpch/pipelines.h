@@ -1,9 +1,8 @@
-// Fused, morsel-driven TPC-H plans (docs/pipelines.md).
+// Fused, morsel-driven TPC-H entry points (docs/pipelines.md).
 //
 // One entry point per query, mirroring the RunQ* signatures in
-// queries.h. Each runs the same logical plan as its materializing
-// counterpart but as a short DAG of pipelines over
-// exec::RunMorselPipeline: selections and refinements carry per-morsel
+// queries.h, each forcing the fused lowering of the query's catalog
+// plan (plan/catalog.h): selections and refinements carry per-morsel
 // selection vectors in worker-local arena scratch instead of global
 // row-id lists, probes run against shared bucket-chained hash tables
 // (join::BucketChainTable) with the configured batched driver, and only
@@ -11,8 +10,11 @@
 // global state. Results are byte-identical to the materializing plans
 // (tests/tpch/pipeline_test.cc proves it across the full config matrix).
 //
-// Callers normally go through RunQ*/RunQuery, which dispatch here when
-// PipelineEnabled(config) (QueryConfig::pipeline / SGXBENCH_PIPELINE).
+// The per-query fused drivers that used to live behind these functions
+// were replaced by the generic plan compiler (plan/fused.cc); these
+// wrappers remain as the stable "force the fused mode" API. Callers
+// normally go through RunQ*/RunQuery, where the planner picks the mode
+// (QueryConfig::pipeline / SGXBENCH_PIPELINE / cost model).
 
 #ifndef SGXB_TPCH_PIPELINES_H_
 #define SGXB_TPCH_PIPELINES_H_

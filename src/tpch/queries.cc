@@ -1,328 +1,52 @@
 #include "tpch/queries.h"
 
+#include <string>
 #include <vector>
 
-#include "common/timer.h"
-#include "tpch/pipelines.h"
-#include "tpch/query_constants.h"
+#include "plan/catalog.h"
+#include "plan/planner.h"
 
 namespace sgxb::tpch {
 
-// The materializing bodies are templated over the database type: TpchDb
-// (resident Columns) and TpchDbView (storage::ColumnViews, possibly paged
-// through the out-of-EPC buffer manager) have identical field names, and
-// the operators take ColumnView parameters both convert to. The public
-// entry points dispatch to the fused pipelines first, exactly as before.
+// Every query runs through the planner now: the catalog
+// (plan/catalog.h) declares each query as a logical plan, and
+// plan::ExecutePlan picks the lowering (materializing operators vs
+// fused pipelines) plus the per-join flavour. The hand-written
+// per-query drivers this file used to hold are gone; only the
+// single-threaded reference oracles remain, deliberately naive and
+// independent of the plan layer.
 
 namespace {
 
-template <typename Db>
-Result<QueryResult> Q3Body(const Db& db, const QueryConfig& config) {
-  OpRecorder rec;
-  WallTimer timer;
-
-  // sigma(c_mktsegment = BUILDING)(customer)
-  auto cust = FilterU8Range(db.customer.c_mktsegment, kSegBuilding,
-                            kSegBuilding, config, &rec, "filter_customer");
-  if (!cust.ok()) return cust.status();
-  auto build1 = GatherKeys(db.customer.c_custkey, &cust.value(), config,
-                           &rec, "gather_customer");
-  if (!build1.ok()) return build1.status();
-
-  // sigma(o_orderdate < 1995-03-15)(orders)
-  auto ord = FilterU32Range(db.orders.o_orderdate, 0, kDate19950315 - 1,
-                            config, &rec, "filter_orders");
-  if (!ord.ok()) return ord.status();
-  auto probe1 = GatherKeys(db.orders.o_custkey, &ord.value(), config, &rec,
-                           "gather_orders");
-  if (!probe1.ok()) return probe1.status();
-
-  auto join1 = MaterializingJoin(build1.value(), probe1.value(), config,
-                                 &rec, "join_cust_orders");
-  if (!join1.ok()) return join1.status();
-
-  auto build2 = GatherKeys(db.orders.o_orderkey, &join1.value().probe_rows,
-                           config, &rec, "gather_orderkeys");
-  if (!build2.ok()) return build2.status();
-
-  // sigma(l_shipdate > 1995-03-15)(lineitem)
-  auto line = FilterU32Range(db.lineitem.l_shipdate, kDate19950315 + 1,
-                             0xffffffffu, config, &rec, "filter_lineitem");
-  if (!line.ok()) return line.status();
-  auto probe2 = GatherKeys(db.lineitem.l_orderkey, &line.value(), config,
-                           &rec, "gather_lineitem");
-  if (!probe2.ok()) return probe2.status();
-
-  auto count = CountingJoin(build2.value(), probe2.value(), config, &rec,
-                            "join_orders_lineitem");
-  if (!count.ok()) return count.status();
-
-  QueryResult result;
-  result.count = count.value();
-  result.host_ns = static_cast<double>(timer.ElapsedNanos());
-  result.phases = rec.Take();
-  return result;
-}
-
-template <typename Db>
-Result<QueryResult> Q10Body(const Db& db, const QueryConfig& config) {
-  OpRecorder rec;
-  WallTimer timer;
-
-  // sigma(o_orderdate in [1993-10-01, 1994-01-01))(orders)
-  auto ord = FilterU32Range(db.orders.o_orderdate, kDate19931001,
-                            kDate19940101 - 1, config, &rec,
-                            "filter_orders");
-  if (!ord.ok()) return ord.status();
-  auto probe1 = GatherKeys(db.orders.o_custkey, &ord.value(), config, &rec,
-                           "gather_orders");
-  if (!probe1.ok()) return probe1.status();
-  auto build1 = GatherKeys(db.customer.c_custkey, nullptr, config, &rec,
-                           "gather_customer");
-  if (!build1.ok()) return build1.status();
-
-  auto join1 = MaterializingJoin(build1.value(), probe1.value(), config,
-                                 &rec, "join_cust_orders");
-  if (!join1.ok()) return join1.status();
-
-  auto build2 = GatherKeys(db.orders.o_orderkey, &join1.value().probe_rows,
-                           config, &rec, "gather_orderkeys");
-  if (!build2.ok()) return build2.status();
-
-  // sigma(l_returnflag = 'R')(lineitem)
-  auto line = FilterU8Range(db.lineitem.l_returnflag, kFlagR, kFlagR,
-                            config, &rec, "filter_lineitem");
-  if (!line.ok()) return line.status();
-  auto probe2 = GatherKeys(db.lineitem.l_orderkey, &line.value(), config,
-                           &rec, "gather_lineitem");
-  if (!probe2.ok()) return probe2.status();
-
-  auto count = CountingJoin(build2.value(), probe2.value(), config, &rec,
-                            "join_orders_lineitem");
-  if (!count.ok()) return count.status();
-
-  QueryResult result;
-  result.count = count.value();
-  result.host_ns = static_cast<double>(timer.ElapsedNanos());
-  result.phases = rec.Take();
-  return result;
-}
-
-// Q12's selection chain, shared with Q12Grouped.
-template <typename Db>
-Result<RowIdList> Q12Selection(const Db& db, const QueryConfig& config,
-                               OpRecorder* rec) {
-  auto rows = FilterU32Range(db.lineitem.l_receiptdate, kDate19940101,
-                             kDate19950101 - 1, config, rec,
-                             "filter_receiptdate");
-  if (!rows.ok()) return rows.status();
-  auto rows2 = RefineU8InSet(rows.value(), db.lineitem.l_shipmode,
-                             kQ12ModeMask, config, rec, "refine_shipmode");
-  if (!rows2.ok()) return rows2.status();
-  auto rows3 =
-      RefineLess(rows2.value(), db.lineitem.l_commitdate,
-                 db.lineitem.l_receiptdate, config, rec,
-                 "refine_commit_lt_receipt");
-  if (!rows3.ok()) return rows3.status();
-  return RefineLess(rows3.value(), db.lineitem.l_shipdate,
-                    db.lineitem.l_commitdate, config, rec,
-                    "refine_ship_lt_commit");
-}
-
-template <typename Db>
-Result<QueryResult> Q12Body(const Db& db, const QueryConfig& config) {
-  OpRecorder rec;
-  WallTimer timer;
-
-  auto rows4 = Q12Selection(db, config, &rec);
-  if (!rows4.ok()) return rows4.status();
-
-  auto probe = GatherKeys(db.lineitem.l_orderkey, &rows4.value(), config,
-                          &rec, "gather_lineitem");
-  if (!probe.ok()) return probe.status();
-  auto build = GatherKeys(db.orders.o_orderkey, nullptr, config, &rec,
-                          "gather_orders");
-  if (!build.ok()) return build.status();
-
-  auto count = CountingJoin(build.value(), probe.value(), config, &rec,
-                            "join_orders_lineitem");
-  if (!count.ok()) return count.status();
-
-  QueryResult result;
-  result.count = count.value();
-  result.host_ns = static_cast<double>(timer.ElapsedNanos());
-  result.phases = rec.Take();
-  return result;
-}
-
-template <typename Db>
-Result<QueryResult> Q19Body(const Db& db, const QueryConfig& config) {
-  OpRecorder rec;
-  WallTimer timer;
-
-  QueryResult result;
-  int branch_no = 0;
-  for (const Q19Branch& br : kQ19Branches) {
-    const std::string suffix = "_b" + std::to_string(++branch_no);
-
-    auto parts = FilterU8Range(db.part.p_brand, br.brand, br.brand, config,
-                               &rec, "filter_brand" + suffix);
-    if (!parts.ok()) return parts.status();
-    auto parts2 = RefineU8InSet(parts.value(), db.part.p_container,
-                                br.container_mask, config, &rec,
-                                "refine_container" + suffix);
-    if (!parts2.ok()) return parts2.status();
-    auto parts3 = RefineU32Range(parts2.value(), db.part.p_size, 1,
-                                 br.size_hi, config, &rec,
-                                 "refine_size" + suffix);
-    if (!parts3.ok()) return parts3.status();
-    auto build = GatherKeys(db.part.p_partkey, &parts3.value(), config,
-                            &rec, "gather_part" + suffix);
-    if (!build.ok()) return build.status();
-
-    auto lines = FilterU32Range(db.lineitem.l_quantity, br.qty_lo,
-                                br.qty_hi, config, &rec,
-                                "filter_quantity" + suffix);
-    if (!lines.ok()) return lines.status();
-    auto lines2 = RefineU8InSet(lines.value(), db.lineitem.l_shipmode,
-                                kQ19ModeMask, config, &rec,
-                                "refine_shipmode" + suffix);
-    if (!lines2.ok()) return lines2.status();
-    auto lines3 = RefineU8InSet(lines2.value(), db.lineitem.l_shipinstruct,
-                                Bit(kInstrDeliverInPerson), config, &rec,
-                                "refine_shipinstruct" + suffix);
-    if (!lines3.ok()) return lines3.status();
-    auto probe = GatherKeys(db.lineitem.l_partkey, &lines3.value(), config,
-                            &rec, "gather_lineitem" + suffix);
-    if (!probe.ok()) return probe.status();
-
-    auto count = CountingJoin(build.value(), probe.value(), config, &rec,
-                              "join_part_lineitem" + suffix);
-    if (!count.ok()) return count.status();
-    result.count += count.value();
+Status UnknownQueryError(int query_number) {
+  std::string known;
+  for (const plan::CatalogEntry& e : plan::Catalog()) {
+    if (!known.empty()) known += ", ";
+    known += std::to_string(e.query_number);
   }
-
-  result.host_ns = static_cast<double>(timer.ElapsedNanos());
-  result.phases = rec.Take();
-  return result;
+  return Status::InvalidArgument("unknown query " +
+                                 std::to_string(query_number) +
+                                 "; catalog has " + known);
 }
 
-template <typename Db>
-Result<QueryResult> Q12GroupedBody(const Db& db,
-                                   const QueryConfig& config) {
-  OpRecorder rec;
-  WallTimer timer;
-
-  // Same selection chain as Q12...
-  auto rows4 = Q12Selection(db, config, &rec);
-  if (!rows4.ok()) return rows4.status();
-
-  // ... but with the query's real final: count lines per order-priority
-  // class of the owning order.
-  auto by_prio = GroupCountU8ViaFk(
-      db.orders.o_orderpriority, db.lineitem.l_orderkey, rows4.value(),
-      kNumOrderPriorities, config, &rec, "group_by_priority");
-  if (!by_prio.ok()) return by_prio.status();
-
-  QueryResult result;
-  const std::vector<uint64_t>& prio = by_prio.value();
-  uint64_t high = prio[kPrioUrgent] + prio[kPrioHigh];
-  uint64_t low = 0;
-  for (int g = kPrioMedium; g < kNumOrderPriorities; ++g) low += prio[g];
-  result.group_counts = {high, low};
-  result.count = high + low;
-  result.host_ns = static_cast<double>(timer.ElapsedNanos());
-  result.phases = rec.Take();
-  return result;
-}
-
-template <typename Db>
-Result<QueryResult> Q1Body(const Db& db, const QueryConfig& config) {
-  OpRecorder rec;
-  WallTimer timer;
-
-  auto rows = FilterU32Range(db.lineitem.l_shipdate, 0, kQ1Cutoff, config,
-                             &rec, "filter_shipdate");
-  if (!rows.ok()) return rows.status();
-
-  auto aggs = GroupSumU32By2U8(
-      db.lineitem.l_quantity, db.lineitem.l_returnflag, kNumReturnFlags,
-      db.lineitem.l_linestatus, kNumLineStatuses, &rows.value(), config,
-      &rec, "group_flag_status");
-  if (!aggs.ok()) return aggs.status();
-
-  QueryResult result;
-  for (const GroupAgg& g : aggs.value()) {
-    result.group_counts.push_back(g.count);
-    result.count += g.count;
-  }
-  result.host_ns = static_cast<double>(timer.ElapsedNanos());
-  result.phases = rec.Take();
-  return result;
-}
-
-template <typename Db>
-Result<QueryResult> Q6Body(const Db& db, const QueryConfig& config) {
-  OpRecorder rec;
-  WallTimer timer;
-
-  auto rows = FilterU32Range(db.lineitem.l_shipdate, kDate19940101,
-                             kDate19950101 - 1, config, &rec,
-                             "filter_shipdate");
-  if (!rows.ok()) return rows.status();
-  auto rows2 = RefineU32Range(rows.value(), db.lineitem.l_discount, 5, 7,
-                              config, &rec, "refine_discount");
-  if (!rows2.ok()) return rows2.status();
-  auto rows3 = RefineU32Range(rows2.value(), db.lineitem.l_quantity, 1,
-                              23, config, &rec, "refine_quantity");
-  if (!rows3.ok()) return rows3.status();
-
-  auto revenue =
-      SumProductU32(db.lineitem.l_extendedprice, db.lineitem.l_discount,
-                    rows3.value(), config, &rec, "sum_revenue");
-  if (!revenue.ok()) return revenue.status();
-
-  QueryResult result;
-  result.count = rows3.value().count();
-  result.group_counts = {revenue.value()};
-  result.host_ns = static_cast<double>(timer.ElapsedNanos());
-  result.phases = rec.Take();
-  return result;
-}
-
-template <typename Db>
-Result<QueryResult> DispatchQuery(int query_number, const Db& db,
-                                  const QueryConfig& config) {
-  switch (query_number) {
-    case 1:
-      return RunQ1(db, config);
-    case 6:
-      return RunQ6(db, config);
-    case 3:
-      return RunQ3(db, config);
-    case 10:
-      return RunQ10(db, config);
-    case 12:
-      return RunQ12(db, config);
-    case 19:
-      return RunQ19(db, config);
-    default:
-      return Status::InvalidArgument(
-          "queries 1, 3, 6, 10, 12, 19 are implemented");
-  }
-}
-
-template <typename Db>
-Result<QueryResult> RunQueryImpl(int query_number, const Db& db,
+Result<QueryResult> CatalogQuery(int query_number, const TpchDbView& db,
                                  const QueryConfig& config) {
-  obs::QueryReportScope scope("Q" + std::to_string(query_number),
-                              config.obs_domain);
+  const plan::CatalogEntry* entry = plan::FindQuery(query_number);
+  if (entry == nullptr) return UnknownQueryError(query_number);
+  return plan::ExecutePlan(entry->plan, db, config);
+}
+
+Result<QueryResult> ReportedPlan(const plan::Plan& plan,
+                                 const std::string& report_name,
+                                 const TpchDbView& db,
+                                 const QueryConfig& config) {
+  obs::QueryReportScope scope(report_name, config.obs_domain);
   // Attribute this thread's work (and, via the executor, every gang task
   // it dispatches) to the query's domain so concurrent RunQuery calls
   // produce disjoint reports. obs_domain = -1 keeps the historical
   // process-global behaviour.
   obs::ScopedMetricDomain domain_scope(config.obs_domain);
-  Result<QueryResult> result = DispatchQuery(query_number, db, config);
+  Result<QueryResult> result = plan::ExecutePlan(plan, db, config);
   if (!result.ok()) return result;
   std::vector<obs::PhaseTiming> phases;
   phases.reserve(result.value().phases.phases.size());
@@ -336,80 +60,78 @@ Result<QueryResult> RunQueryImpl(int query_number, const Db& db,
 }  // namespace
 
 Result<QueryResult> RunQ3(const TpchDb& db, const QueryConfig& config) {
-  if (PipelineEnabled(config)) return RunQ3Fused(db, config);
-  return Q3Body(db, config);
+  return CatalogQuery(3, ViewOf(db), config);
 }
 Result<QueryResult> RunQ3(const TpchDbView& db, const QueryConfig& config) {
-  if (PipelineEnabled(config)) return RunQ3Fused(db, config);
-  return Q3Body(db, config);
+  return CatalogQuery(3, db, config);
 }
 
 Result<QueryResult> RunQ10(const TpchDb& db, const QueryConfig& config) {
-  if (PipelineEnabled(config)) return RunQ10Fused(db, config);
-  return Q10Body(db, config);
+  return CatalogQuery(10, ViewOf(db), config);
 }
 Result<QueryResult> RunQ10(const TpchDbView& db,
                            const QueryConfig& config) {
-  if (PipelineEnabled(config)) return RunQ10Fused(db, config);
-  return Q10Body(db, config);
+  return CatalogQuery(10, db, config);
 }
 
 Result<QueryResult> RunQ12(const TpchDb& db, const QueryConfig& config) {
-  if (PipelineEnabled(config)) return RunQ12Fused(db, config);
-  return Q12Body(db, config);
+  return CatalogQuery(12, ViewOf(db), config);
 }
 Result<QueryResult> RunQ12(const TpchDbView& db,
                            const QueryConfig& config) {
-  if (PipelineEnabled(config)) return RunQ12Fused(db, config);
-  return Q12Body(db, config);
+  return CatalogQuery(12, db, config);
 }
 
 Result<QueryResult> RunQ19(const TpchDb& db, const QueryConfig& config) {
-  if (PipelineEnabled(config)) return RunQ19Fused(db, config);
-  return Q19Body(db, config);
+  return CatalogQuery(19, ViewOf(db), config);
 }
 Result<QueryResult> RunQ19(const TpchDbView& db,
                            const QueryConfig& config) {
-  if (PipelineEnabled(config)) return RunQ19Fused(db, config);
-  return Q19Body(db, config);
+  return CatalogQuery(19, db, config);
 }
 
 Result<QueryResult> RunQuery(int query_number, const TpchDb& db,
                              const QueryConfig& config) {
-  return RunQueryImpl(query_number, db, config);
+  return RunQuery(query_number, ViewOf(db), config);
 }
 Result<QueryResult> RunQuery(int query_number, const TpchDbView& db,
                              const QueryConfig& config) {
-  return RunQueryImpl(query_number, db, config);
+  const plan::CatalogEntry* entry = plan::FindQuery(query_number);
+  if (entry == nullptr) return UnknownQueryError(query_number);
+  return ReportedPlan(entry->plan, "Q" + std::to_string(query_number), db,
+                      config);
+}
+
+Result<QueryResult> RunPlan(const plan::Plan& plan, const TpchDb& db,
+                            const QueryConfig& config) {
+  return RunPlan(plan, ViewOf(db), config);
+}
+Result<QueryResult> RunPlan(const plan::Plan& plan, const TpchDbView& db,
+                            const QueryConfig& config) {
+  return ReportedPlan(plan, plan.name(), db, config);
 }
 
 Result<QueryResult> RunQ12Grouped(const TpchDb& db,
                                   const QueryConfig& config) {
-  if (PipelineEnabled(config)) return RunQ12GroupedFused(db, config);
-  return Q12GroupedBody(db, config);
+  return CatalogQuery(plan::kQueryQ12Grouped, ViewOf(db), config);
 }
 Result<QueryResult> RunQ12Grouped(const TpchDbView& db,
                                   const QueryConfig& config) {
-  if (PipelineEnabled(config)) return RunQ12GroupedFused(db, config);
-  return Q12GroupedBody(db, config);
+  return CatalogQuery(plan::kQueryQ12Grouped, db, config);
 }
 
 Result<QueryResult> RunQ1(const TpchDb& db, const QueryConfig& config) {
-  if (PipelineEnabled(config)) return RunQ1Fused(db, config);
-  return Q1Body(db, config);
+  return CatalogQuery(1, ViewOf(db), config);
 }
 Result<QueryResult> RunQ1(const TpchDbView& db, const QueryConfig& config) {
-  if (PipelineEnabled(config)) return RunQ1Fused(db, config);
-  return Q1Body(db, config);
+  return CatalogQuery(1, db, config);
 }
 
 Result<QueryResult> RunQ6(const TpchDb& db, const QueryConfig& config) {
-  if (PipelineEnabled(config)) return RunQ6Fused(db, config);
-  return Q6Body(db, config);
+  return CatalogQuery(6, ViewOf(db), config);
 }
 Result<QueryResult> RunQ6(const TpchDbView& db, const QueryConfig& config) {
-  if (PipelineEnabled(config)) return RunQ6Fused(db, config);
-  return Q6Body(db, config);
+  return CatalogQuery(6, db, config);
 }
 
 std::pair<uint64_t, uint64_t> ReferenceQ12Grouped(const TpchDb& db) {

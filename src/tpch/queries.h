@@ -14,6 +14,10 @@
 #include "tpch/operators.h"
 #include "tpch/tpch_schema.h"
 
+namespace sgxb::plan {
+class Plan;
+}
+
 namespace sgxb::tpch {
 
 struct QueryResult {
@@ -27,6 +31,10 @@ struct QueryResult {
   /// churn, arena/pool and executor activity). Filled by RunQuery; the
   /// RunQ* entry points leave it default (their callers own the window).
   obs::QueryReport report;
+  /// The planner's annotated plan dump (node tree, chosen join flavour /
+  /// probe mode / estimated costs). Filled only when SGXBENCH_EXPLAIN is
+  /// set; empty otherwise.
+  std::string explain;
 };
 
 // Every entry point has a TpchDbView overload: the view's columns may be
@@ -56,11 +64,23 @@ Result<QueryResult> RunQ12(const TpchDbView& db, const QueryConfig& config);
 Result<QueryResult> RunQ19(const TpchDb& db, const QueryConfig& config);
 Result<QueryResult> RunQ19(const TpchDbView& db, const QueryConfig& config);
 
-/// \brief All four queries by number (3, 10, 12, 19).
+/// \brief Any catalog query by number (plan/catalog.h): the paper's
+/// 1/3/6/10/12/19 plus the plan-only queries (105/106/112). Dispatch is
+/// table-driven off the catalog; unknown numbers return
+/// Status::InvalidArgument listing what exists.
 Result<QueryResult> RunQuery(int query_number, const TpchDb& db,
                              const QueryConfig& config);
 Result<QueryResult> RunQuery(int query_number, const TpchDbView& db,
                              const QueryConfig& config);
+
+/// \brief Runs an arbitrary validated plan through the planner (mode +
+/// join-flavour choice, then lowering), with the same report/metric
+/// attribution as RunQuery. This is how the serving layer submits plans
+/// directly (serve::QueryRequest::plan) and how plan-only queries run.
+Result<QueryResult> RunPlan(const plan::Plan& plan, const TpchDb& db,
+                            const QueryConfig& config);
+Result<QueryResult> RunPlan(const plan::Plan& plan, const TpchDbView& db,
+                            const QueryConfig& config);
 
 /// \brief Extension: Q12 with its real GROUP BY final — line counts per
 /// priority class (group 0 = high: URGENT/HIGH orders; group 1 = low).

@@ -5,6 +5,7 @@
 #include <future>
 #include <vector>
 
+#include "plan/catalog.h"
 #include "tpch/tpch_gen.h"
 
 namespace sgxb::serve {
@@ -188,6 +189,37 @@ TEST(QueryServerTest, OptionsClampInflightToDomainCount) {
   QueryServer server(Db(), opts);
   EXPECT_LE(server.options().max_inflight, obs::kMaxMetricDomains);
   EXPECT_GE(server.options().max_inflight, 1);
+}
+
+TEST(QueryServerTest, AdHocPlanRequestsRunThroughThePlanner) {
+  // A request can carry a plan instead of a catalog number; the server
+  // routes it through tpch::RunPlan with the same per-query isolation.
+  plan::PlanBuilder b;
+  const int li = b.Scan(plan::TableId::kLineitem,
+                        {plan::Predicate::U32Range(
+                            plan::ColId::kLShipdate, 0, tpch::kQ1Cutoff)});
+  const plan::Plan adhoc =
+      b.Build(b.Aggregate(li, plan::AggSpec::CountStar()), "served_adhoc")
+          .value();
+  uint64_t expected = 0;
+  for (uint64_t c : tpch::ReferenceQ1Counts(Db())) expected += c;
+
+  QueryServer server(Db(), ServerOptions{});
+  // One plan backing several concurrent requests (plans are immutable).
+  std::vector<std::future<QueryResponse>> pending;
+  for (int i = 0; i < 4; ++i) {
+    QueryRequest req;
+    req.plan = &adhoc;
+    req.query_number = 3;  // must be ignored when a plan is set
+    req.config.num_threads = 1;
+    pending.push_back(server.Submit(req));
+  }
+  for (auto& f : pending) {
+    QueryResponse r = f.get();
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_EQ(r.result.count, expected);
+    EXPECT_EQ(r.result.report.query, "served_adhoc");
+  }
 }
 
 TEST(QueryServerTest, QueueFullRejectsFast) {

@@ -22,7 +22,7 @@
 #include "exec/probe_pipeline.h"
 #include "join/radix_common.h"
 #include "sgx/enclave.h"
-#include "tpch/query_constants.h"
+#include "plan/catalog.h"
 #include "tpch/tpch_gen.h"
 
 namespace sgxb::tpch {

@@ -1,0 +1,419 @@
+// Equivalence and decision tests for the plan compiler (plan/planner.h):
+// every catalog query — including the plan-only ones that never had
+// hand-written drivers — must produce byte-identical results through the
+// materializing and fused lowerings, over resident and paged columns,
+// across probe modes. On top of the matrix: scalar-loop oracles for the
+// plan-only Q5-style queries, ad-hoc plans through RunPlan, and unit
+// tests for the planner's decision logic (knob precedence, forced join
+// flavours, explain output).
+//
+// Wired into the ASan/UBSan and TSan CI jobs (`ctest -L
+// planner_equivalence_test`) alongside pipeline_test.
+
+#include "plan/planner.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <unordered_set>
+#include <vector>
+
+#include "plan/catalog.h"
+#include "storage/buffer_manager.h"
+#include "tpch/paged_db.h"
+#include "tpch/queries.h"
+#include "tpch/tpch_gen.h"
+
+namespace sgxb::tpch {
+namespace {
+
+// Same world as paged_queries_test: SF 0.01 resident, plus a paged copy
+// through a pool small enough that scans continuously evict and reload.
+struct PlannerWorld {
+  TpchDb db;
+  std::unique_ptr<storage::BufferManager> bm;
+  PagedTpchDb paged;
+
+  PlannerWorld() {
+    GenConfig gen;
+    gen.scale_factor = 0.01;
+    db = Generate(gen).value();
+    storage::BufferManager::Config cfg;
+    cfg.buffer_bytes = 768 << 10;
+    cfg.partition_rows = 4096;
+    bm = std::make_unique<storage::BufferManager>(cfg);
+    paged = PagedTpchDb::Build(db, bm.get()).value();
+  }
+};
+
+PlannerWorld& World() {
+  static PlannerWorld* world = new PlannerWorld();
+  return *world;
+}
+
+// Restores an env var on scope exit so decision tests cannot leak knobs
+// into the equivalence matrix.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_ = old != nullptr;
+    setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_) {
+      setenv(name_, saved_.c_str(), 1);
+    } else {
+      unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_ = false;
+};
+
+// --- Scalar-loop oracles for the plan-only queries -------------------------
+// Q5M/Q5G: customer (mktsegment = AUTOMOBILE) JOIN orders (orderdate in
+// 1994) JOIN lineitem; count(*) flat / counted per order priority.
+
+uint64_t ReferenceQ5M(const TpchDb& db) {
+  std::unordered_set<uint32_t> custs;
+  for (size_t i = 0; i < db.customer.num_rows; ++i) {
+    if (db.customer.c_mktsegment[i] == kSegAutomobile) {
+      custs.insert(db.customer.c_custkey[i]);
+    }
+  }
+  std::unordered_set<uint32_t> orders;
+  for (size_t i = 0; i < db.orders.num_rows; ++i) {
+    if (db.orders.o_orderdate[i] >= kDate19940101 &&
+        db.orders.o_orderdate[i] < kDate19950101 &&
+        custs.count(db.orders.o_custkey[i]) != 0) {
+      orders.insert(db.orders.o_orderkey[i]);
+    }
+  }
+  uint64_t count = 0;
+  for (size_t i = 0; i < db.lineitem.num_rows; ++i) {
+    if (orders.count(db.lineitem.l_orderkey[i]) != 0) ++count;
+  }
+  return count;
+}
+
+std::vector<uint64_t> ReferenceQ5G(const TpchDb& db) {
+  std::unordered_set<uint32_t> custs;
+  for (size_t i = 0; i < db.customer.num_rows; ++i) {
+    if (db.customer.c_mktsegment[i] == kSegAutomobile) {
+      custs.insert(db.customer.c_custkey[i]);
+    }
+  }
+  std::unordered_set<uint32_t> orders;
+  for (size_t i = 0; i < db.orders.num_rows; ++i) {
+    if (db.orders.o_orderdate[i] >= kDate19940101 &&
+        db.orders.o_orderdate[i] < kDate19950101 &&
+        custs.count(db.orders.o_custkey[i]) != 0) {
+      orders.insert(db.orders.o_orderkey[i]);
+    }
+  }
+  std::vector<uint64_t> counts(kNumOrderPriorities, 0);
+  for (size_t i = 0; i < db.lineitem.num_rows; ++i) {
+    const uint32_t ok = db.lineitem.l_orderkey[i];
+    if (orders.count(ok) != 0) ++counts[db.orders.o_orderpriority[ok]];
+  }
+  return counts;
+}
+
+// --- The equivalence matrix -------------------------------------------------
+
+constexpr int kCatalogQueries[] = {1,   3,   6,   10,  12, 19,
+                                   105, 106, 112};  // all catalog numbers
+
+using MatrixParam = std::tuple<int, bool, exec::ProbeMode>;
+
+class PlannerEquivalenceTest
+    : public ::testing::TestWithParam<MatrixParam> {};
+
+TEST_P(PlannerEquivalenceTest, LoweringsAgree) {
+  auto [query, paged, probe_mode] = GetParam();
+  PlannerWorld& w = World();
+  const TpchDbView view = paged ? w.paged.View() : ViewOf(w.db);
+
+  QueryConfig cfg;
+  cfg.num_threads = 2;
+  cfg.radix_bits = 8;
+  cfg.probe_mode = probe_mode;
+
+  cfg.pipeline = false;
+  auto materializing = RunQuery(query, view, cfg);
+  ASSERT_TRUE(materializing.ok()) << materializing.status().ToString();
+
+  cfg.pipeline = true;
+  auto fused = RunQuery(query, view, cfg);
+  ASSERT_TRUE(fused.ok()) << fused.status().ToString();
+
+  // And the planner's own choice (no pipeline knob): whichever mode the
+  // cost model picks must agree with both forced modes.
+  cfg.pipeline.reset();
+  auto chosen = RunQuery(query, view, cfg);
+  ASSERT_TRUE(chosen.ok()) << chosen.status().ToString();
+
+  EXPECT_EQ(fused.value().count, materializing.value().count);
+  EXPECT_EQ(fused.value().group_counts, materializing.value().group_counts);
+  EXPECT_EQ(chosen.value().count, materializing.value().count);
+  EXPECT_EQ(chosen.value().group_counts,
+            materializing.value().group_counts);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCatalogQueries, PlannerEquivalenceTest,
+    ::testing::Combine(::testing::ValuesIn(kCatalogQueries),
+                       ::testing::Bool(),
+                       ::testing::Values(exec::ProbeMode::kTupleAtATime,
+                                         exec::ProbeMode::kGroupPrefetch,
+                                         exec::ProbeMode::kAmac)),
+    [](const ::testing::TestParamInfo<MatrixParam>& info) {
+      const plan::CatalogEntry* e = plan::FindQuery(std::get<0>(info.param));
+      std::string name = e != nullptr ? e->name : "unknown";
+      name += std::get<1>(info.param) ? "_Paged" : "_Resident";
+      switch (std::get<2>(info.param)) {
+        case exec::ProbeMode::kTupleAtATime:
+          name += "_Tuple";
+          break;
+        case exec::ProbeMode::kGroupPrefetch:
+          name += "_Gp";
+          break;
+        case exec::ProbeMode::kAmac:
+          name += "_Amac";
+          break;
+      }
+      return name;
+    });
+
+// --- Plan-only queries against scalar oracles -------------------------------
+
+TEST(PlanOnlyQueryTest, Q5MultiwayMatchesOracle) {
+  PlannerWorld& w = World();
+  const uint64_t expected = ReferenceQ5M(w.db);
+  ASSERT_GT(expected, 0u) << "degenerate dataset";
+  for (bool fused : {false, true}) {
+    QueryConfig cfg;
+    cfg.num_threads = 2;
+    cfg.pipeline = fused;
+    auto r = RunQuery(plan::kQueryQ5Multiway, w.db, cfg);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r.value().count, expected) << "fused=" << fused;
+  }
+}
+
+TEST(PlanOnlyQueryTest, Q5GroupedMatchesOracle) {
+  PlannerWorld& w = World();
+  const std::vector<uint64_t> expected = ReferenceQ5G(w.db);
+  uint64_t total = 0;
+  for (uint64_t c : expected) total += c;
+  ASSERT_GT(total, 0u) << "degenerate dataset";
+  for (bool fused : {false, true}) {
+    QueryConfig cfg;
+    cfg.num_threads = 2;
+    cfg.pipeline = fused;
+    auto r = RunQuery(plan::kQueryQ5Grouped, w.db, cfg);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r.value().group_counts, expected) << "fused=" << fused;
+    EXPECT_EQ(r.value().count, total) << "fused=" << fused;
+  }
+}
+
+TEST(PlanOnlyQueryTest, GroupedVariantsAgreeWithLegacyOracle) {
+  // Q12G through the planner must still match the hand-written oracle
+  // that predates the plan layer.
+  PlannerWorld& w = World();
+  const auto [high, low] = ReferenceQ12Grouped(w.db);
+  for (bool fused : {false, true}) {
+    QueryConfig cfg;
+    cfg.num_threads = 2;
+    cfg.pipeline = fused;
+    auto r = RunQuery(plan::kQueryQ12Grouped, w.db, cfg);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_EQ(r.value().group_counts.size(), 2u);
+    EXPECT_EQ(r.value().group_counts[0], high);
+    EXPECT_EQ(r.value().group_counts[1], low);
+  }
+}
+
+// --- Ad-hoc plans through RunPlan -------------------------------------------
+
+TEST(RunPlanTest, AdHocPlanRunsInBothModes) {
+  // A query that exists in no catalog: orders in 1995 joined to
+  // lineitem, counted. Oracle inline.
+  PlannerWorld& w = World();
+  plan::PlanBuilder b;
+  const int ord = b.Scan(
+      plan::TableId::kOrders,
+      {plan::Predicate::U32Range(plan::ColId::kOOrderdate, kDate19950101,
+                                 0xffffffffu)});
+  const int li = b.Scan(plan::TableId::kLineitem);
+  const int j = b.Join(ord, li, plan::ColId::kOOrderkey,
+                       plan::ColId::kLOrderkey);
+  auto built = b.Build(b.Aggregate(j, plan::AggSpec::CountStar()), "adhoc");
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const plan::Plan plan = std::move(built).value();
+
+  std::unordered_set<uint32_t> orders;
+  for (size_t i = 0; i < w.db.orders.num_rows; ++i) {
+    if (w.db.orders.o_orderdate[i] >= kDate19950101) {
+      orders.insert(w.db.orders.o_orderkey[i]);
+    }
+  }
+  uint64_t expected = 0;
+  for (size_t i = 0; i < w.db.lineitem.num_rows; ++i) {
+    if (orders.count(w.db.lineitem.l_orderkey[i]) != 0) ++expected;
+  }
+
+  for (bool fused : {false, true}) {
+    QueryConfig cfg;
+    cfg.num_threads = 2;
+    cfg.pipeline = fused;
+    auto r = RunPlan(plan, w.db, cfg);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r.value().count, expected) << "fused=" << fused;
+    // RunPlan attributes a report window named after the plan.
+    EXPECT_EQ(r.value().report.query, "adhoc");
+  }
+}
+
+TEST(RunPlanTest, InvalidPlanIsRejected) {
+  PlannerWorld& w = World();
+  QueryConfig cfg;
+  plan::Plan empty;
+  EXPECT_FALSE(RunPlan(empty, w.db, cfg).ok());
+}
+
+TEST(RunQueryTest, UnknownNumbersListTheCatalog) {
+  PlannerWorld& w = World();
+  QueryConfig cfg;
+  auto r = RunQuery(2, w.db, cfg);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("unknown query 2"),
+            std::string::npos)
+      << r.status().ToString();
+  EXPECT_NE(r.status().message().find("105"), std::string::npos)
+      << "error should list the catalog numbers";
+}
+
+// --- Planner decision logic --------------------------------------------------
+
+TEST(PlannerDecisionTest, EveryCatalogPlanIsFusedLowerable) {
+  for (const plan::CatalogEntry& e : plan::Catalog()) {
+    EXPECT_TRUE(plan::FusedLowerable(e.plan)) << e.name;
+  }
+}
+
+TEST(PlannerDecisionTest, ExplicitPipelineKnobBeatsCostModel) {
+  PlannerWorld& w = World();
+  const plan::CatalogEntry* q3 = plan::FindQuery(3);
+  ASSERT_NE(q3, nullptr);
+  QueryConfig cfg;
+
+  cfg.pipeline = false;
+  plan::PlanDecisions d = plan::DecideFor(q3->plan, ViewOf(w.db), cfg);
+  EXPECT_FALSE(d.fused);
+  EXPECT_FALSE(d.mode_cost_based);
+
+  cfg.pipeline = true;
+  d = plan::DecideFor(q3->plan, ViewOf(w.db), cfg);
+  EXPECT_TRUE(d.fused);
+  EXPECT_FALSE(d.mode_cost_based);
+}
+
+TEST(PlannerDecisionTest, CostModelPicksModeWhenUnconstrained) {
+  PlannerWorld& w = World();
+  const plan::CatalogEntry* q3 = plan::FindQuery(3);
+  QueryConfig cfg;  // no pipeline knob
+  const plan::PlanDecisions d = plan::DecideFor(q3->plan, ViewOf(w.db), cfg);
+  EXPECT_TRUE(d.mode_cost_based);
+  EXPECT_GT(d.fused_cost_ns, 0.0);
+  EXPECT_GT(d.materializing_cost_ns, 0.0);
+  // The chosen mode is the cheaper modeled lowering.
+  EXPECT_EQ(d.fused, d.fused_cost_ns < d.materializing_cost_ns);
+  // Estimates exist for every node, and join nodes carry a choice.
+  ASSERT_EQ(d.est_rows.size(), q3->plan.nodes().size());
+  for (double est : d.est_rows) EXPECT_GE(est, 0.0);
+}
+
+TEST(PlannerDecisionTest, ForcedJoinAlgoOverridesCostModel) {
+  PlannerWorld& w = World();
+  const plan::CatalogEntry* q3 = plan::FindQuery(3);
+  ScopedEnv force("SGXBENCH_JOIN_ALGO", "pht");
+  QueryConfig cfg;
+  const plan::PlanDecisions d = plan::DecideFor(q3->plan, ViewOf(w.db), cfg);
+  for (size_t id = 0; id < q3->plan.nodes().size(); ++id) {
+    if (q3->plan.nodes()[id].kind != plan::PlanNode::Kind::kJoin) continue;
+    EXPECT_EQ(d.joins[id].algo, join::JoinAlgorithm::kPht);
+    EXPECT_FALSE(d.joins[id].cost_based);
+  }
+  // Results must stay correct under the forced flavour, in both modes.
+  for (bool fused : {false, true}) {
+    QueryConfig run_cfg;
+    run_cfg.num_threads = 2;
+    run_cfg.pipeline = fused;
+    auto r = RunQuery(3, w.db, run_cfg);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r.value().count, ReferenceQ3(w.db)) << "fused=" << fused;
+  }
+}
+
+TEST(PlannerDecisionTest, PlannerOffRestoresLegacyBehaviour) {
+  PlannerWorld& w = World();
+  const plan::CatalogEntry* q3 = plan::FindQuery(3);
+  ScopedEnv off("SGXBENCH_PLANNER", "0");
+  QueryConfig cfg;
+  const plan::PlanDecisions d = plan::DecideFor(q3->plan, ViewOf(w.db), cfg);
+  // Legacy: materializing unless the pipeline knob says otherwise, every
+  // join RHO, nothing cost-based.
+  EXPECT_FALSE(d.fused);
+  EXPECT_FALSE(d.mode_cost_based);
+  for (size_t id = 0; id < q3->plan.nodes().size(); ++id) {
+    if (q3->plan.nodes()[id].kind != plan::PlanNode::Kind::kJoin) continue;
+    EXPECT_EQ(d.joins[id].algo, join::JoinAlgorithm::kRho);
+    EXPECT_FALSE(d.joins[id].cost_based);
+  }
+}
+
+// --- Explain ----------------------------------------------------------------
+
+TEST(ExplainTest, DumpCarriesDecisionsForEveryNode) {
+  PlannerWorld& w = World();
+  const plan::CatalogEntry* q3 = plan::FindQuery(3);
+  QueryConfig cfg;
+  const plan::PlanDecisions d = plan::DecideFor(q3->plan, ViewOf(w.db), cfg);
+  const std::string text = plan::Explain(q3->plan, d);
+  EXPECT_NE(text.find("plan Q3"), std::string::npos) << text;
+  EXPECT_NE(text.find("mode="), std::string::npos) << text;
+  EXPECT_NE(text.find("probe="), std::string::npos) << text;
+  EXPECT_NE(text.find("Scan(customer)"), std::string::npos) << text;
+  EXPECT_NE(text.find("est_cost="), std::string::npos) << text;
+  EXPECT_NE(text.find("rows"), std::string::npos) << text;
+}
+
+TEST(ExplainTest, EnvKnobAttachesExplainToResult) {
+  PlannerWorld& w = World();
+  QueryConfig cfg;
+  cfg.num_threads = 1;
+  {
+    ScopedEnv on("SGXBENCH_EXPLAIN", "1");
+    auto r = RunQuery(6, w.db, cfg);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_NE(r.value().explain.find("plan Q6"), std::string::npos)
+        << r.value().explain;
+  }
+  auto quiet = RunQuery(6, w.db, cfg);
+  ASSERT_TRUE(quiet.ok());
+  EXPECT_TRUE(quiet.value().explain.empty())
+      << "explain must be opt-in, not always-on";
+}
+
+}  // namespace
+}  // namespace sgxb::tpch
