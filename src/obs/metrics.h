@@ -273,7 +273,22 @@ inline constexpr char kCtrStoragePartitionsReloaded[] =
 inline constexpr char kCtrStoragePrefetchLoads[] = "storage.prefetch_loads";
 inline constexpr char kCtrStorageDecryptBytes[] = "storage.decrypt_bytes";
 inline constexpr char kCtrStoragePinWaits[] = "storage.pin_waits";
+/// Total nanoseconds threads spent parked on contended SDK mutexes. The
+/// park-latency *distribution* lives in the kHistMutexParkNs histogram,
+/// but histograms are process-global; this counter is domain-mirrored so
+/// QueryReport can attribute park time per query class (the HTAP bench's
+/// avalanche exhibit).
+inline constexpr char kCtrMutexParkNsTotal[] = "sgx.mutex_park_ns_total";
+// Live-update write path (src/txn/, docs/htap.md): commit volume, COW
+// version-chunk churn, and epoch-based reclamation progress.
+inline constexpr char kCtrTxnCommits[] = "txn.commits";
+inline constexpr char kCtrTxnVersionsCreated[] = "txn.versions_created";
+inline constexpr char kCtrTxnVersionsRetired[] = "txn.versions_retired";
+inline constexpr char kCtrTxnVersionsReclaimed[] = "txn.versions_reclaimed";
+inline constexpr char kCtrTxnCowBytes[] = "txn.cow_bytes";
+inline constexpr char kCtrTxnReclaimedBytes[] = "txn.reclaimed_bytes";
 inline constexpr char kHistMutexParkNs[] = "sgx.mutex_park_ns";
+inline constexpr char kHistTxnCommitNs[] = "txn.commit_ns";
 inline constexpr char kHistEdmmCommitNs[] = "sgx.edmm_commit_ns";
 
 }  // namespace sgxb::obs

@@ -28,6 +28,7 @@ std::string QueryReport::ToJson() const {
   add("transition_cycles", transition_cycles);
   add("mutex_parks", mutex_parks);
   add("mutex_wake_ocalls", mutex_wake_ocalls);
+  add("mutex_park_ns", mutex_park_ns);
   add("edmm_pages_added", edmm_pages_added);
   add("edmm_pages_trimmed", edmm_pages_trimmed);
   add("edmm_injected_ns", edmm_injected_ns);
@@ -45,6 +46,12 @@ std::string QueryReport::ToJson() const {
   add("storage_prefetch_loads", storage_prefetch_loads);
   add("storage_decrypt_bytes", storage_decrypt_bytes);
   add("storage_pin_waits", storage_pin_waits);
+  add("txn_commits", txn_commits);
+  add("txn_versions_created", txn_versions_created);
+  add("txn_versions_retired", txn_versions_retired);
+  add("txn_versions_reclaimed", txn_versions_reclaimed);
+  add("txn_cow_bytes", txn_cow_bytes);
+  add("txn_reclaimed_bytes", txn_reclaimed_bytes);
   std::snprintf(buf, sizeof(buf), ", \"pool_hit_rate\": %.4f",
                 PoolHitRate());
   out += buf;
@@ -72,8 +79,9 @@ std::string QueryReport::ToString() const {
                 static_cast<unsigned long long>(transition_cycles));
   out += buf;
   std::snprintf(buf, sizeof(buf),
-                "  mutex: %llu parks, %llu wake ocalls\n",
+                "  mutex: %llu parks (%.3f ms parked), %llu wake ocalls\n",
                 static_cast<unsigned long long>(mutex_parks),
+                static_cast<double>(mutex_park_ns) * 1e-6,
                 static_cast<unsigned long long>(mutex_wake_ocalls));
   out += buf;
   std::snprintf(buf, sizeof(buf),
@@ -109,6 +117,18 @@ std::string QueryReport::ToString() const {
                 static_cast<unsigned long long>(storage_decrypt_bytes),
                 static_cast<unsigned long long>(storage_pin_waits));
   out += buf;
+  if (txn_commits > 0 || txn_versions_reclaimed > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "  txn: %llu commits, versions +%llu/-%llu (%llu retired), "
+                  "%llu cow bytes, %llu reclaimed bytes\n",
+                  static_cast<unsigned long long>(txn_commits),
+                  static_cast<unsigned long long>(txn_versions_created),
+                  static_cast<unsigned long long>(txn_versions_reclaimed),
+                  static_cast<unsigned long long>(txn_versions_retired),
+                  static_cast<unsigned long long>(txn_cow_bytes),
+                  static_cast<unsigned long long>(txn_reclaimed_bytes));
+    out += buf;
+  }
   return out;
 }
 
@@ -141,6 +161,7 @@ QueryReport QueryReportScope::Finish(std::vector<PhaseTiming> phases) {
   report.transition_cycles = delta(kCtrTransitionCycles);
   report.mutex_parks = delta(kCtrMutexParks);
   report.mutex_wake_ocalls = delta(kCtrMutexWakeOcalls);
+  report.mutex_park_ns = delta(kCtrMutexParkNsTotal);
   report.edmm_pages_added = delta(kCtrEdmmPagesAdded);
   report.edmm_pages_trimmed = delta(kCtrEdmmPagesTrimmed);
   report.edmm_injected_ns = delta(kCtrEdmmInjectedNs);
@@ -158,6 +179,12 @@ QueryReport QueryReportScope::Finish(std::vector<PhaseTiming> phases) {
   report.storage_prefetch_loads = delta(kCtrStoragePrefetchLoads);
   report.storage_decrypt_bytes = delta(kCtrStorageDecryptBytes);
   report.storage_pin_waits = delta(kCtrStoragePinWaits);
+  report.txn_commits = delta(kCtrTxnCommits);
+  report.txn_versions_created = delta(kCtrTxnVersionsCreated);
+  report.txn_versions_retired = delta(kCtrTxnVersionsRetired);
+  report.txn_versions_reclaimed = delta(kCtrTxnVersionsReclaimed);
+  report.txn_cow_bytes = delta(kCtrTxnCowBytes);
+  report.txn_reclaimed_bytes = delta(kCtrTxnReclaimedBytes);
   return report;
 }
 

@@ -51,8 +51,11 @@ struct QueryReport {
   uint64_t transition_cycles = 0;
 
   // SDK mutex behaviour (sgx/sgx_mutex.cc) — the Figure 10 mechanism.
+  // mutex_park_ns is the total time this query's threads spent parked
+  // outside the enclave (per-domain, unlike the global park histogram).
   uint64_t mutex_parks = 0;
   uint64_t mutex_wake_ocalls = 0;
+  uint64_t mutex_park_ns = 0;
 
   // EDMM page churn (sgx/enclave.cc) — the Figure 11 mechanism.
   uint64_t edmm_pages_added = 0;
@@ -84,6 +87,16 @@ struct QueryReport {
   uint64_t storage_prefetch_loads = 0;
   uint64_t storage_decrypt_bytes = 0;
   uint64_t storage_pin_waits = 0;
+
+  // Live-update write path (src/txn/): commits this window plus the COW /
+  // reclamation churn they caused (docs/htap.md). Zero for read-only
+  // queries unless an update feed shares the report's domain.
+  uint64_t txn_commits = 0;
+  uint64_t txn_versions_created = 0;
+  uint64_t txn_versions_retired = 0;
+  uint64_t txn_versions_reclaimed = 0;
+  uint64_t txn_cow_bytes = 0;
+  uint64_t txn_reclaimed_bytes = 0;
 
   /// \brief pool_hits / (pool_hits + pool_misses), or 0 with no traffic.
   double PoolHitRate() const;

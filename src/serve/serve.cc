@@ -7,6 +7,7 @@
 #include "exec/executor.h"
 #include "mem/arena_pool.h"
 #include "obs/metrics.h"
+#include "obs/query_report.h"
 
 namespace sgxb::serve {
 
@@ -76,7 +77,16 @@ int AdmissionQueue::size() const {
 // --- QueryServer --------------------------------------------------------
 
 QueryServer::QueryServer(const tpch::TpchDb& db, ServerOptions options)
-    : db_(db), options_(options), queue_(options.max_queue) {
+    : db_(&db), options_(options), queue_(options.max_queue) {
+  StartRunners();
+}
+
+QueryServer::QueryServer(txn::VersionedTpchDb& vdb, ServerOptions options)
+    : vdb_(&vdb), options_(options), queue_(options.max_queue) {
+  StartRunners();
+}
+
+void QueryServer::StartRunners() {
   options_.max_inflight = ClampInflight(options_.max_inflight);
   exec::Executor& ex = exec::Executor::Default();
   // Prewarm to full capacity up front: otherwise the pool is sized by the
@@ -188,9 +198,43 @@ void QueryServer::Execute(AdmissionQueue::Ticket ticket) {
   response.granted_threads = config.num_threads;
 
   WallTimer exec_timer;
-  Result<tpch::QueryResult> result =
-      req.plan != nullptr ? tpch::RunPlan(*req.plan, db_, config)
-                          : tpch::RunQuery(req.query_number, db_, config);
+  Result<tpch::QueryResult> result = [&]() -> Result<tpch::QueryResult> {
+    if (!req.updates.empty()) {
+      // Update batch: commit in submission order under the db's commit
+      // latch. The report window wraps the batch so the latch's
+      // park/wake avalanche is attributed to this request's domain.
+      if (vdb_ == nullptr) {
+        return Status::InvalidArgument(
+            "update batch submitted to a read-only server (construct "
+            "QueryServer over a txn::VersionedTpchDb)");
+      }
+      obs::QueryReportScope scope("update_batch", domain);
+      tpch::QueryResult r;
+      {
+        obs::ScopedMetricDomain attributed(domain);
+        for (const txn::UpdateOp& op : req.updates) {
+          SGXB_RETURN_NOT_OK(vdb_->Commit(op));
+          ++r.count;
+        }
+      }
+      r.report = scope.Finish();
+      r.host_ns = r.report.wall_ns;
+      return r;
+    }
+    if (vdb_ != nullptr) {
+      // Snapshot serving: pin an epoch for the query's lifetime; the
+      // view is a consistent cut no concurrent commit can disturb.
+      auto snap = vdb_->OpenSnapshot();
+      if (!snap.ok()) return snap.status();
+      return req.plan != nullptr
+                 ? tpch::RunPlan(*req.plan, snap.value().view(), config)
+                 : tpch::RunQuery(req.query_number, snap.value().view(),
+                                  config);
+    }
+    return req.plan != nullptr
+               ? tpch::RunPlan(*req.plan, *db_, config)
+               : tpch::RunQuery(req.query_number, *db_, config);
+  }();
   response.exec_ns = static_cast<double>(exec_timer.ElapsedNanos());
 
   // Release per-query state before delivering: a client that reacts to

@@ -49,6 +49,7 @@
 #include "common/timer.h"
 #include "tpch/queries.h"
 #include "tpch/tpch_schema.h"
+#include "txn/versioned_db.h"
 
 namespace sgxb::serve {
 
@@ -87,6 +88,15 @@ struct QueryRequest {
   /// fair share allows". arena_pool and obs_domain are server-owned and
   /// overwritten at dispatch.
   tpch::QueryConfig config;
+  /// HTAP extension: when non-empty this request is an *update batch*
+  /// instead of a query (query_number / plan are ignored) — each op is
+  /// committed in order against the server's VersionedTpchDb and
+  /// result.count reports how many committed. Requires the server to
+  /// have been constructed over a VersionedTpchDb; InvalidArgument
+  /// otherwise. Updates share the admission queue and priority rules
+  /// with queries, so mixed read/write load contends exactly where a
+  /// real HTAP deployment would: in the commit latch, not the scheduler.
+  std::vector<txn::UpdateOp> updates;
   /// Higher runs sooner; FIFO within a priority class.
   int priority = 0;
   /// If > 0: a ticket still queued this many milliseconds after Submit()
@@ -167,6 +177,11 @@ class QueryServer {
  public:
   explicit QueryServer(const tpch::TpchDb& db,
                        ServerOptions options = ServerOptions::FromEnv());
+  /// \brief HTAP mode: queries run over pinned snapshots of `vdb` (one
+  /// per request, released at completion) and update-batch requests are
+  /// admitted alongside them (QueryRequest::updates).
+  explicit QueryServer(txn::VersionedTpchDb& vdb,
+                       ServerOptions options = ServerOptions::FromEnv());
   ~QueryServer();
 
   QueryServer(const QueryServer&) = delete;
@@ -186,8 +201,12 @@ class QueryServer {
  private:
   void RunnerLoop();
   void Execute(AdmissionQueue::Ticket ticket);
+  void StartRunners();
 
-  const tpch::TpchDb& db_;
+  // Exactly one of these is set: db_ for the read-only mode, vdb_ for
+  // HTAP snapshot serving.
+  const tpch::TpchDb* db_ = nullptr;
+  txn::VersionedTpchDb* vdb_ = nullptr;
   ServerOptions options_;
   AdmissionQueue queue_;
   std::vector<std::thread> runners_;

@@ -31,6 +31,13 @@ obs::Histogram& ParkNs() {
       obs::Registry::Global().GetHistogram(obs::kHistMutexParkNs);
   return *h;
 }
+// Histograms are process-global; this counter carries the same park time
+// domain-mirrored so QueryReport attributes it per query class.
+obs::Counter& ParkNsTotal() {
+  static obs::Counter* c =
+      obs::Registry::Global().GetCounter(obs::kCtrMutexParkNsTotal);
+  return *c;
+}
 
 }  // namespace
 
@@ -63,8 +70,10 @@ void SgxSdkMutex::lock() {
     --waiters_;
   }
   locked_ = true;
-  ParkNs().Record(
-      static_cast<uint64_t>(CyclesToNanos(ReadTsc() - park_begin)));
+  const uint64_t parked_ns =
+      static_cast<uint64_t>(CyclesToNanos(ReadTsc() - park_begin));
+  ParkNs().Record(parked_ns);
+  ParkNsTotal().Add(parked_ns);
 }
 
 bool SgxSdkMutex::try_lock() {

@@ -190,7 +190,12 @@ void BufferManager::Unpin(PagedColumnBase* column, size_t p) {
   Partition& part = column->parts_[p];
   std::lock_guard<std::mutex> lk(mu_);
   assert(part.pins > 0 && "unbalanced Unpin");
-  if (--part.pins == 0) cv_.notify_all();
+  ++unpin_seq_;
+  // Wake capacity waiters on *every* unpin, not just the one that drops a
+  // partition's pin count to zero: under pin churn (txn COW reads, mixed
+  // HTAP load) a partition's count rarely rests at zero, yet each unpin
+  // is a fresh eviction opportunity the waiter must race for.
+  if (--part.pins == 0 || capacity_waiters_ > 0) cv_.notify_all();
 }
 
 void BufferManager::Prefetch(PagedColumnBase* column, size_t p) {
@@ -225,15 +230,31 @@ Status BufferManager::ReserveBudgetLocked(size_t need,
         " bytes); raise SGXBENCH_BUFFER_BYTES or lower "
         "SGXBENCH_PARTITION_ROWS");
   }
-  const auto deadline =
-      std::chrono::steady_clock::now() +
-      std::chrono::milliseconds(config_.pin_wait_timeout_ms);
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(config_.pin_wait_timeout_ms);
+  uint64_t progress = unpin_seq_;
   while (resident_bytes_ + need > config_.buffer_bytes) {
     if (TryEvictOneLocked()) continue;
     // Everything resident is pinned or loading: wait for an unpin.
     n_pin_waits_.fetch_add(1, std::memory_order_relaxed);
     CtrPinWaits()->Increment();
-    if (cv_.wait_until(lk, deadline) == std::cv_status::timeout) {
+    ++capacity_waiters_;
+    const bool timed_out =
+        cv_.wait_until(lk, deadline) == std::cv_status::timeout;
+    --capacity_waiters_;
+    if (unpin_seq_ != progress) {
+      // Pins are churning: every unpin is a fresh eviction chance, so the
+      // deadline measures time since the pool last *moved*, not time in
+      // the loop. A one-shot deadline here reported spurious
+      // ResourceExhausted whenever churning pinners kept beating the
+      // waiter to the mutex for the whole window — and a timeout that
+      // raced a concurrent unpin gave up without even re-checking.
+      progress = unpin_seq_;
+      deadline = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(config_.pin_wait_timeout_ms);
+      continue;
+    }
+    if (timed_out) {
       return Status::ResourceExhausted(
           "buffer pool (" + std::to_string(config_.buffer_bytes) +
           " bytes) cannot fit another partition: all resident partitions "

@@ -18,9 +18,11 @@
 // are counted per partition; the clock sweep skips pinned and loading
 // partitions, and eviction of a pinned partition is impossible by
 // construction (asserted). When nothing is evictable the pinning thread
-// waits on a condvar for an unpin, up to Config::pin_wait_timeout_ms,
-// then fails with ResourceExhausted — a pool smaller than one thread's
-// simultaneously pinned working set is a configuration error, not a hang.
+// waits on a condvar, re-checking after every unpin (each one is a fresh
+// eviction opportunity under pin churn); it fails with ResourceExhausted
+// only after Config::pin_wait_timeout_ms passes with no unpin at all — a
+// pool smaller than one thread's simultaneously pinned working set is a
+// configuration error, not a hang.
 
 #ifndef SGXB_STORAGE_BUFFER_MANAGER_H_
 #define SGXB_STORAGE_BUFFER_MANAGER_H_
@@ -212,6 +214,12 @@ class BufferManager {
   size_t hand_ = 0;
   size_t resident_bytes_ = 0;
   uint64_t next_mee_offset_ = 0;
+  /// Bumped on every Unpin: capacity waiters use it to tell "the pool is
+  /// churning, keep retrying" from "nothing has moved, time out".
+  uint64_t unpin_seq_ = 0;
+  /// Threads parked in ReserveBudgetLocked; Unpin broadcasts while any
+  /// are waiting even if the partition's pin count stays above zero.
+  int capacity_waiters_ = 0;
 
   // Stats (atomics: read without mu_, some bumped from the load path).
   std::atomic<uint64_t> n_registered_{0};

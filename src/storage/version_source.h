@@ -1,0 +1,43 @@
+// Chunk-version provider interface for live-update (HTAP) columns.
+//
+// The write path (src/txn/) maintains copy-on-write version chunks over a
+// base column; the read path must stay the storage layer's ColumnView so
+// query bodies, fused pipelines, and the planner run unchanged against
+// mutating tables. This interface is the seam between the two: storage
+// depends only on this abstract shape, txn implements it, and ColumnView
+// carries a (source, epoch) overlay that resolves each chunk to either a
+// version array or the base column (docs/htap.md).
+//
+// Thread-safety contract: ChunkVersion may be called concurrently with
+// committing writers. The returned pointer must stay valid — and the
+// pointed-to values immutable — for as long as `epoch` stays pinned in
+// the implementation's epoch registry (epoch-based reclamation; see
+// txn::EpochRegistry).
+
+#ifndef SGXB_STORAGE_VERSION_SOURCE_H_
+#define SGXB_STORAGE_VERSION_SOURCE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sgxb::storage {
+
+template <typename T>
+class VersionSource {
+ public:
+  virtual ~VersionSource() = default;
+
+  /// \brief Rows per version chunk (constant for the column's lifetime;
+  /// the last chunk may be shorter).
+  virtual size_t chunk_rows() const = 0;
+
+  /// \brief The values of chunk `chunk` visible at commit epoch `epoch`,
+  /// or nullptr when the base column's values are current for that chunk
+  /// at that epoch (no committed version with commit epoch <= `epoch`).
+  /// The pointer addresses the chunk's first row.
+  virtual const T* ChunkVersion(size_t chunk, uint64_t epoch) const = 0;
+};
+
+}  // namespace sgxb::storage
+
+#endif  // SGXB_STORAGE_VERSION_SOURCE_H_

@@ -217,7 +217,7 @@ Result<RowIdList> FilterU8Range(storage::ColumnView<uint8_t> col,
   if (!out.ok()) return out.status();
   RowIdList result = std::move(out).value();
 
-  if (!col.paged()) {
+  if (!col.paged() && !col.versioned()) {
     scan::ScanConfig sc;
     sc.lo = lo;
     sc.hi = hi;

@@ -1,0 +1,151 @@
+// Global commit epoch and epoch-based reclamation registry (docs/htap.md).
+//
+// Snapshot scans pin the current commit epoch into a registry slot;
+// committers advance the epoch and retire superseded version chunks.  A
+// retired chunk is reclaimable once every pinned slot holds an epoch at or
+// past the retiring commit — from then on no snapshot can ever walk to it
+// (new pins always land at or past the current epoch).
+//
+// The pin protocol is the classic epoch-based-reclamation handshake: the
+// reader publishes a candidate epoch seq_cst and re-reads the global epoch
+// seq_cst until both agree.  Both sides' seq_cst accesses put the slot
+// publish and the committer's MinPinned() scan into one total order, so a
+// committer either observes the pin or published an epoch the reader will
+// observe and re-pin — there is no window where a scan runs at epoch E
+// while the committer believes nothing at E is live.
+
+#ifndef SGXB_TXN_EPOCH_H_
+#define SGXB_TXN_EPOCH_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace sgxb::txn {
+
+class EpochRegistry {
+ public:
+  /// Concurrent pinned snapshots; chosen to cover the serving layer's
+  /// admission bound (obs::kMaxMetricDomains = 64) with headroom.
+  static constexpr int kMaxSnapshots = 128;
+  /// Slot value meaning "free" — also what MinPinned() returns when no
+  /// snapshot is pinned (it compares greater than every real epoch, so
+  /// the reclaim condition min_pinned >= retire_epoch holds vacuously).
+  static constexpr uint64_t kIdle = ~0ull;
+
+  EpochRegistry() = default;
+  EpochRegistry(const EpochRegistry&) = delete;
+  EpochRegistry& operator=(const EpochRegistry&) = delete;
+
+  /// \brief The latest published commit epoch (0 before any commit).
+  uint64_t current() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// \brief Publishes `epoch` as the new commit epoch. Call under the
+  /// owning table's commit latch with strictly increasing values.
+  void Publish(uint64_t epoch) {
+    epoch_.store(epoch, std::memory_order_seq_cst);
+  }
+
+  /// \brief Claims a slot and pins the current epoch into it. Returns the
+  /// slot index and writes the pinned epoch to `*epoch_out`, or returns
+  /// -1 with all kMaxSnapshots slots taken.
+  int Pin(uint64_t* epoch_out) {
+    for (int s = 0; s < kMaxSnapshots; ++s) {
+      uint64_t expected = kIdle;
+      uint64_t e = epoch_.load(std::memory_order_seq_cst);
+      if (!slots_[s].v.compare_exchange_strong(expected, e,
+                                               std::memory_order_seq_cst)) {
+        continue;  // slot taken; try the next one
+      }
+      // Handshake: if a commit published a newer epoch after we read `e`
+      // but possibly before it could observe our pin, move the pin
+      // forward and re-check. Pinning a newer epoch is always safe (it
+      // only makes reclamation more conservative for others, and this
+      // snapshot simply observes the newer committed state).
+      for (;;) {
+        const uint64_t cur = epoch_.load(std::memory_order_seq_cst);
+        if (cur == e) break;
+        e = cur;
+        slots_[s].v.store(e, std::memory_order_seq_cst);
+      }
+      *epoch_out = e;
+      return s;
+    }
+    return -1;
+  }
+
+  /// \brief Releases a pinned slot (frees it for other snapshots).
+  void Unpin(int slot) {
+    slots_[slot].v.store(kIdle, std::memory_order_seq_cst);
+  }
+
+  /// \brief The smallest pinned epoch, or kIdle with nothing pinned.
+  /// Committers call this (after Publish) to gate reclamation.
+  uint64_t MinPinned() const {
+    uint64_t min = kIdle;
+    for (const PaddedSlot& s : slots_) {
+      const uint64_t e = s.v.load(std::memory_order_seq_cst);
+      if (e < min) min = e;
+    }
+    return min;
+  }
+
+  /// \brief Currently pinned snapshots (approximate under concurrency).
+  int active_snapshots() const {
+    int n = 0;
+    for (const PaddedSlot& s : slots_) {
+      if (s.v.load(std::memory_order_relaxed) != kIdle) ++n;
+    }
+    return n;
+  }
+
+ private:
+  struct alignas(64) PaddedSlot {
+    std::atomic<uint64_t> v{kIdle};
+  };
+
+  std::atomic<uint64_t> epoch_{0};
+  PaddedSlot slots_[kMaxSnapshots];
+};
+
+/// \brief RAII epoch pin: holds one registry slot for the lifetime of a
+/// snapshot scan. Movable so it can sit inside snapshot objects; an empty
+/// handle (slots exhausted or moved-from) reports !ok().
+class SnapshotHandle {
+ public:
+  SnapshotHandle() = default;
+  explicit SnapshotHandle(EpochRegistry* registry) : registry_(registry) {
+    slot_ = registry->Pin(&epoch_);
+  }
+  ~SnapshotHandle() { Release(); }
+
+  SnapshotHandle(const SnapshotHandle&) = delete;
+  SnapshotHandle& operator=(const SnapshotHandle&) = delete;
+  SnapshotHandle(SnapshotHandle&& other) noexcept { *this = std::move(other); }
+  SnapshotHandle& operator=(SnapshotHandle&& other) noexcept {
+    if (this != &other) {
+      Release();
+      registry_ = other.registry_;
+      slot_ = other.slot_;
+      epoch_ = other.epoch_;
+      other.slot_ = -1;
+    }
+    return *this;
+  }
+
+  bool ok() const { return slot_ >= 0; }
+  uint64_t epoch() const { return epoch_; }
+
+  void Release() {
+    if (slot_ >= 0) registry_->Unpin(slot_);
+    slot_ = -1;
+  }
+
+ private:
+  EpochRegistry* registry_ = nullptr;
+  int slot_ = -1;
+  uint64_t epoch_ = 0;
+};
+
+}  // namespace sgxb::txn
+
+#endif  // SGXB_TXN_EPOCH_H_

@@ -1,0 +1,197 @@
+// Copy-on-write version chunks over a base column (docs/htap.md).
+//
+// A VersionedColumn<T> divides its base column into fixed-size chunks and
+// keeps, per chunk, a newest-first chain of committed version arrays.  A
+// scan at pinned epoch E resolves each chunk to the newest version with
+// commit epoch <= E, or to the base column when no such version exists —
+// exactly the storage::VersionSource contract, so ColumnView carries the
+// overlay and every existing operator reads a consistent cut for free.
+//
+// Writes are always copy-on-write: a single-row update copies the row's
+// whole chunk (from the current newest version, or from the base — which
+// may itself be paged through the buffer manager), patches the row, and
+// publishes the copy as the new chain head.  In-place mutation of the
+// newest version is never safe here: any pinned epoch is >= every
+// committed epoch at pin time, so some snapshot may be entitled to the
+// pre-image of *any* committed version.  The resulting allocation churn
+// is not an implementation wart — it is the EDMM-visible write
+// amplification the HTAP bench exists to measure.
+//
+// Concurrency contract: Apply() and Unlink() only under the owning
+// table's commit latch; ChunkVersion() from any thread holding an epoch
+// pin.  Superseded nodes stay linked in the chain (older snapshots still
+// walk through them) until the table's reclaimer proves quiescence and
+// unlinks + frees them (RetiredVersion / VersionedTpchDb::Commit).
+
+#ifndef SGXB_TXN_VERSIONED_COLUMN_H_
+#define SGXB_TXN_VERSIONED_COLUMN_H_
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+
+#include "common/aligned_buffer.h"
+#include "common/status.h"
+#include "mem/memory_resource.h"
+#include "storage/column_view.h"
+#include "storage/version_source.h"
+
+namespace sgxb::txn {
+
+/// \brief Type-erased superseded version awaiting reclamation. Commits
+/// append these (oldest first) to the table's retire list; once the epoch
+/// registry proves no snapshot can reach one, the reclaimer calls
+/// Unlink() to splice it out of its chain and deletes it (the typed
+/// destructor returns the chunk buffer through its MemoryResource, which
+/// is where EDMM trim accounting happens).
+class RetiredVersion {
+ public:
+  virtual ~RetiredVersion() = default;
+  /// \brief Splices this node out of its version chain. Only under the
+  /// commit latch, and only once MinPinned() >= retire_epoch.
+  virtual void Unlink() = 0;
+
+  RetiredVersion* retire_next = nullptr;
+  uint64_t retire_epoch = 0;  ///< epoch of the commit that superseded it
+  size_t bytes = 0;           ///< chunk buffer size (churn accounting)
+};
+
+template <typename T>
+class VersionedColumn final : public storage::VersionSource<T> {
+ public:
+  /// \brief Overlays `base` (resident or paged) with empty chains.
+  /// `resource` owns every version chunk allocation; it must outlive the
+  /// column.
+  VersionedColumn(storage::ColumnView<T> base, size_t chunk_rows,
+                  mem::MemoryResource* resource)
+      : base_(base),
+        chunk_rows_(chunk_rows),
+        num_chunks_((base.num_values() + chunk_rows - 1) / chunk_rows),
+        resource_(resource),
+        chains_(std::make_unique<std::atomic<Node*>[]>(num_chunks_)) {
+    for (size_t c = 0; c < num_chunks_; ++c) {
+      chains_[c].store(nullptr, std::memory_order_relaxed);
+    }
+  }
+
+  /// Requires quiescence: the owner reclaims all retired versions first,
+  /// so each chain is at most its (never-retired) head node.
+  ~VersionedColumn() override {
+    for (size_t c = 0; c < num_chunks_; ++c) {
+      Node* n = chains_[c].load(std::memory_order_relaxed);
+      while (n != nullptr) {
+        Node* next = n->next.load(std::memory_order_relaxed);
+        delete n;
+        n = next;
+      }
+    }
+  }
+
+  VersionedColumn(const VersionedColumn&) = delete;
+  VersionedColumn& operator=(const VersionedColumn&) = delete;
+
+  size_t chunk_rows() const override { return chunk_rows_; }
+  size_t num_values() const { return base_.num_values(); }
+  const storage::ColumnView<T>& base() const { return base_; }
+
+  const T* ChunkVersion(size_t chunk, uint64_t epoch) const override {
+    const Node* n = chains_[chunk].load(std::memory_order_acquire);
+    while (n != nullptr && n->epoch > epoch) {
+      n = n->next.load(std::memory_order_acquire);
+    }
+    return n != nullptr ? n->values.template As<T>() : nullptr;
+  }
+
+  /// \brief View of this column at `epoch` (caller keeps it pinned).
+  storage::ColumnView<T> ViewAt(uint64_t epoch) const {
+    return storage::ColumnView<T>(this, epoch, base_);
+  }
+
+  /// \brief Commit-latch-only: installs `value` at `row` as commit epoch
+  /// `epoch` by COWing the row's chunk; the superseded head (if any) is
+  /// stamped with retire_epoch = `epoch` and appended to `*retired`.
+  /// On allocation failure nothing is published.
+  Status Apply(size_t row, T value, uint64_t epoch,
+               RetiredVersion** retired) {
+    if (row >= base_.num_values()) {
+      return Status::InvalidArgument("update row out of column range");
+    }
+    const size_t c = row / chunk_rows_;
+    const size_t cbegin = c * chunk_rows_;
+    const size_t cend =
+        std::min(base_.num_values(), cbegin + chunk_rows_);
+    const size_t nbytes = (cend - cbegin) * sizeof(T);
+
+    auto buf = resource_->Allocate(nbytes);
+    if (!buf.ok()) return buf.status();
+    Node* node = new Node;
+    node->values = std::move(buf).value();
+    node->epoch = epoch;
+    node->bytes = nbytes;
+    T* dst = node->values.template As<T>();
+
+    Node* head = chains_[c].load(std::memory_order_relaxed);
+    if (head != nullptr) {
+      std::memcpy(dst, head->values.template As<T>(), nbytes);
+    } else {
+      // First version of this chunk: copy from the base, which may be
+      // paged (ForEachRun pins/unpins the partitions it crosses).
+      Status s = storage::ForEachRun(
+          base_, cbegin, cend, [&](const T* run, size_t abs, size_t n) {
+            std::memcpy(dst + (abs - cbegin), run, n * sizeof(T));
+          });
+      if (!s.ok()) {
+        delete node;
+        return s;
+      }
+    }
+    dst[row - cbegin] = value;
+
+    node->next.store(head, std::memory_order_relaxed);
+    node->owner = this;
+    node->chunk = c;
+    chains_[c].store(node, std::memory_order_release);
+    if (head != nullptr) {
+      head->retire_epoch = epoch;
+      *retired = head;
+    } else {
+      *retired = nullptr;
+    }
+    return Status::OK();
+  }
+
+ private:
+  struct Node final : RetiredVersion {
+    uint64_t epoch = 0;                  ///< commit that created it
+    std::atomic<Node*> next{nullptr};    ///< next-older version
+    AlignedBuffer values;
+    VersionedColumn<T>* owner = nullptr;
+    size_t chunk = 0;
+
+    void Unlink() final {
+      // The successor (the commit that retired this node) is the chain
+      // node directly in front of us; it is reclaimed strictly after us
+      // (retire lists are epoch-ordered), so walking to it is safe.
+      Node* next_older = next.load(std::memory_order_relaxed);
+      Node* cur = owner->chains_[chunk].load(std::memory_order_relaxed);
+      if (cur == this) {
+        owner->chains_[chunk].store(next_older, std::memory_order_release);
+        return;
+      }
+      while (cur->next.load(std::memory_order_relaxed) != this) {
+        cur = cur->next.load(std::memory_order_relaxed);
+      }
+      cur->next.store(next_older, std::memory_order_release);
+    }
+  };
+
+  storage::ColumnView<T> base_;
+  const size_t chunk_rows_;
+  const size_t num_chunks_;
+  mem::MemoryResource* resource_;
+  std::unique_ptr<std::atomic<Node*>[]> chains_;
+};
+
+}  // namespace sgxb::txn
+
+#endif  // SGXB_TXN_VERSIONED_COLUMN_H_

@@ -249,6 +249,54 @@ TEST(BufferManagerTest, ConfigFromEnvReadsKnobs) {
   EXPECT_TRUE(defaults.compress);
 }
 
+TEST(BufferManagerTest, CapacityWaiterSurvivesPinChurn) {
+  // Regression test for pin-wait fairness under HTAP-style churn: two
+  // threads overlap pins on partition 0 so its pin count almost never
+  // reaches zero, while a third thread needs capacity for partition 1.
+  // The waiter's deadline must refresh on every unpin (the pool is
+  // moving, even though no eviction opportunity arose yet), so it
+  // outlives a churn phase much longer than pin_wait_timeout_ms and
+  // succeeds as soon as the churn drains. Before the fix the deadline
+  // was fixed at entry and the waiter woke only when a pin count hit
+  // zero, so this pattern timed out with a spurious ResourceExhausted.
+  BufferManager::Config cfg = SmallPool(20 << 10);  // fits one partition
+  cfg.pin_wait_timeout_ms = 100;
+  cfg.prefetch = false;
+  BufferManager bm(cfg);
+  auto vals = MakeValues(2 * 4096);
+  PagedColumn<uint32_t>* col =
+      bm.AddColumn("t.c", vals.data(), vals.size()).value();
+  ASSERT_EQ(col->num_partitions(), 2u);
+
+  std::atomic<bool> stop{false};
+  auto churn = [&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      // A failed pin is legitimate once the waiter wins the pool; keep
+      // churning rather than asserting.
+      if (!col->PinPartition(0).ok()) continue;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      col->UnpinPartition(0);
+    }
+  };
+  std::thread c1(churn);
+  std::thread c2(churn);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // Churn runs ~5x longer than the pin-wait timeout.
+  std::thread stopper([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    stop = true;
+  });
+  auto pinned = col->PinPartition(1);
+  stopper.join();
+  c1.join();
+  c2.join();
+  ASSERT_TRUE(pinned.ok()) << pinned.status().message();
+  EXPECT_EQ(pinned.value()[0], vals[col->PartitionBegin(1)]);
+  col->UnpinPartition(1);
+  EXPECT_GT(bm.stats().pin_waits, 0u);
+}
+
 TEST(BufferManagerTest, ResidentViewsBypassTheManager) {
   // A ColumnView over plain memory must not touch any manager machinery.
   std::vector<uint32_t> vals = MakeValues(1000);

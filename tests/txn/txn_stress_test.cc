@@ -1,0 +1,196 @@
+// Concurrency stress for the HTAP subsystem, meant to run under TSan
+// (ci: the sanitizer matrix runs this target in the tsan job): snapshot
+// scans racing commits and in-line epoch reclamation must produce no data
+// races, no use-after-free of reclaimed version chunks, and no torn
+// snapshots — and a full drain at the end must leave zero retired chunks.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/column_view.h"
+#include "tpch/queries.h"
+#include "tpch/tpch_gen.h"
+#include "txn/update_feed.h"
+#include "txn/versioned_db.h"
+
+namespace sgxb::txn {
+namespace {
+
+const tpch::TpchDb& Db() {
+  static const tpch::TpchDb db = [] {
+    tpch::GenConfig cfg;
+    cfg.scale_factor = 0.01;
+    return tpch::Generate(cfg).value();
+  }();
+  return db;
+}
+
+// Readers pin snapshots and scan l_quantity while writers commit and the
+// commit path reclaims in-line. Every observed value must be either the
+// base value for that row or a committed write no newer than the pinned
+// epoch — a version from the future, or a reclaimed (freed) chunk read,
+// fails the check (and TSan flags the access).
+TEST(TxnStressTest, ScansRaceCommitsAndReclamation) {
+  VersionedTpchDb vdb(Db());
+  const size_t rows = vdb.lineitem_rows();
+  std::vector<uint32_t> base(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    base[i] = Db().lineitem.l_quantity.data()[i];
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> scans{0};
+  std::atomic<uint64_t> commits{0};
+  std::atomic<int> failures{0};
+
+  auto reader = [&](uint64_t seed) {
+    Xoshiro256 rng(seed);
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto snap = vdb.OpenSnapshot();
+      if (!snap.ok()) continue;  // transient slot exhaustion is fine
+      const uint64_t e = snap.value().epoch();
+      // Scan a random window so readers cover different chunks.
+      const size_t begin = rng.NextBounded(rows);
+      const size_t end = std::min(rows, begin + 16 * 1024);
+      const Status s = storage::ForEachRun(
+          snap.value().view().lineitem.l_quantity, begin, end,
+          [&](const uint32_t* run, size_t abs, size_t n) {
+            for (size_t i = 0; i < n; ++i) {
+              const uint32_t v = run[i];
+              // Writers stamp values with an epoch lower bound read
+              // before their commit, offset past every base value; see
+              // the writer lambda.
+              if (v != base[abs + i] && (v < 1000 || v - 1000 > e)) {
+                failures.fetch_add(1, std::memory_order_relaxed);
+              }
+            }
+          });
+      if (!s.ok()) failures.fetch_add(1, std::memory_order_relaxed);
+      scans.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  auto writer = [&](uint64_t seed) {
+    Xoshiro256 rng(seed);
+    while (!stop.load(std::memory_order_relaxed)) {
+      UpdateOp op;
+      op.column = UpdateColumn::kLQuantity;
+      op.row = rng.NextBounded(rows);
+      // 1000 + (a pre-commit lower bound of the commit epoch): the actual
+      // commit epoch is >= current()+1, so any snapshot at epoch E that
+      // sees this value has v - 1000 <= commit epoch <= E. The offset
+      // keeps the stamp disjoint from base quantities (1..50).
+      op.value = static_cast<uint32_t>(1000 + vdb.epochs().current() + 1);
+      if (!vdb.Commit(op).ok()) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+      }
+      commits.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) threads.emplace_back(reader, 100 + i);
+  for (int i = 0; i < 2; ++i) threads.emplace_back(writer, 200 + i);
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  stop = true;
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(scans.load(), 0u);
+  EXPECT_GT(commits.load(), 0u);
+
+  ASSERT_TRUE(vdb.Drain().ok());
+  const TxnStats s = vdb.stats();
+  EXPECT_EQ(s.versions_retired, s.versions_reclaimed)
+      << "retired chunks leaked past drain";
+  EXPECT_EQ(s.retired_pending, 0u);
+  EXPECT_EQ(s.live_version_bytes, s.cow_bytes - s.reclaimed_bytes);
+}
+
+// A pinned snapshot is a frozen cut: two full scans of the same snapshot
+// must produce identical checksums no matter how many commits land in
+// between.
+TEST(TxnStressTest, PinnedSnapshotIsImmutableUnderWrites) {
+  VersionedTpchDb vdb(Db());
+  UpdateFeedOptions opts;
+  opts.rows_per_sec = 50000;
+  opts.zipf_theta = 0.9;  // hot chunks: maximal churn where the scan reads
+  opts.threads = 2;
+  UpdateFeed feed(&vdb, opts);
+  feed.Start();
+
+  auto checksum = [&](const tpch::TpchDbView& view) {
+    uint64_t h = 0;
+    EXPECT_TRUE(storage::ForEachRun(
+                    view.lineitem.l_quantity, 0, vdb.lineitem_rows(),
+                    [&](const uint32_t* run, size_t abs, size_t n) {
+                      for (size_t i = 0; i < n; ++i) {
+                        h = h * 1099511628211ull + run[i] + abs;
+                      }
+                    })
+                    .ok());
+    return h;
+  };
+
+  for (int round = 0; round < 5; ++round) {
+    auto snap = vdb.OpenSnapshot().value();
+    const uint64_t first = checksum(snap.view());
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_EQ(checksum(snap.view()), first) << "snapshot moved, round "
+                                            << round;
+  }
+
+  feed.Stop();
+  EXPECT_EQ(feed.stats().failed, 0u);
+  ASSERT_TRUE(vdb.Drain().ok());
+  EXPECT_EQ(vdb.stats().retired_pending, 0u);
+}
+
+// Whole-stack smoke: catalog queries over snapshots racing a paced,
+// skewed update feed. Everything must return OK and drain clean.
+TEST(TxnStressTest, CatalogQueriesRaceUpdateFeed) {
+  VersionedTpchDb vdb(Db());
+  UpdateFeedOptions opts;
+  opts.rows_per_sec = 20000;
+  opts.zipf_theta = 0.5;
+  opts.threads = 2;
+  UpdateFeed feed(&vdb, opts);
+  feed.Start();
+
+  std::atomic<int> failures{0};
+  auto querier = [&](int query_number) {
+    tpch::QueryConfig config;
+    config.num_threads = 1;
+    for (int i = 0; i < 8; ++i) {
+      auto snap = vdb.OpenSnapshot();
+      if (!snap.ok()) {
+        failures.fetch_add(1);
+        continue;
+      }
+      auto r = tpch::RunQuery(query_number, snap.value().view(), config);
+      if (!r.ok()) failures.fetch_add(1);
+    }
+  };
+  std::thread q6(querier, 6);
+  std::thread q1(querier, 1);
+  std::thread q3(querier, 3);
+  q6.join();
+  q1.join();
+  q3.join();
+  feed.Stop();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(feed.stats().failed, 0u);
+  EXPECT_GT(feed.stats().committed, 0u);
+  ASSERT_TRUE(vdb.Drain().ok());
+  const TxnStats s = vdb.stats();
+  EXPECT_EQ(s.versions_retired, s.versions_reclaimed);
+}
+
+}  // namespace
+}  // namespace sgxb::txn
