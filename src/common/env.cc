@@ -118,8 +118,12 @@ double EnvDouble(const char* name, double fallback, double lo, double hi) {
 }
 
 bool EnvBool(const char* name, bool fallback) {
+  return EnvBoolOpt(name).value_or(fallback);
+}
+
+std::optional<bool> EnvBoolOpt(const char* name) {
   const char* v = std::getenv(name);
-  if (v == nullptr) return fallback;
+  if (v == nullptr) return std::nullopt;
   const std::string s = Lower(v);
   if (s == "1" || s == "true" || s == "on" || s == "yes") return true;
   if (s == "0" || s == "false" || s == "off" || s == "no" || s.empty()) {
@@ -127,7 +131,7 @@ bool EnvBool(const char* name, bool fallback) {
   }
   internal::WarnOnce(name, "expected a boolean (0/1/true/false/on/off), "
                            "got \"" + std::string(v) + "\"");
-  return fallback;
+  return std::nullopt;
 }
 
 }  // namespace sgxb

@@ -40,6 +40,26 @@ double EnvDouble(const char* name, double fallback, double lo, double hi);
 /// fallback with a one-time warning.
 bool EnvBool(const char* name, bool fallback);
 
+/// \brief Tri-state boolean knob: nullopt when unset OR malformed (with
+/// the one-time warning), so a garbage value falls through to whatever
+/// the caller's next precedence tier is instead of silently forcing one
+/// branch. This is the form knob *resolvers* want; EnvBool stays for
+/// call-sites with a fixed default.
+std::optional<bool> EnvBoolOpt(const char* name);
+
+/// \brief The one knob-precedence rule every layer must share:
+/// explicit per-call config beats the environment beats the computed
+/// fallback. tpch::ResolvedQueryConfig and the planner used to each
+/// re-implement this with subtly different tie-breaking; route every
+/// config-vs-env knob through here instead.
+template <typename T>
+T ResolveKnob(const std::optional<T>& config_value,
+              const std::optional<T>& env_value, T fallback) {
+  if (config_value.has_value()) return *config_value;
+  if (env_value.has_value()) return *env_value;
+  return fallback;
+}
+
 namespace internal {
 /// \brief Emits the malformed-knob warning at most once per variable name
 /// for the process lifetime (exposed for tests).

@@ -1,0 +1,72 @@
+#include "obs/feedback.h"
+
+#include <cstdio>
+
+namespace sgxb::obs {
+
+double FeedbackFrame::ProbeHitRate() const {
+  return probe_tuples == 0 ? 0.0
+                           : static_cast<double>(probe_matches) /
+                                 static_cast<double>(probe_tuples);
+}
+
+double FeedbackFrame::StealRatio() const {
+  return morsels == 0 ? 0.0
+                      : static_cast<double>(morsel_steals) /
+                            static_cast<double>(morsels);
+}
+
+std::string FeedbackFrame::ToString() const {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "frame(probe %llu/%llu, park %.3fms, steals %llu/%llu, "
+      "edmm +%llu/-%llu, paging %llu, mat %llu B)",
+      static_cast<unsigned long long>(probe_matches),
+      static_cast<unsigned long long>(probe_tuples),
+      static_cast<double>(mutex_park_ns) * 1e-6,
+      static_cast<unsigned long long>(morsel_steals),
+      static_cast<unsigned long long>(morsels),
+      static_cast<unsigned long long>(edmm_pages_added),
+      static_cast<unsigned long long>(edmm_pages_trimmed),
+      static_cast<unsigned long long>(PagingPressure()),
+      static_cast<unsigned long long>(bytes_materialized));
+  return buf;
+}
+
+FrameSampler::FrameSampler(int domain)
+    : domain_(domain),
+      last_(domain >= 0 ? Registry::Global().DomainSnapshot(domain)
+                        : Registry::Global().Snapshot()) {}
+
+FeedbackFrame FrameSampler::Sample() {
+  MetricsSnapshot now = domain_ >= 0
+                            ? Registry::Global().DomainSnapshot(domain_)
+                            : Registry::Global().Snapshot();
+  auto delta = [&](const char* name) {
+    // Counters are monotonic, but a domain slot may be re-zeroed by a
+    // concurrent AcquireDomain if the sampler outlives its query; clamp
+    // instead of wrapping.
+    const uint64_t after = now.CounterOr(name);
+    const uint64_t before = last_.CounterOr(name);
+    return after >= before ? after - before : 0;
+  };
+  FeedbackFrame f;
+  f.probe_tuples = delta(kCtrProbeTuples);
+  f.probe_matches = delta(kCtrProbeMatches);
+  f.mutex_park_ns = delta(kCtrMutexParkNsTotal);
+  f.morsels = delta(kCtrExecMorsels);
+  f.morsel_steals = delta(kCtrExecMorselSteals);
+  f.edmm_pages_added = delta(kCtrEdmmPagesAdded);
+  f.edmm_pages_trimmed = delta(kCtrEdmmPagesTrimmed);
+  f.partitions_evicted = delta(kCtrStoragePartitionsEvicted);
+  f.partitions_reloaded = delta(kCtrStoragePartitionsReloaded);
+  f.storage_pin_waits = delta(kCtrStoragePinWaits);
+  f.bytes_materialized = delta(kCtrBytesMaterialized);
+  f.pool_hits = delta(kCtrPoolHits);
+  f.pool_misses = delta(kCtrPoolMisses);
+  last_ = std::move(now);
+  return f;
+}
+
+}  // namespace sgxb::obs

@@ -1,0 +1,82 @@
+// Feedback frames: incremental counter-delta snapshots for the adaptive
+// controller (src/tune/, docs/adaptive.md).
+//
+// A QueryReportScope diffs the registry once, at query end — too late for
+// anything that wants to react *during* execution. A FrameSampler keeps a
+// rolling snapshot instead: every Sample() returns the counter deltas
+// since the previous Sample() (or construction), so pipeline-stage and
+// morsel-wave boundaries can read "what just happened" — probe hit rate,
+// park time, steal ratio, EDMM churn, buffer-manager eviction pressure —
+// at the cost of one registry snapshot per frame. Like QueryReport, a
+// sampler bound to an attribution domain sees only its own query's
+// activity under concurrent serving.
+
+#ifndef SGXB_OBS_FEEDBACK_H_
+#define SGXB_OBS_FEEDBACK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace sgxb::obs {
+
+/// \brief Counter deltas over one sampling window. Every field is a
+/// delta, not a running total.
+struct FeedbackFrame {
+  // Fused-probe traffic (plan/fused.cc): staged tuples vs matches.
+  uint64_t probe_tuples = 0;
+  uint64_t probe_matches = 0;
+
+  // Contention: time parked on SDK mutexes, executor morsel flow.
+  uint64_t mutex_park_ns = 0;
+  uint64_t morsels = 0;
+  uint64_t morsel_steals = 0;
+
+  // EDMM page churn — the enclave is growing/shrinking under this work.
+  uint64_t edmm_pages_added = 0;
+  uint64_t edmm_pages_trimmed = 0;
+
+  // Out-of-EPC buffer manager pressure: residency churn and pin stalls
+  // are the leading edge of the paging cliff.
+  uint64_t partitions_evicted = 0;
+  uint64_t partitions_reloaded = 0;
+  uint64_t storage_pin_waits = 0;
+
+  // Intermediate materialization traffic and arena/pool behaviour.
+  uint64_t bytes_materialized = 0;
+  uint64_t pool_hits = 0;
+  uint64_t pool_misses = 0;
+
+  /// \brief probe_matches / probe_tuples, or 0 with no probes.
+  double ProbeHitRate() const;
+  /// \brief morsel_steals / morsels, or 0 with no morsels.
+  double StealRatio() const;
+  /// \brief Evictions + reloads + pin waits: the paging-pressure events
+  /// the mid-query guardrails key off.
+  uint64_t PagingPressure() const {
+    return partitions_evicted + partitions_reloaded + storage_pin_waits;
+  }
+
+  std::string ToString() const;
+};
+
+/// \brief Rolling registry sampler: each Sample() returns the deltas
+/// since the previous call. Bind to an attribution domain (>= 0) for
+/// per-query frames under concurrent serving; -1 diffs the global
+/// registry. Not thread-safe — one sampler per sampling thread.
+class FrameSampler {
+ public:
+  explicit FrameSampler(int domain = -1);
+
+  /// \brief Closes the current window and opens the next.
+  FeedbackFrame Sample();
+
+ private:
+  int domain_;
+  MetricsSnapshot last_;
+};
+
+}  // namespace sgxb::obs
+
+#endif  // SGXB_OBS_FEEDBACK_H_

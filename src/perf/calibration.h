@@ -12,6 +12,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
+#include <string>
 
 #include "common/types.h"
 
@@ -119,9 +121,35 @@ struct CalibrationParams {
   /// variables (e.g. SGXBENCH_TRANSITION_CYCLES, SGXBENCH_EDMM_PAGE_NS).
   static CalibrationParams FromEnv();
 
-  /// \brief Process-wide instance used unless a caller injects its own.
+  /// \brief FromEnv(), routed through the optional calibration cache
+  /// file: with SGXBENCH_CALIB_CACHE set, a cache whose machine-model
+  /// hash matches is loaded instead of re-resolving, a missing or
+  /// stale-hash cache (warn-once) is recomputed and rewritten.
+  static CalibrationParams Resolve();
+
+  /// \brief Process-wide instance used unless a caller injects its own
+  /// (memoized Resolve()).
   static const CalibrationParams& Default();
 };
+
+/// \brief Fingerprint of everything the resolved calibration depends on:
+/// the host CPU identity (model, cores, cache sizes) plus every
+/// SGXBENCH_* calibration override present in the environment. A cache
+/// written on one machine model — or under different overrides — hashes
+/// differently and is treated as stale.
+std::string CalibrationMachineHash();
+
+/// \brief Writes `p` (plus the current machine hash) to `path` in a
+/// key=value text format. Returns false on I/O failure.
+bool SaveCalibrationCache(const std::string& path,
+                          const CalibrationParams& p);
+
+/// \brief Loads a calibration cache. nullopt when the file is missing,
+/// unparseable, or its recorded machine hash does not match
+/// CalibrationMachineHash() (the stale case — callers warn and
+/// recompute).
+std::optional<CalibrationParams> LoadCalibrationCache(
+    const std::string& path);
 
 }  // namespace sgxb::perf
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -13,9 +14,11 @@
 #include "join/cht_join.h"
 #include "join/hash_table.h"
 #include "join/pht_join.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "perf/cost_model.h"
 #include "tpch/operators.h"
+#include "tune/tune.h"
 
 namespace sgxb::plan {
 
@@ -332,13 +335,15 @@ PlanDecisions DecideFor(const Plan& plan, const tpch::TpchDbView& db,
   EstimateModeCosts(plan, db, config, &d);
 
   // Execution mode: explicit config wins, then SGXBENCH_PIPELINE if the
-  // user set it, then the cost model (planner on), else the paper's
-  // materializing default. Plans the fused lowering cannot drive (a
-  // join probing a non-scan) always materialize.
-  if (config.pipeline.has_value()) {
-    d.fused = *config.pipeline;
-  } else if (EnvString("SGXBENCH_PIPELINE")) {
-    d.fused = tpch::PipelineEnabled(config);
+  // user set it (a malformed value warns once and is treated as unset),
+  // then the cost model (planner on), else the paper's materializing
+  // default. Plans the fused lowering cannot drive (a join probing a
+  // non-scan) always materialize.
+  const std::optional<bool> forced_mode = config.pipeline.has_value()
+                                              ? config.pipeline
+                                              : EnvBoolOpt("SGXBENCH_PIPELINE");
+  if (forced_mode.has_value()) {
+    d.fused = *forced_mode;
   } else if (planner_on && FusedLowerable(plan)) {
     d.fused = d.fused_cost_ns < d.materializing_cost_ns;
     d.mode_cost_based = true;
@@ -739,25 +744,97 @@ Result<QueryResult> ExecuteMaterializing(const Plan& plan,
   return exec.Run();
 }
 
+namespace {
+
+// The adaptive controller never overrides a knob the user forced: the
+// tuner's pick applies only where config and environment are silent, so
+// SGXBENCH_PIPELINE / SGXBENCH_PROBE_MODE ablations still pin exactly
+// what they always pinned.
+std::unique_ptr<tune::QueryTuner> MakeTuner(const Plan& plan,
+                                            const tpch::TpchDbView& db,
+                                            const QueryConfig& config,
+                                            PlanDecisions* d) {
+  tune::WorkloadKey key;
+  key.query = plan.name();
+  uint64_t max_rows = 0;
+  for (const PlanNode& n : plan.nodes()) {
+    if (n.kind == PlanNode::Kind::kScan) {
+      max_rows = std::max<uint64_t>(max_rows, TableRows(db, n.table));
+    }
+  }
+  key.sf_bucket = tune::SfBucket(max_rows);
+  key.concurrency_band = tune::ConcurrencyBand(
+      std::max(tune::InflightQueries(), 1));
+
+  tune::KnobSetting prior;
+  prior.fused = d->fused;
+  prior.probe_mode = d->probe_mode;
+  prior.probe_batch = d->probe_batch;
+
+  auto tuner = std::make_unique<tune::QueryTuner>(
+      key, prior, obs::CurrentMetricDomain());
+  const tune::KnobSetting& pick = tuner->chosen();
+
+  const bool mode_forced = config.pipeline.has_value() ||
+                           EnvBoolOpt("SGXBENCH_PIPELINE").has_value();
+  if (!mode_forced && (!pick.fused || FusedLowerable(plan))) {
+    if (d->fused != pick.fused) d->mode_cost_based = false;
+    d->fused = pick.fused;
+  }
+  const bool probe_forced = config.probe_mode.has_value() ||
+                            EnvString("SGXBENCH_PROBE_MODE").has_value();
+  if (!probe_forced) d->probe_mode = pick.probe_mode;
+  if (config.probe_batch <= 0 && !EnvString("SGXBENCH_PROBE_BATCH") &&
+      !EnvString("SGXBENCH_PROBE_DIST")) {
+    d->probe_batch = exec::ClampProbeWidth(pick.probe_batch);
+  }
+  d->tuner = tuner.get();
+  return tuner;
+}
+
+}  // namespace
+
 Result<QueryResult> ExecutePlan(const Plan& plan,
                                 const tpch::TpchDbView& db,
                                 const QueryConfig& config) {
   if (!plan.valid()) {
     return Status::InvalidArgument("cannot execute an invalid plan");
   }
-  const PlanDecisions decisions = DecideFor(plan, db, config);
+  PlanDecisions decisions = DecideFor(plan, db, config);
+  std::unique_ptr<tune::QueryTuner> tuner;
+  if (tune::AdaptiveEnabled()) {
+    tuner = MakeTuner(plan, db, config, &decisions);
+  }
   std::string explain;
   if (EnvBool("SGXBENCH_EXPLAIN", false)) {
     explain = Explain(plan, decisions);
+    if (tuner) {
+      explain += "tune: " + tuner->chosen().Key() + " (" +
+                 tuner->source() + ")\n";
+    }
     std::fprintf(stderr, "%s", explain.c_str());
     if (obs::TracingEnabled()) {
       obs::TraceInstant(obs::InternName("explain." + plan.name()), "plan");
     }
   }
+  WallTimer wall;
   Result<QueryResult> result =
       decisions.fused ? ExecuteFused(plan, db, config, decisions)
                       : ExecuteMaterializing(plan, db, config, decisions);
   if (!result.ok()) return result;
+  if (tuner) {
+    tuner->Finish(static_cast<double>(wall.ElapsedNanos()));
+    obs::TuningReport& t = result.value().tuning;
+    t.active = true;
+    t.fused = decisions.fused;
+    t.probe_mode = exec::ProbeModeToString(decisions.probe_mode);
+    t.probe_batch = decisions.probe_batch;
+    t.morsel_grain = tuner->chosen().morsel_grain;
+    t.source = tuner->source();
+    t.decisions = tuner->decisions();
+    t.switches = tuner->switches();
+    t.cache_hits = tuner->cache_hits();
+  }
   result.value().explain = std::move(explain);
   return result;
 }

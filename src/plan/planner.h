@@ -22,6 +22,10 @@
 #include "plan/plan.h"
 #include "tpch/queries.h"
 
+namespace sgxb::tune {
+class QueryTuner;
+}
+
 namespace sgxb::plan {
 
 /// \brief Per-join-node lowering decision.
@@ -51,6 +55,11 @@ struct PlanDecisions {
   std::vector<double> est_rows;
   /// Join flavour decision per node (meaningful at kJoin nodes).
   std::vector<JoinChoice> joins;
+  /// Set by ExecutePlan when SGXBENCH_ADAPTIVE is on: the query's
+  /// adaptive controller (src/tune/). The fused lowering reads its live
+  /// knobs per morsel and attaches its wave controller; null (the
+  /// default) keeps the static behaviour bit-for-bit.
+  tune::QueryTuner* tuner = nullptr;
 };
 
 /// \brief True when the planner itself (cost-based mode and flavour

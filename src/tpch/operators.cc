@@ -143,8 +143,7 @@ mem::MemoryResource* EffectiveResource(const QueryConfig& config) {
 }
 
 bool PipelineEnabled(const QueryConfig& config) {
-  if (config.pipeline.has_value()) return *config.pipeline;
-  return EnvBool("SGXBENCH_PIPELINE", false);
+  return ResolveKnob(config.pipeline, EnvBoolOpt("SGXBENCH_PIPELINE"), false);
 }
 
 QueryConfig ResolvedQueryConfig(const QueryConfig& config) {
@@ -155,23 +154,26 @@ QueryConfig ResolvedQueryConfig(const QueryConfig& config) {
   // to cost-choose the execution mode per plan; what matters for
   // admission-time stability is that getenv() is consulted here, once,
   // not deep inside operators while other queries run.
-  if (!r.pipeline.has_value() && EnvString("SGXBENCH_PIPELINE")) {
-    r.pipeline = PipelineEnabled(r);
+  if (!r.pipeline.has_value()) {
+    // A malformed SGXBENCH_PIPELINE (EnvBoolOpt: warn-once, nullopt) now
+    // leaves the knob unset, so the planner keeps its cost-based choice
+    // instead of being forced to the parse fallback.
+    if (std::optional<bool> env = EnvBoolOpt("SGXBENCH_PIPELINE")) {
+      r.pipeline = *env;
+    }
   }
+  // Probe scheduling resolves through the joins' own resolvers — one
+  // precedence chain (config > env > flavour/calibration defaults) for
+  // every layer instead of a hand-kept mirror of it.
+  join::JoinConfig jc;
+  jc.flavor = r.flavor;
+  jc.probe_mode = r.probe_mode;
+  jc.probe_batch = r.probe_batch;
   if (!r.probe_mode.has_value()) {
-    // Mirrors join::EffectiveProbeMode: the env override, else the
-    // flavor-appropriate default.
-    r.probe_mode = exec::ProbeModeFromEnv(
-        r.flavor == KernelFlavor::kReference
-            ? exec::ProbeMode::kTupleAtATime
-            : exec::ProbeMode::kGroupPrefetch);
+    r.probe_mode = join::EffectiveProbeMode(jc);
   }
   if (r.probe_batch <= 0) {
-    // Mirrors join::EffectiveProbeWidth with the mode now pinned.
-    const perf::CalibrationParams& cal = perf::CalibrationParams::Default();
-    r.probe_batch = exec::ClampProbeWidth(
-        *r.probe_mode == exec::ProbeMode::kAmac ? cal.probe_prefetch_distance
-                                                : cal.probe_batch_size);
+    r.probe_batch = join::EffectiveProbeWidth(jc, *r.probe_mode);
   }
   return r;
 }

@@ -35,6 +35,11 @@ struct QueryResult {
   /// probe mode / estimated costs). Filled only when SGXBENCH_EXPLAIN is
   /// set; empty otherwise.
   std::string explain;
+  /// The adaptive controller's picks for this execution (filled by
+  /// ExecutePlan only when SGXBENCH_ADAPTIVE is on; `active` stays false
+  /// otherwise and the report renders without it). RunQuery copies it
+  /// into `report.tuning`.
+  obs::TuningReport tuning;
 };
 
 // Every entry point has a TpchDbView overload: the view's columns may be

@@ -1,0 +1,351 @@
+#include "tune/tune.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/env.h"
+#include "obs/metrics.h"
+
+namespace sgxb::tune {
+
+namespace {
+
+obs::Counter* CtrDecisions() {
+  static obs::Counter* c =
+      obs::Registry::Global().GetCounter(obs::kCtrTuneDecisions);
+  return c;
+}
+obs::Counter* CtrSwitches() {
+  static obs::Counter* c =
+      obs::Registry::Global().GetCounter(obs::kCtrTuneSwitches);
+  return c;
+}
+obs::Counter* CtrCacheHits() {
+  static obs::Counter* c =
+      obs::Registry::Global().GetCounter(obs::kCtrTuneCacheHits);
+  return c;
+}
+
+std::atomic<int> g_inflight{0};
+
+size_t ClampGrain(size_t grain) {
+  return std::min(std::max(grain, kMinMorselGrain), kMaxMorselGrain);
+}
+
+}  // namespace
+
+bool AdaptiveEnabled() { return EnvBool("SGXBENCH_ADAPTIVE", false); }
+
+void AddInflight(int delta) {
+  g_inflight.fetch_add(delta, std::memory_order_relaxed);
+}
+
+int InflightQueries() {
+  return std::max(0, g_inflight.load(std::memory_order_relaxed));
+}
+
+int ConcurrencyBand(int inflight) {
+  if (inflight <= 1) return 0;
+  if (inflight <= 4) return 1;
+  if (inflight <= 16) return 2;
+  return 3;
+}
+
+int SfBucket(uint64_t rows) {
+  int b = 0;
+  while (rows > 1) {
+    rows >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+std::string KnobSetting::Key() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "fused=%d probe=%s batch=%d grain=%zu",
+                fused ? 1 : 0, exec::ProbeModeToString(probe_mode),
+                probe_batch, morsel_grain);
+  return buf;
+}
+
+std::optional<KnobSetting> KnobSetting::Parse(const std::string& key) {
+  int fused = 0;
+  char mode[16] = {0};
+  int batch = 0;
+  unsigned long long grain = 0;
+  if (std::sscanf(key.c_str(), "fused=%d probe=%15s batch=%d grain=%llu",
+                  &fused, mode, &batch, &grain) != 4) {
+    return std::nullopt;
+  }
+  if (std::strcmp(mode, "tuple") != 0 && std::strcmp(mode, "gp") != 0 &&
+      std::strcmp(mode, "amac") != 0) {
+    return std::nullopt;
+  }
+  if (batch < 1 || batch > exec::kMaxProbeWidth || grain == 0) {
+    return std::nullopt;
+  }
+  KnobSetting s;
+  s.fused = fused != 0;
+  s.probe_mode =
+      exec::ProbeModeFromString(mode, exec::ProbeMode::kGroupPrefetch);
+  s.probe_batch = batch;
+  s.morsel_grain = static_cast<size_t>(grain);
+  return s;
+}
+
+std::string WorkloadKey::Key() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "|sf%d|c%d", sf_bucket, concurrency_band);
+  return query + buf;
+}
+
+std::vector<KnobSetting> CandidateArms(const KnobSetting& prior) {
+  std::vector<KnobSetting> arms;
+  arms.push_back(prior);  // arm 0: the cost model's pick
+  auto add = [&arms](KnobSetting s) {
+    s.probe_batch = exec::ClampProbeWidth(s.probe_batch);
+    s.morsel_grain = ClampGrain(s.morsel_grain);
+    for (const KnobSetting& have : arms) {
+      if (have == s) return;
+    }
+    arms.push_back(s);
+  };
+  // The alternative batched probe schedule: group prefetching and AMAC
+  // trade stage barriers for refill bookkeeping; which wins is data- and
+  // pressure-dependent (paper Section 5.2), so always try the other one.
+  {
+    KnobSetting s = prior;
+    s.probe_mode = prior.probe_mode == exec::ProbeMode::kAmac
+                       ? exec::ProbeMode::kGroupPrefetch
+                       : exec::ProbeMode::kAmac;
+    add(s);
+  }
+  // Probe width around the calibrated point.
+  {
+    KnobSetting s = prior;
+    s.probe_batch = std::max(kMinProbeBatch, prior.probe_batch / 2);
+    add(s);
+  }
+  {
+    KnobSetting s = prior;
+    s.probe_batch = prior.probe_batch * 2;
+    add(s);
+  }
+  // Execution mode: the fused/materializing crossover is exactly where
+  // the cost model is least certain (docs/planner.md).
+  {
+    KnobSetting s = prior;
+    s.fused = !prior.fused;
+    add(s);
+  }
+  // Morsel grain: smaller rides out EPC pressure, larger amortizes
+  // dispatch when resident.
+  {
+    KnobSetting s = prior;
+    s.morsel_grain = prior.morsel_grain / 2;
+    add(s);
+  }
+  {
+    KnobSetting s = prior;
+    s.morsel_grain = prior.morsel_grain * 2;
+    add(s);
+  }
+  return arms;
+}
+
+TuningCache::Entry& TuningCache::EntryFor(const WorkloadKey& key,
+                                          const KnobSetting& prior) {
+  Entry& e = entries_[key.Key()];
+  if (e.arms.empty()) {
+    for (const KnobSetting& s : CandidateArms(prior)) {
+      Arm arm;
+      arm.setting = s;
+      e.arms.push_back(arm);
+    }
+  }
+  return e;
+}
+
+KnobSetting TuningCache::Decide(const WorkloadKey& key,
+                                const KnobSetting& prior, Source* source) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = EntryFor(key, prior);
+  CtrDecisions()->Increment();
+  for (size_t i = 0; i < e.arms.size(); ++i) {
+    if (e.arms[i].runs == 0) {
+      if (source != nullptr) {
+        *source = i == 0 ? Source::kPrior : Source::kExplore;
+      }
+      return e.arms[i].setting;
+    }
+  }
+  const Arm* best = &e.arms[0];
+  for (const Arm& a : e.arms) {
+    if (a.ewma_ns < best->ewma_ns) best = &a;
+  }
+  CtrCacheHits()->Increment();
+  if (source != nullptr) *source = Source::kCache;
+  return best->setting;
+}
+
+void TuningCache::Observe(const WorkloadKey& key, const KnobSetting& started,
+                          double wall_ns) {
+  if (wall_ns <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key.Key());
+  if (it == entries_.end()) return;
+  for (Arm& a : it->second.arms) {
+    if (a.setting == started) {
+      // EWMA with alpha 0.5: converges in a few runs, still tracks
+      // drift (a phase change in the concurrent mix) quickly.
+      a.ewma_ns = a.runs == 0 ? wall_ns : 0.5 * a.ewma_ns + 0.5 * wall_ns;
+      ++a.runs;
+      return;
+    }
+  }
+}
+
+std::vector<TuningCache::Arm> TuningCache::Arms(const WorkloadKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key.Key());
+  if (it == entries_.end()) return {};
+  return it->second.arms;
+}
+
+void TuningCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+bool TuningCache::Save(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  for (const auto& [workload, entry] : entries_) {
+    for (const Arm& a : entry.arms) {
+      // Tab-separated: workload keys and setting keys both contain
+      // spaces but never tabs.
+      std::fprintf(f, "%s\t%s\t%.17g\t%d\n", workload.c_str(),
+                   a.setting.Key().c_str(), a.ewma_ns, a.runs);
+    }
+  }
+  return std::fclose(f) == 0;
+}
+
+bool TuningCache::Load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    std::string s(line);
+    while (!s.empty() && (s.back() == '\n' || s.back() == '\r')) s.pop_back();
+    const size_t t1 = s.find('\t');
+    if (t1 == std::string::npos) continue;
+    const size_t t2 = s.find('\t', t1 + 1);
+    if (t2 == std::string::npos) continue;
+    const size_t t3 = s.find('\t', t2 + 1);
+    if (t3 == std::string::npos) continue;
+    std::optional<KnobSetting> setting =
+        KnobSetting::Parse(s.substr(t1 + 1, t2 - t1 - 1));
+    if (!setting.has_value()) continue;
+    char* end = nullptr;
+    const std::string ewma_str = s.substr(t2 + 1, t3 - t2 - 1);
+    const double ewma = std::strtod(ewma_str.c_str(), &end);
+    if (end == ewma_str.c_str()) continue;
+    const int runs = std::atoi(s.c_str() + t3 + 1);
+    if (runs < 0 || ewma < 0) continue;
+    Arm arm;
+    arm.setting = *setting;
+    arm.ewma_ns = ewma;
+    arm.runs = runs;
+    entries_[s.substr(0, t1)].arms.push_back(arm);
+  }
+  std::fclose(f);
+  return true;
+}
+
+TuningCache& TuningCache::Global() {
+  static TuningCache* cache = [] {
+    auto* c = new TuningCache();
+    if (std::optional<std::string> path = EnvString("SGXBENCH_TUNE_CACHE")) {
+      c->Load(*path);  // cold cache (no file yet) is fine
+      std::atexit([] {
+        if (std::optional<std::string> p = EnvString("SGXBENCH_TUNE_CACHE")) {
+          if (!Global().Save(*p)) {
+            internal::WarnOnce("SGXBENCH_TUNE_CACHE",
+                               "cannot write tuning cache at " + *p);
+          }
+        }
+      });
+    }
+    return c;
+  }();
+  return *cache;
+}
+
+QueryTuner::QueryTuner(const WorkloadKey& key, const KnobSetting& prior,
+                       int obs_domain)
+    : key_(key), sampler_(obs_domain) {
+  chosen_ = TuningCache::Global().Decide(key_, prior, &source_);
+  decisions_ = 1;
+  cache_hits_ = source_ == TuningCache::Source::kCache ? 1 : 0;
+  live_.probe_mode.store(static_cast<int>(chosen_.probe_mode),
+                         std::memory_order_relaxed);
+  live_.probe_batch.store(chosen_.probe_batch, std::memory_order_relaxed);
+}
+
+const char* QueryTuner::source() const {
+  switch (source_) {
+    case TuningCache::Source::kPrior:
+      return "prior";
+    case TuningCache::Source::kExplore:
+      return "explore";
+    case TuningCache::Source::kCache:
+      return "cache";
+  }
+  return "unknown";
+}
+
+size_t QueryTuner::OnWave(size_t grain) {
+  const obs::FeedbackFrame frame = sampler_.Sample();
+  if (frame.PagingPressure() > 0) {
+    // The wave touched more than the buffer budget holds: shrink the
+    // working set per morsel and narrow the probe window so fewer
+    // partitions are hot at once. Applies at the next batch boundary;
+    // results are unaffected (the knobs only change scheduling).
+    const size_t next = std::max(kMinMorselGrain, grain / 2);
+    const int batch = std::max(
+        kMinProbeBatch, live_.probe_batch.load(std::memory_order_relaxed) / 2);
+    if (next != grain ||
+        batch != live_.probe_batch.load(std::memory_order_relaxed)) {
+      live_.probe_batch.store(batch, std::memory_order_relaxed);
+      switches_.fetch_add(1, std::memory_order_relaxed);
+      CtrSwitches()->Increment();
+    }
+    return next;
+  }
+  if (frame.morsels > 0 && frame.StealRatio() < 0.05) {
+    // Pressure-free and steal-free: morsels are finishing where they
+    // were dispatched, so larger morsels just amortize dispatch.
+    const size_t next = std::min(kMaxMorselGrain, grain * 2);
+    if (next != grain) {
+      switches_.fetch_add(1, std::memory_order_relaxed);
+      CtrSwitches()->Increment();
+    }
+    return next;
+  }
+  return 0;  // keep
+}
+
+exec::WaveController QueryTuner::MakeWaveController() {
+  return [this](int /*wave*/, size_t grain) { return OnWave(grain); };
+}
+
+void QueryTuner::Finish(double wall_ns) {
+  TuningCache::Global().Observe(key_, chosen_, wall_ns);
+}
+
+}  // namespace sgxb::tune

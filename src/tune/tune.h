@@ -1,0 +1,211 @@
+// Adaptive self-tuning execution (docs/adaptive.md).
+//
+// Every knob the paper shows mattering — probe scheduling, pipeline
+// fusion, morsel grain — used to be resolved once from SGXBENCH_* env
+// vars, so a serving mix was tuned for exactly one operating point. This
+// layer closes the loop the ROADMAP asks for: per query (and, for long
+// scans, per morsel wave) it decides knob values from the calibrated cost
+// model's prior plus live obs feedback, learns from measured wall times
+// in a tuning cache keyed by (query, SF bucket, concurrency band), and
+// installs guardrails that react to EPC-pressure signals mid-query.
+//
+// Layering: tune sits above common/obs/perf/exec only. The planner
+// (compiled into sgxb_tpch) and the serving layer call in; nothing here
+// knows about plans or TPC-H.
+//
+// SGXBENCH_ADAPTIVE=0 (the default) disables everything: no decisions,
+// no counters, no report section — static behaviour is preserved
+// bit-for-bit.
+
+#ifndef SGXB_TUNE_TUNE_H_
+#define SGXB_TUNE_TUNE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/pipeline.h"
+#include "exec/probe_pipeline.h"
+#include "obs/feedback.h"
+
+namespace sgxb::tune {
+
+/// \brief SGXBENCH_ADAPTIVE, default off. Read per call (no caching) so
+/// tests and serving mixes can toggle it between queries.
+bool AdaptiveEnabled();
+
+// --- Concurrency-band signal (fed by src/serve/) -------------------------
+
+/// \brief Adjusts the process-wide in-flight query count the serving
+/// layer publishes (+1 at dispatch, -1 at completion).
+void AddInflight(int delta);
+int InflightQueries();
+
+/// \brief Buckets an in-flight count into the coarse bands the tuning
+/// cache keys on: 0 -> solo, 1 -> light (2-4), 2 -> medium (5-16),
+/// 3 -> heavy (17+). Coarse on purpose — per-count keys would never
+/// re-converge under a fluctuating mix.
+int ConcurrencyBand(int inflight);
+
+// --- Knob settings --------------------------------------------------------
+
+/// \brief One point in the knob space the controller searches.
+struct KnobSetting {
+  bool fused = false;
+  exec::ProbeMode probe_mode = exec::ProbeMode::kGroupPrefetch;
+  int probe_batch = 16;
+  size_t morsel_grain = 32 * 1024;
+
+  /// Canonical serialized form ("fused=1 probe=amac batch=12
+  /// grain=16384") — the arm identity in the cache file.
+  std::string Key() const;
+  static std::optional<KnobSetting> Parse(const std::string& key);
+
+  bool operator==(const KnobSetting& o) const {
+    return fused == o.fused && probe_mode == o.probe_mode &&
+           probe_batch == o.probe_batch && morsel_grain == o.morsel_grain;
+  }
+};
+
+/// \brief The workload identity a learned setting generalizes over.
+struct WorkloadKey {
+  std::string query;     ///< plan name ("Q3", ...)
+  int sf_bucket = 0;     ///< log2 of the plan's largest scanned table
+  int concurrency_band = 0;
+
+  std::string Key() const;
+};
+
+/// \brief log2 bucket of a row count (0 for 0/1 rows).
+int SfBucket(uint64_t rows);
+
+// --- Tuning cache ---------------------------------------------------------
+
+/// \brief Per-workload arm statistics: settings tried and their learned
+/// wall times. Decide() explores each candidate arm once (deterministic
+/// order, prior first), then exploits the best measured arm; Observe()
+/// feeds measured wall times back as an EWMA so the cache tracks drift.
+/// Thread-safe: overlapping served queries share the global instance.
+class TuningCache {
+ public:
+  struct Arm {
+    KnobSetting setting;
+    double ewma_ns = 0;
+    int runs = 0;
+  };
+
+  /// \brief What Decide chose and why (for QueryReport::tuning).
+  enum class Source { kPrior, kExplore, kCache };
+
+  TuningCache() = default;
+
+  /// \brief Process-wide cache. On first use, loads SGXBENCH_TUNE_CACHE
+  /// (if set and readable) and registers an exit-time save back to it.
+  static TuningCache& Global();
+
+  /// \brief Picks the setting to run `key` with: the unexplored arm
+  /// with the lowest index if any (exploration; the first ever pick is
+  /// the cost-model prior itself), else the arm with the best learned
+  /// wall time (exploitation — a cache hit).
+  KnobSetting Decide(const WorkloadKey& key, const KnobSetting& prior,
+                     Source* source = nullptr);
+
+  /// \brief Records one measured execution of `setting` for `key`.
+  /// Settings that match no candidate arm (e.g. after a mid-query
+  /// guardrail switch) update the arm they started from: `started`.
+  void Observe(const WorkloadKey& key, const KnobSetting& started,
+               double wall_ns);
+
+  /// \brief Learned state for tests / introspection.
+  std::vector<Arm> Arms(const WorkloadKey& key) const;
+
+  bool Save(const std::string& path) const;
+  bool Load(const std::string& path);
+  void Clear();
+
+ private:
+  struct Entry {
+    std::vector<Arm> arms;
+  };
+  Entry& EntryFor(const WorkloadKey& key, const KnobSetting& prior);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+/// \brief The candidate arms Decide searches for one workload, derived
+/// deterministically from the cost-model prior: the prior itself, the
+/// alternative probe modes, halved/doubled batch width, toggled fusion,
+/// and halved/doubled morsel grain.
+std::vector<KnobSetting> CandidateArms(const KnobSetting& prior);
+
+// --- Per-query tuner ------------------------------------------------------
+
+/// \brief Shared live knobs an in-flight query's workers re-read at
+/// every morsel, so a guardrail switch takes effect at the next batch
+/// boundary without a barrier.
+struct LiveKnobs {
+  std::atomic<int> probe_mode{
+      static_cast<int>(exec::ProbeMode::kGroupPrefetch)};
+  std::atomic<int> probe_batch{16};
+
+  exec::ProbeMode Mode() const {
+    return static_cast<exec::ProbeMode>(
+        probe_mode.load(std::memory_order_relaxed));
+  }
+  int Batch() const { return probe_batch.load(std::memory_order_relaxed); }
+};
+
+/// \brief Drives one query's adaptive execution: asks the cache for a
+/// setting at construction, exposes it (plus live knobs and a wave
+/// controller) to the lowering, and feeds the measured wall time back
+/// on Finish(). Single query, single owner; the wave controller runs on
+/// the dispatching thread between waves.
+class QueryTuner {
+ public:
+  QueryTuner(const WorkloadKey& key, const KnobSetting& prior,
+             int obs_domain);
+
+  const KnobSetting& chosen() const { return chosen_; }
+  const char* source() const;
+  LiveKnobs& live() { return live_; }
+  uint64_t switches() const {
+    return switches_.load(std::memory_order_relaxed);
+  }
+  uint64_t decisions() const { return decisions_; }
+  uint64_t cache_hits() const { return cache_hits_; }
+
+  /// \brief Wave controller for RunMorselPipeline: samples a feedback
+  /// frame per wave and applies the guardrails (shrink grain + narrow
+  /// probes under paging pressure, grow grain when steal-free and
+  /// pressure-free). Valid while the tuner is alive.
+  exec::WaveController MakeWaveController();
+
+  /// \brief Feeds the measured wall time back into the tuning cache.
+  void Finish(double wall_ns);
+
+ private:
+  size_t OnWave(size_t grain);
+
+  WorkloadKey key_;
+  KnobSetting chosen_;
+  TuningCache::Source source_ = TuningCache::Source::kPrior;
+  LiveKnobs live_;
+  obs::FrameSampler sampler_;
+  std::atomic<uint64_t> switches_{0};
+  uint64_t decisions_ = 0;
+  uint64_t cache_hits_ = 0;
+};
+
+// Mid-query guardrail floors/ceilings (also used by tests).
+inline constexpr size_t kMinMorselGrain = 4 * 1024;
+inline constexpr size_t kMaxMorselGrain = 128 * 1024;
+inline constexpr int kMinProbeBatch = 4;
+
+}  // namespace sgxb::tune
+
+#endif  // SGXB_TUNE_TUNE_H_

@@ -415,5 +415,105 @@ TEST(ExplainTest, EnvKnobAttachesExplainToResult) {
       << "explain must be opt-in, not always-on";
 }
 
+// --- Adaptive execution (SGXBENCH_ADAPTIVE) ---------------------------------
+// Repeated runs drive each workload key through the tuning cache's
+// exploration pass (different arms: probe modes, batch widths, fusion
+// toggled, morsel grains) into exploitation. Every picked setting must
+// produce the same answer as the static baseline — resident and paged.
+
+using AdaptiveParam = std::tuple<int, bool>;
+
+class AdaptiveEquivalenceTest
+    : public ::testing::TestWithParam<AdaptiveParam> {};
+
+TEST_P(AdaptiveEquivalenceTest, RepeatedAdaptiveRunsMatchStatic) {
+  auto [query, paged] = GetParam();
+  PlannerWorld& w = World();
+  const TpchDbView view = paged ? w.paged.View() : ViewOf(w.db);
+
+  QueryConfig cfg;
+  cfg.num_threads = 2;
+  cfg.radix_bits = 8;
+
+  auto baseline = RunQuery(query, view, cfg);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  EXPECT_FALSE(baseline.value().tuning.active)
+      << "tuning must be inert with SGXBENCH_ADAPTIVE unset";
+
+  ScopedEnv adaptive("SGXBENCH_ADAPTIVE", "1");
+  for (int run = 0; run < 4; ++run) {
+    auto r = RunQuery(query, view, cfg);
+    ASSERT_TRUE(r.ok()) << "run " << run << ": " << r.status().ToString();
+    EXPECT_EQ(r.value().count, baseline.value().count) << "run " << run;
+    EXPECT_EQ(r.value().group_counts, baseline.value().group_counts)
+        << "run " << run;
+    EXPECT_TRUE(r.value().tuning.active) << "run " << run;
+    EXPECT_GE(r.value().tuning.decisions, 1u) << "run " << run;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCatalogQueries, AdaptiveEquivalenceTest,
+    ::testing::Combine(::testing::ValuesIn(kCatalogQueries),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<AdaptiveParam>& info) {
+      const plan::CatalogEntry* e = plan::FindQuery(std::get<0>(info.param));
+      std::string name = e != nullptr ? e->name : "unknown";
+      name += std::get<1>(info.param) ? "_Paged" : "_Resident";
+      return name;
+    });
+
+// SGXBENCH_ADAPTIVE off (the default) must keep reports byte-identical
+// to the pre-adaptive format: no tuning section in either rendering, no
+// tune line in explain, and forced knobs still win when adaptive is on.
+TEST(AdaptiveOffTest, ReportsCarryNoTuningSection) {
+  PlannerWorld& w = World();
+  QueryConfig cfg;
+  cfg.num_threads = 1;
+  auto r = RunQuery(6, w.db, cfg);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r.value().tuning.active);
+  EXPECT_FALSE(r.value().report.tuning.active);
+  EXPECT_EQ(r.value().report.ToJson().find("tuning"), std::string::npos);
+  EXPECT_EQ(r.value().report.ToString().find("tuning"), std::string::npos);
+}
+
+TEST(AdaptiveOnTest, ExplainAndReportSurfaceTheDecision) {
+  PlannerWorld& w = World();
+  QueryConfig cfg;
+  cfg.num_threads = 1;
+  ScopedEnv adaptive("SGXBENCH_ADAPTIVE", "1");
+  ScopedEnv explain("SGXBENCH_EXPLAIN", "1");
+  auto r = RunQuery(6, w.db, cfg);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.value().tuning.active);
+  EXPECT_NE(r.value().explain.find("tune:"), std::string::npos)
+      << r.value().explain;
+  EXPECT_NE(r.value().report.ToJson().find("\"tuning\""),
+            std::string::npos);
+  EXPECT_NE(r.value().report.ToString().find("tuning:"),
+            std::string::npos);
+  // The decision's provenance is one of the three documented sources.
+  const std::string& src = r.value().tuning.source;
+  EXPECT_TRUE(src == "prior" || src == "explore" || src == "cache") << src;
+}
+
+TEST(AdaptiveOnTest, ForcedKnobsStillBeatTheTuner) {
+  PlannerWorld& w = World();
+  ScopedEnv adaptive("SGXBENCH_ADAPTIVE", "1");
+  QueryConfig cfg;
+  cfg.num_threads = 2;
+  cfg.pipeline = false;  // explicit config: the tuner must not override
+  cfg.probe_mode = exec::ProbeMode::kTupleAtATime;
+  // Several runs so the tuner would explore fused arms if it could.
+  for (int run = 0; run < 3; ++run) {
+    auto r = RunQuery(3, w.db, cfg);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r.value().count, ReferenceQ3(w.db)) << "run " << run;
+    EXPECT_FALSE(r.value().tuning.fused)
+        << "run " << run << ": explicit pipeline=false was overridden";
+  }
+}
+
 }  // namespace
 }  // namespace sgxb::tpch

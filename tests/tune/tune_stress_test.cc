@@ -1,0 +1,203 @@
+// Adaptive-controller concurrency suite: meant to run under TSan (see
+// CI's tsan job). Overlapping served queries all read and write the
+// process-global tuning cache and the in-flight counter; these tests
+// hammer those paths directly and through the serving layer.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/serve.h"
+#include "tpch/queries.h"
+#include "tpch/tpch_gen.h"
+#include "tune/tune.h"
+
+namespace sgxb::tune {
+namespace {
+
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, /*overwrite=*/1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+const tpch::TpchDb& Db() {
+  static const tpch::TpchDb db = [] {
+    tpch::GenConfig cfg;
+    cfg.scale_factor = 0.01;
+    return tpch::Generate(cfg).value();
+  }();
+  return db;
+}
+
+uint64_t Reference(int query) {
+  switch (query) {
+    case 3:
+      return tpch::ReferenceQ3(Db());
+    case 6:
+      return tpch::ReferenceQ6(Db());
+    case 10:
+      return tpch::ReferenceQ10(Db());
+    case 12:
+      return tpch::ReferenceQ12(Db());
+    case 19:
+      return tpch::ReferenceQ19(Db());
+  }
+  return 0;
+}
+
+uint64_t Observed(const tpch::QueryResult& r, int query) {
+  return query == 6 ? r.group_counts.at(0) : r.count;
+}
+
+KnobSetting Prior() {
+  KnobSetting p;
+  p.fused = true;
+  p.probe_mode = exec::ProbeMode::kGroupPrefetch;
+  p.probe_batch = 16;
+  p.morsel_grain = 32 * 1024;
+  return p;
+}
+
+// Many threads, few keys: every Decide/Observe interleaving lands on
+// shared Entry state. The invariant after the storm: total recorded runs
+// equals total observations, and every arm is a valid candidate.
+TEST(TuneStressTest, ConcurrentDecideObserveKeepsArmsConsistent) {
+  TuningCache cache;
+  const KnobSetting prior = Prior();
+  constexpr int kThreads = 8;
+  constexpr int kItersPerThread = 200;
+  constexpr int kKeys = 3;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        WorkloadKey key;
+        key.query = "Qstress" + std::to_string((t + i) % kKeys);
+        key.sf_bucket = 16;
+        key.concurrency_band = 1;
+        TuningCache::Source source;
+        const KnobSetting pick = cache.Decide(key, prior, &source);
+        cache.Observe(key, pick, 1000.0 + 10.0 * ((t * 31 + i) % 7));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const std::vector<KnobSetting> candidates = CandidateArms(prior);
+  int total_runs = 0;
+  for (int k = 0; k < kKeys; ++k) {
+    WorkloadKey key;
+    key.query = "Qstress" + std::to_string(k);
+    key.sf_bucket = 16;
+    key.concurrency_band = 1;
+    const auto arms = cache.Arms(key);
+    ASSERT_EQ(arms.size(), candidates.size()) << k;
+    for (const auto& arm : arms) {
+      bool known = false;
+      for (const auto& c : candidates) known = known || c == arm.setting;
+      EXPECT_TRUE(known) << arm.setting.Key();
+      EXPECT_GE(arm.ewma_ns, 0.0);
+      total_runs += arm.runs;
+    }
+  }
+  EXPECT_EQ(total_runs, kThreads * kItersPerThread);
+}
+
+// The process-global cache with concurrent per-query tuners: each
+// QueryTuner Decide()s at construction and Observe()s at Finish(), the
+// exact shape the planner drives under serving.
+TEST(TuneStressTest, ConcurrentQueryTunersOnGlobalCache) {
+  constexpr int kThreads = 8;
+  constexpr int kItersPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        AddInflight(1);
+        WorkloadKey key;
+        key.query = "Qglobal" + std::to_string(i % 2);
+        key.sf_bucket = 40;  // keys no other suite touches
+        key.concurrency_band = ConcurrencyBand(InflightQueries());
+        QueryTuner tuner(key, Prior(), /*obs_domain=*/-1);
+        tuner.Finish(500.0 + t + i);
+        AddInflight(-1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Balanced in-flight accounting after the storm.
+  EXPECT_GE(InflightQueries(), 0);
+}
+
+TEST(TuneStressTest, InflightCounterBalancesUnderContention) {
+  const int before = InflightQueries();
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        AddInflight(1);
+        AddInflight(-1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(InflightQueries(), before);
+}
+
+// End-to-end: an adaptive serving mix. Repeated rounds drive each
+// workload key through exploration into exploitation while queries
+// overlap; every result must still match the sequential reference.
+TEST(TuneStressTest, AdaptiveServingMixMatchesReference) {
+  ScopedEnv adaptive("SGXBENCH_ADAPTIVE", "1");
+  serve::ServerOptions opts;
+  opts.max_inflight = 4;
+  serve::QueryServer server(Db(), opts);
+  const int kQueries[] = {3, 6, 10, 12, 19};
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 10;
+
+  std::vector<std::thread> clients;
+  std::atomic<int> wrong{0};
+  std::atomic<uint64_t> decisions{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        const int query = kQueries[(c + i) % 5];
+        serve::QueryRequest req;
+        req.query_number = query;
+        req.config.num_threads = 2;
+        serve::QueryResponse r = server.Submit(req).get();
+        if (!r.status.ok() ||
+            Observed(r.result, query) != Reference(query)) {
+          wrong.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (r.status.ok() && r.result.tuning.active) {
+          decisions.fetch_add(r.result.tuning.decisions,
+                              std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  server.Shutdown();
+  EXPECT_EQ(wrong.load(), 0);
+  // The controller actually ran: every successful query decided once.
+  EXPECT_GE(decisions.load(),
+            static_cast<uint64_t>(kClients * kPerClient));
+}
+
+}  // namespace
+}  // namespace sgxb::tune

@@ -1,0 +1,370 @@
+// Adaptive controller unit tests (src/tune/, docs/adaptive.md): knob
+// serialization, workload keying, deterministic golden-trace decisions,
+// two-arm convergence, cache persistence, feedback-frame deltas, and the
+// wave-controller guardrails driving a real morsel pipeline.
+
+#include "tune/tune.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "mem/enclave_resource.h"
+#include "obs/feedback.h"
+#include "obs/metrics.h"
+
+namespace sgxb::tune {
+namespace {
+
+KnobSetting DefaultPrior() {
+  KnobSetting p;
+  p.fused = true;
+  p.probe_mode = exec::ProbeMode::kGroupPrefetch;
+  p.probe_batch = 16;
+  p.morsel_grain = 32 * 1024;
+  return p;
+}
+
+WorkloadKey KeyFor(const std::string& query) {
+  WorkloadKey k;
+  k.query = query;
+  k.sf_bucket = 16;
+  k.concurrency_band = 0;
+  return k;
+}
+
+TEST(KnobSettingTest, KeyRoundTripsThroughParse) {
+  KnobSetting s;
+  s.fused = true;
+  s.probe_mode = exec::ProbeMode::kAmac;
+  s.probe_batch = 12;
+  s.morsel_grain = 16 * 1024;
+  auto parsed = KnobSetting::Parse(s.Key());
+  ASSERT_TRUE(parsed.has_value()) << s.Key();
+  EXPECT_TRUE(*parsed == s);
+
+  KnobSetting t = DefaultPrior();
+  t.probe_mode = exec::ProbeMode::kTupleAtATime;
+  parsed = KnobSetting::Parse(t.Key());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(*parsed == t);
+}
+
+TEST(KnobSettingTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(KnobSetting::Parse("").has_value());
+  EXPECT_FALSE(KnobSetting::Parse("fused=1 probe=warp batch=8 grain=1024")
+                   .has_value());
+  EXPECT_FALSE(KnobSetting::Parse("fused=1 probe=gp batch=0 grain=1024")
+                   .has_value());
+  EXPECT_FALSE(KnobSetting::Parse("fused=1 probe=gp batch=8 grain=0")
+                   .has_value());
+  EXPECT_FALSE(KnobSetting::Parse("fused=1 probe=gp batch=9999 grain=64")
+                   .has_value());
+}
+
+TEST(WorkloadKeyTest, KeySeparatesQuerySfAndBand) {
+  WorkloadKey a = KeyFor("Q3");
+  WorkloadKey b = KeyFor("Q3");
+  EXPECT_EQ(a.Key(), b.Key());
+  b.sf_bucket = 20;
+  EXPECT_NE(a.Key(), b.Key());
+  b = KeyFor("Q3");
+  b.concurrency_band = 2;
+  EXPECT_NE(a.Key(), b.Key());
+  b = KeyFor("Q6");
+  EXPECT_NE(a.Key(), b.Key());
+}
+
+TEST(WorkloadKeyTest, SfBucketIsLog2) {
+  EXPECT_EQ(SfBucket(0), 0);
+  EXPECT_EQ(SfBucket(1), 0);
+  EXPECT_EQ(SfBucket(2), 1);
+  EXPECT_EQ(SfBucket(60000), 15);
+  EXPECT_EQ(SfBucket(uint64_t{1} << 22), 22);
+}
+
+TEST(ConcurrencyBandTest, BandsAreCoarseAndMonotonic) {
+  EXPECT_EQ(ConcurrencyBand(0), 0);
+  EXPECT_EQ(ConcurrencyBand(1), 0);
+  EXPECT_EQ(ConcurrencyBand(2), 1);
+  EXPECT_EQ(ConcurrencyBand(4), 1);
+  EXPECT_EQ(ConcurrencyBand(5), 2);
+  EXPECT_EQ(ConcurrencyBand(16), 2);
+  EXPECT_EQ(ConcurrencyBand(17), 3);
+  EXPECT_EQ(ConcurrencyBand(1000), 3);
+}
+
+TEST(CandidateArmsTest, PriorIsFirstAndArmsAreDistinct) {
+  const KnobSetting prior = DefaultPrior();
+  const std::vector<KnobSetting> arms = CandidateArms(prior);
+  ASSERT_GE(arms.size(), 4u);
+  EXPECT_TRUE(arms[0] == prior);
+  for (size_t i = 0; i < arms.size(); ++i) {
+    for (size_t j = i + 1; j < arms.size(); ++j) {
+      EXPECT_FALSE(arms[i] == arms[j]) << i << " vs " << j;
+    }
+    EXPECT_GE(arms[i].probe_batch, 1);
+    EXPECT_LE(arms[i].probe_batch, exec::kMaxProbeWidth);
+    EXPECT_GE(arms[i].morsel_grain, kMinMorselGrain);
+    EXPECT_LE(arms[i].morsel_grain, kMaxMorselGrain);
+  }
+}
+
+// Golden trace: decisions from a fresh cache are a pure function of
+// (key, prior, observation sequence) — two caches fed identically must
+// pick identical settings in identical order.
+TEST(TuningCacheTest, DecisionTraceIsDeterministic) {
+  const KnobSetting prior = DefaultPrior();
+  const WorkloadKey key = KeyFor("Qdet");
+  std::vector<std::string> traces[2];
+  for (auto& trace : traces) {
+    TuningCache cache;
+    for (int run = 0; run < 12; ++run) {
+      TuningCache::Source source;
+      const KnobSetting pick = cache.Decide(key, prior, &source);
+      trace.push_back(pick.Key());
+      // Deterministic synthetic wall time: arm quality is a fixed
+      // function of the setting.
+      const double wall =
+          1000.0 + (pick.fused ? 0 : 500) + 10.0 * pick.probe_batch;
+      cache.Observe(key, pick, wall);
+    }
+  }
+  EXPECT_EQ(traces[0], traces[1]);
+}
+
+TEST(TuningCacheTest, FirstDecisionIsThePrior) {
+  TuningCache cache;
+  const KnobSetting prior = DefaultPrior();
+  TuningCache::Source source;
+  const KnobSetting pick = cache.Decide(KeyFor("Qprior"), prior, &source);
+  EXPECT_TRUE(pick == prior);
+  EXPECT_EQ(source, TuningCache::Source::kPrior);
+}
+
+// Two-arm convergence: when one arm is consistently faster, the cache
+// settles on it after the exploration pass and stays there.
+TEST(TuningCacheTest, ConvergesToTheFasterArm) {
+  TuningCache cache;
+  const KnobSetting prior = DefaultPrior();
+  const WorkloadKey key = KeyFor("Qconv");
+  const size_t num_arms = CandidateArms(prior).size();
+
+  // AMAC runs 4x faster than everything else in this synthetic world.
+  auto wall_of = [](const KnobSetting& s) {
+    return s.probe_mode == exec::ProbeMode::kAmac ? 250.0 : 1000.0;
+  };
+  // Exploration: each arm tried exactly once.
+  for (size_t i = 0; i < num_arms; ++i) {
+    TuningCache::Source source;
+    const KnobSetting pick = cache.Decide(key, prior, &source);
+    EXPECT_NE(source, TuningCache::Source::kCache) << i;
+    cache.Observe(key, pick, wall_of(pick));
+  }
+  // Exploitation: every subsequent decision is the fast arm.
+  for (int run = 0; run < 5; ++run) {
+    TuningCache::Source source;
+    const KnobSetting pick = cache.Decide(key, prior, &source);
+    EXPECT_EQ(source, TuningCache::Source::kCache) << run;
+    EXPECT_EQ(pick.probe_mode, exec::ProbeMode::kAmac) << run;
+    cache.Observe(key, pick, wall_of(pick));
+  }
+}
+
+// ...and converges within a few executions even counting exploration:
+// the arm count bounds time-to-converge.
+TEST(TuningCacheTest, ExplorationPassIsShort) {
+  EXPECT_LE(CandidateArms(DefaultPrior()).size(), 8u);
+}
+
+TEST(TuningCacheTest, ObserveUpdatesEwmaAndTracksDrift) {
+  TuningCache cache;
+  const KnobSetting prior = DefaultPrior();
+  const WorkloadKey key = KeyFor("Qewma");
+  cache.Decide(key, prior, nullptr);
+  cache.Observe(key, prior, 1000.0);
+  auto arms = cache.Arms(key);
+  ASSERT_FALSE(arms.empty());
+  EXPECT_DOUBLE_EQ(arms[0].ewma_ns, 1000.0);
+  EXPECT_EQ(arms[0].runs, 1);
+  // Drift: the workload got slower; the EWMA moves half-way per run.
+  cache.Observe(key, prior, 2000.0);
+  arms = cache.Arms(key);
+  EXPECT_DOUBLE_EQ(arms[0].ewma_ns, 1500.0);
+  EXPECT_EQ(arms[0].runs, 2);
+}
+
+TEST(TuningCacheTest, SaveLoadRoundTripsLearnedState) {
+  std::string path = "/tmp/sgxb_tune_cache_";
+  path += std::to_string(static_cast<long>(::getpid()));
+  path += ".txt";
+
+  const KnobSetting prior = DefaultPrior();
+  const WorkloadKey key = KeyFor("Qpersist");
+  TuningCache first;
+  const size_t num_arms = CandidateArms(prior).size();
+  for (size_t i = 0; i < num_arms; ++i) {
+    const KnobSetting pick = first.Decide(key, prior, nullptr);
+    first.Observe(key, pick,
+                  pick.probe_mode == exec::ProbeMode::kAmac ? 100.0 : 900.0);
+  }
+  ASSERT_TRUE(first.Save(path));
+
+  TuningCache second;
+  ASSERT_TRUE(second.Load(path));
+  std::remove(path.c_str());
+
+  // The reloaded cache skips straight to exploitation with the same
+  // winner — learned settings survive the process boundary.
+  TuningCache::Source source;
+  const KnobSetting pick = second.Decide(key, prior, &source);
+  EXPECT_EQ(source, TuningCache::Source::kCache);
+  EXPECT_EQ(pick.probe_mode, exec::ProbeMode::kAmac);
+
+  const auto a = first.Arms(key);
+  const auto b = second.Arms(key);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].setting == b[i].setting) << i;
+    EXPECT_DOUBLE_EQ(a[i].ewma_ns, b[i].ewma_ns) << i;
+    EXPECT_EQ(a[i].runs, b[i].runs) << i;
+  }
+}
+
+TEST(TuningCacheTest, LoadOfMissingFileFailsCleanly) {
+  TuningCache cache;
+  EXPECT_FALSE(cache.Load("/tmp/sgxb_tune_cache_never_written.txt"));
+  const KnobSetting prior = DefaultPrior();
+  TuningCache::Source source;
+  cache.Decide(KeyFor("Qcold"), prior, &source);
+  EXPECT_EQ(source, TuningCache::Source::kPrior);
+}
+
+TEST(FeedbackFrameTest, SamplerReturnsDeltasNotTotals) {
+  obs::Registry& reg = obs::Registry::Global();
+  obs::Counter* tuples = reg.GetCounter(obs::kCtrProbeTuples);
+  obs::Counter* matches = reg.GetCounter(obs::kCtrProbeMatches);
+
+  obs::FrameSampler sampler(-1);
+  tuples->Add(100);
+  matches->Add(25);
+  obs::FeedbackFrame f1 = sampler.Sample();
+  EXPECT_GE(f1.probe_tuples, 100u);
+  EXPECT_GE(f1.probe_matches, 25u);
+  EXPECT_GT(f1.ProbeHitRate(), 0.0);
+
+  // A second window sees only what happened after the first Sample().
+  obs::FeedbackFrame f2 = sampler.Sample();
+  EXPECT_EQ(f2.probe_tuples, 0u);
+  EXPECT_EQ(f2.probe_matches, 0u);
+
+  tuples->Add(10);
+  obs::FeedbackFrame f3 = sampler.Sample();
+  EXPECT_EQ(f3.probe_tuples, 10u);
+}
+
+TEST(FeedbackFrameTest, DerivedRatesHandleZeroDenominators) {
+  obs::FeedbackFrame f;
+  EXPECT_DOUBLE_EQ(f.ProbeHitRate(), 0.0);
+  EXPECT_DOUBLE_EQ(f.StealRatio(), 0.0);
+  EXPECT_EQ(f.PagingPressure(), 0u);
+  f.partitions_evicted = 2;
+  f.storage_pin_waits = 3;
+  EXPECT_EQ(f.PagingPressure(), 5u);
+}
+
+// The wave controller against a real RunMorselPipeline: with storage
+// pressure counters firing between waves, the grain must shrink (and
+// the live probe batch narrow); results stay exact.
+TEST(QueryTunerTest, WaveControllerShrinksGrainUnderPressure) {
+  const WorkloadKey key = KeyFor("Qwave");
+  KnobSetting prior = DefaultPrior();
+  prior.morsel_grain = 16 * 1024;
+  QueryTuner tuner(key, prior, /*obs_domain=*/-1);
+  const int start_batch = tuner.live().Batch();
+
+  obs::Counter* pin_waits =
+      obs::Registry::Global().GetCounter(obs::kCtrStoragePinWaits);
+
+  exec::PipelineConfig pc;
+  pc.name = "tune_test.pressure";
+  pc.num_threads = 2;
+  pc.grain = tuner.chosen().morsel_grain;
+  pc.resource = mem::ResourceFor(ExecutionSetting::kPlainCpu, nullptr);
+  pc.wave_controller = tuner.MakeWaveController();
+  pc.wave_morsels = 1;
+
+  const size_t total = 512 * 1024;
+  std::atomic<uint64_t> rows_seen{0};
+  Status s = exec::RunMorselPipeline(
+      total, pc, [&](Range r, exec::PipelineLane&) -> Status {
+        rows_seen.fetch_add(r.end - r.begin, std::memory_order_relaxed);
+        // Every morsel stalls on the (simulated) buffer manager: the
+        // controller must read this as paging pressure.
+        pin_waits->Add(1);
+        return Status::OK();
+      });
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(rows_seen.load(), total) << "re-graining must not drop rows";
+  EXPECT_GT(tuner.switches(), 0u);
+  EXPECT_LT(tuner.live().Batch(), start_batch);
+}
+
+TEST(QueryTunerTest, WaveControllerGrowsGrainWhenStealFree) {
+  const WorkloadKey key = KeyFor("Qgrow");
+  KnobSetting prior = DefaultPrior();
+  prior.morsel_grain = kMinMorselGrain;
+  QueryTuner tuner(key, prior, /*obs_domain=*/-1);
+
+  // Steal-free, pressure-free frames: grain should ratchet up (morsels
+  // counter moves, steal counter does not).
+  obs::Counter* morsels =
+      obs::Registry::Global().GetCounter(obs::kCtrExecMorsels);
+  exec::WaveController controller = tuner.MakeWaveController();
+  size_t grain = prior.morsel_grain;
+  morsels->Add(64);
+  const size_t next = controller(1, grain);
+  ASSERT_NE(next, 0u);
+  EXPECT_GT(next, grain);
+  EXPECT_LE(next, kMaxMorselGrain);
+}
+
+TEST(QueryTunerTest, FinishFeedsTheGlobalCache) {
+  WorkloadKey key = KeyFor("Qfinish");
+  // Use a key no other test touches: the global cache is process-wide.
+  key.sf_bucket = 33;
+  const KnobSetting prior = DefaultPrior();
+  QueryTuner tuner(key, prior, /*obs_domain=*/-1);
+  tuner.Finish(1234.0);
+  const auto arms = TuningCache::Global().Arms(key);
+  ASSERT_FALSE(arms.empty());
+  EXPECT_EQ(arms[0].runs, 1);
+  EXPECT_DOUBLE_EQ(arms[0].ewma_ns, 1234.0);
+}
+
+TEST(InflightTest, AddAndReadBackIsBalanced) {
+  const int before = InflightQueries();
+  AddInflight(1);
+  AddInflight(1);
+  EXPECT_EQ(InflightQueries(), before + 2);
+  AddInflight(-2);
+  EXPECT_EQ(InflightQueries(), before);
+}
+
+TEST(AdaptiveEnabledTest, DefaultsOffAndFollowsTheKnob) {
+  ::unsetenv("SGXBENCH_ADAPTIVE");
+  EXPECT_FALSE(AdaptiveEnabled());
+  ::setenv("SGXBENCH_ADAPTIVE", "1", 1);
+  EXPECT_TRUE(AdaptiveEnabled());
+  ::setenv("SGXBENCH_ADAPTIVE", "0", 1);
+  EXPECT_FALSE(AdaptiveEnabled());
+  ::unsetenv("SGXBENCH_ADAPTIVE");
+}
+
+}  // namespace
+}  // namespace sgxb::tune
